@@ -1,0 +1,81 @@
+"""Shared fixtures and calibration constants for the figure benchmarks.
+
+Every benchmark regenerates one figure or table of the paper on a
+scaled-down instance (see DESIGN.md's scaling note).  The constants here
+freeze the calibration so all figures run on the same WAN, like the
+paper's evaluation does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import BenchNetwork, bench_wan
+
+#: The standard scaled-down production WAN used by most figures.  The
+#: calibration (seed, demand pressure, LAG multiplicity, probability-
+#: mixture density) was chosen once so the instance reproduces the
+#: paper's Figure 5 shape -- Raha's unlimited series beats the k <= 2
+#: baselines at every probability threshold -- and is then shared by all
+#: figures, as in the paper.
+WAN_KWARGS = dict(num_regions=3, nodes_per_region=5, num_pairs=10,
+                  demand_to_capacity=1.4, seed=1)
+
+#: Probability thresholds swept on the x axis (the paper uses 1e-1..1e-7).
+THRESHOLDS = [1e-1, 1e-2, 1e-4, 1e-7]
+
+#: Failure budgets for the prior-work baselines plus Raha's unlimited run.
+BUDGETS = [1, 2, 4, None]
+
+#: Per-solve time budget (seconds).  The paper gives Gurobi 1000 s; our
+#: instances are ~1/5 scale and HiGHS needs far less.
+TIME_LIMIT = 60.0
+
+
+@pytest.fixture(scope="session")
+def wan() -> BenchNetwork:
+    """The standard benchmark WAN (shared across benchmark files)."""
+    return bench_wan(**WAN_KWARGS)
+
+
+#: The augment benchmarks (Figures 11/17/18) use a milder instance: the
+#: standard WAN's 1.4x demand pressure means *every* failure hurts, so
+#: the augment loop would chase a new scenario per solid link.  At 0.55x
+#: pressure the loop converges in the paper's 2-6 steps.
+AUGMENT_WAN_KWARGS = dict(num_regions=3, nodes_per_region=5, num_pairs=6,
+                          demand_to_capacity=0.55, seed=1)
+
+
+@pytest.fixture(scope="session")
+def augment_wan() -> BenchNetwork:
+    """The milder WAN used by the capacity-augment figures."""
+    return bench_wan(**AUGMENT_WAN_KWARGS)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic MILP solves taking seconds to
+    minutes; statistical repetition would waste the CI budget without
+    adding information.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Replay every figure/table after the test run.
+
+    Benchmarks print their tables while pytest captures stdout, so the
+    inline copies vanish from a plain ``pytest benchmarks/`` run.  The
+    tables are recorded by :func:`repro.analysis.reporting.print_table`
+    and written here, through the terminal reporter, where redirected
+    output (``| tee bench_output.txt``) sees them exactly once.
+    """
+    from repro.analysis import reporting
+
+    if not reporting.recorded_tables:
+        return
+    terminalreporter.section("figure and table reproductions")
+    for text in reporting.recorded_tables:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)

@@ -1,0 +1,99 @@
+"""Ablations of Raha's own design choices (DESIGN.md's encoding notes).
+
+* ``exact_path_down``: the paper's Eq. 4 forces a path down when a LAG
+  on it is down but not the converse; this repository optionally adds
+  the tightening ``u_kp <= sum u_e``.  Ablation: solution quality must
+  be identical with and without (the relaxation is sound), while model
+  size differs.
+* post-solve ``verify``: measures the overhead of the two verification
+  passes (KKT re-solve + simulation) relative to the solve itself.
+* ``mip_rel_gap``: a small optimality gap buys runtime at bounded cost
+  in reported degradation.
+"""
+
+from benchmarks.conftest import run_once
+from repro import RahaConfig, demand_envelope
+from repro.analysis.experiments import timed_analysis
+from repro.analysis.reporting import print_table
+
+
+def test_ablation_exact_path_down(benchmark, wan):
+    paths = wan.paths(num_primary=2, num_backup=1)
+
+    def experiment():
+        rows = []
+        for exact in (True, False):
+            config = RahaConfig(
+                fixed_demands=dict(wan.avg_demands),
+                probability_threshold=1e-4,
+                exact_path_down=exact,
+                time_limit=60,
+            )
+            result, wall = timed_analysis(wan.topology, paths, config)
+            rows.append((exact, result.normalized_degradation, wall,
+                         result.num_constraints))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Ablation: exact vs relaxed path-down encoding",
+        ["exact_path_down", "degradation", "wall (s)", "constraints"], rows,
+    )
+    exact_deg, relaxed_deg = rows[0][1], rows[1][1]
+    # The relaxation is sound: same optimum either way.
+    assert abs(exact_deg - relaxed_deg) <= 1e-4 * max(1.0, abs(exact_deg))
+    # The exact form carries extra constraints.
+    assert rows[0][3] > rows[1][3]
+
+
+def test_ablation_verification_overhead(benchmark, wan):
+    paths = wan.paths(num_primary=2, num_backup=1)
+
+    def experiment():
+        rows = []
+        for verify in (True, False):
+            config = RahaConfig(
+                fixed_demands=dict(wan.avg_demands),
+                probability_threshold=1e-4,
+                verify=verify,
+                time_limit=60,
+            )
+            result, wall = timed_analysis(wan.topology, paths, config)
+            rows.append((verify, wall, result.verified))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Ablation: post-solve verification overhead",
+        ["verify", "wall (s)", "verified"], rows,
+    )
+    assert rows[0][2] is True
+    assert rows[1][2] is False
+
+
+def test_ablation_mip_gap(benchmark, wan):
+    paths = wan.paths(num_primary=2, num_backup=1)
+
+    def experiment():
+        rows = []
+        for gap in (None, 0.01, 0.1):
+            config = RahaConfig(
+                demand_bounds=demand_envelope(wan.peak_demands),
+                probability_threshold=1e-4,
+                mip_rel_gap=gap,
+                time_limit=90,
+            )
+            result, wall = timed_analysis(wan.topology, paths, config)
+            rows.append((gap if gap is not None else 0.0,
+                         result.normalized_degradation, wall))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Ablation: MIP relative gap vs quality and runtime",
+        ["mip_rel_gap", "degradation", "wall (s)"], rows,
+    )
+    exact = rows[0][1]
+    for gap, degradation, _ in rows[1:]:
+        # A gap-g incumbent is within g of the optimum.
+        assert degradation >= exact * (1 - gap) - 1e-6

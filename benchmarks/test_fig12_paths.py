@@ -1,0 +1,92 @@
+"""Figure 12: how the number of paths changes the degradation found.
+
+Paper claims (Appendix D.1): with plain k-shortest paths, *more primary
+paths does not monotonically reduce* the degradation -- KSP paths share
+LAGs, and the adversary "exploits the increase in shared failure modes".
+The same holds with CE constraints (12b), and for backup paths (12c)
+cascading fail-overs can spread damage.
+"""
+
+from benchmarks.conftest import run_once
+from repro import RahaAnalyzer, RahaConfig, demand_envelope
+from repro.analysis.reporting import print_table
+
+PRIMARY_COUNTS = [1, 2, 4, 8]
+BACKUP_COUNTS = [0, 1, 2, 4]
+
+
+def _joint(wan, **kwargs):
+    kwargs.setdefault("time_limit", 90)
+    kwargs.setdefault("mip_rel_gap", 0.01)
+    return RahaConfig(demand_bounds=demand_envelope(wan.peak_demands),
+                      **kwargs)
+
+
+def test_fig12a_degradation_vs_primary_paths(benchmark, wan):
+    def experiment():
+        rows = []
+        for count in PRIMARY_COUNTS:
+            paths = wan.paths(num_primary=count, num_backup=1)
+            result = RahaAnalyzer(
+                wan.topology, paths,
+                _joint(wan, probability_threshold=1e-4),
+            ).analyze()
+            rows.append((count, result.normalized_degradation))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Figure 12a: degradation vs number of primary paths (plain KSP)",
+        ["primary paths", "degradation"], rows,
+    )
+    degs = [d for _, d in rows]
+    assert all(d >= 0 or abs(d) < 1e-6 for d in degs)
+    # The paper's point is the absence of a guaranteed decrease: the
+    # series must NOT be strictly decreasing everywhere.
+    strictly_decreasing = all(a > b + 1e-9 for a, b in zip(degs, degs[1:]))
+    assert not strictly_decreasing
+
+
+def test_fig12b_degradation_vs_primary_paths_ce(benchmark, wan):
+    def experiment():
+        rows = []
+        for count in PRIMARY_COUNTS:
+            paths = wan.paths(num_primary=count, num_backup=1)
+            result = RahaAnalyzer(
+                wan.topology, paths,
+                _joint(wan, probability_threshold=1e-4,
+                       connected_enforced=True),
+            ).analyze()
+            rows.append((count, result.normalized_degradation))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Figure 12b: degradation vs number of primary paths (CE)",
+        ["primary paths", "degradation"], rows,
+    )
+    assert len(rows) == len(PRIMARY_COUNTS)
+
+
+def test_fig12c_degradation_vs_backup_paths(benchmark, wan):
+    def experiment():
+        rows = []
+        for count in BACKUP_COUNTS:
+            paths = wan.paths(num_primary=2, num_backup=count)
+            result = RahaAnalyzer(
+                wan.topology, paths,
+                _joint(wan, probability_threshold=1e-4),
+            ).analyze()
+            rows.append((count, result.normalized_degradation))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Figure 12c: degradation vs number of backup paths",
+        ["backup paths", "degradation"], rows,
+    )
+    degs = [d for _, d in rows]
+    # Backups can only help the *network* at fixed failures, but the
+    # adversary re-optimizes; the paper finds no monotone trend.  We
+    # assert the weaker, always-true property: nonnegative values.
+    assert all(d >= -1e-6 for d in degs)

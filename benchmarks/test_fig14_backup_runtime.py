@@ -1,0 +1,46 @@
+"""Figure 14: runtime vs number of backup paths.
+
+Paper claims: runtime grows with the number of backup paths, and "the big
+reason for this is the path computation itself" -- excluding path
+computation, the solve time grows much less.  All runs finish within the
+budget.
+"""
+
+from benchmarks.conftest import run_once
+from repro import RahaConfig, demand_envelope
+from repro.analysis.experiments import timed_analysis
+from repro.analysis.reporting import print_table
+
+BACKUP_COUNTS = [0, 1, 2, 3]
+
+
+def test_fig14_runtime_vs_backups(benchmark, wan):
+    def experiment():
+        rows = []
+        for backups in BACKUP_COUNTS:
+            paths = wan.paths(num_primary=2, num_backup=backups)
+            config = RahaConfig(
+                demand_bounds=demand_envelope(wan.peak_demands),
+                probability_threshold=1e-4,
+                time_limit=120,
+            )
+            result, wall = timed_analysis(wan.topology, paths, config)
+            rows.append((
+                backups, wall, paths.computation_seconds,
+                wall - paths.computation_seconds, result.num_variables,
+            ))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Figure 14: runtime vs number of backup paths",
+        ["backups", "wall (s)", "path comp (s)", "solve-only (s)",
+         "variables"], rows,
+    )
+    # More backups -> strictly more model variables.
+    sizes = [v for *_, v in rows]
+    assert sizes == sorted(sizes)
+    # Reported wall time always includes the path computation.
+    for _, wall, path_seconds, solve_only, _ in rows:
+        assert wall >= path_seconds
+        assert abs((path_seconds + solve_only) - wall) < 1e-9

@@ -1,0 +1,77 @@
+"""Figure 17: augments whose added capacity cannot fail.
+
+The scenario prior work (QARC, Robust) models: augment existing LAGs
+assuming the new capacity is reliable.  Paper claim: "Raha easily handles
+it in 2 steps" for fixed demands, and within a few steps across slacks;
+the non-failing variant needs no more steps than the failable one.
+"""
+
+from benchmarks.conftest import run_once
+from repro import RahaConfig, augment_existing_lags, demand_envelope
+from repro.analysis.reporting import print_table
+
+SLACKS = [0, 100, 200]
+
+
+def test_fig17_augment_with_reliable_capacity(benchmark, augment_wan):
+    wan = augment_wan
+    paths = wan.paths(num_primary=2, num_backup=1)
+
+    def experiment():
+        rows = []
+        for slack in SLACKS:
+            config = RahaConfig(
+                demand_bounds=demand_envelope(wan.avg_demands, slack=slack),
+                probability_threshold=1e-4,
+                time_limit=45, mip_rel_gap=0.01,
+            )
+            result = augment_existing_lags(
+                wan.topology, paths, config,
+                new_links_can_fail=False,
+                tolerance=0.02 * wan.topology.average_lag_capacity(),
+                max_steps=8,
+            )
+            rows.append((slack, result.num_steps, result.converged,
+                         result.average_reduction,
+                         result.total_links_added))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Figure 17: augment steps / reduction / links added vs slack "
+        "(non-failing new capacity, T = 1e-4)",
+        ["slack (%)", "steps", "converged", "avg reduction", "links added"],
+        rows,
+    )
+    for slack, steps, converged, *_ in rows:
+        assert converged
+        # Reliable capacity converges in a handful of steps (the paper
+        # reports ~2 on its instance; wider envelopes need a few more).
+        assert steps <= 8
+
+
+def test_fig17_fixed_demand_two_steps(benchmark, augment_wan):
+    """The paper's fixed-demand case: sufficient augment in ~2 steps."""
+    wan = augment_wan
+    paths = wan.paths(num_primary=2, num_backup=1)
+
+    def experiment():
+        config = RahaConfig(
+            fixed_demands=dict(wan.peak_demands),
+            probability_threshold=1e-4,
+            time_limit=45, mip_rel_gap=0.01,
+        )
+        return augment_existing_lags(
+            wan.topology, paths, config, new_links_can_fail=False,
+            tolerance=0.02 * wan.topology.average_lag_capacity(),
+            max_steps=6,
+        )
+
+    result = run_once(benchmark, experiment)
+    print_table(
+        "Figure 17 (fixed max demand): augment convergence",
+        ["steps", "converged", "links added"],
+        [(result.num_steps, result.converged, result.total_links_added)],
+    )
+    assert result.converged
+    assert result.num_steps <= 3

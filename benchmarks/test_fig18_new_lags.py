@@ -1,0 +1,72 @@
+"""Figure 18: adding brand-new LAGs until no probable degradation.
+
+Paper setup: operators list the edges that are physically viable; Raha
+finds the smallest subset (and link counts) that reduce the probable
+degradation to zero, assuming the new capacity cannot fail.  Uses the
+edge formulation of Appendix C with paths recomputed after each step.
+
+The bench analyzes the demand pairs *without* an existing direct LAG and
+offers their direct edges as the candidate list -- the canonical
+new-LAG planning question ("should we build this shortcut?").
+"""
+
+from benchmarks.conftest import run_once
+from repro import PathSet, RahaConfig, augment_new_lags, demand_envelope
+from repro.analysis.reporting import print_table
+
+SLACKS = [0, 100]
+
+
+def test_fig18_new_lag_augments(benchmark, augment_wan):
+    wan = augment_wan
+    # Pairs with no direct LAG; their direct edges are the candidates.
+    pairs = [p for p in wan.pairs
+             if wan.topology.lag_between(*p) is None][:4]
+    assert pairs, "bench instance must contain non-adjacent demand pairs"
+    candidates = sorted({tuple(sorted(p)) for p in pairs})
+    demands = wan.avg_demands.restricted_to(pairs)
+
+    def experiment():
+        rows = []
+        for slack in SLACKS:
+            def path_factory(topo):
+                return PathSet.k_shortest(topo, pairs, num_primary=2,
+                                          num_backup=1)
+
+            def config_factory(_paths, slack=slack):
+                return RahaConfig(
+                    demand_bounds=demand_envelope(demands, slack=slack),
+                    probability_threshold=1e-4,
+                    time_limit=45, mip_rel_gap=0.01,
+                )
+
+            result = augment_new_lags(
+                wan.topology, path_factory, config_factory,
+                candidate_edges=candidates,
+                new_links_can_fail=False,
+                tolerance=0.02 * wan.topology.average_lag_capacity(),
+                max_steps=8,
+            )
+            new_lags = {
+                key
+                for step in result.steps
+                for key in step.links_added
+                if wan.topology.lag_between(*key) is None
+            }
+            rows.append((slack, result.num_steps, result.converged,
+                         result.total_links_added, len(new_lags)))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Figure 18: new-LAG augments vs slack (non-failing capacity)",
+        ["slack (%)", "steps", "converged", "links added", "new LAGs"],
+        rows,
+    )
+    for slack, steps, converged, links, _ in rows:
+        assert converged, f"new-LAG augment did not converge at {slack}%"
+    # Wider envelopes require at least as much new capacity.
+    links_series = [links for _, _, _, links, _ in rows]
+    assert links_series == sorted(links_series)
+    # At the widest envelope the augment actually built something new.
+    assert rows[-1][4] >= 1 or rows[-1][3] == 0

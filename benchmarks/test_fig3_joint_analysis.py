@@ -1,0 +1,76 @@
+"""Figure 3: joint analysis beats peak-demand baselines.
+
+Paper setup: fix demands to the monthly average, progressively allow
+them to increase by a slack, and search only for failures minimizing the
+failed network's performance (the prior-work recipe), evaluated as a
+*degradation* against the design point.  Compare with Raha searching
+demands and failures jointly for the maximum degradation in the same
+range.
+
+Paper claim: Raha dominates both baselines at every slack -- setting the
+demand to its peak does NOT reveal the maximum degradation, because
+backup-path activation makes the worst demand depend on the network's
+design point (Section 2.3).
+"""
+
+from benchmarks.conftest import run_once
+from repro import RahaAnalyzer, RahaConfig, demand_envelope
+from repro.analysis.reporting import print_table
+from repro.baselines.naive import naive_fixed_peak
+
+SLACKS = [0, 40, 80, 140]
+
+
+def test_fig3_raha_vs_peak_baselines(benchmark, wan):
+    paths = wan.paths(num_primary=1, num_backup=1)  # the paper: 1 backup
+
+    # Start from a 0.35x-scaled average so the slack sweep has headroom
+    # to matter (the shared bench instance saturates capacity by design).
+    base = wan.avg_demands.scaled(0.35)
+
+    def experiment():
+        rows = []
+        avg_base = naive_fixed_peak(
+            wan.topology, paths, dict(base),
+            probability_threshold=1e-4, time_limit=60,
+        )
+        for slack in SLACKS:
+            factor = 1.0 + slack / 100.0
+            # Baseline "Max": demands fixed at the top of the range
+            # (average * (1 + slack)); failures minimize performance.
+            max_base = naive_fixed_peak(
+                wan.topology, paths,
+                {p: v * factor for p, v in base.items()},
+                probability_threshold=1e-4, time_limit=60,
+            )
+            # Raha: joint search inside the same envelope.
+            raha = RahaAnalyzer(
+                wan.topology, paths,
+                RahaConfig(
+                    demand_bounds=demand_envelope(base, slack=slack),
+                    probability_threshold=1e-4, time_limit=90,
+                    mip_rel_gap=0.01,
+                ),
+            ).analyze()
+            rows.append((
+                slack,
+                raha.normalized_degradation,
+                max_base.normalized_degradation,
+                avg_base.normalized_degradation,
+            ))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Figure 3: degradation vs slack -- Raha vs Max/Average baselines",
+        ["slack (%)", "Raha", "Max baseline", "Avg baseline"], rows,
+    )
+    for slack, raha, max_base, avg_base in rows:
+        # Raha's joint optimum dominates both fixed-demand baselines
+        # (they search a subset of its space).
+        assert raha >= max_base - 1e-4
+        assert raha >= avg_base - 1e-4
+    # Raha's curve grows with slack.
+    raha_series = [r for _, r, _, _ in rows]
+    for a, b in zip(raha_series, raha_series[1:]):
+        assert b >= a - 1e-6

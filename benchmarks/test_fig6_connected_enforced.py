@@ -1,0 +1,43 @@
+"""Figure 6: the Figure 5 experiments under CE constraints.
+
+Paper claims: with connected-enforcement (no scenario may take down all
+of a demand's paths -- the production configuration), "the worst-case
+degradation decreases but we still find higher degradations compared to
+those solutions that limit the number of failures they allow".
+"""
+
+import pytest
+
+from benchmarks.conftest import BUDGETS, THRESHOLDS, run_once
+from repro.analysis.experiments import degradation_sweep
+from repro.analysis.reporting import print_table
+
+
+@pytest.mark.parametrize("mode", ["avg", "variable"])
+def test_fig6_ce_degradation_vs_threshold(benchmark, wan, mode):
+    paths = wan.paths(num_primary=2, num_backup=1)
+
+    def experiment():
+        plain = degradation_sweep(
+            wan, paths, mode, THRESHOLDS, [None], time_limit=60.0,
+        )
+        ce = degradation_sweep(
+            wan, paths, mode, THRESHOLDS, BUDGETS,
+            connected_enforced=True, time_limit=60.0,
+        )
+        return plain, ce
+
+    plain, ce = run_once(benchmark, experiment)
+    print_table(
+        f"Figure 6 ({mode}): degradation vs threshold under CE",
+        ["threshold", "max failures", "degradation"], ce,
+    )
+    plain_by_t = {t: d for t, k, d in plain if k == "inf"}
+    ce_by_t = {t: d for t, k, d in ce if k == "inf"}
+    # CE can only shrink the feasible scenario set.
+    for t in ce_by_t:
+        assert ce_by_t[t] <= plain_by_t[t] + 1e-6
+    # And the Raha series still grows as the threshold drops.
+    ts = sorted(ce_by_t, reverse=True)
+    for a, b in zip(ts, ts[1:]):
+        assert ce_by_t[b] >= ce_by_t[a] - 1e-6

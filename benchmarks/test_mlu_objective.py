@@ -1,0 +1,63 @@
+"""Section 8.5 "On other objectives": worst-case MLU degradation.
+
+Paper claims: with the objective switched to MLU, Raha "finished in 15
+minutes in all cases and found a degradation of 1.06, 1.32, 1.26 for 0,
+10%, and 20% slack respectively.  Degradation jumps to 3.12 when we set
+slack to 40%" -- i.e. modest growth over small slacks, then a jump.
+
+MLU degradations are reported unnormalized; demands come from a gravity
+model, as in the paper's MLU runs.
+"""
+
+from benchmarks.conftest import run_once
+from repro import RahaAnalyzer, RahaConfig, demand_envelope, gravity_demands
+from repro.analysis.reporting import print_table
+from repro.network.demand import top_pairs
+
+SLACKS = [0, 10, 20, 40]
+
+
+def test_mlu_degradation_vs_slack(benchmark):
+    # MLU semantics ignore partial failures (Appendix A: utilization is
+    # measured against the original capacities and failures act only
+    # through whole-path kills), so this figure runs on a single-link-LAG
+    # variant of the bench WAN where probable failures take LAGs down
+    # outright.  The MLU game is also the hardest MILP in the suite, so
+    # only the top pairs are analyzed.
+    from repro.analysis.experiments import bench_wan
+
+    net = bench_wan(num_regions=3, nodes_per_region=5, num_pairs=5,
+                    single_link_share=1.0, seed=1)
+    pairs = net.pairs
+    paths = net.paths(num_primary=2, num_backup=1)
+    base = gravity_demands(net.topology, scale=100, pairs=pairs, seed=3)
+    scale = 0.6 * net.topology.average_lag_capacity() / max(base.values())
+    base = base.scaled(scale)
+    wan = net
+
+    def experiment():
+        rows = []
+        for slack in SLACKS:
+            config = RahaConfig(
+                objective="mlu",
+                demand_bounds=demand_envelope(base, slack=slack),
+                probability_threshold=1e-4,
+                time_limit=90,
+                mip_rel_gap=0.02,
+            )
+            result = RahaAnalyzer(wan.topology, paths, config).analyze()
+            rows.append((slack, result.degradation, result.healthy_value,
+                         result.failed_value))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Section 8.5: worst-case MLU degradation vs demand slack",
+        ["slack (%)", "U degradation", "healthy U", "failed U"], rows,
+    )
+    degs = [deg for _, deg, _, _ in rows]
+    # More slack cannot shrink the worst case (the search space nests).
+    for earlier, later in zip(degs, degs[1:]):
+        assert later >= earlier - 1e-6
+    # The paper's pattern: a sizable jump by 40% slack.
+    assert degs[-1] > degs[0]

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Worst case vs expected case: Raha next to Monte Carlo availability.
+
+Operators track two complementary numbers (Section 2.2: "most operators
+aim to provide > 4-9's availability"):
+
+* the **expected** picture -- how much traffic is delivered on an average
+  day, estimated here by Monte Carlo sampling of the link-state
+  distribution (Abilene with production-mixture probabilities);
+* the **worst probable** picture -- Raha's exact answer to "what is the
+  most a probable scenario can degrade us?".
+
+The sampled worst case always lower-bounds Raha's exact worst case: a few
+hundred samples rarely hit the adversarial corner, which is the point --
+simulation alone ("our simulator failed to detect it in time") misses
+what Raha proves.
+
+Run:
+    python examples/availability_report.py
+"""
+
+from repro import (
+    PathSet,
+    RahaAnalyzer,
+    RahaConfig,
+    estimate_availability,
+    gravity_demands,
+)
+from repro.network.demand import top_pairs
+from repro.network.zoo import abilene
+
+
+def main() -> None:
+    topology = abilene(seed=0)
+    print(f"Topology: {topology}")
+    demands = gravity_demands(
+        topology, scale=8 * topology.average_lag_capacity(), seed=0
+    )
+    pairs = top_pairs(demands, 6)
+    demands = demands.restricted_to(pairs)
+    paths = PathSet.k_shortest(topology, pairs, num_primary=2, num_backup=1)
+
+    estimate = estimate_availability(
+        topology, dict(demands), paths, samples=300, seed=1,
+        degradation_threshold=0.1 * topology.average_lag_capacity(),
+    )
+    print("\nMonte Carlo (300 sampled days):")
+    print(f"  expected degradation: {estimate.expected_degradation:.3f}")
+    print(f"  traffic availability: {estimate.availability:.5f}")
+    print(f"  P(drop > 0.1 LAG):    {estimate.exceedance_probability:.3f}")
+    print(f"  worst sampled:        {estimate.worst_sampled:.3f}")
+
+    exact = RahaAnalyzer(
+        topology, paths,
+        RahaConfig(fixed_demands=dict(demands),
+                   probability_threshold=1e-4, time_limit=60),
+    ).analyze()
+    print("\nRaha (exact worst probable scenario, T = 1e-4):")
+    print(f"  degradation: {exact.degradation:.3f} "
+          f"(p = {exact.scenario_probability:.2e}, "
+          f"{exact.scenario.num_failed_links} links)")
+
+    gap = exact.degradation - estimate.worst_sampled
+    print(f"\nSampling under-reports the worst case by {gap:.3f} "
+          "traffic units -- the blind spot Raha closes.")
+    assert exact.degradation >= estimate.worst_sampled - 1e-6
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Offline capacity planning with Raha (Section 7).
+
+An operator provisions a WAN, then uses Raha to (a) find whether any
+probable failure scenario can degrade it and (b) compute the minimal
+capacity augment that removes every such scenario -- first by growing
+existing LAGs, then by considering brand-new LAGs on a candidate list
+(Appendix C).
+
+Run:
+    python examples/capacity_planning.py
+"""
+
+from repro import (
+    PathSet,
+    RahaConfig,
+    augment_existing_lags,
+    augment_new_lags,
+)
+from repro.network.builder import from_edges
+
+
+def build_network():
+    """A small dual-homed WAN with a known weak spot."""
+    topo = from_edges([
+        ("par", "fra", 10), ("fra", "mil", 10),
+        ("par", "mad", 6), ("mad", "mil", 6),
+        ("fra", "mad", 4),
+    ], failure_probability=0.02, name="planning-example")
+    pairs = [("par", "mil")]
+    paths = PathSet.k_shortest(topo, pairs, num_primary=2, num_backup=1)
+    return topo, pairs, paths
+
+
+def main() -> None:
+    topo, pairs, paths = build_network()
+    demands = {("par", "mil"): 10.0}
+    config = RahaConfig(fixed_demands=demands, max_failures=1,
+                        time_limit=60)
+
+    print("== Augment existing LAGs (added capacity assumed reliable) ==")
+    result = augment_existing_lags(
+        topo, paths, config, link_capacity=4.0, new_links_can_fail=False,
+    )
+    print(f"initial degradation: {result.initial_degradation:g}")
+    for i, step in enumerate(result.steps, 1):
+        adds = ", ".join(f"{k[0]}-{k[1]} +{n}" for k, n in
+                         step.links_added.items())
+        print(f"  step {i}: degradation {step.degradation_before:g}, "
+              f"added {adds}")
+    print(f"converged: {result.converged} after {result.num_steps} steps, "
+          f"{result.total_links_added} links total")
+
+    print("\n== Augment with new LAGs from a candidate list ==")
+    candidates = [("par", "mil"), ("par", "fra"), ("mad", "mil")]
+
+    def path_factory(t):
+        return PathSet.k_shortest(t, pairs, num_primary=2, num_backup=1)
+
+    def config_factory(_paths):
+        return RahaConfig(fixed_demands=demands, max_failures=1,
+                          time_limit=60)
+
+    result2 = augment_new_lags(
+        topo, path_factory, config_factory, candidate_edges=candidates,
+        link_capacity=6.0, new_links_can_fail=False,
+    )
+    print(f"initial degradation: {result2.initial_degradation:g}")
+    for i, step in enumerate(result2.steps, 1):
+        adds = ", ".join(f"{k[0]}-{k[1]} +{n}" for k, n in
+                         step.links_added.items())
+        print(f"  step {i}: degradation {step.degradation_before:g}, "
+              f"added {adds}")
+    print(f"converged: {result2.converged}; final topology: "
+          f"{result2.topology}")
+
+
+if __name__ == "__main__":
+    main()

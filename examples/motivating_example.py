@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""The paper's Figure 1: why demands and failures must be analyzed jointly.
+
+Three analyses of the same 4-node network (B and C send traffic to D,
+each over a direct path and a path through A):
+
+1. **Fixed typical demands**: the classical simulator question -- which
+   single failure hurts most?  (healthy 22, failed 15, degradation 7.)
+2. **Naive joint worst case** (QARC/Robust style): minimize the failed
+   network's performance over demands and failures.  The adversary just
+   shrinks the demands: "poor performance" without real *degradation*.
+3. **Raha**: maximize the *gap* to the design point -- the scenario an
+   operator actually needs to hear about.
+
+Run:
+    python examples/motivating_example.py
+"""
+
+from repro import PathSet, RahaAnalyzer, RahaConfig
+from repro.baselines.naive import naive_worst_case
+from repro.network.builder import motivating_example
+from repro.paths.pathset import DemandPaths
+
+BOUNDS = {("B", "D"): (6.0, 18.0), ("C", "D"): (5.0, 15.0)}
+TYPICAL = {("B", "D"): 12.0, ("C", "D"): 10.0}
+
+
+def figure1_paths() -> PathSet:
+    """Each pair's direct path and its path through A, both primary."""
+    return PathSet({
+        ("B", "D"): DemandPaths(("B", "D"),
+                                [("B", "D"), ("B", "A", "D")], 2),
+        ("C", "D"): DemandPaths(("C", "D"),
+                                [("C", "D"), ("C", "A", "D")], 2),
+    })
+
+
+def main() -> None:
+    topo = motivating_example()
+    paths = figure1_paths()
+    print(f"Topology: {topo}")
+    for lag in topo.lags:
+        print(f"  LAG {lag.u}-{lag.v}: capacity {lag.capacity:g}")
+
+    fixed = RahaAnalyzer(
+        topo, paths, RahaConfig(fixed_demands=TYPICAL, max_failures=1)
+    ).analyze()
+    print("\n(1) Fixed typical demands (B->D 12, C->D 10):")
+    print(f"    healthy {fixed.healthy_value:g}, worst failure leaves "
+          f"{fixed.failed_value:g} -> degradation {fixed.degradation:g}")
+    print(f"    failed: {fixed.scenario}")
+
+    naive = naive_worst_case(topo, paths, demand_bounds=BOUNDS,
+                             max_failures=1)
+    print("\n(2) Naive adversary (minimize failed performance):")
+    print(f"    picks demands {dict(naive.demands)} -- the smallest allowed")
+    print(f"    failed network routes {naive.failed_value:g}, but the "
+          f"healthy network would only route {naive.healthy_value:g}")
+    print(f"    -> degradation just {naive.degradation:g} "
+          "(a false alarm, not an insight)")
+
+    raha = RahaAnalyzer(
+        topo, paths, RahaConfig(demand_bounds=BOUNDS, max_failures=1)
+    ).analyze()
+    print("\n(3) Raha (maximize the gap to the design point):")
+    print(f"    demands {dict(raha.demands)}, failing {raha.scenario}")
+    print(f"    healthy {raha.healthy_value:g} vs failed "
+          f"{raha.failed_value:g} -> degradation {raha.degradation:g}")
+
+    print("\nOrdering (naive < fixed < Raha):",
+          f"{naive.degradation:g} < {fixed.degradation:g} < "
+          f"{raha.degradation:g}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: find the worst probable degradation of a small WAN.
+
+Builds a production-shaped WAN, computes k-shortest paths with one backup
+per demand, and asks Raha the paper's central question: *which probable
+failure scenario, together with which demands inside the operator's
+envelope, maximizes the gap between the healthy network and the network
+under failure?*
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    PathSet,
+    RahaAnalyzer,
+    RahaConfig,
+    demand_envelope,
+    synthesize_monthly_demands,
+)
+from repro.network.demand import top_pairs
+from repro.network.generators import production_wan
+
+
+def main() -> None:
+    # A 15-node continental WAN with per-link failure probabilities
+    # (the mixture is fitted to the paper's Figure 2 envelope).
+    topology = production_wan(num_regions=3, nodes_per_region=5, seed=0)
+    print(f"Topology: {topology}")
+
+    # A synthetic "month" of demands; analyze the heaviest pairs.
+    average, peak = synthesize_monthly_demands(topology, scale=100, seed=0)
+    pairs = top_pairs(average, 8)
+    scale = topology.average_lag_capacity() / max(peak[p] for p in pairs)
+    peak = peak.restricted_to(pairs).scaled(scale)
+
+    # Tunnel configuration: 2 primary paths + 1 backup per demand.
+    paths = PathSet.k_shortest(topology, pairs, num_primary=2, num_backup=1)
+
+    # The operator's question: within demands up to the monthly peak and
+    # failure scenarios with probability >= 1e-6, how bad can it get?
+    config = RahaConfig(
+        demand_bounds=demand_envelope(peak),
+        probability_threshold=1e-6,
+        time_limit=120,
+    )
+    result = RahaAnalyzer(topology, paths, config).analyze()
+
+    print("\nWorst probable degradation found:")
+    print(f"  {result.summary()}")
+    print(f"  failed links: {sorted(result.scenario.failed_links)}")
+    print("  adversarial demands (nonzero):")
+    for pair, volume in sorted(result.demands.items()):
+        if volume > 1e-6:
+            print(f"    {pair[0]} -> {pair[1]}: {volume:.1f}")
+    if result.normalized_degradation > 0.5:
+        print(
+            "\nALERT: probable failures can drop more traffic than half an "
+            "average LAG carries -- consider a capacity augment "
+            "(see examples/capacity_planning.py)."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Shared experiment harness and reporting used by the benchmarks.
+
+Every figure/table benchmark in ``benchmarks/`` builds its workload
+through :mod:`repro.analysis.experiments` (so the scaled-down instances
+are consistent across figures) and prints its rows through
+:mod:`repro.analysis.reporting` (so the output mirrors the paper's
+figures in tabular form).
+"""
+
+from repro.analysis.continental import (
+    ContinentalSplit,
+    analyze_continents,
+    split_continents,
+)
+from repro.analysis.experiments import BenchNetwork, bench_wan
+from repro.analysis.reporting import format_table, print_table
+
+__all__ = [
+    "BenchNetwork",
+    "ContinentalSplit",
+    "analyze_continents",
+    "bench_wan",
+    "format_table",
+    "print_table",
+    "split_continents",
+]

@@ -1,0 +1,177 @@
+"""Per-continent analysis (Section 9, "On continental analysis").
+
+"We analyze the WAN in each of our continents separately and then the
+network that connects them.  This helps scale and allows us to quickly
+find a mitigation, isolate, and explain where the network degrades."
+
+Given a node-to-continent assignment, :func:`split_continents` carves the
+WAN into per-continent subtopologies plus the *backbone*: the gateway
+nodes (those with inter-continent LAGs) and the LAGs between them.
+:func:`analyze_continents` then runs Raha on each piece with the demands
+that piece owns and aggregates the findings, so an operator sees *where*
+the risk lives instead of one global number.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.core.analyzer import RahaAnalyzer
+from repro.core.config import RahaConfig
+from repro.core.degradation import DegradationResult
+from repro.exceptions import TopologyError
+from repro.network.demand import Pair
+from repro.network.topology import Topology
+from repro.paths.pathset import PathSet
+
+
+@dataclass
+class ContinentalSplit:
+    """The pieces of a continent-decomposed WAN.
+
+    Attributes:
+        continents: Continent name -> its subtopology (intra-continent
+            nodes and LAGs only).
+        backbone: The inter-continent network: gateway nodes plus the
+            LAGs crossing continents.
+        gateways: Continent name -> its gateway nodes (nodes with at
+            least one inter-continent LAG).
+    """
+
+    continents: dict[str, Topology]
+    backbone: Topology
+    gateways: dict[str, list[str]] = field(default_factory=dict)
+
+
+def split_continents(
+    topology: Topology, assignment: Mapping[str, str]
+) -> ContinentalSplit:
+    """Split a WAN into per-continent topologies and the backbone.
+
+    Args:
+        topology: The global WAN.
+        assignment: Node -> continent name; every node must be assigned.
+
+    Raises:
+        TopologyError: On unassigned nodes or empty continents.
+    """
+    for node in topology.nodes:
+        if node not in assignment:
+            raise TopologyError(f"node {node!r} has no continent assignment")
+
+    names = sorted(set(assignment.values()))
+    continents: dict[str, Topology] = {}
+    for name in names:
+        sub = Topology(name=f"{topology.name}:{name}")
+        members = [n for n in topology.nodes if assignment[n] == name]
+        if not members:
+            raise TopologyError(f"continent {name!r} has no nodes")
+        sub.add_nodes(members)
+        continents[name] = sub
+
+    backbone = Topology(name=f"{topology.name}:backbone")
+    gateway_sets: dict[str, set[str]] = {name: set() for name in names}
+    for lag in topology.lags:
+        cu, cv = assignment[lag.u], assignment[lag.v]
+        if cu == cv:
+            sub = continents[cu]
+            copied = sub.add_lag(lag.u, lag.v,
+                                 link_capacities=[l.capacity for l in lag.links])
+            copied.links = list(lag.links)
+        else:
+            for node in (lag.u, lag.v):
+                if not backbone.has_node(node):
+                    backbone.add_node(node)
+            copied = backbone.add_lag(
+                lag.u, lag.v, link_capacities=[l.capacity for l in lag.links]
+            )
+            copied.links = list(lag.links)
+            gateway_sets[cu].add(lag.u)
+            gateway_sets[cv].add(lag.v)
+    return ContinentalSplit(
+        continents=continents,
+        backbone=backbone,
+        gateways={name: sorted(nodes) for name, nodes in gateway_sets.items()},
+    )
+
+
+@dataclass
+class ContinentalFinding:
+    """One piece's analysis outcome."""
+
+    name: str
+    result: DegradationResult | None
+    skipped_reason: str = ""
+
+
+def analyze_continents(
+    topology: Topology,
+    assignment: Mapping[str, str],
+    demands: Mapping[Pair, float],
+    num_primary: int = 2,
+    num_backup: int = 1,
+    probability_threshold: float | None = 1e-4,
+    time_limit: float = 120.0,
+) -> list[ContinentalFinding]:
+    """Run the fixed-demand analysis per continent and on the backbone.
+
+    Demands whose endpoints share a continent are analyzed inside it;
+    demands between gateways are analyzed on the backbone.  Demands
+    between non-gateway nodes of different continents are skipped with a
+    note (analyzing them end-to-end requires the gateway-equivalence
+    transformation of Section 9; see :mod:`repro.network.virtual`).
+
+    Returns:
+        One finding per piece, ordered: continents (sorted), backbone.
+    """
+    split = split_continents(topology, assignment)
+    findings: list[ContinentalFinding] = []
+
+    def analyze_piece(name, piece, piece_demands):
+        if not piece_demands:
+            return ContinentalFinding(
+                name=name, result=None, skipped_reason="no demands",
+            )
+        try:
+            paths = PathSet.k_shortest(
+                piece, list(piece_demands), num_primary=num_primary,
+                num_backup=num_backup,
+            )
+        except Exception as exc:  # disconnected piece
+            return ContinentalFinding(
+                name=name, result=None, skipped_reason=str(exc),
+            )
+        config = RahaConfig(
+            fixed_demands=dict(piece_demands),
+            probability_threshold=probability_threshold,
+            time_limit=time_limit,
+        )
+        result = RahaAnalyzer(piece, paths, config).analyze()
+        return ContinentalFinding(name=name, result=result)
+
+    for name in sorted(split.continents):
+        piece = split.continents[name]
+        local = {
+            pair: volume for pair, volume in demands.items()
+            if assignment[pair[0]] == name and assignment[pair[1]] == name
+        }
+        findings.append(analyze_piece(name, piece, local))
+
+    backbone_nodes = set(split.backbone.nodes)
+    crossing = {
+        pair: volume for pair, volume in demands.items()
+        if assignment[pair[0]] != assignment[pair[1]]
+    }
+    on_backbone = {
+        pair: volume for pair, volume in crossing.items()
+        if pair[0] in backbone_nodes and pair[1] in backbone_nodes
+    }
+    findings.append(analyze_piece("backbone", split.backbone, on_backbone))
+    skipped = len(crossing) - len(on_backbone)
+    if skipped:
+        findings[-1].skipped_reason = (
+            f"{skipped} cross-continent demands not between gateways were "
+            "skipped; attach virtual gateway nodes to analyze them"
+        )
+    return findings

@@ -1,0 +1,58 @@
+"""ASCII tables for benchmark output.
+
+The paper's evaluation is figures; our benchmarks regenerate each one as
+a table of the same series (x value, series label, y value) so the shape
+-- who wins, by what factor, where crossovers fall -- is inspectable in
+CI logs without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence]) -> str:
+    """Render a fixed-width table with a title rule."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * len(widths))]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+#: Tables printed during this process, in order.  The benchmarks\'
+#: conftest replays them in pytest\'s terminal summary so the recorded
+#: ``pytest benchmarks/ --benchmark-only`` output contains every figure
+#: even though pytest captures per-test stdout.
+recorded_tables: list[str] = []
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Sequence[Sequence]) -> None:
+    """Print a table and record it for end-of-run replay.
+
+    The inline print is visible under ``-s`` (and in plain scripts); the
+    recorded copy is what survives pytest\'s output capture.
+    """
+    text = format_table(title, headers, rows)
+    recorded_tables.append(text)
+    print("\n" + text, flush=True)

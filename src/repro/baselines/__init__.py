@@ -1,0 +1,15 @@
+"""Baselines the paper compares Raha against.
+
+* :mod:`repro.baselines.naive` -- the prior-work adversary (QARC [38] /
+  Robust [9] style) that minimizes the failed network's *absolute*
+  performance instead of its degradation relative to the design point
+  (Figures 1 and 3).
+* Up-to-k failure analysis (FFC [27] / Yu [26] style) lives in
+  :mod:`repro.failures.enumeration` (exhaustive simulation) and is also
+  expressible as ``RahaConfig(max_failures=k)`` (MILP); both are used by
+  the Figure 5/6 benchmarks.
+"""
+
+from repro.baselines.naive import naive_fixed_peak, naive_worst_case
+
+__all__ = ["naive_fixed_peak", "naive_worst_case"]

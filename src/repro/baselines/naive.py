@@ -1,0 +1,84 @@
+"""The naive worst-case adversary of prior work.
+
+QARC [38] and Robust [9] "focus on the failures and demands that minimize
+the performance of the failed network but do not consider how this failed
+network performs relative to its design point" (Section 2.2).  Figure 1's
+middle panel shows the failure mode: with a total-flow objective the
+naive adversary simply shrinks the demands.
+
+Both entry points return the same :class:`DegradationResult` type as
+Raha, with the degradation computed *post hoc* against the design point,
+so benchmarks can compare them on the metric that matters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.analyzer import RahaAnalyzer
+from repro.core.config import RahaConfig
+from repro.core.degradation import DegradationResult
+from repro.network.demand import Pair
+from repro.network.topology import Topology
+from repro.paths.pathset import PathSet
+
+
+def naive_worst_case(
+    topology: Topology,
+    paths: PathSet,
+    demand_bounds: Mapping[Pair, tuple[float, float]],
+    max_failures: int | None = None,
+    probability_threshold: float | None = None,
+    connected_enforced: bool = False,
+    time_limit: float | None = 1000.0,
+) -> DegradationResult:
+    """Jointly pick demands and failures minimizing failed performance.
+
+    This is the comparison point of Figure 1 (middle): the adversary's
+    objective is the failed network's total flow, *not* the gap, so it
+    gravitates to small demands and reports scenarios whose degradation
+    is modest.
+
+    Returns:
+        A :class:`DegradationResult` whose ``failed_value`` is the naive
+        optimum and whose ``degradation`` is evaluated post hoc.
+    """
+    config = RahaConfig(
+        demand_bounds=dict(demand_bounds),
+        max_failures=max_failures,
+        probability_threshold=probability_threshold,
+        connected_enforced=connected_enforced,
+        minimize_performance=True,
+        time_limit=time_limit,
+    )
+    result = RahaAnalyzer(topology, paths, config).analyze()
+    result.notes.append("naive objective: minimized failed performance")
+    return result
+
+
+def naive_fixed_peak(
+    topology: Topology,
+    paths: PathSet,
+    peak_demands: Mapping[Pair, float],
+    max_failures: int | None = None,
+    probability_threshold: float | None = None,
+    connected_enforced: bool = False,
+    time_limit: float | None = 1000.0,
+) -> DegradationResult:
+    """Fix demands at a peak and find failures minimizing performance.
+
+    This is Figure 3's "Max"/"Average" baseline: intuition says setting
+    the demand to its peak should also reveal the worst degradation, but
+    backup-path activation makes degradation depend on the design point,
+    so this under-reports relative to Raha's joint search.
+    """
+    config = RahaConfig(
+        fixed_demands=dict(peak_demands),
+        max_failures=max_failures,
+        probability_threshold=probability_threshold,
+        connected_enforced=connected_enforced,
+        time_limit=time_limit,
+    )
+    result = RahaAnalyzer(topology, paths, config).analyze()
+    result.notes.append("baseline: fixed peak demand, failure search only")
+    return result

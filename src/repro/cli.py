@@ -1,0 +1,298 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror Raha's two operational modes plus utilities:
+
+* ``analyze`` -- find the worst probable degradation of a topology
+  (fixed or variable demands) and print an operator report.
+* ``augment`` -- compute the capacity augment that removes all probable
+  degradations.
+* ``paths`` -- compute and save a k-shortest-path configuration.
+* ``fig2``   -- the max-simultaneous-failures envelope of a topology.
+
+Topologies are JSON (see :mod:`repro.network.serialization`) or GraphML;
+demands and paths are JSON.  Example round trip::
+
+    python -m repro paths --topology wan.json --pairs all \\
+        --primary 4 --backup 1 --out paths.json
+    python -m repro analyze --topology wan.json --paths paths.json \\
+        --demands demands.json --threshold 1e-4 --report report.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.analyzer import RahaAnalyzer
+from repro.core.augment import augment_existing_lags
+from repro.core.config import RahaConfig
+from repro.core.report import degradation_report
+from repro.network import serialization as ser
+from repro.network.demand import all_pairs, demand_envelope
+from repro.network.topology import Topology
+from repro.paths.pathset import PathSet
+
+
+def _load_topology(path: str) -> Topology:
+    if path.endswith((".graphml", ".xml")):
+        from repro.network.graphml import read_graphml
+
+        return read_graphml(path)
+    return ser.topology_from_dict(ser.load_json(path))
+
+
+def _load_paths(path: str) -> PathSet:
+    return ser.paths_from_dict(ser.load_json(path))
+
+
+def _load_demands(path: str):
+    return ser.demands_from_dict(ser.load_json(path))
+
+
+def _cmd_paths(args) -> int:
+    topology = _load_topology(args.topology)
+    if args.pairs == "all":
+        pairs = all_pairs(topology)
+    else:
+        pairs = [tuple(p.split("~", 1)) for p in args.pairs.split(",")]
+    paths = PathSet.k_shortest(topology, pairs, num_primary=args.primary,
+                               num_backup=args.backup)
+    ser.save_json(ser.paths_to_dict(paths), args.out)
+    print(f"wrote {len(paths)} demands' paths to {args.out}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    topology = _load_topology(args.topology)
+    paths = _load_paths(args.paths)
+    demands = _load_demands(args.demands)
+    if args.variable:
+        config = RahaConfig(
+            demand_bounds=demand_envelope(demands, slack=args.slack),
+            probability_threshold=args.threshold,
+            max_failures=args.max_failures,
+            connected_enforced=args.connected_enforced,
+            time_limit=args.time_limit,
+        )
+    else:
+        config = RahaConfig(
+            fixed_demands=dict(demands),
+            probability_threshold=args.threshold,
+            max_failures=args.max_failures,
+            connected_enforced=args.connected_enforced,
+            time_limit=args.time_limit,
+        )
+    result = RahaAnalyzer(topology, paths, config).analyze()
+    report = degradation_report(topology, paths, result)
+    print(report)
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report + "\n")
+    if args.out:
+        ser.save_json(ser.result_to_dict(result), args.out)
+    if args.tolerance is not None:
+        return 2 if result.normalized_degradation > args.tolerance else 0
+    return 0
+
+
+def _cmd_augment(args) -> int:
+    topology = _load_topology(args.topology)
+    paths = _load_paths(args.paths)
+    demands = _load_demands(args.demands)
+    config = RahaConfig(
+        fixed_demands=dict(demands),
+        probability_threshold=args.threshold,
+        max_failures=args.max_failures,
+        time_limit=args.time_limit,
+    )
+    result = augment_existing_lags(
+        topology, paths, config,
+        link_capacity=args.link_capacity,
+        new_links_can_fail=not args.reliable,
+        max_steps=args.max_steps,
+    )
+    print(f"initial degradation: {result.initial_degradation:g}")
+    for i, step in enumerate(result.steps, 1):
+        adds = ", ".join(f"{k[0]}-{k[1]} +{n}"
+                         for k, n in sorted(step.links_added.items()))
+        print(f"step {i}: degradation {step.degradation_before:g}; "
+              f"added {adds}")
+    print(f"converged: {result.converged} "
+          f"({result.total_links_added} links in {result.num_steps} steps)")
+    if args.out:
+        ser.save_json(ser.topology_to_dict(result.topology), args.out)
+        print(f"wrote augmented topology to {args.out}")
+    return 0 if result.converged else 3
+
+
+def _cmd_availability(args) -> int:
+    from repro.failures.montecarlo import estimate_availability
+
+    topology = _load_topology(args.topology)
+    paths = _load_paths(args.paths)
+    demands = _load_demands(args.demands)
+    estimate = estimate_availability(
+        topology, dict(demands), paths,
+        samples=args.samples,
+        degradation_threshold=args.threshold_traffic,
+        seed=args.seed,
+    )
+    print(f"samples: {estimate.samples}")
+    print(f"healthy flow: {estimate.healthy_flow:g}")
+    print(f"expected degradation: {estimate.expected_degradation:g}")
+    print(f"availability: {estimate.availability:.6f}")
+    print(f"P(degradation > {args.threshold_traffic:g}): "
+          f"{estimate.exceedance_probability:.4f}")
+    print(f"p95 degradation: {estimate.quantile(0.95):g}")
+    print(f"worst sampled: {estimate.worst_sampled:g} "
+          f"({estimate.worst_scenario})")
+    if args.out:
+        payload = {
+            "samples": estimate.samples,
+            "healthy_flow": estimate.healthy_flow,
+            "expected_degradation": estimate.expected_degradation,
+            "availability": estimate.availability,
+            "exceedance_probability": estimate.exceedance_probability,
+            "worst_sampled": estimate.worst_sampled,
+        }
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+    return 0
+
+
+def _cmd_continents(args) -> int:
+    from repro.analysis.continental import analyze_continents
+
+    topology = _load_topology(args.topology)
+    demands = _load_demands(args.demands)
+    with open(args.assignment) as handle:
+        assignment = json.load(handle)
+    findings = analyze_continents(
+        topology, assignment, dict(demands),
+        num_primary=args.primary, num_backup=args.backup,
+        probability_threshold=args.threshold,
+        time_limit=args.time_limit,
+    )
+    worst = 0.0
+    for finding in findings:
+        if finding.result is None:
+            print(f"{finding.name}: skipped ({finding.skipped_reason})")
+            continue
+        result = finding.result
+        print(f"{finding.name}: {result.summary()}")
+        if finding.skipped_reason:
+            print(f"  note: {finding.skipped_reason}")
+        worst = max(worst, result.normalized_degradation)
+    if args.tolerance is not None:
+        return 2 if worst > args.tolerance else 0
+    return 0
+
+
+def _cmd_fig2(args) -> int:
+    from repro.failures.probability import max_simultaneous_failures
+
+    topology = _load_topology(args.topology)
+    rows = []
+    for token in args.thresholds.split(","):
+        threshold = float(token)
+        count, _ = max_simultaneous_failures(topology, threshold)
+        rows.append((threshold, count))
+        print(f"T={threshold:g}: up to {count} simultaneous link failures")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump([{"threshold": t, "max_failures": c}
+                       for t, c in rows], handle, indent=2)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Raha: analyze probable worst-case WAN degradation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_paths = sub.add_parser("paths", help="compute k-shortest paths")
+    p_paths.add_argument("--topology", required=True)
+    p_paths.add_argument("--pairs", default="all",
+                         help='"all" or comma list like "a~b,c~d"')
+    p_paths.add_argument("--primary", type=int, default=4)
+    p_paths.add_argument("--backup", type=int, default=1)
+    p_paths.add_argument("--out", required=True)
+    p_paths.set_defaults(func=_cmd_paths)
+
+    p_an = sub.add_parser("analyze", help="find the worst degradation")
+    p_an.add_argument("--topology", required=True)
+    p_an.add_argument("--paths", required=True)
+    p_an.add_argument("--demands", required=True)
+    p_an.add_argument("--variable", action="store_true",
+                      help="treat demands as envelope upper bounds")
+    p_an.add_argument("--slack", type=float, default=0.0)
+    p_an.add_argument("--threshold", type=float, default=None)
+    p_an.add_argument("--max-failures", type=int, default=None)
+    p_an.add_argument("--connected-enforced", action="store_true")
+    p_an.add_argument("--time-limit", type=float, default=1000.0)
+    p_an.add_argument("--tolerance", type=float, default=None,
+                      help="exit 2 when normalized degradation exceeds this")
+    p_an.add_argument("--report", default=None)
+    p_an.add_argument("--out", default=None)
+    p_an.set_defaults(func=_cmd_analyze)
+
+    p_aug = sub.add_parser("augment", help="compute a capacity augment")
+    p_aug.add_argument("--topology", required=True)
+    p_aug.add_argument("--paths", required=True)
+    p_aug.add_argument("--demands", required=True)
+    p_aug.add_argument("--threshold", type=float, default=None)
+    p_aug.add_argument("--max-failures", type=int, default=None)
+    p_aug.add_argument("--link-capacity", type=float, default=None)
+    p_aug.add_argument("--reliable", action="store_true",
+                       help="assume added capacity cannot fail")
+    p_aug.add_argument("--max-steps", type=int, default=10)
+    p_aug.add_argument("--time-limit", type=float, default=1000.0)
+    p_aug.add_argument("--out", default=None)
+    p_aug.set_defaults(func=_cmd_augment)
+
+    p_ct = sub.add_parser("continents",
+                          help="per-continent analysis (paper Section 9)")
+    p_ct.add_argument("--topology", required=True)
+    p_ct.add_argument("--demands", required=True)
+    p_ct.add_argument("--assignment", required=True,
+                      help='JSON mapping node -> continent name')
+    p_ct.add_argument("--primary", type=int, default=2)
+    p_ct.add_argument("--backup", type=int, default=1)
+    p_ct.add_argument("--threshold", type=float, default=1e-4)
+    p_ct.add_argument("--time-limit", type=float, default=600.0)
+    p_ct.add_argument("--tolerance", type=float, default=None,
+                      help="exit 2 when any piece exceeds this")
+    p_ct.set_defaults(func=_cmd_continents)
+
+    p_av = sub.add_parser("availability",
+                          help="Monte Carlo availability estimate")
+    p_av.add_argument("--topology", required=True)
+    p_av.add_argument("--paths", required=True)
+    p_av.add_argument("--demands", required=True)
+    p_av.add_argument("--samples", type=int, default=200)
+    p_av.add_argument("--threshold-traffic", type=float, default=0.0,
+                      help="exceedance statistic threshold (traffic units)")
+    p_av.add_argument("--seed", type=int, default=0)
+    p_av.add_argument("--out", default=None)
+    p_av.set_defaults(func=_cmd_availability)
+
+    p_f2 = sub.add_parser("fig2", help="max simultaneous failures vs T")
+    p_f2.add_argument("--topology", required=True)
+    p_f2.add_argument("--thresholds", default="1e-5,1e-4,1e-3,1e-2,1e-1")
+    p_f2.add_argument("--out", default=None)
+    p_f2.set_defaults(func=_cmd_fig2)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Raha's core: the degradation analyzer, encodings, augments, alerts.
+
+* :mod:`repro.core.config` -- :class:`RahaConfig`, the knob surface
+  (objective, probability threshold, max failures, CE, naive fail-over,
+  demand mode, timeouts).
+* :mod:`repro.core.encodings` -- the Section 5 MILP encodings: link/LAG/
+  path failure variables (Eqs. 3-4), backup activation and path-extension
+  capacities (Eq. 5), probability and count constraints (Section 5.1).
+* :mod:`repro.core.analyzer` -- :class:`RahaAnalyzer`, the public entry
+  point that assembles the Stackelberg game and returns a
+  :class:`repro.core.degradation.DegradationResult`.
+* :mod:`repro.core.augment` -- capacity augmentation (Section 7 and
+  Appendix C).
+* :mod:`repro.core.alerts` -- the two-tier operational alert pipeline.
+"""
+
+from repro.core.alerts import Alert, AlertPipeline
+from repro.core.analyzer import RahaAnalyzer
+from repro.core.augment import augment_existing_lags, augment_new_lags
+from repro.core.config import RahaConfig
+from repro.core.degradation import DegradationResult
+
+__all__ = [
+    "Alert",
+    "AlertPipeline",
+    "DegradationResult",
+    "RahaAnalyzer",
+    "RahaConfig",
+    "augment_existing_lags",
+    "augment_new_lags",
+]

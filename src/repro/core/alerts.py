@@ -1,0 +1,192 @@
+"""The two-tier operational alert pipeline (Sections 1 and 3).
+
+Operationally Raha runs online after every failure:
+
+1. **Tier 1 (fast, ~10 minutes)**: with demands fixed to the historical
+   peak per pair, check whether a probable failure scenario degrades the
+   network beyond tolerance.  The healthy optimum is a constant here, so
+   the MILP is small (Section 6).
+2. **Tier 2 (slow, < 1 hour)**: if tier 1 is clean, search demands *and*
+   failures jointly; alert if any demand within the operator's envelope
+   can be degraded.
+
+"If the impact goes beyond the operator's tolerance levels, then Raha
+raises an alert to notify them."
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.analyzer import RahaAnalyzer
+from repro.core.config import RahaConfig
+from repro.core.degradation import DegradationResult
+from repro.network.demand import Pair
+from repro.network.topology import Topology
+from repro.paths.pathset import PathSet
+
+
+class AlertSeverity(enum.Enum):
+    """How urgent an alert is."""
+
+    CRITICAL = "critical"  # tier-1: peak demand already degradable
+    WARNING = "warning"  # tier-2: some feasible demand is degradable
+    INFO = "info"  # analysis ran clean
+
+
+@dataclass
+class Alert:
+    """One pipeline outcome.
+
+    Attributes:
+        severity: Urgency tier.
+        message: Human-readable description for the on-call channel.
+        result: The full analysis result backing the alert.
+        tier: 1 for the fast fixed-demand check, 2 for the joint search.
+    """
+
+    severity: AlertSeverity
+    message: str
+    result: DegradationResult
+    tier: int
+
+    @property
+    def fired(self) -> bool:
+        """Whether this alert indicates a problem."""
+        return self.severity != AlertSeverity.INFO
+
+
+class AlertPipeline:
+    """Run Raha's two-tier online check.
+
+    Args:
+        topology: The current WAN state.
+        paths: Configured paths.
+        tolerance: Normalized degradation above which to alert.
+        probability_threshold: "Probable" floor ``T`` for scenarios.
+        fast_time_limit: Solver budget for tier 1 (paper: 10 minutes).
+        slow_time_limit: Solver budget for tier 2 (paper: under an hour).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        paths: PathSet,
+        tolerance: float = 0.0,
+        probability_threshold: float | None = 1e-4,
+        fast_time_limit: float = 600.0,
+        slow_time_limit: float = 3600.0,
+    ):
+        self.topology = topology
+        self.paths = paths
+        self.tolerance = tolerance
+        self.probability_threshold = probability_threshold
+        self.fast_time_limit = fast_time_limit
+        self.slow_time_limit = slow_time_limit
+
+    def check_fixed(self, peak_demands: Mapping[Pair, float]) -> Alert:
+        """Tier 1: fixed peak demands, failure search only."""
+        config = RahaConfig(
+            fixed_demands=dict(peak_demands),
+            probability_threshold=self.probability_threshold,
+            time_limit=self.fast_time_limit,
+        )
+        result = RahaAnalyzer(self.topology, self.paths, config).analyze()
+        if result.normalized_degradation > self.tolerance:
+            return Alert(
+                severity=AlertSeverity.CRITICAL,
+                message=(
+                    "probable failure scenario degrades peak traffic by "
+                    f"{result.normalized_degradation:.3g}x the average LAG "
+                    f"capacity ({result.scenario.num_failed_links} links)"
+                ),
+                result=result,
+                tier=1,
+            )
+        return Alert(
+            severity=AlertSeverity.INFO,
+            message="peak demand is safe against probable failures",
+            result=result,
+            tier=1,
+        )
+
+    def check_variable(
+        self, demand_bounds: Mapping[Pair, tuple[float, float]]
+    ) -> Alert:
+        """Tier 2: joint search over demands within the envelope."""
+        config = RahaConfig(
+            demand_bounds=dict(demand_bounds),
+            probability_threshold=self.probability_threshold,
+            time_limit=self.slow_time_limit,
+        )
+        result = RahaAnalyzer(self.topology, self.paths, config).analyze()
+        if result.normalized_degradation > self.tolerance:
+            return Alert(
+                severity=AlertSeverity.WARNING,
+                message=(
+                    "a demand within the envelope can be degraded by "
+                    f"{result.normalized_degradation:.3g}x the average LAG "
+                    "capacity under probable failures"
+                ),
+                result=result,
+                tier=2,
+            )
+        return Alert(
+            severity=AlertSeverity.INFO,
+            message="no demand in the envelope is degradable",
+            result=result,
+            tier=2,
+        )
+
+    def run(
+        self,
+        peak_demands: Mapping[Pair, float],
+        demand_bounds: Mapping[Pair, tuple[float, float]],
+    ) -> list[Alert]:
+        """The full pipeline: tier 1, then tier 2 only if tier 1 is clean."""
+        first = self.check_fixed(peak_demands)
+        if first.fired:
+            return [first]
+        second = self.check_variable(demand_bounds)
+        return [first, second]
+
+    def after_failure(
+        self,
+        occurred,
+        peak_demands: Mapping[Pair, float],
+        demand_bounds: Mapping[Pair, tuple[float, float]] | None = None,
+    ) -> tuple["AlertPipeline", list[Alert]]:
+        """Re-run the pipeline on the WAN degraded by an actual failure.
+
+        The paper's online loop: Raha "runs immediately after each
+        failure occurs to check whether there exists a probable failure
+        that can significantly impact our network" -- before the next
+        event consumes the remaining lead time.
+
+        Args:
+            occurred: The :class:`repro.failures.FailureScenario` that
+                materialized.
+            peak_demands: Tier-1 fixed demands.
+            demand_bounds: Tier-2 envelope; tier 2 is skipped when
+                ``None``.
+
+        Returns:
+            ``(degraded_pipeline, alerts)`` -- the pipeline bound to the
+            degraded topology (reusable for the *next* failure) and the
+            alerts it raised.
+        """
+        degraded = occurred.applied_to(self.topology)
+        pipeline = AlertPipeline(
+            degraded, self.paths,
+            tolerance=self.tolerance,
+            probability_threshold=self.probability_threshold,
+            fast_time_limit=self.fast_time_limit,
+            slow_time_limit=self.slow_time_limit,
+        )
+        if demand_bounds is None:
+            alerts = [pipeline.check_fixed(peak_demands)]
+        else:
+            alerts = pipeline.run(peak_demands, demand_bounds)
+        return pipeline, alerts

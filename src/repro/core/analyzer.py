@@ -1,0 +1,621 @@
+"""The Raha analyzer: find the worst probable degradation of a WAN.
+
+:class:`RahaAnalyzer` assembles the Stackelberg game of Section 4.1:
+
+* the **outer** adversary controls demands (in joint mode) and per-link
+  failure binaries, under the Section 5.1 constraints;
+* **inner problem 1** is the healthy network's TE optimization over
+  primary paths (the design point) -- aligned, embedded as a primal (or
+  pre-solved to a constant in fixed-demand mode, Section 6);
+* **inner problem 2** is the failed network's TE optimization with
+  variable LAG capacities and path-extension capacities (Section 5) --
+  adversarial, pinned by KKT conditions.
+
+Every solve is followed (by default) by two independent checks:
+
+1. the KKT embedding is verified by re-solving the inner LP at the found
+   outer assignment (:meth:`StackelbergProblem.verify`);
+2. the extracted (demand, scenario) pair is *simulated* through the plain
+   TE code path (:func:`repro.failures.scenario.simulate_failed_network`)
+   and the simulated degradation must match the MILP's.
+
+A Raha result therefore never rests on the MILP encoding alone.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+
+from repro.core.config import RahaConfig
+from repro.core.degradation import DegradationResult
+from repro.core.encodings import (
+    FailureEncoding,
+    add_naive_failover_constraints,
+    build_path_extension_caps,
+)
+from repro.exceptions import ModelingError, SolverError, VerificationError
+from repro.failures.probability import scenario_probability
+from repro.failures.scenario import (
+    FailureScenario,
+    active_paths,
+    path_is_down,
+    simulate_failed_network,
+)
+from repro.metaopt.bilevel import StackelbergProblem
+from repro.network.demand import DemandMatrix, Pair
+from repro.network.topology import LagKey, Topology, lag_key
+from repro.paths.pathset import PathSet
+from repro.solver.duality import InnerLP
+from repro.solver.expr import quicksum
+from repro.solver.result import SolveResult
+from repro.te.maxmin import GeometricBinnerTE
+from repro.te.mlu import MluTE
+from repro.te.total_flow import TotalFlowTE
+
+
+class RahaAnalyzer:
+    """Analyze worst-case degradation of a traffic-engineered WAN.
+
+    Args:
+        topology: The WAN (LAGs of links, optionally with probabilities).
+        paths: Configured primary/backup paths per demand pair; compute
+            with :meth:`repro.paths.PathSet.k_shortest` if the operator
+            has no path input (the paper's default).
+        config: Analysis knobs (:class:`repro.core.config.RahaConfig`).
+        non_failable_lags: LAGs whose links the failure search must keep
+            up (virtual gateway LAGs, freshly augmented capacity that is
+            assumed not to fail, ...).
+
+    Example:
+        >>> from repro.network.builder import motivating_example
+        >>> from repro.network.demand import demand_envelope
+        >>> topo = motivating_example()
+        >>> paths = PathSet.k_shortest(
+        ...     topo, [("B", "D"), ("C", "D")], num_primary=1, num_backup=1)
+        >>> config = RahaConfig(
+        ...     demand_bounds={("B", "D"): (0, 18), ("C", "D"): (0, 15)},
+        ...     max_failures=1)
+        >>> result = RahaAnalyzer(topo, paths, config).analyze()
+        >>> round(result.degradation, 3) > 0
+        True
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        paths: PathSet,
+        config: RahaConfig,
+        non_failable_lags=(),
+    ):
+        self.topology = topology
+        self.paths = paths
+        self.config = config
+        self.non_failable_lags = frozenset(
+            lag_key(*k) for k in non_failable_lags
+        )
+        self._validate()
+
+    def _validate(self) -> None:
+        self.paths.validate_against(self.topology)
+        for pair in self.config.pairs:
+            if pair not in self.paths:
+                raise ModelingError(f"demand {pair} has no configured paths")
+        if self.config.probability_threshold is not None:
+            # At least one failable link must carry a probability,
+            # otherwise the analysis is vacuous.
+            if not any(
+                link.failure_probability is not None
+                for lag in self.topology.lags
+                for link in lag.links
+            ):
+                raise ModelingError(
+                    "probability_threshold requires link failure "
+                    "probabilities (see assign_zoo_probabilities)"
+                )
+
+    # -- public API ----------------------------------------------------------
+    def analyze(self) -> DegradationResult:
+        """Build the game, solve it, verify, and report the worst case."""
+        encode_started = time.monotonic()
+        game = StackelbergProblem(f"raha-{self.config.objective}")
+        model = game.model
+
+        demand_exprs, demand_uppers = self._demand_variables(model)
+        encoding = FailureEncoding(
+            model=model,
+            topology=self.topology,
+            paths=self.paths,
+            config=self.config,
+            non_failable_lags=self.non_failable_lags,
+        )
+        caps = build_path_extension_caps(
+            model, encoding, demand_exprs, demand_uppers,
+            kill_down_paths=(self.config.objective == "mlu"),
+        )
+        for constraint in self.config.extra_outer_constraints:
+            model.add_constr(constraint)
+        for builder in self.config.constraint_builders:
+            builder(model, encoding, demand_exprs)
+
+        builder = {
+            "total_flow": self._build_total_flow,
+            "mlu": self._build_mlu,
+            "maxmin": self._build_maxmin,
+        }[self.config.objective]
+        context = builder(game, encoding, caps, demand_exprs, demand_uppers)
+        encode_seconds = time.monotonic() - encode_started
+
+        result = game.solve(
+            time_limit=self.config.time_limit,
+            mip_rel_gap=self.config.mip_rel_gap,
+        )
+        if not result.status.ok or result.x is None:
+            raise SolverError(
+                f"Raha MILP ended with {result.status.value}: {result.message}"
+            )
+
+        return self._finalize(
+            game, encoding, demand_exprs, context, result, encode_seconds
+        )
+
+    # -- demands ----------------------------------------------------------------
+    def _demand_variables(self, model):
+        """Demand per pair: a leader Var in joint mode, a float otherwise."""
+        exprs: dict[Pair, object] = {}
+        uppers: dict[Pair, float] = {}
+        if self.config.fixed_demands is not None:
+            for pair, volume in self.config.fixed_demands.items():
+                exprs[pair] = float(volume)
+                uppers[pair] = float(volume)
+        else:
+            for pair, (lo, hi) in self.config.demand_bounds.items():
+                exprs[pair] = model.add_var(lb=lo, ub=hi, name=f"d[{pair}]")
+                uppers[pair] = float(hi)
+        return exprs, uppers
+
+    # -- total-flow objective (Section 5) ------------------------------------------
+    def _build_total_flow(self, game, encoding, caps, demand_exprs,
+                          demand_uppers):
+        fixed = self.config.fixed_demands is not None
+        healthy_const = None
+        healthy_inner = None
+        g_vars: dict[tuple[Pair, int], object] = {}
+
+        if self.config.minimize_performance:
+            # The naive prior-work objective: ignore the design point,
+            # just minimize the failed network's performance.  The
+            # healthy value is reconstructed post hoc in _finalize.
+            pass
+        elif fixed:
+            healthy = TotalFlowTE(primary_only=True).solve(
+                self.topology, self.config.fixed_demands, self.paths
+            )
+            if not healthy.feasible:
+                raise SolverError("healthy-network TE is infeasible")
+            healthy_const = healthy.total_flow
+        else:
+            healthy_inner = game.aligned_inner("healthy", sense="max")
+            self._add_flow_lp(
+                healthy_inner, demand_exprs, demand_uppers,
+                primaries_only=True, lag_capacity=None, caps=None,
+                flow_vars=g_vars,
+            )
+
+        failed_inner = game.adversarial_inner("failed", sense="max")
+        f_vars: dict[tuple[Pair, int], object] = {}
+        self._add_flow_lp(
+            failed_inner, demand_exprs, demand_uppers,
+            primaries_only=False, lag_capacity=encoding.lag_capacity,
+            caps=caps, flow_vars=f_vars,
+        )
+        if self.config.naive_failover:
+            add_naive_failover_constraints(
+                game.model, self.paths, g_vars, f_vars
+            )
+
+        if self.config.minimize_performance:
+            game.set_objective_terms([(failed_inner, -1.0)])
+        elif fixed:
+            game.set_objective_terms([(failed_inner, -1.0)],
+                                     extra=healthy_const)
+        else:
+            game.set_gap_objective(healthy_inner, failed_inner)
+        return {
+            "healthy_inner": healthy_inner,
+            "failed_inner": failed_inner,
+            "healthy_const": healthy_const,
+        }
+
+    def _add_flow_lp(self, inner: InnerLP, demand_exprs, demand_uppers,
+                     primaries_only: bool, lag_capacity, caps, flow_vars):
+        """Eq. 2 with either constant or variable capacities.
+
+        Dual bounds of 1 are *provably valid* here: the constraint matrix
+        over the inner flow variables is 0/1 and every objective
+        coefficient is 1, so at any dual vertex each positive dual solves
+        a subsystem of "sum of nonnegatives = 1" equations and is <= 1.
+        """
+        topo = self.topology
+        per_lag: dict[LagKey, list] = defaultdict(list)
+        for pair in self.config.pairs:
+            dp = self.paths[pair]
+            count = dp.num_primary if primaries_only else len(dp.paths)
+            d_hi = demand_uppers[pair]
+            terms = []
+            for j in range(count):
+                var = inner.add_var(
+                    obj_coef=1.0, value_bound=d_hi,
+                    name=f"{inner.name}:f[{pair}][{j}]",
+                )
+                flow_vars[(pair, j)] = var
+                terms.append(var)
+                for lag in topo.lags_on_path(dp.paths[j]):
+                    per_lag[lag.key].append(var)
+                if caps is not None:
+                    cap = caps.get((pair, j))
+                    if cap is not None:
+                        inner.add_constr(
+                            var <= cap, dual_bound=1.0, slack_bound=d_hi,
+                            name=f"{inner.name}:gate[{pair}][{j}]",
+                        )
+            inner.add_constr(
+                quicksum(terms) <= demand_exprs[pair],
+                dual_bound=1.0, slack_bound=d_hi,
+                name=f"{inner.name}:dem[{pair}]",
+            )
+        for key, vars_on_lag in per_lag.items():
+            healthy_cap = topo.require_lag(*key).capacity
+            rhs = lag_capacity[key] if lag_capacity is not None else healthy_cap
+            inner.add_constr(
+                quicksum(vars_on_lag) <= rhs,
+                dual_bound=1.0, slack_bound=healthy_cap,
+                name=f"{inner.name}:cap[{key}]",
+            )
+
+    # -- MLU objective (Appendix A) -------------------------------------------------
+    def _mlu_bounds(self, demand_uppers):
+        total_demand = sum(demand_uppers.values())
+        caps = [lag.capacity for lag in self.topology.lags if lag.capacity > 0]
+        min_cap = min(caps) if caps else 1.0
+        u_max = total_demand / min_cap + 1.0
+        dual_eq = 2.0 * (1.0 + sum(1.0 / c for c in caps))
+        return u_max, dual_eq
+
+    def _build_mlu(self, game, encoding, caps, demand_exprs, demand_uppers):
+        fixed = self.config.fixed_demands is not None
+        u_max, dual_eq = self._mlu_bounds(demand_uppers)
+        healthy_const = None
+        healthy_inner = None
+
+        if fixed:
+            healthy = MluTE(primary_only=True).solve(
+                self.topology, self.config.fixed_demands, self.paths
+            )
+            if not healthy.feasible:
+                raise SolverError("healthy MLU is infeasible (disconnected?)")
+            healthy_const = healthy.objective
+        else:
+            healthy_inner = game.aligned_inner("healthy", sense="min")
+            self._add_mlu_lp(
+                healthy_inner, demand_exprs, demand_uppers,
+                primaries_only=True, caps=None, u_max=u_max, dual_eq=dual_eq,
+            )
+
+        failed_inner = game.adversarial_inner("failed", sense="min")
+        self._add_mlu_lp(
+            failed_inner, demand_exprs, demand_uppers,
+            primaries_only=False, caps=caps, u_max=u_max, dual_eq=dual_eq,
+        )
+
+        if fixed:
+            game.set_objective_terms([(failed_inner, 1.0)],
+                                     extra=-healthy_const)
+        else:
+            game.set_gap_objective(healthy_inner, failed_inner)
+        return {
+            "healthy_inner": healthy_inner,
+            "failed_inner": failed_inner,
+            "healthy_const": healthy_const,
+        }
+
+    def _add_mlu_lp(self, inner: InnerLP, demand_exprs, demand_uppers,
+                    primaries_only: bool, caps, u_max, dual_eq):
+        """Appendix A's MLU model.
+
+        Capacity constraints use the *original* capacities against ``U``;
+        failures act purely through the path-extension capacities (which
+        here also kill down paths).  Dual bounds: the stationarity of
+        ``U`` forces ``sum_e C_e mu_e = 1`` whenever ``U > 0``, giving
+        ``mu_e <= 1/C_e``; equality and gating duals are bounded by the
+        generous ``dual_eq`` (post-solve verification guards the choice).
+        """
+        topo = self.topology
+        u_var = inner.add_var(obj_coef=1.0, value_bound=u_max,
+                              name=f"{inner.name}:U")
+        per_lag: dict[LagKey, list] = defaultdict(list)
+        for pair in self.config.pairs:
+            dp = self.paths[pair]
+            count = dp.num_primary if primaries_only else len(dp.paths)
+            d_hi = demand_uppers[pair]
+            terms = []
+            for j in range(count):
+                var = inner.add_var(
+                    obj_coef=0.0, value_bound=d_hi,
+                    name=f"{inner.name}:f[{pair}][{j}]",
+                )
+                terms.append(var)
+                for lag in topo.lags_on_path(dp.paths[j]):
+                    per_lag[lag.key].append(var)
+                if caps is not None:
+                    cap = caps.get((pair, j))
+                    if cap is not None:
+                        inner.add_constr(
+                            var <= cap, dual_bound=dual_eq,
+                            slack_bound=d_hi,
+                            name=f"{inner.name}:gate[{pair}][{j}]",
+                        )
+            # MLU requires demands be fully routed.
+            inner.add_constr(
+                quicksum(terms) == demand_exprs[pair],
+                dual_bound=dual_eq,
+                name=f"{inner.name}:dem[{pair}]",
+            )
+        for key, vars_on_lag in per_lag.items():
+            capacity = topo.require_lag(*key).capacity
+            if capacity <= 0:
+                inner.add_constr(
+                    quicksum(vars_on_lag) <= 0.0, dual_bound=dual_eq,
+                    slack_bound=1.0, name=f"{inner.name}:zero[{key}]",
+                )
+                continue
+            inner.add_constr(
+                quicksum(vars_on_lag) - capacity * u_var <= 0,
+                dual_bound=2.0 / capacity,
+                slack_bound=capacity * u_max,
+                name=f"{inner.name}:util[{key}]",
+            )
+
+    # -- max-min objective (Appendix A) ------------------------------------------------
+    def _binner(self, demand_uppers) -> GeometricBinnerTE:
+        from repro.te.maxmin import EquiDepthBinnerTE
+
+        max_demand = max(demand_uppers.values()) if demand_uppers else 1.0
+        binner_cls = (
+            EquiDepthBinnerTE if self.config.maxmin_binner == "equidepth"
+            else GeometricBinnerTE
+        )
+        binner = binner_cls(
+            num_bins=self.config.maxmin_bins,
+            alpha=self.config.maxmin_alpha,
+        )
+        # Pin t0 so the MILP and the verification binner agree exactly.
+        binner.t0 = max(max_demand, 1e-9) / (
+            binner.alpha ** (binner.num_bins - 1)
+        )
+        return binner
+
+    def _build_maxmin(self, game, encoding, caps, demand_exprs,
+                      demand_uppers):
+        fixed = self.config.fixed_demands is not None
+        binner = self._binner(demand_uppers)
+        healthy_const = None
+        healthy_inner = None
+
+        if fixed:
+            healthy = binner.solve(
+                self.topology, self.config.fixed_demands, self.paths
+            )
+            if not healthy.feasible:
+                raise SolverError("healthy max-min TE is infeasible")
+            healthy_const = healthy.objective
+        else:
+            healthy_inner = game.aligned_inner("healthy", sense="max")
+            self._add_binner_lp(
+                healthy_inner, binner, demand_exprs, demand_uppers,
+                primaries_only=True, lag_capacity=None, caps=None,
+            )
+
+        failed_inner = game.adversarial_inner("failed", sense="max")
+        self._add_binner_lp(
+            failed_inner, binner, demand_exprs, demand_uppers,
+            primaries_only=False, lag_capacity=encoding.lag_capacity,
+            caps=caps,
+        )
+
+        if fixed:
+            game.set_objective_terms([(failed_inner, -1.0)],
+                                     extra=healthy_const)
+        else:
+            game.set_gap_objective(healthy_inner, failed_inner)
+        return {
+            "healthy_inner": healthy_inner,
+            "failed_inner": failed_inner,
+            "healthy_const": healthy_const,
+            "binner": binner,
+        }
+
+    def _add_binner_lp(self, inner: InnerLP, binner, demand_exprs,
+                       demand_uppers, primaries_only, lag_capacity, caps):
+        """The geometric binner LP with (possibly variable) capacities."""
+        topo = self.topology
+        max_demand = max(demand_uppers.values()) if demand_uppers else 1.0
+        widths = binner.bin_widths(max_demand)
+        weights = [binner.alpha ** (-i) for i in range(binner.num_bins)]
+        per_lag: dict[LagKey, list] = defaultdict(list)
+        for pair in self.config.pairs:
+            dp = self.paths[pair]
+            count = dp.num_primary if primaries_only else len(dp.paths)
+            d_hi = demand_uppers[pair]
+            terms = []
+            for j in range(count):
+                var = inner.add_var(
+                    obj_coef=0.0, value_bound=d_hi,
+                    name=f"{inner.name}:f[{pair}][{j}]",
+                )
+                terms.append(var)
+                for lag in topo.lags_on_path(dp.paths[j]):
+                    per_lag[lag.key].append(var)
+                if caps is not None:
+                    cap = caps.get((pair, j))
+                    if cap is not None:
+                        inner.add_constr(
+                            var <= cap, dual_bound=2.0, slack_bound=d_hi,
+                            name=f"{inner.name}:gate[{pair}][{j}]",
+                        )
+            bins = []
+            for i, width in enumerate(widths):
+                b = inner.add_var(
+                    obj_coef=weights[i], value_bound=width,
+                    name=f"{inner.name}:b[{pair}][{i}]",
+                )
+                bins.append(b)
+                inner.add_constr(
+                    b <= width, dual_bound=2.0, slack_bound=width,
+                    name=f"{inner.name}:bw[{pair}][{i}]",
+                )
+            inner.add_constr(
+                quicksum(terms) == quicksum(bins), dual_bound=2.0,
+                name=f"{inner.name}:split[{pair}]",
+            )
+            inner.add_constr(
+                quicksum(terms) <= demand_exprs[pair],
+                dual_bound=2.0, slack_bound=d_hi,
+                name=f"{inner.name}:dem[{pair}]",
+            )
+        for key, vars_on_lag in per_lag.items():
+            healthy_cap = topo.require_lag(*key).capacity
+            rhs = lag_capacity[key] if lag_capacity is not None else healthy_cap
+            inner.add_constr(
+                quicksum(vars_on_lag) <= rhs, dual_bound=2.0,
+                slack_bound=healthy_cap, name=f"{inner.name}:cap[{key}]",
+            )
+
+    # -- finalize -----------------------------------------------------------------
+    def _finalize(self, game, encoding, demand_exprs, context,
+                  result: SolveResult, encode_seconds) -> DegradationResult:
+        scenario = encoding.extract_scenario(result)
+        demands = DemandMatrix()
+        for pair, expr in demand_exprs.items():
+            demands[pair] = (
+                float(expr) if isinstance(expr, float) else result.value(expr)
+            )
+
+        healthy_inner = context["healthy_inner"]
+        failed_inner = context["failed_inner"]
+        if healthy_inner is not None:
+            healthy_value = result.value(healthy_inner.objective_expr())
+        elif context["healthy_const"] is not None:
+            healthy_value = context["healthy_const"]
+        else:
+            # minimize_performance mode: the design point was not part of
+            # the optimization; reconstruct it for the found demands.
+            healthy_value = TotalFlowTE(primary_only=True).solve(
+                self.topology, demands, self.paths
+            ).total_flow
+        failed_value = result.value(failed_inner.objective_expr())
+        if self.config.objective == "mlu":
+            degradation = failed_value - healthy_value
+        else:
+            degradation = healthy_value - failed_value
+
+        verified = False
+        notes: list[str] = []
+        if self.config.verify:
+            game.verify(result)
+            self._verify_by_simulation(
+                context, demands, scenario, healthy_value, failed_value, notes
+            )
+            verified = True
+
+        probability = None
+        if self.topology.has_probabilities():
+            probability = scenario_probability(self.topology, scenario)
+
+        avg_cap = self.topology.average_lag_capacity()
+        normalizer = avg_cap if self.config.objective != "mlu" else 1.0
+        if self.config.objective == "mlu":
+            notes.append("MLU degradation is reported unnormalized")
+        return DegradationResult(
+            degradation=degradation,
+            normalized_degradation=degradation / normalizer,
+            demands=demands,
+            scenario=scenario,
+            healthy_value=healthy_value,
+            failed_value=failed_value,
+            scenario_probability=probability,
+            status=result.status.value,
+            solve_seconds=result.solve_seconds,
+            encode_seconds=encode_seconds,
+            path_seconds=self.paths.computation_seconds,
+            verified=verified,
+            num_binaries=game.model.num_integer_vars,
+            num_variables=game.model.num_vars,
+            num_constraints=game.model.num_constraints,
+            notes=notes,
+        )
+
+    def _verify_by_simulation(self, context, demands, scenario,
+                              healthy_value, failed_value, notes) -> None:
+        """Cross-check the MILP against the plain TE code path."""
+        tol = 1e-3 * max(1.0, abs(healthy_value), abs(failed_value))
+        objective = self.config.objective
+        if objective == "total_flow":
+            healthy = TotalFlowTE(primary_only=True).solve(
+                self.topology, demands, self.paths
+            )
+            failed = simulate_failed_network(
+                self.topology, demands, self.paths, scenario
+            )
+            sim_healthy, sim_failed = healthy.total_flow, failed.total_flow
+        elif objective == "mlu":
+            healthy = MluTE(primary_only=True).solve(
+                self.topology, demands, self.paths
+            )
+            failed = simulate_failed_mlu(
+                self.topology, demands, self.paths, scenario
+            )
+            sim_healthy, sim_failed = healthy.objective, failed.objective
+        else:  # maxmin
+            binner = context["binner"]
+            healthy = binner.solve(self.topology, demands, self.paths)
+            failed = simulate_failed_network(
+                self.topology, demands, self.paths, scenario,
+                te_factory=lambda: type(binner)(
+                    num_bins=binner.num_bins, alpha=binner.alpha,
+                    t0=binner.t0, primary_only=False,
+                ),
+            )
+            sim_healthy, sim_failed = healthy.objective, failed.objective
+
+        if abs(sim_healthy - healthy_value) > tol:
+            raise VerificationError(
+                f"healthy value mismatch: MILP {healthy_value:.6g} vs "
+                f"simulated {sim_healthy:.6g}"
+            )
+        if abs(sim_failed - failed_value) > tol:
+            raise VerificationError(
+                f"failed value mismatch: MILP {failed_value:.6g} vs "
+                f"simulated {sim_failed:.6g}"
+            )
+        notes.append("simulation cross-check passed")
+
+
+def simulate_failed_mlu(topology: Topology, demands, paths: PathSet,
+                        scenario: FailureScenario):
+    """Simulate the failed network under Appendix A's MLU semantics.
+
+    MLU mode measures utilization against the *original* capacities and
+    removes traffic from failed infrastructure purely through path kills:
+    a path is unusable when it is down or (for backups) not yet activated.
+    """
+    down = scenario.down_lags(topology)
+    path_caps = {}
+    for pair, dp in paths.items():
+        allowed = set(active_paths(topology, dp, down))
+        for path in dp.paths:
+            if path not in allowed or path_is_down(topology, path, down):
+                path_caps[(pair, path)] = 0.0
+    return MluTE(primary_only=False).solve(
+        topology, demands, paths, path_caps=path_caps
+    )

@@ -1,0 +1,596 @@
+"""Capacity augmentation (Section 7 and Appendix C).
+
+Raha's second usage mode: once a probable degrading scenario exists, find
+the cheapest capacity additions that remove *all* probable degradations.
+The paper's iterative loop:
+
+1. run the analyzer; if no probable scenario degrades the network, stop;
+2. otherwise solve a MILP choosing how many links to add to which LAGs so
+   that the failed network matches the healthy network's per-demand flows
+   for every (demand, scenario) pair found so far;
+3. apply the additions and repeat.
+
+Two augment types are supported:
+
+* :func:`augment_existing_lags` -- add links to LAGs that already exist;
+  the augment MILP keeps the path formulation and re-derives LAG/path
+  down-ness from the (now constant) scenario plus "did we repair this
+  LAG" indicators.
+* :func:`augment_new_lags` -- additionally create LAGs where none existed,
+  via the edge formulation of multi-commodity flow restricted to each
+  demand's pre-existing path edges plus the candidate LAGs (Appendix C),
+  with distance-based weights preferring candidates near impacted pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.core.analyzer import RahaAnalyzer
+from repro.core.config import RahaConfig
+from repro.exceptions import ModelingError, SolverError
+from repro.failures.scenario import FailureScenario
+from repro.network.demand import DemandMatrix, Pair
+from repro.network.topology import LagKey, Link, Topology, lag_key
+from repro.paths.ksp import shortest_path
+from repro.paths.pathset import PathSet
+from repro.solver.expr import quicksum
+from repro.solver.linearize import indicator_geq
+from repro.solver.model import Model
+from repro.te.total_flow import TotalFlowTE
+
+
+@dataclass
+class AugmentStep:
+    """One iteration of the augment loop.
+
+    Attributes:
+        degradation_before: Normalized degradation the analyzer found
+            before this step's additions.
+        links_added: Links added per LAG key in this step.
+    """
+
+    degradation_before: float
+    links_added: dict[LagKey, int] = field(default_factory=dict)
+
+    @property
+    def total_links(self) -> int:
+        return sum(self.links_added.values())
+
+
+@dataclass
+class AugmentResult:
+    """Outcome of the iterative augmentation loop.
+
+    Attributes:
+        topology: The augmented topology.
+        steps: Per-iteration records (Figure 11a/17a count these).
+        converged: Whether no probable degradation remains.
+        initial_degradation / final_degradation: Normalized degradations
+            before the first and after the last step.
+    """
+
+    topology: Topology
+    steps: list[AugmentStep]
+    converged: bool
+    initial_degradation: float
+    final_degradation: float
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def total_links_added(self) -> int:
+        """Figure 11c / 17c: links added across all steps."""
+        return sum(step.total_links for step in self.steps)
+
+    @property
+    def average_reduction(self) -> float:
+        """Figure 11b: mean per-step reduction of the degradation,
+        normalized by the initial degradation (1.0 = removed everything
+        in one step)."""
+        if not self.steps or self.initial_degradation <= 0:
+            return 0.0
+        drop = self.initial_degradation - self.final_degradation
+        return drop / self.initial_degradation / len(self.steps)
+
+
+def _augment_link_probability(topology: Topology, key: LagKey,
+                              can_fail: bool) -> float | None:
+    """Probability for newly added capacity.
+
+    The paper "use[s] the average across the failure probability of other
+    links on the same LAG"; when the LAG is new or probability-free, the
+    topology-wide average applies.  Non-failing augments get ``None``.
+    """
+    if not can_fail:
+        return None
+    lag = topology.lag_between(*key)
+    pools = []
+    if lag is not None:
+        pools = [l.failure_probability for l in lag.links
+                 if l.failure_probability is not None]
+    if not pools:
+        pools = [
+            l.failure_probability
+            for some_lag in topology.lags
+            for l in some_lag.links
+            if l.failure_probability is not None
+        ]
+    return sum(pools) / len(pools) if pools else None
+
+
+def _healthy_targets(topology: Topology, paths: PathSet,
+                     demands: DemandMatrix) -> dict[Pair, float]:
+    """Per-demand flow the healthy design point carries -- the bar the
+    failed-plus-augmented network must clear."""
+    healthy = TotalFlowTE(primary_only=True).solve(topology, demands, paths)
+    if not healthy.feasible:
+        raise SolverError("healthy network infeasible while computing targets")
+    return dict(healthy.pair_flows)
+
+
+def _solve_existing_lag_augment(
+    topology: Topology,
+    paths: PathSet,
+    pool: list[tuple[DemandMatrix, FailureScenario, dict[Pair, float]]],
+    link_capacity: float,
+    max_added_per_lag: int,
+    time_limit: float | None,
+) -> dict[LagKey, int]:
+    """The Section 7 augment MILP for existing LAGs.
+
+    Shared integer ``add_e`` (links added per LAG); for every pooled
+    (demand, scenario) the failed network with capacities
+    ``residual_e + add_e * c`` must carry each demand's healthy flow.
+    Repairing a dead LAG (``add_e >= 1``) revives the paths through it,
+    which in turn can deactivate backups -- the down/activation logic is
+    re-derived with repair indicators so the model matches the real
+    fail-over semantics.
+    """
+    model = Model("augment-existing")
+    adds = {
+        lag.key: model.add_var(integer=True, lb=0, ub=max_added_per_lag,
+                               name=f"add[{lag.key}]")
+        for lag in topology.lags
+    }
+    repaired = {}  # z_e = 1 iff add_e >= 1
+
+    def repair_indicator(key: LagKey):
+        if key not in repaired:
+            repaired[key] = indicator_geq(
+                model, adds[key].to_expr(), 1, expr_lb=0,
+                expr_ub=max_added_per_lag, name=f"repaired[{key}]",
+            )
+        return repaired[key]
+
+    for s_idx, (demands, scenario, targets) in enumerate(pool):
+        residual = scenario.residual_capacities(topology)
+        scenario_down = scenario.down_lags(topology)
+
+        # Effective down-ness per path: a scenario-down LAG stays down
+        # unless repaired.
+        path_down = {}
+        for pair, dp in paths.items():
+            for j, path in enumerate(dp.paths):
+                dead = [
+                    lag.key for lag in topology.lags_on_path(path)
+                    if lag.key in scenario_down
+                ]
+                if not dead:
+                    path_down[(pair, j)] = 0.0
+                    continue
+                not_repaired = quicksum(
+                    1 - repair_indicator(k).to_expr() for k in dead
+                )
+                pd = model.add_var(binary=True, name=f"pd{s_idx}[{pair}][{j}]")
+                model.add_constr(len(dead) * pd.to_expr() >= not_repaired)
+                model.add_constr(pd.to_expr() <= not_repaired)
+                path_down[(pair, j)] = pd
+
+        per_lag: dict[LagKey, list] = {}
+        for pair, dp in paths.items():
+            volume = demands.get(pair, 0.0)
+            terms = []
+            for j, path in enumerate(dp.paths):
+                var = model.add_var(name=f"f{s_idx}[{pair}][{j}]")
+                terms.append(var)
+                for lag in topology.lags_on_path(path):
+                    per_lag.setdefault(lag.key, []).append(var)
+                if j >= dp.num_primary:
+                    # Backup activation against the effective down-ness.
+                    higher = [path_down[(pair, i)] for i in range(j)]
+                    higher_vars = [u for u in higher
+                                   if not isinstance(u, float)]
+                    needed = j - dp.num_primary + 1
+                    if len(higher_vars) < needed:
+                        model.add_constr(var <= 0.0)
+                        continue
+                    act = indicator_geq(
+                        model, quicksum(higher_vars), needed, expr_lb=0,
+                        expr_ub=len(higher_vars),
+                        name=f"act{s_idx}[{pair}][{j}]",
+                    )
+                    model.add_constr(var <= volume * act.to_expr())
+            model.add_constr(quicksum(terms) <= volume)
+            model.add_constr(quicksum(terms) >= targets.get(pair, 0.0) - 1e-9)
+        for key, vars_on_lag in per_lag.items():
+            model.add_constr(
+                quicksum(vars_on_lag)
+                <= residual[key] + link_capacity * adds[key].to_expr()
+            )
+
+    model.set_objective(quicksum(a for a in adds.values()), sense="min")
+    result = model.solve(time_limit=time_limit)
+    if not result.status.ok or result.x is None:
+        raise SolverError(
+            f"augment MILP failed ({result.status.value}); consider raising "
+            "max_added_per_lag"
+        )
+    return {
+        key: int(round(result.value(var)))
+        for key, var in adds.items()
+        if result.value(var) > 0.5
+    }
+
+
+def augment_existing_lags(
+    topology: Topology,
+    paths: PathSet,
+    config: RahaConfig,
+    link_capacity: float | None = None,
+    new_links_can_fail: bool = True,
+    tolerance: float = 1e-6,
+    max_steps: int = 10,
+    max_added_per_lag: int = 64,
+) -> AugmentResult:
+    """Iteratively add links to existing LAGs until no probable degradation.
+
+    Args:
+        topology: The WAN to protect.
+        paths: Configured paths (unchanged by this augment type).
+        config: The analysis configuration describing "probable" (its
+            probability threshold / failure budget / demand mode).
+        link_capacity: Capacity per added link; defaults to the average
+            link capacity of the topology.
+        new_links_can_fail: Figure 11 vs Figure 17: whether added capacity
+            participates in future failure searches (probability set to
+            the LAG's average when it does).
+        tolerance: Degradations at or below this (absolute) count as zero.
+        max_steps: Iteration budget; the paper observes convergence within
+            2-6 steps.
+        max_added_per_lag: Upper bound on per-LAG additions per step.
+    """
+    if link_capacity is None:
+        link_capacity = (
+            sum(l.capacity for lag in topology.lags for l in lag.links)
+            / max(1, topology.num_links)
+        )
+    if link_capacity <= 0:
+        raise ModelingError("link_capacity must be positive")
+
+    current = topology
+    pool: list[tuple[DemandMatrix, FailureScenario, dict[Pair, float]]] = []
+    steps: list[AugmentStep] = []
+    initial = None
+    final = 0.0
+    converged = False
+
+    for _ in range(max_steps):
+        result = RahaAnalyzer(current, paths, config).analyze()
+        degradation = result.degradation
+        if initial is None:
+            initial = degradation
+        final = degradation
+        if degradation <= tolerance:
+            converged = True
+            break
+        targets = _healthy_targets(current, paths, result.demands)
+        pool.append((result.demands, result.scenario, targets))
+        additions = _solve_existing_lag_augment(
+            current, paths, pool, link_capacity, max_added_per_lag,
+            config.time_limit,
+        )
+        if not additions:
+            # The MILP says no additions are needed yet the analyzer
+            # still finds degradation: numerical corner; stop honestly.
+            break
+        new_links = {
+            key: [
+                Link(
+                    capacity=link_capacity,
+                    failure_probability=_augment_link_probability(
+                        current, key, new_links_can_fail
+                    ),
+                    can_fail=new_links_can_fail,
+                )
+            ] * count
+            for key, count in additions.items()
+        }
+        steps.append(AugmentStep(degradation_before=degradation,
+                                 links_added=dict(additions)))
+        current = current.with_added_links(new_links)
+
+    if not converged and final <= tolerance:
+        converged = True
+    return AugmentResult(
+        topology=current,
+        steps=steps,
+        converged=converged,
+        initial_degradation=initial if initial is not None else 0.0,
+        final_degradation=final,
+    )
+
+
+def _candidate_weights(
+    topology: Topology,
+    candidates: list[LagKey],
+    impacted: set[str],
+) -> dict[LagKey, float]:
+    """Appendix C: prefer candidates close to the impacted endpoints."""
+    weights = {}
+    for key in candidates:
+        u, v = key
+        best = math.inf
+        for node in impacted:
+            for endpoint in (u, v):
+                if endpoint == node:
+                    best = 0
+                    break
+                path = shortest_path(topology, endpoint, node) \
+                    if topology.has_node(endpoint) else None
+                if path is not None:
+                    best = min(best, len(path) - 1)
+        weights[key] = 1.0 + 0.1 * (0 if math.isinf(best) else best)
+    return weights
+
+
+def augment_new_lags(
+    topology: Topology,
+    path_factory: Callable[[Topology], PathSet],
+    config_factory: Callable[[PathSet], RahaConfig],
+    candidate_edges: Iterable[LagKey],
+    link_capacity: float | None = None,
+    new_links_can_fail: bool = False,
+    tolerance: float = 1e-6,
+    max_steps: int = 10,
+    max_added_per_lag: int = 64,
+) -> AugmentResult:
+    """Iteratively add (possibly new) LAGs until no probable degradation.
+
+    New LAGs change every demand's path set, so the augment step uses the
+    edge formulation (Appendix C) restricted to pre-existing path edges
+    plus the operator's viable ``candidate_edges``, and paths are
+    *recomputed* after every step through ``path_factory``.
+
+    Args:
+        topology: The WAN to protect.
+        path_factory: Rebuilds the path set for a (possibly augmented)
+            topology -- e.g. ``lambda t: PathSet.k_shortest(t, pairs, 4, 1)``.
+        config_factory: Rebuilds the analyzer config for a new path set
+            (demand bounds usually do not change, but the config object
+            references pairs so a fresh one per step keeps this honest).
+        candidate_edges: LAG keys the operator considers physically viable
+            (existing LAG keys are allowed too and mean "grow this LAG").
+        link_capacity: Capacity per added link; defaults to the topology's
+            average link capacity.
+        new_links_can_fail: Whether added capacity may fail later
+            (Figure 18 evaluates the non-failing case).
+        tolerance / max_steps / max_added_per_lag: As in
+            :func:`augment_existing_lags`.
+    """
+    from repro.te.edge_mcf import EdgeMcf
+
+    candidates = [lag_key(*k) for k in candidate_edges]
+    for u, v in candidates:
+        if not (topology.has_node(u) and topology.has_node(v)):
+            raise ModelingError(f"candidate edge ({u!r}, {v!r}) not in topology")
+    if link_capacity is None:
+        link_capacity = (
+            sum(l.capacity for lag in topology.lags for l in lag.links)
+            / max(1, topology.num_links)
+        )
+
+    current = topology
+    steps: list[AugmentStep] = []
+    initial = None
+    final = 0.0
+    converged = False
+
+    for _ in range(max_steps):
+        paths = path_factory(current)
+        config = config_factory(paths)
+        result = RahaAnalyzer(current, paths, config).analyze()
+        degradation = result.degradation
+        if initial is None:
+            initial = degradation
+        final = degradation
+        if degradation <= tolerance:
+            converged = True
+            break
+
+        targets = _healthy_targets(current, paths, result.demands)
+        impacted = {
+            node
+            for pair, target in targets.items()
+            for node in pair
+            if target > 0
+        }
+        # Appendix C ties the edge form "closely to the path form": the
+        # edge form has every route available, so with residual capacity
+        # alone it can claim the targets are already met even though the
+        # *path form* (the network's real behavior) drops traffic.  The
+        # binding refinement: each demand's shortfall -- what the failed
+        # path-form network fails to deliver -- must be carried by the
+        # candidate LAGs, which forces the MILP to actually add capacity.
+        from repro.failures.scenario import simulate_failed_network
+
+        failed_sim = simulate_failed_network(
+            current, result.demands, paths, result.scenario
+        )
+        shortfalls = {
+            pair: max(0.0, targets.get(pair, 0.0)
+                      - failed_sim.pair_flows.get(pair, 0.0))
+            for pair in targets
+        }
+        additions = _solve_new_lag_augment(
+            current, paths, result.demands, result.scenario, targets,
+            candidates, link_capacity, max_added_per_lag,
+            _candidate_weights(current, candidates, impacted),
+            config.time_limit,
+            shortfalls=shortfalls,
+        )
+        if not additions:
+            break
+        new_links = {
+            key: [
+                Link(
+                    capacity=link_capacity,
+                    failure_probability=_augment_link_probability(
+                        current, key, new_links_can_fail
+                    ),
+                    can_fail=new_links_can_fail,
+                )
+            ] * count
+            for key, count in additions.items()
+        }
+        steps.append(AugmentStep(degradation_before=degradation,
+                                 links_added=dict(additions)))
+        current = current.with_added_links(new_links)
+
+    if not converged and final <= tolerance:
+        converged = True
+    return AugmentResult(
+        topology=current,
+        steps=steps,
+        converged=converged,
+        initial_degradation=initial if initial is not None else 0.0,
+        final_degradation=final,
+    )
+
+
+def _solve_new_lag_augment(
+    topology: Topology,
+    paths: PathSet,
+    demands: DemandMatrix,
+    scenario: FailureScenario,
+    targets: dict[Pair, float],
+    candidates: list[LagKey],
+    link_capacity: float,
+    max_added_per_lag: int,
+    weights: dict[LagKey, float],
+    time_limit: float | None,
+    shortfalls: dict[Pair, float] | None = None,
+) -> dict[LagKey, int]:
+    """Appendix C's edge-form augment MILP for one (demand, scenario).
+
+    Flow conservation over a working topology that includes candidate
+    LAGs at ``add_e * c`` capacity; each demand restricted to its
+    pre-existing path edges plus the candidates; per-demand lower bounds
+    equal the healthy targets; weighted link count minimized.  When
+    ``shortfalls`` are given, each demand's shortfall must traverse
+    candidate LAGs (the path-form tie-in described in the caller).
+    """
+    from repro.te.edge_mcf import EdgeMcf
+
+    # Build the working topology: existing LAGs plus zero-capacity
+    # placeholders for candidates that do not exist yet.
+    work = topology.copy(name="augment-work")
+    for key in candidates:
+        if work.lag_between(*key) is None:
+            work.add_lag(key[0], key[1], capacity=0.0, num_links=1)
+
+    residual = scenario.residual_capacities(topology)
+    down = scenario.down_lags(topology)
+    allowed = EdgeMcf.allowed_edges_from_paths(paths, topology,
+                                               extra_edges=candidates)
+
+    model = Model("augment-new")
+    adds = {
+        key: model.add_var(integer=True, lb=0, ub=max_added_per_lag,
+                           name=f"add[{key}]")
+        for key in {lag.key for lag in work.lags}
+    }
+    # Only candidates (and existing LAGs named as candidates) may grow.
+    growable = set(candidates)
+    for key, var in adds.items():
+        if key not in growable:
+            model.add_constr(var <= 0)
+
+    routed: dict[Pair, object] = {}
+    per_lag: dict[LagKey, list] = {}
+    new_capacity_users: dict[LagKey, list] = {}
+    for pair in demands:
+        src, dst = pair
+        f_k = model.add_var(ub=max(demands[pair], 0.0), name=f"f[{pair}]")
+        routed[pair] = f_k
+        outgoing: dict[str, list] = {}
+        incoming: dict[str, list] = {}
+        candidate_flows: dict[LagKey, list] = {}
+        for lag in work.lags:
+            if lag.key not in allowed.get(pair, set()):
+                continue
+            fwd = model.add_var(name=f"e[{pair}][{lag.key}]+")
+            bwd = model.add_var(name=f"e[{pair}][{lag.key}]-")
+            per_lag.setdefault(lag.key, []).extend([fwd, bwd])
+            outgoing.setdefault(lag.u, []).append(fwd)
+            incoming.setdefault(lag.v, []).append(fwd)
+            outgoing.setdefault(lag.v, []).append(bwd)
+            incoming.setdefault(lag.u, []).append(bwd)
+            if lag.key in growable:
+                candidate_flows.setdefault(lag.key, []).extend([fwd, bwd])
+        for node in work.nodes:
+            balance = quicksum(outgoing.get(node, [])) - quicksum(
+                incoming.get(node, [])
+            )
+            if node == src:
+                model.add_constr(balance == f_k)
+            elif node == dst:
+                model.add_constr(balance == -f_k)
+            else:
+                model.add_constr(balance == 0)
+        model.add_constr(f_k >= targets.get(pair, 0.0) - 1e-9)
+        shortfall = (shortfalls or {}).get(pair, 0.0)
+        if shortfall > 1e-9 and candidate_flows:
+            # The traffic the path-form network drops must ride on links
+            # added *in this step*: residual candidate capacity (including
+            # LAGs built by earlier steps) already failed to carry it in
+            # the path form.  new_use tracks the pair's claim on each
+            # candidate's fresh capacity.
+            uses = []
+            for key, flows_on_e in candidate_flows.items():
+                use = model.add_var(name=f"newuse[{pair}][{key}]")
+                model.add_constr(use <= quicksum(flows_on_e))
+                new_capacity_users.setdefault(key, []).append(use)
+                uses.append(use)
+            model.add_constr(quicksum(uses) >= shortfall - 1e-9)
+    for key, vars_on_lag in per_lag.items():
+        base = residual.get(key, 0.0)
+        model.add_constr(
+            quicksum(vars_on_lag)
+            <= base + link_capacity * adds[key].to_expr()
+        )
+    # New-capacity accounting: shortfall traffic may only claim the links
+    # added in this step.
+    for key, users in new_capacity_users.items():
+        model.add_constr(
+            quicksum(users) <= link_capacity * adds[key].to_expr()
+        )
+
+    model.set_objective(
+        quicksum(weights.get(key, 1.0) * var for key, var in adds.items()),
+        sense="min",
+    )
+    result = model.solve(time_limit=time_limit)
+    if not result.status.ok or result.x is None:
+        raise SolverError(
+            f"new-LAG augment MILP failed ({result.status.value})"
+        )
+    return {
+        key: int(round(result.value(var)))
+        for key, var in adds.items()
+        if result.value(var) > 0.5
+    }

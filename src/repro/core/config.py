@@ -1,0 +1,154 @@
+"""Configuration surface for the Raha analyzer."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.exceptions import ModelingError
+from repro.network.demand import Pair
+
+#: Objectives Raha can analyze (Section 5 / Appendix A).
+OBJECTIVES = ("total_flow", "mlu", "maxmin")
+
+
+@dataclass
+class RahaConfig:
+    """All analysis knobs in one place.
+
+    Exactly one of ``fixed_demands`` / ``demand_bounds`` must be set:
+
+    * ``fixed_demands`` -- the fast mode (Section 6): the healthy
+      network's optimum is a constant, Raha only searches failures.
+    * ``demand_bounds`` -- the joint mode: per-pair ``(lower, upper)``
+      intervals the adversary may choose demands from (build them with
+      :func:`repro.network.demand.demand_envelope`).  Upper bounds must be
+      finite (they double as big-M values).
+
+    Attributes:
+        objective: ``"total_flow"`` (Eq. 2, default), ``"mlu"`` or
+            ``"maxmin"`` (Appendix A).
+        probability_threshold: Only consider failure scenarios at least
+            this likely (``T``); requires link failure probabilities.
+            ``None`` disables the constraint (any failure combination).
+        max_failures: Only consider scenarios with at most this many
+            failed links (the prior-work ``k``); ``None`` = unlimited.
+        connected_enforced: Forbid scenarios that take down every path of
+            some demand (Section 5.1's CE constraint; forced on for MLU).
+        naive_failover: Model the naive fail-over reaction (Section 5.1):
+            the r-th backup's flow may not exceed the healthy flow of the
+            r-th primary (only meaningful in joint mode with the
+            total-flow objective).
+        exact_path_down: Add the tightening ``u_kp <= sum u_e`` so a path
+            is marked down *iff* one of its LAGs is down.  The paper's
+            Eq. 4 only forces the "if" direction (sound because a
+            spuriously-down path never helps the adversary); the exact
+            form keeps reported scenarios canonical.
+        time_limit: Solver budget in seconds (MetaOpt's ``timeout``).
+        mip_rel_gap: Optional relative MIP gap.
+        minimize_performance: Optimize the *naive* objective of prior work
+            (QARC [38] / Robust [9], Figure 3's baselines): minimize the
+            failed network's performance instead of maximizing the gap to
+            the design point.  The healthy value and degradation are then
+            computed post hoc for the found (demand, scenario).  Only
+            supported with the total-flow objective.
+        verify: Re-solve the inner problems at the found solution and
+            error out on mismatch (recommended; costs two LP solves).
+        maxmin_bins / maxmin_alpha: Binner shape for
+            ``objective="maxmin"``.
+        maxmin_binner: ``"geometric"`` (default) or ``"equidepth"`` --
+            the two single-shot max-min approximations the paper names
+            (Section 3 / Appendix A).
+    """
+
+    objective: str = "total_flow"
+    fixed_demands: Mapping[Pair, float] | None = None
+    demand_bounds: Mapping[Pair, tuple[float, float]] | None = None
+    probability_threshold: float | None = None
+    max_failures: int | None = None
+    connected_enforced: bool = False
+    naive_failover: bool = False
+    exact_path_down: bool = True
+    minimize_performance: bool = False
+    time_limit: float | None = 1000.0
+    mip_rel_gap: float | None = None
+    verify: bool = True
+    maxmin_bins: int = 5
+    maxmin_alpha: float = 2.0
+    maxmin_binner: str = "geometric"
+    extra_outer_constraints: list = field(default_factory=list)
+    #: Callbacks ``(model, encoding, demand_exprs) -> None`` invoked after
+    #: the failure encoding is built; they may post arbitrary linear
+    #: constraints on the outer variables (Section 5.1: "we discuss
+    #: example constraints but users can add others").  See
+    #: tests/core/test_custom_constraints.py for examples.
+    constraint_builders: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.objective not in OBJECTIVES:
+            raise ModelingError(
+                f"unknown objective {self.objective!r}; pick from {OBJECTIVES}"
+            )
+        has_fixed = self.fixed_demands is not None
+        has_bounds = self.demand_bounds is not None
+        if has_fixed == has_bounds:
+            raise ModelingError(
+                "set exactly one of fixed_demands / demand_bounds"
+            )
+        if has_bounds:
+            for pair, (lo, hi) in self.demand_bounds.items():
+                if not (0 <= lo <= hi):
+                    raise ModelingError(
+                        f"demand bounds for {pair} must satisfy 0 <= lo <= hi, "
+                        f"got ({lo}, {hi})"
+                    )
+                if hi == float("inf"):
+                    raise ModelingError(
+                        f"demand upper bound for {pair} must be finite (it is "
+                        "also the big-M of the backup-activation product)"
+                    )
+        if has_fixed:
+            for pair, volume in self.fixed_demands.items():
+                if volume < 0:
+                    raise ModelingError(f"negative fixed demand for {pair}")
+        if self.probability_threshold is not None and not (
+            0.0 < self.probability_threshold < 1.0
+        ):
+            raise ModelingError(
+                f"probability threshold must be in (0, 1), got "
+                f"{self.probability_threshold}"
+            )
+        if self.max_failures is not None and self.max_failures < 0:
+            raise ModelingError(
+                f"max_failures must be nonnegative, got {self.max_failures}"
+            )
+        if self.naive_failover and self.fixed_demands is not None:
+            # With fixed demands the healthy solve happens outside the
+            # MILP, so there is no healthy flow variable to couple to.
+            raise ModelingError(
+                "naive_failover requires the joint (demand_bounds) mode"
+            )
+        if self.maxmin_binner not in ("geometric", "equidepth"):
+            raise ModelingError(
+                f"unknown maxmin binner {self.maxmin_binner!r}"
+            )
+        if self.minimize_performance and self.objective != "total_flow":
+            raise ModelingError(
+                "minimize_performance is only supported with total_flow"
+            )
+        if self.objective == "mlu" and not self.connected_enforced:
+            # Appendix A: MLU models are infeasible under disconnection.
+            self.connected_enforced = True
+
+    @property
+    def pairs(self) -> list[Pair]:
+        """The demand pairs this analysis covers."""
+        source = self.fixed_demands if self.fixed_demands is not None \
+            else self.demand_bounds
+        return list(source.keys())
+
+    def demand_upper(self, pair: Pair) -> float:
+        """Finite upper bound on a pair's demand (fixed value or interval)."""
+        if self.fixed_demands is not None:
+            return float(self.fixed_demands[pair])
+        return float(self.demand_bounds[pair][1])

@@ -1,0 +1,74 @@
+"""Result types for degradation analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.failures.scenario import FailureScenario
+from repro.network.demand import DemandMatrix
+
+
+@dataclass
+class DegradationResult:
+    """What Raha found: the worst demand/failure pair and the gap.
+
+    Attributes:
+        degradation: Healthy-network performance minus failed-network
+            performance.  For the total-flow objective this is dropped
+            traffic (the paper's headline metric); for MLU it is the
+            utilization *increase* ``U_failed - U_healthy``.
+        normalized_degradation: ``degradation`` divided by the average LAG
+            capacity -- the unit every figure in the paper reports.
+        demands: The demand matrix achieving the worst case (the input
+            matrix in fixed mode; the adversary's choice in joint mode).
+        scenario: The failure scenario achieving the worst case.
+        healthy_value / failed_value: The two inner objectives.
+        scenario_probability: Probability of the scenario (``None`` when
+            the topology has no link probabilities).
+        status: Final solver status string (``"optimal"`` or
+            ``"time_limit"`` -- a time-limited result is the incumbent).
+        solve_seconds: Time inside the MILP solver.
+        encode_seconds: Time spent building the MILP.
+        path_seconds: Path computation time (the paper includes it in
+            reported runtimes).
+        verified: Whether post-solve verification ran and passed.
+        num_binaries / num_variables / num_constraints: Model size, for
+            the scaling analysis (Figure 10's discussion).
+    """
+
+    degradation: float
+    normalized_degradation: float
+    demands: DemandMatrix
+    scenario: FailureScenario
+    healthy_value: float
+    failed_value: float
+    scenario_probability: float | None = None
+    status: str = "optimal"
+    solve_seconds: float = 0.0
+    encode_seconds: float = 0.0
+    path_seconds: float = 0.0
+    verified: bool = False
+    num_binaries: int = 0
+    num_variables: int = 0
+    num_constraints: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end runtime: paths + encoding + solving."""
+        return self.solve_seconds + self.encode_seconds + self.path_seconds
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        prob = (
+            f", p={self.scenario_probability:.2e}"
+            if self.scenario_probability is not None
+            else ""
+        )
+        return (
+            f"degradation={self.degradation:.4g} "
+            f"(normalized {self.normalized_degradation:.4g}) with "
+            f"{self.scenario.num_failed_links} failed links{prob}; "
+            f"healthy={self.healthy_value:.4g} failed={self.failed_value:.4g} "
+            f"[{self.status}, {self.total_seconds:.2f}s]"
+        )

@@ -1,0 +1,93 @@
+"""Operator-facing degradation reports.
+
+An alert is only actionable if it explains *what* breaks: which LAGs the
+scenario takes out (fully or partially), which demands lose traffic and
+how much, and where the surviving load concentrates.  This module turns
+a :class:`DegradationResult` into that explanation.
+"""
+
+from __future__ import annotations
+
+from repro.core.degradation import DegradationResult
+from repro.failures.scenario import simulate_failed_network
+from repro.network.topology import Topology
+from repro.paths.pathset import PathSet
+from repro.te.total_flow import TotalFlowTE
+
+
+def degradation_report(
+    topology: Topology,
+    paths: PathSet,
+    result: DegradationResult,
+    top: int = 10,
+) -> str:
+    """Render a human-readable incident/risk report.
+
+    Args:
+        topology: The analyzed WAN.
+        paths: The path configuration used in the analysis.
+        result: The analyzer's finding.
+        top: How many impacted demands / loaded LAGs to list.
+
+    Returns:
+        A multi-line report string.
+    """
+    lines = ["WAN degradation analysis", "=" * 40]
+    lines.append(result.summary())
+    if result.scenario_probability is not None:
+        lines.append(
+            f"scenario probability: {result.scenario_probability:.3e}"
+        )
+
+    # Failed infrastructure.
+    residual = result.scenario.residual_capacities(topology)
+    down = result.scenario.down_lags(topology)
+    lines.append("")
+    lines.append(f"failed links: {result.scenario.num_failed_links}")
+    impacted_lags = []
+    for lag in topology.lags:
+        lost = lag.capacity - residual[lag.key]
+        if lost > 1e-9:
+            state = "DOWN" if lag.key in down else "degraded"
+            impacted_lags.append((lost, lag, state))
+    impacted_lags.sort(key=lambda item: item[0], reverse=True)
+    for lost, lag, state in impacted_lags[:top]:
+        lines.append(
+            f"  {lag.u}-{lag.v}: {state}, capacity "
+            f"{lag.capacity:g} -> {residual[lag.key]:g}"
+        )
+    if len(impacted_lags) > top:
+        lines.append(f"  ... and {len(impacted_lags) - top} more LAGs")
+
+    # Per-demand impact (healthy vs failed delivery).
+    healthy = TotalFlowTE(primary_only=True).solve(
+        topology, result.demands, paths
+    )
+    failed = simulate_failed_network(
+        topology, result.demands, paths, result.scenario
+    )
+    lines.append("")
+    lines.append("most impacted demands (healthy -> failed delivery):")
+    losses = []
+    for pair, volume in result.demands.items():
+        before = healthy.pair_flows.get(pair, 0.0)
+        after = failed.pair_flows.get(pair, 0.0) if failed.feasible else 0.0
+        if before - after > 1e-9:
+            losses.append((before - after, pair, before, after, volume))
+    losses.sort(reverse=True)
+    if not losses:
+        lines.append("  (no demand loses traffic under this scenario)")
+    for lost, pair, before, after, volume in losses[:top]:
+        lines.append(
+            f"  {pair[0]} -> {pair[1]}: {before:g} -> {after:g} "
+            f"(demand {volume:g}, lost {lost:g})"
+        )
+    if len(losses) > top:
+        lines.append(f"  ... and {len(losses) - top} more demands")
+
+    lines.append("")
+    verified = "yes" if result.verified else "no (verification disabled)"
+    lines.append(f"independently verified: {verified}")
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

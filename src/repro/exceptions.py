@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch one type at the boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SolverError(ReproError):
+    """The backend LP/MILP solver failed or returned no usable solution."""
+
+
+class InfeasibleError(SolverError):
+    """A model was proven infeasible.
+
+    The paper notes this arises naturally in MLU mode when failures fully
+    disconnect a source-destination pair (Appendix A), which is why the
+    connected-enforced constraint is mandatory there.
+    """
+
+
+class TopologyError(ReproError):
+    """The topology input is malformed (unknown node, duplicate LAG, ...)."""
+
+
+class PathError(ReproError):
+    """Path computation or validation failed (no route, bad path, ...)."""
+
+
+class ModelingError(ReproError):
+    """A formulation was assembled inconsistently.
+
+    Raised, for example, when an adversarial inner problem is embedded with
+    an aligned sign (which would make the bi-level reduction inexact), or
+    when a big-M bound required for a linearization is missing or infinite.
+    """
+
+
+class VerificationError(ReproError):
+    """Post-solve verification of inner-problem optimality failed.
+
+    After the single-level MILP solves, Raha re-solves each inner problem
+    as a plain LP at the chosen outer assignment and compares objectives.
+    A mismatch means a big-M bound was too small; this error reports it
+    instead of silently returning a wrong worst case.
+    """

@@ -1,0 +1,160 @@
+"""Monte Carlo availability estimation.
+
+Raha answers the *worst case* question; operators also track the
+*expected* picture ("we aim to provide > 4-9's availability", Section 2.2).
+This module samples failure scenarios from the per-link probabilities
+(respecting SRLG fate-sharing), simulates each with the same TE code path
+the rest of the repository uses, and estimates:
+
+* the expected degradation,
+* the probability that degradation exceeds an operator threshold,
+* traffic availability (delivered / offered over the scenario mix).
+
+The worst sampled scenario is also reported -- a useful sanity check
+against the analyzer's exact worst case (sampling should never beat it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.failures.scenario import FailureScenario, simulate_failed_network
+from repro.network.demand import Pair
+from repro.network.topology import Topology, lag_key
+from repro.paths.pathset import PathSet
+from repro.te.total_flow import TotalFlowTE
+
+
+@dataclass
+class AvailabilityEstimate:
+    """The outcome of a Monte Carlo availability run.
+
+    Attributes:
+        expected_degradation: Mean healthy-minus-failed traffic.
+        availability: Mean delivered / healthy traffic over samples.
+        exceedance_probability: Fraction of samples whose degradation
+            exceeded the caller's threshold.
+        worst_sampled: Largest sampled degradation.
+        worst_scenario: A scenario achieving ``worst_sampled``.
+        samples: Number of scenarios simulated.
+        healthy_flow: The design point's delivered traffic.
+    """
+
+    expected_degradation: float
+    availability: float
+    exceedance_probability: float
+    worst_sampled: float
+    worst_scenario: FailureScenario
+    samples: int
+    healthy_flow: float
+    degradations: list[float] = field(default_factory=list, repr=False)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile of the sampled degradation distribution."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self.degradations, q))
+
+
+def sample_scenario(topology: Topology, rng: np.random.Generator
+                    ) -> FailureScenario:
+    """Draw one failure scenario from the link-state distribution.
+
+    SRLGs with a group probability are drawn as one Bernoulli event for
+    the whole group; remaining links are independent Bernoullis.
+    """
+    failed = []
+    grouped: dict[tuple, int] = {}
+    for gid, srlg in enumerate(topology.srlgs):
+        if srlg.failure_probability is None:
+            continue
+        for member in srlg.members:
+            grouped[(lag_key(*member[0]), member[1])] = gid
+    group_state: dict[int, bool] = {}
+    for gid, srlg in enumerate(topology.srlgs):
+        if srlg.failure_probability is not None:
+            group_state[gid] = bool(rng.uniform() < srlg.failure_probability)
+
+    for lag in topology.lags:
+        for i, link in enumerate(lag.links):
+            gid = grouped.get((lag.key, i))
+            if gid is not None:
+                if group_state[gid]:
+                    failed.append((lag.key, i))
+                continue
+            p = link.failure_probability
+            if p is None:
+                if not link.can_fail:
+                    continue
+                raise TopologyError(
+                    f"link {i} of LAG {lag.key} has no failure probability"
+                )
+            if link.can_fail and rng.uniform() < p:
+                failed.append((lag.key, i))
+    return FailureScenario(failed)
+
+
+def estimate_availability(
+    topology: Topology,
+    demands: dict[Pair, float],
+    paths: PathSet,
+    samples: int = 200,
+    degradation_threshold: float = 0.0,
+    seed: int = 0,
+) -> AvailabilityEstimate:
+    """Monte Carlo estimate of expected degradation and availability.
+
+    Args:
+        topology: The WAN (all failable links need probabilities).
+        demands: Offered traffic.
+        paths: Configured primary/backup paths.
+        samples: Scenario draws.
+        degradation_threshold: The exceedance statistic's threshold
+            (same units as demands).
+        seed: RNG seed.
+    """
+    if samples < 1:
+        raise ValueError(f"need at least one sample, got {samples}")
+    rng = np.random.default_rng(seed)
+    healthy = TotalFlowTE(primary_only=True).solve(topology, demands, paths)
+    healthy_flow = healthy.total_flow
+
+    degradations: list[float] = []
+    worst = -float("inf")
+    worst_scenario = FailureScenario()
+    cache: dict[FailureScenario, float] = {}
+    for _ in range(samples):
+        scenario = sample_scenario(topology, rng)
+        if scenario in cache:
+            degradation = cache[scenario]
+        else:
+            failed = simulate_failed_network(topology, demands, paths,
+                                             scenario)
+            delivered = failed.total_flow if failed.feasible else 0.0
+            degradation = healthy_flow - delivered
+            cache[scenario] = degradation
+        degradations.append(degradation)
+        if degradation > worst:
+            worst = degradation
+            worst_scenario = scenario
+
+    array = np.asarray(degradations)
+    availability = (
+        float(np.mean((healthy_flow - array) / healthy_flow))
+        if healthy_flow > 0 else 1.0
+    )
+    return AvailabilityEstimate(
+        expected_degradation=float(array.mean()),
+        availability=availability,
+        exceedance_probability=float(
+            np.mean(array > degradation_threshold)
+        ),
+        worst_sampled=float(array.max()),
+        worst_scenario=worst_scenario,
+        samples=samples,
+        healthy_flow=healthy_flow,
+        degradations=[float(d) for d in degradations],
+    )

@@ -1,0 +1,26 @@
+"""A MetaOpt-style heuristic analysis engine (Section 4.1).
+
+MetaOpt [29, 30] frames heuristic analysis as a Stackelberg game: an
+adversary (the *outer* problem) controls inputs to two *inner* problems --
+an optimal algorithm and a heuristic -- and maximizes the performance gap
+between them.  Raha instantiates this with the healthy network as the
+"optimal" and the network under failure as the "heuristic".
+
+:class:`repro.metaopt.bilevel.StackelbergProblem` performs the same
+single-level reduction MetaOpt applies to LP inner problems:
+
+* *aligned* inners (whose objective enters the outer objective with the
+  sign the joint maximization already pushes toward) are embedded as
+  primal variables and constraints;
+* *adversarial* inners are additionally pinned to their own optimum via
+  KKT conditions with big-M complementarity
+  (:class:`repro.solver.duality.InnerLP`).
+
+:mod:`repro.metaopt.clustering` implements Algorithm 1 -- the
+demand-approximation scheme that lets Raha scale to large topologies.
+"""
+
+from repro.metaopt.bilevel import StackelbergProblem
+from repro.metaopt.clustering import cluster_nodes
+
+__all__ = ["StackelbergProblem", "cluster_nodes"]

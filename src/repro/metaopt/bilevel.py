@@ -1,0 +1,195 @@
+"""Single-level reduction of the Stackelberg game (MetaOpt's mechanism).
+
+The bi-level problem of Eq. 1:
+
+.. code-block:: text
+
+    max_I   H(I) - H'(I)          (outer / leader)
+    s.t.    Constraints(I)
+            H(I)  = max_f  Optimal(I, f)      (inner 1)
+            H'(I) = max_f' Heuristic(I, f')   (inner 2)
+
+reduces to a single MILP when the inner problems are LPs parameterized
+linearly by the leader's variables:
+
+* Inner 1 enters the outer objective with a **positive** sign; since the
+  joint maximization already pushes its variables toward their optimum,
+  embedding its primal is exact ("aligned").
+* Inner 2 enters with a **negative** sign; the joint maximization would
+  push its variables *below* their optimum, so it must be pinned with KKT
+  optimality conditions ("adversarial").
+
+The same classification works for minimizing inners with flipped signs
+(MLU mode: the healthy network's min-U enters with ``-``, aligned; the
+failed network's min-U enters with ``+``, adversarial).
+
+:class:`StackelbergProblem` enforces this sign discipline, embeds KKT
+conditions for every adversarial inner, solves, and verifies each
+adversarial inner's embedded optimum against a fresh LP re-solve -- so a
+too-small big-M bound surfaces as an error, never as a silently wrong
+worst case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ModelingError
+from repro.solver.duality import InnerLP
+from repro.solver.expr import LinExpr
+from repro.solver.model import Model
+from repro.solver.result import SolveResult
+
+
+@dataclass
+class _InnerTerm:
+    inner: InnerLP
+    coefficient: float
+    adversarial: bool
+
+
+@dataclass
+class StackelbergProblem:
+    """A bi-level optimization reduced to one MILP.
+
+    Usage::
+
+        game = StackelbergProblem("raha")
+        d = game.model.add_var(ub=10, name="demand")      # leader variable
+        optimal = game.aligned_inner("healthy", sense="max")
+        heuristic = game.adversarial_inner("failed", sense="max")
+        ... build both inner LPs referencing leader variables ...
+        game.set_gap_objective(optimal, heuristic)
+        result = game.solve(time_limit=60)
+        game.verify(result)
+
+    Attributes:
+        name: Display name.
+        model: The host :class:`repro.solver.model.Model`; leader
+            variables and constraints are added to it directly.
+    """
+
+    name: str = "stackelberg"
+    model: Model = field(default_factory=lambda: Model("stackelberg"))
+    _terms: list[_InnerTerm] = field(default_factory=list)
+    _extra_objective: LinExpr = field(default_factory=LinExpr)
+    _finalized: bool = False
+
+    def __post_init__(self):
+        self.model.name = self.name
+
+    # -- inner problem construction ---------------------------------------
+    def aligned_inner(self, name: str, sense: str = "max") -> InnerLP:
+        """Create an inner problem that will embed as a primal."""
+        inner = InnerLP(self.model, name, sense=sense)
+        self._terms.append(
+            _InnerTerm(inner=inner, coefficient=0.0, adversarial=False)
+        )
+        return inner
+
+    def adversarial_inner(self, name: str, sense: str = "max") -> InnerLP:
+        """Create an inner problem that will be pinned by KKT conditions."""
+        inner = InnerLP(self.model, name, sense=sense)
+        self._terms.append(
+            _InnerTerm(inner=inner, coefficient=0.0, adversarial=True)
+        )
+        return inner
+
+    def _term_of(self, inner: InnerLP) -> _InnerTerm:
+        for term in self._terms:
+            if term.inner is inner:
+                return term
+        raise ModelingError(f"inner {inner.name!r} is not part of this game")
+
+    # -- objective ----------------------------------------------------------
+    def set_objective_terms(
+        self, terms: list[tuple[InnerLP, float]], extra=0.0
+    ) -> None:
+        """Set the leader objective as a signed sum of inner objectives.
+
+        The leader always *maximizes*.  Sign discipline is enforced:
+
+        * a ``max`` inner with a positive coefficient (or a ``min`` inner
+          with a negative one) must be aligned;
+        * a ``max`` inner with a negative coefficient (or a ``min`` inner
+          with a positive one) must be adversarial.
+
+        Args:
+            terms: ``(inner, coefficient)`` pairs.
+            extra: Additional leader-variable expression added verbatim.
+        """
+        for inner, coef in terms:
+            term = self._term_of(inner)
+            if coef == 0.0:
+                continue
+            pushes_up = (coef > 0) == (inner.sense == "max")
+            if pushes_up and term.adversarial:
+                raise ModelingError(
+                    f"inner {inner.name!r} is aligned with the leader; "
+                    "declare it with aligned_inner() instead"
+                )
+            if not pushes_up and not term.adversarial:
+                raise ModelingError(
+                    f"inner {inner.name!r} opposes the leader; embedding its "
+                    "primal alone would let the leader understate it -- "
+                    "declare it with adversarial_inner()"
+                )
+            term.coefficient = float(coef)
+        self._extra_objective = LinExpr._coerce(extra)
+
+    def set_gap_objective(self, optimal: InnerLP, heuristic: InnerLP,
+                          extra=0.0) -> None:
+        """The canonical Raha objective: maximize ``Optimal - Heuristic``.
+
+        For ``max`` inners (total flow) this is ``opt - heur``; for ``min``
+        inners (MLU) the degradation is ``heur - opt`` and the signs flip
+        accordingly.
+        """
+        if optimal.sense != heuristic.sense:
+            raise ModelingError("both inner problems must share a sense")
+        if optimal.sense == "max":
+            self.set_objective_terms(
+                [(optimal, 1.0), (heuristic, -1.0)], extra=extra
+            )
+        else:
+            self.set_objective_terms(
+                [(optimal, -1.0), (heuristic, 1.0)], extra=extra
+            )
+
+    # -- solve / verify -------------------------------------------------------
+    def finalize(self) -> None:
+        """Embed KKT conditions for adversarial inners and set the objective."""
+        if self._finalized:
+            return
+        objective = LinExpr() + self._extra_objective
+        for term in self._terms:
+            if term.adversarial:
+                term.inner.embed_kkt()
+            if term.coefficient:
+                objective = objective + term.coefficient * term.inner.objective_expr()
+        self.model.set_objective(objective, sense="max")
+        self._finalized = True
+
+    def solve(self, time_limit: float | None = None,
+              mip_rel_gap: float | None = None) -> SolveResult:
+        """Finalize (idempotent) and solve the single-level MILP."""
+        self.finalize()
+        return self.model.solve(time_limit=time_limit, mip_rel_gap=mip_rel_gap)
+
+    def verify(self, result: SolveResult, tol: float = 1e-4) -> dict[str, float]:
+        """Re-solve every adversarial inner at the leader's choice.
+
+        Returns:
+            Mapping from inner name to its true optimum.
+
+        Raises:
+            VerificationError: When an embedded optimum deviates from the
+                re-solved one (a big-M bound was too small).
+        """
+        truths = {}
+        for term in self._terms:
+            if term.adversarial:
+                truths[term.inner.name] = term.inner.verify_optimality(
+                    result, tol=tol
+                )
+        return truths

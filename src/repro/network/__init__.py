@@ -1,0 +1,40 @@
+"""Network substrate: topologies, LAGs, links, demands, and sources.
+
+The paper models a WAN as a graph whose edges are *LAGs* (link aggregation
+groups), each a bundle of physical links with individual capacities and
+failure probabilities.  A LAG only goes down when all of its links go down
+(Eq. 3); partial failures remove a fraction of its capacity.
+
+Modules:
+
+* :mod:`repro.network.topology` -- the core :class:`Topology` data model.
+* :mod:`repro.network.builder` -- fluent construction helpers.
+* :mod:`repro.network.demand` -- demand matrices, gravity model, envelopes.
+* :mod:`repro.network.generators` -- synthetic WANs (production-like, ring
+  and chord, Waxman random geometric).
+* :mod:`repro.network.zoo` -- embedded Topology-Zoo-shaped topologies
+  (B4, Uninett2010-like, Cogentco-like).
+* :mod:`repro.network.graphml` -- GraphML reader for real Topology Zoo files.
+* :mod:`repro.network.srlg` -- shared risk link groups.
+* :mod:`repro.network.virtual` -- gateway "equivalence" virtual nodes (§9).
+"""
+
+from repro.network.demand import (
+    DemandMatrix,
+    demand_envelope,
+    gravity_demands,
+    synthesize_monthly_demands,
+)
+from repro.network.srlg import Srlg
+from repro.network.topology import Lag, Link, Topology
+
+__all__ = [
+    "DemandMatrix",
+    "Lag",
+    "Link",
+    "Srlg",
+    "Topology",
+    "demand_envelope",
+    "gravity_demands",
+    "synthesize_monthly_demands",
+]

@@ -1,0 +1,105 @@
+"""Convenience constructors for topologies.
+
+These helpers keep tests and examples terse: most callers know their
+edge list and a capacity scheme and do not want to call ``add_node`` /
+``add_lag`` by hand.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.network.topology import Topology
+
+
+def from_edges(
+    edges: Iterable[Sequence],
+    default_capacity: float = 10.0,
+    default_num_links: int = 1,
+    failure_probability: float | None = None,
+    name: str = "topology",
+) -> Topology:
+    """Build a topology from an edge list.
+
+    Each edge is ``(u, v)``, ``(u, v, capacity)``, or
+    ``(u, v, capacity, num_links)``.  Nodes are created on first mention
+    in edge order.
+
+    Example:
+        >>> topo = from_edges([("a", "b", 10), ("b", "c")], default_capacity=5)
+        >>> topo.require_lag("b", "c").capacity
+        5.0
+    """
+    topo = Topology(name=name)
+    for edge in edges:
+        u, v = edge[0], edge[1]
+        capacity = float(edge[2]) if len(edge) > 2 else default_capacity
+        num_links = int(edge[3]) if len(edge) > 3 else default_num_links
+        for node in (u, v):
+            if not topo.has_node(node):
+                topo.add_node(node)
+        topo.add_lag(
+            u, v, capacity=capacity, num_links=num_links,
+            failure_probability=failure_probability,
+        )
+    return topo
+
+
+def with_link_probabilities(
+    topology: Topology, probabilities: Mapping[tuple[str, str], float]
+) -> Topology:
+    """Return a copy with the given per-LAG probabilities applied.
+
+    Every link of a named LAG receives the same probability; LAGs not
+    mentioned keep their current value.
+    """
+    from repro.network.topology import Link, lag_key
+
+    wanted = {lag_key(u, v): p for (u, v), p in probabilities.items()}
+    out = topology.copy()
+    for lag in out.lags:
+        if lag.key in wanted:
+            p = wanted[lag.key]
+            lag.links = [
+                Link(capacity=link.capacity, failure_probability=p)
+                for link in lag.links
+            ]
+    return out
+
+
+def line(num_nodes: int, capacity: float = 10.0,
+         failure_probability: float | None = None,
+         name: str = "line") -> Topology:
+    """A path graph ``n0 - n1 - ... - n{k-1}`` (useful in unit tests)."""
+    edges = [(f"n{i}", f"n{i+1}") for i in range(num_nodes - 1)]
+    return from_edges(edges, default_capacity=capacity,
+                      failure_probability=failure_probability, name=name)
+
+
+def motivating_example() -> Topology:
+    """The paper's Figure 1 network: nodes A-D with five LAGs.
+
+    Demands: B->D and C->D, each with a direct path and a path through A
+    (both primary).  The exact capacities are not printed in the paper;
+    these are calibrated so that with "typical" demands (B->D 12, C->D 10,
+    each allowed to vary by 50%) the fixed-demand scenario reproduces the
+    published numbers exactly: the healthy network routes all 22 units,
+    the worst single failure (the B-D LAG) leaves only 15, a degradation
+    of 7.  The naive adversary (minimize failed performance) finds almost
+    nothing (0 vs the paper's 1), while Raha's joint gap search finds a
+    degradation of 10 (paper: 9) -- the orderings and magnitudes of
+    Figure 1 are preserved even though the unpublished capacities differ.
+
+    See ``tests/core/test_motivating_example.py`` for the full check.
+    """
+    return from_edges(
+        [
+            ("B", "D", 10.0),
+            ("C", "D", 6.0),
+            ("A", "D", 9.0),
+            ("A", "B", 12.0),
+            ("A", "C", 12.0),
+        ],
+        failure_probability=0.01,
+        name="figure-1",
+    )

@@ -1,0 +1,190 @@
+"""Demand matrices, the gravity model, and demand envelopes.
+
+Raha treats demands three ways (Section 8):
+
+* **fixed average** -- the mean demand per pair over a month;
+* **fixed maximum** -- the per-pair peak over the same period;
+* **variable** -- the outer adversary chooses any demand within per-pair
+  bounds ``[0, d_k]`` (optionally widened by a *slack* percentage).
+
+Production traces are proprietary; following the paper's own published
+results we synthesize demands with a gravity model
+(:func:`gravity_demands`) and derive average/maximum envelopes from a
+seeded synthetic "month" of variation (:func:`synthesize_monthly_demands`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.network.topology import Topology
+
+#: A source-destination pair; demands are directed even though LAGs are not.
+Pair = tuple[str, str]
+
+
+class DemandMatrix(dict):
+    """A directed demand matrix: ``matrix[(src, dst)] = volume``.
+
+    A thin dict subclass so it can be built, scaled, and compared with
+    plain dict operations while carrying a few WAN-specific helpers.
+    """
+
+    @property
+    def pairs(self) -> list[Pair]:
+        """The demand pairs in insertion order."""
+        return list(self.keys())
+
+    @property
+    def total(self) -> float:
+        """Total offered traffic."""
+        return float(sum(self.values()))
+
+    def scaled(self, factor: float) -> DemandMatrix:
+        """Return a copy with every demand multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError(f"demand scale factor must be nonnegative: {factor}")
+        return DemandMatrix({pair: v * factor for pair, v in self.items()})
+
+    def capped(self, cap: float) -> DemandMatrix:
+        """Return a copy with every demand clamped to at most ``cap``.
+
+        The paper applies such caps so "a single demand does not create a
+        bottleneck" (Figure 8: half the average LAG capacity).
+        """
+        return DemandMatrix({pair: min(v, cap) for pair, v in self.items()})
+
+    def restricted_to(self, pairs: Iterable[Pair]) -> DemandMatrix:
+        """Return a copy containing only the given pairs."""
+        wanted = set(pairs)
+        return DemandMatrix({p: v for p, v in self.items() if p in wanted})
+
+    def validate_for(self, topology: Topology) -> None:
+        """Check all endpoints exist and no pair is a self-demand."""
+        for (src, dst), volume in self.items():
+            if not topology.has_node(src) or not topology.has_node(dst):
+                raise TopologyError(f"demand pair ({src!r}, {dst!r}) not in topology")
+            if src == dst:
+                raise TopologyError(f"self-demand at {src!r}")
+            if volume < 0:
+                raise TopologyError(f"negative demand for ({src!r}, {dst!r})")
+
+
+def all_pairs(topology: Topology) -> list[Pair]:
+    """Every ordered node pair of the topology."""
+    nodes = topology.nodes
+    return [(s, d) for s in nodes for d in nodes if s != d]
+
+
+def gravity_demands(
+    topology: Topology,
+    scale: float = 100.0,
+    pairs: Iterable[Pair] | None = None,
+    seed: int = 0,
+) -> DemandMatrix:
+    """Generate demands with a gravity model.
+
+    Each node gets a mass proportional to its total incident LAG capacity
+    (times a small seeded lognormal perturbation so masses are not exactly
+    symmetric); the demand from ``s`` to ``d`` is
+    ``scale * mass_s * mass_d / sum_of_masses``.  This mirrors the paper's
+    published MLU setup ("generate the demand from a gravity model with a
+    scale factor of 100 Gbps").
+
+    Args:
+        topology: The WAN.
+        scale: Gravity scale factor (the largest pair demand is close to
+            this value divided by the node count).
+        pairs: Restrict to these pairs; defaults to all ordered pairs.
+        seed: Seed for the mass perturbation.
+
+    Returns:
+        A :class:`DemandMatrix` over the requested pairs.
+    """
+    rng = np.random.default_rng(seed)
+    mass = {}
+    for node in topology.nodes:
+        base = sum(lag.capacity for lag in topology.incident_lags(node))
+        mass[node] = base * float(rng.lognormal(mean=0.0, sigma=0.25))
+    total_mass = sum(mass.values())
+    if total_mass <= 0:
+        raise TopologyError("gravity model needs positive total capacity")
+
+    selected = list(pairs) if pairs is not None else all_pairs(topology)
+    matrix = DemandMatrix()
+    for src, dst in selected:
+        matrix[(src, dst)] = scale * mass[src] * mass[dst] / (total_mass**2)
+    matrix.validate_for(topology)
+    return matrix
+
+
+def synthesize_monthly_demands(
+    topology: Topology,
+    scale: float = 100.0,
+    pairs: Iterable[Pair] | None = None,
+    days: int = 30,
+    daily_sigma: float = 0.3,
+    seed: int = 0,
+) -> tuple[DemandMatrix, DemandMatrix]:
+    """Synthesize a month of demands and return (average, maximum).
+
+    The paper's fixed-demand experiments use "the average over a
+    month-long period" and the per-pair maximum over the same period.  We
+    draw per-day multiplicative lognormal noise around a gravity base.
+
+    Returns:
+        ``(average, maximum)`` demand matrices with ``average <= maximum``
+        per pair.
+    """
+    base = gravity_demands(topology, scale=scale, pairs=pairs, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    avg = DemandMatrix()
+    peak = DemandMatrix()
+    for pair, volume in base.items():
+        draws = volume * rng.lognormal(mean=0.0, sigma=daily_sigma, size=days)
+        avg[pair] = float(draws.mean())
+        peak[pair] = float(draws.max())
+    return avg, peak
+
+
+def demand_envelope(
+    demands: Mapping[Pair, float],
+    slack: float = 0.0,
+    floor: float = 0.0,
+) -> dict[Pair, tuple[float, float]]:
+    """Build per-pair ``[lower, upper]`` bounds around a demand matrix.
+
+    ``slack`` follows the paper's experiments (Sections 2.3, 8.3): each
+    pair may take any value in ``[floor, d_k * (1 + slack/100)]``.  A slack
+    of zero with ``floor=0`` reproduces "each demand falls in the interval
+    [0, d_k]".
+
+    Args:
+        demands: Base demand matrix.
+        slack: Upper-bound widening, in percent.
+        floor: Lower bound for every pair (usually zero).
+
+    Returns:
+        Mapping from pair to ``(lower, upper)``.
+    """
+    if slack < 0:
+        raise ValueError(f"slack must be nonnegative, got {slack}")
+    factor = 1.0 + slack / 100.0
+    envelope = {}
+    for pair, volume in demands.items():
+        upper = volume * factor
+        if floor > upper:
+            raise ValueError(
+                f"floor {floor} exceeds widened demand {upper} for {pair}"
+            )
+        envelope[pair] = (floor, upper)
+    return envelope
+
+
+def top_pairs(demands: Mapping[Pair, float], count: int) -> list[Pair]:
+    """The ``count`` largest demand pairs (used to scale down experiments)."""
+    ordered = sorted(demands.items(), key=lambda item: item[1], reverse=True)
+    return [pair for pair, _ in ordered[:count]]

@@ -1,0 +1,193 @@
+"""JSON serialization of topologies, scenarios, paths, and results.
+
+Raha runs operationally (online alerts after every failure, offline
+provisioning), which means inputs and findings must round-trip through
+files: topology snapshots from inventory systems, the scenario/demand
+pair behind an alert, augment plans for review.  This module defines a
+stable, versioned JSON schema for each.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+
+from repro.core.degradation import DegradationResult
+from repro.exceptions import TopologyError
+from repro.failures.scenario import FailureScenario
+from repro.network.demand import DemandMatrix
+from repro.network.srlg import Srlg
+from repro.network.topology import Link, Topology
+from repro.paths.pathset import DemandPaths, PathSet
+
+#: Schema version written into every document.
+SCHEMA_VERSION = 1
+
+
+def topology_to_dict(topology: Topology) -> dict:
+    """Serialize a topology (nodes, LAGs, links, SRLGs)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "topology",
+        "name": topology.name,
+        "nodes": list(topology.nodes),
+        "lags": [
+            {
+                "u": lag.u,
+                "v": lag.v,
+                "links": [
+                    {
+                        "capacity": link.capacity,
+                        "failure_probability": link.failure_probability,
+                        "can_fail": link.can_fail,
+                    }
+                    for link in lag.links
+                ],
+            }
+            for lag in topology.lags
+        ],
+        "srlgs": [
+            {
+                "name": srlg.name,
+                "members": [
+                    {"u": key[0], "v": key[1], "link": idx}
+                    for key, idx in srlg.members
+                ],
+                "failure_probability": srlg.failure_probability,
+            }
+            for srlg in topology.srlgs
+        ],
+    }
+
+
+def topology_from_dict(data: Mapping) -> Topology:
+    """Deserialize a topology; validates structure as it builds."""
+    if data.get("kind") != "topology":
+        raise TopologyError(f"expected a topology document, got {data.get('kind')!r}")
+    topology = Topology(name=data.get("name", "topology"))
+    topology.add_nodes(data["nodes"])
+    for lag_data in data["lags"]:
+        links = [
+            Link(
+                capacity=link["capacity"],
+                failure_probability=link.get("failure_probability"),
+                can_fail=link.get("can_fail", True),
+            )
+            for link in lag_data["links"]
+        ]
+        lag = topology.add_lag(
+            lag_data["u"], lag_data["v"],
+            link_capacities=[l.capacity for l in links],
+        )
+        lag.links = links
+    for srlg_data in data.get("srlgs", []):
+        srlg = Srlg(
+            name=srlg_data["name"],
+            members=[
+                ((m["u"], m["v"]), m["link"]) for m in srlg_data["members"]
+            ],
+            failure_probability=srlg_data.get("failure_probability"),
+        )
+        srlg.validate(topology)
+        topology.srlgs.append(srlg)
+    return topology
+
+
+def scenario_to_dict(scenario: FailureScenario) -> dict:
+    """Serialize a failure scenario."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "scenario",
+        "failed_links": [
+            {"u": key[0], "v": key[1], "link": idx}
+            for key, idx in sorted(scenario.failed_links)
+        ],
+    }
+
+
+def scenario_from_dict(data: Mapping) -> FailureScenario:
+    """Deserialize a failure scenario."""
+    return FailureScenario(
+        ((item["u"], item["v"]), item["link"])
+        for item in data["failed_links"]
+    )
+
+
+def demands_to_dict(demands: Mapping) -> dict:
+    """Serialize a demand matrix."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "demands",
+        "entries": [
+            {"src": src, "dst": dst, "volume": volume}
+            for (src, dst), volume in demands.items()
+        ],
+    }
+
+
+def demands_from_dict(data: Mapping) -> DemandMatrix:
+    """Deserialize a demand matrix."""
+    return DemandMatrix({
+        (e["src"], e["dst"]): float(e["volume"]) for e in data["entries"]
+    })
+
+
+def paths_to_dict(paths: PathSet) -> dict:
+    """Serialize a path set with its primary/backup ordering."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "paths",
+        "demands": [
+            {
+                "src": pair[0],
+                "dst": pair[1],
+                "num_primary": dp.num_primary,
+                "paths": [list(path) for path in dp.paths],
+            }
+            for pair, dp in paths.items()
+        ],
+    }
+
+
+def paths_from_dict(data: Mapping) -> PathSet:
+    """Deserialize a path set."""
+    out = PathSet()
+    for entry in data["demands"]:
+        pair = (entry["src"], entry["dst"])
+        out[pair] = DemandPaths(
+            pair=pair,
+            paths=[tuple(p) for p in entry["paths"]],
+            num_primary=entry["num_primary"],
+        )
+    return out
+
+
+def result_to_dict(result: DegradationResult) -> dict:
+    """Serialize an analysis result (for alert payloads and archives)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "degradation_result",
+        "degradation": result.degradation,
+        "normalized_degradation": result.normalized_degradation,
+        "healthy_value": result.healthy_value,
+        "failed_value": result.failed_value,
+        "scenario": scenario_to_dict(result.scenario),
+        "demands": demands_to_dict(result.demands),
+        "scenario_probability": result.scenario_probability,
+        "status": result.status,
+        "verified": result.verified,
+        "solve_seconds": result.solve_seconds,
+        "notes": list(result.notes),
+    }
+
+
+def save_json(obj: Mapping, path: str) -> None:
+    """Write a serialized document to disk."""
+    with open(path, "w") as handle:
+        json.dump(obj, handle, indent=2, sort_keys=True)
+
+
+def load_json(path: str) -> dict:
+    """Read a serialized document from disk."""
+    with open(path) as handle:
+        return json.load(handle)

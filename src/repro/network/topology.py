@@ -1,0 +1,361 @@
+"""The core topology data model: nodes, links, LAGs.
+
+Terminology follows the paper (Table 2):
+
+* A **link** is a single physical cable with its own capacity ``c_le`` and
+  failure probability ``pi_le``.
+* A **LAG** (link aggregation group) is the bundle of parallel links that
+  forms one edge of the WAN graph.  Its healthy capacity is the sum of its
+  links' capacities; it is *down* only when every constituent link is down
+  (Eq. 3), but each failed link removes its share of capacity (partial
+  failures).
+
+LAGs are undirected: the WANs in the paper run bidirectional LAGs and a
+LAG's capacity is shared by traffic in both directions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import TopologyError
+
+#: Canonical dictionary key for a LAG between two nodes.
+LagKey = tuple[str, str]
+
+
+def lag_key(u: str, v: str) -> LagKey:
+    """Normalize an unordered node pair into a canonical LAG key."""
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass(frozen=True)
+class Link:
+    """One physical link inside a LAG.
+
+    Attributes:
+        capacity: Capacity of this single cable (same unit as demands).
+        failure_probability: Steady-state probability the link is down
+            (estimated in production with renewal-reward theory, see
+            Appendix B and :mod:`repro.failures.probability`).  ``None``
+            means unknown; analyses that need probabilities will then fall
+            back to ``<= k`` failure analysis, as the paper specifies.
+        can_fail: Whether the failure search may bring the link down.
+            Virtual gateway LAGs and "assumed reliable" capacity augments
+            (the Figure 17/18 experiments) set this to ``False``.
+    """
+
+    capacity: float
+    failure_probability: float | None = None
+    can_fail: bool = True
+
+    def __post_init__(self):
+        if self.capacity < 0:
+            raise TopologyError(f"link capacity must be nonnegative: {self.capacity}")
+        p = self.failure_probability
+        if p is not None and not (0.0 < p < 1.0):
+            raise TopologyError(
+                f"link failure probability must lie strictly in (0, 1): {p}"
+            )
+
+
+@dataclass
+class Lag:
+    """A LAG: one WAN edge made of parallel physical links.
+
+    Attributes:
+        u: First endpoint (canonical order, ``u <= v``).
+        v: Second endpoint.
+        links: The physical links in the bundle (at least one).
+        index: Position of this LAG in the owning topology's LAG order;
+            assigned by :meth:`Topology.add_lag`.
+    """
+
+    u: str
+    v: str
+    links: list[Link]
+    index: int = -1
+
+    @property
+    def key(self) -> LagKey:
+        """Canonical ``(u, v)`` key of this LAG."""
+        return (self.u, self.v)
+
+    @property
+    def capacity(self) -> float:
+        """Healthy capacity: the sum over constituent links."""
+        return sum(link.capacity for link in self.links)
+
+    @property
+    def num_links(self) -> int:
+        """Number of physical links in the bundle (``N_e`` in the paper)."""
+        return len(self.links)
+
+    @property
+    def has_probabilities(self) -> bool:
+        """Whether every link carries a failure probability."""
+        return all(link.failure_probability is not None for link in self.links)
+
+    def endpoints(self) -> tuple[str, str]:
+        """The two endpoints in canonical order."""
+        return (self.u, self.v)
+
+    def other(self, node: str) -> str:
+        """The endpoint opposite ``node``."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise TopologyError(f"{node!r} is not an endpoint of LAG {self.key}")
+
+    def __repr__(self):
+        return f"Lag({self.u}-{self.v}, {self.num_links} links, cap={self.capacity:g})"
+
+
+@dataclass
+class Topology:
+    """An undirected WAN topology of nodes and LAGs.
+
+    Build with :meth:`add_node` / :meth:`add_lag`, or use the helpers in
+    :mod:`repro.network.builder`, :mod:`repro.network.generators` and
+    :mod:`repro.network.zoo`.
+
+    Attributes:
+        name: Display name used in reports.
+    """
+
+    name: str = "topology"
+    _nodes: list[str] = field(default_factory=list)
+    _node_set: set[str] = field(default_factory=set)
+    _lags: list[Lag] = field(default_factory=list)
+    _lag_by_key: dict[LagKey, Lag] = field(default_factory=dict)
+    _adjacency: dict[str, list[Lag]] = field(default_factory=dict)
+    srlgs: list = field(default_factory=list)
+
+    # -- construction -----------------------------------------------------
+    def add_node(self, name: str) -> str:
+        """Register a node; adding an existing node is an error."""
+        if not name:
+            raise TopologyError("node names must be non-empty strings")
+        if name in self._node_set:
+            raise TopologyError(f"duplicate node {name!r}")
+        self._nodes.append(name)
+        self._node_set.add(name)
+        self._adjacency[name] = []
+        return name
+
+    def add_nodes(self, names: Iterable[str]) -> None:
+        """Register several nodes."""
+        for name in names:
+            self.add_node(name)
+
+    def add_lag(
+        self,
+        u: str,
+        v: str,
+        link_capacities: Sequence[float] | None = None,
+        link_probabilities: Sequence[float] | None = None,
+        capacity: float | None = None,
+        num_links: int = 1,
+        failure_probability: float | None = None,
+    ) -> Lag:
+        """Add a LAG between two existing nodes.
+
+        Either pass explicit per-link data (``link_capacities`` and
+        optionally ``link_probabilities``), or pass an aggregate
+        ``capacity`` that is split evenly across ``num_links`` links, each
+        with the same ``failure_probability``.
+
+        Returns:
+            The created :class:`Lag` with its index assigned.
+        """
+        for node in (u, v):
+            if node not in self._node_set:
+                raise TopologyError(f"unknown node {node!r}; add_node it first")
+        if u == v:
+            raise TopologyError(f"self-loop LAG at {u!r} is not allowed")
+        key = lag_key(u, v)
+        if key in self._lag_by_key:
+            raise TopologyError(
+                f"duplicate LAG {key}; add links to the existing LAG instead"
+            )
+
+        if link_capacities is not None:
+            if capacity is not None:
+                raise TopologyError("pass link_capacities or capacity, not both")
+            probs: Sequence[float | None]
+            if link_probabilities is not None:
+                if len(link_probabilities) != len(link_capacities):
+                    raise TopologyError(
+                        "link_probabilities length must match link_capacities"
+                    )
+                probs = list(link_probabilities)
+            else:
+                probs = [failure_probability] * len(link_capacities)
+            links = [
+                Link(capacity=c, failure_probability=p)
+                for c, p in zip(link_capacities, probs)
+            ]
+        else:
+            if capacity is None:
+                raise TopologyError("pass link_capacities or capacity")
+            if num_links < 1:
+                raise TopologyError(f"a LAG needs at least one link, got {num_links}")
+            per_link = capacity / num_links
+            links = [
+                Link(capacity=per_link, failure_probability=failure_probability)
+                for _ in range(num_links)
+            ]
+        if not links:
+            raise TopologyError("a LAG needs at least one link")
+
+        lag = Lag(u=key[0], v=key[1], links=links, index=len(self._lags))
+        self._lags.append(lag)
+        self._lag_by_key[key] = lag
+        self._adjacency[u].append(lag)
+        self._adjacency[v].append(lag)
+        return lag
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def nodes(self) -> list[str]:
+        """Nodes in insertion order (do not mutate)."""
+        return self._nodes
+
+    @property
+    def lags(self) -> list[Lag]:
+        """LAGs in insertion order (do not mutate)."""
+        return self._lags
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_lags(self) -> int:
+        return len(self._lags)
+
+    @property
+    def num_links(self) -> int:
+        """Total number of physical links across all LAGs."""
+        return sum(lag.num_links for lag in self._lags)
+
+    def has_node(self, name: str) -> bool:
+        return name in self._node_set
+
+    def lag_between(self, u: str, v: str) -> Lag | None:
+        """The LAG connecting two nodes, or ``None``."""
+        return self._lag_by_key.get(lag_key(u, v))
+
+    def require_lag(self, u: str, v: str) -> Lag:
+        """The LAG connecting two nodes; raises if absent."""
+        lag = self.lag_between(u, v)
+        if lag is None:
+            raise TopologyError(f"no LAG between {u!r} and {v!r}")
+        return lag
+
+    def incident_lags(self, node: str) -> list[Lag]:
+        """LAGs touching a node."""
+        if node not in self._node_set:
+            raise TopologyError(f"unknown node {node!r}")
+        return self._adjacency[node]
+
+    def neighbors(self, node: str) -> list[str]:
+        """Adjacent nodes."""
+        return [lag.other(node) for lag in self.incident_lags(node)]
+
+    def average_lag_capacity(self) -> float:
+        """Mean healthy LAG capacity -- the paper's normalization unit.
+
+        Degradations throughout the evaluation are reported as multiples
+        of this value ("a degradation of 2 means the network drops traffic
+        equivalent to 2x the average capacity of a LAG").
+        """
+        if not self._lags:
+            raise TopologyError("topology has no LAGs")
+        return sum(lag.capacity for lag in self._lags) / len(self._lags)
+
+    def has_probabilities(self) -> bool:
+        """Whether every link in the topology has a failure probability."""
+        return all(lag.has_probabilities for lag in self._lags)
+
+    def path_is_valid(self, path: Sequence[str]) -> bool:
+        """Whether consecutive nodes on the path are joined by LAGs."""
+        if len(path) < 2:
+            return False
+        if len(set(path)) != len(path):
+            return False
+        return all(
+            self.lag_between(a, b) is not None for a, b in zip(path, path[1:])
+        )
+
+    def lags_on_path(self, path: Sequence[str]) -> list[Lag]:
+        """The LAGs a node path traverses, in order."""
+        return [self.require_lag(a, b) for a, b in zip(path, path[1:])]
+
+    # -- conversions and derivations ---------------------------------------
+    def to_networkx(self):
+        """Export to a :class:`networkx.Graph` with capacity attributes."""
+        import networkx as nx
+
+        graph = nx.Graph(name=self.name)
+        graph.add_nodes_from(self._nodes)
+        for lag in self._lags:
+            graph.add_edge(
+                lag.u, lag.v, capacity=lag.capacity, num_links=lag.num_links
+            )
+        return graph
+
+    def is_connected(self) -> bool:
+        """Whether the healthy topology is one connected component."""
+        if not self._nodes:
+            return False
+        seen = {self._nodes[0]}
+        frontier = [self._nodes[0]]
+        while frontier:
+            node = frontier.pop()
+            for nxt in self.neighbors(node):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return len(seen) == len(self._nodes)
+
+    def copy(self, name: str | None = None) -> Topology:
+        """Deep-copy the topology (links are immutable and shared)."""
+        out = Topology(name=name or self.name)
+        out.add_nodes(self._nodes)
+        for lag in self._lags:
+            out.add_lag(lag.u, lag.v, link_capacities=[l.capacity for l in lag.links],
+                        link_probabilities=None)
+            # Preserve probabilities, including None, link by link.
+            out._lags[-1].links = list(lag.links)
+        out.srlgs = list(self.srlgs)
+        return out
+
+    def with_added_links(
+        self, additions: dict[LagKey, list[Link]], name: str | None = None
+    ) -> Topology:
+        """Return a copy with extra links added to (possibly new) LAGs.
+
+        Used by the capacity augmentation loop (Section 7): keys that match
+        an existing LAG get the links appended; new keys create new LAGs.
+        """
+        out = self.copy(name=name or f"{self.name}+augment")
+        for key, links in additions.items():
+            if not links:
+                continue
+            existing = out._lag_by_key.get(lag_key(*key))
+            if existing is not None:
+                existing.links = existing.links + list(links)
+            else:
+                u, v = key
+                out.add_lag(u, v, link_capacities=[l.capacity for l in links])
+                out._lags[-1].links = list(links)
+        return out
+
+    def __repr__(self):
+        return (
+            f"Topology({self.name!r}, {self.num_nodes} nodes, "
+            f"{self.num_lags} LAGs, {self.num_links} links)"
+        )

@@ -1,0 +1,116 @@
+"""Gateway "equivalence" virtual nodes (Section 9).
+
+Traffic entering or leaving a continent can use any of several gateways
+(multi-source / multi-destination demands).  The paper models this with a
+virtual node attached to the gateways: the virtual node "has more paths
+available to it -- we allow them access to all paths that their immediate
+neighbors have access to", and CE constraints apply only to non-virtual
+nodes.
+
+:func:`add_gateway` performs the topology transformation;
+:func:`extend_paths_through_gateways` grows a :class:`PathSet` so a
+virtual endpoint inherits its gateways' paths.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.exceptions import TopologyError
+from repro.network.topology import Topology
+from repro.paths.pathset import DemandPaths, PathSet
+
+
+def add_gateway(
+    topology: Topology,
+    virtual_name: str,
+    gateway_capacities: Mapping[str, float],
+) -> Topology:
+    """Return a copy with a virtual node LAG-attached to each gateway.
+
+    Args:
+        topology: The WAN.
+        virtual_name: Name of the new virtual node.
+        gateway_capacities: Gateway node -> transit capacity ("each of
+            these gateways has a capacity for how much traffic it can help
+            transit").  The virtual LAG to a gateway carries exactly that
+            capacity and, being virtual, never fails on its own.
+
+    Returns:
+        A new topology; the input is unchanged.
+    """
+    if not gateway_capacities:
+        raise TopologyError("a gateway equivalence needs at least one gateway")
+    if topology.has_node(virtual_name):
+        raise TopologyError(f"node {virtual_name!r} already exists")
+    out = topology.copy()
+    out.add_node(virtual_name)
+    for gateway, capacity in gateway_capacities.items():
+        if not out.has_node(gateway):
+            raise TopologyError(f"unknown gateway {gateway!r}")
+        # Virtual LAGs do not fail: no failure probability means the
+        # failure model treats them as always-up unless told otherwise.
+        out.add_lag(virtual_name, gateway, capacity=capacity, num_links=1)
+    return out
+
+
+def extend_paths_through_gateways(
+    paths: PathSet,
+    topology: Topology,
+    virtual_name: str,
+    gateways: list[str],
+) -> PathSet:
+    """Give demands touching the virtual node all gateway paths.
+
+    For a demand ``(virtual, d)`` the result contains, for every gateway
+    ``g`` and every path ``g -> d`` that some demand ``(g, d)`` owns, the
+    path ``virtual -> g -> d`` (and symmetrically for ``(s, virtual)``).
+    Primary/backup ordering is preserved gateway-major: all primaries of
+    every gateway first, then all backups.
+
+    Args:
+        paths: Path set containing the gateway demands' paths.
+        topology: Topology *with* the virtual node attached.
+        virtual_name: The virtual endpoint.
+        gateways: Gateways in preference order.
+
+    Returns:
+        A new :class:`PathSet` with entries for the virtual demands added.
+    """
+    out = PathSet(dict(paths))
+    out.computation_seconds = paths.computation_seconds
+    virtual_pairs: dict = {}
+
+    for pair in list(paths):
+        src, dst = pair
+        for gateway in gateways:
+            if src == gateway and dst != virtual_name:
+                virtual_pairs.setdefault((virtual_name, dst), [])
+            if dst == gateway and src != virtual_name:
+                virtual_pairs.setdefault((src, virtual_name), [])
+
+    for vpair in virtual_pairs:
+        vsrc, vdst = vpair
+        primaries, backups = [], []
+        for gateway in gateways:
+            base_pair = (gateway, vdst) if vsrc == virtual_name else (vsrc, gateway)
+            base = paths.get(base_pair)
+            if base is None:
+                continue
+            for i, path in enumerate(base.paths):
+                if vsrc == virtual_name:
+                    extended = (virtual_name,) + path
+                else:
+                    extended = path + (virtual_name,)
+                if not topology.path_is_valid(extended):
+                    continue
+                (primaries if i < base.num_primary else backups).append(extended)
+        # De-duplicate while keeping order.
+        ordered = list(dict.fromkeys(primaries + backups))
+        n_primary = len(dict.fromkeys(primaries))
+        if not ordered:
+            continue
+        out[vpair] = DemandPaths(
+            pair=vpair, paths=ordered, num_primary=max(1, n_primary)
+        )
+    return out

@@ -1,0 +1,27 @@
+"""Path selection: k-shortest paths, diversity-weighted and disjoint sets.
+
+Raha takes the path set as an *input* ("this is why Raha supports any
+path selection policy -- it runs k shortest path if this input is
+missing").  This package provides:
+
+* :mod:`repro.paths.pathset` -- the ordered primary/backup
+  :class:`PathSet` model the encodings consume (Eq. 5's path ordering).
+* :mod:`repro.paths.ksp` -- Yen's k-shortest-paths over a topology.
+* :mod:`repro.paths.weighted` -- LAG-usage-penalized selection (the
+  alternative scheme of Figure 13 that reduces fate sharing).
+* :mod:`repro.paths.disjoint` -- greedy edge-disjoint selection.
+"""
+
+from repro.paths.disjoint import edge_disjoint_paths
+from repro.paths.ksp import k_shortest_paths, shortest_path
+from repro.paths.pathset import DemandPaths, PathSet
+from repro.paths.weighted import diversity_weighted_paths
+
+__all__ = [
+    "DemandPaths",
+    "PathSet",
+    "diversity_weighted_paths",
+    "edge_disjoint_paths",
+    "k_shortest_paths",
+    "shortest_path",
+]

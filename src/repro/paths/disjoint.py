@@ -1,0 +1,48 @@
+"""Greedy edge-disjoint path selection.
+
+Section 9 ("On paths") observes that non-edge-disjoint path sets let Raha
+"create larger degradations when it picks links that participate in a
+larger number of paths".  Operators who want to harden a WAN therefore
+prefer (partially) disjoint path sets; this module provides the standard
+greedy construction: repeatedly take a shortest path, then ban its LAGs.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import PathError
+from repro.network.topology import Topology
+from repro.paths.ksp import Path, WeightFn, shortest_path
+
+
+def edge_disjoint_paths(
+    topology: Topology,
+    source: str,
+    target: str,
+    k: int,
+    weight: WeightFn | None = None,
+) -> list[Path]:
+    """Up to ``k`` mutually edge-disjoint paths, shortest first.
+
+    Greedy (not max-flow based), matching what WAN controllers typically
+    deploy; returns fewer than ``k`` paths when disjoint routes run out.
+
+    Raises:
+        PathError: If no path at all exists between the endpoints.
+    """
+    if k < 1:
+        raise PathError(f"k must be positive, got {k}")
+    banned: set = set()
+    paths: list[Path] = []
+    for _ in range(k):
+        path = shortest_path(
+            topology, source, target, weight=weight,
+            banned_lags=frozenset(banned),
+        )
+        if path is None:
+            break
+        paths.append(path)
+        for lag in topology.lags_on_path(path):
+            banned.add(lag.key)
+    if not paths:
+        raise PathError(f"no route between {source!r} and {target!r}")
+    return paths

@@ -1,0 +1,146 @@
+"""Shortest path and Yen's k-shortest loopless paths over a topology.
+
+Implemented from scratch (Dijkstra + Yen) rather than through networkx so
+the path substrate has no hidden dependencies and deterministic
+tie-breaking: ties are broken by path node sequence, which keeps every
+experiment reproducible across runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+from repro.exceptions import PathError
+from repro.network.topology import Lag, LagKey, Topology
+
+#: A path is a tuple of node names from source to destination.
+Path = tuple[str, ...]
+
+#: Weight function: LAG -> cost.  Defaults to hop count (weight 1).
+WeightFn = Callable[[Lag], float]
+
+
+def _unit_weight(_: Lag) -> float:
+    return 1.0
+
+
+def shortest_path(
+    topology: Topology,
+    source: str,
+    target: str,
+    weight: WeightFn | None = None,
+    banned_lags: frozenset[LagKey] | None = None,
+    banned_nodes: frozenset[str] | None = None,
+) -> Path | None:
+    """Dijkstra shortest path, or ``None`` when disconnected.
+
+    Args:
+        topology: The WAN.
+        source: Start node.
+        target: End node.
+        weight: Per-LAG cost; hop count when omitted.  Must be positive.
+        banned_lags: LAG keys that may not be traversed (used by Yen).
+        banned_nodes: Nodes that may not be visited (used by Yen).
+    """
+    if source == target:
+        raise PathError("source and target must differ")
+    for node in (source, target):
+        if not topology.has_node(node):
+            raise PathError(f"unknown node {node!r}")
+    weight = weight or _unit_weight
+    banned_lags = banned_lags or frozenset()
+    banned_nodes = banned_nodes or frozenset()
+    if source in banned_nodes or target in banned_nodes:
+        return None
+
+    # Heap entries carry the path tuple for deterministic tie-breaking.
+    heap: list[tuple[float, Path]] = [(0.0, (source,))]
+    settled: set[str] = set()
+    while heap:
+        cost, path = heapq.heappop(heap)
+        node = path[-1]
+        if node == target:
+            return path
+        if node in settled:
+            continue
+        settled.add(node)
+        for lag in topology.incident_lags(node):
+            if lag.key in banned_lags:
+                continue
+            nxt = lag.other(node)
+            if nxt in settled or nxt in banned_nodes or nxt in path:
+                continue
+            step = weight(lag)
+            if step <= 0:
+                raise PathError(f"nonpositive weight {step} on LAG {lag.key}")
+            heapq.heappush(heap, (cost + step, path + (nxt,)))
+    return None
+
+
+def _path_cost(topology: Topology, path: Path, weight: WeightFn) -> float:
+    return sum(weight(lag) for lag in topology.lags_on_path(path))
+
+
+def k_shortest_paths(
+    topology: Topology,
+    source: str,
+    target: str,
+    k: int,
+    weight: WeightFn | None = None,
+) -> list[Path]:
+    """Yen's algorithm: up to ``k`` loopless paths by increasing cost.
+
+    Returns fewer than ``k`` paths when the graph does not contain that
+    many distinct loopless routes.  This is the paper's default tunnel
+    selection ("we use the k shortest path algorithm").
+    """
+    if k < 1:
+        raise PathError(f"k must be positive, got {k}")
+    weight = weight or _unit_weight
+    first = shortest_path(topology, source, target, weight=weight)
+    if first is None:
+        return []
+    accepted: list[Path] = [first]
+    candidates: list[tuple[float, Path]] = []
+    seen_candidates: set[Path] = {first}
+
+    while len(accepted) < k:
+        previous = accepted[-1]
+        # Branch at every spur node of the previous accepted path.
+        for spur_index in range(len(previous) - 1):
+            spur_node = previous[spur_index]
+            root = previous[: spur_index + 1]
+
+            banned_lags = set()
+            for path in accepted:
+                if path[: spur_index + 1] == root and len(path) > spur_index + 1:
+                    banned = topology.lag_between(
+                        path[spur_index], path[spur_index + 1]
+                    )
+                    if banned is not None:
+                        banned_lags.add(banned.key)
+            banned_nodes = frozenset(root[:-1])
+
+            spur = shortest_path(
+                topology,
+                spur_node,
+                target,
+                weight=weight,
+                banned_lags=frozenset(banned_lags),
+                banned_nodes=banned_nodes,
+            )
+            if spur is None:
+                continue
+            candidate = root[:-1] + spur
+            if candidate in seen_candidates:
+                continue
+            seen_candidates.add(candidate)
+            heapq.heappush(
+                candidates, (_path_cost(topology, candidate, weight), candidate)
+            )
+        if not candidates:
+            break
+        _, best = heapq.heappop(candidates)
+        accepted.append(best)
+    return accepted

@@ -1,0 +1,193 @@
+"""Demand-oblivious routing templates (Azar et al. [4]).
+
+The paper lists oblivious routing as one of the tunnel-selection schemes
+Raha supports.  An oblivious template fixes, per demand, the *fractions*
+of traffic sent down each candidate path -- independent of the actual
+demand matrix -- and is judged by its *performance ratio*: the worst
+case, over all demand matrices routable with congestion 1, of the
+congestion the template causes.
+
+This module computes the optimal path-restricted template with the
+classical constraint-generation scheme (the LP-duality approach of
+Applegate & Cohen made iterative):
+
+1. **Master LP**: minimize ``r`` subject to, for every adversarial demand
+   matrix found so far and every LAG, template load <= ``r *`` capacity.
+2. **Separation LP** (per LAG): find the demand matrix maximizing that
+   LAG's template load among matrices routable with congestion <= 1 on
+   the same candidate paths.  A violation joins the pool; repeat.
+
+The loop terminates because each round adds a most-violated constraint
+of the (finitely generated) adversarial polytope.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.exceptions import ModelingError, PathError
+from repro.network.demand import Pair
+from repro.network.topology import LagKey, Topology
+from repro.paths.ksp import Path
+from repro.paths.pathset import DemandPaths, PathSet
+from repro.solver import Model, quicksum
+
+
+@dataclass
+class ObliviousRouting:
+    """An oblivious routing template and its performance ratio.
+
+    Attributes:
+        fractions: ``(pair, path) -> fraction`` of the pair's demand the
+            template sends down that path (fractions sum to 1 per pair).
+        ratio: The template's performance ratio against the best
+            path-restricted routing (>= 1; equal to 1 only when one
+            routing is simultaneously optimal for all demands).
+        iterations: Constraint-generation rounds used.
+    """
+
+    fractions: dict[tuple[Pair, Path], float]
+    ratio: float
+    iterations: int
+
+    def to_pathset(self, paths: PathSet) -> PathSet:
+        """The input path set reordered by template fraction.
+
+        Raha takes paths as input; ordering them by oblivious fraction
+        (all primary) lets the analyzer evaluate the oblivious design.
+        """
+        out = PathSet()
+        for pair, dp in paths.items():
+            ordered = sorted(
+                dp.paths,
+                key=lambda p: self.fractions.get((pair, p), 0.0),
+                reverse=True,
+            )
+            out[pair] = DemandPaths(pair=pair, paths=ordered,
+                                    num_primary=len(ordered))
+        out.computation_seconds = paths.computation_seconds
+        return out
+
+
+def _template_loads(topology, paths, fractions):
+    """Per-LAG expressions of template load coefficients u_ke."""
+    loads: dict[LagKey, dict[Pair, float]] = defaultdict(lambda: defaultdict(float))
+    for (pair, path), fraction in fractions.items():
+        if fraction <= 0:
+            continue
+        for lag in topology.lags_on_path(path):
+            loads[lag.key][pair] += fraction
+    return loads
+
+
+def _separation(topology: Topology, paths: PathSet, loads_on_lag,
+                capacity: float):
+    """Worst congestion-1-routable demand for one LAG's template load."""
+    model = Model("oblivious-sep")
+    demand = {pair: model.add_var(name=f"d[{pair}]") for pair in paths}
+    flow: dict[tuple[Pair, Path], object] = {}
+    per_lag: dict[LagKey, list] = defaultdict(list)
+    for pair, dp in paths.items():
+        terms = []
+        for path in dp.paths:
+            y = model.add_var(name=f"y[{pair}]")
+            flow[(pair, path)] = y
+            terms.append(y)
+            for lag in topology.lags_on_path(path):
+                per_lag[lag.key].append(y)
+        model.add_constr(quicksum(terms) == demand[pair])
+    for key, vars_on_lag in per_lag.items():
+        model.add_constr(
+            quicksum(vars_on_lag) <= topology.require_lag(*key).capacity
+        )
+    objective = quicksum(
+        coef * demand[pair] for pair, coef in loads_on_lag.items()
+    )
+    model.set_objective(objective, sense="max")
+    result = model.solve().require_ok()
+    worst = {pair: result.value(var) for pair, var in demand.items()}
+    return result.objective / capacity, worst
+
+
+def oblivious_routing(
+    topology: Topology,
+    paths: PathSet,
+    max_iterations: int = 50,
+    tol: float = 1e-6,
+) -> ObliviousRouting:
+    """Compute the optimal path-restricted oblivious template.
+
+    Args:
+        topology: The WAN.
+        paths: Candidate paths per pair (all treated as usable).
+        max_iterations: Constraint-generation budget.
+        tol: Violation tolerance for termination.
+
+    Raises:
+        ModelingError: If the loop fails to converge in the budget
+            (raise ``max_iterations`` for large instances).
+    """
+    if not paths:
+        raise PathError("oblivious routing needs at least one demand")
+    pairs = list(paths)
+    pool: list[dict[Pair, float]] = [
+        {pair: 1.0 if pair == seed else 0.0 for pair in pairs}
+        for seed in pairs
+    ]
+
+    for iteration in range(1, max_iterations + 1):
+        # Master: best template against the adversarial pool.
+        master = Model("oblivious-master")
+        ratio = master.add_var(name="r")
+        x = {}
+        for pair, dp in paths.items():
+            fractions = [
+                master.add_var(ub=1.0, name=f"x[{pair}][{j}]")
+                for j in range(len(dp.paths))
+            ]
+            for j, path in enumerate(dp.paths):
+                x[(pair, path)] = fractions[j]
+            master.add_constr(quicksum(fractions) == 1.0)
+        for demand in pool:
+            per_lag: dict[LagKey, list] = defaultdict(list)
+            for pair, dp in paths.items():
+                volume = demand.get(pair, 0.0)
+                if volume <= 0:
+                    continue
+                for path in dp.paths:
+                    for lag in topology.lags_on_path(path):
+                        per_lag[lag.key].append(volume * x[(pair, path)])
+            for key, terms in per_lag.items():
+                capacity = topology.require_lag(*key).capacity
+                if capacity <= 0:
+                    raise ModelingError(f"LAG {key} has zero capacity")
+                master.add_constr(quicksum(terms) <= capacity * ratio)
+        master.set_objective(ratio, sense="min")
+        result = master.solve().require_ok()
+        template = {key: result.value(var) for key, var in x.items()}
+        current_ratio = result.objective
+
+        # Separation: is some demand worse than current_ratio?
+        loads = _template_loads(topology, paths, template)
+        worst_violation = 0.0
+        worst_demand = None
+        for lag in topology.lags:
+            if lag.key not in loads or lag.capacity <= 0:
+                continue
+            congestion, demand = _separation(
+                topology, paths, loads[lag.key], lag.capacity
+            )
+            if congestion > current_ratio + tol and congestion > worst_violation:
+                worst_violation = congestion
+                worst_demand = demand
+        if worst_demand is None:
+            return ObliviousRouting(
+                fractions=template,
+                ratio=max(current_ratio, 1.0),
+                iterations=iteration,
+            )
+        pool.append(worst_demand)
+    raise ModelingError(
+        f"oblivious routing did not converge in {max_iterations} iterations"
+    )

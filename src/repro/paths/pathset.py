@@ -1,0 +1,129 @@
+"""The ordered primary/backup path model Raha's encodings consume.
+
+The paper orders each demand's paths as "the first ``n_kp`` are primary
+and the remaining are an ordered list of backups" (Eq. 5).  Backups
+activate in order: the r-th backup may carry traffic only once at least
+``r`` higher-priority paths (primary or earlier backup) are down.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.exceptions import PathError
+from repro.network.demand import Pair
+from repro.network.topology import Topology
+from repro.paths.ksp import Path, WeightFn, k_shortest_paths
+
+
+@dataclass
+class DemandPaths:
+    """The ordered paths configured for one demand pair.
+
+    Attributes:
+        pair: The ``(source, destination)`` demand.
+        paths: All paths, primaries first, then backups in fail-over order.
+        num_primary: How many of ``paths`` are primary (``n_kp``).
+    """
+
+    pair: Pair
+    paths: list[Path]
+    num_primary: int
+
+    def __post_init__(self):
+        if not self.paths:
+            raise PathError(f"demand {self.pair} has no paths")
+        if not (1 <= self.num_primary <= len(self.paths)):
+            raise PathError(
+                f"demand {self.pair}: num_primary={self.num_primary} out of "
+                f"range for {len(self.paths)} paths"
+            )
+        src, dst = self.pair
+        for path in self.paths:
+            if path[0] != src or path[-1] != dst:
+                raise PathError(
+                    f"path {path} does not connect {src!r} to {dst!r}"
+                )
+        if len(set(self.paths)) != len(self.paths):
+            raise PathError(f"demand {self.pair} has duplicate paths")
+
+    @property
+    def primaries(self) -> list[Path]:
+        """The primary paths (usable while they are up)."""
+        return self.paths[: self.num_primary]
+
+    @property
+    def backups(self) -> list[Path]:
+        """The ordered backup paths (``B_k``)."""
+        return self.paths[self.num_primary:]
+
+    @property
+    def num_backup(self) -> int:
+        return len(self.paths) - self.num_primary
+
+    def validate_against(self, topology: Topology) -> None:
+        """Check every path is simple and uses existing LAGs."""
+        for path in self.paths:
+            if not topology.path_is_valid(path):
+                raise PathError(f"invalid path {path} for {self.pair}")
+
+
+class PathSet(dict):
+    """Mapping from demand pair to :class:`DemandPaths`.
+
+    Build directly from explicit paths (any tunnel selection policy), or
+    with :meth:`k_shortest` for the paper's default.
+
+    Attributes:
+        computation_seconds: Time spent computing paths; the paper includes
+            path computation in its runtime numbers (Section 8.5), so the
+            experiment harness adds this to solve times.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.computation_seconds: float = 0.0
+
+    @classmethod
+    def k_shortest(
+        cls,
+        topology: Topology,
+        pairs: list[Pair],
+        num_primary: int = 2,
+        num_backup: int = 1,
+        weight: WeightFn | None = None,
+    ) -> PathSet:
+        """Compute ``num_primary + num_backup`` shortest paths per pair.
+
+        Pairs with fewer available routes keep what exists (at least one
+        path is required; unreachable pairs raise :class:`PathError`).
+        """
+        started = time.monotonic()
+        out = cls()
+        for pair in pairs:
+            src, dst = pair
+            want = num_primary + num_backup
+            paths = k_shortest_paths(topology, src, dst, k=want, weight=weight)
+            if not paths:
+                raise PathError(f"no route between {src!r} and {dst!r}")
+            primary = min(num_primary, len(paths))
+            out[pair] = DemandPaths(pair=pair, paths=paths, num_primary=primary)
+        out.computation_seconds = time.monotonic() - started
+        return out
+
+    def validate_against(self, topology: Topology) -> None:
+        """Validate every demand's paths against a topology."""
+        for demand_paths in self.values():
+            demand_paths.validate_against(topology)
+
+    def restricted_to(self, pairs) -> PathSet:
+        """A new PathSet containing only the given pairs."""
+        wanted = set(pairs)
+        out = PathSet({p: dp for p, dp in self.items() if p in wanted})
+        out.computation_seconds = self.computation_seconds
+        return out
+
+    def max_paths_per_demand(self) -> int:
+        """The largest path count over all demands."""
+        return max(len(dp.paths) for dp in self.values()) if self else 0

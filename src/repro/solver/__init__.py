@@ -1,0 +1,42 @@
+"""Linear and mixed-integer modeling layer over scipy's HiGHS solvers.
+
+The paper implements Raha on top of MetaOpt, which in turn drives Gurobi.
+Neither is available offline, so this package provides the substrate both
+of them supply:
+
+* :mod:`repro.solver.expr` -- variables, linear expressions and constraints
+  with operator overloading (``2 * x + y <= 5``).
+* :mod:`repro.solver.model` -- a :class:`Model` that compiles expressions
+  into sparse matrices and dispatches to :func:`scipy.optimize.milp` (for
+  mixed-integer programs) or :func:`scipy.optimize.linprog` (for pure LPs,
+  where dual values are also recovered).
+* :mod:`repro.solver.linearize` -- standard MILP linearization gadgets:
+  indicator variables for threshold tests on integer expressions, and
+  McCormick products of a binary and a bounded continuous variable.  These
+  implement the "standard optimization techniques [7]" the paper uses to
+  linearize the indicator in Eq. 5.
+* :mod:`repro.solver.duality` -- emission of LP KKT optimality conditions
+  (dual feasibility + big-M complementary slackness) into a host model.
+  This is the mechanism that lets Raha embed the *failed* network's traffic
+  engineering optimum inside a single-level MILP (Section 4.1 of the paper).
+"""
+
+from repro.solver.expr import Constraint, LinExpr, Var, quicksum
+from repro.solver.linearize import (
+    indicator_geq,
+    product_binary_bounded,
+)
+from repro.solver.model import Model
+from repro.solver.result import SolveResult, SolveStatus
+
+__all__ = [
+    "Constraint",
+    "LinExpr",
+    "Model",
+    "SolveResult",
+    "SolveStatus",
+    "Var",
+    "indicator_geq",
+    "product_binary_bounded",
+    "quicksum",
+]

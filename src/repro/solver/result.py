@@ -1,0 +1,96 @@
+"""Solve results and statuses returned by :class:`repro.solver.model.Model`."""
+
+from __future__ import annotations
+
+import enum
+import numbers
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.solver.expr import LinExpr, Var
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve call.
+
+    ``TIME_LIMIT`` mirrors the paper's use of MetaOpt's ``timeout`` feature
+    (Section 6): the solver was stopped early but may still carry a feasible
+    incumbent, in which case :attr:`SolveResult.has_solution` is true.
+    """
+
+    OPTIMAL = "optimal"
+    TIME_LIMIT = "time_limit"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+    @property
+    def ok(self) -> bool:
+        """Whether the status may carry a usable solution."""
+        return self in (SolveStatus.OPTIMAL, SolveStatus.TIME_LIMIT)
+
+
+@dataclass
+class SolveResult:
+    """The outcome of solving a model.
+
+    Attributes:
+        status: Terminal solver status.
+        objective: Objective value in the model's own sense (max problems
+            report the maximum), or ``nan`` when no solution exists.
+        x: Variable values in column order, or ``None`` without a solution.
+        duals: Per-constraint dual values for pure LPs solved through
+            :func:`scipy.optimize.linprog` (``None`` for MILPs).  Signs
+            follow the model's stated sense: for a maximization, the dual
+            of a binding ``<=`` constraint is nonnegative.
+        mip_gap: Relative MIP gap reported by HiGHS when available.
+        solve_seconds: Wall-clock time spent inside the backend call.
+    """
+
+    status: SolveStatus
+    objective: float = float("nan")
+    x: np.ndarray | None = None
+    duals: np.ndarray | None = None
+    mip_gap: float | None = None
+    solve_seconds: float = 0.0
+    message: str = ""
+    _names: list[str] = field(default_factory=list, repr=False)
+
+    @property
+    def has_solution(self) -> bool:
+        """Whether variable values are available."""
+        return self.x is not None
+
+    def value(self, item) -> float:
+        """Evaluate a variable or linear expression at the solution."""
+        if self.x is None:
+            raise ValueError(f"no solution available (status={self.status})")
+        if isinstance(item, Var):
+            return float(self.x[item.index])
+        if isinstance(item, LinExpr):
+            total = item.constant
+            for idx, coef in item.terms.items():
+                total += coef * self.x[idx]
+            return float(total)
+        if isinstance(item, numbers.Real):
+            return float(item)
+        raise TypeError(f"cannot evaluate {item!r}")
+
+    def values(self, items) -> list[float]:
+        """Evaluate a sequence of variables/expressions at the solution."""
+        return [self.value(item) for item in items]
+
+    def require_ok(self) -> SolveResult:
+        """Raise :class:`repro.exceptions.SolverError` unless usable.
+
+        Returns self so calls can be chained:
+        ``result = model.solve().require_ok()``.
+        """
+        from repro.exceptions import SolverError
+
+        if not self.status.ok or self.x is None:
+            raise SolverError(
+                f"solve failed: status={self.status.value} message={self.message!r}"
+            )
+        return self

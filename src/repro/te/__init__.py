@@ -1,0 +1,49 @@
+"""Traffic engineering algorithms.
+
+Raha supports "any WAN that uses a single shot optimization for traffic
+engineering".  This package implements the ones the paper names:
+
+* :mod:`repro.te.total_flow` -- the production objective (Eq. 2):
+  maximize total demand met over a configured path set (SWAN/B4-style).
+* :mod:`repro.te.mlu` -- minimize the maximum link utilization
+  (Appendix A).
+* :mod:`repro.te.maxmin` -- single-shot max-min fairness via geometric
+  binning (Appendix A; the Soroush-style binner), plus an exact
+  water-filling reference implementation used in tests.
+* :mod:`repro.te.edge_mcf` -- the edge formulation of multi-commodity
+  flow (Appendix C), used for new-LAG capacity augments and as an upper
+  bound on what any path set can route.
+* :mod:`repro.te.ffc` -- Forward Fault Correction [27], the k-resilient
+  TE the paper positions Raha against.
+* :mod:`repro.te.teavar` -- a TeaVaR-style [6] CVaR-of-loss TE over a
+  pruned probabilistic scenario set (Table 1's other baseline).
+
+Every solver takes optional per-LAG capacity overrides and per-path caps,
+which is how concrete failure scenarios are *simulated* (baselines, and
+verification of the bi-level results).
+"""
+
+from repro.te.base import TESolution
+from repro.te.edge_mcf import EdgeMcf
+from repro.te.ffc import FfcTE
+from repro.te.maxmin import (
+    EquiDepthBinnerTE,
+    GeometricBinnerTE,
+    max_min_water_filling,
+)
+from repro.te.mlu import MluTE
+from repro.te.teavar import TeavarTE, enumerate_scenario_set
+from repro.te.total_flow import TotalFlowTE
+
+__all__ = [
+    "EdgeMcf",
+    "EquiDepthBinnerTE",
+    "FfcTE",
+    "GeometricBinnerTE",
+    "MluTE",
+    "TESolution",
+    "TeavarTE",
+    "TotalFlowTE",
+    "enumerate_scenario_set",
+    "max_min_water_filling",
+]

@@ -1,0 +1,115 @@
+"""Shared result types and helpers for TE solvers."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.network.demand import Pair
+from repro.network.topology import LagKey, Topology
+from repro.paths.ksp import Path
+from repro.paths.pathset import PathSet
+
+
+@dataclass
+class TESolution:
+    """The outcome of one TE optimization.
+
+    Attributes:
+        objective: Objective value in the solver's own convention (total
+            flow for Eq. 2, the utilization ``U`` for MLU, ...).
+        path_flows: Flow per ``(pair, path)`` (empty for edge-form MCF).
+        pair_flows: Total flow routed per demand pair.
+        lag_loads: Traffic crossing each LAG.
+        solve_seconds: Backend time.
+        feasible: Whether a solution exists (MLU under disconnection is
+            the canonical infeasible case).
+    """
+
+    objective: float
+    path_flows: dict[tuple[Pair, Path], float] = field(default_factory=dict)
+    pair_flows: dict[Pair, float] = field(default_factory=dict)
+    lag_loads: dict[LagKey, float] = field(default_factory=dict)
+    solve_seconds: float = 0.0
+    feasible: bool = True
+
+    @property
+    def total_flow(self) -> float:
+        """Total routed traffic over all pairs."""
+        return float(sum(self.pair_flows.values()))
+
+    def max_utilization(self, topology: Topology,
+                        capacities: Mapping[LagKey, float] | None = None) -> float:
+        """The max link (LAG) utilization implied by the routed loads."""
+        worst = 0.0
+        for lag in topology.lags:
+            cap = capacities[lag.key] if capacities else lag.capacity
+            load = self.lag_loads.get(lag.key, 0.0)
+            if cap > 0:
+                worst = max(worst, load / cap)
+            elif load > 1e-9:
+                return float("inf")
+        return worst
+
+    @staticmethod
+    def infeasible() -> TESolution:
+        """A sentinel result for infeasible models."""
+        return TESolution(objective=float("nan"), feasible=False)
+
+
+def effective_capacities(
+    topology: Topology, overrides: Mapping[LagKey, float] | None
+) -> dict[LagKey, float]:
+    """Per-LAG capacities with optional overrides applied."""
+    caps = {lag.key: lag.capacity for lag in topology.lags}
+    if overrides:
+        for key, value in overrides.items():
+            if key not in caps:
+                from repro.exceptions import TopologyError
+
+                raise TopologyError(f"capacity override for unknown LAG {key}")
+            caps[key] = value
+    return caps
+
+
+def lag_loads_from_path_flows(
+    topology: Topology, path_flows: Mapping[tuple[Pair, Path], float]
+) -> dict[LagKey, float]:
+    """Aggregate per-path flows into per-LAG loads."""
+    loads: dict[LagKey, float] = defaultdict(float)
+    for (_, path), flow in path_flows.items():
+        if flow <= 0:
+            continue
+        for lag in topology.lags_on_path(path):
+            loads[lag.key] += flow
+    return dict(loads)
+
+
+def usable_paths_for(
+    demand_paths, path_caps: Mapping[tuple[Pair, Path], float] | None
+) -> list[Path]:
+    """Paths a solver may route on, honoring zero path caps.
+
+    ``path_caps`` comes from failure simulation: a cap of zero means the
+    path (or its fail-over precondition) is unavailable.
+    """
+    if path_caps is None:
+        return list(demand_paths.paths)
+    out = []
+    for path in demand_paths.paths:
+        cap = path_caps.get((demand_paths.pair, path))
+        if cap is None or cap > 0:
+            out.append(path)
+    return out
+
+
+def validate_te_inputs(topology: Topology, demands: Mapping[Pair, float],
+                       paths: PathSet) -> None:
+    """Common input validation shared by the path-based TE solvers."""
+    from repro.exceptions import PathError
+
+    for pair in demands:
+        if pair not in paths:
+            raise PathError(f"demand {pair} has no configured paths")
+    paths.validate_against(topology)

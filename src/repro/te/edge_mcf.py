@@ -1,0 +1,135 @@
+"""Edge-formulation multi-commodity flow (Appendix C).
+
+The path formulation (Eq. 2) cannot model *new* LAGs: adding an edge
+changes the path set.  The edge formulation routes per-LAG flows under
+flow conservation, so it automatically uses any edge that exists:
+
+.. math::
+
+    \\sum_{j} f_{(j,i),k} + f_k \\cdot 1[i = s_k]
+        = \\sum_{j} f_{(i,j),k} + f_k \\cdot 1[i = t_k]
+
+Because every possible route is available, the edge form's optimum is an
+*upper bound* on what a configured path set can route.  Following
+Appendix C we tighten the bound by restricting each demand's usable edges
+to (a) LAGs on its pre-existing paths and (b) candidate new LAGs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Mapping
+
+from repro.network.demand import Pair
+from repro.network.topology import LagKey, Topology, lag_key
+from repro.paths.pathset import PathSet
+from repro.solver import Model, quicksum
+from repro.te.base import TESolution, effective_capacities
+
+
+class EdgeMcf:
+    """Maximize total flow with per-edge variables and conservation.
+
+    Args:
+        allowed_edges: Optional map from pair to the LAG keys that demand
+            may use (Appendix C's restriction); ``None`` allows every LAG
+            for every demand.
+    """
+
+    def __init__(
+        self,
+        allowed_edges: Mapping[Pair, Iterable[LagKey]] | None = None,
+    ):
+        self.allowed_edges = (
+            {pair: {lag_key(*k) for k in keys}
+             for pair, keys in allowed_edges.items()}
+            if allowed_edges is not None
+            else None
+        )
+
+    @staticmethod
+    def allowed_edges_from_paths(
+        paths: PathSet,
+        topology: Topology,
+        extra_edges: Iterable[LagKey] = (),
+    ) -> dict[Pair, set[LagKey]]:
+        """Appendix C's edge restriction: pre-existing path LAGs + extras.
+
+        "For each demand k, we only define the values f_(i,j,k) on those
+        paths that existed before the failure happened and for new LAGs
+        which didn't exist in the original topology."
+        """
+        extras = {lag_key(*k) for k in extra_edges}
+        allowed: dict[Pair, set[LagKey]] = {}
+        for pair, dp in paths.items():
+            keys = set(extras)
+            for path in dp.paths:
+                for lag in topology.lags_on_path(path):
+                    keys.add(lag.key)
+            allowed[pair] = keys
+        return allowed
+
+    def solve(
+        self,
+        topology: Topology,
+        demands: Mapping[Pair, float],
+        capacities: Mapping[LagKey, float] | None = None,
+    ) -> TESolution:
+        """Solve the edge-form LP; ``objective`` is the total flow."""
+        caps = effective_capacities(topology, capacities)
+
+        model = Model("edge-mcf")
+        # Directed flow per (pair, lag, direction); direction 0 is u->v.
+        flow: dict[tuple[Pair, LagKey, int], object] = {}
+        routed: dict[Pair, object] = {}
+        per_lag: dict[LagKey, list] = defaultdict(list)
+
+        for pair, volume in demands.items():
+            src, dst = pair
+            allowed = (
+                self.allowed_edges.get(pair) if self.allowed_edges is not None
+                else None
+            )
+            f_k = model.add_var(ub=max(volume, 0.0), name=f"f[{pair}]")
+            routed[pair] = f_k
+            outgoing: dict[str, list] = defaultdict(list)
+            incoming: dict[str, list] = defaultdict(list)
+            for lag in topology.lags:
+                if allowed is not None and lag.key not in allowed:
+                    continue
+                fwd = model.add_var(name=f"e[{pair}][{lag.key}]+")
+                bwd = model.add_var(name=f"e[{pair}][{lag.key}]-")
+                flow[(pair, lag.key, 0)] = fwd
+                flow[(pair, lag.key, 1)] = bwd
+                per_lag[lag.key] += [fwd, bwd]
+                outgoing[lag.u].append(fwd)
+                incoming[lag.v].append(fwd)
+                outgoing[lag.v].append(bwd)
+                incoming[lag.u].append(bwd)
+            for node in topology.nodes:
+                balance = quicksum(outgoing[node]) - quicksum(incoming[node])
+                if node == src:
+                    model.add_constr(balance == f_k)
+                elif node == dst:
+                    model.add_constr(balance == -f_k)
+                else:
+                    model.add_constr(balance == 0)
+        for key, vars_on_lag in per_lag.items():
+            model.add_constr(quicksum(vars_on_lag) <= caps[key],
+                             name=f"cap[{key}]")
+
+        model.set_objective(quicksum(routed.values()), sense="max")
+        result = model.solve()
+        if not result.status.ok or result.x is None:
+            return TESolution.infeasible()
+
+        pair_flows = {pair: result.value(var) for pair, var in routed.items()}
+        lag_loads: dict[LagKey, float] = defaultdict(float)
+        for (pair, key, _), var in flow.items():
+            lag_loads[key] += result.value(var)
+        return TESolution(
+            objective=result.objective,
+            pair_flows=pair_flows,
+            lag_loads=dict(lag_loads),
+            solve_seconds=result.solve_seconds,
+        )

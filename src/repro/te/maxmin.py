@@ -1,0 +1,262 @@
+"""Max-min fair traffic engineering.
+
+Appendix A: Raha supports "the single-shot max-min fair solution from
+Soroush (namely their Geometric or Equi-depth binner algorithms)".
+
+* :class:`GeometricBinnerTE` is the single-shot LP approximation: each
+  demand's allocation is split into geometrically growing *bins*
+  ``[0, t0], (t0, t0*alpha], ...``; the objective weights lower bins
+  geometrically more, so the LP fills everyone's low bins before anyone's
+  high bins -- an alpha-approximate max-min allocation in one solve.
+  Because it is a single LP with capacities on the right-hand side, Raha
+  can swap the constant capacities for the failure variables exactly as
+  in Section 5.
+
+* :func:`max_min_water_filling` is the classical exact (iterative)
+  algorithm, used as the reference in tests: repeatedly maximize the
+  common minimum, freeze saturated demands, recurse.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Mapping
+
+from repro.exceptions import ModelingError
+from repro.network.demand import Pair
+from repro.network.topology import LagKey, Topology
+from repro.paths.ksp import Path
+from repro.paths.pathset import PathSet
+from repro.solver import Model, quicksum
+from repro.te.base import (
+    TESolution,
+    effective_capacities,
+    lag_loads_from_path_flows,
+    usable_paths_for,
+    validate_te_inputs,
+)
+
+
+class GeometricBinnerTE:
+    """Single-shot approximate max-min fairness via geometric binning.
+
+    Args:
+        num_bins: Number of geometric levels.
+        alpha: Geometric growth of bin boundaries (> 1).
+        t0: Width of the first bin; defaults to ``max demand / alpha**
+            (num_bins - 1)`` so the bins cover every demand.
+        primary_only: Restrict to primary paths.
+    """
+
+    def __init__(self, num_bins: int = 6, alpha: float = 2.0,
+                 t0: float | None = None, primary_only: bool = True):
+        if alpha <= 1.0:
+            raise ModelingError(f"alpha must exceed 1, got {alpha}")
+        if num_bins < 1:
+            raise ModelingError(f"need at least one bin, got {num_bins}")
+        self.num_bins = num_bins
+        self.alpha = alpha
+        self.t0 = t0
+        self.primary_only = primary_only
+
+    def bin_widths(self, max_demand: float) -> list[float]:
+        """Widths of each geometric bin covering ``[0, max_demand]``."""
+        t0 = self.t0
+        if t0 is None:
+            t0 = max(max_demand, 1e-9) / (self.alpha ** (self.num_bins - 1))
+        boundaries = [t0 * self.alpha**i for i in range(self.num_bins)]
+        widths = [boundaries[0]]
+        widths += [boundaries[i] - boundaries[i - 1] for i in range(1, self.num_bins)]
+        return widths
+
+    def solve(
+        self,
+        topology: Topology,
+        demands: Mapping[Pair, float],
+        paths: PathSet,
+        capacities: Mapping[LagKey, float] | None = None,
+        path_caps: Mapping[tuple[Pair, Path], float] | None = None,
+    ) -> TESolution:
+        """Solve the binned LP; ``objective`` is the weighted bin value.
+
+        The routed ``pair_flows`` approximate the max-min allocation;
+        compare against :func:`max_min_water_filling` in tests.
+        """
+        validate_te_inputs(topology, demands, paths)
+        caps = effective_capacities(topology, capacities)
+        if not demands:
+            return TESolution(objective=0.0)
+        widths = self.bin_widths(max(demands.values()))
+        weights = [self.alpha ** (-i) for i in range(self.num_bins)]
+
+        model = Model("geometric-binner-te")
+        flow: dict[tuple[Pair, Path], object] = {}
+        per_lag: dict[LagKey, list] = defaultdict(list)
+        objective_terms = []
+        for pair, volume in demands.items():
+            dp = paths[pair]
+            candidates = dp.primaries if self.primary_only else dp.paths
+            usable = [
+                p for p in usable_paths_for(dp, path_caps) if p in set(candidates)
+            ]
+            terms = []
+            for path in usable:
+                var = model.add_var(name=f"f[{pair}][{'-'.join(path)}]")
+                flow[(pair, path)] = var
+                terms.append(var)
+                if path_caps is not None and (pair, path) in path_caps:
+                    model.add_constr(var <= path_caps[(pair, path)])
+                for lag in topology.lags_on_path(path):
+                    per_lag[lag.key].append(var)
+            if not terms:
+                continue
+            # Split the pair's allocation into bins.
+            bins = []
+            for i, width in enumerate(widths):
+                b = model.add_var(ub=width, name=f"bin[{pair}][{i}]")
+                bins.append(b)
+                objective_terms.append(weights[i] * b)
+            model.add_constr(quicksum(terms) == quicksum(bins),
+                             name=f"split[{pair}]")
+            model.add_constr(quicksum(terms) <= volume, name=f"dem[{pair}]")
+        for key, vars_on_lag in per_lag.items():
+            model.add_constr(quicksum(vars_on_lag) <= caps[key],
+                             name=f"cap[{key}]")
+
+        model.set_objective(quicksum(objective_terms), sense="max")
+        result = model.solve()
+        if not result.status.ok or result.x is None:
+            return TESolution.infeasible()
+
+        path_flows = {key: result.value(var) for key, var in flow.items()}
+        pair_flows: dict[Pair, float] = defaultdict(float)
+        for (pair, _), value in path_flows.items():
+            pair_flows[pair] += value
+        for pair in demands:
+            pair_flows.setdefault(pair, 0.0)
+        return TESolution(
+            objective=result.objective,
+            path_flows=path_flows,
+            pair_flows=dict(pair_flows),
+            lag_loads=lag_loads_from_path_flows(topology, path_flows),
+            solve_seconds=result.solve_seconds,
+        )
+
+
+class EquiDepthBinnerTE(GeometricBinnerTE):
+    """Single-shot approximate max-min fairness with equal-width bins.
+
+    The second of Soroush's single-shot binners the paper names
+    (Section 3: "the geometric or equi-depth binning WANs in [32]").
+    Bin boundaries are evenly spaced over ``[0, max_demand]`` instead of
+    geometric; weights still decay geometrically so lower bins fill
+    first.  Compared to the geometric binner it approximates small
+    allocations more coarsely but large ones more finely.
+    """
+
+    def bin_widths(self, max_demand: float) -> list[float]:
+        """Equal widths covering ``[0, max_demand]``."""
+        if self.t0 is not None:
+            # Honor an explicitly pinned first boundary for verification
+            # consistency, spacing the rest evenly above it.
+            remaining = max(max_demand, self.t0) - self.t0
+            if self.num_bins == 1:
+                return [self.t0 + remaining]
+            step = remaining / (self.num_bins - 1)
+            return [self.t0] + [step] * (self.num_bins - 1)
+        width = max(max_demand, 1e-9) / self.num_bins
+        return [width] * self.num_bins
+
+
+def max_min_water_filling(
+    topology: Topology,
+    demands: Mapping[Pair, float],
+    paths: PathSet,
+    capacities: Mapping[LagKey, float] | None = None,
+    primary_only: bool = True,
+    max_rounds: int | None = None,
+) -> dict[Pair, float]:
+    """Exact max-min fair allocation by iterative water filling.
+
+    Round ``r`` maximizes a common floor ``t`` subject to every unfrozen
+    demand receiving at least ``t``; demands whose allocation cannot grow
+    beyond the floor are frozen at it, and the process repeats.  This is
+    the classical reference algorithm (not single-shot; used for testing
+    the geometric binner's approximation).
+
+    Returns:
+        The max-min allocation per pair.
+    """
+    validate_te_inputs(topology, demands, paths)
+    caps = effective_capacities(topology, capacities)
+    frozen: dict[Pair, float] = {}
+    active = {p for p, v in demands.items() if v > 0}
+    for pair, volume in demands.items():
+        if volume <= 0:
+            frozen[pair] = 0.0
+            active.discard(pair)
+    rounds = max_rounds if max_rounds is not None else len(demands) + 1
+
+    for _ in range(rounds):
+        if not active:
+            break
+        model = Model("water-fill")
+        t = model.add_var(name="t")
+        flow: dict[tuple[Pair, Path], object] = {}
+        per_lag: dict[LagKey, list] = defaultdict(list)
+        totals: dict[Pair, object] = {}
+        for pair in demands:
+            dp = paths[pair]
+            candidates = dp.primaries if primary_only else dp.paths
+            terms = []
+            for path in candidates:
+                var = model.add_var(name=f"f[{pair}][{'-'.join(path)}]")
+                flow[(pair, path)] = var
+                terms.append(var)
+                for lag in topology.lags_on_path(path):
+                    per_lag[lag.key].append(var)
+            total = quicksum(terms)
+            totals[pair] = total
+            if pair in frozen:
+                model.add_constr(total == frozen[pair])
+            else:
+                model.add_constr(total <= demands[pair])
+                model.add_constr(total >= t)
+        for key, vars_on_lag in per_lag.items():
+            model.add_constr(quicksum(vars_on_lag) <= caps[key])
+        model.set_objective(t, sense="max")
+        result = model.solve()
+        if not result.status.ok or result.x is None:
+            # No feasible floor (e.g. a disconnected active pair): pin
+            # the unroutable pairs at zero and continue with the rest.
+            for pair in list(active):
+                dp = paths[pair]
+                candidates = dp.primaries if primary_only else dp.paths
+                if not candidates:
+                    frozen[pair] = 0.0
+                    active.discard(pair)
+            if active:
+                for pair in list(active):
+                    frozen[pair] = 0.0
+                    active.discard(pair)
+            break
+        floor = result.objective
+
+        # Freeze demands that cannot exceed the floor: re-solve maximizing
+        # each active demand individually with the floor held for others.
+        newly_frozen = []
+        for pair in list(active):
+            model.set_objective(totals[pair], sense="max")
+            probe = model.solve()
+            best = probe.objective if probe.status.ok else floor
+            if best <= floor + 1e-7 or floor >= demands[pair] - 1e-9:
+                newly_frozen.append((pair, min(floor, demands[pair])))
+        if not newly_frozen:
+            # Guard against stalling: freeze everything at the floor.
+            newly_frozen = [(p, min(floor, demands[p])) for p in active]
+        for pair, value in newly_frozen:
+            frozen[pair] = value
+            active.discard(pair)
+    for pair in demands:
+        frozen.setdefault(pair, 0.0)
+    return frozen

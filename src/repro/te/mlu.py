@@ -1,0 +1,113 @@
+"""MLU traffic engineering: minimize the maximum link utilization.
+
+Appendix A's extension: replace Eq. 2's objective with a variable ``U``
+minimized subject to ``U * C_e >= sum of flow crossing e``, and require
+every demand to be fully routed (MLU formulations "require the network
+carry the full demand").  The formulation becomes infeasible when a
+source-destination pair is fully disconnected, which is why Raha forces
+connected-enforced constraints in MLU mode.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Mapping
+
+from repro.network.demand import Pair
+from repro.network.topology import LagKey, Topology
+from repro.paths.ksp import Path
+from repro.paths.pathset import PathSet
+from repro.solver import Model, quicksum
+from repro.te.base import (
+    TESolution,
+    effective_capacities,
+    lag_loads_from_path_flows,
+    usable_paths_for,
+    validate_te_inputs,
+)
+
+
+class MluTE:
+    """Minimize max link utilization while routing every demand in full.
+
+    Args:
+        primary_only: Restrict to primary paths (design-point semantics).
+        enforce_capacity: Also require ``U <= 1`` -- off by default; MLU
+            planning usually allows reporting over-subscription (U > 1)
+            rather than failing.
+    """
+
+    def __init__(self, primary_only: bool = True, enforce_capacity: bool = False):
+        self.primary_only = primary_only
+        self.enforce_capacity = enforce_capacity
+
+    def solve(
+        self,
+        topology: Topology,
+        demands: Mapping[Pair, float],
+        paths: PathSet,
+        capacities: Mapping[LagKey, float] | None = None,
+        path_caps: Mapping[tuple[Pair, Path], float] | None = None,
+    ) -> TESolution:
+        """Solve; ``objective`` is the achieved MLU.
+
+        Returns an infeasible sentinel when some demand cannot be fully
+        routed on its usable paths (disconnection).
+        """
+        validate_te_inputs(topology, demands, paths)
+        caps = effective_capacities(topology, capacities)
+
+        model = Model("mlu-te")
+        utilization = model.add_var(name="U")
+        if self.enforce_capacity:
+            model.add_constr(utilization <= 1.0)
+        flow: dict[tuple[Pair, Path], object] = {}
+        per_lag: dict[LagKey, list] = defaultdict(list)
+        for pair, volume in demands.items():
+            dp = paths[pair]
+            candidates = dp.primaries if self.primary_only else dp.paths
+            usable = [
+                p for p in usable_paths_for(dp, path_caps) if p in set(candidates)
+            ]
+            terms = []
+            for path in usable:
+                var = model.add_var(name=f"f[{pair}][{'-'.join(path)}]")
+                flow[(pair, path)] = var
+                terms.append(var)
+                if path_caps is not None and (pair, path) in path_caps:
+                    model.add_constr(var <= path_caps[(pair, path)])
+                for lag in topology.lags_on_path(path):
+                    per_lag[lag.key].append(var)
+            if not terms and volume > 0:
+                return TESolution.infeasible()
+            if terms:
+                # MLU requires the demand be fully met.
+                model.add_constr(quicksum(terms) == volume, name=f"dem[{pair}]")
+        for key, vars_on_lag in per_lag.items():
+            cap = caps[key]
+            if cap <= 0:
+                # A zero-capacity LAG cannot carry anything at finite U.
+                model.add_constr(quicksum(vars_on_lag) <= 0.0)
+                continue
+            model.add_constr(
+                quicksum(vars_on_lag) <= cap * utilization, name=f"util[{key}]"
+            )
+
+        model.set_objective(utilization, sense="min")
+        result = model.solve()
+        if not result.status.ok or result.x is None:
+            return TESolution.infeasible()
+
+        path_flows = {key: result.value(var) for key, var in flow.items()}
+        pair_flows: dict[Pair, float] = defaultdict(float)
+        for (pair, _), value in path_flows.items():
+            pair_flows[pair] += value
+        for pair in demands:
+            pair_flows.setdefault(pair, 0.0)
+        return TESolution(
+            objective=result.objective,
+            path_flows=path_flows,
+            pair_flows=dict(pair_flows),
+            lag_loads=lag_loads_from_path_flows(topology, path_flows),
+            solve_seconds=result.solve_seconds,
+        )

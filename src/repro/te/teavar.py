@@ -1,0 +1,180 @@
+"""A TeaVaR-style availability-aware TE [6].
+
+TeaVaR (Bogle et al., SIGCOMM 2019) "strikes the right utilization-
+availability balance" by minimizing the beta-Value-at-Risk of traffic
+loss over a *pruned set of failure scenarios with probabilities* -- the
+paper's Table 1 contrasts it with Raha: TeaVaR handles probabilistic
+failures but needs concrete demands and a tractable scenario set.
+
+This implementation follows the original's single-allocation LP:
+
+* one bandwidth allocation ``b_kp`` per tunnel, shared by all scenarios;
+* per scenario ``q``, demand ``k`` loses the fraction of its demand the
+  surviving tunnels cannot carry;
+* minimize ``CVaR_beta`` of the maximum loss fraction per scenario via
+  the Rockafellar-Uryasev linearization
+  ``theta + E[max(loss_q - theta, 0)] / (1 - beta)``.
+
+Scenario sets come from :func:`enumerate_scenario_set`, which keeps the
+most probable up-to-k-failure scenarios -- TeaVaR's pruning.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from collections.abc import Mapping
+
+from repro.exceptions import ModelingError
+from repro.network.demand import Pair
+from repro.network.topology import LagKey, Topology
+from repro.paths.ksp import Path
+from repro.paths.pathset import PathSet
+from repro.solver import Model, quicksum
+from repro.te.base import (
+    TESolution,
+    effective_capacities,
+    lag_loads_from_path_flows,
+    validate_te_inputs,
+)
+
+
+def enumerate_scenario_set(
+    topology: Topology,
+    max_failures: int = 2,
+    max_scenarios: int = 64,
+):
+    """TeaVaR's pruned scenario set: most probable <= k-failure scenarios.
+
+    Returns ``(scenario, probability)`` pairs including the all-up
+    scenario, sorted by probability, with the tail mass renormalized away
+    (as TeaVaR does for the scenarios it keeps).
+    """
+    # Imported here: repro.failures imports repro.te for its simulator.
+    from repro.failures.enumeration import enumerate_scenarios
+    from repro.failures.probability import scenario_log_probability
+    from repro.failures.scenario import FailureScenario
+
+    candidates = [FailureScenario()]
+    candidates += list(enumerate_scenarios(
+        topology, max_failures, relevant_only=False,
+    ))
+    weighted = [
+        (s, math.exp(scenario_log_probability(topology, s)))
+        for s in candidates
+    ]
+    weighted.sort(key=lambda item: item[1], reverse=True)
+    kept = weighted[:max_scenarios]
+    total = sum(p for _, p in kept)
+    if total <= 0:
+        raise ModelingError("scenario set has zero total probability")
+    return [(s, p / total) for s, p in kept]
+
+
+class TeavarTE:
+    """Minimize the beta-CVaR of per-scenario traffic loss.
+
+    Args:
+        beta: Availability target (e.g. 0.99 -- losses beyond the beta
+            quantile are what CVaR averages).
+        scenarios: ``(scenario, probability)`` pairs; build with
+            :func:`enumerate_scenario_set`.
+        primary_only: Restrict tunnels to primary paths.
+    """
+
+    def __init__(self, beta: float, scenarios: list,
+                 primary_only: bool = False):
+        if not (0.0 < beta < 1.0):
+            raise ModelingError(f"beta must be in (0, 1), got {beta}")
+        if not scenarios:
+            raise ModelingError("need at least one scenario")
+        self.beta = beta
+        self.scenarios = scenarios
+        self.primary_only = primary_only
+
+    def solve(
+        self,
+        topology: Topology,
+        demands: Mapping[Pair, float],
+        paths: PathSet,
+        capacities: Mapping[LagKey, float] | None = None,
+    ) -> TESolution:
+        """Solve; ``objective`` is the optimal beta-CVaR of loss.
+
+        ``pair_flows`` report the all-scenarios-up delivery; the CVaR
+        value is what operators compare against their availability SLO.
+        """
+        validate_te_inputs(topology, demands, paths)
+        caps = effective_capacities(topology, capacities)
+
+        model = Model("teavar-te")
+        allocation: dict[tuple[Pair, Path], object] = {}
+        per_lag: dict[LagKey, list] = defaultdict(list)
+        for pair in demands:
+            dp = paths[pair]
+            tunnels = dp.primaries if self.primary_only else dp.paths
+            for path in tunnels:
+                b = model.add_var(name=f"b[{pair}][{'-'.join(path)}]")
+                allocation[(pair, path)] = b
+                for lag in topology.lags_on_path(path):
+                    per_lag[lag.key].append(b)
+        for key, vars_on_lag in per_lag.items():
+            model.add_constr(quicksum(vars_on_lag) <= caps[key],
+                             name=f"cap[{key}]")
+
+        # Scenario losses: loss_q = max_k fraction of d_k not survivable.
+        theta = model.add_var(lb=0.0, ub=1.0, name="theta")
+        excess_terms = []
+        for q, (scenario, probability) in enumerate(self.scenarios):
+            down = scenario.down_lags(topology)
+            loss_q = model.add_var(lb=0.0, ub=1.0, name=f"loss[{q}]")
+            residual = scenario.residual_capacities(topology)
+            for pair, volume in demands.items():
+                if volume <= 0:
+                    continue
+                dp = paths[pair]
+                tunnels = dp.primaries if self.primary_only else dp.paths
+                surviving = []
+                for path in tunnels:
+                    lags = topology.lags_on_path(path)
+                    if any(lag.key in down for lag in lags):
+                        continue
+                    # Scale a tunnel's allocation by its worst partial-
+                    # failure shrinkage along the path (TeaVaR treats
+                    # LAGs as up/down; partial capacity shrinks it).
+                    shrink = min(
+                        (residual[lag.key] / lag.capacity)
+                        if lag.capacity > 0 else 0.0
+                        for lag in lags
+                    )
+                    if shrink > 0:
+                        surviving.append(shrink * allocation[(pair, path)])
+                delivered = quicksum(surviving)
+                # loss_q >= 1 - delivered / d_k
+                model.add_constr(
+                    loss_q >= 1.0 - delivered / volume,
+                    name=f"loss[{q}][{pair}]",
+                )
+            excess = model.add_var(lb=0.0, name=f"excess[{q}]")
+            model.add_constr(excess >= loss_q - theta)
+            excess_terms.append(probability * excess)
+
+        cvar = theta + quicksum(excess_terms) / (1.0 - self.beta)
+        model.set_objective(cvar, sense="min")
+        result = model.solve()
+        if not result.status.ok or result.x is None:
+            return TESolution.infeasible()
+
+        path_flows = {k: result.value(v) for k, v in allocation.items()}
+        pair_flows: dict[Pair, float] = defaultdict(float)
+        for (pair, _), value in path_flows.items():
+            pair_flows[pair] += value
+        for pair, volume in demands.items():
+            pair_flows[pair] = min(pair_flows.get(pair, 0.0), volume)
+        return TESolution(
+            objective=result.objective,
+            path_flows=path_flows,
+            pair_flows=dict(pair_flows),
+            lag_loads=lag_loads_from_path_flows(topology, path_flows),
+            solve_seconds=result.solve_seconds,
+        )

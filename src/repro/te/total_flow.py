@@ -1,0 +1,117 @@
+"""The production TE objective: maximize total demand met (Eq. 2).
+
+This is the SWAN/B4-style centralized optimization the paper's WAN runs:
+
+.. math::
+
+    \\max \\sum_k f_k \\quad \\text{s.t.} \\quad
+    0 \\le f_k \\le d_k, \\quad
+    f_k = \\sum_{p \\in P_k} f_{kp}, \\quad
+    \\sum_{k, p \\in P_{ke}} f_{kp} \\le C_e .
+
+The same class models both the healthy network (primary paths, full
+capacities) and a concrete failed network (reduced capacities, path caps
+from the fail-over rules) -- which is exactly how the paper's inner
+problems are structured.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Mapping
+
+from repro.network.demand import Pair
+from repro.network.topology import LagKey, Topology
+from repro.paths.ksp import Path
+from repro.paths.pathset import PathSet
+from repro.solver import Model, quicksum
+from repro.te.base import (
+    TESolution,
+    effective_capacities,
+    lag_loads_from_path_flows,
+    usable_paths_for,
+    validate_te_inputs,
+)
+
+
+class TotalFlowTE:
+    """Maximize total routed demand over a configured path set.
+
+    Args:
+        primary_only: Route only on each demand's primary paths.  This is
+            the *design point* semantics: with no failures, backup paths
+            are inactive (Eq. 5's indicator is 0 for every backup when no
+            higher-priority path is down), so the healthy network is
+            exactly Eq. 2 over primaries.
+    """
+
+    def __init__(self, primary_only: bool = True):
+        self.primary_only = primary_only
+
+    def solve(
+        self,
+        topology: Topology,
+        demands: Mapping[Pair, float],
+        paths: PathSet,
+        capacities: Mapping[LagKey, float] | None = None,
+        path_caps: Mapping[tuple[Pair, Path], float] | None = None,
+    ) -> TESolution:
+        """Solve the LP and return routed flows.
+
+        Args:
+            topology: The WAN.
+            demands: Demand volume per pair.
+            paths: Configured paths (primary/backup ordered).
+            capacities: Optional per-LAG capacity overrides (a failed
+                network's residual capacities).
+            path_caps: Optional per-path caps; zero disables a path (a
+                backup whose activation precondition is unmet).  Caps on
+                listed paths also bound their flow.
+        """
+        validate_te_inputs(topology, demands, paths)
+        caps = effective_capacities(topology, capacities)
+
+        model = Model("total-flow-te")
+        flow: dict[tuple[Pair, Path], object] = {}
+        per_lag: dict[LagKey, list] = defaultdict(list)
+        for pair, volume in demands.items():
+            dp = paths[pair]
+            candidates = dp.primaries if self.primary_only else dp.paths
+            usable = [
+                p for p in usable_paths_for(dp, path_caps) if p in set(candidates)
+            ]
+            terms = []
+            for path in usable:
+                var = model.add_var(name=f"f[{pair}][{'-'.join(path)}]")
+                flow[(pair, path)] = var
+                terms.append(var)
+                if path_caps is not None and (pair, path) in path_caps:
+                    model.add_constr(var <= path_caps[(pair, path)])
+                for lag in topology.lags_on_path(path):
+                    per_lag[lag.key].append(var)
+            if terms:
+                model.add_constr(quicksum(terms) <= volume, name=f"dem[{pair}]")
+        for key, vars_on_lag in per_lag.items():
+            model.add_constr(quicksum(vars_on_lag) <= caps[key], name=f"cap[{key}]")
+
+        model.set_objective(quicksum(flow.values()), sense="max")
+        result = model.solve()
+        if not result.status.ok or result.x is None:
+            return TESolution.infeasible()
+
+        path_flows = {
+            key: result.value(var) for key, var in flow.items()
+        }
+        pair_flows: dict[Pair, float] = defaultdict(float)
+        for (pair, _), value in path_flows.items():
+            pair_flows[pair] += value
+        # Pairs with no usable path still routed zero.
+        for pair in demands:
+            pair_flows.setdefault(pair, 0.0)
+        return TESolution(
+            objective=result.objective,
+            path_flows=path_flows,
+            pair_flows=dict(pair_flows),
+            lag_loads=lag_loads_from_path_flows(topology, path_flows),
+            solve_seconds=result.solve_seconds,
+        )

@@ -1,0 +1,103 @@
+"""Tests for the Section 9 continental decomposition."""
+
+import pytest
+
+from repro.analysis.continental import (
+    analyze_continents,
+    split_continents,
+)
+from repro.exceptions import TopologyError
+from repro.network.builder import from_edges
+
+
+@pytest.fixture
+def world():
+    # Two triangles (continents) joined by two subsea LAGs.
+    return from_edges([
+        ("af1", "af2", 10), ("af2", "af3", 10), ("af1", "af3", 10),
+        ("eu1", "eu2", 10), ("eu2", "eu3", 10), ("eu1", "eu3", 10),
+        ("af1", "eu1", 6), ("af3", "eu3", 6),
+    ], failure_probability=0.02, name="world")
+
+
+ASSIGNMENT = {
+    "af1": "africa", "af2": "africa", "af3": "africa",
+    "eu1": "europe", "eu2": "europe", "eu3": "europe",
+}
+
+
+class TestSplit:
+    def test_continent_shapes(self, world):
+        split = split_continents(world, ASSIGNMENT)
+        assert set(split.continents) == {"africa", "europe"}
+        africa = split.continents["africa"]
+        assert africa.num_nodes == 3
+        assert africa.num_lags == 3
+
+    def test_backbone_contains_crossing_lags(self, world):
+        split = split_continents(world, ASSIGNMENT)
+        assert split.backbone.num_lags == 2
+        assert set(split.backbone.nodes) == {"af1", "eu1", "af3", "eu3"}
+
+    def test_gateways_identified(self, world):
+        split = split_continents(world, ASSIGNMENT)
+        assert split.gateways["africa"] == ["af1", "af3"]
+        assert split.gateways["europe"] == ["eu1", "eu3"]
+
+    def test_probabilities_preserved(self, world):
+        split = split_continents(world, ASSIGNMENT)
+        assert split.continents["africa"].has_probabilities()
+        assert split.backbone.has_probabilities()
+
+    def test_unassigned_node_rejected(self, world):
+        with pytest.raises(TopologyError):
+            split_continents(world, {"af1": "africa"})
+
+
+class TestAnalyzeContinents:
+    def test_per_piece_findings(self, world):
+        demands = {
+            ("af1", "af2"): 8.0,       # intra-Africa
+            ("eu1", "eu3"): 8.0,       # intra-Europe
+            ("af1", "eu1"): 5.0,       # gateway-to-gateway
+            ("af2", "eu2"): 5.0,       # non-gateway crossing -> skipped
+        }
+        findings = analyze_continents(
+            world, ASSIGNMENT, demands, num_primary=1, num_backup=1,
+            probability_threshold=None, time_limit=30,
+        )
+        names = [f.name for f in findings]
+        assert names == ["africa", "europe", "backbone"]
+        africa = findings[0]
+        assert africa.result is not None
+        assert africa.result.degradation >= 0
+        backbone = findings[-1]
+        assert backbone.result is not None
+        assert "virtual gateway" in backbone.skipped_reason
+
+    def test_continent_without_demands_skipped(self, world):
+        findings = analyze_continents(
+            world, ASSIGNMENT, {("af1", "af2"): 4.0},
+            num_primary=1, num_backup=0,
+            probability_threshold=None, time_limit=30,
+        )
+        europe = next(f for f in findings if f.name == "europe")
+        assert europe.result is None
+        assert europe.skipped_reason == "no demands"
+
+    def test_isolation_localizes_risk(self, world):
+        """A degradable intra-Africa demand shows up in Africa's finding,
+        not Europe's -- the paper's isolate-and-explain property."""
+        findings = analyze_continents(
+            world, ASSIGNMENT,
+            {("af1", "af2"): 15.0, ("eu1", "eu2"): 1.0},
+            num_primary=1, num_backup=1,
+            probability_threshold=None, time_limit=30,
+        )
+        africa = next(f for f in findings if f.name == "africa")
+        europe = next(f for f in findings if f.name == "europe")
+        assert africa.result.degradation > 0
+        # Europe's tiny demand bounds its exposure; Africa's finding is
+        # where the real risk shows up.
+        assert europe.result.degradation <= 1.0 + 1e-6
+        assert africa.result.degradation > 5 * europe.result.degradation

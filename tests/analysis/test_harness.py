@@ -1,0 +1,96 @@
+"""Tests for the benchmark harness and table reporting."""
+
+import pytest
+
+from repro.analysis import bench_wan, format_table, print_table
+from repro.analysis.experiments import degradation_sweep, timed_analysis
+from repro.core.config import RahaConfig
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table("Title", ["a", "bb"], [[1, 2.5], [33, 0.001]])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len(lines) == 6
+
+    def test_format_table_empty_rows(self):
+        text = format_table("T", ["x"], [])
+        assert "x" in text
+
+    def test_float_formatting(self):
+        text = format_table("T", ["v"], [[0.000123], [12345.6], [float("nan")]])
+        assert "0.000123" in text
+        assert "1.23e+04" in text or "12345" in text or "1.23e+4" in text
+        assert "nan" in text
+
+    def test_print_table_smoke(self, capfd):
+        # print_table writes to the real stdout (fd 1) so tables survive
+        # pytest's default capture; capfd sees fd-level writes.
+        print_table("Hello", ["x"], [[1]])
+        captured = capfd.readouterr()
+        assert "Hello" in captured.out
+
+
+class TestBenchWan:
+    def test_shape_and_determinism(self):
+        a = bench_wan(num_regions=2, nodes_per_region=4, num_pairs=4)
+        b = bench_wan(num_regions=2, nodes_per_region=4, num_pairs=4)
+        assert a.pairs == b.pairs
+        assert a.avg_demands == b.avg_demands
+        assert len(a.pairs) == 4
+
+    def test_demand_scaling(self):
+        net = bench_wan(num_regions=2, nodes_per_region=4,
+                        demand_to_capacity=0.5)
+        assert max(net.avg_demands.values()) == pytest.approx(
+            0.5 * net.topology.average_lag_capacity()
+        )
+
+    def test_peak_dominates_average(self):
+        net = bench_wan(num_regions=2, nodes_per_region=4)
+        for pair in net.pairs:
+            assert net.peak_demands[pair] >= net.avg_demands[pair] - 1e-9
+
+    def test_paths_variants(self):
+        net = bench_wan(num_regions=2, nodes_per_region=4, num_pairs=3)
+        plain = net.paths(num_primary=2, num_backup=1)
+        weighted = net.paths(num_primary=2, num_backup=1, weighted=True)
+        assert set(plain) == set(weighted) == set(net.pairs)
+        assert plain[net.pairs[0]].num_primary <= 2
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return bench_wan(num_regions=2, nodes_per_region=4, num_pairs=3)
+
+    def test_k_rows_are_threshold_free(self, net):
+        paths = net.paths(2, 0)
+        rows = degradation_sweep(net, paths, "avg", [1e-2], [1, None],
+                                 time_limit=20)
+        k_rows = [r for r in rows if r[1] == 1]
+        assert len(k_rows) == 1
+        assert k_rows[0][0] == "-"
+
+    def test_inf_rows_per_threshold(self, net):
+        paths = net.paths(2, 0)
+        rows = degradation_sweep(net, paths, "avg", [1e-2, 1e-5], [None],
+                                 time_limit=20)
+        assert [r[0] for r in rows] == [1e-2, 1e-5]
+        # Lower threshold admits more scenarios: monotone nondecreasing.
+        assert rows[1][2] >= rows[0][2] - 1e-6
+
+    def test_bad_mode_rejected(self, net):
+        paths = net.paths(2, 0)
+        with pytest.raises(ValueError):
+            degradation_sweep(net, paths, "typo", [1e-2], [None])
+
+    def test_timed_analysis(self, net):
+        paths = net.paths(2, 0)
+        config = RahaConfig(fixed_demands=dict(net.avg_demands),
+                            max_failures=1, time_limit=20)
+        result, wall = timed_analysis(net.topology, paths, config)
+        assert wall >= result.solve_seconds
+        assert result.degradation >= 0

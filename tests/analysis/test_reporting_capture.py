@@ -1,0 +1,22 @@
+"""Tests for print_table's record-and-replay mechanism."""
+
+from repro.analysis import reporting
+
+
+class TestTableRecording:
+    def test_tables_are_recorded_in_order(self, capfd):
+        before = len(reporting.recorded_tables)
+        reporting.print_table("First", ["a"], [[1]])
+        reporting.print_table("Second", ["b"], [[2]])
+        captured = capfd.readouterr()
+        assert "First" in captured.out and "Second" in captured.out
+        recorded = reporting.recorded_tables[before:]
+        assert len(recorded) == 2
+        assert recorded[0].startswith("First")
+        assert recorded[1].startswith("Second")
+
+    def test_recorded_copy_matches_formatting(self):
+        before = len(reporting.recorded_tables)
+        reporting.print_table("T", ["x", "y"], [[1, 2.5]])
+        text = reporting.recorded_tables[before]
+        assert text == reporting.format_table("T", ["x", "y"], [[1, 2.5]])

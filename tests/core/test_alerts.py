@@ -1,0 +1,119 @@
+"""Tests for the two-tier alert pipeline."""
+
+import pytest
+
+from repro import AlertPipeline, AlertSeverity, PathSet
+from repro.network.builder import from_edges
+
+
+@pytest.fixture
+def diamond():
+    return from_edges([
+        ("a", "b", 10), ("b", "d", 10), ("a", "c", 6), ("c", "d", 6),
+    ], failure_probability=0.05)
+
+
+@pytest.fixture
+def paths(diamond):
+    return PathSet.k_shortest(diamond, [("a", "d")], num_primary=2,
+                              num_backup=0)
+
+
+class TestTier1:
+    def test_critical_on_degradable_peak(self, diamond, paths):
+        pipeline = AlertPipeline(diamond, paths, tolerance=0.0,
+                                 probability_threshold=1e-4)
+        alert = pipeline.check_fixed({("a", "d"): 12.0})
+        assert alert.severity == AlertSeverity.CRITICAL
+        assert alert.fired
+        assert alert.tier == 1
+        assert "degrades peak traffic" in alert.message
+
+    def test_info_when_peak_is_safe(self, diamond, paths):
+        pipeline = AlertPipeline(diamond, paths, tolerance=0.0,
+                                 probability_threshold=1e-12)
+        # With an absurdly low threshold everything is "probable", so use
+        # zero demand instead to get a guaranteed-clean check.
+        alert = pipeline.check_fixed({("a", "d"): 0.0})
+        assert alert.severity == AlertSeverity.INFO
+        assert not alert.fired
+
+    def test_tolerance_suppresses_small_degradations(self, diamond, paths):
+        pipeline = AlertPipeline(diamond, paths, tolerance=100.0,
+                                 probability_threshold=1e-4)
+        alert = pipeline.check_fixed({("a", "d"): 12.0})
+        assert alert.severity == AlertSeverity.INFO
+
+
+class TestTier2:
+    def test_warning_on_degradable_envelope(self, diamond, paths):
+        pipeline = AlertPipeline(diamond, paths, tolerance=0.0,
+                                 probability_threshold=1e-4)
+        alert = pipeline.check_variable({("a", "d"): (0.0, 20.0)})
+        assert alert.severity == AlertSeverity.WARNING
+        assert alert.tier == 2
+
+
+class TestPipeline:
+    def test_stops_after_tier1_fire(self, diamond, paths):
+        pipeline = AlertPipeline(diamond, paths, tolerance=0.0,
+                                 probability_threshold=1e-4)
+        alerts = pipeline.run({("a", "d"): 12.0},
+                              {("a", "d"): (0.0, 20.0)})
+        assert len(alerts) == 1
+        assert alerts[0].tier == 1
+
+    def test_proceeds_to_tier2_when_clean(self, diamond, paths):
+        pipeline = AlertPipeline(diamond, paths, tolerance=100.0,
+                                 probability_threshold=1e-4)
+        alerts = pipeline.run({("a", "d"): 12.0},
+                              {("a", "d"): (0.0, 20.0)})
+        assert len(alerts) == 2
+        assert [a.tier for a in alerts] == [1, 2]
+        assert all(not a.fired for a in alerts)
+
+
+class TestAfterFailure:
+    def test_applied_to_removes_links(self, diamond):
+        from repro import FailureScenario
+
+        scenario = FailureScenario([(("a", "b"), 0)])
+        degraded = scenario.applied_to(diamond)
+        assert degraded.require_lag("a", "b").capacity == 0.0
+        assert not degraded.require_lag("a", "b").links[0].can_fail
+        # The original is untouched; other LAGs keep their links.
+        assert diamond.require_lag("a", "b").capacity == 10.0
+        assert degraded.require_lag("a", "c").capacity == 6.0
+
+    def test_applied_to_partial_bundle(self):
+        from repro import FailureScenario
+        from repro.network.builder import from_edges
+
+        topo = from_edges([("a", "b", 10, 2)], failure_probability=0.05)
+        degraded = FailureScenario([(("a", "b"), 0)]).applied_to(topo)
+        lag = degraded.require_lag("a", "b")
+        assert lag.num_links == 1
+        assert lag.capacity == 5.0
+
+    def test_after_failure_escalates(self):
+        """A cut that was absorbed becomes critical on the next check."""
+        from repro import FailureScenario
+        from repro.network.builder import from_edges
+
+        # Solid links: only single failures are probable at T = 1e-4.
+        topo = from_edges([
+            ("a", "b", 10), ("b", "d", 10), ("a", "c", 6), ("c", "d", 6),
+        ], failure_probability=0.005)
+        paths = PathSet.k_shortest(topo, [("a", "d")], num_primary=2,
+                                   num_backup=0)
+        pipeline = AlertPipeline(topo, paths, tolerance=0.1,
+                                 probability_threshold=1e-4)
+        before = pipeline.check_fixed({("a", "d"): 6.0})
+        assert not before.fired  # any single failure leaves 6 units routable
+
+        cut = FailureScenario.from_lags(topo, [("a", "c")])
+        degraded_pipeline, alerts = pipeline.after_failure(
+            cut, {("a", "d"): 6.0},
+        )
+        assert alerts[0].fired  # the remaining route is one failure away
+        assert degraded_pipeline.topology is not topo

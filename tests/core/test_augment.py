@@ -1,0 +1,125 @@
+"""Tests for capacity augmentation (Section 7 / Appendix C)."""
+
+import pytest
+
+from repro import PathSet, RahaConfig, augment_existing_lags, augment_new_lags
+from repro.network.builder import from_edges
+
+
+@pytest.fixture
+def diamond():
+    return from_edges([
+        ("a", "b", 10), ("b", "d", 10), ("a", "c", 6), ("c", "d", 6),
+    ], failure_probability=0.05)
+
+
+@pytest.fixture
+def paths(diamond):
+    return PathSet.k_shortest(diamond, [("a", "d")], num_primary=2,
+                              num_backup=0)
+
+
+class TestAugmentExisting:
+    def test_removes_single_failure_risk(self, diamond, paths):
+        config = RahaConfig(fixed_demands={("a", "d"): 10.0}, max_failures=1)
+        out = augment_existing_lags(
+            diamond, paths, config, link_capacity=10.0,
+            new_links_can_fail=False, max_steps=6,
+        )
+        assert out.converged
+        assert out.final_degradation <= 1e-6
+        assert out.initial_degradation > 0
+        assert out.total_links_added >= 1
+        # The augmented topology really is safe: re-run the analyzer.
+        from repro import RahaAnalyzer
+
+        check = RahaAnalyzer(out.topology, paths, config).analyze()
+        assert check.degradation <= 1e-6
+
+    def test_failable_augments_may_need_more_steps(self, diamond, paths):
+        config = RahaConfig(fixed_demands={("a", "d"): 10.0}, max_failures=1)
+        safe = augment_existing_lags(
+            diamond, paths, config, link_capacity=10.0,
+            new_links_can_fail=False, max_steps=8,
+        )
+        risky = augment_existing_lags(
+            diamond, paths, config, link_capacity=10.0,
+            new_links_can_fail=True, max_steps=8,
+        )
+        assert safe.converged
+        # Failable new capacity can itself fail; the loop still converges
+        # here because each LAG ends with >= 2 links (one failure cannot
+        # take a LAG down, only shrink it).
+        assert risky.converged
+        assert risky.total_links_added >= safe.total_links_added
+
+    def test_already_safe_network_converges_immediately(self, diamond,
+                                                        paths):
+        config = RahaConfig(fixed_demands={("a", "d"): 0.0}, max_failures=1)
+        out = augment_existing_lags(diamond, paths, config,
+                                    link_capacity=10.0)
+        assert out.converged
+        assert out.num_steps == 0
+        assert out.total_links_added == 0
+
+    def test_step_metadata(self, diamond, paths):
+        config = RahaConfig(fixed_demands={("a", "d"): 10.0}, max_failures=1)
+        out = augment_existing_lags(
+            diamond, paths, config, link_capacity=10.0,
+            new_links_can_fail=False,
+        )
+        assert out.num_steps == len(out.steps)
+        for step in out.steps:
+            assert step.degradation_before > 0
+            assert step.total_links == sum(step.links_added.values())
+        assert 0 <= out.average_reduction <= 1.0
+
+    def test_joint_mode_augment(self, diamond, paths):
+        config = RahaConfig(demand_bounds={("a", "d"): (0.0, 12.0)},
+                            max_failures=1)
+        out = augment_existing_lags(
+            diamond, paths, config, link_capacity=10.0,
+            new_links_can_fail=False, max_steps=8,
+        )
+        assert out.converged
+        assert out.final_degradation <= 1e-6
+
+    def test_bad_link_capacity_rejected(self, diamond, paths):
+        from repro import ModelingError
+
+        config = RahaConfig(fixed_demands={("a", "d"): 10.0}, max_failures=1)
+        with pytest.raises(ModelingError):
+            augment_existing_lags(diamond, paths, config, link_capacity=0.0)
+
+
+class TestAugmentNewLags:
+    def test_new_lag_restores_capacity(self, diamond):
+        pairs = [("a", "d")]
+
+        def path_factory(topo):
+            return PathSet.k_shortest(topo, pairs, num_primary=2,
+                                      num_backup=0)
+
+        def config_factory(paths):
+            return RahaConfig(fixed_demands={("a", "d"): 10.0},
+                              max_failures=1)
+
+        out = augment_new_lags(
+            diamond, path_factory, config_factory,
+            candidate_edges=[("a", "d"), ("b", "c")],
+            link_capacity=10.0, new_links_can_fail=False, max_steps=6,
+        )
+        assert out.converged
+        assert out.final_degradation <= 1e-6
+        assert out.total_links_added >= 1
+        added_keys = {k for step in out.steps for k in step.links_added}
+        assert added_keys <= {("a", "d"), ("b", "c")}
+
+    def test_unknown_candidate_rejected(self, diamond):
+        from repro import ModelingError
+
+        with pytest.raises(ModelingError):
+            augment_new_lags(
+                diamond, lambda t: PathSet(), lambda p: None,
+                candidate_edges=[("a", "zzz")],
+            )

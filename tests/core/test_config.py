@@ -1,0 +1,67 @@
+"""Tests for RahaConfig validation."""
+
+import pytest
+
+from repro import ModelingError, RahaConfig
+
+
+class TestConfigValidation:
+    def test_needs_exactly_one_demand_mode(self):
+        with pytest.raises(ModelingError):
+            RahaConfig()
+        with pytest.raises(ModelingError):
+            RahaConfig(fixed_demands={("a", "b"): 1.0},
+                       demand_bounds={("a", "b"): (0, 1)})
+
+    def test_fixed_mode_ok(self):
+        config = RahaConfig(fixed_demands={("a", "b"): 1.0})
+        assert config.pairs == [("a", "b")]
+        assert config.demand_upper(("a", "b")) == 1.0
+
+    def test_bounds_mode_ok(self):
+        config = RahaConfig(demand_bounds={("a", "b"): (1.0, 3.0)})
+        assert config.demand_upper(("a", "b")) == 3.0
+
+    def test_bad_objective_rejected(self):
+        with pytest.raises(ModelingError):
+            RahaConfig(fixed_demands={}, objective="throughput")
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ModelingError):
+            RahaConfig(demand_bounds={("a", "b"): (3.0, 1.0)})
+
+    def test_negative_lower_bound_rejected(self):
+        with pytest.raises(ModelingError):
+            RahaConfig(demand_bounds={("a", "b"): (-1.0, 1.0)})
+
+    def test_infinite_upper_bound_rejected(self):
+        with pytest.raises(ModelingError):
+            RahaConfig(demand_bounds={("a", "b"): (0.0, float("inf"))})
+
+    def test_negative_fixed_demand_rejected(self):
+        with pytest.raises(ModelingError):
+            RahaConfig(fixed_demands={("a", "b"): -1.0})
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ModelingError):
+            RahaConfig(fixed_demands={}, probability_threshold=0.0)
+        with pytest.raises(ModelingError):
+            RahaConfig(fixed_demands={}, probability_threshold=1.0)
+
+    def test_negative_max_failures_rejected(self):
+        with pytest.raises(ModelingError):
+            RahaConfig(fixed_demands={}, max_failures=-1)
+
+    def test_naive_failover_needs_joint_mode(self):
+        with pytest.raises(ModelingError):
+            RahaConfig(fixed_demands={("a", "b"): 1.0}, naive_failover=True)
+        RahaConfig(demand_bounds={("a", "b"): (0, 1)}, naive_failover=True)
+
+    def test_mlu_forces_connected_enforced(self):
+        config = RahaConfig(fixed_demands={("a", "b"): 1.0}, objective="mlu")
+        assert config.connected_enforced
+
+    def test_degenerate_bounds_allowed(self):
+        """Clustering fixes demands via (v, v) bounds; must be legal."""
+        config = RahaConfig(demand_bounds={("a", "b"): (2.0, 2.0)})
+        assert config.demand_upper(("a", "b")) == 2.0

@@ -1,0 +1,99 @@
+"""Operator-defined outer constraints (Section 5.1's extension point)."""
+
+import pytest
+
+from repro import PathSet, RahaAnalyzer, RahaConfig
+from repro.network.builder import from_edges
+from repro.solver.expr import Var, quicksum
+
+
+@pytest.fixture
+def diamond():
+    return from_edges([
+        ("a", "b", 10), ("b", "d", 10), ("a", "c", 6), ("c", "d", 6),
+    ], failure_probability=0.05)
+
+
+@pytest.fixture
+def paths(diamond):
+    return PathSet.k_shortest(diamond, [("a", "d")], num_primary=2,
+                              num_backup=0)
+
+
+class TestConstraintBuilders:
+    def test_protect_a_specific_link(self, diamond, paths):
+        """An operator can pin a link up (e.g. it was just repaired)."""
+
+        def protect_ab(model, encoding, demand_exprs):
+            u = encoding.link_down[(("a", "b"), 0)]
+            model.add_constr(u.to_expr() == 0)
+
+        config = RahaConfig(
+            demand_bounds={("a", "d"): (0.0, 30.0)}, max_failures=1,
+            constraint_builders=[protect_ab],
+        )
+        result = RahaAnalyzer(diamond, paths, config).analyze()
+        # With the 10-route's first LAG protected, the adversary must
+        # attack elsewhere: the best remaining single kill is worth less.
+        assert not result.scenario.is_failed(("a", "b"), 0)
+
+    def test_mutual_exclusion_of_failures(self, diamond, paths):
+        """Forbid two specific links from failing together."""
+
+        def exclusive(model, encoding, demand_exprs):
+            u1 = encoding.link_down[(("a", "b"), 0)]
+            u2 = encoding.link_down[(("a", "c"), 0)]
+            model.add_constr(u1 + u2 <= 1)
+
+        config = RahaConfig(
+            demand_bounds={("a", "d"): (0.0, 30.0)}, max_failures=4,
+            constraint_builders=[exclusive],
+        )
+        result = RahaAnalyzer(diamond, paths, config).analyze()
+        assert not (
+            result.scenario.is_failed(("a", "b"), 0)
+            and result.scenario.is_failed(("a", "c"), 0)
+        )
+        # The adversary routes around the exclusion (b-d and c-d are
+        # still free game), so the constraint shapes the scenario, not
+        # necessarily the damage.
+        assert result.degradation >= 0
+
+    def test_demand_coupling_constraint(self, diamond):
+        """Operators can couple demands (e.g. a total traffic budget)."""
+        paths = PathSet.k_shortest(
+            diamond, [("a", "d"), ("b", "c")], num_primary=2, num_backup=0
+        )
+
+        def budget(model, encoding, demand_exprs):
+            model.add_constr(
+                quicksum(list(demand_exprs.values())) <= 12.0
+            )
+
+        config = RahaConfig(
+            demand_bounds={("a", "d"): (0.0, 30.0), ("b", "c"): (0.0, 30.0)},
+            max_failures=1,
+            constraint_builders=[budget],
+        )
+        result = RahaAnalyzer(diamond, paths, config).analyze()
+        assert result.demands.total <= 12.0 + 1e-6
+
+    def test_budget_binds_the_adversary(self, diamond, paths):
+        """A tight budget reduces what the adversary can show."""
+        def tight(model, encoding, demand_exprs):
+            model.add_constr(
+                quicksum(list(demand_exprs.values())) <= 4.0
+            )
+
+        free = RahaAnalyzer(
+            diamond, paths,
+            RahaConfig(demand_bounds={("a", "d"): (0.0, 30.0)},
+                       max_failures=1),
+        ).analyze()
+        constrained = RahaAnalyzer(
+            diamond, paths,
+            RahaConfig(demand_bounds={("a", "d"): (0.0, 30.0)},
+                       max_failures=1, constraint_builders=[tight]),
+        ).analyze()
+        assert constrained.degradation <= free.degradation + 1e-6
+        assert constrained.degradation <= 4.0 + 1e-6

@@ -1,0 +1,77 @@
+"""Unit tests for DegradationResult and augment result metadata."""
+
+import pytest
+
+from repro import DemandMatrix, FailureScenario
+from repro.core.augment import AugmentResult, AugmentStep
+from repro.core.degradation import DegradationResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        degradation=5.0,
+        normalized_degradation=0.5,
+        demands=DemandMatrix({("a", "b"): 3.0}),
+        scenario=FailureScenario([(("a", "b"), 0)]),
+        healthy_value=10.0,
+        failed_value=5.0,
+    )
+    defaults.update(overrides)
+    return DegradationResult(**defaults)
+
+
+class TestDegradationResult:
+    def test_total_seconds_sums_phases(self):
+        result = make_result(solve_seconds=1.0, encode_seconds=0.5,
+                             path_seconds=0.25)
+        assert result.total_seconds == pytest.approx(1.75)
+
+    def test_summary_includes_probability_when_present(self):
+        result = make_result(scenario_probability=1.5e-3)
+        assert "p=1.50e-03" in result.summary()
+
+    def test_summary_without_probability(self):
+        result = make_result(scenario_probability=None)
+        assert "p=" not in result.summary()
+
+    def test_summary_mentions_status(self):
+        result = make_result(status="time_limit")
+        assert "time_limit" in result.summary()
+
+
+class TestAugmentResultMetadata:
+    def test_average_reduction_full_removal_one_step(self):
+        result = AugmentResult(
+            topology=None, converged=True,
+            steps=[AugmentStep(degradation_before=8.0,
+                               links_added={("a", "b"): 2})],
+            initial_degradation=8.0, final_degradation=0.0,
+        )
+        assert result.average_reduction == pytest.approx(1.0)
+        assert result.total_links_added == 2
+        assert result.num_steps == 1
+
+    def test_average_reduction_partial_two_steps(self):
+        steps = [
+            AugmentStep(degradation_before=8.0, links_added={("a", "b"): 1}),
+            AugmentStep(degradation_before=4.0, links_added={("b", "c"): 1}),
+        ]
+        result = AugmentResult(
+            topology=None, converged=False, steps=steps,
+            initial_degradation=8.0, final_degradation=2.0,
+        )
+        # (8 - 2) / 8 / 2 steps = 0.375 per step.
+        assert result.average_reduction == pytest.approx(0.375)
+
+    def test_no_steps_no_reduction(self):
+        result = AugmentResult(
+            topology=None, converged=True, steps=[],
+            initial_degradation=0.0, final_degradation=0.0,
+        )
+        assert result.average_reduction == 0.0
+        assert result.total_links_added == 0
+
+    def test_step_total_links(self):
+        step = AugmentStep(degradation_before=1.0,
+                           links_added={("a", "b"): 2, ("c", "d"): 3})
+        assert step.total_links == 5

@@ -1,0 +1,87 @@
+"""Property tests: the MILP encodings agree with the plain simulator.
+
+For random failure assignments pinned inside the model, the encoding's
+derived quantities (variable LAG capacities, LAG/path down flags, backup
+activation) must equal what :mod:`repro.failures.scenario` computes for
+the same concrete scenario -- the two implementations are independent,
+so agreement is strong evidence both are right.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FailureScenario, PathSet, RahaConfig
+from repro.core.encodings import FailureEncoding
+from repro.failures.scenario import active_paths, path_is_down
+from repro.network.generators import small_ring
+from repro.network.demand import gravity_demands, top_pairs
+from repro.solver import Model
+from repro.solver.expr import Var, quicksum
+
+
+def build(seed):
+    topology = small_ring(num_nodes=6, chords=2, seed=seed,
+                          failure_probability=0.1)
+    demands = gravity_demands(topology, scale=10, seed=seed)
+    pairs = top_pairs(demands, 2)
+    paths = PathSet.k_shortest(topology, pairs, num_primary=1, num_backup=2)
+    return topology, pairs, paths
+
+
+def pin_and_solve(topology, paths, failed_links):
+    """Pin the link binaries to a concrete scenario and read the model."""
+    config = RahaConfig(demand_bounds={p: (0.0, 1.0) for p in paths})
+    model = Model("pin")
+    encoding = FailureEncoding(model=model, topology=topology, paths=paths,
+                               config=config)
+    for key, u in encoding.link_down.items():
+        if isinstance(u, Var):
+            value = 1.0 if key in failed_links else 0.0
+            model.add_constr(u.to_expr() == value)
+    model.set_objective(quicksum(
+        u for u in encoding.link_down.values() if isinstance(u, Var)
+    ), sense="min")
+    result = model.solve().require_ok()
+    return encoding, result
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=25), data=st.data())
+def test_encoding_matches_simulator(seed, data):
+    topology, pairs, paths = build(seed)
+    links = [(lag.key, i) for lag in topology.lags
+             for i in range(lag.num_links)]
+    chosen = data.draw(st.sets(st.sampled_from(links), max_size=5))
+    scenario = FailureScenario(chosen)
+    encoding, result = pin_and_solve(topology, paths, set(scenario.failed_links))
+
+    # Variable LAG capacities == simulator residual capacities.
+    residual = scenario.residual_capacities(topology)
+    for lag in topology.lags:
+        assert result.value(encoding.lag_capacity[lag.key]) == pytest.approx(
+            residual[lag.key], abs=1e-6
+        )
+
+    # LAG-down flags == simulator down set.
+    down = scenario.down_lags(topology)
+    for lag in topology.lags:
+        flag = encoding.lag_down[lag.key]
+        value = result.value(flag) if isinstance(flag, Var) else flag
+        assert round(value) == (1 if lag.key in down else 0)
+
+    # Path-down flags and backup activation == simulator semantics.
+    for pair in pairs:
+        dp = paths[pair]
+        allowed = set(active_paths(topology, dp, down))
+        for j, path in enumerate(dp.paths):
+            flag = encoding.path_down[(pair, j)]
+            value = result.value(flag) if isinstance(flag, Var) else flag
+            assert round(value) == (
+                1 if path_is_down(topology, path, down) else 0
+            )
+            active = encoding.path_active[(pair, j)]
+            value = (result.value(active) if isinstance(active, Var)
+                     else active)
+            if j >= dp.num_primary:
+                assert round(value) == (1 if path in allowed else 0)

@@ -1,0 +1,80 @@
+"""The paper's Figure 1 walkthrough on the calibrated instance.
+
+Three analyses of the same 4-node network show why demands and failures
+must be searched jointly *relative to the design point*:
+
+* fixed "typical" demands -> worst single failure degrades by 7
+  (healthy 22, failed 15 -- the published numbers exactly);
+* the naive adversary (minimize failed performance over variable
+  demands) picks tiny demands and finds almost no *degradation*;
+* Raha's joint gap search finds the largest degradation of all.
+"""
+
+import pytest
+
+from repro import PathSet, RahaAnalyzer, RahaConfig
+from repro.baselines.naive import naive_worst_case
+from repro.network.builder import motivating_example
+from repro.paths.pathset import DemandPaths
+
+BOUNDS = {("B", "D"): (6.0, 18.0), ("C", "D"): (5.0, 15.0)}
+TYPICAL = {("B", "D"): 12.0, ("C", "D"): 10.0}
+
+
+@pytest.fixture
+def topo():
+    return motivating_example()
+
+
+@pytest.fixture
+def paths():
+    # Figure 1: each pair has its direct path and the path through A,
+    # both usable without failures (two primaries).
+    return PathSet({
+        ("B", "D"): DemandPaths(
+            pair=("B", "D"), paths=[("B", "D"), ("B", "A", "D")],
+            num_primary=2),
+        ("C", "D"): DemandPaths(
+            pair=("C", "D"), paths=[("C", "D"), ("C", "A", "D")],
+            num_primary=2),
+    })
+
+
+class TestFigure1:
+    def test_fixed_demand_scenario_matches_paper(self, topo, paths):
+        config = RahaConfig(fixed_demands=TYPICAL, max_failures=1)
+        result = RahaAnalyzer(topo, paths, config).analyze()
+        assert result.healthy_value == pytest.approx(22.0, abs=1e-5)
+        assert result.failed_value == pytest.approx(15.0, abs=1e-5)
+        assert result.degradation == pytest.approx(7.0, abs=1e-5)
+
+    def test_naive_adversary_finds_little_degradation(self, topo, paths):
+        naive = naive_worst_case(
+            topo, paths, demand_bounds=BOUNDS, max_failures=1
+        )
+        # The naive objective happily shrinks demands; its scenario's
+        # *degradation* is tiny (the paper's figure shows 1 unit).
+        assert naive.degradation <= 1.0 + 1e-6
+        assert naive.demands[("B", "D")] == pytest.approx(6.0, abs=1e-5)
+        assert naive.demands[("C", "D")] == pytest.approx(5.0, abs=1e-5)
+
+    def test_raha_finds_the_real_worst_case(self, topo, paths):
+        config = RahaConfig(demand_bounds=BOUNDS, max_failures=1)
+        result = RahaAnalyzer(topo, paths, config).analyze()
+        # Calibrated instance: Raha fails the 10-unit B-D LAG with high
+        # demands; healthy 25, failed 15, degradation 10 (paper: 9 on its
+        # unpublished capacities).
+        assert result.degradation == pytest.approx(10.0, abs=1e-5)
+        assert result.healthy_value == pytest.approx(25.0, abs=1e-5)
+
+    def test_ordering_of_the_three_analyses(self, topo, paths):
+        fixed = RahaAnalyzer(
+            topo, paths, RahaConfig(fixed_demands=TYPICAL, max_failures=1)
+        ).analyze()
+        naive = naive_worst_case(
+            topo, paths, demand_bounds=BOUNDS, max_failures=1
+        )
+        joint = RahaAnalyzer(
+            topo, paths, RahaConfig(demand_bounds=BOUNDS, max_failures=1)
+        ).analyze()
+        assert naive.degradation < fixed.degradation < joint.degradation

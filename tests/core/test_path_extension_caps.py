@@ -1,0 +1,97 @@
+"""Direct tests for Eq. 5's path-extension capacities (both semantics)."""
+
+import pytest
+
+from repro import RahaConfig
+from repro.core.encodings import FailureEncoding, build_path_extension_caps
+from repro.network.builder import from_edges
+from repro.paths import PathSet
+from repro.solver import Model
+from repro.solver.expr import LinExpr, Var, quicksum
+
+
+@pytest.fixture
+def topo():
+    return from_edges([
+        ("a", "b", 10), ("b", "d", 10), ("a", "c", 6), ("c", "d", 6),
+    ], failure_probability=0.1)
+
+
+@pytest.fixture
+def paths(topo):
+    return PathSet.k_shortest(topo, [("a", "d")], num_primary=1,
+                              num_backup=1)
+
+
+def build(topo, paths, kill_down_paths, demand=7.0, fail=()):
+    config = RahaConfig(demand_bounds={("a", "d"): (0.0, 20.0)})
+    model = Model("caps")
+    encoding = FailureEncoding(model=model, topology=topo, paths=paths,
+                               config=config)
+    caps = build_path_extension_caps(
+        model, encoding, {("a", "d"): demand}, {("a", "d"): 20.0},
+        kill_down_paths=kill_down_paths,
+    )
+    for key, u in encoding.link_down.items():
+        if isinstance(u, Var):
+            model.add_constr(u.to_expr() == (1.0 if key in fail else 0.0))
+    model.set_objective(quicksum(
+        u for u in encoding.link_down.values() if isinstance(u, Var)
+    ), sense="min")
+    result = model.solve().require_ok()
+    return caps, result
+
+
+def cap_value(caps, result, pair, j):
+    cap = caps[(pair, j)]
+    if cap is None:
+        return None
+    if isinstance(cap, (int, float)):
+        return float(cap)
+    if isinstance(cap, (Var, LinExpr)):
+        return result.value(cap)
+    return result.value(cap)
+
+
+class TestTotalFlowSemantics:
+    def test_primary_has_no_cap(self, topo, paths):
+        caps, result = build(topo, paths, kill_down_paths=False)
+        assert caps[(("a", "d"), 0)] is None
+
+    def test_backup_capped_at_zero_without_failures(self, topo, paths):
+        caps, result = build(topo, paths, kill_down_paths=False)
+        assert cap_value(caps, result, ("a", "d"), 1) == pytest.approx(0.0)
+
+    def test_backup_gets_demand_after_primary_failure(self, topo, paths):
+        primary = paths[("a", "d")].paths[0]
+        first_lag = topo.lags_on_path(primary)[0]
+        caps, result = build(topo, paths, kill_down_paths=False,
+                             demand=7.0, fail={(first_lag.key, 0)})
+        assert cap_value(caps, result, ("a", "d"), 1) == pytest.approx(7.0)
+
+
+class TestMluSemantics:
+    def test_primary_capped_when_down(self, topo, paths):
+        primary = paths[("a", "d")].paths[0]
+        lags = topo.lags_on_path(primary)
+        fail = {(lag.key, 0) for lag in lags[:1]}
+        caps, result = build(topo, paths, kill_down_paths=True,
+                             demand=7.0, fail=fail)
+        # MLU mode must kill the down primary through its extension cap.
+        assert cap_value(caps, result, ("a", "d"), 0) == pytest.approx(0.0)
+
+    def test_primary_open_when_up(self, topo, paths):
+        caps, result = build(topo, paths, kill_down_paths=True, demand=7.0)
+        value = cap_value(caps, result, ("a", "d"), 0)
+        assert value is None or value == pytest.approx(7.0)
+
+    def test_backup_must_be_active_and_up(self, topo, paths):
+        dp = paths[("a", "d")]
+        primary, backup = dp.paths
+        both = {(lag.key, 0) for lag in topo.lags_on_path(primary)} | {
+            (lag.key, 0) for lag in topo.lags_on_path(backup)
+        }
+        caps, result = build(topo, paths, kill_down_paths=True,
+                             demand=7.0, fail=both)
+        # Active (primary down) but itself down: cap stays zero.
+        assert cap_value(caps, result, ("a", "d"), 1) == pytest.approx(0.0)

@@ -1,0 +1,237 @@
+"""Tests for the operator report and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro import PathSet, RahaAnalyzer, RahaConfig
+from repro.cli import main
+from repro.core.report import degradation_report
+from repro.network import serialization as ser
+from repro.network.builder import from_edges
+
+
+@pytest.fixture
+def topo():
+    return from_edges([
+        ("a", "b", 10), ("b", "d", 10), ("a", "c", 6), ("c", "d", 6),
+    ], failure_probability=0.05)
+
+
+@pytest.fixture
+def paths(topo):
+    return PathSet.k_shortest(topo, [("a", "d")], num_primary=2,
+                              num_backup=0)
+
+
+@pytest.fixture
+def result(topo, paths):
+    config = RahaConfig(fixed_demands={("a", "d"): 12.0}, max_failures=1)
+    return RahaAnalyzer(topo, paths, config).analyze()
+
+
+class TestReport:
+    def test_report_structure(self, topo, paths, result):
+        text = degradation_report(topo, paths, result)
+        assert "WAN degradation analysis" in text
+        assert "failed links: 1" in text
+        assert "most impacted demands" in text
+        assert "a -> d" in text
+        assert "independently verified: yes" in text
+
+    def test_report_lists_down_lag(self, topo, paths, result):
+        text = degradation_report(topo, paths, result)
+        assert "DOWN" in text
+
+    def test_report_no_impact_case(self, topo, paths):
+        config = RahaConfig(fixed_demands={("a", "d"): 0.0}, max_failures=1)
+        clean = RahaAnalyzer(topo, paths, config).analyze()
+        text = degradation_report(topo, paths, clean)
+        assert "no demand loses traffic" in text
+
+
+class TestCli:
+    @pytest.fixture
+    def files(self, tmp_path, topo, paths):
+        topo_path = str(tmp_path / "topo.json")
+        paths_path = str(tmp_path / "paths.json")
+        demands_path = str(tmp_path / "demands.json")
+        ser.save_json(ser.topology_to_dict(topo), topo_path)
+        ser.save_json(ser.paths_to_dict(paths), paths_path)
+        ser.save_json(
+            ser.demands_to_dict({("a", "d"): 12.0}), demands_path
+        )
+        return topo_path, paths_path, demands_path
+
+    def test_paths_command(self, tmp_path, files, capsys):
+        topo_path, _, _ = files
+        out = str(tmp_path / "out_paths.json")
+        code = main([
+            "paths", "--topology", topo_path, "--pairs", "a~d,b~c",
+            "--primary", "2", "--backup", "0", "--out", out,
+        ])
+        assert code == 0
+        data = json.load(open(out))
+        assert len(data["demands"]) == 2
+
+    def test_analyze_fixed(self, tmp_path, files, capsys):
+        topo_path, paths_path, demands_path = files
+        report = str(tmp_path / "report.txt")
+        out = str(tmp_path / "result.json")
+        code = main([
+            "analyze", "--topology", topo_path, "--paths", paths_path,
+            "--demands", demands_path, "--max-failures", "1",
+            "--report", report, "--out", out,
+        ])
+        assert code == 0
+        assert "WAN degradation analysis" in open(report).read()
+        payload = json.load(open(out))
+        assert payload["kind"] == "degradation_result"
+        assert payload["degradation"] > 0
+
+    def test_analyze_tolerance_exit_code(self, files):
+        topo_path, paths_path, demands_path = files
+        code = main([
+            "analyze", "--topology", topo_path, "--paths", paths_path,
+            "--demands", demands_path, "--max-failures", "1",
+            "--tolerance", "0.0",
+        ])
+        assert code == 2  # degradation exceeds tolerance -> alert exit
+
+    def test_analyze_variable(self, files, capsys):
+        topo_path, paths_path, demands_path = files
+        code = main([
+            "analyze", "--topology", topo_path, "--paths", paths_path,
+            "--demands", demands_path, "--variable", "--slack", "20",
+            "--max-failures", "1",
+        ])
+        assert code == 0
+        assert "degradation" in capsys.readouterr().out
+
+    def test_augment_command(self, tmp_path, files, capsys):
+        topo_path, paths_path, demands_path = files
+        out = str(tmp_path / "augmented.json")
+        code = main([
+            "augment", "--topology", topo_path, "--paths", paths_path,
+            "--demands", demands_path, "--max-failures", "1",
+            "--link-capacity", "10", "--reliable", "--out", out,
+        ])
+        assert code == 0
+        augmented = ser.topology_from_dict(ser.load_json(out))
+        assert augmented.num_links > 4  # links were added
+
+    def test_fig2_command(self, tmp_path, files, capsys):
+        topo_path, _, _ = files
+        out = str(tmp_path / "fig2.json")
+        code = main([
+            "fig2", "--topology", topo_path,
+            "--thresholds", "1e-3,1e-1", "--out", out,
+        ])
+        assert code == 0
+        rows = json.load(open(out))
+        assert len(rows) == 2
+        assert all("max_failures" in row for row in rows)
+
+    def test_graphml_input(self, tmp_path):
+        graphml = tmp_path / "t.graphml"
+        graphml.write_text(
+            '<?xml version="1.0"?>'
+            '<graphml xmlns="http://graphml.graphdrawing.org/xmlns">'
+            '<graph id="g"><node id="0"/><node id="1"/>'
+            '<edge source="0" target="1"/></graph></graphml>'
+        )
+        from repro.exceptions import TopologyError
+
+        # GraphML loads, but fig2 needs probabilities the file lacks:
+        # the CLI surfaces the domain error instead of crashing opaquely.
+        with pytest.raises(TopologyError, match="failure probability"):
+            main([
+                "fig2", "--topology", str(graphml), "--thresholds", "0.5",
+            ])
+
+
+class TestCliErrors:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestCliAvailability:
+    def test_availability_command(self, tmp_path, topo, paths, capsys):
+        import json as _json
+
+        from repro.network import serialization as _ser
+
+        topo_path = str(tmp_path / "t.json")
+        paths_path = str(tmp_path / "p.json")
+        demands_path = str(tmp_path / "d.json")
+        _ser.save_json(_ser.topology_to_dict(topo), topo_path)
+        _ser.save_json(_ser.paths_to_dict(paths), paths_path)
+        _ser.save_json(_ser.demands_to_dict({("a", "d"): 12.0}),
+                       demands_path)
+        out = str(tmp_path / "avail.json")
+        code = main([
+            "availability", "--topology", topo_path, "--paths", paths_path,
+            "--demands", demands_path, "--samples", "50", "--out", out,
+        ])
+        assert code == 0
+        payload = _json.load(open(out))
+        assert payload["samples"] == 50
+        assert 0.0 <= payload["availability"] <= 1.0
+        assert "availability" in capsys.readouterr().out
+
+
+class TestModuleEntry:
+    def test_python_dash_m_entrypoint(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0
+        assert "analyze" in result.stdout
+        assert "augment" in result.stdout
+
+
+class TestCliContinents:
+    def test_continents_command(self, tmp_path, capsys):
+        import json as _json
+
+        from repro.network import serialization as _ser
+        from repro.network.builder import from_edges
+
+        world = from_edges([
+            ("af1", "af2", 10), ("af2", "af3", 10), ("af1", "af3", 10),
+            ("eu1", "eu2", 10), ("eu2", "eu3", 10), ("eu1", "eu3", 10),
+            ("af1", "eu1", 6), ("af3", "eu3", 6),
+        ], failure_probability=0.02)
+        topo_path = str(tmp_path / "world.json")
+        demands_path = str(tmp_path / "d.json")
+        assignment_path = str(tmp_path / "continents.json")
+        _ser.save_json(_ser.topology_to_dict(world), topo_path)
+        _ser.save_json(_ser.demands_to_dict({
+            ("af1", "af2"): 12.0, ("eu1", "eu3"): 4.0,
+        }), demands_path)
+        with open(assignment_path, "w") as handle:
+            _json.dump({
+                "af1": "africa", "af2": "africa", "af3": "africa",
+                "eu1": "europe", "eu2": "europe", "eu3": "europe",
+            }, handle)
+
+        code = main([
+            "continents", "--topology", topo_path,
+            "--demands", demands_path, "--assignment", assignment_path,
+            "--primary", "1", "--backup", "1", "--threshold", "1e-2",
+            "--time-limit", "30",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "africa:" in out
+        assert "europe:" in out
+        assert "backbone:" in out

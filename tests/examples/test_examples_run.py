@@ -1,0 +1,72 @@
+"""Every example script must run cleanly end to end.
+
+Examples are the public face of the library: each is executed as a real
+subprocess (like a user would) and its key output lines are asserted.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: float = 600.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Worst probable degradation found" in out
+        assert "degradation=" in out
+
+    def test_motivating_example(self):
+        out = run_example("motivating_example.py")
+        assert "healthy 22, worst failure leaves 15 -> degradation 7" in out
+        assert "Ordering (naive < fixed < Raha)" in out
+
+    def test_capacity_planning(self):
+        out = run_example("capacity_planning.py")
+        assert "converged: True" in out
+        assert "Augment existing LAGs" in out
+        assert "new LAGs" in out
+
+    def test_online_alerting(self):
+        out = run_example("online_alerting.py")
+        assert "Estimated link down probabilities" in out
+        assert "Before the incident" in out
+        assert "[info] peak demand is safe" in out
+        assert "[critical]" in out  # fires after the fiber cut
+
+    def test_seismic_srlg(self):
+        out = run_example("seismic_srlg.py")
+        assert "Conduit SRLG model" in out
+        assert "seismic event" in out
+
+    def test_topology_zoo(self):
+        out = run_example("topology_zoo.py")
+        assert "max-failures baselines" in out
+        assert "Raha with probability thresholds" in out
+
+    def test_oblivious_vs_ksp(self):
+        out = run_example("oblivious_vs_ksp.py")
+        assert "Oblivious template" in out
+        assert "worst probable degradation" in out
+
+    def test_availability_report(self):
+        out = run_example("availability_report.py")
+        assert "Monte Carlo" in out
+        assert "blind spot Raha closes" in out
+
+    def test_continental_analysis(self):
+        out = run_example("continental_analysis.py")
+        assert "The risk is African" in out
+        assert "backbone" in out

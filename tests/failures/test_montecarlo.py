@@ -1,0 +1,111 @@
+"""Tests for Monte Carlo availability estimation."""
+
+import pytest
+
+from repro import PathSet, RahaAnalyzer, RahaConfig, Srlg
+from repro.exceptions import TopologyError
+from repro.failures.montecarlo import estimate_availability, sample_scenario
+from repro.network.builder import from_edges, with_link_probabilities
+from repro.network.srlg import attach_srlg
+
+import numpy as np
+
+
+@pytest.fixture
+def diamond():
+    return from_edges([
+        ("a", "b", 10), ("b", "d", 10), ("a", "c", 6), ("c", "d", 6),
+    ], failure_probability=0.1)
+
+
+@pytest.fixture
+def paths(diamond):
+    return PathSet.k_shortest(diamond, [("a", "d")], num_primary=2,
+                              num_backup=0)
+
+
+class TestSampleScenario:
+    def test_sampling_frequency_tracks_probability(self, diamond):
+        rng = np.random.default_rng(0)
+        draws = [sample_scenario(diamond, rng) for _ in range(2000)]
+        rate = sum(s.is_failed(("a", "b"), 0) for s in draws) / len(draws)
+        assert rate == pytest.approx(0.1, abs=0.03)
+
+    def test_srlg_members_share_fate(self):
+        topo = from_edges([("a", "b", 1), ("a", "c", 1), ("b", "c", 1)],
+                          failure_probability=0.001)
+        srlg = Srlg(name="conduit", failure_probability=0.5)
+        srlg.add("a", "b", 0)
+        srlg.add("a", "c", 0)
+        attach_srlg(topo, srlg)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            scenario = sample_scenario(topo, rng)
+            assert scenario.is_failed(("a", "b"), 0) == scenario.is_failed(
+                ("a", "c"), 0
+            )
+
+    def test_non_failable_links_never_sampled(self):
+        from repro.network.topology import Link
+
+        topo = from_edges([("a", "b", 1)], failure_probability=0.9)
+        topo.require_lag("a", "b").links = [
+            Link(capacity=1, failure_probability=0.9, can_fail=False)
+        ]
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            assert sample_scenario(topo, rng).num_failed_links == 0
+
+    def test_missing_probability_rejected(self):
+        topo = from_edges([("a", "b", 1)])
+        rng = np.random.default_rng(0)
+        with pytest.raises(TopologyError):
+            sample_scenario(topo, rng)
+
+
+class TestEstimateAvailability:
+    def test_estimate_fields(self, diamond, paths):
+        est = estimate_availability(
+            diamond, {("a", "d"): 12.0}, paths, samples=100, seed=3
+        )
+        assert est.samples == 100
+        assert est.healthy_flow == pytest.approx(12.0)
+        assert 0.0 <= est.availability <= 1.0
+        assert 0.0 <= est.exceedance_probability <= 1.0
+        assert est.worst_sampled >= est.expected_degradation - 1e-9
+        assert len(est.degradations) == 100
+
+    def test_quantiles_monotone(self, diamond, paths):
+        est = estimate_availability(
+            diamond, {("a", "d"): 12.0}, paths, samples=100, seed=3
+        )
+        assert est.quantile(0.5) <= est.quantile(0.95) + 1e-12
+        with pytest.raises(ValueError):
+            est.quantile(1.5)
+
+    def test_reliable_network_is_mostly_available(self, paths):
+        topo = from_edges([
+            ("a", "b", 10), ("b", "d", 10), ("a", "c", 6), ("c", "d", 6),
+        ], failure_probability=1e-4)
+        est = estimate_availability(
+            topo, {("a", "d"): 12.0}, paths, samples=100, seed=4
+        )
+        assert est.availability > 0.99
+        assert est.expected_degradation < 0.2
+
+    def test_worst_sample_never_beats_exact_worst_case(self, diamond,
+                                                       paths):
+        """The analyzer's exact worst case dominates any sample."""
+        est = estimate_availability(
+            diamond, {("a", "d"): 12.0}, paths, samples=150, seed=5
+        )
+        exact = RahaAnalyzer(
+            diamond, paths,
+            RahaConfig(fixed_demands={("a", "d"): 12.0}),
+        ).analyze()
+        assert est.worst_sampled <= exact.degradation + 1e-6
+
+    def test_bad_sample_count_rejected(self, diamond, paths):
+        with pytest.raises(ValueError):
+            estimate_availability(diamond, {("a", "d"): 1.0}, paths,
+                                  samples=0)

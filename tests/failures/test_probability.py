@@ -1,0 +1,221 @@
+"""Tests for probability arithmetic, Figure 2, and renewal-reward."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TopologyError
+from repro.failures import (
+    FailureScenario,
+    RenewalRewardEstimator,
+    max_simultaneous_failures,
+    scenario_log_probability,
+    scenario_probability,
+)
+from repro.failures.probability import most_likely_scenario
+from repro.failures.tracegen import generate_outage_trace, true_down_probability
+from repro.network.builder import from_edges
+
+
+def two_link_topo(p1=0.1, p2=0.2):
+    topo = from_edges([("a", "b"), ("b", "c")], default_capacity=10)
+    from repro.network.builder import with_link_probabilities
+
+    return with_link_probabilities(
+        topo, {("a", "b"): p1, ("b", "c"): p2}
+    )
+
+
+class TestScenarioProbability:
+    def test_empty_scenario(self):
+        topo = two_link_topo(0.1, 0.2)
+        p = scenario_probability(topo, FailureScenario())
+        assert p == pytest.approx(0.9 * 0.8)
+
+    def test_one_failure(self):
+        topo = two_link_topo(0.1, 0.2)
+        s = FailureScenario([(("a", "b"), 0)])
+        assert scenario_probability(topo, s) == pytest.approx(0.1 * 0.8)
+
+    def test_all_failures(self):
+        topo = two_link_topo(0.1, 0.2)
+        s = FailureScenario([(("a", "b"), 0), (("b", "c"), 0)])
+        assert scenario_probability(topo, s) == pytest.approx(0.1 * 0.2)
+
+    def test_log_prob_consistent(self):
+        topo = two_link_topo(0.3, 0.4)
+        s = FailureScenario([(("a", "b"), 0)])
+        assert math.exp(scenario_log_probability(topo, s)) == pytest.approx(
+            scenario_probability(topo, s)
+        )
+
+    def test_missing_probability_rejected(self):
+        topo = from_edges([("a", "b")], default_capacity=10)
+        with pytest.raises(TopologyError):
+            scenario_probability(topo, FailureScenario())
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        p1=st.floats(min_value=0.01, max_value=0.99),
+        p2=st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_probabilities_sum_to_one(self, p1, p2):
+        """All four scenarios of a 2-link network partition probability."""
+        topo = two_link_topo(p1, p2)
+        scenarios = [
+            FailureScenario(),
+            FailureScenario([(("a", "b"), 0)]),
+            FailureScenario([(("b", "c"), 0)]),
+            FailureScenario([(("a", "b"), 0), (("b", "c"), 0)]),
+        ]
+        total = sum(scenario_probability(topo, s) for s in scenarios)
+        assert total == pytest.approx(1.0)
+
+
+class TestMostLikely:
+    def test_fails_links_over_half(self):
+        topo = two_link_topo(0.7, 0.2)
+        s = most_likely_scenario(topo)
+        assert s.is_failed(("a", "b"), 0)
+        assert not s.is_failed(("b", "c"), 0)
+
+
+class TestMaxSimultaneousFailures:
+    def test_monotone_in_threshold(self):
+        topo = two_link_topo(0.3, 0.3)
+        counts = [
+            max_simultaneous_failures(topo, t)[0]
+            for t in (0.5, 0.3, 0.1, 0.01)
+        ]
+        assert counts == sorted(counts)
+
+    def test_exact_small_case(self):
+        # p = 0.3 each: all-up 0.49, one-down 0.21, two-down 0.09.
+        topo = two_link_topo(0.3, 0.3)
+        assert max_simultaneous_failures(topo, 0.08)[0] == 2
+        assert max_simultaneous_failures(topo, 0.15)[0] == 1
+        assert max_simultaneous_failures(topo, 0.3)[0] == 0
+
+    def test_returned_scenario_meets_threshold(self):
+        topo = two_link_topo(0.3, 0.4)
+        count, scenario = max_simultaneous_failures(topo, 0.1)
+        assert scenario.num_failed_links == count
+        assert scenario_probability(topo, scenario) >= 0.1 - 1e-12
+
+    def test_dead_links_fail_even_at_high_threshold(self):
+        topo = two_link_topo(0.97, 0.001)
+        count, scenario = max_simultaneous_failures(topo, 0.5)
+        assert count == 1
+        assert scenario.is_failed(("a", "b"), 0)
+
+    def test_impossible_threshold(self):
+        topo = two_link_topo(0.5, 0.5)  # every scenario has p = 0.25
+        count, scenario = max_simultaneous_failures(topo, 0.9)
+        assert count == 0
+        assert scenario.num_failed_links == 0
+
+    def test_bad_threshold_rejected(self):
+        topo = two_link_topo()
+        with pytest.raises(ValueError):
+            max_simultaneous_failures(topo, 0.0)
+        with pytest.raises(ValueError):
+            max_simultaneous_failures(topo, 1.0)
+
+    def test_production_mixture_envelope(self):
+        """Fig. 2's shape: counts fall as the threshold rises, with a
+        double-digit span at low thresholds on a production-like WAN."""
+        from repro.network.generators import production_wan
+
+        topo = production_wan(num_regions=4, nodes_per_region=6, seed=0)
+        counts = {
+            t: max_simultaneous_failures(topo, t)[0]
+            for t in (1e-5, 1e-3, 1e-1)
+        }
+        assert counts[1e-5] >= counts[1e-3] >= counts[1e-1]
+        assert counts[1e-5] > counts[1e-1]
+        assert counts[1e-5] >= 5
+
+
+class TestRenewalReward:
+    def test_simple_two_outages(self):
+        est = RenewalRewardEstimator.from_trace([(10, 12), (20, 23)])
+        # One cycle: repairs at 12 and 23 (X = 11), downtime in it = 3.
+        assert est.probability() == pytest.approx(3 / 11)
+
+    def test_needs_two_outages(self):
+        est = RenewalRewardEstimator.from_trace([(10, 12)])
+        with pytest.raises(ValueError):
+            est.probability()
+
+    def test_rejects_bad_interval(self):
+        est = RenewalRewardEstimator()
+        with pytest.raises(ValueError):
+            est.add_outage(5, 5)
+
+    def test_rejects_out_of_order(self):
+        est = RenewalRewardEstimator.from_trace([(10, 12)])
+        with pytest.raises(ValueError):
+            est.add_outage(11, 13)
+
+    def test_converges_to_ground_truth(self):
+        mtbf, mttr = 100.0, 5.0
+        trace = generate_outage_trace(mtbf, mttr, horizon=200_000, seed=3)
+        est = RenewalRewardEstimator.from_trace(trace)
+        truth = true_down_probability(mtbf, mttr)
+        assert est.probability() == pytest.approx(truth, rel=0.1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        mtbf=st.floats(min_value=10.0, max_value=500.0),
+        mttr=st.floats(min_value=1.0, max_value=50.0),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_estimator_property(self, mtbf, mttr, seed):
+        trace = generate_outage_trace(mtbf, mttr, horizon=100_000, seed=seed)
+        if len(trace) < 50:
+            return  # not enough cycles for a meaningful check
+        est = RenewalRewardEstimator.from_trace(trace)
+        truth = true_down_probability(mtbf, mttr)
+        assert est.probability() == pytest.approx(truth, rel=0.5)
+
+    def test_tracegen_validation(self):
+        with pytest.raises(ValueError):
+            generate_outage_trace(0, 1, 10)
+
+
+class TestSrlgProbability:
+    def _conduit_topo(self):
+        from repro import Srlg
+        from repro.network.srlg import attach_srlg
+
+        topo = from_edges([("a", "b"), ("a", "c"), ("b", "c")],
+                          default_capacity=10)
+        from repro.network.builder import with_link_probabilities
+
+        topo = with_link_probabilities(topo, {
+            ("a", "b"): 0.004, ("a", "c"): 0.004, ("b", "c"): 0.004,
+        })
+        srlg = Srlg(name="conduit", failure_probability=0.01)
+        srlg.add("a", "b", 0)
+        srlg.add("a", "c", 0)
+        attach_srlg(topo, srlg)
+        return topo
+
+    def test_group_priced_once_when_all_failed(self):
+        topo = self._conduit_topo()
+        s = FailureScenario([(("a", "b"), 0), (("a", "c"), 0)])
+        p = scenario_probability(topo, s)
+        assert p == pytest.approx(0.01 * (1 - 0.004))
+
+    def test_group_priced_once_when_none_failed(self):
+        topo = self._conduit_topo()
+        p = scenario_probability(topo, FailureScenario())
+        assert p == pytest.approx((1 - 0.01) * (1 - 0.004))
+
+    def test_mixed_state_falls_back_to_links(self):
+        topo = self._conduit_topo()
+        s = FailureScenario([(("a", "b"), 0)])
+        p = scenario_probability(topo, s)
+        assert p == pytest.approx(0.004 * (1 - 0.004) * (1 - 0.004))

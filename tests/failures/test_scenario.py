@@ -1,0 +1,167 @@
+"""Tests for failure scenarios and failed-network simulation."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.failures import FailureScenario, simulate_failed_network
+from repro.failures.scenario import (
+    active_paths,
+    connected_enforced_holds,
+    path_is_down,
+)
+from repro.network.builder import from_edges
+from repro.paths import PathSet
+
+
+@pytest.fixture
+def diamond():
+    return from_edges([
+        ("a", "b", 10, 2), ("b", "d", 10), ("a", "c", 10), ("c", "d", 10),
+    ])
+
+
+class TestFailureScenario:
+    def test_normalization(self):
+        s = FailureScenario([(("b", "a"), 0)])
+        assert s.is_failed(("a", "b"), 0)
+        assert s.is_failed(("b", "a"), 0)
+        assert s.num_failed_links == 1
+
+    def test_equality_and_hash(self):
+        a = FailureScenario([(("a", "b"), 0), (("c", "d"), 0)])
+        b = FailureScenario([(("c", "d"), 0), (("b", "a"), 0)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_from_lags(self, diamond):
+        s = FailureScenario.from_lags(diamond, [("a", "b")])
+        assert s.num_failed_links == 2  # both links of the 2-link LAG
+
+    def test_from_lags_unknown(self, diamond):
+        with pytest.raises(TopologyError):
+            FailureScenario.from_lags(diamond, [("a", "zzz")])
+
+    def test_validate_bad_link_index(self, diamond):
+        with pytest.raises(TopologyError):
+            FailureScenario([(("b", "d"), 3)]).validate_for(diamond)
+
+    def test_residual_capacities_partial(self, diamond):
+        s = FailureScenario([(("a", "b"), 0)])  # one of two links
+        caps = s.residual_capacities(diamond)
+        assert caps[("a", "b")] == pytest.approx(5.0)
+        assert caps[("b", "d")] == pytest.approx(10.0)
+
+    def test_down_lags_requires_all_links(self, diamond):
+        partial = FailureScenario([(("a", "b"), 0)])
+        assert partial.down_lags(diamond) == set()
+        full = FailureScenario([(("a", "b"), 0), (("a", "b"), 1)])
+        assert full.down_lags(diamond) == {("a", "b")}
+
+    def test_union(self):
+        a = FailureScenario([(("a", "b"), 0)])
+        b = FailureScenario([(("c", "d"), 0)])
+        assert a.union(b).num_failed_links == 2
+
+    def test_repr_truncates(self):
+        s = FailureScenario([(("a", "b"), i) for i in range(10)])
+        assert "+4 more" in repr(s)
+
+
+class TestPathAvailability:
+    def test_path_is_down(self, diamond):
+        down = {("b", "d")}
+        assert path_is_down(diamond, ("a", "b", "d"), down)
+        assert not path_is_down(diamond, ("a", "c", "d"), down)
+
+    def test_backup_activation_order(self, diamond):
+        paths = PathSet.k_shortest(diamond, [("a", "d")], 1, 1)
+        dp = paths[("a", "d")]
+        primary, backup = dp.paths
+        # No failures: only the primary is active.
+        assert active_paths(diamond, dp, set()) == [primary]
+        # Primary's LAG down: backup becomes active (primary still listed --
+        # its LAG has zero residual capacity so it cannot carry traffic).
+        down = {diamond.lags_on_path(primary)[0].key}
+        active = active_paths(diamond, dp, down)
+        assert backup in active
+
+    def test_second_backup_needs_two_failures(self):
+        topo = from_edges([
+            ("a", "b", 10), ("b", "d", 10), ("a", "c", 10), ("c", "d", 10),
+            ("a", "e", 10), ("e", "d", 10),
+        ])
+        paths = PathSet.k_shortest(topo, [("a", "d")], 1, 2)
+        dp = paths[("a", "d")]
+        primary, backup1, backup2 = dp.paths
+        one_down = {topo.lags_on_path(primary)[0].key}
+        active = active_paths(topo, dp, one_down)
+        assert backup1 in active
+        assert backup2 not in active
+        two_down = one_down | {topo.lags_on_path(backup1)[0].key}
+        active = active_paths(topo, dp, two_down)
+        assert backup2 in active
+
+    def test_connected_enforced(self, diamond):
+        paths = PathSet.k_shortest(diamond, [("a", "d")], 2, 0)
+        ok = FailureScenario.from_lags(diamond, [("a", "b")])
+        assert connected_enforced_holds(diamond, paths, ok)
+        bad = FailureScenario.from_lags(diamond, [("a", "b"), ("a", "c")])
+        assert not connected_enforced_holds(diamond, paths, bad)
+
+
+class TestSimulation:
+    def test_no_failures_equals_design_point_on_primaries(self, diamond):
+        paths = PathSet.k_shortest(diamond, [("a", "d")], 2, 0)
+        sol = simulate_failed_network(
+            diamond, {("a", "d"): 100.0}, paths, FailureScenario()
+        )
+        assert sol.total_flow == pytest.approx(20.0)
+
+    def test_backup_inactive_without_failure(self, diamond):
+        paths = PathSet.k_shortest(diamond, [("a", "d")], 1, 1)
+        sol = simulate_failed_network(
+            diamond, {("a", "d"): 100.0}, paths, FailureScenario()
+        )
+        # Only the primary is usable: 10, not 20.
+        assert sol.total_flow == pytest.approx(10.0)
+
+    def test_failover_engages_backup(self, diamond):
+        paths = PathSet.k_shortest(diamond, [("a", "d")], 1, 1)
+        primary = paths[("a", "d")].paths[0]
+        scenario = FailureScenario.from_lags(
+            diamond, [diamond.lags_on_path(primary)[0].key]
+        )
+        sol = simulate_failed_network(
+            diamond, {("a", "d"): 100.0}, paths, scenario
+        )
+        assert sol.total_flow == pytest.approx(10.0)
+
+    def test_partial_failure_reduces_capacity(self, diamond):
+        paths = PathSet.k_shortest(diamond, [("a", "d")], 2, 0)
+        # One link of the 2-link a-b LAG: residual 5 on that route.
+        scenario = FailureScenario([(("a", "b"), 0)])
+        sol = simulate_failed_network(
+            diamond, {("a", "d"): 100.0}, paths, scenario
+        )
+        assert sol.total_flow == pytest.approx(15.0)
+
+    def test_total_disconnection_routes_zero(self, diamond):
+        paths = PathSet.k_shortest(diamond, [("a", "d")], 2, 0)
+        scenario = FailureScenario.from_lags(
+            diamond, [("a", "b"), ("a", "c")]
+        )
+        sol = simulate_failed_network(
+            diamond, {("a", "d"): 100.0}, paths, scenario
+        )
+        assert sol.total_flow == pytest.approx(0.0)
+
+    def test_custom_te_factory(self, diamond):
+        from repro.te import MluTE
+
+        paths = PathSet.k_shortest(diamond, [("a", "d")], 2, 0)
+        sol = simulate_failed_network(
+            diamond, {("a", "d"): 10.0}, paths, FailureScenario(),
+            te_factory=lambda: MluTE(primary_only=False),
+        )
+        assert sol.objective == pytest.approx(0.5)

@@ -1,0 +1,85 @@
+"""End-to-end CLI pipeline: generate -> paths -> analyze -> augment.
+
+Drives the full operational workflow through the same entry points a
+user would script, over files on disk.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.network import serialization as ser
+from repro.network.demand import synthesize_monthly_demands, top_pairs
+from repro.network.generators import production_wan
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli-e2e")
+    topology = production_wan(num_regions=2, nodes_per_region=4,
+                              dead_share=0.12, seed=3)
+    avg, peak = synthesize_monthly_demands(topology, scale=100, seed=3)
+    pairs = top_pairs(avg, 4)
+    scale = topology.average_lag_capacity() / max(peak[p] for p in pairs)
+    peak = peak.restricted_to(pairs).scaled(scale)
+
+    topo_path = str(root / "wan.json")
+    demands_path = str(root / "peak.json")
+    ser.save_json(ser.topology_to_dict(topology), topo_path)
+    ser.save_json(ser.demands_to_dict(peak), demands_path)
+    return root, topo_path, demands_path, pairs
+
+
+class TestCliPipeline:
+    def test_full_pipeline(self, workspace):
+        root, topo_path, demands_path, pairs = workspace
+        paths_path = str(root / "paths.json")
+        pair_arg = ",".join(f"{s}~{d}" for s, d in pairs)
+
+        # 1. Precompute paths.
+        assert main([
+            "paths", "--topology", topo_path, "--pairs", pair_arg,
+            "--primary", "2", "--backup", "1", "--out", paths_path,
+        ]) == 0
+
+        # 2. Tier-1 analysis: expect an alert exit code (the instance is
+        # calibrated to be degradable) and a serialized finding.
+        finding_path = str(root / "finding.json")
+        code = main([
+            "analyze", "--topology", topo_path, "--paths", paths_path,
+            "--demands", demands_path, "--threshold", "1e-4",
+            "--time-limit", "60", "--tolerance", "0.0",
+            "--out", finding_path,
+        ])
+        finding = json.load(open(finding_path))
+        assert finding["verified"] is True
+        assert code == (2 if finding["normalized_degradation"] > 0 else 0)
+
+        # 3. Augment away the risk and re-check the augmented topology.
+        augmented_path = str(root / "augmented.json")
+        code = main([
+            "augment", "--topology", topo_path, "--paths", paths_path,
+            "--demands", demands_path, "--threshold", "1e-4",
+            "--reliable", "--max-steps", "8", "--time-limit", "60",
+            "--out", augmented_path,
+        ])
+        assert code == 0  # converged
+        recheck_path = str(root / "recheck.json")
+        code = main([
+            "analyze", "--topology", augmented_path, "--paths", paths_path,
+            "--demands", demands_path, "--threshold", "1e-4",
+            "--time-limit", "60", "--tolerance", "0.05",
+            "--out", recheck_path,
+        ])
+        assert code == 0, "augmented topology should pass the tolerance"
+
+        # 4. The expected-case picture on the augmented WAN.
+        avail_path = str(root / "avail.json")
+        assert main([
+            "availability", "--topology", augmented_path,
+            "--paths", paths_path, "--demands", demands_path,
+            "--samples", "60", "--out", avail_path,
+        ]) == 0
+        payload = json.load(open(avail_path))
+        assert payload["availability"] >= 0.0

@@ -1,0 +1,98 @@
+"""Tests for Algorithm 1 (demand clustering)."""
+
+import pytest
+
+from repro import (
+    ModelingError,
+    PathSet,
+    RahaAnalyzer,
+    RahaConfig,
+    analyze_with_clustering,
+    cluster_nodes,
+)
+from repro.network.builder import from_edges
+from repro.network.generators import small_ring
+
+
+@pytest.fixture
+def two_zones():
+    # Two dense zones joined by one inter-zone LAG: a natural 2-clustering.
+    return from_edges([
+        ("a1", "a2", 10), ("a2", "a3", 10), ("a1", "a3", 10),
+        ("b1", "b2", 10), ("b2", "b3", 10), ("b1", "b3", 10),
+        ("a3", "b1", 4),
+    ], failure_probability=0.05)
+
+
+class TestClusterNodes:
+    def test_respects_count(self, two_zones):
+        clusters = cluster_nodes(two_zones, 2, seed=1)
+        assert len(clusters) == 2
+        assert set().union(*clusters) == set(two_zones.nodes)
+        assert not clusters[0] & clusters[1]
+
+    def test_cuts_the_thin_lag(self, two_zones):
+        clusters = cluster_nodes(two_zones, 2, seed=1)
+        zones = [frozenset(c) for c in clusters]
+        assert frozenset({"a1", "a2", "a3"}) in zones
+        assert frozenset({"b1", "b2", "b3"}) in zones
+
+    def test_single_cluster(self, two_zones):
+        clusters = cluster_nodes(two_zones, 1)
+        assert clusters == [set(two_zones.nodes)]
+
+    def test_more_clusters_than_nodes_rejected(self, two_zones):
+        with pytest.raises(ModelingError):
+            cluster_nodes(two_zones, 100)
+
+    def test_zero_clusters_rejected(self, two_zones):
+        with pytest.raises(ModelingError):
+            cluster_nodes(two_zones, 0)
+
+    def test_many_clusters(self):
+        topo = small_ring(num_nodes=8, chords=2)
+        clusters = cluster_nodes(topo, 4, seed=0)
+        assert len(clusters) == 4
+        assert sum(len(c) for c in clusters) == 8
+
+
+class TestAnalyzeWithClustering:
+    def test_requires_joint_mode(self, two_zones):
+        paths = PathSet.k_shortest(two_zones, [("a1", "b2")], 1, 1)
+        config = RahaConfig(fixed_demands={("a1", "b2"): 1.0})
+        with pytest.raises(ModelingError):
+            analyze_with_clustering(two_zones, paths, config, 2)
+
+    def test_clustered_close_to_unclustered_on_small_case(self, two_zones):
+        pairs = [("a1", "b2"), ("b1", "a2")]
+        paths = PathSet.k_shortest(two_zones, pairs, num_primary=1,
+                                   num_backup=1)
+        bounds = {p: (0.0, 8.0) for p in pairs}
+        config = RahaConfig(demand_bounds=bounds, max_failures=1)
+        exact = RahaAnalyzer(two_zones, paths, config).analyze()
+        clustered = analyze_with_clustering(two_zones, paths, config, 2,
+                                            seed=1)
+        # Clustering approximates the demand: it can only find <= exact,
+        # and on this toy it should get most of the way there.
+        assert clustered.degradation <= exact.degradation + 1e-6
+        assert clustered.degradation >= 0.5 * exact.degradation - 1e-6
+        assert any("clustered" in n for n in clustered.notes)
+
+    def test_clustered_result_is_simulatable(self, two_zones):
+        pairs = [("a1", "b2")]
+        paths = PathSet.k_shortest(two_zones, pairs, num_primary=1,
+                                   num_backup=1)
+        config = RahaConfig(demand_bounds={p: (0.0, 8.0) for p in pairs},
+                            max_failures=2)
+        result = analyze_with_clustering(two_zones, paths, config, 2, seed=1)
+        # Verification runs inside the final fixed-demand analysis.
+        assert result.verified
+
+    def test_time_budget_divided(self, two_zones):
+        pairs = [("a1", "b2")]
+        paths = PathSet.k_shortest(two_zones, pairs, num_primary=1,
+                                   num_backup=1)
+        config = RahaConfig(demand_bounds={p: (0.0, 8.0) for p in pairs},
+                            max_failures=1, time_limit=100.0)
+        result = analyze_with_clustering(two_zones, paths, config, 2, seed=1)
+        assert result.degradation >= 0

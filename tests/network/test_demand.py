@@ -1,0 +1,147 @@
+"""Unit tests for demand matrices, gravity model, and envelopes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TopologyError
+from repro.network import (
+    DemandMatrix,
+    demand_envelope,
+    gravity_demands,
+    synthesize_monthly_demands,
+)
+from repro.network.builder import from_edges
+from repro.network.demand import all_pairs, top_pairs
+
+
+@pytest.fixture
+def square():
+    return from_edges(
+        [("a", "b", 10), ("b", "c", 10), ("c", "d", 10), ("d", "a", 10)]
+    )
+
+
+class TestDemandMatrix:
+    def test_total(self):
+        m = DemandMatrix({("a", "b"): 3.0, ("b", "a"): 4.0})
+        assert m.total == pytest.approx(7.0)
+
+    def test_scaled(self):
+        m = DemandMatrix({("a", "b"): 3.0})
+        assert m.scaled(2.0)[("a", "b")] == pytest.approx(6.0)
+        with pytest.raises(ValueError):
+            m.scaled(-1)
+
+    def test_capped(self):
+        m = DemandMatrix({("a", "b"): 3.0, ("b", "c"): 10.0})
+        capped = m.capped(5.0)
+        assert capped[("a", "b")] == 3.0
+        assert capped[("b", "c")] == 5.0
+
+    def test_restricted_to(self):
+        m = DemandMatrix({("a", "b"): 1.0, ("b", "c"): 2.0})
+        r = m.restricted_to([("b", "c")])
+        assert list(r) == [("b", "c")]
+
+    def test_validate_unknown_node(self, square):
+        m = DemandMatrix({("a", "zzz"): 1.0})
+        with pytest.raises(TopologyError):
+            m.validate_for(square)
+
+    def test_validate_self_demand(self, square):
+        with pytest.raises(TopologyError):
+            DemandMatrix({("a", "a"): 1.0}).validate_for(square)
+
+    def test_validate_negative(self, square):
+        with pytest.raises(TopologyError):
+            DemandMatrix({("a", "b"): -1.0}).validate_for(square)
+
+
+class TestGravity:
+    def test_all_pairs_count(self, square):
+        assert len(all_pairs(square)) == 12
+
+    def test_gravity_covers_all_pairs(self, square):
+        demands = gravity_demands(square, scale=100)
+        assert len(demands) == 12
+        assert all(v > 0 for v in demands.values())
+
+    def test_gravity_deterministic(self, square):
+        a = gravity_demands(square, seed=3)
+        b = gravity_demands(square, seed=3)
+        assert a == b
+
+    def test_gravity_seed_changes_values(self, square):
+        a = gravity_demands(square, seed=1)
+        b = gravity_demands(square, seed=2)
+        assert a != b
+
+    def test_gravity_scales_linearly(self, square):
+        a = gravity_demands(square, scale=100, seed=0)
+        b = gravity_demands(square, scale=200, seed=0)
+        for pair in a:
+            assert b[pair] == pytest.approx(2 * a[pair])
+
+    def test_gravity_restricted_pairs(self, square):
+        demands = gravity_demands(square, pairs=[("a", "c")])
+        assert list(demands) == [("a", "c")]
+
+    def test_gravity_prefers_high_capacity_nodes(self):
+        topo = from_edges([("hub", "x", 100), ("hub", "y", 100), ("x", "y", 1)])
+        demands = gravity_demands(topo, seed=0)
+        hub_out = demands[("hub", "x")] + demands[("hub", "y")]
+        thin = demands[("x", "y")] + demands[("y", "x")]
+        assert hub_out > thin
+
+
+class TestMonthly:
+    def test_average_below_maximum(self, square):
+        avg, peak = synthesize_monthly_demands(square, seed=5)
+        assert set(avg) == set(peak)
+        for pair in avg:
+            assert avg[pair] <= peak[pair] + 1e-12
+
+    def test_deterministic(self, square):
+        a = synthesize_monthly_demands(square, seed=5)
+        b = synthesize_monthly_demands(square, seed=5)
+        assert a == b
+
+
+class TestEnvelope:
+    def test_zero_slack(self):
+        env = demand_envelope({("a", "b"): 10.0}, slack=0)
+        assert env[("a", "b")] == (0.0, 10.0)
+
+    def test_fifty_percent_slack(self):
+        env = demand_envelope({("a", "b"): 10.0}, slack=50)
+        assert env[("a", "b")][1] == pytest.approx(15.0)
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError):
+            demand_envelope({("a", "b"): 1.0}, slack=-1)
+
+    def test_floor_above_upper_rejected(self):
+        with pytest.raises(ValueError):
+            demand_envelope({("a", "b"): 1.0}, floor=5.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        volume=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        slack=st.floats(min_value=0.0, max_value=400.0, allow_nan=False),
+    )
+    def test_envelope_property(self, volume, slack):
+        env = demand_envelope({("a", "b"): volume}, slack=slack)
+        lo, hi = env[("a", "b")]
+        assert lo == 0.0
+        assert hi == pytest.approx(volume * (1 + slack / 100.0))
+
+
+class TestTopPairs:
+    def test_top_pairs_ordering(self):
+        demands = {("a", "b"): 1.0, ("b", "c"): 3.0, ("c", "d"): 2.0}
+        assert top_pairs(demands, 2) == [("b", "c"), ("c", "d")]
+
+    def test_top_pairs_handles_large_count(self):
+        demands = {("a", "b"): 1.0}
+        assert top_pairs(demands, 10) == [("a", "b")]

@@ -1,0 +1,32 @@
+"""Extra coverage for demand matrices and envelope helpers."""
+
+import pytest
+
+from repro import DemandMatrix
+from repro.network.demand import all_pairs, demand_envelope
+from repro.network.builder import line
+
+
+class TestDemandMatrixExtras:
+    def test_pairs_property_preserves_order(self):
+        m = DemandMatrix({("b", "a"): 1.0, ("a", "b"): 2.0})
+        assert m.pairs == [("b", "a"), ("a", "b")]
+
+    def test_scaled_zero(self):
+        m = DemandMatrix({("a", "b"): 5.0})
+        assert m.scaled(0.0)[("a", "b")] == 0.0
+
+    def test_capped_keeps_keys(self):
+        m = DemandMatrix({("a", "b"): 5.0, ("b", "a"): 1.0})
+        capped = m.capped(2.0)
+        assert set(capped) == set(m)
+
+    def test_all_pairs_excludes_self(self):
+        topo = line(3)
+        pairs = all_pairs(topo)
+        assert all(s != d for s, d in pairs)
+        assert len(pairs) == 6
+
+    def test_envelope_floor(self):
+        env = demand_envelope({("a", "b"): 10.0}, slack=0, floor=2.0)
+        assert env[("a", "b")] == (2.0, 10.0)

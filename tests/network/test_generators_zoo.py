@@ -1,0 +1,178 @@
+"""Tests for synthetic generators and the embedded zoo topologies."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network.generators import (
+    assign_zoo_probabilities,
+    geographic_backbone,
+    production_wan,
+    sample_link_probability,
+    small_ring,
+)
+from repro.network.zoo import b4, cogentco_like, uninett2010_like
+
+
+class TestProductionWan:
+    def test_default_scale_matches_paper(self):
+        topo = production_wan()
+        assert topo.num_nodes == 72  # paper: ~70 nodes
+        assert 250 <= topo.num_lags <= 400  # paper: ~270-334
+        assert topo.num_links >= topo.num_lags
+        assert topo.is_connected()
+        assert topo.has_probabilities()
+
+    def test_small_instance(self):
+        topo = production_wan(num_regions=2, nodes_per_region=4, seed=1)
+        assert topo.num_nodes == 8
+        assert topo.is_connected()
+
+    def test_deterministic(self):
+        a = production_wan(num_regions=2, nodes_per_region=4, seed=7)
+        b = production_wan(num_regions=2, nodes_per_region=4, seed=7)
+        assert a.num_lags == b.num_lags
+        assert [lag.key for lag in a.lags] == [lag.key for lag in b.lags]
+        assert [l.failure_probability for lag in a.lags for l in lag.links] == [
+            l.failure_probability for lag in b.lags for l in lag.links
+        ]
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(TopologyError):
+            production_wan(num_regions=0)
+        with pytest.raises(TopologyError):
+            production_wan(nodes_per_region=1)
+
+    def test_probability_mixture_has_dead_tail(self):
+        """The Fig. 2 envelope requires some links with very high pi."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        draws = [sample_link_probability(rng) for _ in range(3000)]
+        assert any(p > 0.9 for p in draws)
+        assert any(p < 1e-3 for p in draws)
+        assert all(0 < p < 1 for p in draws)
+        # The solid majority dominates.
+        assert sum(1 for p in draws if p < 0.05) > 0.8 * len(draws)
+
+
+class TestGeographicBackbone:
+    def test_exact_counts(self):
+        topo = geographic_backbone(30, 45, seed=3)
+        assert topo.num_nodes == 30
+        assert topo.num_lags == 45
+        assert topo.is_connected()
+
+    def test_tree_is_minimum_edge_count(self):
+        topo = geographic_backbone(10, 9, seed=0)
+        assert topo.num_lags == 9
+        assert topo.is_connected()
+
+    def test_too_few_edges_rejected(self):
+        with pytest.raises(TopologyError):
+            geographic_backbone(10, 8)
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(TopologyError):
+            geographic_backbone(4, 7)
+
+    def test_deterministic(self):
+        a = geographic_backbone(20, 30, seed=5)
+        b = geographic_backbone(20, 30, seed=5)
+        assert [lag.key for lag in a.lags] == [lag.key for lag in b.lags]
+
+
+class TestZoo:
+    def test_b4_shape(self):
+        topo = b4()
+        assert topo.num_nodes == 12
+        assert topo.num_lags == 19
+        assert topo.is_connected()
+        assert topo.average_lag_capacity() == pytest.approx(5000.0)
+        assert topo.has_probabilities()
+
+    def test_b4_without_probabilities(self):
+        topo = b4(with_probabilities=False)
+        assert not topo.has_probabilities()
+
+    def test_uninett_shape(self):
+        topo = uninett2010_like(with_probabilities=False)
+        assert topo.num_nodes == 74
+        assert topo.num_lags == 101  # 202 directed edges in the paper
+        assert topo.is_connected()
+        assert topo.average_lag_capacity() == pytest.approx(1000.0)
+
+    def test_cogentco_shape(self):
+        topo = cogentco_like(with_probabilities=False)
+        assert topo.num_nodes == 197
+        assert topo.num_lags == 243  # 486 directed edges in the paper
+        assert topo.is_connected()
+
+    def test_assign_zoo_probabilities_preserves_capacity(self):
+        bare = b4(with_probabilities=False)
+        probed = assign_zoo_probabilities(bare, seed=2)
+        assert probed.has_probabilities()
+        assert probed.average_lag_capacity() == pytest.approx(
+            bare.average_lag_capacity()
+        )
+        assert not bare.has_probabilities()  # input untouched
+
+
+class TestSmallRing:
+    def test_ring_shape(self):
+        topo = small_ring(num_nodes=6, chords=2)
+        assert topo.num_nodes == 6
+        assert topo.num_lags == 8
+        assert topo.is_connected()
+        assert topo.has_probabilities()
+
+
+class TestAbilene:
+    def test_shape(self):
+        from repro.network.zoo import abilene
+
+        topo = abilene()
+        assert topo.num_nodes == 11
+        assert topo.num_lags == 14
+        assert topo.is_connected()
+        assert topo.has_probabilities()
+        assert topo.average_lag_capacity() == pytest.approx(10.0)
+
+    def test_known_adjacencies(self):
+        from repro.network.zoo import abilene
+
+        topo = abilene(with_probabilities=False)
+        assert topo.lag_between("seattle", "sunnyvale") is not None
+        assert topo.lag_between("newyork", "washington") is not None
+        assert topo.lag_between("seattle", "newyork") is None
+
+
+class TestWaxman:
+    def test_connected_and_sized(self):
+        from repro.network.generators import waxman
+
+        topo = waxman(num_nodes=25, seed=4, failure_probability=0.01)
+        assert topo.num_nodes == 25
+        assert topo.is_connected()
+        assert topo.has_probabilities()
+
+    def test_deterministic(self):
+        from repro.network.generators import waxman
+
+        a = waxman(num_nodes=15, seed=9)
+        b = waxman(num_nodes=15, seed=9)
+        assert [lag.key for lag in a.lags] == [lag.key for lag in b.lags]
+
+    def test_density_grows_with_alpha(self):
+        from repro.network.generators import waxman
+
+        sparse = waxman(num_nodes=30, alpha=0.1, seed=2)
+        dense = waxman(num_nodes=30, alpha=0.9, seed=2)
+        assert dense.num_lags > sparse.num_lags
+
+    def test_bad_parameters_rejected(self):
+        from repro.network.generators import waxman
+
+        with pytest.raises(TopologyError):
+            waxman(num_nodes=1)
+        with pytest.raises(TopologyError):
+            waxman(alpha=0.0)

@@ -1,0 +1,162 @@
+"""Tests for the GraphML reader, SRLGs, and gateway virtual nodes."""
+
+import textwrap
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network import Srlg
+from repro.network.builder import from_edges
+from repro.network.graphml import read_graphml
+from repro.network.srlg import attach_srlg
+from repro.network.virtual import add_gateway, extend_paths_through_gateways
+from repro.paths import PathSet
+
+SAMPLE_GRAPHML = textwrap.dedent("""\
+    <?xml version="1.0" encoding="utf-8"?>
+    <graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+      <key attr.name="label" attr.type="string" for="node" id="d0"/>
+      <key attr.name="LinkSpeedRaw" attr.type="double" for="edge" id="d1"/>
+      <graph edgedefault="undirected" id="sample">
+        <node id="0"><data key="d0">Oslo</data></node>
+        <node id="1"><data key="d0">Bergen</data></node>
+        <node id="2"><data key="d0">Trondheim</data></node>
+        <node id="3"/>
+        <edge source="0" target="1"><data key="d1">10000000000</data></edge>
+        <edge source="0" target="1"><data key="d1">10000000000</data></edge>
+        <edge source="1" target="2"/>
+        <edge source="2" target="3"/>
+        <edge source="3" target="3"/>
+      </graph>
+    </graphml>
+""")
+
+
+class TestGraphml:
+    @pytest.fixture
+    def sample_path(self, tmp_path):
+        path = tmp_path / "sample.graphml"
+        path.write_text(SAMPLE_GRAPHML)
+        return str(path)
+
+    def test_nodes_and_labels(self, sample_path):
+        topo = read_graphml(sample_path)
+        assert set(topo.nodes) == {"Oslo", "Bergen", "Trondheim", "3"}
+
+    def test_parallel_edges_become_lag_links(self, sample_path):
+        topo = read_graphml(sample_path)
+        lag = topo.require_lag("Oslo", "Bergen")
+        assert lag.num_links == 2
+        assert lag.capacity == pytest.approx(20.0)  # 2 x 10 Gbps
+
+    def test_default_capacity_applies(self, sample_path):
+        topo = read_graphml(sample_path, default_capacity=333.0)
+        assert topo.require_lag("Bergen", "Trondheim").capacity == 333.0
+
+    def test_self_loop_skipped(self, sample_path):
+        topo = read_graphml(sample_path)
+        assert topo.num_lags == 3
+
+    def test_invalid_xml_rejected(self, tmp_path):
+        bad = tmp_path / "bad.graphml"
+        bad.write_text("<graphml><graph>")
+        with pytest.raises(TopologyError):
+            read_graphml(str(bad))
+
+    def test_missing_graph_rejected(self, tmp_path):
+        bad = tmp_path / "no_graph.graphml"
+        bad.write_text('<graphml xmlns="http://graphml.graphdrawing.org/xmlns"/>')
+        with pytest.raises(TopologyError):
+            read_graphml(str(bad))
+
+    def test_duplicate_labels_disambiguated(self, tmp_path):
+        doc = SAMPLE_GRAPHML.replace("Bergen", "Oslo")
+        path = tmp_path / "dup.graphml"
+        path.write_text(doc)
+        topo = read_graphml(str(path))
+        assert topo.num_nodes == 4  # second Oslo got a suffixed name
+
+
+class TestSrlg:
+    @pytest.fixture
+    def topo(self):
+        return from_edges([("a", "b", 10, 2), ("b", "c", 10), ("a", "c", 10)])
+
+    def test_attach_valid(self, topo):
+        srlg = Srlg(name="conduit-1")
+        srlg.add("a", "b", 0)
+        srlg.add("b", "c", 0)
+        attach_srlg(topo, srlg)
+        assert topo.srlgs == [srlg]
+
+    def test_single_member_rejected(self, topo):
+        srlg = Srlg(name="solo", members=[(("a", "b"), 0)])
+        with pytest.raises(TopologyError):
+            attach_srlg(topo, srlg)
+
+    def test_unknown_lag_rejected(self, topo):
+        srlg = Srlg(name="x", members=[(("a", "z"), 0), (("a", "b"), 0)])
+        with pytest.raises(TopologyError):
+            attach_srlg(topo, srlg)
+
+    def test_bad_link_index_rejected(self, topo):
+        srlg = Srlg(name="x", members=[(("a", "b"), 5), (("b", "c"), 0)])
+        with pytest.raises(TopologyError):
+            attach_srlg(topo, srlg)
+
+    def test_duplicate_member_rejected(self, topo):
+        srlg = Srlg(name="x", members=[(("a", "b"), 0), (("a", "b"), 0)])
+        with pytest.raises(TopologyError):
+            attach_srlg(topo, srlg)
+
+    def test_bad_probability_rejected(self, topo):
+        srlg = Srlg(name="x", members=[(("a", "b"), 0), (("b", "c"), 0)],
+                    failure_probability=1.5)
+        with pytest.raises(TopologyError):
+            attach_srlg(topo, srlg)
+
+
+class TestVirtualGateway:
+    @pytest.fixture
+    def topo(self):
+        # Two gateways g1, g2 both reaching d.
+        return from_edges([("g1", "m", 10), ("g2", "m", 10), ("m", "d", 10)])
+
+    def test_add_gateway_adds_lags(self, topo):
+        out = add_gateway(topo, "GW", {"g1": 50.0, "g2": 70.0})
+        assert out.has_node("GW")
+        assert out.require_lag("GW", "g1").capacity == pytest.approx(50.0)
+        assert out.require_lag("GW", "g2").capacity == pytest.approx(70.0)
+        assert not topo.has_node("GW")  # input untouched
+
+    def test_existing_name_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            add_gateway(topo, "m", {"g1": 1.0})
+
+    def test_unknown_gateway_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            add_gateway(topo, "GW", {"zzz": 1.0})
+
+    def test_empty_gateways_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            add_gateway(topo, "GW", {})
+
+    def test_extend_paths_inherits_gateway_paths(self, topo):
+        out = add_gateway(topo, "GW", {"g1": 50.0, "g2": 70.0})
+        base = PathSet.k_shortest(out, [("g1", "d"), ("g2", "d")],
+                                  num_primary=1, num_backup=0)
+        extended = extend_paths_through_gateways(
+            base, out, "GW", gateways=["g1", "g2"]
+        )
+        virtual = extended[("GW", "d")]
+        assert len(virtual.paths) == 2
+        assert all(p[0] == "GW" for p in virtual.paths)
+        assert all(p[1] in ("g1", "g2") for p in virtual.paths)
+
+    def test_extend_paths_destination_side(self, topo):
+        out = add_gateway(topo, "GW", {"g1": 50.0})
+        base = PathSet.k_shortest(out, [("d", "g1")], num_primary=1,
+                                  num_backup=0)
+        extended = extend_paths_through_gateways(base, out, "GW", ["g1"])
+        virtual = extended[("d", "GW")]
+        assert virtual.paths[0][-1] == "GW"

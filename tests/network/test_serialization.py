@@ -1,0 +1,102 @@
+"""Round-trip tests for the JSON serialization schema."""
+
+import pytest
+
+from repro import DemandMatrix, FailureScenario, Srlg
+from repro.exceptions import TopologyError
+from repro.network import serialization as ser
+from repro.network.builder import from_edges
+from repro.network.srlg import attach_srlg
+from repro.network.topology import Link
+from repro.paths import PathSet
+
+
+@pytest.fixture
+def topo():
+    t = from_edges([
+        ("a", "b", 10, 2), ("b", "c", 20), ("a", "c", 30),
+    ], failure_probability=0.05)
+    t.require_lag("b", "c").links = [
+        Link(capacity=20, failure_probability=None, can_fail=False)
+    ]
+    srlg = Srlg(name="conduit")
+    srlg.add("a", "b", 0)
+    srlg.add("a", "c", 0)
+    attach_srlg(t, srlg)
+    return t
+
+
+class TestTopologyRoundTrip:
+    def test_full_round_trip(self, topo):
+        data = ser.topology_to_dict(topo)
+        back = ser.topology_from_dict(data)
+        assert back.nodes == topo.nodes
+        assert [lag.key for lag in back.lags] == [lag.key for lag in topo.lags]
+        for a, b in zip(back.lags, topo.lags):
+            assert a.capacity == pytest.approx(b.capacity)
+            assert [l.failure_probability for l in a.links] == [
+                l.failure_probability for l in b.links
+            ]
+            assert [l.can_fail for l in a.links] == [
+                l.can_fail for l in b.links
+            ]
+        assert len(back.srlgs) == 1
+        assert back.srlgs[0].name == "conduit"
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(TopologyError):
+            ser.topology_from_dict({"kind": "demands", "nodes": []})
+
+    def test_file_round_trip(self, topo, tmp_path):
+        path = str(tmp_path / "topo.json")
+        ser.save_json(ser.topology_to_dict(topo), path)
+        back = ser.topology_from_dict(ser.load_json(path))
+        assert back.num_lags == topo.num_lags
+
+
+class TestScenarioRoundTrip:
+    def test_round_trip(self):
+        scenario = FailureScenario([(("a", "b"), 0), (("b", "c"), 1)])
+        back = ser.scenario_from_dict(ser.scenario_to_dict(scenario))
+        assert back == scenario
+
+    def test_empty_scenario(self):
+        back = ser.scenario_from_dict(
+            ser.scenario_to_dict(FailureScenario())
+        )
+        assert back.num_failed_links == 0
+
+
+class TestDemandsRoundTrip:
+    def test_round_trip(self):
+        demands = DemandMatrix({("a", "b"): 1.5, ("b", "a"): 2.5})
+        back = ser.demands_from_dict(ser.demands_to_dict(demands))
+        assert back == demands
+
+
+class TestPathsRoundTrip:
+    def test_round_trip(self, topo):
+        paths = PathSet.k_shortest(topo, [("a", "c"), ("b", "a")],
+                                   num_primary=1, num_backup=1)
+        back = ser.paths_from_dict(ser.paths_to_dict(paths))
+        assert set(back) == set(paths)
+        for pair in paths:
+            assert back[pair].paths == paths[pair].paths
+            assert back[pair].num_primary == paths[pair].num_primary
+
+
+class TestResultSerialization:
+    def test_result_to_dict(self, topo):
+        from repro import PathSet, RahaAnalyzer, RahaConfig
+
+        paths = PathSet.k_shortest(topo, [("a", "c")], 2, 0)
+        result = RahaAnalyzer(
+            topo, paths,
+            RahaConfig(fixed_demands={("a", "c"): 10.0}, max_failures=1),
+        ).analyze()
+        data = ser.result_to_dict(result)
+        assert data["kind"] == "degradation_result"
+        assert data["degradation"] == pytest.approx(result.degradation)
+        assert data["scenario"]["kind"] == "scenario"
+        restored = ser.scenario_from_dict(data["scenario"])
+        assert restored == result.scenario

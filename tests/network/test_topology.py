@@ -1,0 +1,214 @@
+"""Unit tests for the topology data model."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network import Lag, Link, Topology
+from repro.network.builder import from_edges, line
+
+
+@pytest.fixture
+def triangle():
+    topo = Topology(name="tri")
+    topo.add_nodes(["a", "b", "c"])
+    topo.add_lag("a", "b", capacity=10, num_links=2, failure_probability=0.01)
+    topo.add_lag("b", "c", capacity=20)
+    topo.add_lag("a", "c", capacity=30)
+    return topo
+
+
+class TestLink:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(capacity=-1)
+
+    def test_probability_bounds(self):
+        with pytest.raises(TopologyError):
+            Link(capacity=1, failure_probability=0.0)
+        with pytest.raises(TopologyError):
+            Link(capacity=1, failure_probability=1.0)
+        Link(capacity=1, failure_probability=0.5)  # ok
+
+    def test_link_is_immutable(self):
+        link = Link(capacity=1)
+        with pytest.raises(AttributeError):
+            link.capacity = 2
+
+
+class TestLag:
+    def test_capacity_sums_links(self, triangle):
+        lag = triangle.require_lag("a", "b")
+        assert lag.capacity == pytest.approx(10)
+        assert lag.num_links == 2
+        assert lag.links[0].capacity == pytest.approx(5)
+
+    def test_key_is_canonical(self, triangle):
+        assert triangle.require_lag("b", "a").key == ("a", "b")
+
+    def test_other_endpoint(self, triangle):
+        lag = triangle.require_lag("a", "b")
+        assert lag.other("a") == "b"
+        assert lag.other("b") == "a"
+        with pytest.raises(TopologyError):
+            lag.other("c")
+
+    def test_has_probabilities(self, triangle):
+        assert triangle.require_lag("a", "b").has_probabilities
+        assert not triangle.require_lag("b", "c").has_probabilities
+
+
+class TestTopologyConstruction:
+    def test_duplicate_node_rejected(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.add_node("a")
+
+    def test_empty_node_name_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology().add_node("")
+
+    def test_unknown_endpoint_rejected(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.add_lag("a", "zzz", capacity=1)
+
+    def test_self_loop_rejected(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.add_lag("a", "a", capacity=1)
+
+    def test_duplicate_lag_rejected(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.add_lag("b", "a", capacity=1)
+
+    def test_explicit_links(self):
+        topo = Topology()
+        topo.add_nodes(["x", "y"])
+        lag = topo.add_lag("x", "y", link_capacities=[1, 2, 3],
+                           link_probabilities=[0.1, 0.2, 0.3])
+        assert lag.capacity == pytest.approx(6)
+        assert [l.failure_probability for l in lag.links] == [0.1, 0.2, 0.3]
+
+    def test_mismatched_probability_length_rejected(self):
+        topo = Topology()
+        topo.add_nodes(["x", "y"])
+        with pytest.raises(TopologyError):
+            topo.add_lag("x", "y", link_capacities=[1, 2],
+                         link_probabilities=[0.1])
+
+    def test_both_capacity_forms_rejected(self):
+        topo = Topology()
+        topo.add_nodes(["x", "y"])
+        with pytest.raises(TopologyError):
+            topo.add_lag("x", "y", link_capacities=[1], capacity=2)
+
+    def test_neither_capacity_form_rejected(self):
+        topo = Topology()
+        topo.add_nodes(["x", "y"])
+        with pytest.raises(TopologyError):
+            topo.add_lag("x", "y")
+
+    def test_zero_links_rejected(self):
+        topo = Topology()
+        topo.add_nodes(["x", "y"])
+        with pytest.raises(TopologyError):
+            topo.add_lag("x", "y", capacity=5, num_links=0)
+
+
+class TestTopologyQueries:
+    def test_counts(self, triangle):
+        assert triangle.num_nodes == 3
+        assert triangle.num_lags == 3
+        assert triangle.num_links == 4  # 2 + 1 + 1
+
+    def test_neighbors(self, triangle):
+        assert sorted(triangle.neighbors("a")) == ["b", "c"]
+
+    def test_incident_unknown_node(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.incident_lags("zzz")
+
+    def test_lag_between_absent(self, triangle):
+        topo = line(3)
+        assert topo.lag_between("n0", "n2") is None
+        with pytest.raises(TopologyError):
+            topo.require_lag("n0", "n2")
+
+    def test_average_lag_capacity(self, triangle):
+        assert triangle.average_lag_capacity() == pytest.approx(20.0)
+
+    def test_average_capacity_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology().average_lag_capacity()
+
+    def test_path_validity(self, triangle):
+        assert triangle.path_is_valid(("a", "b", "c"))
+        assert not triangle.path_is_valid(("a",))
+        assert not triangle.path_is_valid(("a", "b", "a"))  # repeated node
+        assert triangle.path_is_valid(("a", "c"))
+
+    def test_lags_on_path(self, triangle):
+        lags = triangle.lags_on_path(("a", "b", "c"))
+        assert [lag.key for lag in lags] == [("a", "b"), ("b", "c")]
+
+    def test_is_connected(self, triangle):
+        assert triangle.is_connected()
+        topo = Topology()
+        topo.add_nodes(["a", "b", "c"])
+        topo.add_lag("a", "b", capacity=1)
+        assert not topo.is_connected()
+        assert not Topology().is_connected()
+
+    def test_to_networkx(self, triangle):
+        graph = triangle.to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.edges[("a", "b")]["capacity"] == pytest.approx(10)
+
+
+class TestTopologyDerivations:
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.add_node("d")
+        clone.add_lag("a", "d", capacity=5)
+        assert triangle.num_nodes == 3
+        assert clone.num_lags == 4
+        # Probabilities preserved.
+        assert clone.require_lag("a", "b").has_probabilities
+
+    def test_with_added_links_existing_lag(self, triangle):
+        before = triangle.require_lag("a", "b").capacity
+        augmented = triangle.with_added_links(
+            {("a", "b"): [Link(capacity=7)]}
+        )
+        assert augmented.require_lag("a", "b").capacity == pytest.approx(before + 7)
+        assert triangle.require_lag("a", "b").capacity == pytest.approx(before)
+
+    def test_with_added_links_new_lag(self):
+        topo = line(3)
+        augmented = topo.with_added_links({("n0", "n2"): [Link(capacity=4)]})
+        assert augmented.require_lag("n0", "n2").capacity == pytest.approx(4)
+        assert topo.lag_between("n0", "n2") is None
+
+    def test_with_added_links_empty_entries_ignored(self, triangle):
+        augmented = triangle.with_added_links({("a", "b"): []})
+        assert augmented.num_links == triangle.num_links
+
+
+class TestBuilder:
+    def test_from_edges_with_mixed_forms(self):
+        topo = from_edges([("a", "b", 10), ("b", "c"), ("c", "d", 7, 2)],
+                          default_capacity=5)
+        assert topo.require_lag("a", "b").capacity == pytest.approx(10)
+        assert topo.require_lag("b", "c").capacity == pytest.approx(5)
+        assert topo.require_lag("c", "d").num_links == 2
+
+    def test_line_shape(self):
+        topo = line(4)
+        assert topo.num_nodes == 4
+        assert topo.num_lags == 3
+        assert topo.is_connected()
+
+    def test_with_link_probabilities(self):
+        from repro.network.builder import with_link_probabilities
+
+        topo = line(3)
+        out = with_link_probabilities(topo, {("n0", "n1"): 0.2})
+        assert out.require_lag("n0", "n1").links[0].failure_probability == 0.2
+        assert out.require_lag("n1", "n2").links[0].failure_probability is None

@@ -1,0 +1,96 @@
+"""Tests for oblivious routing templates."""
+
+import pytest
+
+from repro.exceptions import ModelingError, PathError
+from repro.network.builder import from_edges
+from repro.paths import PathSet
+from repro.paths.oblivious import oblivious_routing
+
+
+@pytest.fixture
+def parallel():
+    # Two equal parallel routes between a and d.
+    return from_edges([
+        ("a", "b", 10), ("b", "d", 10), ("a", "c", 10), ("c", "d", 10),
+    ])
+
+
+class TestObliviousRouting:
+    def test_fractions_sum_to_one(self, parallel):
+        paths = PathSet.k_shortest(parallel, [("a", "d")], 2, 0)
+        template = oblivious_routing(parallel, paths)
+        total = sum(
+            template.fractions[(("a", "d"), p)]
+            for p in paths[("a", "d")].paths
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_symmetric_split_is_optimal(self, parallel):
+        paths = PathSet.k_shortest(parallel, [("a", "d")], 2, 0)
+        template = oblivious_routing(parallel, paths)
+        # With two identical routes, the even split achieves ratio 1.
+        assert template.ratio == pytest.approx(1.0, abs=1e-5)
+        for path in paths[("a", "d")].paths:
+            assert template.fractions[(("a", "d"), path)] == pytest.approx(
+                0.5, abs=1e-5
+            )
+
+    def test_single_path_ratio_one(self):
+        topo = from_edges([("a", "b", 5)])
+        paths = PathSet.k_shortest(topo, [("a", "b")], 1, 0)
+        template = oblivious_routing(topo, paths)
+        assert template.ratio == pytest.approx(1.0, abs=1e-6)
+
+    def test_contention_raises_ratio(self):
+        # Two demands share one middle LAG but each also has a private
+        # route; no fixed split is simultaneously optimal for "only
+        # demand 1 active" and "both active": ratio > 1.
+        topo = from_edges([
+            ("s1", "m", 10), ("s2", "m", 10), ("m", "t", 10),
+            ("s1", "t", 10), ("s2", "t", 10),
+        ])
+        paths = PathSet.k_shortest(topo, [("s1", "t"), ("s2", "t")], 2, 0)
+        template = oblivious_routing(topo, paths)
+        assert template.ratio >= 1.0
+        assert template.iterations >= 1
+
+    def test_template_honors_its_ratio(self, parallel):
+        """Simulating the template on adversarial demands stays within
+        ratio * capacity."""
+        paths = PathSet.k_shortest(parallel, [("a", "d")], 2, 0)
+        template = oblivious_routing(parallel, paths)
+        # The worst congestion-1 demand for this topology is d = 20.
+        demand = 20.0
+        loads = {}
+        for path in paths[("a", "d")].paths:
+            share = template.fractions[(("a", "d"), path)] * demand
+            for lag in parallel.lags_on_path(path):
+                loads[lag.key] = loads.get(lag.key, 0.0) + share
+        worst = max(
+            loads.get(lag.key, 0.0) / lag.capacity for lag in parallel.lags
+        )
+        assert worst <= template.ratio + 1e-5
+
+    def test_to_pathset_orders_by_fraction(self, parallel):
+        paths = PathSet.k_shortest(parallel, [("a", "d")], 2, 0)
+        template = oblivious_routing(parallel, paths)
+        reordered = template.to_pathset(paths)
+        dp = reordered[("a", "d")]
+        assert set(dp.paths) == set(paths[("a", "d")].paths)
+        assert dp.num_primary == len(dp.paths)
+        fracs = [template.fractions[(("a", "d"), p)] for p in dp.paths]
+        assert fracs == sorted(fracs, reverse=True)
+
+    def test_empty_paths_rejected(self, parallel):
+        with pytest.raises(PathError):
+            oblivious_routing(parallel, PathSet())
+
+    def test_iteration_budget_enforced(self):
+        topo = from_edges([
+            ("s1", "m", 10), ("s2", "m", 10), ("m", "t", 10),
+            ("s1", "t", 10), ("s2", "t", 10),
+        ])
+        paths = PathSet.k_shortest(topo, [("s1", "t"), ("s2", "t")], 2, 0)
+        with pytest.raises(ModelingError):
+            oblivious_routing(topo, paths, max_iterations=0)

@@ -1,0 +1,282 @@
+"""Tests for shortest paths, Yen's KSP, disjoint and weighted selection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PathError
+from repro.network.builder import from_edges, line
+from repro.network.generators import geographic_backbone
+from repro.paths import (
+    DemandPaths,
+    PathSet,
+    diversity_weighted_paths,
+    edge_disjoint_paths,
+    k_shortest_paths,
+    shortest_path,
+)
+
+
+@pytest.fixture
+def diamond():
+    #   a - b - d
+    #    \     /
+    #     - c -     plus a long detour a-e-f-d
+    return from_edges([
+        ("a", "b", 10), ("b", "d", 10),
+        ("a", "c", 10), ("c", "d", 10),
+        ("a", "e", 10), ("e", "f", 10), ("f", "d", 10),
+    ])
+
+
+class TestShortestPath:
+    def test_direct(self, diamond):
+        path = shortest_path(diamond, "a", "b")
+        assert path == ("a", "b")
+
+    def test_two_hop(self, diamond):
+        path = shortest_path(diamond, "a", "d")
+        assert path in (("a", "b", "d"), ("a", "c", "d"))
+
+    def test_deterministic_tie_break(self, diamond):
+        # Ties break by node sequence: ("a","b","d") < ("a","c","d").
+        assert shortest_path(diamond, "a", "d") == ("a", "b", "d")
+
+    def test_disconnected_returns_none(self):
+        topo = from_edges([("a", "b")])
+        topo.add_node("z")
+        assert shortest_path(topo, "a", "z") is None
+
+    def test_same_endpoints_rejected(self, diamond):
+        with pytest.raises(PathError):
+            shortest_path(diamond, "a", "a")
+
+    def test_unknown_node_rejected(self, diamond):
+        with pytest.raises(PathError):
+            shortest_path(diamond, "a", "zzz")
+
+    def test_banned_lag_forces_detour(self, diamond):
+        banned = frozenset({("a", "b")})
+        path = shortest_path(diamond, "a", "d", banned_lags=banned)
+        assert path == ("a", "c", "d")
+
+    def test_banned_node(self, diamond):
+        path = shortest_path(diamond, "a", "d",
+                             banned_nodes=frozenset({"b", "c"}))
+        assert path == ("a", "e", "f", "d")
+
+    def test_banned_endpoint_returns_none(self, diamond):
+        assert shortest_path(diamond, "a", "d",
+                             banned_nodes=frozenset({"d"})) is None
+
+    def test_custom_weight(self, diamond):
+        # Make the b route expensive; c route should win.
+        def weight(lag):
+            return 100.0 if "b" in lag.key else 1.0
+
+        assert shortest_path(diamond, "a", "d", weight=weight) == ("a", "c", "d")
+
+    def test_nonpositive_weight_rejected(self, diamond):
+        with pytest.raises(PathError):
+            shortest_path(diamond, "a", "d", weight=lambda lag: 0.0)
+
+
+class TestKsp:
+    def test_finds_all_three_routes(self, diamond):
+        paths = k_shortest_paths(diamond, "a", "d", k=5)
+        assert paths == [
+            ("a", "b", "d"), ("a", "c", "d"), ("a", "e", "f", "d"),
+        ]
+
+    def test_k_one(self, diamond):
+        assert k_shortest_paths(diamond, "a", "d", k=1) == [("a", "b", "d")]
+
+    def test_costs_nondecreasing(self, diamond):
+        paths = k_shortest_paths(diamond, "a", "d", k=5)
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+
+    def test_paths_are_simple(self):
+        topo = geographic_backbone(15, 25, seed=2)
+        paths = k_shortest_paths(topo, topo.nodes[0], topo.nodes[-1], k=6)
+        for path in paths:
+            assert len(set(path)) == len(path)
+            assert topo.path_is_valid(path)
+
+    def test_no_duplicates(self):
+        topo = geographic_backbone(15, 25, seed=2)
+        paths = k_shortest_paths(topo, topo.nodes[0], topo.nodes[-1], k=8)
+        assert len(set(paths)) == len(paths)
+
+    def test_disconnected_returns_empty(self):
+        topo = from_edges([("a", "b")])
+        topo.add_node("z")
+        assert k_shortest_paths(topo, "a", "z", k=3) == []
+
+    def test_bad_k_rejected(self, diamond):
+        with pytest.raises(PathError):
+            k_shortest_paths(diamond, "a", "d", k=0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=50))
+    def test_ksp_property_valid_sorted_unique(self, seed):
+        topo = geographic_backbone(12, 18, seed=seed)
+        src, dst = topo.nodes[0], topo.nodes[-1]
+        paths = k_shortest_paths(topo, src, dst, k=5)
+        assert paths, "backbone is connected so at least one path exists"
+        assert len(set(paths)) == len(paths)
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+        for p in paths:
+            assert topo.path_is_valid(p)
+            assert p[0] == src and p[-1] == dst
+
+
+class TestDisjoint:
+    def test_disjoint_paths_share_no_lag(self, diamond):
+        paths = edge_disjoint_paths(diamond, "a", "d", k=3)
+        assert len(paths) == 3
+        used = [frozenset(l.key for l in diamond.lags_on_path(p)) for p in paths]
+        for i in range(len(used)):
+            for j in range(i + 1, len(used)):
+                assert not (used[i] & used[j])
+
+    def test_runs_out_of_disjoint_routes(self):
+        topo = line(3)
+        paths = edge_disjoint_paths(topo, "n0", "n2", k=4)
+        assert len(paths) == 1
+
+    def test_no_route_raises(self):
+        topo = from_edges([("a", "b")])
+        topo.add_node("z")
+        with pytest.raises(PathError):
+            edge_disjoint_paths(topo, "a", "z", k=2)
+
+
+class TestWeightedSelection:
+    def test_spreads_over_lags(self, diamond):
+        ps = diversity_weighted_paths(diamond, [("a", "d")], num_primary=3,
+                                      num_backup=0, penalty=5.0)
+        paths = ps[("a", "d")].paths
+        assert len(paths) == 3
+        assert len(set(paths)) == 3
+
+    def test_zero_penalty_allowed(self, diamond):
+        ps = diversity_weighted_paths(diamond, [("a", "d")], num_primary=2,
+                                      num_backup=0, penalty=0.0)
+        assert len(ps[("a", "d")].paths) == 2
+
+    def test_negative_penalty_rejected(self, diamond):
+        with pytest.raises(PathError):
+            diversity_weighted_paths(diamond, [("a", "d")], penalty=-1.0)
+
+    def test_cross_demand_diversity(self, diamond):
+        """Two demands sharing endpoints should avoid piling on one LAG."""
+        ps = diversity_weighted_paths(
+            diamond, [("a", "d"), ("a", "d")][:1] + [("b", "c")],
+            num_primary=1, num_backup=0, penalty=10.0,
+        )
+        assert ("a", "d") in ps and ("b", "c") in ps
+
+
+class TestPathSet:
+    def test_k_shortest_builds_all_pairs(self, diamond):
+        ps = PathSet.k_shortest(diamond, [("a", "d"), ("b", "c")],
+                                num_primary=2, num_backup=1)
+        assert set(ps) == {("a", "d"), ("b", "c")}
+        assert ps[("a", "d")].num_primary == 2
+        assert ps[("a", "d")].num_backup == 1
+        assert ps.computation_seconds >= 0.0
+
+    def test_fewer_paths_than_requested(self):
+        topo = line(3)
+        ps = PathSet.k_shortest(topo, [("n0", "n2")], num_primary=2,
+                                num_backup=2)
+        dp = ps[("n0", "n2")]
+        assert len(dp.paths) == 1
+        assert dp.num_primary == 1
+
+    def test_unreachable_pair_raises(self):
+        topo = from_edges([("a", "b")])
+        topo.add_node("z")
+        with pytest.raises(PathError):
+            PathSet.k_shortest(topo, [("a", "z")])
+
+    def test_restricted_to(self, diamond):
+        ps = PathSet.k_shortest(diamond, [("a", "d"), ("b", "c")])
+        sub = ps.restricted_to([("b", "c")])
+        assert list(sub) == [("b", "c")]
+
+    def test_max_paths_per_demand(self, diamond):
+        ps = PathSet.k_shortest(diamond, [("a", "d")], num_primary=2,
+                                num_backup=1)
+        assert ps.max_paths_per_demand() == 3
+        assert PathSet().max_paths_per_demand() == 0
+
+
+class TestDemandPaths:
+    def test_ordering_accessors(self, diamond):
+        dp = DemandPaths(
+            pair=("a", "d"),
+            paths=[("a", "b", "d"), ("a", "c", "d"), ("a", "e", "f", "d")],
+            num_primary=2,
+        )
+        assert dp.primaries == [("a", "b", "d"), ("a", "c", "d")]
+        assert dp.backups == [("a", "e", "f", "d")]
+        assert dp.num_backup == 1
+        dp.validate_against(diamond)
+
+    def test_empty_paths_rejected(self):
+        with pytest.raises(PathError):
+            DemandPaths(pair=("a", "d"), paths=[], num_primary=1)
+
+    def test_bad_num_primary_rejected(self):
+        with pytest.raises(PathError):
+            DemandPaths(pair=("a", "d"), paths=[("a", "d")], num_primary=2)
+
+    def test_wrong_endpoints_rejected(self):
+        with pytest.raises(PathError):
+            DemandPaths(pair=("a", "d"), paths=[("a", "b")], num_primary=1)
+
+    def test_duplicate_paths_rejected(self):
+        with pytest.raises(PathError):
+            DemandPaths(pair=("a", "d"), paths=[("a", "d"), ("a", "d")],
+                        num_primary=1)
+
+    def test_validate_against_rejects_ghost_lag(self, diamond):
+        dp = DemandPaths(pair=("a", "d"), paths=[("a", "f", "d")],
+                         num_primary=1)
+        with pytest.raises(PathError):
+            dp.validate_against(diamond)
+
+
+class TestKspAgainstNetworkx:
+    """Cross-validation: our Yen implementation vs networkx's."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=40))
+    def test_same_cost_sequence_as_networkx(self, seed):
+        import itertools
+
+        import networkx as nx
+
+        topo = geographic_backbone(12, 20, seed=seed)
+        graph = topo.to_networkx()
+        src, dst = topo.nodes[0], topo.nodes[-1]
+        k = 6
+        ours = k_shortest_paths(topo, src, dst, k=k)
+        theirs = list(itertools.islice(
+            nx.shortest_simple_paths(graph, src, dst), k
+        ))
+        assert len(ours) == len(theirs)
+        # Both enumerate loopless paths by nondecreasing hop count; the
+        # exact paths may differ on ties, but the cost sequence may not.
+        assert [len(p) for p in ours] == [len(p) for p in theirs]
+
+    def test_same_paths_when_unique(self, diamond):
+        import networkx as nx
+
+        graph = diamond.to_networkx()
+        ours = k_shortest_paths(diamond, "a", "d", k=3)
+        theirs = [tuple(p) for p in nx.shortest_simple_paths(graph, "a", "d")]
+        assert sorted(ours) == sorted(theirs[:3])

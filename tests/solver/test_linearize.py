@@ -1,0 +1,159 @@
+"""Unit and property tests for the linearization gadgets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ModelingError
+from repro.solver import Model, quicksum
+from repro.solver.linearize import (
+    exactly_one,
+    force_all_or_none,
+    indicator_geq,
+    product_binary_bounded,
+)
+
+
+class TestIndicatorGeq:
+    def _indicator_model(self, n_bits, threshold, force_sum):
+        """Build a model where the indicator watches a sum of binaries."""
+        m = Model()
+        bits = [m.add_var(binary=True) for _ in range(n_bits)]
+        m.add_constr(quicksum(bits) == force_sum)
+        z = indicator_geq(
+            m, quicksum(bits), threshold, expr_lb=0, expr_ub=n_bits, name="z"
+        )
+        m.set_objective(z, sense="max")
+        r_max = m.solve().require_ok()
+        m.set_objective(z, sense="min")
+        r_min = m.solve().require_ok()
+        # For the indicator to be well-defined, min and max must agree.
+        return r_max.value(z), r_min.value(z)
+
+    @pytest.mark.parametrize("total,threshold,expected", [
+        (0, 1, 0), (1, 1, 1), (2, 1, 1), (3, 2, 1), (1, 2, 0), (2, 3, 0),
+    ])
+    def test_indicator_is_forced_both_ways(self, total, threshold, expected):
+        hi, lo = self._indicator_model(4, threshold, total)
+        assert hi == pytest.approx(expected)
+        assert lo == pytest.approx(expected)
+
+    def test_never_passing_threshold_pins_zero(self):
+        m = Model()
+        b = m.add_var(binary=True)
+        z = indicator_geq(m, b.to_expr(), 5, expr_lb=0, expr_ub=1)
+        m.set_objective(z, sense="max")
+        assert m.solve().value(z) == pytest.approx(0.0)
+
+    def test_always_passing_threshold_pins_one(self):
+        m = Model()
+        b = m.add_var(binary=True)
+        z = indicator_geq(m, b + 3, 2, expr_lb=3, expr_ub=4)
+        m.set_objective(z, sense="min")
+        assert m.solve().value(z) == pytest.approx(1.0)
+
+    def test_non_integral_threshold_rejected(self):
+        m = Model()
+        b = m.add_var(binary=True)
+        with pytest.raises(ModelingError):
+            indicator_geq(m, b.to_expr(), 0.5, expr_lb=0, expr_ub=1)
+
+    def test_inverted_bounds_rejected(self):
+        m = Model()
+        b = m.add_var(binary=True)
+        with pytest.raises(ModelingError):
+            indicator_geq(m, b.to_expr(), 1, expr_lb=2, expr_ub=1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_bits=st.integers(min_value=1, max_value=6),
+        threshold=st.integers(min_value=1, max_value=6),
+        data=st.data(),
+    )
+    def test_indicator_property(self, n_bits, threshold, data):
+        total = data.draw(st.integers(min_value=0, max_value=n_bits))
+        hi, lo = self._indicator_model(n_bits, threshold, total)
+        expected = 1.0 if total >= threshold else 0.0
+        assert hi == pytest.approx(expected)
+        assert lo == pytest.approx(expected)
+
+
+class TestProduct:
+    def _product_value(self, z_fixed, x_fixed, ub):
+        m = Model()
+        z = m.add_var(binary=True)
+        x = m.add_var(ub=ub)
+        m.add_constr(z.to_expr() == z_fixed)
+        m.add_constr(x.to_expr() == x_fixed)
+        w = product_binary_bounded(m, z, x, factor_ub=ub)
+        m.set_objective(w, sense="max")
+        hi = m.solve().require_ok().value(w)
+        m.set_objective(w, sense="min")
+        lo = m.solve().require_ok().value(w)
+        return hi, lo
+
+    @pytest.mark.parametrize("z,x", [(0, 0.0), (0, 3.5), (1, 0.0), (1, 3.5), (1, 5.0)])
+    def test_product_forced_exactly(self, z, x):
+        hi, lo = self._product_value(z, x, ub=5.0)
+        assert hi == pytest.approx(z * x)
+        assert lo == pytest.approx(z * x)
+
+    def test_requires_binary(self):
+        m = Model()
+        k = m.add_var(integer=True, ub=3)
+        x = m.add_var(ub=1)
+        with pytest.raises(ModelingError):
+            product_binary_bounded(m, k, x, factor_ub=1.0)
+
+    def test_requires_finite_bound(self):
+        m = Model()
+        z = m.add_var(binary=True)
+        x = m.add_var()
+        with pytest.raises(ModelingError):
+            product_binary_bounded(m, z, x, factor_ub=float("inf"))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        z=st.integers(min_value=0, max_value=1),
+        x=st.floats(min_value=0.0, max_value=9.0, allow_nan=False),
+    )
+    def test_product_property(self, z, x):
+        hi, lo = self._product_value(z, x, ub=9.0)
+        assert hi == pytest.approx(z * x, abs=1e-6)
+        assert lo == pytest.approx(z * x, abs=1e-6)
+
+
+class TestGroupHelpers:
+    def test_force_all_or_none(self):
+        m = Model()
+        bits = [m.add_var(binary=True) for _ in range(4)]
+        force_all_or_none(m, bits)
+        m.add_constr(bits[0].to_expr() == 1)
+        m.set_objective(quicksum(bits), sense="min")
+        r = m.solve().require_ok()
+        assert r.values(bits) == pytest.approx([1, 1, 1, 1])
+
+    def test_force_all_or_none_zero(self):
+        m = Model()
+        bits = [m.add_var(binary=True) for _ in range(3)]
+        force_all_or_none(m, bits)
+        m.add_constr(bits[2].to_expr() == 0)
+        m.set_objective(quicksum(bits), sense="max")
+        assert m.solve().objective == pytest.approx(0.0)
+
+    def test_force_single_is_noop(self):
+        m = Model()
+        b = m.add_var(binary=True)
+        force_all_or_none(m, [b])
+        assert m.num_constraints == 0
+
+    def test_exactly_one(self):
+        m = Model()
+        bits = [m.add_var(binary=True) for _ in range(3)]
+        exactly_one(m, bits)
+        m.set_objective(quicksum(bits), sense="max")
+        assert m.solve().objective == pytest.approx(1.0)
+
+    def test_exactly_one_empty_rejected(self):
+        with pytest.raises(ModelingError):
+            exactly_one(Model(), [])

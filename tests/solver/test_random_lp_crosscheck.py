@@ -1,0 +1,81 @@
+"""Cross-validation: our Model against raw scipy.linprog on random LPs.
+
+The modeling layer compiles expressions into matrices; these property
+tests build the same random LP twice -- once through the expression
+algebra, once as raw arrays -- and require identical optima.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.solver import Model, SolveStatus, quicksum
+
+
+def random_lp(seed, n_vars=4, n_rows=5):
+    rng = np.random.default_rng(seed)
+    c = rng.uniform(-2, 2, size=n_vars)
+    a = rng.uniform(-1, 2, size=(n_rows, n_vars))
+    b = rng.uniform(1, 6, size=n_rows)
+    ub = rng.uniform(0.5, 4, size=n_vars)
+    return c, a, b, ub
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_model_matches_raw_linprog_max(seed):
+    c, a, b, ub = random_lp(seed)
+
+    model = Model("rand")
+    xs = [model.add_var(ub=float(u)) for u in ub]
+    for row, rhs in zip(a, b):
+        model.add_constr(
+            quicksum(float(coef) * x for coef, x in zip(row, xs))
+            <= float(rhs)
+        )
+    model.set_objective(
+        quicksum(float(coef) * x for coef, x in zip(c, xs)), sense="max"
+    )
+    ours = model.solve()
+
+    raw = linprog(
+        -c, A_ub=a, b_ub=b,
+        bounds=[(0.0, float(u)) for u in ub], method="highs",
+    )
+    assert ours.status == SolveStatus.OPTIMAL
+    assert raw.status == 0
+    assert ours.objective == pytest.approx(-raw.fun, abs=1e-7, rel=1e-7)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_model_matches_raw_linprog_min_with_equalities(seed):
+    c, a, b, ub = random_lp(seed, n_vars=4, n_rows=3)
+    # One equality row keeps the problem feasible: sum(x) == small value.
+    eq_rhs = float(min(ub)) / 2
+
+    model = Model("rand-eq")
+    xs = [model.add_var(ub=float(u)) for u in ub]
+    for row, rhs in zip(a, b):
+        model.add_constr(
+            quicksum(float(coef) * x for coef, x in zip(row, xs))
+            <= float(rhs)
+        )
+    model.add_constr(quicksum(xs) == eq_rhs)
+    model.set_objective(
+        quicksum(float(coef) * x for coef, x in zip(c, xs)), sense="min"
+    )
+    ours = model.solve()
+
+    raw = linprog(
+        c, A_ub=a, b_ub=b, A_eq=np.ones((1, len(ub))), b_eq=[eq_rhs],
+        bounds=[(0.0, float(u)) for u in ub], method="highs",
+    )
+    if raw.status == 2:
+        assert ours.status == SolveStatus.INFEASIBLE
+        return
+    assert raw.status == 0
+    assert ours.status == SolveStatus.OPTIMAL
+    assert ours.objective == pytest.approx(raw.fun, abs=1e-7, rel=1e-7)

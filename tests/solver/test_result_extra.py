@@ -1,0 +1,79 @@
+"""Additional coverage for SolveResult and status semantics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.solver import Model, SolveResult, SolveStatus
+
+
+class TestSolveStatus:
+    def test_ok_statuses(self):
+        assert SolveStatus.OPTIMAL.ok
+        assert SolveStatus.TIME_LIMIT.ok
+        assert not SolveStatus.INFEASIBLE.ok
+        assert not SolveStatus.UNBOUNDED.ok
+        assert not SolveStatus.ERROR.ok
+
+
+class TestSolveResult:
+    def _solved(self):
+        m = Model()
+        x = m.add_var(ub=3, name="x")
+        y = m.add_var(ub=4, name="y")
+        m.set_objective(x + y, sense="max")
+        return m, x, y, m.solve()
+
+    def test_values_sequence(self):
+        _, x, y, r = self._solved()
+        assert r.values([x, y, x + y]) == pytest.approx([3.0, 4.0, 7.0])
+
+    def test_value_of_constant(self):
+        *_, r = self._solved()
+        assert r.value(2.5) == 2.5
+
+    def test_value_rejects_garbage(self):
+        *_, r = self._solved()
+        with pytest.raises(TypeError):
+            r.value("nope")
+
+    def test_require_ok_passthrough(self):
+        *_, r = self._solved()
+        assert r.require_ok() is r
+
+    def test_require_ok_raises_without_x(self):
+        bad = SolveResult(status=SolveStatus.OPTIMAL, x=None)
+        with pytest.raises(SolverError):
+            bad.require_ok()
+
+    def test_has_solution(self):
+        assert SolveResult(status=SolveStatus.OPTIMAL,
+                           x=np.zeros(1)).has_solution
+        assert not SolveResult(status=SolveStatus.INFEASIBLE).has_solution
+
+
+class TestDualsRoundTrip:
+    def test_lp_strong_duality(self):
+        """Sum over duals * rhs equals the optimum for a tight LP."""
+        m = Model()
+        x = m.add_var()
+        y = m.add_var()
+        c1 = m.add_constr(x + 2 * y <= 14)
+        c2 = m.add_constr(3 * x - y <= 0)
+        c3 = m.add_constr(x - y <= 2)
+        m.set_objective(3 * x + 4 * y, sense="max")
+        r = m.solve().require_ok()
+        rows = [c1, c2, c3]
+        rhs = [14.0, 0.0, 2.0]
+        dual_value = sum(
+            r.duals[m.constraints.index(c)] * b for c, b in zip(rows, rhs)
+        )
+        assert dual_value == pytest.approx(r.objective, abs=1e-6)
+
+    def test_duals_nonnegative_for_max_le(self):
+        m = Model()
+        x = m.add_var(ub=10)
+        m.add_constr(x <= 4)
+        m.set_objective(x, sense="max")
+        r = m.solve()
+        assert all(d >= -1e-9 for d in r.duals)

@@ -1,0 +1,179 @@
+"""Tests for the prior-work TE schemes: FFC and TeaVaR-style CVaR."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FailureScenario, PathSet
+from repro.exceptions import ModelingError
+from repro.network.builder import from_edges, with_link_probabilities
+from repro.network.generators import small_ring
+from repro.network.demand import gravity_demands, top_pairs
+from repro.te import FfcTE, TeavarTE, TotalFlowTE, enumerate_scenario_set
+
+
+@pytest.fixture
+def diamond():
+    return from_edges([
+        ("a", "b", 10), ("b", "d", 10), ("a", "c", 6), ("c", "d", 6),
+    ], failure_probability=0.05)
+
+
+@pytest.fixture
+def diamond_paths(diamond):
+    return PathSet.k_shortest(diamond, [("a", "d")], num_primary=2,
+                              num_backup=0)
+
+
+class TestFfc:
+    def test_zero_failures_equals_plain_te(self, diamond, diamond_paths):
+        demands = {("a", "d"): 100.0}
+        ffc = FfcTE(num_failures=0).solve(diamond, demands, diamond_paths)
+        plain = TotalFlowTE(primary_only=True).solve(
+            diamond, demands, diamond_paths
+        )
+        assert ffc.objective == pytest.approx(plain.objective, abs=1e-6)
+
+    def test_one_failure_guarantee(self, diamond, diamond_paths):
+        demands = {("a", "d"): 100.0}
+        solver = FfcTE(num_failures=1)
+        sol = solver.solve(diamond, demands, diamond_paths)
+        # Two disjoint routes of 10 and 6: losing the best route leaves 6.
+        assert sol.objective == pytest.approx(6.0, abs=1e-6)
+        assert solver.verify_guarantee(diamond, diamond_paths, sol)
+
+    def test_guarantee_survives_every_single_lag_failure(self, diamond,
+                                                         diamond_paths):
+        demands = {("a", "d"): 100.0}
+        solver = FfcTE(num_failures=1)
+        sol = solver.solve(diamond, demands, diamond_paths)
+        for lag in diamond.lags:
+            surviving = 0.0
+            for path in diamond_paths[("a", "d")].paths:
+                if lag.key in {l.key for l in diamond.lags_on_path(path)}:
+                    continue
+                surviving += sol.path_flows.get((("a", "d"), path), 0.0)
+            assert surviving >= sol.pair_flows[("a", "d")] - 1e-6
+
+    def test_protection_costs_throughput(self, diamond, diamond_paths):
+        demands = {("a", "d"): 100.0}
+        g0 = FfcTE(num_failures=0).solve(diamond, demands,
+                                         diamond_paths).objective
+        g1 = FfcTE(num_failures=1).solve(diamond, demands,
+                                         diamond_paths).objective
+        g2 = FfcTE(num_failures=2).solve(diamond, demands,
+                                         diamond_paths).objective
+        assert g0 >= g1 >= g2 - 1e-9
+        assert g2 == pytest.approx(0.0, abs=1e-6)  # only 2 disjoint routes
+
+    def test_demand_bound_respected(self, diamond, diamond_paths):
+        sol = FfcTE(num_failures=1).solve(diamond, {("a", "d"): 3.0},
+                                          diamond_paths)
+        assert sol.pair_flows[("a", "d")] == pytest.approx(3.0, abs=1e-6)
+
+    def test_negative_failures_rejected(self):
+        with pytest.raises(ModelingError):
+            FfcTE(num_failures=-1)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=30))
+    def test_guarantee_property_on_random_rings(self, seed):
+        topology = small_ring(num_nodes=6, chords=2, seed=seed)
+        demands = gravity_demands(topology, scale=40, seed=seed)
+        pairs = top_pairs(demands, 2)
+        demands = demands.restricted_to(pairs)
+        paths = PathSet.k_shortest(topology, pairs, num_primary=3,
+                                   num_backup=0)
+        solver = FfcTE(num_failures=1)
+        sol = solver.solve(topology, dict(demands), paths)
+        assert sol.feasible
+        assert solver.verify_guarantee(topology, paths, sol)
+
+
+class TestScenarioSet:
+    def test_includes_all_up(self, diamond):
+        scenarios = enumerate_scenario_set(diamond, max_failures=1)
+        assert any(s.num_failed_links == 0 for s, _ in scenarios)
+
+    def test_probabilities_normalized(self, diamond):
+        scenarios = enumerate_scenario_set(diamond, max_failures=2)
+        assert sum(p for _, p in scenarios) == pytest.approx(1.0)
+
+    def test_sorted_by_probability(self, diamond):
+        scenarios = enumerate_scenario_set(diamond, max_failures=2)
+        probs = [p for _, p in scenarios]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_pruning_cap(self, diamond):
+        scenarios = enumerate_scenario_set(diamond, max_failures=2,
+                                           max_scenarios=3)
+        assert len(scenarios) == 3
+
+
+class TestTeavar:
+    def test_cvar_zero_with_ample_protection(self, diamond, diamond_paths):
+        # Demand 6 fits either route alone: a resilient split gives zero
+        # loss in every single-failure scenario.
+        scenarios = enumerate_scenario_set(diamond, max_failures=1)
+        sol = TeavarTE(beta=0.9, scenarios=scenarios).solve(
+            diamond, {("a", "d"): 6.0}, diamond_paths
+        )
+        assert sol.feasible
+        assert sol.objective == pytest.approx(0.0, abs=1e-6)
+
+    def test_cvar_positive_when_demand_unprotectable(self, diamond,
+                                                     diamond_paths):
+        scenarios = enumerate_scenario_set(diamond, max_failures=1)
+        sol = TeavarTE(beta=0.999, scenarios=scenarios).solve(
+            diamond, {("a", "d"): 16.0}, diamond_paths
+        )
+        # Demand 16 needs both routes; any route failure loses traffic,
+        # and at beta ~ 1 CVaR sees those scenarios.
+        assert sol.objective > 0.0
+
+    def test_higher_beta_never_decreases_cvar(self, diamond, diamond_paths):
+        scenarios = enumerate_scenario_set(diamond, max_failures=1)
+        demands = {("a", "d"): 16.0}
+        lo = TeavarTE(beta=0.5, scenarios=scenarios).solve(
+            diamond, demands, diamond_paths
+        ).objective
+        hi = TeavarTE(beta=0.99, scenarios=scenarios).solve(
+            diamond, demands, diamond_paths
+        ).objective
+        assert hi >= lo - 1e-9
+
+    def test_bad_beta_rejected(self, diamond):
+        scenarios = [(FailureScenario(), 1.0)]
+        with pytest.raises(ModelingError):
+            TeavarTE(beta=0.0, scenarios=scenarios)
+        with pytest.raises(ModelingError):
+            TeavarTE(beta=1.0, scenarios=scenarios)
+
+    def test_empty_scenarios_rejected(self):
+        with pytest.raises(ModelingError):
+            TeavarTE(beta=0.9, scenarios=[])
+
+    def test_reliable_network_has_lower_cvar(self):
+        """Same topology, same demand -- flakier links mean higher CVaR."""
+        def build(p_main):
+            topo = from_edges([
+                ("a", "b", 10), ("b", "d", 10), ("a", "c", 6), ("c", "d", 6),
+            ])
+            return with_link_probabilities(topo, {
+                ("a", "b"): p_main, ("b", "d"): p_main,
+                ("a", "c"): p_main, ("c", "d"): p_main,
+            })
+
+        demands = {("a", "d"): 14.0}  # needs both routes: losses unavoidable
+        cvars = []
+        for p_main in (1e-4, 0.2):
+            topo = build(p_main)
+            paths = PathSet.k_shortest(topo, [("a", "d")], 2, 0)
+            scenarios = enumerate_scenario_set(topo, max_failures=1)
+            sol = TeavarTE(beta=0.999, scenarios=scenarios).solve(
+                topo, demands, paths
+            )
+            cvars.append(sol.objective)
+        assert cvars[0] <= cvars[1] + 1e-9

@@ -1,0 +1,226 @@
+"""Tests for MLU, max-min (binner + water filling), and edge-form MCF."""
+
+import pytest
+
+from repro.network.builder import from_edges, line
+from repro.paths import PathSet
+from repro.te import EdgeMcf, GeometricBinnerTE, MluTE, max_min_water_filling
+from repro.te.base import TESolution
+
+
+@pytest.fixture
+def diamond():
+    return from_edges([
+        ("a", "b", 10), ("b", "d", 10), ("a", "c", 10), ("c", "d", 10),
+    ])
+
+
+class TestMlu:
+    def test_balanced_split_halves_utilization(self, diamond):
+        paths = PathSet.k_shortest(diamond, [("a", "d")], 2, 0)
+        sol = MluTE().solve(diamond, {("a", "d"): 10.0}, paths)
+        assert sol.objective == pytest.approx(0.5)
+        assert sol.pair_flows[("a", "d")] == pytest.approx(10.0)
+
+    def test_over_subscription_exceeds_one(self, diamond):
+        paths = PathSet.k_shortest(diamond, [("a", "d")], 2, 0)
+        sol = MluTE().solve(diamond, {("a", "d"): 30.0}, paths)
+        assert sol.objective == pytest.approx(1.5)
+
+    def test_enforce_capacity_infeasible(self, diamond):
+        paths = PathSet.k_shortest(diamond, [("a", "d")], 2, 0)
+        sol = MluTE(enforce_capacity=True).solve(
+            diamond, {("a", "d"): 30.0}, paths
+        )
+        assert not sol.feasible
+
+    def test_disconnection_is_infeasible(self, diamond):
+        paths = PathSet.k_shortest(diamond, [("a", "d")], 2, 0)
+        caps = {(("a", "d"), p): 0.0 for p in paths[("a", "d")].paths}
+        sol = MluTE().solve(diamond, {("a", "d"): 5.0}, paths, path_caps=caps)
+        assert not sol.feasible
+
+    def test_zero_capacity_lag_unused(self, diamond):
+        paths = PathSet.k_shortest(diamond, [("a", "d")], 2, 0)
+        sol = MluTE().solve(diamond, {("a", "d"): 5.0}, paths,
+                            capacities={("a", "b"): 0.0})
+        assert sol.feasible
+        assert sol.lag_loads.get(("a", "b"), 0.0) == pytest.approx(0.0)
+        assert sol.objective == pytest.approx(0.5)
+
+    def test_mlu_matches_loads(self, diamond):
+        paths = PathSet.k_shortest(diamond, [("a", "d")], 2, 0)
+        sol = MluTE().solve(diamond, {("a", "d"): 16.0}, paths)
+        assert sol.max_utilization(diamond) == pytest.approx(sol.objective)
+
+
+class TestWaterFilling:
+    def test_equal_split_on_shared_bottleneck(self):
+        topo = from_edges([("a", "m", 100), ("b", "m", 100), ("m", "c", 10)])
+        paths = PathSet.k_shortest(topo, [("a", "c"), ("b", "c")], 1, 0)
+        alloc = max_min_water_filling(
+            topo, {("a", "c"): 100.0, ("b", "c"): 100.0}, paths
+        )
+        assert alloc[("a", "c")] == pytest.approx(5.0)
+        assert alloc[("b", "c")] == pytest.approx(5.0)
+
+    def test_small_demand_frees_capacity(self):
+        topo = from_edges([("a", "m", 100), ("b", "m", 100), ("m", "c", 10)])
+        paths = PathSet.k_shortest(topo, [("a", "c"), ("b", "c")], 1, 0)
+        alloc = max_min_water_filling(
+            topo, {("a", "c"): 2.0, ("b", "c"): 100.0}, paths
+        )
+        assert alloc[("a", "c")] == pytest.approx(2.0)
+        assert alloc[("b", "c")] == pytest.approx(8.0)
+
+    def test_zero_demand(self):
+        topo = line(3, capacity=5)
+        paths = PathSet.k_shortest(topo, [("n0", "n2")], 1, 0)
+        alloc = max_min_water_filling(topo, {("n0", "n2"): 0.0}, paths)
+        assert alloc[("n0", "n2")] == 0.0
+
+    def test_three_level_fairness(self):
+        # Demands with different bottlenecks produce a lexicographic result.
+        topo = from_edges([
+            ("a", "m", 4), ("b", "m", 100), ("m", "c", 10),
+        ])
+        paths = PathSet.k_shortest(topo, [("a", "c"), ("b", "c")], 1, 0)
+        alloc = max_min_water_filling(
+            topo, {("a", "c"): 100.0, ("b", "c"): 100.0}, paths
+        )
+        assert alloc[("a", "c")] == pytest.approx(4.0)
+        assert alloc[("b", "c")] == pytest.approx(6.0)
+
+
+class TestGeometricBinner:
+    def test_approximates_water_filling(self):
+        topo = from_edges([("a", "m", 100), ("b", "m", 100), ("m", "c", 10)])
+        paths = PathSet.k_shortest(topo, [("a", "c"), ("b", "c")], 1, 0)
+        demands = {("a", "c"): 100.0, ("b", "c"): 100.0}
+        sol = GeometricBinnerTE(num_bins=10, alpha=1.5).solve(
+            topo, demands, paths
+        )
+        exact = max_min_water_filling(topo, demands, paths)
+        for pair in demands:
+            # alpha-approximation of the max-min share.
+            assert sol.pair_flows[pair] >= exact[pair] / 1.5 - 1e-6
+            assert sol.pair_flows[pair] <= exact[pair] * 1.5 + 1e-6
+
+    def test_capacity_respected(self, diamond):
+        paths = PathSet.k_shortest(diamond, [("a", "d"), ("b", "c")], 2, 0)
+        sol = GeometricBinnerTE().solve(
+            diamond, {("a", "d"): 100.0, ("b", "c"): 100.0}, paths
+        )
+        for lag in diamond.lags:
+            assert sol.lag_loads.get(lag.key, 0.0) <= lag.capacity + 1e-6
+
+    def test_bin_widths_cover_demand(self):
+        binner = GeometricBinnerTE(num_bins=5, alpha=2.0)
+        widths = binner.bin_widths(32.0)
+        assert len(widths) == 5
+        assert sum(widths) == pytest.approx(32.0)
+
+    def test_bad_alpha_rejected(self):
+        from repro.exceptions import ModelingError
+
+        with pytest.raises(ModelingError):
+            GeometricBinnerTE(alpha=1.0)
+        with pytest.raises(ModelingError):
+            GeometricBinnerTE(num_bins=0)
+
+    def test_empty_demands(self, diamond):
+        sol = GeometricBinnerTE().solve(diamond, {}, PathSet())
+        assert sol.total_flow == 0.0
+
+
+class TestEdgeMcf:
+    def test_matches_path_form_on_diamond(self, diamond):
+        sol = EdgeMcf().solve(diamond, {("a", "d"): 100.0})
+        assert sol.objective == pytest.approx(20.0)
+
+    def test_upper_bounds_path_form(self):
+        # Path form sees 2 routes; edge form may use anything.
+        topo = from_edges([
+            ("a", "b", 5), ("b", "d", 5), ("a", "c", 5), ("c", "d", 5),
+            ("b", "c", 5),
+        ])
+        paths = PathSet.k_shortest(topo, [("a", "d")], 1, 0)
+        from repro.te import TotalFlowTE
+
+        path_sol = TotalFlowTE().solve(topo, {("a", "d"): 100.0}, paths)
+        edge_sol = EdgeMcf().solve(topo, {("a", "d"): 100.0})
+        assert edge_sol.objective >= path_sol.objective - 1e-6
+
+    def test_allowed_edges_restriction(self, diamond):
+        allowed = {("a", "d"): {("a", "b"), ("b", "d")}}
+        sol = EdgeMcf(allowed_edges=allowed).solve(diamond, {("a", "d"): 100.0})
+        assert sol.objective == pytest.approx(10.0)
+
+    def test_allowed_edges_from_paths(self, diamond):
+        paths = PathSet.k_shortest(diamond, [("a", "d")], 1, 0)
+        allowed = EdgeMcf.allowed_edges_from_paths(paths, diamond)
+        assert allowed[("a", "d")] == {("a", "b"), ("b", "d")}
+        with_extra = EdgeMcf.allowed_edges_from_paths(
+            paths, diamond, extra_edges=[("a", "c")]
+        )
+        assert ("a", "c") in with_extra[("a", "d")]
+
+    def test_capacity_override(self, diamond):
+        sol = EdgeMcf().solve(diamond, {("a", "d"): 100.0},
+                              capacities={("a", "b"): 0.0, ("a", "c"): 3.0})
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_two_demands_share(self):
+        topo = from_edges([("a", "m", 10), ("b", "m", 10), ("m", "c", 8)])
+        sol = EdgeMcf().solve(topo, {("a", "c"): 10.0, ("b", "c"): 10.0})
+        assert sol.objective == pytest.approx(8.0)
+
+
+class TestTESolutionHelpers:
+    def test_infeasible_sentinel(self):
+        sol = TESolution.infeasible()
+        assert not sol.feasible
+        assert sol.total_flow == 0.0
+
+
+class TestEquiDepthBinner:
+    def test_equal_widths_cover_demand(self):
+        from repro.te import EquiDepthBinnerTE
+
+        binner = EquiDepthBinnerTE(num_bins=4, alpha=2.0)
+        widths = binner.bin_widths(20.0)
+        assert len(widths) == 4
+        assert all(w == pytest.approx(5.0) for w in widths)
+
+    def test_pinned_t0_respected(self):
+        from repro.te import EquiDepthBinnerTE
+
+        binner = EquiDepthBinnerTE(num_bins=4, alpha=2.0, t0=2.0)
+        widths = binner.bin_widths(20.0)
+        assert widths[0] == pytest.approx(2.0)
+        assert sum(widths) == pytest.approx(20.0)
+
+    def test_approximates_water_filling(self):
+        from repro.te import EquiDepthBinnerTE
+
+        topo = from_edges([("a", "m", 100), ("b", "m", 100), ("m", "c", 10)])
+        paths = PathSet.k_shortest(topo, [("a", "c"), ("b", "c")], 1, 0)
+        demands = {("a", "c"): 100.0, ("b", "c"): 100.0}
+        sol = EquiDepthBinnerTE(num_bins=20, alpha=1.5).solve(
+            topo, demands, paths
+        )
+        exact = max_min_water_filling(topo, demands, paths)
+        for pair in demands:
+            assert sol.pair_flows[pair] == pytest.approx(exact[pair],
+                                                         rel=0.25)
+
+    def test_capacity_respected(self):
+        from repro.te import EquiDepthBinnerTE
+
+        topo = from_edges([
+            ("a", "b", 10), ("b", "d", 10), ("a", "c", 6), ("c", "d", 6),
+        ])
+        paths = PathSet.k_shortest(topo, [("a", "d")], 2, 0)
+        sol = EquiDepthBinnerTE().solve(topo, {("a", "d"): 100.0}, paths)
+        for lag in topo.lags:
+            assert sol.lag_loads.get(lag.key, 0.0) <= lag.capacity + 1e-6

@@ -1,0 +1,46 @@
+"""Property: the edge form upper-bounds (and with full paths, equals)
+the path form -- the relationship Appendix C's augment logic relies on."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.generators import small_ring
+from repro.network.demand import gravity_demands, top_pairs
+from repro.paths import PathSet, k_shortest_paths
+from repro.paths.pathset import DemandPaths
+from repro.te import EdgeMcf, TotalFlowTE
+
+
+def build(seed):
+    topology = small_ring(num_nodes=6, chords=2, seed=seed)
+    demands = gravity_demands(topology, scale=60, seed=seed)
+    pairs = top_pairs(demands, 2)
+    return topology, demands.restricted_to(pairs), pairs
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=40))
+def test_edge_form_upper_bounds_path_form(seed):
+    topology, demands, pairs = build(seed)
+    paths = PathSet.k_shortest(topology, pairs, num_primary=2, num_backup=0)
+    path_sol = TotalFlowTE(primary_only=True).solve(topology, dict(demands),
+                                                    paths)
+    edge_sol = EdgeMcf().solve(topology, dict(demands))
+    assert edge_sol.objective >= path_sol.objective - 1e-6
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=40))
+def test_edge_form_matches_path_form_with_all_simple_paths(seed):
+    """With every loopless path configured, the two forms coincide."""
+    topology, demands, pairs = build(seed)
+    paths = PathSet()
+    for pair in pairs:
+        all_paths = k_shortest_paths(topology, pair[0], pair[1], k=100)
+        paths[pair] = DemandPaths(pair=pair, paths=all_paths,
+                                  num_primary=len(all_paths))
+    path_sol = TotalFlowTE(primary_only=True).solve(topology, dict(demands),
+                                                    paths)
+    edge_sol = EdgeMcf().solve(topology, dict(demands))
+    assert path_sol.objective == pytest.approx(edge_sol.objective, abs=1e-5)

@@ -1,0 +1,20 @@
+"""Run the executable examples embedded in key docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.analyzer
+import repro.network.builder
+import repro.solver.model
+
+
+@pytest.mark.parametrize("module", [
+    repro.solver.model,
+    repro.network.builder,
+    repro.core.analyzer,
+], ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest(s) failed"
+    assert results.attempted > 0, "expected at least one doctest"
