@@ -6,15 +6,30 @@ up-to-k analysis (k <= 2, probability-unaware) finds: "at least 2x
 higher" across demand modes at T = 1e-4..1e-7, with the gap growing as
 the threshold drops.  Panels: (a) fixed average demands, (b) fixed
 maximum demands, (c) variable demands.
+
+The grid runs through the :mod:`repro.runner` sweep subsystem -- each
+(threshold, budget) cell is an independent job, exactly how the
+operational ``python -m repro sweep`` executes campaigns.  Set
+``REPRO_BENCH_JOBS>1`` to run the cells on worker processes.
 """
 
 import math
+import os
 
 import pytest
 
 from benchmarks.conftest import BUDGETS, THRESHOLDS, run_once
-from repro.analysis.experiments import degradation_sweep
+from repro.analysis.experiments import (
+    degradation_sweep_spec,
+    sweep_cells,
+    sweep_rows,
+)
 from repro.analysis.reporting import print_table
+from repro.runner.executor import run_sweep
+
+#: Worker processes for the benchmark grids (1 = in-process/serial, the
+#: CI default; the numbers are identical either way).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def _check_shape(rows):
@@ -39,11 +54,13 @@ def _check_shape(rows):
 @pytest.mark.parametrize("mode", ["avg", "max", "variable"])
 def test_fig5_degradation_vs_threshold(benchmark, wan, mode):
     paths = wan.paths(num_primary=2, num_backup=1)
+    spec = degradation_sweep_spec(
+        wan, paths, mode, sweep_cells(THRESHOLDS, BUDGETS),
+        time_limit=60.0, name=f"fig5-{mode}",
+    )
 
     def experiment():
-        return degradation_sweep(
-            wan, paths, mode, THRESHOLDS, BUDGETS, time_limit=60.0,
-        )
+        return sweep_rows(run_sweep(spec, num_workers=BENCH_JOBS))
 
     rows = run_once(benchmark, experiment)
     panel = {"avg": "a", "max": "b", "variable": "c"}[mode]

@@ -4,27 +4,44 @@ Paper claims: with connected-enforcement (no scenario may take down all
 of a demand's paths -- the production configuration), "the worst-case
 degradation decreases but we still find higher degradations compared to
 those solutions that limit the number of failures they allow".
+
+Both series (plain and CE) run as *one* sweep campaign through the
+:mod:`repro.runner` subsystem: ``connected_enforced`` is just another
+cell parameter, so the whole figure is a single non-rectangular job
+list -- the declarative shape ``python -m repro sweep`` executes.
 """
 
 import pytest
 
 from benchmarks.conftest import BUDGETS, THRESHOLDS, run_once
-from repro.analysis.experiments import degradation_sweep
+from benchmarks.test_fig5_probabilities_matter import BENCH_JOBS
+from repro.analysis.experiments import degradation_sweep_spec, sweep_cells
 from repro.analysis.reporting import print_table
+from repro.runner.executor import run_sweep
 
 
 @pytest.mark.parametrize("mode", ["avg", "variable"])
 def test_fig6_ce_degradation_vs_threshold(benchmark, wan, mode):
     paths = wan.paths(num_primary=2, num_backup=1)
+    cells = (
+        sweep_cells(THRESHOLDS, [None], connected_enforced=False)
+        + sweep_cells(THRESHOLDS, BUDGETS, connected_enforced=True)
+    )
+    spec = degradation_sweep_spec(wan, paths, mode, cells,
+                                  time_limit=60.0, name=f"fig6-{mode}")
 
     def experiment():
-        plain = degradation_sweep(
-            wan, paths, mode, THRESHOLDS, [None], time_limit=60.0,
-        )
-        ce = degradation_sweep(
-            wan, paths, mode, THRESHOLDS, BUDGETS,
-            connected_enforced=True, time_limit=60.0,
-        )
+        outcome = run_sweep(spec, num_workers=BENCH_JOBS)
+        outcome.raise_on_error()
+        plain, ce = [], []
+        for result in outcome.results():
+            row = (
+                "-" if result["threshold"] is None else result["threshold"],
+                "inf" if result["max_failures"] is None
+                else result["max_failures"],
+                result["normalized_degradation"],
+            )
+            (ce if result["connected_enforced"] else plain).append(row)
         return plain, ce
 
     plain, ce = run_once(benchmark, experiment)

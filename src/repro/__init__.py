@@ -34,7 +34,7 @@ from repro.core.augment import (
     augment_existing_lags,
     augment_new_lags,
 )
-from repro.core.config import RahaConfig
+from repro.core.config import RahaConfig, RunnerConfig
 from repro.core.degradation import DegradationResult
 from repro.exceptions import (
     InfeasibleError,
@@ -59,6 +59,8 @@ from repro.network.demand import (
 from repro.network.srlg import Srlg
 from repro.network.topology import Lag, Link, Topology
 from repro.paths.pathset import DemandPaths, PathSet
+from repro.runner.executor import run_sweep
+from repro.runner.jobs import Job, SweepSpec
 
 __version__ = "1.0.0"
 
@@ -72,6 +74,7 @@ __all__ = [
     "DemandPaths",
     "FailureScenario",
     "InfeasibleError",
+    "Job",
     "Lag",
     "Link",
     "ModelingError",
@@ -80,8 +83,10 @@ __all__ = [
     "RahaAnalyzer",
     "RahaConfig",
     "ReproError",
+    "RunnerConfig",
     "SolverError",
     "Srlg",
+    "SweepSpec",
     "Topology",
     "TopologyError",
     "VerificationError",
@@ -93,6 +98,7 @@ __all__ = [
     "estimate_availability",
     "gravity_demands",
     "max_simultaneous_failures",
+    "run_sweep",
     "simulate_failed_network",
     "synthesize_monthly_demands",
     "worst_case_k_failures",

@@ -119,6 +119,87 @@ def timed_analysis(topology: Topology, paths: PathSet,
     return result, wall
 
 
+def sweep_cells(
+    thresholds: list[float],
+    failure_budgets: list[int | None],
+    **extra,
+) -> list[dict]:
+    """The Figure 5/6 cell pairing as explicit sweep-spec cells.
+
+    Finite budgets reproduce the probability-unaware prior-work
+    baselines, so they carry no threshold; only the unlimited series --
+    Raha proper -- sweeps the probability threshold.  ``extra`` is
+    merged into every cell (e.g. ``connected_enforced=True``).
+    """
+    cells = []
+    for budget in failure_budgets:
+        if budget is not None:
+            cells.append({"threshold": None, "max_failures": budget, **extra})
+    if None in failure_budgets:
+        for threshold in thresholds:
+            cells.append({"threshold": threshold, "max_failures": None,
+                          **extra})
+    return cells
+
+
+def degradation_sweep_spec(
+    net: BenchNetwork,
+    paths: PathSet,
+    demand_mode: str,
+    cells: list[dict],
+    *,
+    slack: float = 0.0,
+    time_limit: float = 60.0,
+    mip_rel_gap: float | None = 0.01,
+    name: str = "degradation-sweep",
+):
+    """A runner :class:`~repro.runner.jobs.SweepSpec` for a bench grid.
+
+    The instance (topology, monthly demands, paths) is embedded as its
+    serialized documents, so jobs are self-contained for worker
+    processes and content-addressed for the result cache.
+    """
+    from repro.network import serialization as ser
+    from repro.runner.jobs import SweepSpec
+
+    return SweepSpec(
+        instance={
+            "topology": ser.topology_to_dict(net.topology),
+            "avg_demands": ser.demands_to_dict(net.avg_demands),
+            "peak_demands": ser.demands_to_dict(net.peak_demands),
+            "paths": ser.paths_to_dict(paths),
+        },
+        base={
+            "demand_mode": demand_mode,
+            "slack": slack,
+            "time_limit": time_limit,
+            "mip_rel_gap": mip_rel_gap,
+        },
+        cells=cells,
+        name=name,
+    )
+
+
+def sweep_rows(outcome) -> list[tuple[object, object, float]]:
+    """Degradation-task results as classic benchmark table rows.
+
+    Maps each successful job to ``(threshold_or_dash, budget_label,
+    normalized_degradation)`` in job order; raises on any failed job
+    (benchmarks must not silently chart partial campaigns).
+    """
+    outcome.raise_on_error()
+    rows = []
+    for result in outcome.results():
+        threshold = result["threshold"]
+        budget = result["max_failures"]
+        rows.append((
+            "-" if threshold is None else threshold,
+            "inf" if budget is None else budget,
+            result["normalized_degradation"],
+        ))
+    return rows
+
+
 def degradation_sweep(
     net: BenchNetwork,
     paths: PathSet,
@@ -129,6 +210,11 @@ def degradation_sweep(
     slack: float = 0.0,
     time_limit: float = 60.0,
     mip_rel_gap: float | None = 0.01,
+    num_workers: int = 1,
+    cache=None,
+    journal=None,
+    resume: bool = False,
+    progress=None,
 ) -> list[tuple[float, object, float]]:
     """The Figure 5/6 grid: degradation per (threshold, failure budget).
 
@@ -137,6 +223,12 @@ def degradation_sweep(
     threshold (they appear as the flat horizontal lines of Figures 5/6).
     Only the unlimited (``None`` -> "inf") series -- Raha proper -- sweeps
     the probability threshold.
+
+    The grid executes through the :mod:`repro.runner` subsystem -- the
+    same code path as ``python -m repro sweep`` -- so campaigns can run
+    on worker processes, hit the result cache, and resume from a
+    journal; the defaults (serial, uncached) reproduce the historical
+    behavior and numbers exactly.
 
     Args:
         net: Benchmark instance.
@@ -149,44 +241,25 @@ def degradation_sweep(
         connected_enforced: Apply CE constraints (Figure 6).
         slack: Envelope widening for the variable mode, in percent.
         time_limit: Per-solve budget.
+        num_workers: Worker processes (1 = in-process, serial).
+        cache / journal / resume / progress: Forwarded to
+            :func:`repro.runner.run_sweep`.
 
     Returns:
         Rows ``(threshold_or_dash, budget_label, normalized_degradation)``.
     """
+    from repro.runner.executor import run_sweep
 
-    def config_for(threshold, budget):
-        kwargs = dict(
-            probability_threshold=threshold,
-            max_failures=budget,
-            connected_enforced=connected_enforced,
-            time_limit=time_limit,
-            mip_rel_gap=mip_rel_gap,
-        )
-        if demand_mode == "avg":
-            return RahaConfig(fixed_demands=dict(net.avg_demands), **kwargs)
-        if demand_mode == "max":
-            return RahaConfig(fixed_demands=dict(net.peak_demands), **kwargs)
-        if demand_mode == "variable":
-            from repro.network.demand import demand_envelope
-
-            return RahaConfig(
-                demand_bounds=demand_envelope(net.peak_demands, slack=slack),
-                **kwargs,
-            )
+    if demand_mode not in ("avg", "max", "variable"):
         raise ValueError(f"unknown demand mode {demand_mode!r}")
-
-    rows = []
-    for budget in failure_budgets:
-        if budget is None:
-            continue
-        result = RahaAnalyzer(
-            net.topology, paths, config_for(None, budget)
-        ).analyze()
-        rows.append(("-", budget, result.normalized_degradation))
-    if None in failure_budgets:
-        for threshold in thresholds:
-            result = RahaAnalyzer(
-                net.topology, paths, config_for(threshold, None)
-            ).analyze()
-            rows.append((threshold, "inf", result.normalized_degradation))
-    return rows
+    spec = degradation_sweep_spec(
+        net, paths, demand_mode,
+        sweep_cells(thresholds, failure_budgets,
+                    connected_enforced=connected_enforced),
+        slack=slack, time_limit=time_limit, mip_rel_gap=mip_rel_gap,
+    )
+    outcome = run_sweep(
+        spec, num_workers=num_workers, cache=cache, journal=journal,
+        resume=resume, progress=progress,
+    )
+    return sweep_rows(outcome)

@@ -3,7 +3,12 @@
 Commands mirror Raha's two operational modes plus utilities:
 
 * ``analyze`` -- find the worst probable degradation of a topology
-  (fixed or variable demands) and print an operator report.
+  (fixed or variable demands) and print an operator report.  A comma
+  list of ``--threshold`` values fans out through the sweep runner
+  (``--jobs`` worker processes, resumable with ``--resume``).
+* ``sweep``  -- run a declarative sweep campaign (a JSON
+  :class:`~repro.runner.jobs.SweepSpec`) in parallel, with a
+  content-addressed result cache and a resumable journal.
 * ``augment`` -- compute the capacity augment that removes all probable
   degradations.
 * ``paths`` -- compute and save a k-shortest-path configuration.
@@ -16,6 +21,7 @@ demands and paths are JSON.  Example round trip::
         --primary 4 --backup 1 --out paths.json
     python -m repro analyze --topology wan.json --paths paths.json \\
         --demands demands.json --threshold 1e-4 --report report.txt
+    python -m repro sweep --spec campaign.json --jobs 4
 """
 
 from __future__ import annotations
@@ -23,15 +29,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from repro.core.analyzer import RahaAnalyzer
 from repro.core.augment import augment_existing_lags
-from repro.core.config import RahaConfig
+from repro.core.config import MAX_DEFAULT_WORKERS, RahaConfig
 from repro.core.report import degradation_report
 from repro.network import serialization as ser
 from repro.network.demand import all_pairs, demand_envelope
 from repro.network.topology import Topology
 from repro.paths.pathset import PathSet
+
+#: Exit code when one or more sweep jobs settled with a structured error.
+EXIT_SWEEP_ERRORS = 4
 
 
 def _load_topology(path: str) -> Topology:
@@ -40,6 +50,15 @@ def _load_topology(path: str) -> Topology:
 
         return read_graphml(path)
     return ser.topology_from_dict(ser.load_json(path))
+
+
+def _load_topology_doc(path: str) -> dict:
+    """A topology as its serialized document (for sweep job payloads)."""
+    if path.endswith((".graphml", ".xml")):
+        from repro.network.graphml import read_graphml
+
+        return ser.topology_to_dict(read_graphml(path))
+    return ser.load_json(path)
 
 
 def _load_paths(path: str) -> PathSet:
@@ -63,14 +82,165 @@ def _cmd_paths(args) -> int:
     return 0
 
 
+def _parse_thresholds(text: str | None) -> list[float | None]:
+    """``"1e-4"`` -> one threshold; ``"1e-2,1e-4"`` -> a sweep."""
+    if text is None:
+        return [None]
+    values = [float(token) for token in text.split(",") if token.strip()]
+    return values or [None]
+
+
+def _sweep_state(workdir: Path, use_cache: bool = True):
+    """The cache + journal pair living under a campaign's workdir."""
+    from repro.runner.cache import ResultCache
+    from repro.runner.journal import Journal
+
+    workdir.mkdir(parents=True, exist_ok=True)
+    cache = ResultCache(workdir / "cache") if use_cache else None
+    return cache, Journal(workdir / "journal.jsonl")
+
+
+def _run_campaign(spec, args, workdir: Path, use_cache: bool = True):
+    """Shared sweep execution for the analyze/sweep commands."""
+    from repro.core.config import RunnerConfig
+    from repro.runner.executor import run_sweep
+    from repro.runner.progress import print_progress
+
+    cache, journal = _sweep_state(workdir, use_cache=use_cache)
+    config = RunnerConfig(num_workers=args.jobs,
+                          retries=getattr(args, "retries", 1))
+    progress = None if getattr(args, "quiet", False) else print_progress
+    return run_sweep(spec, cache=cache, journal=journal, resume=args.resume,
+                     progress=progress, config=config)
+
+
+def _write_sweep_results(outcome, spec, path: Path) -> dict:
+    """Persist a machine-readable campaign summary; returns the doc."""
+    document = {
+        "schema": ser.SCHEMA_VERSION,
+        "kind": "sweep_results",
+        "name": spec.name,
+        "spec_hash": spec.spec_hash,
+        "summary": {
+            "total": len(outcome.outcomes),
+            "counts": outcome.counts(),
+            "cached": outcome.num_cached,
+            "errors": outcome.num_errors,
+            "wall_seconds": round(outcome.wall_seconds, 3),
+            "solver_seconds": round(outcome.solver_seconds, 3),
+        },
+        "jobs": [
+            {
+                "key": o.job.key,
+                "label": o.job.label,
+                "params": o.job.params,
+                "status": o.status,
+                "attempts": o.attempts,
+                "result": o.result,
+                "error": o.error,
+            }
+            for o in outcome.outcomes
+        ],
+    }
+    ser.save_json(document, str(path))
+    return document
+
+
+def _print_sweep_table(outcome, title: str) -> None:
+    from repro.analysis.reporting import print_table
+
+    rows = []
+    for o in outcome.outcomes:
+        result = o.result or {}
+        threshold = result.get("threshold", o.job.params.get("threshold"))
+        budget = result.get("max_failures", o.job.params.get("max_failures"))
+        rows.append((
+            result.get("demand_mode", o.job.params.get("demand_mode", "-")),
+            "-" if threshold is None else threshold,
+            "inf" if budget is None else budget,
+            result.get("normalized_degradation", "-"),
+            o.status,
+        ))
+    print_table(title, ["mode", "threshold", "max failures",
+                        "degradation", "status"], rows)
+
+
+def _print_sweep_summary(outcome) -> None:
+    counts = ", ".join(f"{n} {status}"
+                       for status, n in sorted(outcome.counts().items()))
+    print(f"sweep: {len(outcome.outcomes)} jobs ({counts}); "
+          f"wall {outcome.wall_seconds:.1f}s, "
+          f"solver {outcome.solver_seconds:.1f}s")
+
+
+def _cmd_sweep(args) -> int:
+    from repro.runner.jobs import SweepSpec
+
+    spec = SweepSpec.from_file(args.spec)
+    workdir = Path(args.workdir) if args.workdir \
+        else Path(args.spec).with_suffix("").with_name(
+            Path(args.spec).stem + ".sweep")
+    outcome = _run_campaign(spec, args, workdir,
+                            use_cache=not args.no_cache)
+    _print_sweep_table(outcome, f"sweep {spec.name}: "
+                                f"{len(outcome.outcomes)} jobs")
+    _print_sweep_summary(outcome)
+    results_path = workdir / "results.json"
+    _write_sweep_results(outcome, spec, results_path)
+    if args.out:
+        _write_sweep_results(outcome, spec, Path(args.out))
+    print(f"results: {results_path}")
+    return EXIT_SWEEP_ERRORS if outcome.num_errors else 0
+
+
+def _analyze_sweep(args, thresholds: list[float | None]) -> int:
+    """``analyze`` with a threshold list: fan out through the runner."""
+    from repro.runner.jobs import SweepSpec
+
+    spec = SweepSpec(
+        instance={
+            "topology": _load_topology_doc(args.topology),
+            "demands": ser.load_json(args.demands),
+            "paths": ser.load_json(args.paths),
+        },
+        base={
+            "demand_mode": "variable" if args.variable else "fixed",
+            "slack": args.slack,
+            "max_failures": args.max_failures,
+            "connected_enforced": args.connected_enforced,
+            "time_limit": args.time_limit,
+        },
+        cells=[{"threshold": t} for t in thresholds],
+        name="analyze",
+    )
+    workdir = Path(args.workdir) if args.workdir \
+        else Path(args.topology + ".sweep")
+    outcome = _run_campaign(spec, args, workdir)
+    _print_sweep_table(
+        outcome, f"analyze: degradation vs threshold ({len(thresholds)} jobs)")
+    _print_sweep_summary(outcome)
+    if args.out:
+        _write_sweep_results(outcome, spec, Path(args.out))
+    if outcome.num_errors:
+        return EXIT_SWEEP_ERRORS
+    if args.tolerance is not None:
+        worst = max(r["normalized_degradation"] for r in outcome.results())
+        return 2 if worst > args.tolerance else 0
+    return 0
+
+
 def _cmd_analyze(args) -> int:
+    thresholds = _parse_thresholds(args.threshold)
+    if len(thresholds) > 1:
+        return _analyze_sweep(args, thresholds)
+    threshold = thresholds[0]
     topology = _load_topology(args.topology)
     paths = _load_paths(args.paths)
     demands = _load_demands(args.demands)
     if args.variable:
         config = RahaConfig(
             demand_bounds=demand_envelope(demands, slack=args.slack),
-            probability_threshold=args.threshold,
+            probability_threshold=threshold,
             max_failures=args.max_failures,
             connected_enforced=args.connected_enforced,
             time_limit=args.time_limit,
@@ -78,7 +248,7 @@ def _cmd_analyze(args) -> int:
     else:
         config = RahaConfig(
             fixed_demands=dict(demands),
-            probability_threshold=args.threshold,
+            probability_threshold=threshold,
             max_failures=args.max_failures,
             connected_enforced=args.connected_enforced,
             time_limit=args.time_limit,
@@ -230,15 +400,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--variable", action="store_true",
                       help="treat demands as envelope upper bounds")
     p_an.add_argument("--slack", type=float, default=0.0)
-    p_an.add_argument("--threshold", type=float, default=None)
+    p_an.add_argument("--threshold", default=None,
+                      help="probability threshold T; a comma list "
+                           "(e.g. 1e-2,1e-4,1e-7) sweeps them in parallel "
+                           "through the job runner")
     p_an.add_argument("--max-failures", type=int, default=None)
     p_an.add_argument("--connected-enforced", action="store_true")
     p_an.add_argument("--time-limit", type=float, default=1000.0)
+    p_an.add_argument("--jobs", type=int, default=None, metavar="N",
+                      help="worker processes for threshold sweeps "
+                           "(default: cpu_count - 1, capped at "
+                           f"{MAX_DEFAULT_WORKERS})")
+    p_an.add_argument("--resume", action="store_true",
+                      help="resume an interrupted threshold sweep from its "
+                           "workdir journal (finishes only remaining jobs)")
+    p_an.add_argument("--workdir", default=None,
+                      help="sweep state directory (cache + journal); "
+                           "default: <topology>.sweep")
     p_an.add_argument("--tolerance", type=float, default=None,
                       help="exit 2 when normalized degradation exceeds this")
     p_an.add_argument("--report", default=None)
     p_an.add_argument("--out", default=None)
     p_an.set_defaults(func=_cmd_analyze)
+
+    p_sw = sub.add_parser(
+        "sweep",
+        help="run a declarative sweep campaign (parallel, cached, resumable)")
+    p_sw.add_argument("--spec", required=True,
+                      help="sweep spec JSON (kind: sweep_spec; see "
+                           "docs/operations.md 'Running sweeps')")
+    p_sw.add_argument("--jobs", type=int, default=None, metavar="N",
+                      help="worker processes (default: cpu_count - 1, "
+                           f"capped at {MAX_DEFAULT_WORKERS}; 1 = in-process)")
+    p_sw.add_argument("--resume", action="store_true",
+                      help="replay the journal and run only unsettled jobs")
+    p_sw.add_argument("--workdir", default=None,
+                      help="campaign state directory (cache/, journal.jsonl, "
+                           "results.json); default: <spec stem>.sweep next "
+                           "to the spec")
+    p_sw.add_argument("--retries", type=int, default=1,
+                      help="re-attempts for failed/crashed/timed-out jobs")
+    p_sw.add_argument("--no-cache", action="store_true",
+                      help="disable the content-addressed result cache")
+    p_sw.add_argument("--quiet", action="store_true",
+                      help="suppress per-job progress lines on stderr")
+    p_sw.add_argument("--out", default=None,
+                      help="also write the results document here")
+    p_sw.set_defaults(func=_cmd_sweep)
 
     p_aug = sub.add_parser("augment", help="compute a capacity augment")
     p_aug.add_argument("--topology", required=True)

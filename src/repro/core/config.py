@@ -1,7 +1,8 @@
-"""Configuration surface for the Raha analyzer."""
+"""Configuration surface for the Raha analyzer and the sweep runner."""
 
 from __future__ import annotations
 
+import os
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
@@ -10,6 +11,75 @@ from repro.network.demand import Pair
 
 #: Objectives Raha can analyze (Section 5 / Appendix A).
 OBJECTIVES = ("total_flow", "mlu", "maxmin")
+
+#: Cap on the *default* sweep worker count: MILP solves are memory-heavy
+#: (each worker holds a full model), so auto-scaling stops here even on
+#: very wide machines.  Explicit ``--jobs`` can exceed it.
+MAX_DEFAULT_WORKERS = 8
+
+
+def default_num_workers(cap: int = MAX_DEFAULT_WORKERS) -> int:
+    """The sweep runner's default parallelism: ``cpu_count - 1``, capped.
+
+    One core is left for the parent (journal/cache/progress bookkeeping
+    and the OS); the result is clamped to ``[1, cap]``.
+    """
+    return max(1, min((os.cpu_count() or 2) - 1, cap))
+
+
+@dataclass
+class RunnerConfig:
+    """Knobs for the sweep-execution subsystem (:mod:`repro.runner`).
+
+    Attributes:
+        num_workers: Worker processes; ``None`` means
+            :func:`default_num_workers`.  ``1`` runs jobs in-process
+            (no pool), which is also the deterministic-debugging mode.
+        retries: How many times a failed/timed-out/crashed job is
+            re-attempted before it settles with a structured error.
+        backoff_seconds: Sleep before each retry round, multiplied by
+            the attempt number (linear backoff).
+        wall_timeout_factor / wall_timeout_margin: Per-job wall-clock
+            timeout, derived from the job's solver ``time_limit`` as
+            ``time_limit * factor + margin`` -- the margin covers
+            instance rebuild + encode time outside the solver.  Jobs
+            without a ``time_limit`` get no wall timeout.
+    """
+
+    num_workers: int | None = None
+    retries: int = 1
+    backoff_seconds: float = 0.25
+    wall_timeout_factor: float = 3.0
+    wall_timeout_margin: float = 30.0
+
+    def __post_init__(self):
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ModelingError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.retries < 0:
+            raise ModelingError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_seconds < 0:
+            raise ModelingError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.wall_timeout_factor <= 0 or self.wall_timeout_margin < 0:
+            raise ModelingError(
+                "wall_timeout_factor must be > 0 and wall_timeout_margin "
+                f">= 0, got ({self.wall_timeout_factor}, "
+                f"{self.wall_timeout_margin})"
+            )
+
+    def resolved_workers(self) -> int:
+        """The effective worker count."""
+        return self.num_workers if self.num_workers is not None \
+            else default_num_workers()
+
+    def wall_timeout_for(self, time_limit: float | None) -> float | None:
+        """Wall-clock budget for a job with the given solver budget."""
+        if time_limit is None:
+            return None
+        return time_limit * self.wall_timeout_factor + self.wall_timeout_margin
 
 
 @dataclass

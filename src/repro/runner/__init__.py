@@ -1,0 +1,57 @@
+"""repro.runner: parallel, cache-aware, resumable sweep execution.
+
+Raha's value comes from answering *many* what-if questions -- thresholds
+x topologies x TE heuristics x path configurations.  This package is the
+orchestration layer that runs such campaigns at hardware speed instead
+of serially:
+
+* :mod:`repro.runner.jobs` -- declarative :class:`SweepSpec` expanding a
+  parameter grid into hashable, self-contained :class:`Job` payloads;
+* :mod:`repro.runner.executor` -- process-pool execution with per-job
+  wall timeouts, bounded retries, and structured errors
+  (:func:`run_sweep`);
+* :mod:`repro.runner.cache` -- content-addressed on-disk result cache,
+  so overlapping sweeps and re-runs skip solved jobs;
+* :mod:`repro.runner.journal` -- JSONL checkpointing behind ``--resume``;
+* :mod:`repro.runner.progress` -- structured throughput/ETA events.
+
+Entry points: ``python -m repro sweep`` (operational campaigns),
+:func:`repro.analysis.experiments.degradation_sweep` (the benchmark
+grids), or :func:`run_sweep` directly.
+"""
+
+from repro.core.config import RunnerConfig, default_num_workers
+from repro.runner.cache import CODE_SALT, ResultCache, canonical_json, job_key
+from repro.runner.executor import (
+    JobOutcome,
+    SweepOutcome,
+    degradation_task,
+    invoke_job,
+    resolve_task,
+    run_sweep,
+)
+from repro.runner.jobs import DEFAULT_TASK, Job, SweepSpec
+from repro.runner.journal import Journal
+from repro.runner.progress import ProgressEvent, ProgressTracker, print_progress
+
+__all__ = [
+    "CODE_SALT",
+    "DEFAULT_TASK",
+    "Job",
+    "JobOutcome",
+    "Journal",
+    "ProgressEvent",
+    "ProgressTracker",
+    "ResultCache",
+    "RunnerConfig",
+    "SweepOutcome",
+    "SweepSpec",
+    "canonical_json",
+    "default_num_workers",
+    "degradation_task",
+    "invoke_job",
+    "job_key",
+    "print_progress",
+    "resolve_task",
+    "run_sweep",
+]

@@ -1,0 +1,105 @@
+"""Content-addressed on-disk result cache for sweep jobs.
+
+A campaign re-solves nothing it has already solved: every job is keyed
+by a stable hash of *everything that determines its answer* -- the
+serialized topology, demands, paths, the analysis parameters, and a
+code-version salt -- and successful results are written to a cache
+directory under that key.  Overlapping sweeps (e.g. Figure 5's grid and
+Figure 6's CE variant share their baseline rows) and verbatim re-runs
+then skip straight to the cached numbers.
+
+Key stability rules:
+
+* The hash is computed over *canonical JSON* (sorted keys, fixed
+  separators), so dict ordering and process identity never matter --
+  the same payload hashes identically across processes and machines.
+* Any change to the topology document, the demand volumes, the path
+  set, or any analysis parameter changes the key.
+* ``CODE_SALT`` names the semantic version of the job *executor*; bump
+  it whenever a change to the analysis code could alter results, and
+  every existing cache entry is invalidated at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+#: Semantic version of the job execution code.  Part of every cache key:
+#: bump on any change that can alter job results so stale entries are
+#: never served.
+CODE_SALT = "raha-runner-v1"
+
+
+def canonical_json(payload) -> str:
+    """Serialize a payload to its canonical (hashable) JSON form.
+
+    Sorted keys and fixed separators make the encoding independent of
+    insertion order; ``allow_nan=False`` rejects values that do not
+    round-trip through JSON deterministically.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def job_key(payload, salt: str = CODE_SALT) -> str:
+    """The content address of a job: sha256 over salt + canonical JSON."""
+    digest = hashlib.sha256()
+    digest.update(salt.encode("utf-8"))
+    digest.update(b"\0")
+    digest.update(canonical_json(payload).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """A directory of ``<job key>.json`` result documents.
+
+    Writes are atomic (temp file + :func:`os.replace`) so a campaign
+    killed mid-write never leaves a torn entry for ``--resume`` or a
+    later sweep to trip over.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        """Where a key's result document lives."""
+        return self.root / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def get(self, key: str):
+        """The cached result for ``key``, or ``None``.
+
+        A torn/corrupt entry (which atomic writes should preclude) is
+        treated as a miss rather than an error: the job simply re-runs.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path) as handle:
+                return json.load(handle)["result"]
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def put(self, key: str, result) -> None:
+        """Atomically store a successful job result under ``key``."""
+        document = {"key": key, "salt": CODE_SALT, "result": result}
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(document, handle, sort_keys=True)
+            os.replace(tmp, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

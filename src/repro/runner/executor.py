@@ -1,0 +1,554 @@
+"""Parallel, fault-tolerant execution of sweep jobs.
+
+The executor turns a :class:`~repro.runner.jobs.SweepSpec` (or an
+explicit job list) into settled :class:`JobOutcome` records:
+
+* **Parallelism** -- jobs run on a :class:`ProcessPoolExecutor`
+  (``num_workers > 1``) or in-process (``num_workers == 1``, the
+  deterministic-debugging mode).  MILP solves are CPU-bound and the
+  GIL-free process pool is what lets a campaign saturate a machine.
+* **Timeouts** -- each job gets a wall-clock budget derived from its
+  solver ``time_limit`` (:meth:`RunnerConfig.wall_timeout_for`),
+  enforced *inside* the worker with a POSIX interval timer so a wedged
+  encode or solve cannot pin a pool slot forever.
+* **Graceful degradation** -- a job that raises, times out, or hard-
+  crashes its worker settles with a *structured error* after bounded
+  retries with linear backoff; the campaign always completes.  A
+  worker crash breaks the whole pool, so recovery requeues the
+  casualties free of charge and re-runs them one-per-pool to pin the
+  crash on the job that caused it (see :func:`_run_pool`).
+* **Caching / resumability** -- before running, each job key is checked
+  against the result cache and (under ``resume=True``) the journal;
+  hits settle instantly as ``cached`` / ``resumed``.
+
+Workers receive nothing but the job payload (pure JSON), so any
+importable ``module:function`` can serve as a task.  The default task,
+:func:`degradation_task`, rebuilds the instance from its serialized
+documents and runs one :class:`~repro.core.analyzer.RahaAnalyzer`
+analysis -- the same code path as the serial CLI/benchmarks, which is
+what makes parallel and serial campaigns numerically identical.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.core.config import RunnerConfig
+from repro.exceptions import ModelingError, SolverError
+from repro.runner.cache import ResultCache
+from repro.runner.jobs import Job, SweepSpec
+from repro.runner.journal import Journal
+from repro.runner.progress import ProgressTracker
+
+
+@dataclass
+class JobOutcome:
+    """How one job settled.
+
+    Attributes:
+        job: The descriptor (payload + key + label).
+        status: ``done`` (solved now), ``cached`` (result cache hit),
+            ``resumed`` (journal hit under ``--resume``), ``error`` or
+            ``timeout`` (structured failure after retries).
+        result: The task's result dict (``None`` on failure).
+        error: Human-readable failure description (``None`` on success).
+        attempts: Execution attempts consumed (0 for cache/journal hits).
+        seconds: Wall time of the final attempt.
+    """
+
+    job: Job
+    status: str
+    result: dict | None = None
+    error: str | None = None
+    attempts: int = 0
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job produced a result."""
+        return self.status in ("done", "cached", "resumed")
+
+
+@dataclass
+class SweepOutcome:
+    """A settled campaign: one outcome per unique job, in job order."""
+
+    outcomes: list[JobOutcome]
+    wall_seconds: float = 0.0
+
+    def counts(self) -> dict[str, int]:
+        """Status -> how many jobs settled that way."""
+        out: dict[str, int] = {}
+        for outcome in self.outcomes:
+            out[outcome.status] = out.get(outcome.status, 0) + 1
+        return out
+
+    @property
+    def num_errors(self) -> int:
+        """Jobs that settled with a structured error."""
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    @property
+    def num_cached(self) -> int:
+        """Jobs answered without solving (cache or journal)."""
+        return sum(1 for o in self.outcomes
+                   if o.status in ("cached", "resumed"))
+
+    @property
+    def solver_seconds(self) -> float:
+        """Total reported solver time across successful jobs."""
+        return sum((o.result or {}).get("solve_seconds", 0.0)
+                   for o in self.outcomes)
+
+    def results(self) -> list[dict]:
+        """Result dicts of the successful jobs, in job order."""
+        return [o.result for o in self.outcomes if o.ok]
+
+    def errors(self) -> list[JobOutcome]:
+        """The failed outcomes."""
+        return [o for o in self.outcomes if not o.ok]
+
+    def raise_on_error(self) -> None:
+        """Raise :class:`SolverError` if any job failed."""
+        failed = self.errors()
+        if failed:
+            details = "; ".join(
+                f"{o.job.label}: {o.error}" for o in failed[:5]
+            )
+            raise SolverError(
+                f"{len(failed)} sweep job(s) failed: {details}"
+            )
+
+
+class _WallTimeout(Exception):
+    """Raised by the in-worker interval timer when a job overruns."""
+
+
+def _on_alarm(signum, frame):
+    raise _WallTimeout()
+
+
+def resolve_task(ref: str):
+    """Import a ``module:function`` task reference."""
+    module_name, _, func_name = ref.partition(":")
+    if not module_name or not func_name:
+        raise ModelingError(f"bad task reference {ref!r}")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, func_name)
+    except AttributeError as exc:
+        raise ModelingError(f"task {ref!r} not found") from exc
+
+
+def invoke_job(payload: dict, wall_timeout: float | None) -> dict:
+    """Run one job payload and report success/failure as plain data.
+
+    This is the function worker processes execute.  It never raises:
+    task exceptions and wall-timeout overruns come back as structured
+    failure dicts so one bad job cannot take down the campaign.  The
+    wall timeout uses ``SIGALRM`` (worker processes run tasks on their
+    main thread); when signals are unavailable the solver's own
+    ``time_limit`` remains the effective bound.
+    """
+    started = time.monotonic()
+    use_alarm = (
+        wall_timeout is not None
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    previous = None
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, wall_timeout)
+    try:
+        task = resolve_task(payload["task"])
+        result = task(payload)
+        return {"ok": True, "result": result,
+                "seconds": time.monotonic() - started}
+    except _WallTimeout:
+        return {
+            "ok": False, "status": "timeout",
+            "error": f"job exceeded its wall timeout of {wall_timeout:g}s",
+            "seconds": time.monotonic() - started,
+        }
+    except Exception as exc:
+        return {
+            "ok": False, "status": "error",
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+            "seconds": time.monotonic() - started,
+        }
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+def degradation_task(payload: dict) -> dict:
+    """The default task: one Raha degradation analysis per job.
+
+    Rebuilds the topology/demands/paths from the payload's embedded
+    documents, assembles a :class:`~repro.core.config.RahaConfig` from
+    the parameter cell, and runs the analyzer -- byte-for-byte the
+    serial code path, so a parallel sweep reproduces serial numbers.
+    """
+    from repro.core.analyzer import RahaAnalyzer
+    from repro.core.config import RahaConfig
+    from repro.network import serialization as ser
+    from repro.network.demand import demand_envelope
+
+    instance = payload["instance"]
+    params = payload["params"]
+    topology = ser.topology_from_dict(instance["topology"])
+    paths = _resolve_paths(topology, instance, params)
+    mode = params.get("demand_mode", "fixed")
+
+    def demands_for(*keys):
+        for key in keys:
+            if instance.get(key) is not None:
+                return ser.demands_from_dict(instance[key])
+        raise ModelingError(
+            f"demand mode {mode!r} needs one of {keys} in the instance"
+        )
+
+    kwargs = dict(
+        objective=params.get("objective", "total_flow"),
+        probability_threshold=params.get("threshold"),
+        max_failures=params.get("max_failures"),
+        connected_enforced=bool(params.get("connected_enforced", False)),
+        time_limit=params.get("time_limit", 1000.0),
+        mip_rel_gap=params.get("mip_rel_gap"),
+    )
+    if mode == "avg":
+        config = RahaConfig(
+            fixed_demands=dict(demands_for("avg_demands", "demands")),
+            **kwargs)
+    elif mode in ("max", "fixed"):
+        config = RahaConfig(
+            fixed_demands=dict(demands_for("peak_demands", "demands")),
+            **kwargs)
+    elif mode == "variable":
+        demands = demands_for("peak_demands", "demands")
+        config = RahaConfig(
+            demand_bounds=demand_envelope(
+                demands, slack=params.get("slack", 0.0)),
+            **kwargs)
+    else:
+        raise ModelingError(f"unknown demand mode {mode!r}")
+
+    result = RahaAnalyzer(topology, paths, config).analyze()
+    return {
+        "demand_mode": mode,
+        "threshold": params.get("threshold"),
+        "max_failures": params.get("max_failures"),
+        "connected_enforced": kwargs["connected_enforced"],
+        "objective": kwargs["objective"],
+        "degradation": result.degradation,
+        "normalized_degradation": result.normalized_degradation,
+        "healthy_value": result.healthy_value,
+        "failed_value": result.failed_value,
+        "scenario_probability": result.scenario_probability,
+        "num_failed_links": result.scenario.num_failed_links,
+        "status": result.status,
+        "verified": result.verified,
+        "solve_seconds": result.solve_seconds,
+        "encode_seconds": result.encode_seconds,
+    }
+
+
+def _resolve_paths(topology, instance: dict, params: dict):
+    """A job's path set: embedded document, or computed in the worker."""
+    from repro.network.demand import all_pairs
+    from repro.network import serialization as ser
+
+    if instance.get("paths") is not None:
+        return ser.paths_from_dict(instance["paths"])
+    path_config = instance.get("path_config")
+    if path_config is None:
+        raise ModelingError(
+            "the instance needs either a 'paths' document or a "
+            "'path_config' ({pairs, num_primary, num_backup, weighted})"
+        )
+    pairs = path_config.get("pairs", "all")
+    if pairs == "all":
+        pairs = all_pairs(topology)
+    else:
+        pairs = [tuple(pair) for pair in pairs]
+    num_primary = int(path_config.get("num_primary", 2))
+    num_backup = int(path_config.get("num_backup", 1))
+    if path_config.get("weighted"):
+        from repro.paths.weighted import diversity_weighted_paths
+
+        return diversity_weighted_paths(
+            topology, pairs, num_primary=num_primary, num_backup=num_backup)
+    from repro.paths.pathset import PathSet
+
+    return PathSet.k_shortest(
+        topology, pairs, num_primary=num_primary, num_backup=num_backup)
+
+
+@dataclass
+class _Campaign:
+    """Mutable bookkeeping shared by the serial and pooled loops."""
+
+    config: RunnerConfig
+    cache: ResultCache | None
+    journal: Journal | None
+    tracker: ProgressTracker
+    progress: object  # callable(ProgressEvent) or None
+    outcomes: dict[str, JobOutcome] = field(default_factory=dict)
+
+    def settle(self, job: Job, outcome: JobOutcome) -> None:
+        self.outcomes[job.key] = outcome
+        if self.journal is not None:
+            self.journal.append({
+                "event": "job",
+                "key": job.key,
+                "label": job.label,
+                "status": outcome.status,
+                "result": outcome.result if outcome.ok else None,
+                "error": outcome.error,
+                "attempts": outcome.attempts,
+                "seconds": round(outcome.seconds, 6),
+            })
+        if outcome.status == "done" and self.cache is not None:
+            self.cache.put(job.key, outcome.result)
+        event = self.tracker.note(
+            outcome.status, job.label,
+            solver_seconds=(outcome.result or {}).get("solve_seconds", 0.0),
+        )
+        if self.progress is not None:
+            self.progress(event)
+
+
+def _wall_timeout_for(job: Job, explicit: float | None,
+                      config: RunnerConfig) -> float | None:
+    if explicit is not None:
+        return explicit
+    return config.wall_timeout_for(job.params.get("time_limit"))
+
+
+def run_sweep(
+    spec_or_jobs,
+    *,
+    num_workers: int | None = None,
+    cache: ResultCache | str | os.PathLike | None = None,
+    journal: Journal | str | os.PathLike | None = None,
+    resume: bool = False,
+    wall_timeout: float | None = None,
+    progress=None,
+    config: RunnerConfig | None = None,
+) -> SweepOutcome:
+    """Run a campaign to completion and return every job's outcome.
+
+    Args:
+        spec_or_jobs: A :class:`SweepSpec` or an iterable of
+            :class:`Job`; duplicate job keys are collapsed.
+        num_workers: Worker processes (overrides ``config``); ``1``
+            executes in-process.
+        cache: Result cache (or a directory path for one); successful
+            jobs are written through, and hits settle as ``cached``.
+        journal: Checkpoint journal (or a path for one); every settled
+            job is appended, making the campaign resumable.
+        resume: Replay the journal first and skip settled jobs
+            (``done``/``cached`` records; failures re-run).
+        wall_timeout: Per-job wall budget override in seconds; default
+            derives from each job's ``time_limit`` via ``config``.
+        progress: Callback receiving a
+            :class:`~repro.runner.progress.ProgressEvent` per settled job.
+        config: Runner knobs (:class:`~repro.core.config.RunnerConfig`).
+
+    Returns:
+        A :class:`SweepOutcome`; inspect ``.errors()`` or call
+        ``.raise_on_error()`` depending on whether partial results are
+        acceptable.
+    """
+    config = config or RunnerConfig()
+    workers = num_workers if num_workers is not None \
+        else config.resolved_workers()
+    if workers < 1:
+        raise ModelingError(f"num_workers must be >= 1, got {workers}")
+    if isinstance(cache, (str, os.PathLike)):
+        cache = ResultCache(cache)
+    if isinstance(journal, (str, os.PathLike)):
+        journal = Journal(journal)
+
+    if isinstance(spec_or_jobs, SweepSpec):
+        jobs = spec_or_jobs.expand()
+    else:
+        jobs, seen = [], set()
+        for job in spec_or_jobs:
+            if job.key not in seen:
+                seen.add(job.key)
+                jobs.append(job)
+
+    started = time.monotonic()
+    campaign = _Campaign(
+        config=config, cache=cache, journal=journal,
+        tracker=ProgressTracker(total=len(jobs)), progress=progress,
+    )
+    if journal is not None:
+        settled_records = journal.settled() if resume else {}
+        journal.append({
+            "event": "campaign", "total": len(jobs), "workers": workers,
+            "resume": resume,
+        })
+    else:
+        settled_records = {}
+
+    pending: list[Job] = []
+    for job in jobs:
+        record = settled_records.get(job.key)
+        if record is not None:
+            campaign.settle(job, JobOutcome(
+                job=job, status="resumed", result=record.get("result"),
+            ))
+            continue
+        cached = cache.get(job.key) if cache is not None else None
+        if cached is not None:
+            campaign.settle(job, JobOutcome(
+                job=job, status="cached", result=cached,
+            ))
+            continue
+        pending.append(job)
+
+    if pending:
+        if workers == 1:
+            _run_serial(pending, campaign, wall_timeout)
+        else:
+            _run_pool(pending, campaign, wall_timeout, workers)
+
+    return SweepOutcome(
+        outcomes=[campaign.outcomes[job.key] for job in jobs],
+        wall_seconds=time.monotonic() - started,
+    )
+
+
+def _outcome_from(job: Job, res: dict, attempts: int) -> JobOutcome:
+    if res["ok"]:
+        return JobOutcome(job=job, status="done", result=res["result"],
+                          attempts=attempts, seconds=res["seconds"])
+    return JobOutcome(job=job, status=res.get("status", "error"),
+                      error=res.get("error"), attempts=attempts,
+                      seconds=res.get("seconds", 0.0))
+
+
+def _run_serial(pending: list[Job], campaign: _Campaign,
+                wall_timeout: float | None) -> None:
+    """In-process execution with the same retry/timeout semantics."""
+    config = campaign.config
+    for job in pending:
+        attempts = 0
+        while True:
+            attempts += 1
+            res = invoke_job(job.payload,
+                             _wall_timeout_for(job, wall_timeout, config))
+            if res["ok"] or attempts > config.retries:
+                campaign.settle(job, _outcome_from(job, res, attempts))
+                break
+            time.sleep(config.backoff_seconds * attempts)
+
+
+def _run_pool(pending: list[Job], campaign: _Campaign,
+              wall_timeout: float | None, workers: int) -> None:
+    """Pooled execution in rounds; survives hard worker crashes.
+
+    A worker crash (segfault, OOM kill, ``os._exit``) breaks the whole
+    :class:`ProcessPoolExecutor`, failing every in-flight future -- so
+    the crasher cannot be identified from the wreckage, and innocent
+    co-scheduled jobs must not be charged for it.  The recovery
+    protocol therefore has two phases:
+
+    1. *Parallel rounds*: all queued jobs share one pool.  Genuine
+       failures (a task raised or timed out inside its worker) consume
+       a retry; broken-pool casualties are requeued **without** losing
+       an attempt.
+    2. *Isolation rounds* (entered after a break): each suspect runs in
+       its own single-worker pool, so a crash is attributable to
+       exactly one job, which then pays the attempt.  Poisonous jobs
+       settle as structured errors after their retry budget; everyone
+       else completes normally.
+    """
+    config = campaign.config
+    attempts = {job.key: 0 for job in pending}
+    queue = list(pending)
+    isolate = False
+    while queue:
+        if isolate:
+            queue = _isolation_round(queue, attempts, campaign, wall_timeout)
+        else:
+            queue, broke = _parallel_round(
+                queue, attempts, campaign, wall_timeout, workers)
+            isolate = broke
+        if queue:
+            time.sleep(config.backoff_seconds)
+
+
+def _parallel_round(queue, attempts, campaign, wall_timeout, workers):
+    """One shared-pool pass.  Returns (requeue, pool_broke)."""
+    config = campaign.config
+    requeue: list[Job] = []
+    broke = False
+    with ProcessPoolExecutor(max_workers=min(workers, len(queue))) as pool:
+        futures = {
+            pool.submit(invoke_job, job.payload,
+                        _wall_timeout_for(job, wall_timeout, config)): job
+            for job in queue
+        }
+        for future in as_completed(futures):
+            job = futures[future]
+            try:
+                res = future.result()
+            except BrokenProcessPool:
+                # Collateral or culprit -- unknowable here.  Requeue for
+                # an isolation round, free of charge.
+                broke = True
+                requeue.append(job)
+                continue
+            except Exception as exc:  # pickling errors etc.
+                res = {"ok": False, "status": "error",
+                       "error": f"{type(exc).__name__}: {exc}",
+                       "seconds": 0.0}
+            attempts[job.key] += 1
+            if res["ok"] or attempts[job.key] > config.retries:
+                campaign.settle(job, _outcome_from(job, res,
+                                                   attempts[job.key]))
+            else:
+                requeue.append(job)
+    return requeue, broke
+
+
+def _isolation_round(queue, attempts, campaign, wall_timeout):
+    """One-job-per-pool pass: crashes are attributable, so they pay."""
+    config = campaign.config
+    requeue: list[Job] = []
+    for job in queue:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(
+                invoke_job, job.payload,
+                _wall_timeout_for(job, wall_timeout, config))
+            try:
+                res = future.result()
+            except BrokenProcessPool:
+                res = {"ok": False, "status": "error",
+                       "error": "worker process crashed (hard exit while "
+                                "running this job)",
+                       "seconds": 0.0}
+            except Exception as exc:
+                res = {"ok": False, "status": "error",
+                       "error": f"{type(exc).__name__}: {exc}",
+                       "seconds": 0.0}
+        attempts[job.key] += 1
+        if res["ok"] or attempts[job.key] > config.retries:
+            campaign.settle(job, _outcome_from(job, res, attempts[job.key]))
+        else:
+            requeue.append(job)
+    return requeue

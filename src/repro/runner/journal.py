@@ -1,0 +1,70 @@
+"""JSONL checkpoint journal: what makes a campaign resumable.
+
+The executor appends one line per settled job (and one header line per
+invocation).  Because JSONL is append-only and each line is flushed as
+it is written, a campaign killed at any instant leaves a valid prefix:
+``--resume`` replays the journal, treats every job whose key has a
+successful record as settled, and runs only the remainder.
+
+Resume semantics (documented in docs/operations.md):
+
+* ``done`` / ``cached`` records settle a job -- resume skips it and
+  reports it with status ``"resumed"``.
+* ``error`` / ``timeout`` records do *not* settle a job -- resume
+  retries failures, which is what an operator re-invoking an
+  interrupted campaign wants.
+* A truncated final line (kill mid-write) is ignored.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+#: Job statuses that settle a job for resume purposes.
+SETTLED_STATUSES = ("done", "cached")
+
+
+class Journal:
+    """Append-only JSONL event log for one campaign."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def append(self, record: dict) -> None:
+        """Append one event; flushed immediately so kills lose at most it."""
+        line = json.dumps(record, sort_keys=True)
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def records(self) -> list[dict]:
+        """Every parseable record, oldest first (missing file -> empty)."""
+        out = []
+        try:
+            with open(self.path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        out.append(json.loads(line))
+                    except ValueError:
+                        continue  # torn tail from a mid-write kill
+        except FileNotFoundError:
+            pass
+        return out
+
+    def settled(self) -> dict[str, dict]:
+        """Job key -> latest successful record, for ``--resume``."""
+        done = {}
+        for record in self.records():
+            if record.get("event") != "job":
+                continue
+            key = record.get("key")
+            if key and record.get("status") in SETTLED_STATUSES:
+                done[key] = record
+        return done

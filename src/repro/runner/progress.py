@@ -1,0 +1,92 @@
+"""Structured progress and throughput events for sweep campaigns.
+
+The executor reports every settled job through a callback; the tracker
+here turns those reports into :class:`ProgressEvent` records carrying
+campaign-level statistics -- completion counts, cache-hit and error
+tallies, accumulated solver seconds, jobs/second throughput, and an
+ETA.  The CLI renders them as single lines on stderr; programmatic
+callers (benchmarks, notebooks) can consume the events directly.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+
+
+@dataclass
+class ProgressEvent:
+    """One campaign heartbeat, emitted as each job settles.
+
+    Attributes:
+        completed / total: Jobs settled so far vs the campaign size.
+        status: The settling job's status (``done``/``cached``/
+            ``resumed``/``error``/``timeout``).
+        label: The settling job's human-readable tag.
+        cache_hits: Jobs answered from the result cache so far
+            (including journal-resumed ones).
+        errors: Jobs that settled with a structured error so far.
+        elapsed_seconds: Wall time since the campaign started.
+        solver_seconds: Sum of reported per-job solver time so far.
+        rate: Jobs settled per wall-clock second.
+        eta_seconds: Naive remaining-work estimate (``None`` until the
+            first job settles).
+    """
+
+    completed: int
+    total: int
+    status: str
+    label: str
+    cache_hits: int
+    errors: int
+    elapsed_seconds: float
+    solver_seconds: float
+    rate: float
+    eta_seconds: float | None
+
+    def render(self) -> str:
+        """The one-line form the CLI prints."""
+        eta = f", eta {self.eta_seconds:.0f}s" if self.eta_seconds else ""
+        return (
+            f"[{self.completed}/{self.total}] {self.status:<7} {self.label}"
+            f"  ({self.cache_hits} cached, {self.errors} errors, "
+            f"{self.rate:.2f} jobs/s{eta})"
+        )
+
+
+class ProgressTracker:
+    """Accumulates outcomes into :class:`ProgressEvent` heartbeats."""
+
+    def __init__(self, total: int):
+        self.total = total
+        self.completed = 0
+        self.cache_hits = 0
+        self.errors = 0
+        self.solver_seconds = 0.0
+        self._started = time.monotonic()
+
+    def note(self, status: str, label: str,
+             solver_seconds: float = 0.0) -> ProgressEvent:
+        """Record one settled job and return the campaign heartbeat."""
+        self.completed += 1
+        if status in ("cached", "resumed"):
+            self.cache_hits += 1
+        if status in ("error", "timeout"):
+            self.errors += 1
+        self.solver_seconds += solver_seconds
+        elapsed = max(time.monotonic() - self._started, 1e-9)
+        rate = self.completed / elapsed
+        remaining = self.total - self.completed
+        eta = remaining / rate if rate > 0 and remaining > 0 else None
+        return ProgressEvent(
+            completed=self.completed, total=self.total, status=status,
+            label=label, cache_hits=self.cache_hits, errors=self.errors,
+            elapsed_seconds=elapsed, solver_seconds=self.solver_seconds,
+            rate=rate, eta_seconds=eta,
+        )
+
+
+def print_progress(event: ProgressEvent) -> None:
+    """The CLI's default progress sink: one line per job, on stderr."""
+    print(event.render(), file=sys.stderr, flush=True)

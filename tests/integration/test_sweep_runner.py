@@ -1,0 +1,161 @@
+"""End-to-end sweep campaigns: the runner against real MILP jobs.
+
+Covers the acceptance path of the runner subsystem: a multi-job sweep
+through ``python -m repro sweep``, serial/parallel numerical
+equivalence, 100% cache hits on re-invocation, and journal resume.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import bench_wan, degradation_sweep
+from repro.cli import main
+from repro.network import serialization as ser
+from repro.runner.cache import ResultCache
+from repro.runner.journal import Journal
+
+THRESHOLDS = [1e-1, 1e-2, 1e-4]
+BUDGETS = [1, None]
+
+
+@pytest.fixture(scope="module")
+def tiny_wan():
+    net = bench_wan(num_regions=2, nodes_per_region=3, num_pairs=2, seed=1)
+    return net, net.paths(num_primary=2, num_backup=1)
+
+
+class TestDegradationSweepOnRunner:
+    def test_parallel_matches_serial_numbers(self, tiny_wan):
+        net, paths = tiny_wan
+        serial = degradation_sweep(net, paths, "avg", THRESHOLDS, BUDGETS,
+                                   time_limit=20.0, num_workers=1)
+        parallel = degradation_sweep(net, paths, "avg", THRESHOLDS, BUDGETS,
+                                     time_limit=20.0, num_workers=2)
+        assert serial == parallel
+
+    def test_rerun_hits_cache_with_identical_rows(self, tiny_wan, tmp_path):
+        net, paths = tiny_wan
+        cache = ResultCache(tmp_path / "cache")
+        events = []
+        first = degradation_sweep(net, paths, "avg", THRESHOLDS, BUDGETS,
+                                  time_limit=20.0, cache=cache)
+        second = degradation_sweep(net, paths, "avg", THRESHOLDS, BUDGETS,
+                                   time_limit=20.0, cache=cache,
+                                   progress=events.append)
+        assert first == second
+        assert events[-1].cache_hits == len(events) == len(first)
+
+    def test_resume_finishes_remaining_jobs(self, tiny_wan, tmp_path):
+        net, paths = tiny_wan
+        journal = Journal(tmp_path / "journal.jsonl")
+        # "Killed" campaign: only the budget rows settled.
+        degradation_sweep(net, paths, "avg", [], BUDGETS,
+                          time_limit=20.0, journal=journal)
+        events = []
+        rows = degradation_sweep(net, paths, "avg", THRESHOLDS, BUDGETS,
+                                 time_limit=20.0, journal=journal,
+                                 resume=True, progress=events.append)
+        statuses = [e.status for e in events]
+        assert statuses.count("resumed") == 1  # k=1 settled pre-kill
+        assert len(rows) == len(BUDGETS) - 1 + len(THRESHOLDS)
+
+
+class TestSweepCli:
+    @pytest.fixture(scope="class")
+    def campaign(self, tmp_path_factory, tiny_wan):
+        net, paths = tiny_wan
+        root = tmp_path_factory.mktemp("sweep-cli")
+        ser.save_json(ser.topology_to_dict(net.topology),
+                      str(root / "wan.json"))
+        ser.save_json(ser.demands_to_dict(net.avg_demands),
+                      str(root / "demands.json"))
+        ser.save_json(ser.paths_to_dict(paths), str(root / "paths.json"))
+        spec = {
+            "kind": "sweep_spec",
+            "name": "tiny-grid",
+            "instance": {"topology": "wan.json", "demands": "demands.json",
+                         "paths": "paths.json"},
+            "base": {"demand_mode": "fixed", "time_limit": 20.0,
+                     "mip_rel_gap": 0.01},
+            "grid": {"threshold": [1e-1, 1e-2, 1e-3, 1e-4],
+                     "max_failures": [1, 2]},
+        }
+        (root / "campaign.json").write_text(json.dumps(spec))
+        return root
+
+    def test_sweep_runs_caches_and_resumes(self, campaign, capsys):
+        spec_path = str(campaign / "campaign.json")
+        workdir = campaign / "campaign.sweep"
+
+        # First invocation: 8 jobs solve for real.
+        assert main(["sweep", "--spec", spec_path, "--jobs", "2",
+                     "--quiet"]) == 0
+        results = json.load(open(workdir / "results.json"))
+        assert results["kind"] == "sweep_results"
+        assert results["summary"]["total"] == 8
+        assert results["summary"]["counts"] == {"done": 8}
+        degradations = [job["result"]["normalized_degradation"]
+                        for job in results["jobs"]]
+        assert all(d >= 0 for d in degradations)
+
+        # Second invocation of the same spec: 100% cache hits, same rows.
+        assert main(["sweep", "--spec", spec_path, "--jobs", "2",
+                     "--quiet"]) == 0
+        rerun = json.load(open(workdir / "results.json"))
+        assert rerun["summary"]["counts"] == {"cached": 8}
+        assert [job["result"]["normalized_degradation"]
+                for job in rerun["jobs"]] == degradations
+
+        # "Kill" the campaign: drop the cache and truncate the journal
+        # to its first half, then --resume finishes only the remainder.
+        for entry in (workdir / "cache").glob("*.json"):
+            entry.unlink()
+        journal_path = workdir / "journal.jsonl"
+        job_lines = [line for line in journal_path.read_text().splitlines()
+                     if '"event": "job"' in line]
+        journal_path.write_text("\n".join(job_lines[:4]) + "\n")
+        assert main(["sweep", "--spec", spec_path, "--jobs", "2", "--quiet",
+                     "--resume"]) == 0
+        resumed = json.load(open(workdir / "results.json"))
+        counts = resumed["summary"]["counts"]
+        assert counts["resumed"] == 4 and counts["done"] == 4
+        assert [job["result"]["normalized_degradation"]
+                for job in resumed["jobs"]] == degradations
+        capsys.readouterr()
+
+    def test_analyze_threshold_sweep(self, campaign, capsys):
+        code = main([
+            "analyze", "--topology", str(campaign / "wan.json"),
+            "--paths", str(campaign / "paths.json"),
+            "--demands", str(campaign / "demands.json"),
+            "--threshold", "1e-2,1e-4", "--time-limit", "20",
+            "--jobs", "1", "--workdir", str(campaign / "analyze.sweep"),
+            "--out", str(campaign / "analyze.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degradation vs threshold" in out
+        doc = json.load(open(campaign / "analyze.json"))
+        assert doc["summary"]["total"] == 2
+        assert all(job["status"] == "done" for job in doc["jobs"])
+
+    def test_sweep_with_failing_job_exits_4(self, campaign, tmp_path):
+        spec = {
+            "kind": "sweep_spec",
+            "instance": {"topology": str(campaign / "wan.json"),
+                         "demands": str(campaign / "demands.json"),
+                         "paths": str(campaign / "paths.json")},
+            # An unknown demand mode fails inside the worker with a
+            # structured error; the campaign must still complete.
+            "base": {"demand_mode": "nonsense", "time_limit": 5.0},
+            "grid": {"threshold": [1e-2]},
+        }
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text(json.dumps(spec))
+        code = main(["sweep", "--spec", str(spec_path), "--jobs", "1",
+                     "--quiet", "--retries", "0"])
+        assert code == 4
+        results = json.load(open(tmp_path / "bad.sweep" / "results.json"))
+        assert results["jobs"][0]["status"] == "error"
+        assert "nonsense" in results["jobs"][0]["error"]

@@ -1,0 +1,47 @@
+"""Injectable worker tasks for executor tests.
+
+These live in an importable module (not the test file) because worker
+processes resolve tasks by ``module:function`` reference; the executor
+only ships the JSON payload, never a callable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def echo_task(payload: dict) -> dict:
+    """Return the cell's value; also logs to prove execution happened."""
+    params = payload["params"]
+    log = params.get("log_file")
+    if log:
+        with open(log, "a") as handle:
+            handle.write(f"{params.get('value')}\n")
+    return {"echo": params.get("value")}
+
+
+def error_task(payload: dict) -> dict:
+    """A job that raises a normal Python exception."""
+    raise RuntimeError("injected failure")
+
+
+def crash_task(payload: dict) -> dict:
+    """A job that hard-kills its worker (simulates a segfault/OOM kill)."""
+    os._exit(13)
+
+
+def sleep_task(payload: dict) -> dict:
+    """A job that wedges far past any reasonable wall timeout."""
+    time.sleep(payload["params"].get("sleep_seconds", 600))
+    return {"slept": True}
+
+
+def flaky_task(payload: dict) -> dict:
+    """Fails on the first attempt, succeeds once a sentinel file exists."""
+    sentinel = payload["params"]["sentinel"]
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as handle:
+            handle.write("attempted\n")
+        raise RuntimeError("first attempt always fails")
+    return {"recovered": True}

@@ -1,0 +1,123 @@
+"""Cache-key stability and the on-disk result cache.
+
+The keys gate correctness of every cached campaign: the same inputs must
+hash identically everywhere (or caching would never hit), and *any*
+change to topology, demands, paths, parameters, or the code salt must
+change the key (or a sweep would serve stale numbers).
+"""
+
+import copy
+import json
+import subprocess
+import sys
+
+from repro.runner.cache import CODE_SALT, ResultCache, canonical_json, job_key
+
+
+def _payload():
+    """A representative degradation-job payload (nested, JSON-pure)."""
+    return {
+        "task": "repro.runner.executor:degradation_task",
+        "instance": {
+            "topology": {
+                "kind": "topology", "name": "wan", "nodes": ["a", "b", "c"],
+                "lags": [
+                    {"u": "a", "v": "b", "links": [
+                        {"capacity": 100.0, "failure_probability": 1e-3,
+                         "can_fail": True}]},
+                    {"u": "b", "v": "c", "links": [
+                        {"capacity": 80.0, "failure_probability": 1e-4,
+                         "can_fail": True}]},
+                ],
+                "srlgs": [],
+            },
+            "demands": {"kind": "demands", "entries": [
+                {"src": "a", "dst": "c", "volume": 40.0}]},
+            "paths": {"kind": "paths", "demands": [
+                {"src": "a", "dst": "c", "num_primary": 1,
+                 "paths": [["a", "b", "c"]]}]},
+        },
+        "params": {"demand_mode": "fixed", "threshold": 1e-4,
+                   "max_failures": None, "time_limit": 60.0},
+    }
+
+
+class TestKeyStability:
+    def test_same_payload_same_key(self):
+        assert job_key(_payload()) == job_key(_payload())
+
+    def test_key_ignores_dict_insertion_order(self):
+        payload = _payload()
+        reordered = json.loads(canonical_json(payload))
+        # Rebuild params in reversed insertion order.
+        reordered["params"] = dict(reversed(list(payload["params"].items())))
+        assert job_key(reordered) == job_key(payload)
+
+    def test_same_key_across_processes(self):
+        """The content address is process-independent (no PYTHONHASHSEED
+        leakage), so caches are shareable between campaign invocations."""
+        payload = _payload()
+        script = (
+            "import json,sys; from repro.runner.cache import job_key; "
+            "print(job_key(json.load(sys.stdin)))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            input=canonical_json(payload), text=True,
+            capture_output=True, check=True,
+        )
+        assert out.stdout.strip() == job_key(payload)
+
+    def test_every_input_layer_changes_the_key(self):
+        base = _payload()
+        mutations = {
+            "topology capacity": lambda p: p["instance"]["topology"]["lags"]
+                [0]["links"][0].__setitem__("capacity", 101.0),
+            "topology probability": lambda p: p["instance"]["topology"]
+                ["lags"][1]["links"][0].__setitem__(
+                    "failure_probability", 2e-4),
+            "demand volume": lambda p: p["instance"]["demands"]["entries"]
+                [0].__setitem__("volume", 41.0),
+            "path set": lambda p: p["instance"]["paths"]["demands"][0]
+                ["paths"].append(["a", "c"]),
+            "threshold": lambda p: p["params"].__setitem__(
+                "threshold", 1e-5),
+            "failure budget": lambda p: p["params"].__setitem__(
+                "max_failures", 2),
+            "task": lambda p: p.__setitem__("task", "other.module:task"),
+        }
+        keys = {job_key(base)}
+        for name, mutate in mutations.items():
+            mutated = copy.deepcopy(base)
+            mutate(mutated)
+            key = job_key(mutated)
+            assert key not in keys, f"mutating {name} did not change the key"
+            keys.add(key)
+
+    def test_code_salt_invalidates_everything(self):
+        payload = _payload()
+        assert job_key(payload) != job_key(payload, salt=CODE_SALT + "-next")
+
+
+class TestResultCache:
+    def test_roundtrip_and_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = job_key(_payload())
+        assert key not in cache
+        assert cache.get(key) is None
+        cache.put(key, {"normalized_degradation": 1.5})
+        assert key in cache
+        assert cache.get(key) == {"normalized_degradation": 1.5}
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = job_key(_payload())
+        cache.path_for(key).write_text("{torn write")
+        assert cache.get(key) is None
+
+    def test_no_temp_droppings(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        for i in range(3):
+            cache.put(f"k{i}", {"v": i})
+        assert not list((tmp_path / "cache").glob("*.tmp"))
