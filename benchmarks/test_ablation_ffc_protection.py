@@ -16,7 +16,7 @@ the *probable* worst-case scenario Raha finds (T = 1e-4):
   costs guaranteed throughput up front.
 """
 
-from collections import defaultdict
+
 
 from benchmarks.conftest import run_once
 from repro import RahaAnalyzer, RahaConfig

@@ -9,9 +9,9 @@ We sweep the solver time limit (scaled from the paper's 500-4000 s to
 this instance's scale) and check the found degradation is constant.
 """
 
-import pytest
 
-from benchmarks.conftest import TIME_LIMIT, run_once
+
+from benchmarks.conftest import run_once
 from repro import RahaAnalyzer, RahaConfig
 from repro.analysis.reporting import print_table
 

@@ -12,7 +12,7 @@ model, as in the paper's MLU runs.
 from benchmarks.conftest import run_once
 from repro import RahaAnalyzer, RahaConfig, demand_envelope, gravity_demands
 from repro.analysis.reporting import print_table
-from repro.network.demand import top_pairs
+
 
 SLACKS = [0, 10, 20, 40]
 

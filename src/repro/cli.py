@@ -171,6 +171,13 @@ def _print_sweep_summary(outcome) -> None:
     print(f"sweep: {len(outcome.outcomes)} jobs ({counts}); "
           f"wall {outcome.wall_seconds:.1f}s, "
           f"solver {outcome.solver_seconds:.1f}s")
+    totals = outcome.stats_totals()
+    if totals["jobs_with_stats"]:
+        print(f"telemetry: {int(totals['jobs_with_stats'])} jobs reported "
+              f"stats; build {totals['build_seconds']:.2f}s, "
+              f"compile {totals['compile_seconds']:.2f}s, "
+              f"solve {totals['solve_seconds']:.2f}s, "
+              f"max |coef| {totals['max_abs_coefficient']:.3g}")
 
 
 def _cmd_sweep(args) -> int:
@@ -229,6 +236,27 @@ def _analyze_sweep(args, thresholds: list[float | None]) -> int:
     return 0
 
 
+def _print_solver_stats(stats: dict | None) -> None:
+    """Render the per-solve telemetry block behind ``analyze --stats``."""
+    if not stats:
+        print("solver stats: not recorded for this result")
+        return
+    print("solver stats:")
+    print(f"  matrix: {stats.get('rows', 0)} rows x "
+          f"{stats.get('cols', 0)} cols, {stats.get('nnz', 0)} nonzeros, "
+          f"{stats.get('num_integer', 0)} integer vars")
+    print(f"  time: build {stats.get('build_seconds', 0.0):.3f}s, "
+          f"compile {stats.get('compile_seconds', 0.0):.3f}s, "
+          f"solve {stats.get('solve_seconds', 0.0):.3f}s")
+    print(f"  conditioning: max |coef| "
+          f"{stats.get('max_abs_coefficient', 0.0):.3g}, "
+          f"max |rhs| {stats.get('max_abs_rhs', 0.0):.3g}")
+    print(f"  backend: {stats.get('backend', '?')} "
+          f"(duals: {stats.get('dual_mode', '?')}, "
+          f"incremental: {stats.get('incremental', False)}, "
+          f"compile cached: {stats.get('compile_cached', False)})")
+
+
 def _cmd_analyze(args) -> int:
     thresholds = _parse_thresholds(args.threshold)
     if len(thresholds) > 1:
@@ -256,6 +284,8 @@ def _cmd_analyze(args) -> int:
     result = RahaAnalyzer(topology, paths, config).analyze()
     report = degradation_report(topology, paths, result)
     print(report)
+    if args.stats:
+        _print_solver_stats(result.solver_stats)
     if args.report:
         with open(args.report, "w") as handle:
             handle.write(report + "\n")
@@ -419,6 +449,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "default: <topology>.sweep")
     p_an.add_argument("--tolerance", type=float, default=None,
                       help="exit 2 when normalized degradation exceeds this")
+    p_an.add_argument("--stats", action="store_true",
+                      help="print per-solve telemetry (matrix size, "
+                           "build/compile/solve split, big-M magnitudes)")
     p_an.add_argument("--report", default=None)
     p_an.add_argument("--out", default=None)
     p_an.set_defaults(func=_cmd_analyze)

@@ -48,7 +48,7 @@ from repro.network.topology import LagKey, Topology, lag_key
 from repro.paths.pathset import PathSet
 from repro.solver.duality import InnerLP
 from repro.solver.expr import quicksum
-from repro.solver.result import SolveResult
+from repro.solver.result import SolveResult, SolveStatus
 from repro.te.maxmin import GeometricBinnerTE
 from repro.te.mlu import MluTE
 from repro.te.total_flow import TotalFlowTE
@@ -150,6 +150,14 @@ class RahaAnalyzer:
             time_limit=self.config.time_limit,
             mip_rel_gap=self.config.mip_rel_gap,
         )
+        if result.status is SolveStatus.TIME_LIMIT and not result.has_solution:
+            # A timeout that never found an incumbent is a failure, not a
+            # usable (if conservative) bound -- the objective is NaN.
+            raise SolverError(
+                f"Raha MILP hit the {self.config.time_limit}s time limit "
+                f"with no incumbent solution; raise time_limit or relax "
+                f"mip_rel_gap ({result.message})"
+            )
         if not result.status.ok or result.x is None:
             raise SolverError(
                 f"Raha MILP ended with {result.status.value}: {result.message}"
@@ -552,6 +560,7 @@ class RahaAnalyzer:
             num_binaries=game.model.num_integer_vars,
             num_variables=game.model.num_vars,
             num_constraints=game.model.num_constraints,
+            solver_stats=result.stats.to_dict() if result.stats else None,
             notes=notes,
         )
 

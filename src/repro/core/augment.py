@@ -504,7 +504,6 @@ def _solve_new_lag_augment(
             work.add_lag(key[0], key[1], capacity=0.0, num_links=1)
 
     residual = scenario.residual_capacities(topology)
-    down = scenario.down_lags(topology)
     allowed = EdgeMcf.allowed_edges_from_paths(paths, topology,
                                                extra_edges=candidates)
 

@@ -34,6 +34,10 @@ class DegradationResult:
         verified: Whether post-solve verification ran and passed.
         num_binaries / num_variables / num_constraints: Model size, for
             the scaling analysis (Figure 10's discussion).
+        solver_stats: The MILP's per-solve telemetry
+            (:meth:`repro.solver.result.SolveStats.to_dict` -- build /
+            compile / solve wall times, matrix size, big-M magnitudes),
+            or ``None`` for results from older runs.
     """
 
     degradation: float
@@ -51,6 +55,7 @@ class DegradationResult:
     num_binaries: int = 0
     num_variables: int = 0
     num_constraints: int = 0
+    solver_stats: dict | None = None
     notes: list[str] = field(default_factory=list)
 
     @property

@@ -16,7 +16,11 @@
 """
 
 from repro.failures.enumeration import enumerate_scenarios, worst_case_k_failures
-from repro.failures.montecarlo import estimate_availability, sample_scenario
+from repro.failures.montecarlo import (
+    ScenarioResolver,
+    estimate_availability,
+    sample_scenario,
+)
 from repro.failures.probability import (
     RenewalRewardEstimator,
     max_simultaneous_failures,
@@ -28,6 +32,7 @@ from repro.failures.scenario import FailureScenario, simulate_failed_network
 __all__ = [
     "FailureScenario",
     "RenewalRewardEstimator",
+    "ScenarioResolver",
     "enumerate_scenarios",
     "estimate_availability",
     "max_simultaneous_failures",

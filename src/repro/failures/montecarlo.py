@@ -16,15 +16,18 @@ against the analyzer's exact worst case (sampling should never beat it).
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.exceptions import TopologyError
-from repro.failures.scenario import FailureScenario, simulate_failed_network
+from repro.failures.scenario import FailureScenario, active_paths
 from repro.network.demand import Pair
-from repro.network.topology import Topology, lag_key
+from repro.network.topology import LagKey, Topology, lag_key
 from repro.paths.pathset import PathSet
+from repro.solver import LinExpr, Model, Var
+from repro.te.base import effective_capacities, validate_te_inputs
 from repro.te.total_flow import TotalFlowTE
 
 
@@ -97,6 +100,111 @@ def sample_scenario(topology: Topology, rng: np.random.Generator
     return FailureScenario(failed)
 
 
+class ScenarioResolver:
+    """Failed-network TE that compiles its LP once and re-solves per scenario.
+
+    :func:`repro.failures.scenario.simulate_failed_network` rebuilds the
+    whole TE model for every scenario; over a Monte Carlo run that is
+    thousands of identical matrix assemblies.  This class builds the LP
+    over *all* configured paths once, then expresses each scenario purely
+    as bound patches via :meth:`repro.solver.model.Model.resolve_with`:
+
+    * a LAG's capacity row gets the scenario's residual capacity;
+    * a path disallowed by the fail-over policy (Eq. 5) gets its flow
+      variable's upper bound pinned to zero.
+
+    The optimum is identical to ``simulate_failed_network`` with the
+    default :class:`TotalFlowTE(primary_only=False)` solver: an allowed
+    path's baseline bound of the pair's demand volume is already implied
+    by the demand row.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        demands: dict[Pair, float],
+        paths: PathSet,
+    ):
+        validate_te_inputs(topology, demands, paths)
+        self.topology = topology
+        self.demands = dict(demands)
+        self.paths = paths
+        caps = effective_capacities(topology, None)
+
+        model = Model("scenario-resolver")
+        self._path_vars: dict[tuple, Var] = {}
+        per_lag: dict[LagKey, list[int]] = defaultdict(list)
+        dem_cols: list[int] = []
+        dem_indptr: list[int] = [0]
+        dem_rhs: list[float] = []
+        for pair, volume in self.demands.items():
+            dp = paths[pair]
+            for path in dp.paths:
+                var = model.add_var(
+                    ub=max(volume, 0.0),
+                    name=f"f[{pair}][{'-'.join(path)}]",
+                )
+                self._path_vars[(pair, path)] = var
+                dem_cols.append(var.index)
+                for lag in topology.lags_on_path(path):
+                    per_lag[lag.key].append(var.index)
+            if len(dem_cols) > dem_indptr[-1]:
+                dem_indptr.append(len(dem_cols))
+                dem_rhs.append(volume)
+        if dem_rhs:
+            model.add_constrs_batch(
+                dem_indptr, dem_cols, rhs=dem_rhs, name="dem"
+            )
+        self._lag_rows: dict[LagKey, int] = {}
+        if per_lag:
+            lag_cols: list[int] = []
+            lag_indptr: list[int] = [0]
+            lag_rhs: list[float] = []
+            keys = []
+            for key, cols_on_lag in per_lag.items():
+                lag_cols.extend(cols_on_lag)
+                lag_indptr.append(len(lag_cols))
+                lag_rhs.append(caps[key])
+                keys.append(key)
+            rows = model.add_constrs_batch(
+                lag_indptr, lag_cols, rhs=lag_rhs, name="cap"
+            )
+            self._lag_rows = dict(zip(keys, rows))
+        model.set_objective(
+            LinExpr.from_arrays(
+                np.fromiter(
+                    (v.index for v in self._path_vars.values()),
+                    dtype=np.intp,
+                    count=len(self._path_vars),
+                ),
+                np.ones(len(self._path_vars)),
+            ),
+            sense="max",
+        )
+        self._model = model
+
+    def delivered(self, scenario: FailureScenario) -> float:
+        """Total traffic routed under ``scenario`` (0.0 when infeasible)."""
+        capacities = scenario.residual_capacities(self.topology)
+        down = scenario.down_lags(self.topology)
+        bound_overrides: dict[Var, float] = {}
+        for pair in self.demands:
+            dp = self.paths[pair]
+            allowed = set(active_paths(self.topology, dp, down))
+            for path in dp.paths:
+                if path not in allowed:
+                    bound_overrides[self._path_vars[(pair, path)]] = 0.0
+        rhs_overrides = {
+            row: capacities[key] for key, row in self._lag_rows.items()
+        }
+        result = self._model.resolve_with(
+            rhs_overrides=rhs_overrides, bound_overrides=bound_overrides
+        )
+        if not result.status.ok or result.x is None:
+            return 0.0
+        return float(result.objective)
+
+
 def estimate_availability(
     topology: Topology,
     demands: dict[Pair, float],
@@ -122,6 +230,7 @@ def estimate_availability(
     healthy = TotalFlowTE(primary_only=True).solve(topology, demands, paths)
     healthy_flow = healthy.total_flow
 
+    resolver = ScenarioResolver(topology, demands, paths)
     degradations: list[float] = []
     worst = -float("inf")
     worst_scenario = FailureScenario()
@@ -131,10 +240,7 @@ def estimate_availability(
         if scenario in cache:
             degradation = cache[scenario]
         else:
-            failed = simulate_failed_network(topology, demands, paths,
-                                             scenario)
-            delivered = failed.total_flow if failed.feasible else 0.0
-            degradation = healthy_flow - delivered
+            degradation = healthy_flow - resolver.delivered(scenario)
             cache[scenario] = degradation
         degradations.append(degradation)
         if degradation > worst:

@@ -161,12 +161,20 @@ class StackelbergProblem:
         """Embed KKT conditions for adversarial inners and set the objective."""
         if self._finalized:
             return
-        objective = LinExpr() + self._extra_objective
+        objective = self._extra_objective.copy()
+        terms_out = objective.terms
         for term in self._terms:
             if term.adversarial:
                 term.inner.embed_kkt()
             if term.coefficient:
-                objective = objective + term.coefficient * term.inner.objective_expr()
+                contribution = term.inner.objective_expr()
+                for idx, coef in contribution.terms.items():
+                    new = terms_out.get(idx, 0.0) + term.coefficient * coef
+                    if new == 0.0:
+                        terms_out.pop(idx, None)
+                    else:
+                        terms_out[idx] = new
+                objective.constant += term.coefficient * contribution.constant
         self.model.set_objective(objective, sense="max")
         self._finalized = True
 

@@ -177,6 +177,7 @@ def result_to_dict(result: DegradationResult) -> dict:
         "status": result.status,
         "verified": result.verified,
         "solve_seconds": result.solve_seconds,
+        "solver_stats": result.solver_stats,
         "notes": list(result.notes),
     }
 

@@ -108,6 +108,37 @@ class SweepOutcome:
         return sum((o.result or {}).get("solve_seconds", 0.0)
                    for o in self.outcomes)
 
+    def stats_totals(self) -> dict[str, float]:
+        """Aggregated :class:`SolveStats` telemetry over jobs reporting it.
+
+        Returns:
+            ``{"jobs_with_stats", "build_seconds", "compile_seconds",
+            "solve_seconds", "max_abs_coefficient"}`` -- the build/compile
+            split the sweep summary line prints (zeros when no job
+            carried telemetry, e.g. all-cached campaigns from old runs).
+        """
+        totals = {
+            "jobs_with_stats": 0.0,
+            "build_seconds": 0.0,
+            "compile_seconds": 0.0,
+            "solve_seconds": 0.0,
+            "max_abs_coefficient": 0.0,
+        }
+        for outcome in self.outcomes:
+            stats = (outcome.result or {}).get("stats")
+            if not stats:
+                continue
+            totals["jobs_with_stats"] += 1
+            totals["build_seconds"] += float(stats.get("build_seconds", 0.0))
+            totals["compile_seconds"] += float(
+                stats.get("compile_seconds", 0.0))
+            totals["solve_seconds"] += float(stats.get("solve_seconds", 0.0))
+            totals["max_abs_coefficient"] = max(
+                totals["max_abs_coefficient"],
+                float(stats.get("max_abs_coefficient", 0.0)),
+            )
+        return totals
+
     def results(self) -> list[dict]:
         """Result dicts of the successful jobs, in job order."""
         return [o.result for o in self.outcomes if o.ok]
@@ -261,6 +292,7 @@ def degradation_task(payload: dict) -> dict:
         "verified": result.verified,
         "solve_seconds": result.solve_seconds,
         "encode_seconds": result.encode_seconds,
+        "stats": result.solver_stats,
     }
 
 
@@ -324,6 +356,7 @@ class _Campaign:
         event = self.tracker.note(
             outcome.status, job.label,
             solver_seconds=(outcome.result or {}).get("solve_seconds", 0.0),
+            stats=(outcome.result or {}).get("stats"),
         )
         if self.progress is not None:
             self.progress(event)

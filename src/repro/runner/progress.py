@@ -32,6 +32,11 @@ class ProgressEvent:
         rate: Jobs settled per wall-clock second.
         eta_seconds: Naive remaining-work estimate (``None`` until the
             first job settles).
+        build_seconds / compile_seconds: Sums of the per-job
+            :class:`repro.solver.result.SolveStats` model-build and
+            matrix-compile times, when jobs report telemetry -- these are
+            what separate "the solver is slow" from "the encoding is
+            slow" in sweep summaries.
     """
 
     completed: int
@@ -44,6 +49,8 @@ class ProgressEvent:
     solver_seconds: float
     rate: float
     eta_seconds: float | None
+    build_seconds: float = 0.0
+    compile_seconds: float = 0.0
 
     def render(self) -> str:
         """The one-line form the CLI prints."""
@@ -64,17 +71,32 @@ class ProgressTracker:
         self.cache_hits = 0
         self.errors = 0
         self.solver_seconds = 0.0
+        self.build_seconds = 0.0
+        self.compile_seconds = 0.0
         self._started = time.monotonic()
 
     def note(self, status: str, label: str,
-             solver_seconds: float = 0.0) -> ProgressEvent:
-        """Record one settled job and return the campaign heartbeat."""
+             solver_seconds: float = 0.0,
+             stats: dict | None = None) -> ProgressEvent:
+        """Record one settled job and return the campaign heartbeat.
+
+        Args:
+            status: The job's settle status.
+            label: The job's human-readable tag.
+            solver_seconds: The job's reported solver time.
+            stats: Optional :class:`repro.solver.result.SolveStats` dict
+                from the job's MILP solve; its build/compile times are
+                accumulated into the campaign totals.
+        """
         self.completed += 1
         if status in ("cached", "resumed"):
             self.cache_hits += 1
         if status in ("error", "timeout"):
             self.errors += 1
         self.solver_seconds += solver_seconds
+        if stats:
+            self.build_seconds += float(stats.get("build_seconds", 0.0))
+            self.compile_seconds += float(stats.get("compile_seconds", 0.0))
         elapsed = max(time.monotonic() - self._started, 1e-9)
         rate = self.completed / elapsed
         remaining = self.total - self.completed
@@ -84,6 +106,8 @@ class ProgressTracker:
             label=label, cache_hits=self.cache_hits, errors=self.errors,
             elapsed_seconds=elapsed, solver_seconds=self.solver_seconds,
             rate=rate, eta_seconds=eta,
+            build_seconds=self.build_seconds,
+            compile_seconds=self.compile_seconds,
         )
 
 

@@ -29,8 +29,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.exceptions import ModelingError, VerificationError
-from repro.solver.expr import LinExpr, Var, quicksum
+from repro.solver.expr import LinExpr, Var
 from repro.solver.model import Model
 from repro.solver.result import SolveResult
 
@@ -86,6 +88,8 @@ class InnerLP:
         self._rows: list[_InnerRow] = []
         self._col_of_var: dict[int, int] = {}
         self._kkt_embedded = False
+        # Cached verification LP for resolve_at(): (signature, model, rows).
+        self._verify_cache: tuple[tuple[int, int], Model, range] | None = None
 
     # -- building ----------------------------------------------------------
     def add_var(
@@ -204,44 +208,97 @@ class InnerLP:
                 row.dual = model.add_var(
                     lb=-row.dual_bound, ub=row.dual_bound, name=f"{row.name}:dual"
                 )
-
-        # Dual feasibility + column complementarity.
-        for col in self._cols:
-            reduced_cost = quicksum(
-                coef * self._rows[r].dual for r, coef in col.rows
-            ) - col.obj_coef
-            model.add_constr(reduced_cost >= 0, name=f"{col.var.name}:dualfeas")
-            rc_bound = (
-                sum(abs(coef) * self._rows[r].dual_bound for r, coef in col.rows)
-                + abs(col.obj_coef)
-            )
-            t = model.add_var(binary=True, name=f"{col.var.name}:basic")
-            model.add_constr(
-                reduced_cost <= rc_bound * t.to_expr(), name=f"{col.var.name}:cs_rc"
-            )
-            model.add_constr(
-                col.var.to_expr() <= col.value_bound * (1 - t.to_expr()),
-                name=f"{col.var.name}:cs_x",
-            )
-
-        # Row complementarity for inequality rows.
-        for row in self._rows:
-            if row.sense != "<=":
-                continue
+        # Complementarity binaries: t per column, s per inequality row.
+        t_vars = [
+            model.add_var(binary=True, name=f"{col.var.name}:basic")
+            for col in self._cols
+        ]
+        ineq_rows = [row for row in self._rows if row.sense == "<="]
+        for row in ineq_rows:
             if not (row.slack_bound < float("inf")):
                 raise ModelingError(
                     f"row {row.name!r} needs a finite slack bound for KKT"
                 )
-            s = model.add_var(binary=True, name=f"{row.name}:tight")
-            model.add_constr(
-                row.dual.to_expr() <= row.dual_bound * s.to_expr(),
-                name=f"{row.name}:cs_dual",
-            )
-            slack = row.rhs - row.lhs
-            model.add_constr(
-                slack <= row.slack_bound * (1 - s.to_expr()),
-                name=f"{row.name}:cs_slack",
-            )
+        s_vars = [
+            model.add_var(binary=True, name=f"{row.name}:tight")
+            for row in ineq_rows
+        ]
+
+        # The five KKT constraint families, each posted as one batch.
+        # Dual feasibility per column:  sum(coef * dual_r) >= obj_coef.
+        df_cols: list[int] = []
+        df_data: list[float] = []
+        df_indptr: list[int] = [0]
+        df_rhs: list[float] = []
+        # Column complementarity (reduced cost side):
+        #   sum(coef * dual_r) - rc_bound * t <= obj_coef.
+        rc_cols: list[int] = []
+        rc_data: list[float] = []
+        rc_indptr: list[int] = [0]
+        rc_rhs: list[float] = []
+        # Column complementarity (value side):  x + value_bound * t <= value_bound.
+        cx_cols: list[int] = []
+        cx_data: list[float] = []
+        cx_rhs: list[float] = []
+        for col, t in zip(self._cols, t_vars):
+            rc_bound = abs(col.obj_coef)
+            for r, coef in col.rows:
+                dual_idx = self._rows[r].dual.index
+                df_cols.append(dual_idx)
+                df_data.append(coef)
+                rc_cols.append(dual_idx)
+                rc_data.append(coef)
+                rc_bound += abs(coef) * self._rows[r].dual_bound
+            df_indptr.append(len(df_cols))
+            df_rhs.append(col.obj_coef)
+            rc_cols.append(t.index)
+            rc_data.append(-rc_bound)
+            rc_indptr.append(len(rc_cols))
+            rc_rhs.append(col.obj_coef)
+            cx_cols += [col.var.index, t.index]
+            cx_data += [1.0, col.value_bound]
+            cx_rhs.append(col.value_bound)
+        model.add_constrs_batch(
+            df_indptr, df_cols, df_data, sense=">=", rhs=df_rhs, name="dualfeas"
+        )
+        model.add_constrs_batch(
+            rc_indptr, rc_cols, rc_data, sense="<=", rhs=rc_rhs, name="cs_rc"
+        )
+        model.add_constrs_batch(
+            np.arange(0, len(cx_cols) + 1, 2), cx_cols, cx_data,
+            sense="<=", rhs=cx_rhs, name="cs_x",
+        )
+
+        # Row complementarity (dual side):  dual - dual_bound * s <= 0.
+        cd_cols: list[int] = []
+        cd_data: list[float] = []
+        # Row complementarity (slack side):
+        #   (rhs - lhs) + slack_bound * s <= slack_bound, with the outer
+        #   rhs terms on the left so the row stays linear in outer vars.
+        sl_cols: list[int] = []
+        sl_data: list[float] = []
+        sl_indptr: list[int] = [0]
+        sl_rhs: list[float] = []
+        for row, s in zip(ineq_rows, s_vars):
+            cd_cols += [row.dual.index, s.index]
+            cd_data += [1.0, -row.dual_bound]
+            for idx, coef in row.rhs.terms.items():
+                sl_cols.append(idx)
+                sl_data.append(coef)
+            for idx, coef in row.lhs.terms.items():
+                sl_cols.append(idx)
+                sl_data.append(-coef)
+            sl_cols.append(s.index)
+            sl_data.append(row.slack_bound)
+            sl_indptr.append(len(sl_cols))
+            sl_rhs.append(row.slack_bound - row.rhs.constant)
+        model.add_constrs_batch(
+            np.arange(0, len(cd_cols) + 1, 2), cd_cols, cd_data,
+            sense="<=", rhs=0.0, name="cs_dual",
+        )
+        model.add_constrs_batch(
+            sl_indptr, sl_cols, sl_data, sense="<=", rhs=sl_rhs, name="cs_slack"
+        )
 
     # -- verification -----------------------------------------------------------
     def _outer_value(self, result: SolveResult, expr: LinExpr) -> float:
@@ -259,8 +316,51 @@ class InnerLP:
             total += coef * value
         return total
 
+    def _verification_lp(self) -> tuple[Model, range]:
+        """The structural verification LP, built once and cached.
+
+        The LP's matrix depends only on the inner rows/columns; only the
+        right-hand sides vary with the outer assignment, so
+        :meth:`resolve_at` patches them through
+        :meth:`repro.solver.model.Model.resolve_with` instead of
+        rebuilding the model per verification.
+        """
+        signature = (len(self._cols), len(self._rows))
+        if self._verify_cache is not None and self._verify_cache[0] == signature:
+            return self._verify_cache[1], self._verify_cache[2]
+        lp = Model(f"{self.name}:verify")
+        for col in self._cols:
+            lp.add_var(lb=0.0, name=col.var.name)
+        # Local column index of inner var j is its position in self._cols.
+        cols_l: list[int] = []
+        data_l: list[float] = []
+        indptr: list[int] = [0]
+        senses: list[str] = []
+        for row in self._rows:
+            for idx, coef in row.lhs.terms.items():
+                cols_l.append(self._col_of_var[idx])
+                data_l.append(coef)
+            indptr.append(len(cols_l))
+            senses.append(row.sense)
+        rows = lp.add_constrs_batch(
+            indptr, cols_l, data_l, sense=senses, rhs=0.0, name="inner"
+        )
+        lp.set_objective(
+            LinExpr.from_arrays(
+                np.arange(len(self._cols)),
+                np.array([col.obj_coef for col in self._cols]),
+            ),
+            sense="max",
+        )
+        self._verify_cache = (signature, lp, rows)
+        return lp, rows
+
     def resolve_at(self, result: SolveResult, time_limit: float | None = None):
         """Re-solve the inner LP with outer variables fixed at a solution.
+
+        The LP structure is cached across calls (Monte Carlo availability
+        estimation and sweep verification re-solve the same inner problem
+        hundreds of times); each call only patches the right-hand sides.
 
         Args:
             result: A solution of the host model.
@@ -269,25 +369,12 @@ class InnerLP:
         Returns:
             The plain-LP :class:`SolveResult` of the inner problem.
         """
-        lp = Model(f"{self.name}:verify")
-        local = {
-            col.var.index: lp.add_var(lb=0.0, name=col.var.name)
-            for col in self._cols
+        lp, rows = self._verification_lp()
+        overrides = {
+            rows[i]: self._outer_value(result, row.rhs)
+            for i, row in enumerate(self._rows)
         }
-        for row in self._rows:
-            lhs = LinExpr()
-            for idx, coef in row.lhs.terms.items():
-                lhs.add_term(local[idx], coef)
-            rhs_value = self._outer_value(result, row.rhs)
-            if row.sense == "<=":
-                lp.add_constr(lhs <= rhs_value, name=row.name)
-            else:
-                lp.add_constr(lhs == rhs_value, name=row.name)
-        objective = LinExpr()
-        for col in self._cols:
-            objective.add_term(local[col.var.index], col.obj_coef)
-        lp.set_objective(objective, sense="max")
-        return lp.solve(time_limit=time_limit)
+        return lp.resolve_with(rhs_overrides=overrides, time_limit=time_limit)
 
     def verify_optimality(self, result: SolveResult, tol: float = 1e-4) -> float:
         """Check the embedded solution matches the true inner optimum.

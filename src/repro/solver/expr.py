@@ -14,7 +14,9 @@ non-convexities into linear outer constraints).
 from __future__ import annotations
 
 import numbers
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
+
+import numpy as np
 
 
 class Var:
@@ -124,6 +126,33 @@ class LinExpr:
             return LinExpr({}, float(value))
         raise TypeError(f"cannot build a linear expression from {value!r}")
 
+    @staticmethod
+    def from_arrays(indices, coefs, constant: float = 0.0) -> LinExpr:
+        """Build ``sum(coefs[i] * x_{indices[i]}) + constant`` vectorized.
+
+        The array-backed construction path: duplicate indices are summed
+        and exact-zero coefficients dropped without any per-term Python
+        dict traffic.  ``indices`` are variable *column indices*
+        (``Var.index``), not :class:`Var` objects.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        val = np.asarray(coefs, dtype=np.float64)
+        if idx.shape != val.shape or idx.ndim != 1:
+            raise ValueError(
+                f"from_arrays needs matching 1-D arrays, got shapes "
+                f"{idx.shape} and {val.shape}"
+            )
+        if idx.size == 0:
+            return LinExpr({}, constant)
+        unique, inverse = np.unique(idx, return_inverse=True)
+        sums = np.bincount(inverse, weights=val, minlength=unique.size)
+        keep = sums != 0.0
+        if not keep.all():
+            unique, sums = unique[keep], sums[keep]
+        expr = LinExpr(None, constant)
+        expr.terms = dict(zip(unique.tolist(), sums.tolist()))
+        return expr
+
     def copy(self) -> LinExpr:
         """Return an independent copy of this expression."""
         return LinExpr(dict(self.terms), self.constant)
@@ -209,9 +238,13 @@ class Constraint:
     ``expr`` holds all variable terms and the constant moved to the left
     side, so the right side is always zero.  ``sense`` is one of ``"<="``,
     ``">="``, or ``"=="``.
+
+    Once registered with a model, :attr:`row` holds the constraint's row
+    index -- the handle :meth:`repro.solver.model.Model.resolve_with`
+    accepts for right-hand-side overrides.
     """
 
-    __slots__ = ("expr", "sense", "name")
+    __slots__ = ("expr", "sense", "name", "row")
 
     def __init__(self, expr: LinExpr, sense: str, name: str = ""):
         if sense not in ("<=", ">=", "=="):
@@ -219,6 +252,7 @@ class Constraint:
         self.expr = expr
         self.sense = sense
         self.name = name
+        self.row: int | None = None
 
     def rhs(self) -> float:
         """Constant right-hand side after moving the constant term over."""
@@ -229,13 +263,85 @@ class Constraint:
         return f"Constraint({self.expr!r} {self.sense} 0{label})"
 
 
-def quicksum(items: Iterable) -> LinExpr:
+class RangeConstraint(Constraint):
+    """A two-sided row ``lo <= expr <= hi`` occupying a single matrix row.
+
+    Range rows are how HiGHS natively models interval constraints; one
+    row with both bounds is cheaper than the ``<=``/``>=`` pair and --
+    after the dual-recovery fix in ``Model._recover_duals`` -- reports a
+    single combined marginal for shifting the whole interval.
+    Build via :meth:`repro.solver.model.Model.add_range_constr`.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, expr: LinExpr, lo: float, hi: float, name: str = ""):
+        lo, hi = float(lo), float(hi)
+        if not lo <= hi:
+            raise ValueError(f"range constraint has lo {lo} > hi {hi}")
+        self.expr = expr
+        self.sense = "range"
+        self.name = name
+        self.row = None
+        self.lo = lo
+        self.hi = hi
+
+    def rhs(self) -> float:
+        raise TypeError(
+            "range constraints have two right-hand sides; use .lo/.hi"
+        )
+
+    def __repr__(self):
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"RangeConstraint({self.lo:g} <= {self.expr!r} <= "
+            f"{self.hi:g}{label})"
+        )
+
+
+def indices_of(variables: Iterable[Var]) -> np.ndarray:
+    """The column indices of a variable sequence, as an array.
+
+    The bridge between :class:`Var` handles and the array-backed APIs
+    (:meth:`LinExpr.from_arrays`,
+    :meth:`repro.solver.model.Model.add_constrs_batch`).
+    """
+    if isinstance(variables, Sequence):
+        return np.fromiter(
+            (v.index for v in variables), dtype=np.intp,
+            count=len(variables),
+        )
+    return np.fromiter((v.index for v in variables), dtype=np.intp)
+
+
+def quicksum(items: Iterable, coefs=None) -> LinExpr:
     """Sum variables/expressions/numbers into one :class:`LinExpr`.
 
     Unlike built-in :func:`sum`, this accumulates into a single expression
     without creating an intermediate object per addition, which matters
     when a capacity constraint sums thousands of flow terms.
+
+    Args:
+        items: Variables, expressions, or numbers to sum.
+        coefs: Optional per-item weights.  When every item is a
+            :class:`Var` the weighted sum is assembled through the
+            vectorized :meth:`LinExpr.from_arrays` path (the batched
+            form of the old ``quicksum(c * x for ...)`` idiom).
     """
+    if coefs is not None:
+        items = list(items)
+        coefs = np.asarray(coefs, dtype=np.float64)
+        if coefs.shape != (len(items),):
+            raise ValueError(
+                f"quicksum got {len(items)} items but coefs shape "
+                f"{coefs.shape}"
+            )
+        if all(isinstance(item, Var) for item in items):
+            return LinExpr.from_arrays(indices_of(items), coefs)
+        result = LinExpr()
+        for item, coef in zip(items, coefs):
+            result = result + LinExpr._coerce(item) * float(coef)
+        return result
     result = LinExpr()
     terms = result.terms
     for item in items:

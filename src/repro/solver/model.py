@@ -12,19 +12,30 @@ exposes the two solver features the paper's evaluation leans on:
   on expiry the incumbent is returned with :class:`SolveStatus.TIME_LIMIT`.
 * ``mip_rel_gap`` -- an optional optimality-gap tolerance used to trade
   precision for runtime in large sweeps.
+
+The hot path is array-backed: constraint coefficients live in COO
+*segments* (numpy triplet arrays from :meth:`Model.add_constrs_batch`,
+plus one pending Python-list segment fed by scalar :meth:`Model.add_constr`
+calls), and row/variable bounds live in amortized-growth buffers.
+Compilation concatenates the segments straight into a CSR matrix -- no
+per-term Python loop -- and the result is cached on the model until the
+next mutation, so repeated :meth:`Model.solve` /
+:meth:`Model.resolve_with` calls skip matrix assembly entirely.
 """
 
 from __future__ import annotations
 
 import time
-from collections.abc import Hashable, Iterable
+from collections.abc import Hashable, Iterable, Mapping
+from itertools import repeat
+from typing import NamedTuple
 
 import numpy as np
 from scipy import optimize, sparse
 
 from repro.exceptions import ModelingError
-from repro.solver.expr import Constraint, LinExpr, Var
-from repro.solver.result import SolveResult, SolveStatus
+from repro.solver.expr import Constraint, LinExpr, RangeConstraint, Var
+from repro.solver.result import SolveResult, SolveStats, SolveStatus
 
 _SCIPY_STATUS = {
     0: SolveStatus.OPTIMAL,
@@ -33,6 +44,62 @@ _SCIPY_STATUS = {
     3: SolveStatus.UNBOUNDED,
     4: SolveStatus.ERROR,
 }
+
+# Row sense codes stored in the model's uint8 sense buffer.
+_LE, _GE, _EQ, _RANGE = 0, 1, 2, 3
+_SENSE_CODE = {"<=": _LE, ">=": _GE, "==": _EQ}
+
+_INF = float("inf")
+
+
+class _Buffer:
+    """An amortized-growth typed array (the numpy analogue of list.append)."""
+
+    __slots__ = ("_data", "n")
+
+    def __init__(self, dtype=np.float64, capacity: int = 16):
+        self._data = np.empty(capacity, dtype=dtype)
+        self.n = 0
+
+    def _reserve(self, extra: int) -> None:
+        need = self.n + extra
+        cap = self._data.size
+        if need > cap:
+            while cap < need:
+                cap *= 2
+            grown = np.empty(cap, dtype=self._data.dtype)
+            grown[: self.n] = self._data[: self.n]
+            self._data = grown
+
+    def push(self, value) -> None:
+        self._reserve(1)
+        self._data[self.n] = value
+        self.n += 1
+
+    def extend(self, values) -> None:
+        values = np.asarray(values)
+        k = values.size
+        self._reserve(k)
+        self._data[self.n : self.n + k] = values
+        self.n += k
+
+    def view(self) -> np.ndarray:
+        """The live prefix.  Aliases internal storage; do not mutate."""
+        return self._data[: self.n]
+
+
+class _Compiled(NamedTuple):
+    """The matrices a solve needs, cached on the model between mutations."""
+
+    c: np.ndarray
+    a: sparse.csr_matrix
+    row_lb: np.ndarray
+    row_ub: np.ndarray
+    var_lb: np.ndarray
+    var_ub: np.ndarray
+    integrality: np.ndarray
+    max_abs_coef: float
+    max_abs_rhs: float
 
 
 class Model:
@@ -52,10 +119,33 @@ class Model:
     def __init__(self, name: str = "model"):
         self.name = name
         self._vars: list[Var] = []
-        self._constraints: list[Constraint] = []
+        self._var_lb = _Buffer()
+        self._var_ub = _Buffer()
+        self._var_int = _Buffer(dtype=np.uint8)
         self._objective: LinExpr = LinExpr()
         self._sense: str = "min"
         self._num_integer = 0
+
+        # Constraint matrix storage: closed numpy COO segments plus one
+        # open Python-list segment that scalar add_constr() appends to.
+        self._segments: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._coo_rows: list[int] = []
+        self._coo_cols: list[int] = []
+        self._coo_vals: list[float] = []
+        self._row_lb = _Buffer()
+        self._row_ub = _Buffer()
+        self._row_sense = _Buffer(dtype=np.uint8)
+        self._row_names: list[str] = []
+        # Constraint handle per row; None for batch-added rows (materialized
+        # lazily by the .constraints property when someone asks).
+        self._row_cons: list[Constraint | None] = []
+        self._num_batch_rows = 0
+
+        self._compiled: _Compiled | None = None
+        self._materialized: list[Constraint] | None = None
+        self._created = time.monotonic()
+        self._build_seconds = 0.0
+        self._compile_seconds = 0.0
 
     # -- introspection ----------------------------------------------------
     @property
@@ -65,8 +155,8 @@ class Model:
 
     @property
     def num_constraints(self) -> int:
-        """Number of constraints added so far."""
-        return len(self._constraints)
+        """Number of constraint rows added so far."""
+        return self._row_lb.n
 
     @property
     def num_integer_vars(self) -> int:
@@ -85,8 +175,18 @@ class Model:
 
     @property
     def constraints(self) -> list[Constraint]:
-        """The constraints in row order (do not mutate)."""
-        return self._constraints
+        """The constraints in row order (do not mutate).
+
+        Rows added through :meth:`add_constrs_batch` have no pre-built
+        :class:`Constraint` objects; asking for this property materializes
+        them from the compiled matrix (a debugging convenience -- the hot
+        path never pays for it).
+        """
+        if self._num_batch_rows == 0:
+            return self._row_cons  # type: ignore[return-value]
+        if self._materialized is None:
+            self._materialized = self._materialize_constraints()
+        return self._materialized
 
     @property
     def objective(self) -> LinExpr:
@@ -99,10 +199,14 @@ class Model:
         return self._sense
 
     # -- building ---------------------------------------------------------
+    def _invalidate(self) -> None:
+        self._compiled = None
+        self._materialized = None
+
     def add_var(
         self,
-        lb: float = 0.0,
-        ub: float = float("inf"),
+        lb: float | None = None,
+        ub: float | None = None,
         name: str | None = None,
         integer: bool = False,
         binary: bool = False,
@@ -114,24 +218,41 @@ class Model:
             ub: Upper bound; defaults to ``+inf``.
             name: Optional debugging name; autogenerated when omitted.
             integer: Restrict to integer values.
-            binary: Shortcut for ``integer=True, lb=0, ub=1``.
+            binary: Shortcut for ``integer=True, lb=0, ub=1``.  Explicit
+                bounds outside {0, 1} raise :class:`ModelingError` rather
+                than being silently replaced (pinning to 0 or 1 is fine).
         """
         if binary:
-            lb, ub, integer = 0.0, 1.0, True
+            integer = True
+            lb = 0.0 if lb is None else float(lb)
+            ub = 1.0 if ub is None else float(ub)
+            if lb not in (0.0, 1.0) or ub not in (0.0, 1.0):
+                raise ModelingError(
+                    f"variable {name!r}: bounds [{lb:g}, {ub:g}] conflict with "
+                    f"binary=True (binaries live in {{0, 1}}; drop the bounds, "
+                    f"or use integer=True for a general integer variable)"
+                )
+        else:
+            lb = 0.0 if lb is None else float(lb)
+            ub = _INF if ub is None else float(ub)
         if lb > ub:
             raise ModelingError(f"variable {name!r} has lb {lb} > ub {ub}")
         index = len(self._vars)
         var = Var(index, name or f"x{index}", lb=lb, ub=ub, integer=integer)
         self._vars.append(var)
+        self._var_lb.push(lb)
+        self._var_ub.push(ub)
+        self._var_int.push(1 if integer else 0)
         if integer:
             self._num_integer += 1
+        self._invalidate()
         return var
 
     def add_vars(
         self,
         keys: Iterable[Hashable],
         lb: float = 0.0,
-        ub: float = float("inf"),
+        ub: float = _INF,
         name: str = "x",
         integer: bool = False,
         binary: bool = False,
@@ -144,6 +265,82 @@ class Model:
             for key in keys
         }
 
+    def add_vars_batch(
+        self,
+        count: int,
+        lb=None,
+        ub=None,
+        name: str = "x",
+        integer: bool = False,
+        binary: bool = False,
+    ) -> list[Var]:
+        """Create ``count`` variables at once; bounds may be arrays.
+
+        Args:
+            count: Number of variables to create.
+            lb / ub: Scalar or length-``count`` arrays of bounds.
+            name: Name stem; variables are named ``name[i]``.
+            integer / binary: As in :meth:`add_var` (applied to all).
+
+        Returns:
+            The new :class:`Var` handles in column order.
+        """
+        count = int(count)
+        if count < 0:
+            raise ModelingError(f"cannot create {count} variables")
+        if binary:
+            integer = True
+            lb = 0.0 if lb is None else lb
+            ub = 1.0 if ub is None else ub
+        else:
+            lb = 0.0 if lb is None else lb
+            ub = _INF if ub is None else ub
+        try:
+            lb_arr = np.broadcast_to(
+                np.asarray(lb, dtype=np.float64), (count,)
+            )
+            ub_arr = np.broadcast_to(
+                np.asarray(ub, dtype=np.float64), (count,)
+            )
+        except ValueError as exc:
+            raise ModelingError(f"bad bound shape for {count} variables: {exc}")
+        if binary and not (
+            np.isin(lb_arr, (0.0, 1.0)).all()
+            and np.isin(ub_arr, (0.0, 1.0)).all()
+        ):
+            raise ModelingError(
+                f"variables {name!r}: bounds conflict with binary=True "
+                f"(binaries live in {{0, 1}})"
+            )
+        if (lb_arr > ub_arr).any():
+            bad = int(np.flatnonzero(lb_arr > ub_arr)[0])
+            raise ModelingError(
+                f"variable {name}[{bad}] has lb {lb_arr[bad]} > ub {ub_arr[bad]}"
+            )
+        base = len(self._vars)
+        new_vars = [
+            Var(
+                base + i,
+                f"{name}[{i}]",
+                lb=float(lb_arr[i]),
+                ub=float(ub_arr[i]),
+                integer=integer,
+            )
+            for i in range(count)
+        ]
+        self._vars.extend(new_vars)
+        self._var_lb.extend(lb_arr)
+        self._var_ub.extend(ub_arr)
+        self._var_int.extend(
+            np.ones(count, dtype=np.uint8)
+            if integer
+            else np.zeros(count, dtype=np.uint8)
+        )
+        if integer:
+            self._num_integer += count
+        self._invalidate()
+        return new_vars
+
     def add_constr(self, constraint: Constraint, name: str = "") -> Constraint:
         """Register a constraint built with ``<=``, ``>=`` or ``==``."""
         if not isinstance(constraint, Constraint):
@@ -153,7 +350,33 @@ class Model:
             )
         if name:
             constraint.name = name
-        self._constraints.append(constraint)
+        expr = constraint.expr
+        row = self._row_lb.n
+        terms = expr.terms
+        if terms:
+            self._coo_rows.extend(repeat(row, len(terms)))
+            self._coo_cols.extend(terms.keys())
+            self._coo_vals.extend(terms.values())
+        if isinstance(constraint, RangeConstraint):
+            lo = constraint.lo - expr.constant
+            hi = constraint.hi - expr.constant
+            code = _RANGE
+        else:
+            rhs = -expr.constant
+            sense = constraint.sense
+            if sense == "<=":
+                lo, hi, code = -_INF, rhs, _LE
+            elif sense == ">=":
+                lo, hi, code = rhs, _INF, _GE
+            else:
+                lo, hi, code = rhs, rhs, _EQ
+        self._row_lb.push(lo)
+        self._row_ub.push(hi)
+        self._row_sense.push(code)
+        self._row_names.append(constraint.name)
+        self._row_cons.append(constraint)
+        constraint.row = row
+        self._invalidate()
         return constraint
 
     def add_constrs(self, constraints: Iterable[Constraint], name: str = "") -> None:
@@ -161,46 +384,274 @@ class Model:
         for i, con in enumerate(constraints):
             self.add_constr(con, name=f"{name}[{i}]" if name else "")
 
+    def add_range_constr(
+        self, expr, lo: float, hi: float, name: str = ""
+    ) -> RangeConstraint:
+        """Register ``lo <= expr <= hi`` as a single two-sided row."""
+        con = RangeConstraint(LinExpr._coerce(expr), lo, hi, name=name)
+        self.add_constr(con)
+        return con
+
+    def add_constrs_batch(
+        self,
+        indptr,
+        columns,
+        data=None,
+        *,
+        sense="<=",
+        rhs=None,
+        row_lb=None,
+        row_ub=None,
+        name: str = "",
+    ) -> range:
+        """Register many constraint rows from coefficient arrays at once.
+
+        The rows are given in CSR-like form: row ``i`` owns the slice
+        ``columns[indptr[i]:indptr[i+1]]`` / ``data[...]``.  No
+        :class:`Constraint` objects are created (see :attr:`constraints`
+        for lazy materialization), and no per-term Python work happens --
+        this is the fast path the TE builders and the KKT embedding use.
+
+        Args:
+            indptr: ``len == n_rows + 1`` offsets into ``columns``/``data``.
+            columns: Variable column indices (``Var.index``) per term.
+            data: Coefficients per term; omitted means all ones.
+            sense: A single sense string for every row, or a sequence of
+                per-row senses.  Ignored when ``row_lb``/``row_ub`` given.
+            rhs: Scalar or per-row right-hand sides (with ``sense``).
+            row_lb / row_ub: Explicit two-sided row bounds (scalar or
+                per-row); use these for range rows.
+        Returns:
+            ``range(first_row, first_row + n_rows)`` -- the row indices,
+            usable as keys in :meth:`resolve_with` overrides.
+        """
+        indptr = np.asarray(indptr, dtype=np.intp)
+        columns = np.asarray(columns, dtype=np.intp)
+        if indptr.ndim != 1 or indptr.size == 0:
+            raise ModelingError("indptr must be a non-empty 1-D array")
+        n_new = indptr.size - 1
+        lengths = np.diff(indptr)
+        if indptr[0] != 0 or (lengths < 0).any() or indptr[-1] != columns.size:
+            raise ModelingError(
+                "indptr must start at 0, be nondecreasing, and end at "
+                f"len(columns)={columns.size}; got {indptr[0]}..{indptr[-1]}"
+            )
+        if data is None:
+            vals = np.ones(columns.size, dtype=np.float64)
+        else:
+            vals = np.asarray(data, dtype=np.float64)
+            if vals.shape != columns.shape:
+                raise ModelingError(
+                    f"data shape {vals.shape} != columns shape {columns.shape}"
+                )
+        if columns.size and (
+            int(columns.min()) < 0 or int(columns.max()) >= len(self._vars)
+        ):
+            raise ModelingError(
+                f"column index out of range [0, {len(self._vars)})"
+            )
+
+        try:
+            if row_lb is not None or row_ub is not None:
+                if rhs is not None:
+                    raise ModelingError(
+                        "pass either rhs+sense or row_lb/row_ub, not both"
+                    )
+                lo = (
+                    np.full(n_new, -_INF)
+                    if row_lb is None
+                    else np.broadcast_to(
+                        np.asarray(row_lb, dtype=np.float64), (n_new,)
+                    )
+                )
+                hi = (
+                    np.full(n_new, _INF)
+                    if row_ub is None
+                    else np.broadcast_to(
+                        np.asarray(row_ub, dtype=np.float64), (n_new,)
+                    )
+                )
+                if (lo > hi).any():
+                    bad = int(np.flatnonzero(lo > hi)[0])
+                    raise ModelingError(
+                        f"row {bad} has row_lb {lo[bad]} > row_ub {hi[bad]}"
+                    )
+                codes = np.full(n_new, _RANGE, dtype=np.uint8)
+                lo_fin = np.isfinite(lo)
+                hi_fin = np.isfinite(hi)
+                codes[~lo_fin] = _LE
+                codes[lo_fin & ~hi_fin] = _GE
+                codes[lo_fin & hi_fin & (lo == hi)] = _EQ
+            else:
+                if rhs is None:
+                    raise ModelingError(
+                        "add_constrs_batch needs rhs (or row_lb/row_ub)"
+                    )
+                rhs_arr = np.broadcast_to(
+                    np.asarray(rhs, dtype=np.float64), (n_new,)
+                )
+                if isinstance(sense, str):
+                    if sense not in _SENSE_CODE:
+                        raise ModelingError(f"unknown constraint sense {sense!r}")
+                    code = _SENSE_CODE[sense]
+                    codes = np.full(n_new, code, dtype=np.uint8)
+                    lo = (
+                        np.full(n_new, -_INF) if code == _LE else rhs_arr
+                    )
+                    hi = np.full(n_new, _INF) if code == _GE else rhs_arr
+                else:
+                    try:
+                        codes = np.fromiter(
+                            (_SENSE_CODE[s] for s in sense),
+                            dtype=np.uint8,
+                            count=n_new,
+                        )
+                    except KeyError as exc:
+                        raise ModelingError(
+                            f"unknown constraint sense {exc.args[0]!r}"
+                        )
+                    lo = np.where(codes != _LE, rhs_arr, -_INF)
+                    hi = np.where(codes != _GE, rhs_arr, _INF)
+        except ValueError as exc:
+            raise ModelingError(
+                f"bad rhs/bound shape for {n_new} rows: {exc}"
+            )
+
+        base = self._row_lb.n
+        rows = np.repeat(
+            np.arange(base, base + n_new, dtype=np.intp), lengths
+        )
+        self._flush_scalar()
+        self._segments.append((rows, columns, vals))
+        self._row_lb.extend(lo)
+        self._row_ub.extend(hi)
+        self._row_sense.extend(codes)
+        self._row_names.extend(repeat(name, n_new))
+        self._row_cons.extend(repeat(None, n_new))
+        self._num_batch_rows += n_new
+        self._invalidate()
+        return range(base, base + n_new)
+
     def set_objective(self, expr, sense: str = "min") -> None:
         """Set the objective expression and sense (``"min"`` or ``"max"``)."""
         if sense not in ("min", "max"):
             raise ModelingError(f"unknown objective sense {sense!r}")
         self._objective = LinExpr._coerce(expr)
         self._sense = sense
+        self._invalidate()
 
     # -- compilation ------------------------------------------------------
+    def _flush_scalar(self) -> None:
+        """Close the open scalar segment into a numpy triplet segment."""
+        if self._coo_cols:
+            self._segments.append(
+                (
+                    np.asarray(self._coo_rows, dtype=np.intp),
+                    np.asarray(self._coo_cols, dtype=np.intp),
+                    np.asarray(self._coo_vals, dtype=np.float64),
+                )
+            )
+            self._coo_rows, self._coo_cols, self._coo_vals = [], [], []
+
+    def _ensure_compiled(self) -> tuple[_Compiled, bool]:
+        """Return the compiled matrices and whether the cache supplied them."""
+        if self._compiled is not None:
+            return self._compiled, True
+        started = time.monotonic()
+        self._build_seconds = started - self._created
+        self._flush_scalar()
+        n = len(self._vars)
+        m = self._row_lb.n
+        c = np.zeros(n)
+        obj_terms = self._objective.terms
+        if obj_terms:
+            c[
+                np.fromiter(obj_terms.keys(), dtype=np.intp, count=len(obj_terms))
+            ] = np.fromiter(
+                obj_terms.values(), dtype=np.float64, count=len(obj_terms)
+            )
+        if not self._segments:
+            rows = np.empty(0, dtype=np.intp)
+            cols = np.empty(0, dtype=np.intp)
+            vals = np.empty(0, dtype=np.float64)
+        elif len(self._segments) == 1:
+            rows, cols, vals = self._segments[0]
+        else:
+            rows = np.concatenate([s[0] for s in self._segments])
+            cols = np.concatenate([s[1] for s in self._segments])
+            vals = np.concatenate([s[2] for s in self._segments])
+            self._segments = [(rows, cols, vals)]
+        # COO -> CSR canonicalizes: duplicates summed, column indices
+        # sorted, so scalar- and batch-built models with the same triplet
+        # multiset compile to identical matrices.
+        a_matrix = sparse.csr_matrix((vals, (rows, cols)), shape=(m, n))
+
+        row_lb = self._row_lb.view()
+        row_ub = self._row_ub.view()
+        max_abs_coef = float(np.abs(a_matrix.data).max()) if a_matrix.nnz else 0.0
+        max_abs_rhs = 0.0
+        for arr in (row_lb, row_ub):
+            finite = arr[np.isfinite(arr)]
+            if finite.size:
+                max_abs_rhs = max(max_abs_rhs, float(np.abs(finite).max()))
+        compiled = _Compiled(
+            c=c,
+            a=a_matrix,
+            row_lb=row_lb,
+            row_ub=row_ub,
+            var_lb=self._var_lb.view(),
+            var_ub=self._var_ub.view(),
+            integrality=self._var_int.view(),
+            max_abs_coef=max_abs_coef,
+            max_abs_rhs=max_abs_rhs,
+        )
+        self._compile_seconds = time.monotonic() - started
+        self._compiled = compiled
+        return compiled, False
+
     def _compile(self):
         """Build (c, A, row_lb, row_ub, bounds, integrality) matrices."""
-        n = len(self._vars)
-        c = np.zeros(n)
-        for idx, coef in self._objective.terms.items():
-            c[idx] = coef
+        compiled, _ = self._ensure_compiled()
+        return (
+            compiled.c,
+            compiled.a,
+            compiled.row_lb,
+            compiled.row_ub,
+            compiled.var_lb,
+            compiled.var_ub,
+            compiled.integrality,
+        )
 
-        rows, cols, data = [], [], []
-        row_lb = np.empty(len(self._constraints))
-        row_ub = np.empty(len(self._constraints))
-        for i, con in enumerate(self._constraints):
-            rhs = con.rhs()
-            for idx, coef in con.expr.terms.items():
-                rows.append(i)
-                cols.append(idx)
-                data.append(coef)
-            if con.sense == "<=":
-                row_lb[i], row_ub[i] = -np.inf, rhs
-            elif con.sense == ">=":
-                row_lb[i], row_ub[i] = rhs, np.inf
+    def _materialize_constraints(self) -> list[Constraint]:
+        """Build Constraint handles for batch-added rows from the CSR."""
+        compiled, _ = self._ensure_compiled()
+        indptr = compiled.a.indptr
+        indices = compiled.a.indices
+        data = compiled.a.data
+        senses = self._row_sense.view()
+        out: list[Constraint] = []
+        for i, existing in enumerate(self._row_cons):
+            if existing is not None:
+                out.append(existing)
+                continue
+            expr = LinExpr.from_arrays(
+                indices[indptr[i] : indptr[i + 1]],
+                data[indptr[i] : indptr[i + 1]],
+            )
+            code = senses[i]
+            if code == _RANGE:
+                con: Constraint = RangeConstraint(
+                    expr, compiled.row_lb[i], compiled.row_ub[i],
+                    name=self._row_names[i],
+                )
             else:
-                row_lb[i], row_ub[i] = rhs, rhs
-        a_matrix = sparse.csr_matrix(
-            (data, (rows, cols)), shape=(len(self._constraints), n)
-        )
-
-        var_lb = np.array([v.lb for v in self._vars])
-        var_ub = np.array([v.ub for v in self._vars])
-        integrality = np.array(
-            [1 if v.integer else 0 for v in self._vars], dtype=np.uint8
-        )
-        return c, a_matrix, row_lb, row_ub, var_lb, var_ub, integrality
+                rhs = compiled.row_ub[i] if code == _LE else compiled.row_lb[i]
+                expr.constant = -float(rhs)
+                sense = "<=" if code == _LE else (">=" if code == _GE else "==")
+                con = Constraint(expr, sense, name=self._row_names[i])
+            con.row = i
+            out.append(con)
+        return out
 
     # -- solving ----------------------------------------------------------
     def solve(
@@ -214,16 +665,159 @@ class Model:
             time_limit: Wall-clock budget in seconds handed to HiGHS.  On
                 expiry the best incumbent found so far (if any) is returned
                 with status :class:`SolveStatus.TIME_LIMIT` -- this is the
-                paper's ``timeout`` feature.
+                paper's ``timeout`` feature.  Check
+                :attr:`SolveResult.has_solution`: a timeout may carry no
+                incumbent at all.
             mip_rel_gap: Relative optimality gap at which branch-and-bound
                 may stop early (MILPs only).
         """
+        compiled, cached = self._ensure_compiled()
         if self.is_mip:
-            return self._solve_milp(time_limit, mip_rel_gap)
-        return self._solve_lp(time_limit)
+            return self._solve_milp(
+                compiled, time_limit, mip_rel_gap,
+                incremental=False, compile_cached=cached,
+            )
+        return self._solve_lp(
+            compiled, time_limit, incremental=False, compile_cached=cached
+        )
 
-    def _solve_milp(self, time_limit, mip_rel_gap) -> SolveResult:
-        c, a_matrix, row_lb, row_ub, var_lb, var_ub, integrality = self._compile()
+    def resolve_with(
+        self,
+        rhs_overrides: Mapping | None = None,
+        bound_overrides: Mapping | None = None,
+        *,
+        time_limit: float | None = None,
+        mip_rel_gap: float | None = None,
+    ) -> SolveResult:
+        """Re-solve with patched row/variable bounds, reusing the structure.
+
+        The compiled matrix is not rebuilt -- only copies of the bound
+        arrays are patched -- so sweeping a threshold, updating demands, or
+        re-pinning variables costs one array copy plus the solve.  The
+        model itself is left unchanged: a later :meth:`solve` sees the
+        original bounds.
+
+        Args:
+            rhs_overrides: ``{constraint_or_row_index: new_rhs}``.  Keys
+                are :class:`Constraint` handles (``con.row``) or integer
+                row indices (e.g. from :meth:`add_constrs_batch`).  For
+                one-sided/equality rows the value is a float replacing the
+                right-hand side; range rows take a ``(lo, hi)`` tuple
+                (either side ``None`` to keep it).
+            bound_overrides: ``{var_or_column_index: new_bounds}``.  A
+                float sets the upper bound (the common "cap this flow"
+                case); a ``(lb, ub)`` tuple sets both (``None`` keeps a
+                side).
+            time_limit / mip_rel_gap: As in :meth:`solve`.
+        """
+        compiled, _ = self._ensure_compiled()
+        row_lb, row_ub = compiled.row_lb, compiled.row_ub
+        if rhs_overrides:
+            row_lb = row_lb.copy()
+            row_ub = row_ub.copy()
+            senses = self._row_sense.view()
+            m = row_lb.size
+            for key, value in rhs_overrides.items():
+                if isinstance(key, Constraint):
+                    i = key.row
+                    if i is None:
+                        raise ModelingError(
+                            f"constraint {key!r} was never added to a model"
+                        )
+                else:
+                    i = int(key)
+                if not 0 <= i < m:
+                    raise ModelingError(f"row index {i} out of range [0, {m})")
+                if isinstance(value, tuple):
+                    lo, hi = value
+                    if lo is not None:
+                        row_lb[i] = float(lo)
+                    if hi is not None:
+                        row_ub[i] = float(hi)
+                else:
+                    code = senses[i]
+                    v = float(value)
+                    if code == _LE:
+                        row_ub[i] = v
+                    elif code == _GE:
+                        row_lb[i] = v
+                    elif code == _EQ:
+                        row_lb[i] = v
+                        row_ub[i] = v
+                    else:
+                        raise ModelingError(
+                            f"row {i} is a range constraint; override with a "
+                            f"(lo, hi) tuple"
+                        )
+                if row_lb[i] > row_ub[i]:
+                    raise ModelingError(
+                        f"override leaves row {i} with lb {row_lb[i]} > "
+                        f"ub {row_ub[i]}"
+                    )
+        var_lb, var_ub = compiled.var_lb, compiled.var_ub
+        if bound_overrides:
+            var_lb = var_lb.copy()
+            var_ub = var_ub.copy()
+            n = var_lb.size
+            for key, value in bound_overrides.items():
+                j = key.index if isinstance(key, Var) else int(key)
+                if not 0 <= j < n:
+                    raise ModelingError(
+                        f"column index {j} out of range [0, {n})"
+                    )
+                if isinstance(value, tuple):
+                    lo, hi = value
+                    if lo is not None:
+                        var_lb[j] = float(lo)
+                    if hi is not None:
+                        var_ub[j] = float(hi)
+                else:
+                    var_ub[j] = float(value)
+                if var_lb[j] > var_ub[j]:
+                    raise ModelingError(
+                        f"override leaves column {j} with lb {var_lb[j]} > "
+                        f"ub {var_ub[j]}"
+                    )
+        patched = compiled._replace(
+            row_lb=row_lb, row_ub=row_ub, var_lb=var_lb, var_ub=var_ub
+        )
+        if self.is_mip:
+            return self._solve_milp(
+                patched, time_limit, mip_rel_gap,
+                incremental=True, compile_cached=True,
+            )
+        return self._solve_lp(
+            patched, time_limit, incremental=True, compile_cached=True
+        )
+
+    def _make_stats(
+        self,
+        compiled: _Compiled,
+        backend: str,
+        solve_seconds: float,
+        dual_mode: str,
+        incremental: bool,
+        compile_cached: bool,
+    ) -> SolveStats:
+        return SolveStats(
+            rows=compiled.a.shape[0],
+            cols=compiled.a.shape[1],
+            nnz=int(compiled.a.nnz),
+            num_integer=self._num_integer,
+            build_seconds=self._build_seconds,
+            compile_seconds=0.0 if compile_cached else self._compile_seconds,
+            solve_seconds=solve_seconds,
+            backend=backend,
+            max_abs_coefficient=compiled.max_abs_coef,
+            max_abs_rhs=compiled.max_abs_rhs,
+            dual_mode=dual_mode,
+            incremental=incremental,
+            compile_cached=compile_cached,
+        )
+
+    def _solve_milp(
+        self, compiled, time_limit, mip_rel_gap, incremental, compile_cached
+    ) -> SolveResult:
         sign = -1.0 if self._sense == "max" else 1.0
         options: dict = {}
         if time_limit is not None:
@@ -232,16 +826,16 @@ class Model:
             options["mip_rel_gap"] = float(mip_rel_gap)
 
         constraints = (
-            optimize.LinearConstraint(a_matrix, row_lb, row_ub)
-            if a_matrix.shape[0]
+            optimize.LinearConstraint(compiled.a, compiled.row_lb, compiled.row_ub)
+            if compiled.a.shape[0]
             else ()
         )
         started = time.monotonic()
         res = optimize.milp(
-            sign * c,
+            sign * compiled.c,
             constraints=constraints,
-            integrality=integrality,
-            bounds=optimize.Bounds(var_lb, var_ub),
+            integrality=compiled.integrality,
+            bounds=optimize.Bounds(compiled.var_lb, compiled.var_ub),
             options=options,
         )
         elapsed = time.monotonic() - started
@@ -253,6 +847,9 @@ class Model:
             if res.fun is not None
             else float("nan")
         )
+        message = str(res.message)
+        if status is SolveStatus.TIME_LIMIT and x is None:
+            message = f"time limit reached with no incumbent solution; {message}"
         gap = getattr(res, "mip_gap", None)
         return SolveResult(
             status=status,
@@ -261,14 +858,21 @@ class Model:
             duals=None,
             mip_gap=float(gap) if gap is not None else None,
             solve_seconds=elapsed,
-            message=str(res.message),
+            message=message,
+            stats=self._make_stats(
+                compiled, "milp", elapsed, "none", incremental, compile_cached
+            ),
         )
 
-    def _solve_lp(self, time_limit) -> SolveResult:
-        c, a_matrix, row_lb, row_ub, var_lb, var_ub, _ = self._compile()
+    def _solve_lp(
+        self, compiled, time_limit, incremental, compile_cached
+    ) -> SolveResult:
+        row_lb, row_ub = compiled.row_lb, compiled.row_ub
+        a_matrix = compiled.a
         sign = -1.0 if self._sense == "max" else 1.0
 
         # linprog wants A_ub x <= b_ub and A_eq x == b_eq; split rows.
+        # Range rows (finite, unequal bounds) contribute to BOTH masks.
         eq_mask = np.isfinite(row_lb) & np.isfinite(row_ub) & (row_lb == row_ub)
         ub_mask = ~eq_mask & np.isfinite(row_ub)
         lb_mask = ~eq_mask & np.isfinite(row_lb)
@@ -290,12 +894,12 @@ class Model:
             options["time_limit"] = float(time_limit)
         started = time.monotonic()
         res = optimize.linprog(
-            sign * c,
+            sign * compiled.c,
             A_ub=a_ub,
             b_ub=b_ub,
             A_eq=a_eq,
             b_eq=b_eq,
-            bounds=np.column_stack([var_lb, var_ub]),
+            bounds=np.column_stack([compiled.var_lb, compiled.var_ub]),
             method="highs",
             options=options,
         )
@@ -308,7 +912,9 @@ class Model:
             if res.fun is not None
             else float("nan")
         )
-        duals = self._recover_duals(res, eq_mask, ub_mask, lb_mask, sign)
+        duals = self._recover_duals(
+            res, eq_mask, ub_mask, lb_mask, sign, n_rows=row_lb.size
+        )
         return SolveResult(
             status=status,
             objective=objective,
@@ -316,42 +922,51 @@ class Model:
             duals=duals,
             solve_seconds=elapsed,
             message=str(res.message),
+            stats=self._make_stats(
+                compiled,
+                "linprog",
+                elapsed,
+                "lp" if duals is not None else "none",
+                incremental,
+                compile_cached,
+            ),
         )
 
-    def _recover_duals(self, res, eq_mask, ub_mask, lb_mask, sign):
+    def _recover_duals(self, res, eq_mask, ub_mask, lb_mask, sign, n_rows):
         """Map linprog marginals back to original constraint order.
 
         We report ``duals[i] = d(objective)/d(rhs_i)`` *in the model's own
         sense*, so for a maximization a binding ``<=`` constraint has a
         nonnegative dual (the usual TE shadow-price convention), and for a
         minimization a binding ``>=`` constraint has a nonnegative dual.
+
+        Range rows appear in both the ub and lb blocks of the matrix fed
+        to linprog, so their two marginals are *summed* -- at most one
+        side is binding at an optimum, and summing (rather than letting
+        the lb side overwrite the ub side, the historical bug) reports the
+        marginal of shifting the whole interval.
         """
         if res.x is None or not hasattr(res, "ineqlin"):
             return None
-        n_rows = len(self._constraints)
         duals = np.zeros(n_rows)
-        ineq_marginals = (
-            np.asarray(res.ineqlin.marginals) if res.ineqlin is not None else None
-        )
+        if res.ineqlin is not None:
+            # linprog's marginal is d(min objective)/d(b) of the row as fed
+            # to linprog; our objective is sign * that, and flipped lb rows
+            # were fed as -A x <= -b, so d/d(b) gains another minus sign.
+            ineq_marginals = np.asarray(res.ineqlin.marginals)
+            idx_ub = np.flatnonzero(ub_mask)
+            duals[idx_ub] += sign * ineq_marginals[: idx_ub.size]
+            idx_lb = np.flatnonzero(lb_mask)
+            duals[idx_lb] += -sign * ineq_marginals[
+                idx_ub.size : idx_ub.size + idx_lb.size
+            ]
         eq_marginals = (
             np.asarray(res.eqlin.marginals)
             if getattr(res, "eqlin", None) is not None
             else None
         )
-        pos = 0
-        if ineq_marginals is not None:
-            # linprog's marginal is d(min objective)/d(b) of the row as fed
-            # to linprog; our objective is sign * that, and flipped lb rows
-            # were fed as -A x <= -b, so d/d(b) gains another minus sign.
-            for i in np.flatnonzero(ub_mask):
-                duals[i] = sign * ineq_marginals[pos]
-                pos += 1
-            for i in np.flatnonzero(lb_mask):
-                duals[i] = -sign * ineq_marginals[pos]
-                pos += 1
         if eq_marginals is not None:
-            for j, i in enumerate(np.flatnonzero(eq_mask)):
-                duals[i] = sign * eq_marginals[j]
+            duals[np.flatnonzero(eq_mask)] = sign * eq_marginals
         return duals
 
     def __repr__(self):

@@ -1,10 +1,10 @@
-"""Solve results and statuses returned by :class:`repro.solver.model.Model`."""
+"""Solve results, statuses, and telemetry returned by the solver layer."""
 
 from __future__ import annotations
 
 import enum
 import numbers
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -31,6 +31,72 @@ class SolveStatus(enum.Enum):
         return self in (SolveStatus.OPTIMAL, SolveStatus.TIME_LIMIT)
 
 
+@dataclass(frozen=True)
+class SolveStats:
+    """Per-solve telemetry: where the time went and how big the model was.
+
+    Attached to every :class:`SolveResult` so callers (the analyzer, the
+    sweep runner, the CLI's ``--stats`` flag) can attribute wall time to
+    build vs. compile vs. solve and spot numerically risky encodings.
+
+    Attributes:
+        rows / cols / nnz: Compiled constraint-matrix dimensions.
+        num_integer: Integer (including binary) variable count.
+        build_seconds: Wall time from model creation to first compile --
+            the modeling-layer cost of assembling the formulation.
+        compile_seconds: Time spent turning the model into CSR matrices
+            (zero when the compile cache was reused).
+        solve_seconds: Time inside the HiGHS backend call.
+        backend: ``"milp"`` or ``"linprog"``.
+        max_abs_coefficient: Largest coefficient magnitude in the matrix
+            -- a proxy for big-M magnitudes (large values flag loose
+            linearizations that invite numerical trouble).
+        max_abs_rhs: Largest finite row-bound magnitude.
+        dual_mode: How duals were recovered: ``"lp"`` (linprog
+            marginals, range-row marginals summed) or ``"none"`` (MILPs).
+        incremental: Whether this was a :meth:`Model.resolve_with`
+            re-solve reusing the compiled structure.
+        compile_cached: Whether the compile cache supplied the matrices.
+    """
+
+    rows: int
+    cols: int
+    nnz: int
+    num_integer: int
+    build_seconds: float
+    compile_seconds: float
+    solve_seconds: float
+    backend: str
+    max_abs_coefficient: float
+    max_abs_rhs: float
+    dual_mode: str
+    incremental: bool = False
+    compile_cached: bool = False
+
+    @property
+    def total_seconds(self) -> float:
+        """Compile plus solve time (build overlaps caller code)."""
+        return self.compile_seconds + self.solve_seconds
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable form (sweep results, journals, caches)."""
+        return asdict(self)
+
+    def summary(self) -> str:
+        """One-line human-readable form."""
+        return (
+            f"{self.rows}x{self.cols} ({self.nnz} nnz, "
+            f"{self.num_integer} int) via {self.backend}: "
+            f"build {self.build_seconds:.3f}s, "
+            f"compile {self.compile_seconds:.3f}s"
+            f"{' (cached)' if self.compile_cached else ''}, "
+            f"solve {self.solve_seconds:.3f}s"
+            f"{' (incremental)' if self.incremental else ''}; "
+            f"|A|max {self.max_abs_coefficient:g}, "
+            f"|b|max {self.max_abs_rhs:g}, duals {self.dual_mode}"
+        )
+
+
 @dataclass
 class SolveResult:
     """The outcome of solving a model.
@@ -46,6 +112,8 @@ class SolveResult:
             of a binding ``<=`` constraint is nonnegative.
         mip_gap: Relative MIP gap reported by HiGHS when available.
         solve_seconds: Wall-clock time spent inside the backend call.
+        stats: Per-solve :class:`SolveStats` telemetry (``None`` only for
+            results constructed by hand, e.g. in tests).
     """
 
     status: SolveStatus
@@ -55,11 +123,18 @@ class SolveResult:
     mip_gap: float | None = None
     solve_seconds: float = 0.0
     message: str = ""
+    stats: SolveStats | None = None
     _names: list[str] = field(default_factory=list, repr=False)
 
     @property
     def has_solution(self) -> bool:
-        """Whether variable values are available."""
+        """Whether variable values are available.
+
+        A :class:`SolveStatus.TIME_LIMIT` result *without* an incumbent
+        (the solver expired before finding any feasible point) reports
+        ``False`` here -- callers must check this before trusting a
+        timeout result, since ``objective`` is ``nan`` in that case.
+        """
         return self.x is not None
 
     def value(self, item) -> float:

@@ -20,10 +20,12 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Iterable, Mapping
 
+import numpy as np
+
 from repro.network.demand import Pair
 from repro.network.topology import LagKey, Topology, lag_key
 from repro.paths.pathset import PathSet
-from repro.solver import Model, quicksum
+from repro.solver import LinExpr, Model
 from repro.te.base import TESolution, effective_capacities
 
 
@@ -82,7 +84,11 @@ class EdgeMcf:
         # Directed flow per (pair, lag, direction); direction 0 is u->v.
         flow: dict[tuple[Pair, LagKey, int], object] = {}
         routed: dict[Pair, object] = {}
-        per_lag: dict[LagKey, list] = defaultdict(list)
+        per_lag: dict[LagKey, list[int]] = defaultdict(list)
+        # Flow-conservation rows, accumulated as one COO batch.
+        bal_cols: list[int] = []
+        bal_data: list[float] = []
+        bal_indptr: list[int] = [0]
 
         for pair, volume in demands.items():
             src, dst = pair
@@ -92,8 +98,8 @@ class EdgeMcf:
             )
             f_k = model.add_var(ub=max(volume, 0.0), name=f"f[{pair}]")
             routed[pair] = f_k
-            outgoing: dict[str, list] = defaultdict(list)
-            incoming: dict[str, list] = defaultdict(list)
+            outgoing: dict[str, list[int]] = defaultdict(list)
+            incoming: dict[str, list[int]] = defaultdict(list)
             for lag in topology.lags:
                 if allowed is not None and lag.key not in allowed:
                     continue
@@ -101,24 +107,54 @@ class EdgeMcf:
                 bwd = model.add_var(name=f"e[{pair}][{lag.key}]-")
                 flow[(pair, lag.key, 0)] = fwd
                 flow[(pair, lag.key, 1)] = bwd
-                per_lag[lag.key] += [fwd, bwd]
-                outgoing[lag.u].append(fwd)
-                incoming[lag.v].append(fwd)
-                outgoing[lag.v].append(bwd)
-                incoming[lag.u].append(bwd)
+                per_lag[lag.key] += [fwd.index, bwd.index]
+                outgoing[lag.u].append(fwd.index)
+                incoming[lag.v].append(fwd.index)
+                outgoing[lag.v].append(bwd.index)
+                incoming[lag.u].append(bwd.index)
             for node in topology.nodes:
-                balance = quicksum(outgoing[node]) - quicksum(incoming[node])
+                # out - in - f_k*[node==src] + f_k*[node==dst] == 0
+                cols = outgoing[node]
+                bal_cols.extend(cols)
+                bal_data.extend([1.0] * len(cols))
+                cols = incoming[node]
+                bal_cols.extend(cols)
+                bal_data.extend([-1.0] * len(cols))
                 if node == src:
-                    model.add_constr(balance == f_k)
+                    bal_cols.append(f_k.index)
+                    bal_data.append(-1.0)
                 elif node == dst:
-                    model.add_constr(balance == -f_k)
-                else:
-                    model.add_constr(balance == 0)
-        for key, vars_on_lag in per_lag.items():
-            model.add_constr(quicksum(vars_on_lag) <= caps[key],
-                             name=f"cap[{key}]")
+                    bal_cols.append(f_k.index)
+                    bal_data.append(1.0)
+                bal_indptr.append(len(bal_cols))
+        if len(bal_indptr) > 1:
+            model.add_constrs_batch(
+                bal_indptr, bal_cols, bal_data, sense="==", rhs=0.0,
+                name="balance",
+            )
+        if per_lag:
+            lag_cols: list[int] = []
+            lag_indptr: list[int] = [0]
+            lag_rhs: list[float] = []
+            for key, cols_on_lag in per_lag.items():
+                lag_cols.extend(cols_on_lag)
+                lag_indptr.append(len(lag_cols))
+                lag_rhs.append(caps[key])
+            model.add_constrs_batch(
+                lag_indptr, lag_cols, rhs=lag_rhs, name="cap"
+            )
 
-        model.set_objective(quicksum(routed.values()), sense="max")
+        model.set_objective(
+            LinExpr.from_arrays(
+                np.fromiter(
+                    (v.index for v in routed.values()),
+                    dtype=np.intp,
+                    count=len(routed),
+                ),
+                np.ones(len(routed)),
+            ),
+            sense="max",
+        )
         result = model.solve()
         if not result.status.ok or result.x is None:
             return TESolution.infeasible()

@@ -13,6 +13,10 @@ The same class models both the healthy network (primary paths, full
 capacities) and a concrete failed network (reduced capacities, path caps
 from the fail-over rules) -- which is exactly how the paper's inner
 problems are structured.
+
+Constraints are assembled through :meth:`Model.add_constrs_batch` -- one
+call per constraint family (path caps, demands, LAG capacities) -- so the
+model compiles without per-term Python loops.
 """
 
 from __future__ import annotations
@@ -20,11 +24,13 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Mapping
 
+import numpy as np
+
 from repro.network.demand import Pair
 from repro.network.topology import LagKey, Topology
 from repro.paths.ksp import Path
 from repro.paths.pathset import PathSet
-from repro.solver import Model, quicksum
+from repro.solver import LinExpr, Model
 from repro.te.base import (
     TESolution,
     effective_capacities,
@@ -73,28 +79,63 @@ class TotalFlowTE:
 
         model = Model("total-flow-te")
         flow: dict[tuple[Pair, Path], object] = {}
-        per_lag: dict[LagKey, list] = defaultdict(list)
+        per_lag: dict[LagKey, list[int]] = defaultdict(list)
+        # Per-family COO accumulators, flushed in one batch call each.
+        cap_cols: list[int] = []
+        cap_rhs: list[float] = []
+        dem_cols: list[int] = []
+        dem_indptr: list[int] = [0]
+        dem_rhs: list[float] = []
         for pair, volume in demands.items():
             dp = paths[pair]
             candidates = dp.primaries if self.primary_only else dp.paths
             usable = [
                 p for p in usable_paths_for(dp, path_caps) if p in set(candidates)
             ]
-            terms = []
             for path in usable:
                 var = model.add_var(name=f"f[{pair}][{'-'.join(path)}]")
                 flow[(pair, path)] = var
-                terms.append(var)
+                dem_cols.append(var.index)
                 if path_caps is not None and (pair, path) in path_caps:
-                    model.add_constr(var <= path_caps[(pair, path)])
+                    cap_cols.append(var.index)
+                    cap_rhs.append(path_caps[(pair, path)])
                 for lag in topology.lags_on_path(path):
-                    per_lag[lag.key].append(var)
-            if terms:
-                model.add_constr(quicksum(terms) <= volume, name=f"dem[{pair}]")
-        for key, vars_on_lag in per_lag.items():
-            model.add_constr(quicksum(vars_on_lag) <= caps[key], name=f"cap[{key}]")
+                    per_lag[lag.key].append(var.index)
+            if len(dem_cols) > dem_indptr[-1]:
+                dem_indptr.append(len(dem_cols))
+                dem_rhs.append(volume)
+        if cap_cols:
+            model.add_constrs_batch(
+                np.arange(len(cap_cols) + 1), cap_cols, rhs=cap_rhs,
+                name="path_cap",
+            )
+        if dem_rhs:
+            model.add_constrs_batch(
+                dem_indptr, dem_cols, rhs=dem_rhs, name="dem"
+            )
+        if per_lag:
+            lag_cols: list[int] = []
+            lag_indptr: list[int] = [0]
+            lag_rhs: list[float] = []
+            for key, cols_on_lag in per_lag.items():
+                lag_cols.extend(cols_on_lag)
+                lag_indptr.append(len(lag_cols))
+                lag_rhs.append(caps[key])
+            model.add_constrs_batch(
+                lag_indptr, lag_cols, rhs=lag_rhs, name="cap"
+            )
 
-        model.set_objective(quicksum(flow.values()), sense="max")
+        model.set_objective(
+            LinExpr.from_arrays(
+                np.fromiter(
+                    (v.index for v in flow.values()),
+                    dtype=np.intp,
+                    count=len(flow),
+                ),
+                np.ones(len(flow)),
+            ),
+            sense="max",
+        )
         result = model.solve()
         if not result.status.ok or result.x is None:
             return TESolution.infeasible()

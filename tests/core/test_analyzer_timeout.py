@@ -1,0 +1,81 @@
+"""Incumbent-free time limits must fail loudly, not return NaN results.
+
+A ``TIME_LIMIT`` status can mean two very different things: HiGHS stopped
+with a feasible incumbent (usable, conservative), or it expired before
+finding *any* feasible point (``x is None``, objective NaN).  The analyzer
+must treat the second case as a failure instead of propagating NaN
+degradation into reports and alert payloads.
+"""
+
+import pytest
+
+from repro import PathSet, RahaAnalyzer, RahaConfig
+from repro.exceptions import SolverError
+from repro.metaopt.bilevel import StackelbergProblem
+from repro.network.builder import from_edges
+from repro.solver.result import SolveResult, SolveStatus
+
+
+@pytest.fixture
+def diamond():
+    return from_edges([
+        ("a", "b", 10), ("b", "d", 10), ("a", "c", 6), ("c", "d", 6),
+    ], failure_probability=0.05)
+
+
+@pytest.fixture
+def diamond_paths(diamond):
+    return PathSet.k_shortest(diamond, [("a", "d")], num_primary=2,
+                              num_backup=0)
+
+
+def _timeout_without_incumbent(self, time_limit=None, mip_rel_gap=None):
+    return SolveResult(
+        status=SolveStatus.TIME_LIMIT,
+        x=None,
+        message="time limit reached with no incumbent solution",
+    )
+
+
+class TestIncumbentFreeTimeout:
+    def test_analyzer_raises_solver_error(self, diamond, diamond_paths,
+                                          monkeypatch):
+        monkeypatch.setattr(
+            StackelbergProblem, "solve", _timeout_without_incumbent
+        )
+        config = RahaConfig(
+            fixed_demands={("a", "d"): 12.0}, max_failures=1, time_limit=7.0
+        )
+        with pytest.raises(SolverError, match="no incumbent"):
+            RahaAnalyzer(diamond, diamond_paths, config).analyze()
+
+    def test_error_names_the_configured_limit(self, diamond, diamond_paths,
+                                              monkeypatch):
+        monkeypatch.setattr(
+            StackelbergProblem, "solve", _timeout_without_incumbent
+        )
+        config = RahaConfig(
+            fixed_demands={("a", "d"): 12.0}, max_failures=1, time_limit=42.0
+        )
+        with pytest.raises(SolverError, match="42"):
+            RahaAnalyzer(diamond, diamond_paths, config).analyze()
+
+    def test_timeout_with_incumbent_still_usable(self, diamond,
+                                                 diamond_paths):
+        # Sanity: a normal run reports solver stats and a usable status
+        # (the incumbent-free branch must not catch healthy solves).
+        config = RahaConfig(fixed_demands={("a", "d"): 12.0}, max_failures=1)
+        result = RahaAnalyzer(diamond, diamond_paths, config).analyze()
+        assert result.status in ("optimal", "time_limit")
+        assert result.solver_stats is not None
+        assert result.solver_stats["backend"] == "milp"
+        assert result.solver_stats["rows"] > 0
+
+
+class TestHasSolutionSemantics:
+    def test_time_limit_without_x(self):
+        r = SolveResult(status=SolveStatus.TIME_LIMIT, x=None)
+        assert r.status.ok
+        assert not r.has_solution
+        with pytest.raises(ValueError):
+            r.value(3.0)

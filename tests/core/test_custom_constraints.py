@@ -4,7 +4,7 @@ import pytest
 
 from repro import PathSet, RahaAnalyzer, RahaConfig
 from repro.network.builder import from_edges
-from repro.solver.expr import Var, quicksum
+from repro.solver.expr import quicksum
 
 
 @pytest.fixture

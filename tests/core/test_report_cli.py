@@ -235,3 +235,67 @@ class TestCliContinents:
         assert "africa:" in out
         assert "europe:" in out
         assert "backbone:" in out
+
+
+class TestCliSolverStats:
+    @pytest.fixture
+    def files(self, tmp_path, topo, paths):
+        topo_path = str(tmp_path / "topo.json")
+        paths_path = str(tmp_path / "paths.json")
+        demands_path = str(tmp_path / "demands.json")
+        ser.save_json(ser.topology_to_dict(topo), topo_path)
+        ser.save_json(ser.paths_to_dict(paths), paths_path)
+        ser.save_json(
+            ser.demands_to_dict({("a", "d"): 12.0}), demands_path
+        )
+        return topo_path, paths_path, demands_path
+
+    def test_analyze_stats_prints_telemetry_block(self, files, capsys):
+        topo_path, paths_path, demands_path = files
+        code = main([
+            "analyze", "--topology", topo_path, "--paths", paths_path,
+            "--demands", demands_path, "--max-failures", "1", "--stats",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "solver stats:" in out
+        assert "matrix:" in out
+        assert "compile" in out
+        assert "backend: milp" in out
+
+    def test_analyze_without_stats_is_quiet(self, files, capsys):
+        topo_path, paths_path, demands_path = files
+        code = main([
+            "analyze", "--topology", topo_path, "--paths", paths_path,
+            "--demands", demands_path, "--max-failures", "1",
+        ])
+        assert code == 0
+        assert "solver stats:" not in capsys.readouterr().out
+
+    def test_result_json_carries_solver_stats(self, tmp_path, files):
+        topo_path, paths_path, demands_path = files
+        out = str(tmp_path / "result.json")
+        code = main([
+            "analyze", "--topology", topo_path, "--paths", paths_path,
+            "--demands", demands_path, "--max-failures", "1", "--out", out,
+        ])
+        assert code == 0
+        payload = json.load(open(out))
+        stats = payload["solver_stats"]
+        assert stats["backend"] == "milp"
+        assert stats["rows"] > 0
+        assert stats["solve_seconds"] >= 0.0
+
+    def test_threshold_sweep_prints_telemetry_line(self, tmp_path, files,
+                                                   capsys):
+        topo_path, paths_path, demands_path = files
+        code = main([
+            "analyze", "--topology", topo_path, "--paths", paths_path,
+            "--demands", demands_path, "--max-failures", "1",
+            "--threshold", "1e-1,1e-3", "--jobs", "1",
+            "--workdir", str(tmp_path / "wd"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry: 2 jobs reported stats" in out
+        assert "build" in out and "solve" in out

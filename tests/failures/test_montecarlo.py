@@ -5,7 +5,7 @@ import pytest
 from repro import PathSet, RahaAnalyzer, RahaConfig, Srlg
 from repro.exceptions import TopologyError
 from repro.failures.montecarlo import estimate_availability, sample_scenario
-from repro.network.builder import from_edges, with_link_probabilities
+from repro.network.builder import from_edges
 from repro.network.srlg import attach_srlg
 
 import numpy as np
@@ -109,3 +109,83 @@ class TestEstimateAvailability:
         with pytest.raises(ValueError):
             estimate_availability(diamond, {("a", "d"): 1.0}, paths,
                                   samples=0)
+
+
+class TestScenarioResolver:
+    """The compile-once resolver must match the rebuild-every-time
+    simulation exactly -- it is the hot path behind availability runs."""
+
+    def _grid(self):
+        topology = from_edges([
+            ("a", "b", 10), ("b", "d", 10), ("a", "c", 6), ("c", "d", 6),
+            ("b", "c", 4), ("a", "d", 3),
+        ], failure_probability=0.1)
+        paths = PathSet.k_shortest(
+            topology, [("a", "d"), ("b", "c")], num_primary=2, num_backup=1
+        )
+        demands = {("a", "d"): 12.0, ("b", "c"): 5.0}
+        return topology, demands, paths
+
+    def test_matches_simulation_over_all_single_failures(self):
+        from repro.failures.montecarlo import ScenarioResolver
+        from repro.failures.scenario import (
+            FailureScenario,
+            simulate_failed_network,
+        )
+
+        topology, demands, paths = self._grid()
+        resolver = ScenarioResolver(topology, demands, paths)
+        scenarios = [FailureScenario()] + [
+            FailureScenario([(lag.key, i)])
+            for lag in topology.lags
+            for i in range(len(lag.links))
+        ]
+        for scenario in scenarios:
+            expected = simulate_failed_network(
+                topology, demands, paths, scenario
+            ).total_flow
+            assert resolver.delivered(scenario) == pytest.approx(
+                expected, abs=1e-6
+            ), f"mismatch under {scenario}"
+
+    def test_matches_simulation_on_double_failures(self):
+        import itertools
+
+        from repro.failures.montecarlo import ScenarioResolver
+        from repro.failures.scenario import (
+            FailureScenario,
+            simulate_failed_network,
+        )
+
+        topology, demands, paths = self._grid()
+        resolver = ScenarioResolver(topology, demands, paths)
+        links = [
+            (lag.key, i)
+            for lag in topology.lags
+            for i in range(len(lag.links))
+        ]
+        for pair in itertools.combinations(links, 2):
+            scenario = FailureScenario(pair)
+            expected = simulate_failed_network(
+                topology, demands, paths, scenario
+            ).total_flow
+            assert resolver.delivered(scenario) == pytest.approx(
+                expected, abs=1e-6
+            )
+
+    def test_resolver_is_stateless_between_scenarios(self, diamond, paths):
+        from repro.failures.montecarlo import ScenarioResolver
+        from repro.failures.scenario import FailureScenario
+
+        demands = {("a", "d"): 12.0}
+        resolver = ScenarioResolver(diamond, demands, paths)
+        healthy = resolver.delivered(FailureScenario())
+        key = (("a", "b"), 0)
+        degraded = resolver.delivered(FailureScenario([key]))
+        assert degraded < healthy
+        # Re-solving the healthy scenario must recover the original optimum:
+        # bound/rhs patches from the degraded solve must not leak.
+        assert resolver.delivered(FailureScenario()) == pytest.approx(healthy)
+
+    def test_exported_from_package(self):
+        from repro.failures import ScenarioResolver  # noqa: F401

@@ -1,6 +1,6 @@
 """Extra coverage for demand matrices and envelope helpers."""
 
-import pytest
+
 
 from repro import DemandMatrix
 from repro.network.demand import all_pairs, demand_envelope

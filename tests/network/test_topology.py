@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import TopologyError
-from repro.network import Lag, Link, Topology
+from repro.network import Link, Topology
 from repro.network.builder import from_edges, line
 
 

@@ -45,3 +45,20 @@ def flaky_task(payload: dict) -> dict:
             handle.write("attempted\n")
         raise RuntimeError("first attempt always fails")
     return {"recovered": True}
+
+
+def stats_task(payload: dict) -> dict:
+    """A job that reports per-solve telemetry like degradation_task does."""
+    params = payload["params"]
+    return {
+        "echo": params.get("value"),
+        "solve_seconds": 0.5,
+        "stats": {
+            "rows": 10, "cols": 4, "nnz": 20, "num_integer": 2,
+            "build_seconds": 0.25, "compile_seconds": 0.125,
+            "solve_seconds": 0.5, "backend": "milp",
+            "max_abs_coefficient": float(params.get("coef", 8.0)),
+            "max_abs_rhs": 12.0, "dual_mode": "none",
+            "incremental": False, "compile_cached": False,
+        },
+    }

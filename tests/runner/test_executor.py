@@ -184,3 +184,26 @@ class TestDefaults:
                               wall_timeout_margin=30.0)
         assert config.wall_timeout_for(60.0) == 210.0
         assert config.wall_timeout_for(None) is None
+
+
+class TestTelemetryAggregation:
+    def test_stats_totals_and_progress_accumulation(self, tmp_path):
+        jobs = [_job("stats_task", value=i, coef=8.0 * (i + 1))
+                for i in range(3)]
+        events = []
+        outcome = run_sweep(jobs, num_workers=1, progress=events.append)
+        totals = outcome.stats_totals()
+        assert totals["jobs_with_stats"] == 3
+        assert totals["build_seconds"] == pytest.approx(0.75)
+        assert totals["compile_seconds"] == pytest.approx(0.375)
+        assert totals["solve_seconds"] == pytest.approx(1.5)
+        assert totals["max_abs_coefficient"] == pytest.approx(24.0)
+        # The progress heartbeats carry the running build/compile sums.
+        assert events[-1].build_seconds == pytest.approx(0.75)
+        assert events[-1].compile_seconds == pytest.approx(0.375)
+
+    def test_stats_totals_zero_without_telemetry(self):
+        outcome = run_sweep([_job("echo_task", value=1)], num_workers=1)
+        totals = outcome.stats_totals()
+        assert totals["jobs_with_stats"] == 0
+        assert totals["solve_seconds"] == 0.0

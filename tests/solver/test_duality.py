@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.exceptions import ModelingError, VerificationError
-from repro.solver import Model, quicksum
+from repro.solver import Model
 from repro.solver.duality import InnerLP
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.solver import LinExpr, Model, quicksum
-from repro.solver.expr import Constraint, Var
+from repro.solver.expr import Constraint
 
 
 @pytest.fixture

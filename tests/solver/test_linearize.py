@@ -157,3 +157,97 @@ class TestGroupHelpers:
     def test_exactly_one_empty_rejected(self):
         with pytest.raises(ModelingError):
             exactly_one(Model(), [])
+
+
+class TestDegenerateIndicatorPaths:
+    """The pinned branches must add *only* the pin row (no big-M rows
+    with infinite or degenerate M), and stay correct at the boundaries
+    ``expr_ub == threshold`` / ``expr_lb == threshold``."""
+
+    def test_pin_to_zero_adds_single_row(self):
+        m = Model()
+        b = m.add_var(binary=True)
+        before = m.num_constraints
+        z = indicator_geq(m, b.to_expr(), 5, expr_lb=0, expr_ub=1)
+        assert m.num_constraints == before + 1
+        m.add_constr(b.to_expr() == 1)
+        m.set_objective(z, sense="max")
+        assert m.solve().require_ok().value(z) == pytest.approx(0.0)
+
+    def test_pin_to_one_adds_single_row(self):
+        m = Model()
+        b = m.add_var(binary=True)
+        before = m.num_constraints
+        z = indicator_geq(m, b + 3, 2, expr_lb=3, expr_ub=4)
+        assert m.num_constraints == before + 1
+        m.set_objective(z, sense="min")
+        assert m.solve().require_ok().value(z) == pytest.approx(1.0)
+
+    def test_boundary_ub_equals_threshold_not_pinned(self):
+        # expr can just reach the threshold: the big-M pair must still
+        # tie z to the test rather than pinning it.
+        m = Model()
+        bits = [m.add_var(binary=True) for _ in range(2)]
+        m.add_constr(quicksum(bits) == 2)
+        z = indicator_geq(m, quicksum(bits), 2, expr_lb=0, expr_ub=2)
+        m.set_objective(z, sense="min")
+        assert m.solve().require_ok().value(z) == pytest.approx(1.0)
+
+    def test_boundary_lb_equals_threshold_pins_one(self):
+        m = Model()
+        b = m.add_var(binary=True)
+        z = indicator_geq(m, b + 2, 2, expr_lb=2, expr_ub=3)
+        m.add_constr(b.to_expr() == 0)
+        m.set_objective(z, sense="min")
+        assert m.solve().require_ok().value(z) == pytest.approx(1.0)
+
+    def test_pinned_zero_conflicts_with_forced_one(self):
+        # The pin is a hard row: forcing z = 1 anyway must be infeasible,
+        # proving the degenerate path emits a real constraint.
+        m = Model()
+        b = m.add_var(binary=True)
+        z = indicator_geq(m, b.to_expr(), 5, expr_lb=0, expr_ub=1)
+        m.add_constr(z.to_expr() == 1)
+        m.set_objective(z, sense="max")
+        assert not m.solve().status.ok
+
+
+class TestDegenerateProductPaths:
+    def test_factor_at_its_upper_bound(self):
+        # factor == factor_ub makes the :ge row tight; w must equal ub.
+        m = Model()
+        z = m.add_var(binary=True)
+        x = m.add_var(ub=7.0)
+        m.add_constr(z.to_expr() == 1)
+        m.add_constr(x.to_expr() == 7.0)
+        w = product_binary_bounded(m, z, x, factor_ub=7.0)
+        m.set_objective(w, sense="min")
+        assert m.solve().require_ok().value(w) == pytest.approx(7.0)
+
+    def test_zero_upper_bound_pins_product(self):
+        m = Model()
+        z = m.add_var(binary=True)
+        x = m.add_var(ub=0.0)
+        w = product_binary_bounded(m, z, x, factor_ub=0.0)
+        m.add_constr(z.to_expr() == 1)
+        m.set_objective(w, sense="max")
+        assert m.solve().require_ok().value(w) == pytest.approx(0.0)
+
+    def test_expression_factor_at_bound(self):
+        # factor may be an expression, not a Var; drive it to the bound.
+        m = Model()
+        z = m.add_var(binary=True)
+        x = m.add_var(ub=2.0)
+        y = m.add_var(ub=2.0)
+        m.add_constr(x + y == 4.0)
+        m.add_constr(z.to_expr() == 1)
+        w = product_binary_bounded(m, z, x + y, factor_ub=4.0)
+        m.set_objective(w, sense="min")
+        assert m.solve().require_ok().value(w) == pytest.approx(4.0)
+
+    def test_negative_bound_rejected(self):
+        m = Model()
+        z = m.add_var(binary=True)
+        x = m.add_var(ub=1.0)
+        with pytest.raises(ModelingError):
+            product_binary_bounded(m, z, x, factor_ub=-1.0)

@@ -1,6 +1,6 @@
 """Tests for the prior-work TE schemes: FFC and TeaVaR-style CVaR."""
 
-import itertools
+
 
 import pytest
 from hypothesis import given, settings
