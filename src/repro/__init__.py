@@ -34,8 +34,8 @@ from repro.core.augment import (
     augment_existing_lags,
     augment_new_lags,
 )
-from repro.core.config import RahaConfig, RunnerConfig
-from repro.core.degradation import DegradationResult
+from repro.core.config import RahaConfig, ResilienceConfig, RunnerConfig
+from repro.core.degradation import DegradationResult, PartialResult
 from repro.exceptions import (
     InfeasibleError,
     ModelingError,
@@ -59,6 +59,7 @@ from repro.network.demand import (
 from repro.network.srlg import Srlg
 from repro.network.topology import Lag, Link, Topology
 from repro.paths.pathset import DemandPaths, PathSet
+from repro.resilience.faults import FaultPlan, FaultPoint
 from repro.runner.executor import run_sweep
 from repro.runner.jobs import Job, SweepSpec
 
@@ -73,16 +74,20 @@ __all__ = [
     "DemandMatrix",
     "DemandPaths",
     "FailureScenario",
+    "FaultPlan",
+    "FaultPoint",
     "InfeasibleError",
     "Job",
     "Lag",
     "Link",
     "ModelingError",
+    "PartialResult",
     "PathError",
     "PathSet",
     "RahaAnalyzer",
     "RahaConfig",
     "ReproError",
+    "ResilienceConfig",
     "RunnerConfig",
     "SolverError",
     "Srlg",

@@ -43,6 +43,11 @@ from repro.paths.pathset import PathSet
 #: Exit code when one or more sweep jobs settled with a structured error.
 EXIT_SWEEP_ERRORS = 4
 
+#: Exit code when ``analyze --allow-partial`` returned only an
+#: LP-relaxation bound (no incumbent within the time limits) -- usable,
+#: but distinguishable from a full result in scripts.
+EXIT_PARTIAL = 5
+
 
 def _load_topology(path: str) -> Topology:
     if path.endswith((".graphml", ".xml")):
@@ -110,8 +115,16 @@ def _run_campaign(spec, args, workdir: Path, use_cache: bool = True):
     config = RunnerConfig(num_workers=args.jobs,
                           retries=getattr(args, "retries", 1))
     progress = None if getattr(args, "quiet", False) else print_progress
+    chaos = None
+    chaos_arg = getattr(args, "chaos", None)
+    if chaos_arg:
+        from repro.resilience import FaultPlan
+
+        chaos = FaultPlan.from_arg(chaos_arg)
+        print(f"chaos: injecting {len(chaos.points)} fault point(s) "
+              f"(seed {chaos.seed}) -- self-test mode", file=sys.stderr)
     return run_sweep(spec, cache=cache, journal=journal, resume=args.resume,
-                     progress=progress, config=config)
+                     progress=progress, config=config, chaos=chaos)
 
 
 def _write_sweep_results(outcome, spec, path: Path) -> dict:
@@ -216,6 +229,9 @@ def _analyze_sweep(args, thresholds: list[float | None]) -> int:
             "max_failures": args.max_failures,
             "connected_enforced": args.connected_enforced,
             "time_limit": args.time_limit,
+            # Only present when requested, so enabling it never
+            # invalidates existing cache keys of normal runs.
+            **({"allow_partial": True} if args.allow_partial else {}),
         },
         cells=[{"threshold": t} for t in thresholds],
         name="analyze",
@@ -257,6 +273,22 @@ def _print_solver_stats(stats: dict | None) -> None:
           f"compile cached: {stats.get('compile_cached', False)})")
 
 
+def _partial_report(result) -> str:
+    """Operator-facing rendering of a PartialResult (bound, no witness)."""
+    lines = [
+        result.summary(),
+        "",
+        "This is a BOUND, not an exact worst case: the MILP found no",
+        "incumbent within its time limits, so the LP relaxation's optimum",
+        "is reported instead (it can only over-estimate the degradation).",
+        "No witness demand matrix or failure scenario is available.",
+        "",
+        "provenance:",
+    ]
+    lines += [f"  - {step}" for step in result.provenance]
+    return "\n".join(lines)
+
+
 def _cmd_analyze(args) -> int:
     thresholds = _parse_thresholds(args.threshold)
     if len(thresholds) > 1:
@@ -265,23 +297,44 @@ def _cmd_analyze(args) -> int:
     topology = _load_topology(args.topology)
     paths = _load_paths(args.paths)
     demands = _load_demands(args.demands)
+    kwargs = dict(
+        probability_threshold=threshold,
+        max_failures=args.max_failures,
+        connected_enforced=args.connected_enforced,
+        time_limit=args.time_limit,
+    )
+    if args.allow_partial:
+        from repro.core.config import ResilienceConfig
+
+        kwargs["resilience"] = ResilienceConfig(allow_partial=True)
     if args.variable:
         config = RahaConfig(
             demand_bounds=demand_envelope(demands, slack=args.slack),
-            probability_threshold=threshold,
-            max_failures=args.max_failures,
-            connected_enforced=args.connected_enforced,
-            time_limit=args.time_limit,
+            **kwargs,
         )
     else:
-        config = RahaConfig(
-            fixed_demands=dict(demands),
-            probability_threshold=threshold,
-            max_failures=args.max_failures,
-            connected_enforced=args.connected_enforced,
-            time_limit=args.time_limit,
-        )
+        config = RahaConfig(fixed_demands=dict(demands), **kwargs)
     result = RahaAnalyzer(topology, paths, config).analyze()
+    if result.is_partial:
+        report = _partial_report(result)
+        print(report)
+        if args.report:
+            with open(args.report, "w") as handle:
+                handle.write(report + "\n")
+        if args.out:
+            ser.save_json({
+                "kind": "partial_result",
+                "status": result.status,
+                "objective": result.objective,
+                "degradation_bound": result.bound,
+                "normalized_bound": result.normalized_bound,
+                "provenance": list(result.provenance),
+                "time_limits_tried": list(result.time_limits_tried),
+                "solve_seconds": result.solve_seconds,
+                "encode_seconds": result.encode_seconds,
+                "solver_stats": result.solver_stats,
+            }, args.out)
+        return EXIT_PARTIAL
     report = degradation_report(topology, paths, result)
     print(report)
     if args.stats:
@@ -447,6 +500,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--workdir", default=None,
                       help="sweep state directory (cache + journal); "
                            "default: <topology>.sweep")
+    p_an.add_argument("--allow-partial", action="store_true",
+                      help="when the MILP finds no incumbent within its "
+                           "time limits, report an LP-relaxation bound "
+                           f"(exit {EXIT_PARTIAL}) instead of failing")
     p_an.add_argument("--tolerance", type=float, default=None,
                       help="exit 2 when normalized degradation exceeds this")
     p_an.add_argument("--stats", action="store_true",
@@ -475,6 +532,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="re-attempts for failed/crashed/timed-out jobs")
     p_sw.add_argument("--no-cache", action="store_true",
                       help="disable the content-addressed result cache")
+    p_sw.add_argument("--chaos", default=None, metavar="PLAN",
+                      help="fault-injection self-test: a FaultPlan JSON "
+                           "document or a path to one (see docs/"
+                           "operations.md 'Chaos testing'); deterministic "
+                           "faults are injected into workers, cache "
+                           "writes, and journal appends")
     p_sw.add_argument("--quiet", action="store_true",
                       help="suppress per-job progress lines on stderr")
     p_sw.add_argument("--out", default=None,

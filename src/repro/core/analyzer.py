@@ -28,7 +28,7 @@ import time
 from collections import defaultdict
 
 from repro.core.config import RahaConfig
-from repro.core.degradation import DegradationResult
+from repro.core.degradation import DegradationResult, PartialResult
 from repro.core.encodings import (
     FailureEncoding,
     add_naive_failover_constraints,
@@ -151,13 +151,15 @@ class RahaAnalyzer:
             mip_rel_gap=self.config.mip_rel_gap,
         )
         if result.status is SolveStatus.TIME_LIMIT and not result.has_solution:
-            # A timeout that never found an incumbent is a failure, not a
-            # usable (if conservative) bound -- the objective is NaN.
-            raise SolverError(
-                f"Raha MILP hit the {self.config.time_limit}s time limit "
-                f"with no incumbent solution; raise time_limit or relax "
-                f"mip_rel_gap ({result.message})"
-            )
+            # A timeout that never found an incumbent carries no usable
+            # answer (objective NaN) -- walk the fallback ladder: retry
+            # with escalated limits, then (if allowed) fall back to an
+            # LP-relaxation bound as a structured PartialResult.
+            recovered = self._recover_from_timeout(game, result,
+                                                   encode_seconds)
+            if isinstance(recovered, PartialResult):
+                return recovered
+            result = recovered
         if not result.status.ok or result.x is None:
             raise SolverError(
                 f"Raha MILP ended with {result.status.value}: {result.message}"
@@ -165,6 +167,92 @@ class RahaAnalyzer:
 
         return self._finalize(
             game, encoding, demand_exprs, context, result, encode_seconds
+        )
+
+    def _recover_from_timeout(self, game, result: SolveResult,
+                              encode_seconds: float):
+        """The solver fallback ladder for incumbent-free time limits.
+
+        Rungs, in order (:class:`repro.core.config.ResilienceConfig`):
+
+        1. Re-solve with escalated time limits
+           (``time_limit * escalation**i``, ``max_escalations`` times) --
+           many instances just need a little more branch-and-bound.
+        2. With ``allow_partial=True``: solve the LP relaxation and
+           return its optimum as a :class:`PartialResult` bound -- the
+           relaxation can only over-estimate a maximization MILP, so
+           "degradation cannot exceed this" remains sound.
+        3. Otherwise raise :class:`SolverError` naming the configured
+           limit, exactly as before the ladder existed.
+
+        Returns:
+            A usable :class:`~repro.solver.result.SolveResult` (rung 1)
+            or a :class:`PartialResult` (rung 2).
+        """
+        resilience = self.config.resilience
+        tried = [self.config.time_limit]
+        provenance = [
+            f"MILP hit the {self.config.time_limit}s time limit with no "
+            f"incumbent"
+        ]
+        solver_seconds = result.solve_seconds
+        for limit in resilience.escalated_limits(self.config.time_limit):
+            tried.append(limit)
+            retry = game.solve(time_limit=limit,
+                               mip_rel_gap=self.config.mip_rel_gap)
+            solver_seconds += retry.solve_seconds
+            if not (retry.status is SolveStatus.TIME_LIMIT
+                    and not retry.has_solution):
+                return retry
+            provenance.append(
+                f"retry with escalated {limit:g}s time limit: still no "
+                f"incumbent"
+            )
+        if not resilience.allow_partial:
+            retries = (
+                f" (and after {len(tried) - 1} escalated "
+                f"retr{'y' if len(tried) == 2 else 'ies'} up to "
+                f"{tried[-1]:g}s)" if len(tried) > 1 else ""
+            )
+            raise SolverError(
+                f"Raha MILP hit the {self.config.time_limit}s time limit "
+                f"with no incumbent solution{retries}; raise time_limit, "
+                f"relax mip_rel_gap, or enable resilience.allow_partial "
+                f"for an LP-relaxation bound ({result.message})"
+            )
+        relaxed = game.solve(time_limit=resilience.relaxation_time_limit,
+                             relax=True)
+        solver_seconds += relaxed.solve_seconds
+        if not relaxed.status.ok or relaxed.x is None:
+            raise SolverError(
+                f"Raha MILP hit the {self.config.time_limit}s time limit "
+                f"with no incumbent solution, and the LP-relaxation "
+                f"fallback ended with {relaxed.status.value}: "
+                f"{relaxed.message}"
+            )
+        provenance.append(
+            f"LP relaxation solved ({relaxed.status.value}): its optimum "
+            f"is a valid upper bound on the MILP degradation objective"
+        )
+        if self.config.minimize_performance:
+            provenance.append(
+                "minimize_performance mode: the bound applies to the raw "
+                "objective (negated failed-network performance)"
+            )
+        bound = float(relaxed.objective)
+        normalizer = (
+            self.topology.average_lag_capacity()
+            if self.config.objective != "mlu" else 1.0
+        )
+        return PartialResult(
+            bound=bound,
+            normalized_bound=bound / normalizer,
+            objective=self.config.objective,
+            provenance=provenance,
+            time_limits_tried=tried,
+            solve_seconds=solver_seconds,
+            encode_seconds=encode_seconds,
+            solver_stats=relaxed.stats.to_dict() if relaxed.stats else None,
         )
 
     # -- demands ----------------------------------------------------------------

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import os
 from collections.abc import Mapping
 from dataclasses import dataclass, field
@@ -37,8 +38,23 @@ class RunnerConfig:
             (no pool), which is also the deterministic-debugging mode.
         retries: How many times a failed/timed-out/crashed job is
             re-attempted before it settles with a structured error.
-        backoff_seconds: Sleep before each retry round, multiplied by
-            the attempt number (linear backoff).
+        backoff_seconds: Base of the exponential retry backoff: the
+            delay before re-attempting after the n-th failure is
+            ``backoff_seconds * backoff_factor**(n-1)``, jittered and
+            capped (see :meth:`backoff_delay`).
+        backoff_factor: Exponential growth per retry (``>= 1``).
+        backoff_max_seconds: Ceiling on any single backoff delay.
+        backoff_jitter: Fraction of deterministic jitter added on top of
+            the exponential delay (``delay * (1 + u * jitter)`` with
+            ``u in [0, 1)`` hashed from the job key + attempt).  Must
+            satisfy ``jitter <= backoff_factor - 1`` so delays stay
+            monotone nondecreasing; jitter decorrelates retry storms
+            without sacrificing reproducibility.
+        failure_budget_seconds: Per-job cap on wall time spent in
+            *failed* attempts; once exceeded the job settles with a
+            structured error even if retries remain (``None`` = no
+            budget).  This bounds how long one poisonous job can stall
+            a campaign.
         wall_timeout_factor / wall_timeout_margin: Per-job wall-clock
             timeout, derived from the job's solver ``time_limit`` as
             ``time_limit * factor + margin`` -- the margin covers
@@ -49,6 +65,10 @@ class RunnerConfig:
     num_workers: int | None = None
     retries: int = 1
     backoff_seconds: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max_seconds: float = 30.0
+    backoff_jitter: float = 0.5
+    failure_budget_seconds: float | None = None
     wall_timeout_factor: float = 3.0
     wall_timeout_margin: float = 30.0
 
@@ -62,6 +82,27 @@ class RunnerConfig:
         if self.backoff_seconds < 0:
             raise ModelingError(
                 f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ModelingError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_max_seconds < 0:
+            raise ModelingError(
+                f"backoff_max_seconds must be >= 0, got "
+                f"{self.backoff_max_seconds}"
+            )
+        if not (0.0 <= self.backoff_jitter <= self.backoff_factor - 1.0):
+            raise ModelingError(
+                f"backoff_jitter must be in [0, backoff_factor - 1] so "
+                f"jittered delays stay monotone, got {self.backoff_jitter} "
+                f"with factor {self.backoff_factor}"
+            )
+        if self.failure_budget_seconds is not None \
+                and self.failure_budget_seconds < 0:
+            raise ModelingError(
+                f"failure_budget_seconds must be >= 0, got "
+                f"{self.failure_budget_seconds}"
             )
         if self.wall_timeout_factor <= 0 or self.wall_timeout_margin < 0:
             raise ModelingError(
@@ -80,6 +121,90 @@ class RunnerConfig:
         if time_limit is None:
             return None
         return time_limit * self.wall_timeout_factor + self.wall_timeout_margin
+
+    def backoff_delay(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait before re-attempting after the n-th failure.
+
+        Exponential in the attempt number with deterministic jitter
+        hashed from ``(key, attempt)``, capped at
+        ``backoff_max_seconds``.  Because the jitter fraction is bounded
+        by ``backoff_factor - 1``, the sequence is monotone
+        nondecreasing in ``attempt`` -- retries never come back *sooner*
+        after more failures.
+        """
+        if attempt < 1:
+            raise ModelingError(f"attempt must be >= 1, got {attempt}")
+        raw = self.backoff_seconds * self.backoff_factor ** (attempt - 1)
+        if self.backoff_jitter > 0.0:
+            digest = hashlib.sha256(
+                f"{key}\0{attempt}".encode("utf-8")
+            ).digest()
+            unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+            raw *= 1.0 + unit * self.backoff_jitter
+        return min(raw, self.backoff_max_seconds)
+
+
+@dataclass
+class ResilienceConfig:
+    """Graceful-degradation policy for a single analysis.
+
+    Governs the analyzer's *solver fallback ladder* when a MILP hits its
+    time limit without ever finding an incumbent (so there is no usable
+    bound at all):
+
+    1. retry the solve with an escalated ``time_limit``
+       (``x time_limit_escalation``, up to ``max_escalations`` rungs);
+    2. if every rung expires incumbent-free and ``allow_partial`` is
+       set, solve the LP *relaxation* of the MILP and report its
+       objective as a structured
+       :class:`~repro.core.degradation.PartialResult` -- a provably
+       valid (if loose) bound on the worst-case degradation -- instead
+       of raising :class:`~repro.exceptions.SolverError`;
+    3. without ``allow_partial``, raise as before.
+
+    Attributes:
+        allow_partial: Return a :class:`PartialResult` carrying the
+            LP-relaxation bound instead of raising when the ladder is
+            exhausted.  Off by default: partial answers must be opted
+            into (``analyze --allow-partial`` on the CLI).
+        time_limit_escalation: Multiplier applied to ``time_limit`` per
+            escalation rung (``> 1``).
+        max_escalations: Escalated re-solves to attempt before falling
+            through to the relaxation (``0`` disables escalation).
+        relaxation_time_limit: Solver budget for the LP-relaxation
+            solve; ``None`` reuses the last escalated limit.
+    """
+
+    allow_partial: bool = False
+    time_limit_escalation: float = 2.0
+    max_escalations: int = 1
+    relaxation_time_limit: float | None = None
+
+    def __post_init__(self):
+        if self.time_limit_escalation <= 1.0:
+            raise ModelingError(
+                f"time_limit_escalation must be > 1, got "
+                f"{self.time_limit_escalation}"
+            )
+        if self.max_escalations < 0:
+            raise ModelingError(
+                f"max_escalations must be >= 0, got {self.max_escalations}"
+            )
+        if self.relaxation_time_limit is not None \
+                and self.relaxation_time_limit <= 0:
+            raise ModelingError(
+                f"relaxation_time_limit must be > 0, got "
+                f"{self.relaxation_time_limit}"
+            )
+
+    def escalated_limits(self, time_limit: float | None) -> list[float]:
+        """The ladder of escalated time limits to try after a failure."""
+        if time_limit is None:
+            return []
+        return [
+            time_limit * self.time_limit_escalation ** i
+            for i in range(1, self.max_escalations + 1)
+        ]
 
 
 @dataclass
@@ -129,6 +254,10 @@ class RahaConfig:
         maxmin_binner: ``"geometric"`` (default) or ``"equidepth"`` --
             the two single-shot max-min approximations the paper names
             (Section 3 / Appendix A).
+        resilience: Graceful-degradation policy
+            (:class:`ResilienceConfig`): the solver fallback ladder and
+            whether an exhausted ladder may return a
+            :class:`~repro.core.degradation.PartialResult`.
     """
 
     objective: str = "total_flow"
@@ -146,6 +275,7 @@ class RahaConfig:
     maxmin_bins: int = 5
     maxmin_alpha: float = 2.0
     maxmin_binner: str = "geometric"
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     extra_outer_constraints: list = field(default_factory=list)
     #: Callbacks ``(model, encoding, demand_exprs) -> None`` invoked after
     #: the failure encoding is built; they may post arbitrary linear
@@ -155,6 +285,8 @@ class RahaConfig:
     constraint_builders: list = field(default_factory=list)
 
     def __post_init__(self):
+        if self.resilience is None:
+            self.resilience = ResilienceConfig()
         if self.objective not in OBJECTIVES:
             raise ModelingError(
                 f"unknown objective {self.objective!r}; pick from {OBJECTIVES}"

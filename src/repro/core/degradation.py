@@ -40,6 +40,10 @@ class DegradationResult:
             or ``None`` for results from older runs.
     """
 
+    #: Distinguishes a full result from a :class:`PartialResult` without
+    #: isinstance checks (handy on serialized/duck-typed results).
+    is_partial = False
+
     degradation: float
     normalized_degradation: float
     demands: DemandMatrix
@@ -76,4 +80,62 @@ class DegradationResult:
             f"{self.scenario.num_failed_links} failed links{prob}; "
             f"healthy={self.healthy_value:.4g} failed={self.failed_value:.4g} "
             f"[{self.status}, {self.total_seconds:.2f}s]"
+        )
+
+
+@dataclass
+class PartialResult:
+    """A *bound* on the worst degradation, from the solver fallback ladder.
+
+    Produced instead of a :class:`SolverError` when the Raha MILP hits
+    its time limit with no incumbent, every escalated retry does too,
+    and the analysis runs with ``ResilienceConfig.allow_partial=True``:
+    the LP relaxation's optimum is a provably valid *bound* on the MILP
+    optimum (integrality only shrinks the feasible set), so "degradation
+    cannot exceed ``bound``" is still a sound, reportable statement even
+    though the exact worst case is unknown.
+
+    What a partial result does NOT carry: a witness.  The relaxation's
+    solution is fractional, so there is no demand matrix, no failure
+    scenario, and no simulation cross-check -- only the bound and the
+    provenance of how it was obtained.
+
+    Attributes:
+        bound: Bound on the degradation objective (an upper bound --
+            maximization MILP).  In ``minimize_performance`` mode the
+            objective is the negated failed-network performance, so the
+            bound applies to that raw objective; the provenance records
+            the mode.
+        normalized_bound: ``bound`` divided by the average LAG capacity
+            (``bound`` itself for MLU, matching
+            :attr:`DegradationResult.normalized_degradation`).
+        objective: The analysis objective (``total_flow``/``mlu``/...).
+        status: Always ``"partial"``.
+        provenance: Human-readable trail of the ladder: the original
+            timeout, each escalated retry, and the relaxation solve.
+        time_limits_tried: MILP time limits attempted, in order.
+        solve_seconds: Total solver time across ladder rungs.
+        encode_seconds: Time spent building the MILP (once).
+        solver_stats: Telemetry of the relaxation solve, or ``None``.
+    """
+
+    is_partial = True
+
+    bound: float
+    normalized_bound: float
+    objective: str = "total_flow"
+    status: str = "partial"
+    provenance: list[str] = field(default_factory=list)
+    time_limits_tried: list[float] = field(default_factory=list)
+    solve_seconds: float = 0.0
+    encode_seconds: float = 0.0
+    solver_stats: dict | None = None
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        limits = ", ".join(f"{t:g}s" for t in self.time_limits_tried)
+        return (
+            f"PARTIAL: degradation <= {self.bound:.4g} "
+            f"(normalized {self.normalized_bound:.4g}) via LP relaxation; "
+            f"no incumbent within time limits [{limits}]"
         )

@@ -21,14 +21,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import logging
+
 from repro.exceptions import TopologyError
 from repro.failures.scenario import FailureScenario, active_paths
 from repro.network.demand import Pair
 from repro.network.topology import LagKey, Topology, lag_key
 from repro.paths.pathset import PathSet
+from repro.resilience.faults import maybe_fire
 from repro.solver import LinExpr, Model, Var
 from repro.te.base import effective_capacities, validate_te_inputs
 from repro.te.total_flow import TotalFlowTE
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -184,7 +189,16 @@ class ScenarioResolver:
         self._model = model
 
     def delivered(self, scenario: FailureScenario) -> float:
-        """Total traffic routed under ``scenario`` (0.0 when infeasible)."""
+        """Total traffic routed under ``scenario``.
+
+        Uses the compiled model's incremental re-solve; if that fails
+        (solver error, or a chaos-injected ``resolver.resolve`` fault),
+        falls back to a fresh :func:`simulate_failed_network`-style solve
+        of the scenario rather than silently reporting 0.0 delivered --
+        an all-paths-down answer would skew every availability statistic
+        downstream.  (A genuinely infeasible scenario delivers 0.0 from
+        the fallback too, which is the correct value, not a guess.)
+        """
         capacities = scenario.residual_capacities(self.topology)
         down = scenario.down_lags(self.topology)
         bound_overrides: dict[Var, float] = {}
@@ -197,12 +211,39 @@ class ScenarioResolver:
         rhs_overrides = {
             row: capacities[key] for key, row in self._lag_rows.items()
         }
-        result = self._model.resolve_with(
-            rhs_overrides=rhs_overrides, bound_overrides=bound_overrides
+        failure = None
+        if maybe_fire("resolver.resolve", key=repr(scenario)):
+            failure = "chaos-injected resolver failure"
+        else:
+            try:
+                result = self._model.resolve_with(
+                    rhs_overrides=rhs_overrides,
+                    bound_overrides=bound_overrides,
+                )
+            except Exception as exc:
+                failure = f"{type(exc).__name__}: {exc}"
+            else:
+                if result.status.ok and result.x is not None:
+                    return float(result.objective)
+                if result.status.value == "infeasible":
+                    # A real infeasibility (demands cannot be routed at
+                    # all) delivers nothing; no fallback needed.
+                    return 0.0
+                failure = f"re-solve ended with {result.status.value}"
+        logger.warning(
+            "scenario resolver failed (%s); falling back to a fresh solve "
+            "for this scenario", failure,
         )
-        if not result.status.ok or result.x is None:
-            return 0.0
-        return float(result.objective)
+        return self._delivered_fresh(scenario)
+
+    def _delivered_fresh(self, scenario: FailureScenario) -> float:
+        """The non-incremental answer: rebuild and solve from scratch."""
+        from repro.failures.scenario import simulate_failed_network
+
+        outcome = simulate_failed_network(
+            self.topology, self.demands, self.paths, scenario
+        )
+        return float(outcome.total_flow) if outcome.feasible else 0.0
 
 
 def estimate_availability(

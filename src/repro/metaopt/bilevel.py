@@ -179,10 +179,17 @@ class StackelbergProblem:
         self._finalized = True
 
     def solve(self, time_limit: float | None = None,
-              mip_rel_gap: float | None = None) -> SolveResult:
-        """Finalize (idempotent) and solve the single-level MILP."""
+              mip_rel_gap: float | None = None,
+              relax: bool = False) -> SolveResult:
+        """Finalize (idempotent) and solve the single-level MILP.
+
+        ``relax=True`` solves the LP relaxation instead -- a valid bound
+        on the game's optimum, used by the analyzer's fallback ladder
+        when the MILP times out without an incumbent.
+        """
         self.finalize()
-        return self.model.solve(time_limit=time_limit, mip_rel_gap=mip_rel_gap)
+        return self.model.solve(time_limit=time_limit,
+                                mip_rel_gap=mip_rel_gap, relax=relax)
 
     def verify(self, result: SolveResult, tol: float = 1e-4) -> dict[str, float]:
         """Re-solve every adversarial inner at the leader's choice.

@@ -1,0 +1,46 @@
+"""repro.resilience: deterministic fault injection + graceful degradation.
+
+Two halves:
+
+* :mod:`repro.resilience.faults` -- the seeded, serializable
+  :class:`FaultPlan`/:class:`FaultPoint` harness.  Hook sites threaded
+  through the runner (executor/cache/journal), the solver, and the
+  scenario resolver consult the process's active plan, so tests and the
+  CLI's ``--chaos`` self-test can inject worker crashes, torn writes,
+  and incumbent-free time limits at controlled points.
+* The *hardening* that makes the stack survive those faults lives at
+  the sites themselves: checksummed + quarantined cache entries
+  (:mod:`repro.runner.cache`), crash-tolerant journal reads/appends
+  (:mod:`repro.runner.journal`), exponential backoff with deterministic
+  jitter and a per-job failure budget (:mod:`repro.runner.executor`),
+  the analyzer's solver fallback ladder
+  (:class:`repro.core.analyzer.RahaAnalyzer` +
+  :class:`repro.core.config.ResilienceConfig`), and the scenario
+  resolver's fresh-solve fallback
+  (:class:`repro.failures.montecarlo.ScenarioResolver`).
+
+See docs/operations.md ("Chaos testing and failure semantics") for the
+operational contract.
+"""
+
+from repro.resilience.faults import (
+    KNOWN_SITES,
+    FaultPlan,
+    FaultPoint,
+    active_plan,
+    clear_plan,
+    injected,
+    install_plan,
+    maybe_fire,
+)
+
+__all__ = [
+    "KNOWN_SITES",
+    "FaultPlan",
+    "FaultPoint",
+    "active_plan",
+    "clear_plan",
+    "injected",
+    "install_plan",
+    "maybe_fire",
+]

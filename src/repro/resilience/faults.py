@@ -1,0 +1,289 @@
+"""Deterministic fault injection for the solver/runner/cache stack.
+
+Raha's whole premise is that failures are not exceptional -- they are
+the object of study.  This module applies the same mindset to the
+analysis pipeline itself: a :class:`FaultPlan` is a seeded, serializable
+description of *which* faults fire *where*, and the runner, cache,
+journal, solver, and scenario resolver all carry named **injection
+sites** that consult the active plan.  Tests (and the CLI's
+``--chaos PLAN`` self-test mode) can therefore drive worker crashes,
+wall-timeout overruns, torn cache/journal writes, and incumbent-free
+solver time limits at controlled, reproducible points -- and assert the
+stack degrades gracefully instead of aborting an hours-long campaign.
+
+Determinism rules:
+
+* Every decision is a pure function of ``(seed, site, key, attempt)``
+  via SHA-256 -- no RNG state, no process identity.  The same plan
+  applied to the same campaign injects the same faults, whether jobs run
+  in-process or across a fresh pool of worker processes.
+* Worker-level sites are additionally keyed by the *attempt number*, so
+  a plan can make attempt 1 crash and attempt 2 succeed -- which is what
+  lets a chaos campaign finish with results bit-identical to a
+  fault-free run.
+* ``max_fires`` counters are process-local state on top of the pure
+  decision (used for in-process sites like the solver); cross-process
+  sites should prefer ``attempts`` keying.
+
+Known injection sites (the hook site implements the fault's behavior;
+the plan only decides whether it fires):
+
+=========================  ====================================================
+site tag                   effect at the hook
+=========================  ====================================================
+``worker.crash``           worker process hard-exits (``os._exit``); raised as
+                           a ``RuntimeError`` in in-process mode
+``worker.timeout``         the job overruns its wall budget (settles
+                           ``timeout``)
+``worker.error``           the task raises a plain exception
+``cache.torn_write``       ``ResultCache.put`` leaves a truncated entry
+``journal.torn_append``    ``Journal.append`` writes a partial line with no
+                           trailing newline (kill mid-write)
+``solver.time_limit``      ``Model.solve`` returns ``TIME_LIMIT`` with no
+                           incumbent
+``resolver.resolve``       ``ScenarioResolver``'s incremental re-solve fails
+=========================  ====================================================
+
+Zero faults means zero behavior change: every hook is a single
+module-global ``None`` check when no plan is installed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.exceptions import ModelingError
+
+#: The site tags hooks exist for; plans naming anything else are rejected
+#: early (a typo'd site would otherwise silently never fire).
+KNOWN_SITES = (
+    "worker.crash",
+    "worker.timeout",
+    "worker.error",
+    "cache.torn_write",
+    "journal.torn_append",
+    "solver.time_limit",
+    "resolver.resolve",
+)
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One injection rule: *where* and *how often* a fault fires.
+
+    Attributes:
+        site: Injection-site tag (one of :data:`KNOWN_SITES`).
+        rate: Probability in ``[0, 1]`` that a matching invocation
+            fires.  The draw is a pure hash of
+            ``(plan seed, site, key, attempt)``, so it is reproducible
+            across processes and runs.
+        match: Optional substring the invocation key must contain
+            (e.g. a job-key prefix to target one job).
+        attempts: Attempt numbers this point may fire on, for sites
+            that carry one (the ``worker.*`` sites).  The default
+            ``(1,)`` makes faults transient: the first attempt fails,
+            the retry succeeds.  ``()`` means "any attempt".
+        max_fires: Cap on total fires of this point *in this process*
+            (``None`` = unlimited).  Useful for in-process sites like
+            ``solver.time_limit``; counters do not cross process
+            boundaries.
+    """
+
+    site: str
+    rate: float = 1.0
+    match: str | None = None
+    attempts: tuple[int, ...] = (1,)
+    max_fires: int | None = None
+
+    def __post_init__(self):
+        if self.site not in KNOWN_SITES:
+            raise ModelingError(
+                f"unknown fault site {self.site!r}; known sites: "
+                f"{', '.join(KNOWN_SITES)}"
+            )
+        if not (0.0 <= self.rate <= 1.0):
+            raise ModelingError(
+                f"fault rate must be in [0, 1], got {self.rate}"
+            )
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ModelingError(
+                f"max_fires must be nonnegative, got {self.max_fires}"
+            )
+        object.__setattr__(
+            self, "attempts", tuple(int(a) for a in self.attempts)
+        )
+
+    def to_dict(self) -> dict:
+        out: dict = {"site": self.site, "rate": self.rate}
+        if self.match is not None:
+            out["match"] = self.match
+        if self.attempts != (1,):
+            out["attempts"] = list(self.attempts)
+        if self.max_fires is not None:
+            out["max_fires"] = self.max_fires
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> FaultPoint:
+        unknown = set(data) - {"site", "rate", "match", "attempts",
+                               "max_fires"}
+        if unknown:
+            raise ModelingError(
+                f"unknown fault point field(s): {sorted(unknown)}"
+            )
+        if "site" not in data:
+            raise ModelingError("a fault point needs a 'site' tag")
+        return cls(
+            site=data["site"],
+            rate=float(data.get("rate", 1.0)),
+            match=data.get("match"),
+            attempts=tuple(data.get("attempts", (1,))),
+            max_fires=data.get("max_fires"),
+        )
+
+
+def _draw(seed: int, site: str, key: str, attempt: int | None) -> float:
+    """A deterministic uniform in ``[0, 1)`` for one invocation."""
+    token = f"{seed}\0{site}\0{key}\0{'' if attempt is None else attempt}"
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass
+class FaultPlan:
+    """A seeded set of :class:`FaultPoint` rules.
+
+    Serializable to/from JSON so a plan can ride into worker processes
+    (the executor ships ``to_dict()`` with each job) and be loaded from
+    a ``--chaos`` CLI argument.
+
+    Example::
+
+        plan = FaultPlan(seed=7, points=[
+            FaultPoint("worker.crash", rate=0.2),
+            FaultPoint("cache.torn_write", rate=0.5),
+        ])
+        with injected(plan):
+            run_sweep(spec, chaos=plan, ...)
+    """
+
+    seed: int = 0
+    points: list[FaultPoint] = field(default_factory=list)
+    #: Process-local fire counts per point index (not serialized).
+    _fires: dict[int, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def fires(self, site: str, key: str = "", attempt: int | None = None
+              ) -> bool:
+        """Whether a fault fires at this invocation of ``site``.
+
+        Args:
+            site: The injection-site tag of the hook asking.
+            key: Stable identity of the invocation (job key, cache key,
+                journal record tag, model name, ...).
+            attempt: Attempt number for sites that retry; ``None`` for
+                sites without attempt semantics.
+        """
+        for index, point in enumerate(self.points):
+            if point.site != site:
+                continue
+            if point.match is not None and point.match not in key:
+                continue
+            if point.attempts and attempt is not None \
+                    and attempt not in point.attempts:
+                continue
+            if point.max_fires is not None \
+                    and self._fires.get(index, 0) >= point.max_fires:
+                continue
+            if point.rate < 1.0 \
+                    and _draw(self.seed, site, key, attempt) >= point.rate:
+                continue
+            self._fires[index] = self._fires.get(index, 0) + 1
+            return True
+        return False
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "fault_plan",
+            "seed": self.seed,
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> FaultPlan:
+        if data.get("kind") not in (None, "fault_plan"):
+            raise ModelingError(
+                f"expected a fault_plan document, got {data.get('kind')!r}"
+            )
+        return cls(
+            seed=int(data.get("seed", 0)),
+            points=[FaultPoint.from_dict(p) for p in data.get("points", [])],
+        )
+
+    @classmethod
+    def from_arg(cls, text: str) -> FaultPlan:
+        """Parse a ``--chaos`` argument: inline JSON or a file path."""
+        text = text.strip()
+        if text.startswith("{"):
+            return cls.from_dict(json.loads(text))
+        if not os.path.exists(text):
+            raise ModelingError(
+                f"--chaos argument {text!r} is neither inline JSON nor an "
+                "existing plan file"
+            )
+        with open(text) as handle:
+            return cls.from_dict(json.load(handle))
+
+
+#: The process's active plan.  ``None`` (the overwhelmingly common case)
+#: makes every hook a single attribute check.
+_ACTIVE: FaultPlan | None = None
+
+
+def install_plan(plan: FaultPlan | dict | None) -> FaultPlan | None:
+    """Install ``plan`` as the process-wide active plan.
+
+    Returns:
+        The previously active plan (so callers can restore it).
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    if isinstance(plan, dict):
+        plan = FaultPlan.from_dict(plan)
+    _ACTIVE = plan
+    return previous
+
+
+def clear_plan() -> None:
+    """Remove the active plan (hooks become no-ops again)."""
+    install_plan(None)
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently installed plan, or ``None``."""
+    return _ACTIVE
+
+
+def maybe_fire(site: str, key: str = "", attempt: int | None = None) -> bool:
+    """The hook sites' entry point: does a fault fire here, now?
+
+    Free when no plan is installed -- a single global ``None`` check.
+    """
+    if _ACTIVE is None:
+        return False
+    return _ACTIVE.fires(site, key=key, attempt=attempt)
+
+
+@contextmanager
+def injected(plan: FaultPlan | dict | None):
+    """Scope an active plan to a ``with`` block (tests' main entry)."""
+    previous = install_plan(plan)
+    try:
+        yield active_plan()
+    finally:
+        install_plan(previous)

@@ -8,11 +8,15 @@ of serially:
 * :mod:`repro.runner.jobs` -- declarative :class:`SweepSpec` expanding a
   parameter grid into hashable, self-contained :class:`Job` payloads;
 * :mod:`repro.runner.executor` -- process-pool execution with per-job
-  wall timeouts, bounded retries, and structured errors
-  (:func:`run_sweep`);
-* :mod:`repro.runner.cache` -- content-addressed on-disk result cache,
+  wall timeouts, bounded retries with exponential backoff and a failure
+  budget, structured errors, and deterministic fault injection for
+  self-tests (:func:`run_sweep`; ``chaos=`` /
+  :mod:`repro.resilience.faults`);
+* :mod:`repro.runner.cache` -- content-addressed on-disk result cache
+  with checksummed entries (corruption is quarantined, never served),
   so overlapping sweeps and re-runs skip solved jobs;
-* :mod:`repro.runner.journal` -- JSONL checkpointing behind ``--resume``;
+* :mod:`repro.runner.journal` -- crash-tolerant JSONL checkpointing
+  behind ``--resume``;
 * :mod:`repro.runner.progress` -- structured throughput/ETA events.
 
 Entry points: ``python -m repro sweep`` (operational campaigns),

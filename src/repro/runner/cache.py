@@ -18,20 +18,41 @@ Key stability rules:
 * ``CODE_SALT`` names the semantic version of the job *executor*; bump
   it whenever a change to the analysis code could alter results, and
   every existing cache entry is invalidated at once.
+
+Durability rules (serving a wrong cached number is worse than a miss):
+
+* Writes are atomic (temp file + ``os.replace``) and carry a **sha256
+  footer** over the document line, so a torn write, a bit flip, or a
+  hand-edited entry is *detectable*, not just unlikely.
+* Reads verify the footer.  An unreadable, truncated, checksum-
+  mismatched, or otherwise invalid entry is **quarantined** -- renamed
+  to ``<key>.corrupt`` for post-mortem inspection -- logged once, and
+  treated as a miss, so the job simply re-runs and the fresh result
+  overwrites the key.  A corrupt entry can never poison a key forever.
+* Footer-less entries written by older versions are still served when
+  their JSON parses (they predate the checksum, not the format).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
+
+from repro.resilience.faults import maybe_fire
+
+logger = logging.getLogger(__name__)
 
 #: Semantic version of the job execution code.  Part of every cache key:
 #: bump on any change that can alter job results so stale entries are
 #: never served.
 CODE_SALT = "raha-runner-v1"
+
+#: Prefix of the integrity footer line appended to every cache entry.
+FOOTER_PREFIX = "sha256:"
 
 
 def canonical_json(payload) -> str:
@@ -54,12 +75,23 @@ def job_key(payload, salt: str = CODE_SALT) -> str:
     return digest.hexdigest()
 
 
-class ResultCache:
-    """A directory of ``<job key>.json`` result documents.
+def _footer_for(document_line: str) -> str:
+    """The integrity footer of a serialized document line."""
+    return FOOTER_PREFIX + hashlib.sha256(
+        document_line.encode("utf-8")
+    ).hexdigest()
 
-    Writes are atomic (temp file + :func:`os.replace`) so a campaign
-    killed mid-write never leaves a torn entry for ``--resume`` or a
-    later sweep to trip over.
+
+class ResultCache:
+    """A directory of checksummed ``<job key>.json`` result documents.
+
+    Each entry is two lines: the JSON document, then a sha256 footer
+    over it.  Writes are atomic (temp file + :func:`os.replace`) so a
+    campaign killed mid-write never leaves a torn entry under the key
+    -- and if anything *does* corrupt an entry (torn ``put`` from a
+    killed process, disk trouble, manual edits), :meth:`get` quarantines
+    it to ``<key>.corrupt`` and reports a miss instead of serving or
+    raising.
     """
 
     def __init__(self, root: str | os.PathLike):
@@ -70,32 +102,64 @@ class ResultCache:
         """Where a key's result document lives."""
         return self.root / f"{key}.json"
 
+    def quarantine_path_for(self, key: str) -> Path:
+        """Where a key's corrupt entry is moved for inspection."""
+        return self.root / f"{key}.corrupt"
+
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
 
+    def quarantined(self) -> list[Path]:
+        """Quarantined corrupt entries awaiting inspection (or deletion)."""
+        return sorted(self.root.glob("*.corrupt"))
+
     def get(self, key: str):
         """The cached result for ``key``, or ``None``.
 
-        A torn/corrupt entry (which atomic writes should preclude) is
-        treated as a miss rather than an error: the job simply re-runs.
+        A torn/corrupt/checksum-mismatched entry is quarantined to
+        ``<key>.corrupt`` and treated as a miss: the job re-runs and
+        its fresh result overwrites the key.  Entries written before
+        the footer existed (single-line valid JSON) are still served.
         """
         path = self.path_for(key)
         try:
             with open(path) as handle:
-                return json.load(handle)["result"]
-        except (OSError, ValueError, KeyError):
+                text = handle.read()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            self._quarantine(key, path, f"unreadable ({exc})")
+            return None
+        document_line, _, footer = text.rstrip("\n").partition("\n")
+        if footer:
+            if footer.strip() != _footer_for(document_line):
+                self._quarantine(key, path, "checksum mismatch")
+                return None
+        try:
+            document = json.loads(document_line)
+            return document["result"]
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(key, path, "invalid document")
             return None
 
     def put(self, key: str, result) -> None:
         """Atomically store a successful job result under ``key``."""
         document = {"key": key, "salt": CODE_SALT, "result": result}
+        line = json.dumps(document, sort_keys=True)
+        body = line + "\n" + _footer_for(line) + "\n"
+        if maybe_fire("cache.torn_write", key=key):
+            # Chaos: simulate a process killed mid-write that somehow
+            # left a partial entry under the final name (the scenario
+            # atomic replace exists to prevent; injected to prove get()
+            # survives it anyway).
+            body = line[: max(1, len(line) // 2)]
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(document, handle, sort_keys=True)
+                handle.write(body)
             os.replace(tmp, self.path_for(key))
         except BaseException:
             try:
@@ -103,3 +167,22 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def _quarantine(self, key: str, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside so it cannot poison the key again."""
+        target = self.quarantine_path_for(key)
+        try:
+            os.replace(path, target)
+        except OSError:
+            # Last resort: a corrupt entry we cannot even rename is
+            # deleted rather than left to fail every future get().
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            target = None
+        logger.warning(
+            "cache entry %s is corrupt (%s); quarantined to %s and "
+            "treated as a miss", path.name, reason,
+            target.name if target is not None else "nowhere (deleted)",
+        )

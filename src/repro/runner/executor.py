@@ -13,13 +13,20 @@ explicit job list) into settled :class:`JobOutcome` records:
   encode or solve cannot pin a pool slot forever.
 * **Graceful degradation** -- a job that raises, times out, or hard-
   crashes its worker settles with a *structured error* after bounded
-  retries with linear backoff; the campaign always completes.  A
-  worker crash breaks the whole pool, so recovery requeues the
-  casualties free of charge and re-runs them one-per-pool to pin the
-  crash on the job that caused it (see :func:`_run_pool`).
+  retries with exponential backoff (deterministically jittered, capped)
+  and an optional per-job failure budget; the campaign always
+  completes.  A worker crash breaks the whole pool, so recovery
+  requeues the casualties free of charge and re-runs them one-per-pool
+  to pin the crash on the job that caused it (see :func:`_run_pool`).
 * **Caching / resumability** -- before running, each job key is checked
   against the result cache and (under ``resume=True``) the journal;
   hits settle instantly as ``cached`` / ``resumed``.
+* **Chaos self-test** -- ``run_sweep(..., chaos=FaultPlan(...))``
+  (or an ambient :func:`repro.resilience.install_plan`) ships a
+  deterministic fault plan into every worker; the ``worker.*``
+  injection sites in :func:`invoke_job` then crash, wedge, or fail jobs
+  at seeded points so the recovery machinery above can be exercised on
+  demand (:mod:`repro.resilience.faults`).
 
 Workers receive nothing but the job payload (pure JSON), so any
 importable ``module:function`` can serve as a task.  The default task,
@@ -43,7 +50,8 @@ from dataclasses import dataclass, field
 
 from repro.core.config import RunnerConfig
 from repro.exceptions import ModelingError, SolverError
-from repro.runner.cache import ResultCache
+from repro.resilience.faults import FaultPlan, active_plan, install_plan
+from repro.runner.cache import ResultCache, job_key
 from repro.runner.jobs import Job, SweepSpec
 from repro.runner.journal import Journal
 from repro.runner.progress import ProgressTracker
@@ -179,7 +187,29 @@ def resolve_task(ref: str):
         raise ModelingError(f"task {ref!r} not found") from exc
 
 
-def invoke_job(payload: dict, wall_timeout: float | None) -> dict:
+def _fire_worker_faults(plan: FaultPlan, key: str, attempt: int,
+                        in_worker: bool) -> None:
+    """Consult the chaos plan's ``worker.*`` sites for this attempt.
+
+    ``worker.crash`` hard-exits the process only when it genuinely is a
+    pool worker (``in_worker=True``); in-process it degrades to an
+    exception so serial/test runs see a structured error instead of
+    the test runner dying.
+    """
+    if plan.fires("worker.crash", key=key, attempt=attempt):
+        if in_worker:
+            os._exit(13)
+        raise RuntimeError(
+            "chaos: injected worker crash (in-process, degraded to error)")
+    if plan.fires("worker.timeout", key=key, attempt=attempt):
+        raise _WallTimeout()
+    if plan.fires("worker.error", key=key, attempt=attempt):
+        raise RuntimeError("chaos: injected worker error")
+
+
+def invoke_job(payload: dict, wall_timeout: float | None,
+               attempt: int = 1, chaos: dict | None = None,
+               in_worker: bool = False) -> dict:
     """Run one job payload and report success/failure as plain data.
 
     This is the function worker processes execute.  It never raises:
@@ -188,6 +218,24 @@ def invoke_job(payload: dict, wall_timeout: float | None) -> dict:
     wall timeout uses ``SIGALRM`` (worker processes run tasks on their
     main thread); when signals are unavailable the solver's own
     ``time_limit`` remains the effective bound.
+
+    The interval timer is armed *inside* the ``try`` and the previous
+    ``SIGALRM`` disposition is always restored in ``finally`` -- even
+    when arming itself fails -- so a caller's signal handling can never
+    be corrupted by a job.
+
+    Args:
+        payload: The job payload (pure JSON, carries its task ref).
+        wall_timeout: Wall-clock budget in seconds, or ``None``.
+        attempt: 1-based execution attempt, forwarded so the chaos
+            plan can make transient faults (fail attempt 1, pass the
+            retry) deterministic.
+        chaos: Serialized :class:`FaultPlan` (``plan.to_dict()``)
+            shipped across the process boundary; installed as this
+            process's active plan for the duration of the job.
+        in_worker: True when running inside a dedicated pool worker --
+            enables genuinely destructive faults (``worker.crash``
+            hard-exits the process).
     """
     started = time.monotonic()
     use_alarm = (
@@ -195,19 +243,35 @@ def invoke_job(payload: dict, wall_timeout: float | None) -> dict:
         and hasattr(signal, "setitimer")
         and threading.current_thread() is threading.main_thread()
     )
-    previous = None
-    if use_alarm:
-        previous = signal.signal(signal.SIGALRM, _on_alarm)
-        signal.setitimer(signal.ITIMER_REAL, wall_timeout)
+    unset = object()
+    previous = unset
+    if chaos is not None:
+        # Shipped across a process boundary: install for the job's
+        # duration so in-task sites (solver.time_limit, ...) fire too.
+        plan = FaultPlan.from_dict(chaos)
+        previous_plan = install_plan(plan)
+        plan_installed = True
+    else:
+        # In-process call: share the ambient plan (and its fire
+        # counters) rather than shadowing it with a fresh copy.
+        plan = active_plan()
+        plan_installed = False
     try:
+        if use_alarm:
+            previous = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, wall_timeout)
+        if plan is not None:
+            _fire_worker_faults(plan, job_key(payload), attempt, in_worker)
         task = resolve_task(payload["task"])
         result = task(payload)
         return {"ok": True, "result": result,
                 "seconds": time.monotonic() - started}
     except _WallTimeout:
+        error = ("job timed out (chaos-injected)" if wall_timeout is None
+                 else f"job exceeded its wall timeout of {wall_timeout:g}s")
         return {
             "ok": False, "status": "timeout",
-            "error": f"job exceeded its wall timeout of {wall_timeout:g}s",
+            "error": error,
             "seconds": time.monotonic() - started,
         }
     except Exception as exc:
@@ -218,9 +282,11 @@ def invoke_job(payload: dict, wall_timeout: float | None) -> dict:
             "seconds": time.monotonic() - started,
         }
     finally:
-        if use_alarm:
+        if previous is not unset:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
+        if plan_installed:
+            install_plan(previous_plan)
 
 
 def degradation_task(payload: dict) -> dict:
@@ -230,9 +296,15 @@ def degradation_task(payload: dict) -> dict:
     documents, assembles a :class:`~repro.core.config.RahaConfig` from
     the parameter cell, and runs the analyzer -- byte-for-byte the
     serial code path, so a parallel sweep reproduces serial numbers.
+
+    With ``params["allow_partial"]`` truthy, an incumbent-free solver
+    time limit degrades to a partial-result dict (``"partial": True``
+    with a ``degradation_bound`` from the LP relaxation and its
+    provenance) instead of failing the job -- see
+    :class:`~repro.core.config.ResilienceConfig`.
     """
     from repro.core.analyzer import RahaAnalyzer
-    from repro.core.config import RahaConfig
+    from repro.core.config import RahaConfig, ResilienceConfig
     from repro.network import serialization as ser
     from repro.network.demand import demand_envelope
 
@@ -258,6 +330,8 @@ def degradation_task(payload: dict) -> dict:
         time_limit=params.get("time_limit", 1000.0),
         mip_rel_gap=params.get("mip_rel_gap"),
     )
+    if params.get("allow_partial"):
+        kwargs["resilience"] = ResilienceConfig(allow_partial=True)
     if mode == "avg":
         config = RahaConfig(
             fixed_demands=dict(demands_for("avg_demands", "demands")),
@@ -276,6 +350,23 @@ def degradation_task(payload: dict) -> dict:
         raise ModelingError(f"unknown demand mode {mode!r}")
 
     result = RahaAnalyzer(topology, paths, config).analyze()
+    if result.is_partial:
+        return {
+            "demand_mode": mode,
+            "threshold": params.get("threshold"),
+            "max_failures": params.get("max_failures"),
+            "connected_enforced": kwargs["connected_enforced"],
+            "objective": kwargs["objective"],
+            "partial": True,
+            "status": result.status,
+            "degradation_bound": result.bound,
+            "normalized_bound": result.normalized_bound,
+            "provenance": list(result.provenance),
+            "time_limits_tried": list(result.time_limits_tried),
+            "solve_seconds": result.solve_seconds,
+            "encode_seconds": result.encode_seconds,
+            "stats": result.solver_stats,
+        }
     return {
         "demand_mode": mode,
         "threshold": params.get("threshold"),
@@ -337,6 +428,8 @@ class _Campaign:
     tracker: ProgressTracker
     progress: object  # callable(ProgressEvent) or None
     outcomes: dict[str, JobOutcome] = field(default_factory=dict)
+    #: Serialized fault plan shipped with every pool submission, or None.
+    chaos_doc: dict | None = None
 
     def settle(self, job: Job, outcome: JobOutcome) -> None:
         self.outcomes[job.key] = outcome
@@ -379,6 +472,7 @@ def run_sweep(
     wall_timeout: float | None = None,
     progress=None,
     config: RunnerConfig | None = None,
+    chaos: FaultPlan | dict | None = None,
 ) -> SweepOutcome:
     """Run a campaign to completion and return every job's outcome.
 
@@ -398,6 +492,14 @@ def run_sweep(
         progress: Callback receiving a
             :class:`~repro.runner.progress.ProgressEvent` per settled job.
         config: Runner knobs (:class:`~repro.core.config.RunnerConfig`).
+        chaos: A :class:`~repro.resilience.FaultPlan` (or its
+            ``to_dict()`` form) to inject deterministic faults: it is
+            installed as this process's active plan for the duration of
+            the sweep (cache/journal sites) and shipped into every
+            worker (worker/solver sites).  When omitted, a plan already
+            installed via :func:`repro.resilience.install_plan` /
+            ``injected()`` is picked up and shipped the same way.  No
+            plan anywhere means the chaos path is completely inert.
 
     Returns:
         A :class:`SweepOutcome`; inspect ``.errors()`` or call
@@ -423,41 +525,56 @@ def run_sweep(
                 seen.add(job.key)
                 jobs.append(job)
 
+    if chaos is not None:
+        plan = chaos if isinstance(chaos, FaultPlan) \
+            else FaultPlan.from_dict(chaos)
+        previous_plan = install_plan(plan)
+        plan_installed = True
+    else:
+        plan = active_plan()
+        previous_plan = None
+        plan_installed = False
+
     started = time.monotonic()
     campaign = _Campaign(
         config=config, cache=cache, journal=journal,
         tracker=ProgressTracker(total=len(jobs)), progress=progress,
+        chaos_doc=plan.to_dict() if plan is not None else None,
     )
-    if journal is not None:
-        settled_records = journal.settled() if resume else {}
-        journal.append({
-            "event": "campaign", "total": len(jobs), "workers": workers,
-            "resume": resume,
-        })
-    else:
-        settled_records = {}
-
-    pending: list[Job] = []
-    for job in jobs:
-        record = settled_records.get(job.key)
-        if record is not None:
-            campaign.settle(job, JobOutcome(
-                job=job, status="resumed", result=record.get("result"),
-            ))
-            continue
-        cached = cache.get(job.key) if cache is not None else None
-        if cached is not None:
-            campaign.settle(job, JobOutcome(
-                job=job, status="cached", result=cached,
-            ))
-            continue
-        pending.append(job)
-
-    if pending:
-        if workers == 1:
-            _run_serial(pending, campaign, wall_timeout)
+    try:
+        if journal is not None:
+            settled_records = journal.settled() if resume else {}
+            journal.append({
+                "event": "campaign", "total": len(jobs), "workers": workers,
+                "resume": resume,
+            })
         else:
-            _run_pool(pending, campaign, wall_timeout, workers)
+            settled_records = {}
+
+        pending: list[Job] = []
+        for job in jobs:
+            record = settled_records.get(job.key)
+            if record is not None:
+                campaign.settle(job, JobOutcome(
+                    job=job, status="resumed", result=record.get("result"),
+                ))
+                continue
+            cached = cache.get(job.key) if cache is not None else None
+            if cached is not None:
+                campaign.settle(job, JobOutcome(
+                    job=job, status="cached", result=cached,
+                ))
+                continue
+            pending.append(job)
+
+        if pending:
+            if workers == 1:
+                _run_serial(pending, campaign, wall_timeout)
+            else:
+                _run_pool(pending, campaign, wall_timeout, workers)
+    finally:
+        if plan_installed:
+            install_plan(previous_plan)
 
     return SweepOutcome(
         outcomes=[campaign.outcomes[job.key] for job in jobs],
@@ -474,20 +591,54 @@ def _outcome_from(job: Job, res: dict, attempts: int) -> JobOutcome:
                       seconds=res.get("seconds", 0.0))
 
 
+def _charge_failure(job: Job, res: dict, attempt: int,
+                    failed_seconds: float,
+                    config: RunnerConfig) -> JobOutcome | None:
+    """Decide the fate of a failed attempt: settle now, or retry.
+
+    Returns a settled :class:`JobOutcome` when the job has spent its
+    retry count *or* its failure budget (cumulative wall seconds of
+    failed attempts, ``RunnerConfig.failure_budget_seconds``), else
+    ``None`` meaning "retry after backoff".  Budget exhaustion is
+    recorded in the error text so the operator can tell a poisonous
+    job from an unlucky one.
+    """
+    if attempt > config.retries:
+        return _outcome_from(job, res, attempt)
+    if (config.failure_budget_seconds is not None
+            and failed_seconds >= config.failure_budget_seconds):
+        res = dict(res)
+        res["error"] = (
+            f"{res.get('error')}; failure budget exhausted "
+            f"({failed_seconds:.3f}s of failed attempts >= "
+            f"{config.failure_budget_seconds:g}s budget, "
+            f"after attempt {attempt})")
+        return _outcome_from(job, res, attempt)
+    return None
+
+
 def _run_serial(pending: list[Job], campaign: _Campaign,
                 wall_timeout: float | None) -> None:
     """In-process execution with the same retry/timeout semantics."""
     config = campaign.config
     for job in pending:
-        attempts = 0
+        attempt = 0
+        failed_seconds = 0.0
         while True:
-            attempts += 1
+            attempt += 1
             res = invoke_job(job.payload,
-                             _wall_timeout_for(job, wall_timeout, config))
-            if res["ok"] or attempts > config.retries:
-                campaign.settle(job, _outcome_from(job, res, attempts))
+                             _wall_timeout_for(job, wall_timeout, config),
+                             attempt=attempt)
+            if res["ok"]:
+                campaign.settle(job, _outcome_from(job, res, attempt))
                 break
-            time.sleep(config.backoff_seconds * attempts)
+            failed_seconds += res.get("seconds", 0.0)
+            settled = _charge_failure(job, res, attempt, failed_seconds,
+                                      config)
+            if settled is not None:
+                campaign.settle(job, settled)
+                break
+            time.sleep(config.backoff_delay(attempt, key=job.key))
 
 
 def _run_pool(pending: list[Job], campaign: _Campaign,
@@ -512,20 +663,41 @@ def _run_pool(pending: list[Job], campaign: _Campaign,
     """
     config = campaign.config
     attempts = {job.key: 0 for job in pending}
+    failed_seconds = {job.key: 0.0 for job in pending}
     queue = list(pending)
     isolate = False
+    round_number = 0
     while queue:
         if isolate:
-            queue = _isolation_round(queue, attempts, campaign, wall_timeout)
+            queue = _isolation_round(queue, attempts, failed_seconds,
+                                     campaign, wall_timeout)
         else:
-            queue, broke = _parallel_round(
-                queue, attempts, campaign, wall_timeout, workers)
+            queue, broke = _parallel_round(queue, attempts, failed_seconds,
+                                           campaign, wall_timeout, workers)
             isolate = broke
         if queue:
-            time.sleep(config.backoff_seconds)
+            round_number += 1
+            time.sleep(config.backoff_delay(round_number, key="pool-round"))
 
 
-def _parallel_round(queue, attempts, campaign, wall_timeout, workers):
+def _settle_or_requeue(job, res, attempts, failed_seconds, campaign,
+                       requeue) -> None:
+    """Charge one completed pool attempt and settle or requeue the job."""
+    attempts[job.key] += 1
+    if res["ok"]:
+        campaign.settle(job, _outcome_from(job, res, attempts[job.key]))
+        return
+    failed_seconds[job.key] += res.get("seconds", 0.0)
+    settled = _charge_failure(job, res, attempts[job.key],
+                              failed_seconds[job.key], campaign.config)
+    if settled is not None:
+        campaign.settle(job, settled)
+    else:
+        requeue.append(job)
+
+
+def _parallel_round(queue, attempts, failed_seconds, campaign,
+                    wall_timeout, workers):
     """One shared-pool pass.  Returns (requeue, pool_broke)."""
     config = campaign.config
     requeue: list[Job] = []
@@ -533,7 +705,9 @@ def _parallel_round(queue, attempts, campaign, wall_timeout, workers):
     with ProcessPoolExecutor(max_workers=min(workers, len(queue))) as pool:
         futures = {
             pool.submit(invoke_job, job.payload,
-                        _wall_timeout_for(job, wall_timeout, config)): job
+                        _wall_timeout_for(job, wall_timeout, config),
+                        attempts[job.key] + 1, campaign.chaos_doc,
+                        True): job
             for job in queue
         }
         for future in as_completed(futures):
@@ -550,16 +724,13 @@ def _parallel_round(queue, attempts, campaign, wall_timeout, workers):
                 res = {"ok": False, "status": "error",
                        "error": f"{type(exc).__name__}: {exc}",
                        "seconds": 0.0}
-            attempts[job.key] += 1
-            if res["ok"] or attempts[job.key] > config.retries:
-                campaign.settle(job, _outcome_from(job, res,
-                                                   attempts[job.key]))
-            else:
-                requeue.append(job)
+            _settle_or_requeue(job, res, attempts, failed_seconds,
+                               campaign, requeue)
     return requeue, broke
 
 
-def _isolation_round(queue, attempts, campaign, wall_timeout):
+def _isolation_round(queue, attempts, failed_seconds, campaign,
+                     wall_timeout):
     """One-job-per-pool pass: crashes are attributable, so they pay."""
     config = campaign.config
     requeue: list[Job] = []
@@ -567,7 +738,8 @@ def _isolation_round(queue, attempts, campaign, wall_timeout):
         with ProcessPoolExecutor(max_workers=1) as pool:
             future = pool.submit(
                 invoke_job, job.payload,
-                _wall_timeout_for(job, wall_timeout, config))
+                _wall_timeout_for(job, wall_timeout, config),
+                attempts[job.key] + 1, campaign.chaos_doc, True)
             try:
                 res = future.result()
             except BrokenProcessPool:
@@ -579,9 +751,6 @@ def _isolation_round(queue, attempts, campaign, wall_timeout):
                 res = {"ok": False, "status": "error",
                        "error": f"{type(exc).__name__}: {exc}",
                        "seconds": 0.0}
-        attempts[job.key] += 1
-        if res["ok"] or attempts[job.key] > config.retries:
-            campaign.settle(job, _outcome_from(job, res, attempts[job.key]))
-        else:
-            requeue.append(job)
+        _settle_or_requeue(job, res, attempts, failed_seconds,
+                           campaign, requeue)
     return requeue

@@ -34,6 +34,7 @@ import numpy as np
 from scipy import optimize, sparse
 
 from repro.exceptions import ModelingError
+from repro.resilience.faults import maybe_fire
 from repro.solver.expr import Constraint, LinExpr, RangeConstraint, Var
 from repro.solver.result import SolveResult, SolveStats, SolveStatus
 
@@ -658,6 +659,7 @@ class Model:
         self,
         time_limit: float | None = None,
         mip_rel_gap: float | None = None,
+        relax: bool = False,
     ) -> SolveResult:
         """Solve the model and return a :class:`SolveResult`.
 
@@ -670,15 +672,24 @@ class Model:
                 incumbent at all.
             mip_rel_gap: Relative optimality gap at which branch-and-bound
                 may stop early (MILPs only).
+            relax: Solve the *LP relaxation* of a MILP -- integrality is
+                dropped and the continuous problem is solved instead.  The
+                relaxed optimum is a valid bound on the MILP optimum (an
+                upper bound for maximization, lower for minimization): the
+                analyzer's fallback ladder uses it to report a degradation
+                bound when branch-and-bound cannot find any incumbent in
+                time.  The returned ``x`` is generally *fractional*; do not
+                extract scenarios from it.  No-op for pure LPs.
         """
         compiled, cached = self._ensure_compiled()
-        if self.is_mip:
+        if self.is_mip and not relax:
             return self._solve_milp(
                 compiled, time_limit, mip_rel_gap,
                 incremental=False, compile_cached=cached,
             )
         return self._solve_lp(
-            compiled, time_limit, incremental=False, compile_cached=cached
+            compiled, time_limit, incremental=False, compile_cached=cached,
+            relaxed=self.is_mip,
         )
 
     def resolve_with(
@@ -825,6 +836,25 @@ class Model:
         if mip_rel_gap is not None:
             options["mip_rel_gap"] = float(mip_rel_gap)
 
+        if maybe_fire("solver.time_limit", key=self.name):
+            # Chaos: HiGHS expired without finding any feasible point.
+            # Mirrors the real incumbent-free TIME_LIMIT shape exactly so
+            # the analyzer's fallback ladder can be exercised on models
+            # that would otherwise solve instantly.
+            return SolveResult(
+                status=SolveStatus.TIME_LIMIT,
+                objective=float("nan"),
+                x=None,
+                duals=None,
+                solve_seconds=0.0,
+                message="time limit reached with no incumbent solution; "
+                        "(chaos-injected)",
+                stats=self._make_stats(
+                    compiled, "milp", 0.0, "none", incremental,
+                    compile_cached,
+                ),
+            )
+
         constraints = (
             optimize.LinearConstraint(compiled.a, compiled.row_lb, compiled.row_ub)
             if compiled.a.shape[0]
@@ -865,7 +895,8 @@ class Model:
         )
 
     def _solve_lp(
-        self, compiled, time_limit, incremental, compile_cached
+        self, compiled, time_limit, incremental, compile_cached,
+        relaxed: bool = False,
     ) -> SolveResult:
         row_lb, row_ub = compiled.row_lb, compiled.row_ub
         a_matrix = compiled.a
@@ -915,16 +946,19 @@ class Model:
         duals = self._recover_duals(
             res, eq_mask, ub_mask, lb_mask, sign, n_rows=row_lb.size
         )
+        message = str(res.message)
+        if relaxed:
+            message = f"LP relaxation (integrality dropped); {message}"
         return SolveResult(
             status=status,
             objective=objective,
             x=x,
             duals=duals,
             solve_seconds=elapsed,
-            message=str(res.message),
+            message=message,
             stats=self._make_stats(
                 compiled,
-                "linprog",
+                "linprog-relaxation" if relaxed else "linprog",
                 elapsed,
                 "lp" if duals is not None else "none",
                 incremental,

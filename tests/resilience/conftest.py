@@ -1,0 +1,17 @@
+"""Shared guards for the resilience suite.
+
+Fault plans are process-global state; a test that leaks one would make
+every later test chaotic.  The autouse fixture asserts each test starts
+clean and forcibly clears whatever it left behind.
+"""
+
+import pytest
+
+from repro.resilience.faults import active_plan, clear_plan
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    assert active_plan() is None, "a previous test leaked a fault plan"
+    yield
+    clear_plan()

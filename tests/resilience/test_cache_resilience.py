@@ -1,0 +1,95 @@
+"""Cache integrity: checksummed entries, quarantine-on-corruption.
+
+Serving a wrong cached number silently is the worst failure mode a
+result cache can have; these tests prove any detectable corruption is
+quarantined and reported as a miss instead.
+"""
+
+import json
+
+from repro.resilience.faults import FaultPlan, FaultPoint, injected
+from repro.runner.cache import FOOTER_PREFIX, ResultCache
+
+
+def test_round_trip_entries_carry_a_checksum_footer(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("k1", {"degradation": 4.5})
+    assert cache.get("k1") == {"degradation": 4.5}
+    lines = cache.path_for("k1").read_text().splitlines()
+    assert len(lines) == 2
+    assert lines[1].startswith(FOOTER_PREFIX)
+
+
+def test_truncated_entry_is_quarantined_and_missed(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("k1", {"degradation": 4.5})
+    text = cache.path_for("k1").read_text()
+    # Tear mid-document (a truncation that happens to end exactly at
+    # the first newline instead looks like a legacy footer-less entry,
+    # which is served by design).
+    cache.path_for("k1").write_text(text[: text.index("\n") // 2])
+
+    assert cache.get("k1") is None
+    assert "k1" not in cache
+    assert cache.quarantine_path_for("k1").exists()
+    assert cache.quarantined() == [cache.quarantine_path_for("k1")]
+
+
+def test_bit_flip_is_caught_by_the_checksum(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("k1", {"degradation": 4.5})
+    path = cache.path_for("k1")
+    # Flip the stored number; the JSON stays perfectly parseable, so
+    # only the footer can catch it.
+    path.write_text(path.read_text().replace("4.5", "9.5", 1))
+    assert cache.get("k1") is None
+    assert path.with_suffix(".corrupt").exists()
+
+
+def test_quarantined_key_recovers_on_the_next_put(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("k1", {"v": 1})
+    cache.path_for("k1").write_text("garbage")
+    assert cache.get("k1") is None
+    cache.put("k1", {"v": 2})
+    assert cache.get("k1") == {"v": 2}
+    # The corpse stays for post-mortems; it never blocks the key.
+    assert cache.quarantined() != []
+
+
+def test_legacy_footerless_entries_are_still_served(tmp_path):
+    cache = ResultCache(tmp_path)
+    document = {"key": "old", "salt": "whatever", "result": {"v": 7}}
+    cache.path_for("old").write_text(json.dumps(document) + "\n")
+    assert cache.get("old") == {"v": 7}
+
+
+def test_unparseable_legacy_entry_is_a_miss_not_a_crash(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.path_for("bad").write_text("{not json")
+    assert cache.get("bad") is None
+
+
+def test_chaos_torn_write_is_detected_on_read(tmp_path):
+    """The cache.torn_write site leaves a truncated entry under the
+    final name; get() must quarantine it rather than serve or raise."""
+    cache = ResultCache(tmp_path)
+    plan = FaultPlan(seed=0, points=[FaultPoint("cache.torn_write")])
+    with injected(plan):
+        cache.put("k1", {"degradation": 4.5})
+    assert cache.get("k1") is None
+    assert cache.quarantine_path_for("k1").exists()
+    # A clean re-put (the job re-ran) heals the key.
+    cache.put("k1", {"degradation": 4.5})
+    assert cache.get("k1") == {"degradation": 4.5}
+
+
+def test_chaos_torn_write_targets_only_matching_keys(tmp_path):
+    cache = ResultCache(tmp_path)
+    plan = FaultPlan(seed=0, points=[
+        FaultPoint("cache.torn_write", match="victim")])
+    with injected(plan):
+        cache.put("victim-key", {"v": 1})
+        cache.put("healthy-key", {"v": 2})
+    assert cache.get("victim-key") is None
+    assert cache.get("healthy-key") == {"v": 2}

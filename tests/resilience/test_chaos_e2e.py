@@ -1,0 +1,164 @@
+"""The acceptance bar: a chaos campaign finishes bit-identical to a
+fault-free one.
+
+One plan drives worker crashes, injected task errors, torn cache writes
+and torn journal appends across a 24-job sweep -- serial and pooled --
+and every variant must settle every job with exactly the fault-free
+results.  Zero faults must mean zero behavior change.
+"""
+
+import pytest
+
+from repro.core.config import RunnerConfig
+from repro.resilience.faults import FaultPlan
+from repro.runner.cache import ResultCache
+from repro.runner.executor import run_sweep
+from repro.runner.jobs import Job
+from repro.runner.journal import Journal
+
+WORKERS = "tests.runner._workers"
+NUM_JOBS = 24
+
+#: Every state-touching fault site at once.  Rates are moderate so both
+#: faulted and healthy jobs exist; the seed makes the mix reproducible.
+CHAOS_DOC = {
+    "seed": 1337,
+    "points": [
+        {"site": "worker.crash", "rate": 0.3},
+        {"site": "worker.error", "rate": 0.3},
+        {"site": "cache.torn_write", "rate": 0.4},
+        {"site": "journal.torn_append", "rate": 0.3},
+    ],
+}
+
+
+def _jobs() -> list[Job]:
+    return [
+        Job({"task": f"{WORKERS}:echo_task", "instance": {},
+             "params": {"value": i}})
+        for i in range(NUM_JOBS)
+    ]
+
+
+def _config() -> RunnerConfig:
+    return RunnerConfig(retries=2, backoff_seconds=0.0, backoff_jitter=0.0)
+
+
+def _fingerprint(outcome):
+    """Everything that must be bit-identical (timings excluded)."""
+    return [(o.job.key, o.status in ("done", "cached", "resumed"), o.result)
+            for o in outcome.outcomes]
+
+
+@pytest.fixture
+def clean_outcome():
+    return run_sweep(_jobs(), num_workers=1, config=_config())
+
+
+class TestBitIdenticalUnderChaos:
+    def test_serial_chaos_campaign(self, clean_outcome, tmp_path):
+        chaos = run_sweep(
+            _jobs(), num_workers=1, config=_config(),
+            cache=ResultCache(tmp_path / "cache"),
+            journal=Journal(tmp_path / "journal.jsonl"),
+            chaos=FaultPlan.from_dict(CHAOS_DOC),
+        )
+        assert chaos.num_errors == 0
+        assert _fingerprint(chaos) == _fingerprint(clean_outcome)
+        # The plan genuinely fired: some jobs needed more than one try.
+        attempts = [o.attempts for o in chaos.outcomes]
+        assert sum(attempts) > NUM_JOBS
+        assert max(attempts) >= 2
+
+    def test_pooled_chaos_campaign(self, clean_outcome, tmp_path):
+        """Hard worker crashes break real pools; the campaign must still
+        settle everything with the fault-free numbers."""
+        chaos = run_sweep(
+            _jobs(), num_workers=2, config=_config(),
+            cache=ResultCache(tmp_path / "cache"),
+            journal=Journal(tmp_path / "journal.jsonl"),
+            chaos=CHAOS_DOC,  # the dict form works too
+        )
+        assert chaos.num_errors == 0
+        assert _fingerprint(chaos) == _fingerprint(clean_outcome)
+
+    def test_serial_chaos_is_deterministic(self, tmp_path):
+        """Same plan, same jobs -> the same faults fire: statuses,
+        results, and attempt counts all repeat exactly."""
+        def run(tag):
+            return run_sweep(
+                _jobs(), num_workers=1, config=_config(),
+                cache=ResultCache(tmp_path / tag / "cache"),
+                journal=Journal(tmp_path / tag / "journal.jsonl"),
+                chaos=FaultPlan.from_dict(CHAOS_DOC),
+            )
+
+        first, second = run("one"), run("two")
+        assert _fingerprint(first) == _fingerprint(second)
+        assert [o.attempts for o in first.outcomes] \
+            == [o.attempts for o in second.outcomes]
+        assert [o.status for o in first.outcomes] \
+            == [o.status for o in second.outcomes]
+
+
+class TestStateFilesSurvive:
+    def test_torn_cache_heals_on_the_next_campaign(self, clean_outcome,
+                                                   tmp_path):
+        """Chaos tears some cache writes; the next (fault-free) campaign
+        over the same cache quarantines the wreckage, re-runs those
+        jobs, and still produces fault-free results."""
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(_jobs(), num_workers=1, config=_config(), cache=cache,
+                  chaos=FaultPlan.from_dict(CHAOS_DOC))
+
+        healed = run_sweep(_jobs(), num_workers=1, config=_config(),
+                           cache=cache)
+        assert healed.num_errors == 0
+        assert _fingerprint(healed) == _fingerprint(clean_outcome)
+        # Torn entries were quarantined (not served); their jobs re-ran.
+        assert cache.quarantined() != []
+        assert any(o.status == "done" for o in healed.outcomes)
+        assert any(o.status == "cached" for o in healed.outcomes)
+        # Third pass: everything healed is served from cache.
+        third = run_sweep(_jobs(), num_workers=1, config=_config(),
+                          cache=cache)
+        assert all(o.status == "cached" for o in third.outcomes)
+        assert _fingerprint(third) == _fingerprint(clean_outcome)
+
+    def test_torn_journal_resumes(self, clean_outcome, tmp_path):
+        """Chaos tears some journal appends; --resume over that journal
+        replays what survived and re-runs the rest to the same end."""
+        journal = Journal(tmp_path / "journal.jsonl")
+        chaos = run_sweep(_jobs(), num_workers=1, config=_config(),
+                          journal=journal,
+                          chaos=FaultPlan.from_dict(CHAOS_DOC))
+        assert chaos.num_errors == 0
+        settled = journal.settled()
+        # Torn appends lost records: not every done job is in the journal.
+        assert 0 < len(settled) < NUM_JOBS
+
+        resumed = run_sweep(_jobs(), num_workers=1, config=_config(),
+                            journal=journal, resume=True)
+        assert resumed.num_errors == 0
+        assert _fingerprint(resumed) == _fingerprint(clean_outcome)
+        counts = resumed.counts()
+        assert counts.get("resumed", 0) == len(settled)
+        assert counts.get("done", 0) == NUM_JOBS - len(settled)
+
+
+class TestZeroFaultsZeroChange:
+    def test_no_plan_no_difference(self, clean_outcome, tmp_path):
+        outcome = run_sweep(
+            _jobs(), num_workers=1, config=_config(),
+            cache=ResultCache(tmp_path / "cache"),
+            journal=Journal(tmp_path / "journal.jsonl"),
+        )
+        assert _fingerprint(outcome) == _fingerprint(clean_outcome)
+        assert all(o.attempts == 1 for o in outcome.outcomes)
+        assert ResultCache(tmp_path / "cache").quarantined() == []
+
+    def test_empty_plan_no_difference(self, clean_outcome):
+        outcome = run_sweep(_jobs(), num_workers=1, config=_config(),
+                            chaos=FaultPlan(seed=5, points=[]))
+        assert _fingerprint(outcome) == _fingerprint(clean_outcome)
+        assert all(o.attempts == 1 for o in outcome.outcomes)

@@ -1,0 +1,179 @@
+"""The fault-injection harness itself: determinism, targeting, parsing.
+
+Everything downstream (chaos sweeps, fallback ladders) leans on one
+property: whether a fault fires is a pure function of
+``(seed, site, key, attempt)``.  These tests pin that property and the
+plan's serialization surface.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import ModelingError
+from repro.resilience.faults import (
+    KNOWN_SITES,
+    FaultPlan,
+    FaultPoint,
+    active_plan,
+    clear_plan,
+    injected,
+    install_plan,
+    maybe_fire,
+)
+
+
+class TestDeterminism:
+    def test_same_inputs_same_decision(self):
+        a = FaultPlan(seed=7, points=[FaultPoint("worker.crash", rate=0.5,
+                                                 attempts=())])
+        b = FaultPlan(seed=7, points=[FaultPoint("worker.crash", rate=0.5,
+                                                 attempts=())])
+        keys = [f"job-{i}" for i in range(64)]
+        pattern_a = [a.fires("worker.crash", key=k, attempt=1) for k in keys]
+        pattern_b = [b.fires("worker.crash", key=k, attempt=1) for k in keys]
+        assert pattern_a == pattern_b
+        assert any(pattern_a) and not all(pattern_a)  # rate actually bites
+
+    def test_seed_changes_the_pattern(self):
+        keys = [f"job-{i}" for i in range(64)]
+
+        def pattern(seed):
+            plan = FaultPlan(seed=seed, points=[
+                FaultPoint("worker.crash", rate=0.5, attempts=())])
+            return [plan.fires("worker.crash", key=k, attempt=1)
+                    for k in keys]
+
+        assert pattern(1) != pattern(2)
+
+    def test_survives_serialization_round_trip(self):
+        plan = FaultPlan(seed=3, points=[
+            FaultPoint("worker.crash", rate=0.4, attempts=()),
+            FaultPoint("cache.torn_write", rate=0.6, match="abc"),
+        ])
+        clone = FaultPlan.from_dict(
+            json.loads(json.dumps(plan.to_dict())))
+        assert clone == plan
+        keys = [f"k{i}" for i in range(32)]
+        assert (
+            [plan.fires("worker.crash", key=k, attempt=1) for k in keys]
+            == [clone.fires("worker.crash", key=k, attempt=1) for k in keys]
+        )
+
+    def test_attempt_number_is_part_of_the_draw(self):
+        plan = FaultPlan(seed=5, points=[
+            FaultPoint("worker.error", rate=0.5, attempts=())])
+        per_attempt = [
+            [plan.fires("worker.error", key=f"k{i}", attempt=a)
+             for i in range(64)]
+            for a in (1, 2)
+        ]
+        assert per_attempt[0] != per_attempt[1]
+
+
+class TestTargeting:
+    def test_default_attempts_make_faults_transient(self):
+        plan = FaultPlan(seed=0, points=[FaultPoint("worker.crash")])
+        assert plan.fires("worker.crash", key="j", attempt=1)
+        assert not plan.fires("worker.crash", key="j", attempt=2)
+
+    def test_empty_attempts_means_any_attempt(self):
+        plan = FaultPlan(seed=0, points=[
+            FaultPoint("worker.crash", attempts=())])
+        assert plan.fires("worker.crash", key="j", attempt=1)
+        assert plan.fires("worker.crash", key="j", attempt=9)
+
+    def test_match_substring_filters_keys(self):
+        plan = FaultPlan(seed=0, points=[
+            FaultPoint("cache.torn_write", match="deadbeef")])
+        assert plan.fires("cache.torn_write", key="xx-deadbeef-yy")
+        assert not plan.fires("cache.torn_write", key="cafebabe")
+
+    def test_max_fires_caps_a_point(self):
+        plan = FaultPlan(seed=0, points=[
+            FaultPoint("solver.time_limit", max_fires=2)])
+        fired = [plan.fires("solver.time_limit", key="m") for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan(seed=0, points=[FaultPoint("worker.crash")])
+        assert not plan.fires("worker.error", key="j", attempt=1)
+        assert not plan.fires("journal.torn_append", key="j")
+
+
+class TestValidation:
+    def test_unknown_site_is_rejected(self):
+        with pytest.raises(ModelingError, match="unknown fault site"):
+            FaultPoint("worker.sigsegv")
+
+    def test_rate_outside_unit_interval_is_rejected(self):
+        with pytest.raises(ModelingError, match="rate"):
+            FaultPoint("worker.crash", rate=1.5)
+        with pytest.raises(ModelingError, match="rate"):
+            FaultPoint("worker.crash", rate=-0.1)
+
+    def test_unknown_point_field_is_rejected(self):
+        with pytest.raises(ModelingError, match="unknown fault point"):
+            FaultPoint.from_dict({"site": "worker.crash", "rat": 0.5})
+
+    def test_missing_site_is_rejected(self):
+        with pytest.raises(ModelingError, match="site"):
+            FaultPoint.from_dict({"rate": 0.5})
+
+    def test_wrong_document_kind_is_rejected(self):
+        with pytest.raises(ModelingError, match="fault_plan"):
+            FaultPlan.from_dict({"kind": "topology"})
+
+    def test_every_known_site_constructs(self):
+        for site in KNOWN_SITES:
+            FaultPoint(site)
+
+
+class TestFromArg:
+    def test_inline_json(self):
+        plan = FaultPlan.from_arg(
+            '{"seed": 9, "points": [{"site": "worker.crash", "rate": 0.5}]}')
+        assert plan.seed == 9
+        assert plan.points[0].site == "worker.crash"
+
+    def test_plan_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"seed": 4, "points": [{"site": "journal.torn_append"}]}))
+        plan = FaultPlan.from_arg(str(path))
+        assert plan.seed == 4
+
+    def test_nonexistent_path_is_a_clear_error(self):
+        with pytest.raises(ModelingError, match="neither inline JSON"):
+            FaultPlan.from_arg("/no/such/plan.json")
+
+
+class TestGlobalPlan:
+    def test_maybe_fire_is_inert_without_a_plan(self):
+        assert active_plan() is None
+        assert not maybe_fire("worker.crash", key="anything", attempt=1)
+
+    def test_injected_scopes_and_restores(self):
+        plan = FaultPlan(seed=0, points=[FaultPoint("worker.error")])
+        with injected(plan) as installed:
+            assert installed is plan
+            assert active_plan() is plan
+            assert maybe_fire("worker.error", key="k", attempt=1)
+        assert active_plan() is None
+
+    def test_injected_nests(self):
+        outer = FaultPlan(seed=1)
+        inner = FaultPlan(seed=2)
+        with injected(outer):
+            with injected(inner):
+                assert active_plan() is inner
+            assert active_plan() is outer
+        assert active_plan() is None
+
+    def test_install_plan_accepts_dicts_and_returns_previous(self):
+        previous = install_plan({"seed": 11, "points": []})
+        assert previous is None
+        assert active_plan().seed == 11
+        restored = install_plan(None)
+        assert restored.seed == 11
+        clear_plan()
