@@ -34,7 +34,12 @@ from repro.core.augment import (
     augment_existing_lags,
     augment_new_lags,
 )
-from repro.core.config import RahaConfig, ResilienceConfig, RunnerConfig
+from repro.core.config import (
+    ObsConfig,
+    RahaConfig,
+    ResilienceConfig,
+    RunnerConfig,
+)
 from repro.core.degradation import DegradationResult, PartialResult
 from repro.exceptions import (
     InfeasibleError,
@@ -81,6 +86,7 @@ __all__ = [
     "Lag",
     "Link",
     "ModelingError",
+    "ObsConfig",
     "PartialResult",
     "PathError",
     "PathSet",

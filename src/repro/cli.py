@@ -123,8 +123,24 @@ def _run_campaign(spec, args, workdir: Path, use_cache: bool = True):
         chaos = FaultPlan.from_arg(chaos_arg)
         print(f"chaos: injecting {len(chaos.points)} fault point(s) "
               f"(seed {chaos.seed}) -- self-test mode", file=sys.stderr)
-    return run_sweep(spec, cache=cache, journal=journal, resume=args.resume,
-                     progress=progress, config=config, chaos=chaos)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return run_sweep(spec, cache=cache, journal=journal,
+                         resume=args.resume, progress=progress,
+                         config=config, chaos=chaos)
+    from repro.obs import JsonlTraceWriter, Tracer, metrics
+
+    writer = JsonlTraceWriter(
+        trace_path, name=getattr(spec, "name", None) or "sweep")
+    tracer = Tracer(sink=writer.write)
+    try:
+        outcome = run_sweep(spec, cache=cache, journal=journal,
+                            resume=args.resume, progress=progress,
+                            config=config, chaos=chaos, tracer=tracer)
+    finally:
+        writer.close(metrics().snapshot())
+    print(f"trace: {trace_path}", file=sys.stderr)
+    return outcome
 
 
 def _write_sweep_results(outcome, spec, path: Path) -> dict:
@@ -191,6 +207,14 @@ def _print_sweep_summary(outcome) -> None:
               f"compile {totals['compile_seconds']:.2f}s, "
               f"solve {totals['solve_seconds']:.2f}s, "
               f"max |coef| {totals['max_abs_coefficient']:.3g}")
+    phases = outcome.phase_totals()
+    if phases:
+        ranked = sorted(phases.items(), key=lambda kv: -kv[1]["seconds"])
+        rendered = ", ".join(
+            f"{name} {entry['seconds']:.2f}s x{int(entry['count'])}"
+            for name, entry in ranked[:8]
+        )
+        print(f"phases: {rendered}")
 
 
 def _cmd_sweep(args) -> int:
@@ -314,7 +338,19 @@ def _cmd_analyze(args) -> int:
         )
     else:
         config = RahaConfig(fixed_demands=dict(demands), **kwargs)
-    result = RahaAnalyzer(topology, paths, config).analyze()
+    analyzer = RahaAnalyzer(topology, paths, config)
+    if args.trace:
+        from repro.obs import JsonlTraceWriter, Tracer, metrics, tracing
+
+        writer = JsonlTraceWriter(args.trace, name="analyze")
+        try:
+            with tracing(Tracer(sink=writer.write)):
+                result = analyzer.analyze()
+        finally:
+            writer.close(metrics().snapshot())
+        print(f"trace: {args.trace}", file=sys.stderr)
+    else:
+        result = analyzer.analyze()
     if result.is_partial:
         report = _partial_report(result)
         print(report)
@@ -509,6 +545,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--stats", action="store_true",
                       help="print per-solve telemetry (matrix size, "
                            "build/compile/solve split, big-M magnitudes)")
+    p_an.add_argument("--trace", default=None, metavar="FILE",
+                      help="write a structured JSONL trace (nested spans "
+                           "for encode/compile/solve/verify plus a metrics "
+                           "snapshot; see docs/operations.md "
+                           "'Observability')")
     p_an.add_argument("--report", default=None)
     p_an.add_argument("--out", default=None)
     p_an.set_defaults(func=_cmd_analyze)
@@ -538,6 +579,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "operations.md 'Chaos testing'); deterministic "
                            "faults are injected into workers, cache "
                            "writes, and journal appends")
+    p_sw.add_argument("--trace", default=None, metavar="FILE",
+                      help="write a campaign-wide JSONL trace: per-job "
+                           "spans with each worker's encode/compile/solve "
+                           "spans merged beneath them (see docs/"
+                           "operations.md 'Observability')")
     p_sw.add_argument("--quiet", action="store_true",
                       help="suppress per-job progress lines on stderr")
     p_sw.add_argument("--out", default=None,

@@ -45,6 +45,8 @@ from repro.failures.scenario import (
 from repro.metaopt.bilevel import StackelbergProblem
 from repro.network.demand import DemandMatrix, Pair
 from repro.network.topology import LagKey, Topology, lag_key
+from repro.obs.metrics import metrics
+from repro.obs.trace import current_tracer
 from repro.paths.pathset import PathSet
 from repro.solver.duality import InnerLP
 from repro.solver.expr import quicksum
@@ -117,6 +119,13 @@ class RahaAnalyzer:
     # -- public API ----------------------------------------------------------
     def analyze(self) -> DegradationResult:
         """Build the game, solve it, verify, and report the worst case."""
+        with current_tracer().span(
+            "analyze", objective=self.config.objective
+        ) as root:
+            result = self._analyze(root)
+        return result
+
+    def _analyze(self, root) -> DegradationResult:
         encode_started = time.monotonic()
         game = StackelbergProblem(f"raha-{self.config.objective}")
         model = game.model
@@ -129,10 +138,11 @@ class RahaAnalyzer:
             config=self.config,
             non_failable_lags=self.non_failable_lags,
         )
-        caps = build_path_extension_caps(
-            model, encoding, demand_exprs, demand_uppers,
-            kill_down_paths=(self.config.objective == "mlu"),
-        )
+        with current_tracer().span("linearize"):
+            caps = build_path_extension_caps(
+                model, encoding, demand_exprs, demand_uppers,
+                kill_down_paths=(self.config.objective == "mlu"),
+            )
         for constraint in self.config.extra_outer_constraints:
             model.add_constr(constraint)
         for builder in self.config.constraint_builders:
@@ -143,7 +153,10 @@ class RahaAnalyzer:
             "mlu": self._build_mlu,
             "maxmin": self._build_maxmin,
         }[self.config.objective]
-        context = builder(game, encoding, caps, demand_exprs, demand_uppers)
+        with current_tracer().span("build_healthy"):
+            context = builder(
+                game, encoding, caps, demand_exprs, demand_uppers
+            )
         encode_seconds = time.monotonic() - encode_started
 
         result = game.solve(
@@ -155,9 +168,12 @@ class RahaAnalyzer:
             # answer (objective NaN) -- walk the fallback ladder: retry
             # with escalated limits, then (if allowed) fall back to an
             # LP-relaxation bound as a structured PartialResult.
+            metrics().counter("analyzer.incumbent_free_timeouts").inc()
             recovered = self._recover_from_timeout(game, result,
                                                    encode_seconds)
             if isinstance(recovered, PartialResult):
+                metrics().counter("analyzer.partial_results").inc()
+                root.set(partial=True, bound=recovered.bound)
                 return recovered
             result = recovered
         if not result.status.ok or result.x is None:
@@ -165,9 +181,14 @@ class RahaAnalyzer:
                 f"Raha MILP ended with {result.status.value}: {result.message}"
             )
 
-        return self._finalize(
+        final = self._finalize(
             game, encoding, demand_exprs, context, result, encode_seconds
         )
+        root.set(
+            degradation=final.degradation, status=final.status,
+            encode_seconds=encode_seconds,
+        )
+        return final
 
     def _recover_from_timeout(self, game, result: SolveResult,
                               encode_seconds: float):
@@ -198,8 +219,10 @@ class RahaAnalyzer:
         solver_seconds = result.solve_seconds
         for limit in resilience.escalated_limits(self.config.time_limit):
             tried.append(limit)
-            retry = game.solve(time_limit=limit,
-                               mip_rel_gap=self.config.mip_rel_gap)
+            metrics().counter("analyzer.escalated_retries").inc()
+            with current_tracer().span("retry_escalated", time_limit=limit):
+                retry = game.solve(time_limit=limit,
+                                   mip_rel_gap=self.config.mip_rel_gap)
             solver_seconds += retry.solve_seconds
             if not (retry.status is SolveStatus.TIME_LIMIT
                     and not retry.has_solution):
@@ -220,8 +243,9 @@ class RahaAnalyzer:
                 f"relax mip_rel_gap, or enable resilience.allow_partial "
                 f"for an LP-relaxation bound ({result.message})"
             )
-        relaxed = game.solve(time_limit=resilience.relaxation_time_limit,
-                             relax=True)
+        with current_tracer().span("lp_relaxation_fallback"):
+            relaxed = game.solve(time_limit=resilience.relaxation_time_limit,
+                                 relax=True)
         solver_seconds += relaxed.solve_seconds
         if not relaxed.status.ok or relaxed.x is None:
             raise SolverError(
@@ -618,10 +642,12 @@ class RahaAnalyzer:
         verified = False
         notes: list[str] = []
         if self.config.verify:
-            game.verify(result)
-            self._verify_by_simulation(
-                context, demands, scenario, healthy_value, failed_value, notes
-            )
+            with current_tracer().span("verify"):
+                game.verify(result)
+                self._verify_by_simulation(
+                    context, demands, scenario, healthy_value, failed_value,
+                    notes,
+                )
             verified = True
 
         probability = None

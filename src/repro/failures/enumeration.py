@@ -40,7 +40,8 @@ def enumerate_scenarios(
         topology: The WAN.
         max_failures: The ``k`` bound on simultaneously failed links.
         probability_threshold: Drop scenarios less likely than this
-            (requires link probabilities).
+            (requires link probabilities).  Must lie strictly between
+            0 and 1; ``None`` disables the filter.
         relevant_only: When ``paths`` is given, restrict to links on LAGs
             that appear in some configured path -- failures elsewhere
             cannot affect any flow, so skipping them is lossless.
@@ -48,6 +49,13 @@ def enumerate_scenarios(
     """
     if max_failures < 1:
         raise ValueError(f"max_failures must be positive, got {max_failures}")
+    if probability_threshold is not None and not (
+        0.0 < probability_threshold < 1.0
+    ):
+        raise ValueError(
+            f"probability_threshold must be in (0, 1), got "
+            f"{probability_threshold} (pass None to disable the filter)"
+        )
     links = [
         (lag.key, i) for lag in topology.lags for i in range(lag.num_links)
     ]
@@ -59,7 +67,10 @@ def enumerate_scenarios(
                     used.add(lag.key)
         links = [(key, i) for key, i in links if key in used]
 
-    log_t = math.log(probability_threshold) if probability_threshold else None
+    log_t = (
+        math.log(probability_threshold)
+        if probability_threshold is not None else None
+    )
     for count in range(1, max_failures + 1):
         for combo in itertools.combinations(links, count):
             scenario = FailureScenario(combo)

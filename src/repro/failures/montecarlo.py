@@ -27,6 +27,8 @@ from repro.exceptions import TopologyError
 from repro.failures.scenario import FailureScenario, active_paths
 from repro.network.demand import Pair
 from repro.network.topology import LagKey, Topology, lag_key
+from repro.obs.metrics import metrics
+from repro.obs.trace import current_tracer
 from repro.paths.pathset import PathSet
 from repro.resilience.faults import maybe_fire
 from repro.solver import LinExpr, Model, Var
@@ -230,6 +232,7 @@ class ScenarioResolver:
                     # all) delivers nothing; no fallback needed.
                     return 0.0
                 failure = f"re-solve ended with {result.status.value}"
+        metrics().counter("resolver.fallbacks").inc()
         logger.warning(
             "scenario resolver failed (%s); falling back to a fresh solve "
             "for this scenario", failure,
@@ -268,25 +271,29 @@ def estimate_availability(
     if samples < 1:
         raise ValueError(f"need at least one sample, got {samples}")
     rng = np.random.default_rng(seed)
-    healthy = TotalFlowTE(primary_only=True).solve(topology, demands, paths)
-    healthy_flow = healthy.total_flow
+    with current_tracer().span("montecarlo", samples=samples) as span:
+        healthy = TotalFlowTE(primary_only=True).solve(
+            topology, demands, paths
+        )
+        healthy_flow = healthy.total_flow
 
-    resolver = ScenarioResolver(topology, demands, paths)
-    degradations: list[float] = []
-    worst = -float("inf")
-    worst_scenario = FailureScenario()
-    cache: dict[FailureScenario, float] = {}
-    for _ in range(samples):
-        scenario = sample_scenario(topology, rng)
-        if scenario in cache:
-            degradation = cache[scenario]
-        else:
-            degradation = healthy_flow - resolver.delivered(scenario)
-            cache[scenario] = degradation
-        degradations.append(degradation)
-        if degradation > worst:
-            worst = degradation
-            worst_scenario = scenario
+        resolver = ScenarioResolver(topology, demands, paths)
+        degradations: list[float] = []
+        worst = -float("inf")
+        worst_scenario = FailureScenario()
+        cache: dict[FailureScenario, float] = {}
+        for _ in range(samples):
+            scenario = sample_scenario(topology, rng)
+            if scenario in cache:
+                degradation = cache[scenario]
+            else:
+                degradation = healthy_flow - resolver.delivered(scenario)
+                cache[scenario] = degradation
+            degradations.append(degradation)
+            if degradation > worst:
+                worst = degradation
+                worst_scenario = scenario
+        span.set(distinct_scenarios=len(cache))
 
     array = np.asarray(degradations)
     availability = (

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.exceptions import ModelingError
+from repro.obs.trace import current_tracer
 from repro.solver.duality import InnerLP
 from repro.solver.expr import LinExpr
 from repro.solver.model import Model
@@ -165,7 +166,8 @@ class StackelbergProblem:
         terms_out = objective.terms
         for term in self._terms:
             if term.adversarial:
-                term.inner.embed_kkt()
+                with current_tracer().span("embed_kkt", inner=term.inner.name):
+                    term.inner.embed_kkt()
             if term.coefficient:
                 contribution = term.inner.objective_expr()
                 for idx, coef in contribution.terms.items():

@@ -1,0 +1,78 @@
+"""``repro.obs``: zero-dependency structured tracing and metrics.
+
+The observability layer the production-scale north star calls for:
+nested wall-time spans (:mod:`repro.obs.trace`), a counter/gauge
+registry (:mod:`repro.obs.metrics`), JSONL trace files and per-phase
+aggregation (:mod:`repro.obs.sinks`), and a trace-schema validator
+(:mod:`repro.obs.validate`).
+
+The default tracer is a no-op (:data:`NULL_TRACER`), so instrumented
+hot paths -- the solver's compile/solve, the analyzer's phases, sweep
+workers -- cost one extra function call per phase when tracing is off.
+Enable it ambiently::
+
+    from repro.obs import Tracer, tracing, span
+
+    with tracing(Tracer()) as tracer:
+        with span("analyze"):
+            ...
+        spans = tracer.export()
+
+or from the CLI with ``analyze --trace FILE`` / ``sweep --trace FILE``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    install_metrics,
+    metrics,
+    metrics_scope,
+)
+from repro.obs.sinks import (
+    JsonlTraceWriter,
+    merge_phase_seconds,
+    phase_totals,
+    read_trace,
+    write_trace,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    span,
+    tracing,
+)
+from repro.obs.validate import (
+    validate_trace_docs,
+    validate_trace_file,
+    validate_trace_lines,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "install_metrics",
+    "metrics",
+    "metrics_scope",
+    "JsonlTraceWriter",
+    "merge_phase_seconds",
+    "phase_totals",
+    "read_trace",
+    "write_trace",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "install_tracer",
+    "span",
+    "tracing",
+    "validate_trace_docs",
+    "validate_trace_file",
+    "validate_trace_lines",
+]

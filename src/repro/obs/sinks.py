@@ -1,0 +1,104 @@
+"""Trace sinks and aggregation: JSONL files and per-phase totals.
+
+The JSONL trace format is line-oriented so partial files (a killed
+campaign) stay readable:
+
+* line 1: ``{"type": "trace_header", "version": 1, "name": ...}``
+* span lines: ``{"type": "span", "name", "id", "parent",
+  "start_unix", "duration_seconds", "attrs"}``
+* optional final line: ``{"type": "metrics", "counters", "gauges"}``
+
+:func:`phase_totals` is the aggregation step sweep summaries use: it
+rolls span durations up by name, so a campaign of hundreds of jobs
+reports one ``{"milp_solve": 41.3, "compile": 0.09, ...}`` dict --
+the end-to-end view connecting jobs to analyzer phases to solves.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+TRACE_SCHEMA_VERSION = 1
+
+
+def trace_header(name: str = "trace") -> dict:
+    """The header line every trace file starts with."""
+    return {"type": "trace_header", "version": TRACE_SCHEMA_VERSION,
+            "name": name}
+
+
+class JsonlTraceWriter:
+    """Streams trace lines to a JSONL file as spans complete.
+
+    Usable directly as a :class:`~repro.obs.trace.Tracer` sink::
+
+        writer = JsonlTraceWriter(path, name="sweep")
+        tracer = Tracer(sink=writer.write)
+        ...
+        writer.close(metrics_snapshot)
+    """
+
+    def __init__(self, path: str | os.PathLike, name: str = "trace"):
+        self.path = str(path)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self.write(trace_header(name))
+
+    def write(self, doc: dict) -> None:
+        """Append one JSON document as a line."""
+        self._handle.write(json.dumps(doc, sort_keys=True) + "\n")
+
+    def close(self, metrics_snapshot: dict | None = None) -> None:
+        """Optionally append a metrics line, then close the file."""
+        if metrics_snapshot is not None:
+            self.write({"type": "metrics", **metrics_snapshot})
+        self._handle.close()
+
+
+def write_trace(path: str | os.PathLike, spans: list[dict],
+                metrics_snapshot: dict | None = None,
+                name: str = "trace") -> None:
+    """Write a completed trace (header + spans + metrics) in one shot."""
+    writer = JsonlTraceWriter(path, name=name)
+    try:
+        for doc in spans:
+            writer.write(doc)
+    finally:
+        writer.close(metrics_snapshot)
+
+
+def read_trace(path: str | os.PathLike) -> list[dict]:
+    """Parse a JSONL trace file back into its document list."""
+    docs = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                docs.append(json.loads(line))
+    return docs
+
+
+def phase_totals(spans: list[dict]) -> dict[str, dict[str, float]]:
+    """Roll spans up by name: ``{name: {"seconds": s, "count": n}}``.
+
+    Accepts span dicts (``type`` other than ``"span"`` is skipped, so a
+    whole trace-file document list works too).
+    """
+    totals: dict[str, dict[str, float]] = {}
+    for doc in spans:
+        if doc.get("type", "span") != "span":
+            continue
+        entry = totals.setdefault(doc["name"], {"seconds": 0.0, "count": 0})
+        entry["seconds"] += float(doc.get("duration_seconds", 0.0))
+        entry["count"] += 1
+    return totals
+
+
+def merge_phase_seconds(into: dict[str, float], spans: list[dict]) -> None:
+    """Accumulate span durations by name into a flat seconds dict."""
+    for doc in spans:
+        if doc.get("type", "span") != "span":
+            continue
+        name = doc["name"]
+        into[name] = into.get(name, 0.0) + float(
+            doc.get("duration_seconds", 0.0))

@@ -1,0 +1,259 @@
+"""Structured tracing: nested wall-time spans with a zero-cost off switch.
+
+The paper's evaluation is about *where time goes* (Figure 10's runtime
+scaling, Figure 16's timeout trade-off), so the repository needs a way
+to attribute wall-clock to encoding, KKT embedding, compilation, and
+branch-and-bound -- across a single analysis and across a whole sweep
+campaign.  This module provides that substrate:
+
+* :class:`Span` -- one named, timed region with free-form attributes,
+  a stable id, and a parent id (the tree structure).
+* :class:`Tracer` -- produces spans as context managers, collects them
+  in memory on completion, and can re-emit *serialized* spans produced
+  in another process (worker jobs) under a local parent.
+* :class:`NullTracer` -- the default.  Its :meth:`~NullTracer.span`
+  returns a shared no-op handle, so instrumented code pays one function
+  call and nothing else when tracing is off; the hot path stays hot.
+
+Tracers are installed ambiently (one per process, like
+:func:`repro.resilience.install_plan`) so instrumentation sites never
+need plumbing through every signature::
+
+    from repro.obs import span, tracing, Tracer
+
+    tracer = Tracer()
+    with tracing(tracer):
+        with span("analyze", objective="total_flow") as sp:
+            ...
+            sp.set(degradation=3.2)
+    tracer.export()   # list of span dicts, roots first in start order
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextlib import contextmanager
+
+
+class Span:
+    """One timed region of a trace.
+
+    Spans are created by :meth:`Tracer.span` and used as context
+    managers; :meth:`set` attaches attributes (solver stats, statuses,
+    counts) at any point before exit.
+
+    Attributes:
+        name: The phase name (``analyze``, ``compile``, ``milp_solve``, ...).
+        span_id: Unique id within the trace.
+        parent_id: Enclosing span's id, or ``None`` for a root.
+        attrs: Free-form JSON-serializable attributes.
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "attrs", "start_unix",
+                 "_tracer", "_t0", "duration_seconds")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: str,
+                 parent_id: str | None, attrs: dict):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.start_unix = time.time()
+        self.duration_seconds = 0.0
+        self._tracer = tracer
+        self._t0 = time.perf_counter()
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to the span; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_seconds = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.attrs.setdefault("error", f"{exc_type.__name__}: {exc}")
+        self._tracer._finish(self)
+        return False
+
+    def to_dict(self) -> dict:
+        """The JSONL form of the span (see docs/operations.md)."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "start_unix": round(self.start_unix, 6),
+            "duration_seconds": round(self.duration_seconds, 9),
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """The shared do-nothing span handle the :class:`NullTracer` returns."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: every operation is a no-op.
+
+    ``enabled`` is ``False`` so call sites that would do real work to
+    *prepare* attributes (serializing stats, exporting worker spans) can
+    skip it entirely.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        """Return the shared no-op span handle."""
+        return NULL_SPAN
+
+    def record(self, name: str, seconds: float, **attrs) -> None:
+        """No-op."""
+
+    def merge(self, serialized, parent_id=None, prefix: str = "") -> None:
+        """No-op."""
+
+    def export(self) -> list[dict]:
+        """A null tracer never collects anything."""
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects completed spans in memory, preserving tree structure.
+
+    Spans nest through an explicit stack: the parent of a new span is
+    whatever span is currently open.  Completed spans are appended to an
+    in-memory list in *completion* order and optionally forwarded to a
+    ``sink`` callable (e.g. a JSONL writer) as they finish --
+    :meth:`export` re-sorts them into start order for readers.
+
+    The tracer is intentionally not thread-safe: every process in this
+    codebase traces from a single thread (worker processes install their
+    own tracer inside :func:`repro.runner.executor.invoke_job`).
+    """
+
+    enabled = True
+
+    def __init__(self, sink=None):
+        self._sink = sink
+        self._spans: list[dict] = []
+        self._stack: list[str] = []
+        self._ids = itertools.count(1)
+
+    def span(self, name: str, **attrs) -> Span:
+        """Open a new span under the currently open one (if any)."""
+        parent = self._stack[-1] if self._stack else None
+        sp = Span(self, name, f"s{next(self._ids)}", parent, attrs)
+        self._stack.append(sp.span_id)
+        return sp
+
+    def _finish(self, sp: Span) -> None:
+        # Tolerate out-of-order exits (generators, exceptions): pop back
+        # to -- and including -- this span if it is still on the stack.
+        if sp.span_id in self._stack:
+            while self._stack and self._stack.pop() != sp.span_id:
+                pass
+        doc = sp.to_dict()
+        self._spans.append(doc)
+        if self._sink is not None:
+            self._sink(doc)
+
+    def record(self, name: str, seconds: float, **attrs) -> str:
+        """Append an already-measured span (no live timing).
+
+        Used when the duration was measured elsewhere -- e.g. a sweep
+        job's wall seconds reported back from a worker process.
+
+        Returns:
+            The new span's id (usable as ``parent_id`` for :meth:`merge`).
+        """
+        parent = self._stack[-1] if self._stack else None
+        sp = Span(self, name, f"s{next(self._ids)}", parent, dict(attrs))
+        sp.duration_seconds = float(seconds)
+        doc = sp.to_dict()
+        self._spans.append(doc)
+        if self._sink is not None:
+            self._sink(doc)
+        return sp.span_id
+
+    def merge(self, serialized, parent_id: str | None = None,
+              prefix: str = "") -> None:
+        """Adopt spans serialized in another process into this trace.
+
+        Args:
+            serialized: Span dicts (``Tracer.export()`` output from the
+                other process).
+            parent_id: Local span id to hang the foreign roots under.
+            prefix: Uniquifying prefix applied to the foreign ids so two
+                workers' ``s1`` never collide (e.g. a job-key prefix).
+        """
+        for doc in serialized:
+            adopted = dict(doc)
+            adopted["id"] = f"{prefix}{doc['id']}"
+            if doc.get("parent"):
+                adopted["parent"] = f"{prefix}{doc['parent']}"
+            else:
+                adopted["parent"] = parent_id
+            self._spans.append(adopted)
+            if self._sink is not None:
+                self._sink(adopted)
+
+    def export(self) -> list[dict]:
+        """All completed spans as dicts, sorted by start time."""
+        return sorted(self._spans, key=lambda d: d.get("start_unix", 0.0))
+
+
+# -- ambient installation --------------------------------------------------
+_tracer: NullTracer | Tracer = NULL_TRACER
+
+
+def current_tracer():
+    """The process's active tracer (the :data:`NULL_TRACER` by default)."""
+    return _tracer
+
+
+def install_tracer(tracer):
+    """Install ``tracer`` as the ambient tracer; returns the previous one.
+
+    Pass ``None`` (or the previous return value) to restore the no-op
+    default.
+    """
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def span(name: str, **attrs):
+    """Open a span on the ambient tracer (no-op when tracing is off)."""
+    return _tracer.span(name, **attrs)
+
+
+@contextmanager
+def tracing(tracer):
+    """Scope an ambient tracer installation: ``with tracing(t): ...``."""
+    previous = install_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        install_tracer(previous)

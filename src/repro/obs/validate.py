@@ -1,0 +1,147 @@
+"""Trace-file schema validation (the CI trace-smoke step's checker).
+
+Checks a JSONL trace file for:
+
+* parsable JSON on every line, with a version-1 ``trace_header`` first;
+* every span carrying ``name``/``id``/``duration_seconds``, ids unique;
+* every non-null ``parent`` referring to a span in the same file;
+* no parent cycles;
+* children's summed durations not exceeding their parent's duration
+  (plus a small tolerance -- phases are timed independently, so exact
+  equality is not expected, but children genuinely nest in time).
+
+Run it standalone::
+
+    PYTHONPATH=src python -m repro.obs.validate trace.jsonl
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs.sinks import TRACE_SCHEMA_VERSION
+
+#: Slack allowed when comparing summed child durations to the parent:
+#: absolute seconds plus a relative fraction of the parent duration.
+NESTING_TOLERANCE_SECONDS = 0.05
+NESTING_TOLERANCE_FRACTION = 0.02
+
+
+def validate_trace_docs(docs: list[dict]) -> list[str]:
+    """Validate parsed trace documents; returns a list of problems."""
+    errors: list[str] = []
+    if not docs:
+        return ["trace is empty"]
+    header = docs[0]
+    if header.get("type") != "trace_header":
+        errors.append("first line is not a trace_header")
+    elif header.get("version") != TRACE_SCHEMA_VERSION:
+        errors.append(
+            f"unsupported trace version {header.get('version')!r} "
+            f"(expected {TRACE_SCHEMA_VERSION})"
+        )
+
+    spans = [d for d in docs if d.get("type") == "span"]
+    if not spans:
+        errors.append("trace contains no spans")
+    by_id: dict[str, dict] = {}
+    for doc in spans:
+        for field in ("name", "id", "duration_seconds"):
+            if field not in doc:
+                errors.append(f"span missing {field!r}: {doc}")
+        sid = doc.get("id")
+        if sid in by_id:
+            errors.append(f"duplicate span id {sid!r}")
+        elif sid is not None:
+            by_id[sid] = doc
+        if doc.get("duration_seconds", 0.0) < 0:
+            errors.append(f"span {sid!r} has negative duration")
+
+    children: dict[str, list[dict]] = {}
+    for doc in spans:
+        parent = doc.get("parent")
+        if parent is None:
+            continue
+        if parent not in by_id:
+            errors.append(
+                f"span {doc.get('id')!r} references unknown parent {parent!r}"
+            )
+            continue
+        children.setdefault(parent, []).append(doc)
+
+    # Cycle check: walk each span to a root, bounded by the span count.
+    for doc in spans:
+        seen = set()
+        node = doc
+        while node is not None:
+            sid = node.get("id")
+            if sid in seen:
+                errors.append(f"parent cycle through span {sid!r}")
+                break
+            seen.add(sid)
+            parent = node.get("parent")
+            node = by_id.get(parent) if parent is not None else None
+
+    for parent_id, kids in children.items():
+        parent = by_id[parent_id]
+        if (parent.get("attrs") or {}).get("concurrent"):
+            # A parallel region (e.g. a pooled sweep): child spans
+            # overlap in wall time, so their durations may legitimately
+            # sum past the parent's.
+            continue
+        parent_s = float(parent.get("duration_seconds", 0.0))
+        child_s = sum(float(k.get("duration_seconds", 0.0)) for k in kids)
+        allowed = parent_s * (1.0 + NESTING_TOLERANCE_FRACTION) \
+            + NESTING_TOLERANCE_SECONDS
+        if child_s > allowed:
+            errors.append(
+                f"children of span {parent_id!r} ({parent.get('name')!r}) "
+                f"sum to {child_s:.6f}s > parent {parent_s:.6f}s"
+            )
+    return errors
+
+
+def validate_trace_lines(lines) -> list[str]:
+    """Validate raw JSONL lines; returns a list of problems."""
+    docs = []
+    errors = []
+    for i, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            docs.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {i} is not valid JSON: {exc}")
+    return errors + validate_trace_docs(docs)
+
+
+def validate_trace_file(path: str) -> list[str]:
+    """Validate a trace file on disk; returns a list of problems."""
+    with open(path, encoding="utf-8") as handle:
+        return validate_trace_lines(handle)
+
+
+def main(argv=None) -> int:
+    """CLI entry point: exit 1 (with problems on stderr) when invalid."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.validate TRACE.jsonl",
+              file=sys.stderr)
+        return 2
+    problems = validate_trace_file(argv[0])
+    if problems:
+        for problem in problems:
+            print(f"trace invalid: {problem}", file=sys.stderr)
+        return 1
+    docs = None
+    with open(argv[0], encoding="utf-8") as handle:
+        docs = [json.loads(line) for line in handle if line.strip()]
+    num_spans = sum(1 for d in docs if d.get("type") == "span")
+    print(f"{argv[0]}: ok ({num_spans} spans)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import RunnerConfig
 from repro.exceptions import ModelingError, SolverError
+from repro.obs.trace import Tracer, current_tracer, install_tracer
 from repro.resilience.faults import FaultPlan, active_plan, install_plan
 from repro.runner.cache import ResultCache, job_key
 from repro.runner.jobs import Job, SweepSpec
@@ -70,6 +71,11 @@ class JobOutcome:
         error: Human-readable failure description (``None`` on success).
         attempts: Execution attempts consumed (0 for cache/journal hits).
         seconds: Wall time of the final attempt.
+        spans: Serialized trace spans from the job's worker process, when
+            the campaign ran with tracing enabled (``None`` otherwise).
+            These live on the outcome only -- never in the cache or the
+            journal, so old caches stay valid and trace runs stay
+            byte-compatible with untraced ones.
     """
 
     job: Job
@@ -78,6 +84,7 @@ class JobOutcome:
     error: str | None = None
     attempts: int = 0
     seconds: float = 0.0
+    spans: list[dict] | None = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -147,6 +154,19 @@ class SweepOutcome:
             )
         return totals
 
+    def phase_totals(self) -> dict[str, dict[str, float]]:
+        """Per-phase span totals across every traced job.
+
+        Rolls every job's worker spans up by span name --
+        ``{"analyze": {"seconds": ..., "count": ...}, "milp_solve": ...}``
+        -- the campaign-level view of where wall time went.  Empty when
+        the sweep ran without tracing.
+        """
+        from repro.obs.sinks import phase_totals
+        return phase_totals(
+            [doc for o in self.outcomes for doc in (o.spans or [])]
+        )
+
     def results(self) -> list[dict]:
         """Result dicts of the successful jobs, in job order."""
         return [o.result for o in self.outcomes if o.ok]
@@ -209,7 +229,7 @@ def _fire_worker_faults(plan: FaultPlan, key: str, attempt: int,
 
 def invoke_job(payload: dict, wall_timeout: float | None,
                attempt: int = 1, chaos: dict | None = None,
-               in_worker: bool = False) -> dict:
+               in_worker: bool = False, trace: bool = False) -> dict:
     """Run one job payload and report success/failure as plain data.
 
     This is the function worker processes execute.  It never raises:
@@ -236,8 +256,23 @@ def invoke_job(payload: dict, wall_timeout: float | None,
         in_worker: True when running inside a dedicated pool worker --
             enables genuinely destructive faults (``worker.crash``
             hard-exits the process).
+        trace: Collect structured trace spans for this job.  A fresh
+            :class:`~repro.obs.trace.Tracer` is installed for the job's
+            duration (shadowing any ambient tracer, so a campaign
+            tracer in the parent never sees half-merged worker spans)
+            and its export rides back in the envelope under ``"spans"``
+            -- on failures and timeouts too, which is exactly when the
+            partial trace is most useful.
     """
     started = time.monotonic()
+    job_tracer = Tracer() if trace else None
+    previous_tracer = install_tracer(job_tracer) if trace else None
+
+    def envelope(doc: dict) -> dict:
+        if job_tracer is not None:
+            doc["spans"] = job_tracer.export()
+        return doc
+
     use_alarm = (
         wall_timeout is not None
         and hasattr(signal, "setitimer")
@@ -264,29 +299,31 @@ def invoke_job(payload: dict, wall_timeout: float | None,
             _fire_worker_faults(plan, job_key(payload), attempt, in_worker)
         task = resolve_task(payload["task"])
         result = task(payload)
-        return {"ok": True, "result": result,
-                "seconds": time.monotonic() - started}
+        return envelope({"ok": True, "result": result,
+                         "seconds": time.monotonic() - started})
     except _WallTimeout:
         error = ("job timed out (chaos-injected)" if wall_timeout is None
                  else f"job exceeded its wall timeout of {wall_timeout:g}s")
-        return {
+        return envelope({
             "ok": False, "status": "timeout",
             "error": error,
             "seconds": time.monotonic() - started,
-        }
+        })
     except Exception as exc:
-        return {
+        return envelope({
             "ok": False, "status": "error",
             "error": f"{type(exc).__name__}: {exc}",
             "traceback": traceback.format_exc(),
             "seconds": time.monotonic() - started,
-        }
+        })
     finally:
         if previous is not unset:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
         if plan_installed:
             install_plan(previous_plan)
+        if trace:
+            install_tracer(previous_tracer)
 
 
 def degradation_task(payload: dict) -> dict:
@@ -430,6 +467,13 @@ class _Campaign:
     outcomes: dict[str, JobOutcome] = field(default_factory=dict)
     #: Serialized fault plan shipped with every pool submission, or None.
     chaos_doc: dict | None = None
+    #: The campaign tracer (the ambient NULL_TRACER when tracing is off).
+    tracer: object = None
+
+    @property
+    def trace_jobs(self) -> bool:
+        """Whether workers should collect and ship spans."""
+        return self.tracer is not None and self.tracer.enabled
 
     def settle(self, job: Job, outcome: JobOutcome) -> None:
         self.outcomes[job.key] = outcome
@@ -446,10 +490,22 @@ class _Campaign:
             })
         if outcome.status == "done" and self.cache is not None:
             self.cache.put(job.key, outcome.result)
+        if self.trace_jobs:
+            # The job's wall time was measured in the worker; record it
+            # retroactively and hang the worker's spans beneath it,
+            # re-id'd with the job key so two workers' ids never collide.
+            parent = self.tracer.record(
+                "job", outcome.seconds, key=job.key, label=job.label,
+                status=outcome.status, attempts=outcome.attempts,
+            )
+            if outcome.spans:
+                self.tracer.merge(outcome.spans, parent_id=parent,
+                                  prefix=f"{job.key}:")
         event = self.tracker.note(
             outcome.status, job.label,
             solver_seconds=(outcome.result or {}).get("solve_seconds", 0.0),
             stats=(outcome.result or {}).get("stats"),
+            spans=outcome.spans,
         )
         if self.progress is not None:
             self.progress(event)
@@ -473,6 +529,7 @@ def run_sweep(
     progress=None,
     config: RunnerConfig | None = None,
     chaos: FaultPlan | dict | None = None,
+    tracer=None,
 ) -> SweepOutcome:
     """Run a campaign to completion and return every job's outcome.
 
@@ -500,6 +557,14 @@ def run_sweep(
             installed via :func:`repro.resilience.install_plan` /
             ``injected()`` is picked up and shipped the same way.  No
             plan anywhere means the chaos path is completely inert.
+        tracer: A :class:`~repro.obs.trace.Tracer` collecting the
+            campaign trace.  When omitted, the ambient tracer
+            (:func:`repro.obs.trace.current_tracer`) is used -- the
+            no-op default unless the caller installed one, so untraced
+            sweeps pay nothing.  With tracing on, every job runs with
+            ``invoke_job(..., trace=True)``: the worker collects spans
+            and ships them back in its envelope, and the parent merges
+            them under per-job spans inside one ``sweep`` root span.
 
     Returns:
         A :class:`SweepOutcome`; inspect ``.errors()`` or call
@@ -540,38 +605,47 @@ def run_sweep(
         config=config, cache=cache, journal=journal,
         tracker=ProgressTracker(total=len(jobs)), progress=progress,
         chaos_doc=plan.to_dict() if plan is not None else None,
+        tracer=tracer if tracer is not None else current_tracer(),
     )
     try:
-        if journal is not None:
-            settled_records = journal.settled() if resume else {}
-            journal.append({
-                "event": "campaign", "total": len(jobs), "workers": workers,
-                "resume": resume,
-            })
-        else:
-            settled_records = {}
-
-        pending: list[Job] = []
-        for job in jobs:
-            record = settled_records.get(job.key)
-            if record is not None:
-                campaign.settle(job, JobOutcome(
-                    job=job, status="resumed", result=record.get("result"),
-                ))
-                continue
-            cached = cache.get(job.key) if cache is not None else None
-            if cached is not None:
-                campaign.settle(job, JobOutcome(
-                    job=job, status="cached", result=cached,
-                ))
-                continue
-            pending.append(job)
-
-        if pending:
-            if workers == 1:
-                _run_serial(pending, campaign, wall_timeout)
+        # ``concurrent`` tells the trace validator that this span's
+        # children (the per-job spans) may overlap in wall time, so
+        # their durations legitimately sum past the parent's.
+        with campaign.tracer.span(
+            "sweep", total=len(jobs), workers=workers,
+            concurrent=workers > 1,
+        ):
+            if journal is not None:
+                settled_records = journal.settled() if resume else {}
+                journal.append({
+                    "event": "campaign", "total": len(jobs),
+                    "workers": workers, "resume": resume,
+                })
             else:
-                _run_pool(pending, campaign, wall_timeout, workers)
+                settled_records = {}
+
+            pending: list[Job] = []
+            for job in jobs:
+                record = settled_records.get(job.key)
+                if record is not None:
+                    campaign.settle(job, JobOutcome(
+                        job=job, status="resumed",
+                        result=record.get("result"),
+                    ))
+                    continue
+                cached = cache.get(job.key) if cache is not None else None
+                if cached is not None:
+                    campaign.settle(job, JobOutcome(
+                        job=job, status="cached", result=cached,
+                    ))
+                    continue
+                pending.append(job)
+
+            if pending:
+                if workers == 1:
+                    _run_serial(pending, campaign, wall_timeout)
+                else:
+                    _run_pool(pending, campaign, wall_timeout, workers)
     finally:
         if plan_installed:
             install_plan(previous_plan)
@@ -585,10 +659,12 @@ def run_sweep(
 def _outcome_from(job: Job, res: dict, attempts: int) -> JobOutcome:
     if res["ok"]:
         return JobOutcome(job=job, status="done", result=res["result"],
-                          attempts=attempts, seconds=res["seconds"])
+                          attempts=attempts, seconds=res["seconds"],
+                          spans=res.get("spans"))
     return JobOutcome(job=job, status=res.get("status", "error"),
                       error=res.get("error"), attempts=attempts,
-                      seconds=res.get("seconds", 0.0))
+                      seconds=res.get("seconds", 0.0),
+                      spans=res.get("spans"))
 
 
 def _charge_failure(job: Job, res: dict, attempt: int,
@@ -628,7 +704,7 @@ def _run_serial(pending: list[Job], campaign: _Campaign,
             attempt += 1
             res = invoke_job(job.payload,
                              _wall_timeout_for(job, wall_timeout, config),
-                             attempt=attempt)
+                             attempt=attempt, trace=campaign.trace_jobs)
             if res["ok"]:
                 campaign.settle(job, _outcome_from(job, res, attempt))
                 break
@@ -707,7 +783,7 @@ def _parallel_round(queue, attempts, failed_seconds, campaign,
             pool.submit(invoke_job, job.payload,
                         _wall_timeout_for(job, wall_timeout, config),
                         attempts[job.key] + 1, campaign.chaos_doc,
-                        True): job
+                        True, campaign.trace_jobs): job
             for job in queue
         }
         for future in as_completed(futures):
@@ -739,7 +815,8 @@ def _isolation_round(queue, attempts, failed_seconds, campaign,
             future = pool.submit(
                 invoke_job, job.payload,
                 _wall_timeout_for(job, wall_timeout, config),
-                attempts[job.key] + 1, campaign.chaos_doc, True)
+                attempts[job.key] + 1, campaign.chaos_doc, True,
+                campaign.trace_jobs)
             try:
                 res = future.result()
             except BrokenProcessPool:

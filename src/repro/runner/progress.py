@@ -6,13 +6,26 @@ campaign-level statistics -- completion counts, cache-hit and error
 tallies, accumulated solver seconds, jobs/second throughput, and an
 ETA.  The CLI renders them as single lines on stderr; programmatic
 callers (benchmarks, notebooks) can consume the events directly.
+
+ETA semantics: cached and journal-resumed jobs settle orders of
+magnitude faster than fresh solves, so a campaign resuming 900 of 1000
+jobs would, under a naive all-jobs rate, forecast the remaining 100
+fresh solves at cache speed.  The tracker therefore times *freshly
+solved* jobs separately and bases ``eta_seconds`` on that rate; until
+the first fresh job settles it falls back to the blended rate (the
+only signal available).  ``rate`` remains the blended jobs-per-second
+throughput -- it answers "how fast is the campaign moving", while the
+ETA answers "when will the remaining work finish".
 """
 
 from __future__ import annotations
 
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+#: Statuses answered without running a solver (cache or journal).
+_CACHE_STATUSES = ("cached", "resumed")
 
 
 @dataclass
@@ -29,14 +42,20 @@ class ProgressEvent:
         errors: Jobs that settled with a structured error so far.
         elapsed_seconds: Wall time since the campaign started.
         solver_seconds: Sum of reported per-job solver time so far.
-        rate: Jobs settled per wall-clock second.
-        eta_seconds: Naive remaining-work estimate (``None`` until the
-            first job settles).
+        rate: Jobs settled per wall-clock second (blended: cached,
+            resumed, and fresh jobs all count).
+        eta_seconds: Remaining-work estimate based on the *fresh-solve*
+            rate (see the module docstring); blended until the first
+            fresh job settles, ``None`` when nothing remains.  May be
+            exactly ``0.0`` on the final heartbeat of a campaign.
+        fresh_completed: Jobs that actually ran (not cache-answered).
         build_seconds / compile_seconds: Sums of the per-job
             :class:`repro.solver.result.SolveStats` model-build and
             matrix-compile times, when jobs report telemetry -- these are
             what separate "the solver is slow" from "the encoding is
             slow" in sweep summaries.
+        phase_seconds: Per-phase span totals accumulated from traced
+            jobs (``{span_name: seconds}``); empty when tracing is off.
     """
 
     completed: int
@@ -51,10 +70,15 @@ class ProgressEvent:
     eta_seconds: float | None
     build_seconds: float = 0.0
     compile_seconds: float = 0.0
+    fresh_completed: int = 0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     def render(self) -> str:
         """The one-line form the CLI prints."""
-        eta = f", eta {self.eta_seconds:.0f}s" if self.eta_seconds else ""
+        eta = (
+            f", eta {self.eta_seconds:.0f}s"
+            if self.eta_seconds is not None else ""
+        )
         return (
             f"[{self.completed}/{self.total}] {self.status:<7} {self.label}"
             f"  ({self.cache_hits} cached, {self.errors} errors, "
@@ -73,11 +97,14 @@ class ProgressTracker:
         self.solver_seconds = 0.0
         self.build_seconds = 0.0
         self.compile_seconds = 0.0
+        self.fresh_completed = 0
+        self.phase_seconds: dict[str, float] = {}
         self._started = time.monotonic()
 
     def note(self, status: str, label: str,
              solver_seconds: float = 0.0,
-             stats: dict | None = None) -> ProgressEvent:
+             stats: dict | None = None,
+             spans: list[dict] | None = None) -> ProgressEvent:
         """Record one settled job and return the campaign heartbeat.
 
         Args:
@@ -87,20 +114,41 @@ class ProgressTracker:
             stats: Optional :class:`repro.solver.result.SolveStats` dict
                 from the job's MILP solve; its build/compile times are
                 accumulated into the campaign totals.
+            spans: Optional serialized trace spans from the job's worker
+                (see :mod:`repro.obs.trace`); their durations roll up
+                into :attr:`ProgressEvent.phase_seconds` by span name.
         """
         self.completed += 1
-        if status in ("cached", "resumed"):
+        if status in _CACHE_STATUSES:
             self.cache_hits += 1
+        else:
+            self.fresh_completed += 1
         if status in ("error", "timeout"):
             self.errors += 1
         self.solver_seconds += solver_seconds
         if stats:
             self.build_seconds += float(stats.get("build_seconds", 0.0))
             self.compile_seconds += float(stats.get("compile_seconds", 0.0))
+        if spans:
+            for doc in spans:
+                if doc.get("type", "span") != "span":
+                    continue
+                name = doc["name"]
+                self.phase_seconds[name] = (
+                    self.phase_seconds.get(name, 0.0)
+                    + float(doc.get("duration_seconds", 0.0))
+                )
         elapsed = max(time.monotonic() - self._started, 1e-9)
         rate = self.completed / elapsed
         remaining = self.total - self.completed
-        eta = remaining / rate if rate > 0 and remaining > 0 else None
+        # ETA from the fresh-solve rate: cache-answered jobs settle so
+        # much faster that counting them would forecast remaining fresh
+        # work at cache speed (the resume-heavy campaign bug).
+        fresh_rate = self.fresh_completed / elapsed
+        eta_rate = fresh_rate if self.fresh_completed > 0 else rate
+        eta = remaining / eta_rate if eta_rate > 0 and remaining > 0 else None
+        if remaining == 0:
+            eta = 0.0
         return ProgressEvent(
             completed=self.completed, total=self.total, status=status,
             label=label, cache_hits=self.cache_hits, errors=self.errors,
@@ -108,6 +156,8 @@ class ProgressTracker:
             rate=rate, eta_seconds=eta,
             build_seconds=self.build_seconds,
             compile_seconds=self.compile_seconds,
+            fresh_completed=self.fresh_completed,
+            phase_seconds=dict(self.phase_seconds),
         )
 
 

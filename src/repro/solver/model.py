@@ -34,6 +34,7 @@ import numpy as np
 from scipy import optimize, sparse
 
 from repro.exceptions import ModelingError
+from repro.obs.trace import current_tracer
 from repro.resilience.faults import maybe_fire
 from repro.solver.expr import Constraint, LinExpr, RangeConstraint, Var
 from repro.solver.result import SolveResult, SolveStats, SolveStatus
@@ -558,6 +559,18 @@ class Model:
         """Return the compiled matrices and whether the cache supplied them."""
         if self._compiled is not None:
             return self._compiled, True
+        with current_tracer().span("compile", model=self.name) as span:
+            compiled = self._compile_fresh()
+            span.set(
+                rows=compiled.a.shape[0], cols=compiled.a.shape[1],
+                nnz=int(compiled.a.nnz),
+                build_seconds=self._build_seconds,
+                compile_seconds=self._compile_seconds,
+            )
+        return compiled, False
+
+    def _compile_fresh(self) -> _Compiled:
+        """The actual compile work behind :meth:`_ensure_compiled`."""
         started = time.monotonic()
         self._build_seconds = started - self._created
         self._flush_scalar()
@@ -608,7 +621,7 @@ class Model:
         )
         self._compile_seconds = time.monotonic() - started
         self._compiled = compiled
-        return compiled, False
+        return compiled
 
     def _compile(self):
         """Build (c, A, row_lb, row_ub, bounds, integrality) matrices."""
@@ -860,17 +873,20 @@ class Model:
             if compiled.a.shape[0]
             else ()
         )
-        started = time.monotonic()
-        res = optimize.milp(
-            sign * compiled.c,
-            constraints=constraints,
-            integrality=compiled.integrality,
-            bounds=optimize.Bounds(compiled.var_lb, compiled.var_ub),
-            options=options,
-        )
-        elapsed = time.monotonic() - started
-
-        status = _SCIPY_STATUS.get(res.status, SolveStatus.ERROR)
+        with current_tracer().span(
+            "milp_solve", model=self.name, incremental=incremental
+        ) as span:
+            started = time.monotonic()
+            res = optimize.milp(
+                sign * compiled.c,
+                constraints=constraints,
+                integrality=compiled.integrality,
+                bounds=optimize.Bounds(compiled.var_lb, compiled.var_ub),
+                options=options,
+            )
+            elapsed = time.monotonic() - started
+            status = _SCIPY_STATUS.get(res.status, SolveStatus.ERROR)
+            span.set(solve_seconds=elapsed, status=status.value)
         x = np.asarray(res.x) if res.x is not None else None
         objective = (
             float(sign * res.fun) + self._objective.constant
@@ -923,20 +939,24 @@ class Model:
         options: dict = {}
         if time_limit is not None:
             options["time_limit"] = float(time_limit)
-        started = time.monotonic()
-        res = optimize.linprog(
-            sign * compiled.c,
-            A_ub=a_ub,
-            b_ub=b_ub,
-            A_eq=a_eq,
-            b_eq=b_eq,
-            bounds=np.column_stack([compiled.var_lb, compiled.var_ub]),
-            method="highs",
-            options=options,
-        )
-        elapsed = time.monotonic() - started
-
-        status = _SCIPY_STATUS.get(res.status, SolveStatus.ERROR)
+        with current_tracer().span(
+            "lp_solve", model=self.name, incremental=incremental,
+            relaxed=relaxed,
+        ) as span:
+            started = time.monotonic()
+            res = optimize.linprog(
+                sign * compiled.c,
+                A_ub=a_ub,
+                b_ub=b_ub,
+                A_eq=a_eq,
+                b_eq=b_eq,
+                bounds=np.column_stack([compiled.var_lb, compiled.var_ub]),
+                method="highs",
+                options=options,
+            )
+            elapsed = time.monotonic() - started
+            status = _SCIPY_STATUS.get(res.status, SolveStatus.ERROR)
+            span.set(solve_seconds=elapsed, status=status.value)
         x = np.asarray(res.x) if res.x is not None else None
         objective = (
             float(sign * res.fun) + self._objective.constant

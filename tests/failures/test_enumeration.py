@@ -43,6 +43,35 @@ class TestEnumerate:
         with pytest.raises(ValueError):
             list(enumerate_scenarios(diamond, 0))
 
+    @pytest.mark.parametrize("threshold", [0.0, 1.0, -0.5, 2.0])
+    def test_out_of_range_threshold_rejected(self, diamond, threshold):
+        """Regression: a truthiness check used to silently disable the
+        filter for 0.0 and accept nonsensical values like 2.0; only
+        ``None`` may mean "no filter"."""
+        with pytest.raises(ValueError, match="probability_threshold"):
+            list(enumerate_scenarios(
+                diamond, 1, probability_threshold=threshold,
+                relevant_only=False,
+            ))
+
+    def test_none_threshold_disables_filter(self, diamond):
+        scenarios = list(enumerate_scenarios(
+            diamond, 1, probability_threshold=None, relevant_only=False
+        ))
+        assert len(scenarios) == 4
+
+    def test_tiny_threshold_keeps_everything(self, diamond):
+        """A valid but tiny threshold filters on probability, it does
+        not fall back to disabled: all scenarios here clear 1e-12."""
+        topo = with_link_probabilities(diamond, {
+            ("a", "b"): 0.2, ("b", "d"): 0.2,
+            ("a", "c"): 0.2, ("c", "d"): 0.2,
+        })
+        scenarios = list(enumerate_scenarios(
+            topo, 1, probability_threshold=1e-12, relevant_only=False
+        ))
+        assert len(scenarios) == 4
+
 
 class TestWorstCase:
     def test_finds_the_bottleneck_link(self, diamond):

@@ -1,0 +1,63 @@
+"""Unit tests for the repro.obs.metrics counter/gauge registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    install_metrics,
+    metrics,
+    metrics_scope,
+)
+
+
+class TestCounters:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc()
+        reg.counter("jobs").inc(2.5)
+        assert reg.snapshot()["counters"]["jobs"] == 3.5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            reg.counter("jobs").inc(-1)
+
+
+class TestGauges:
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(4)
+        reg.gauge("depth").set(2)
+        assert reg.snapshot()["gauges"]["depth"] == 2.0
+
+    def test_gauge_record_max(self):
+        reg = MetricsRegistry()
+        reg.gauge("peak").record_max(3)
+        reg.gauge("peak").record_max(1)
+        assert reg.snapshot()["gauges"]["peak"] == 3.0
+
+
+class TestRegistry:
+    def test_snapshot_shape_and_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1)
+        snap = reg.snapshot()
+        assert snap == {"counters": {"c": 1.0}, "gauges": {"g": 1.0}}
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}}
+
+    def test_metrics_scope_isolates(self):
+        metrics().counter("outside").inc()
+        with metrics_scope() as reg:
+            assert metrics() is reg
+            metrics().counter("inside").inc()
+            assert "outside" not in metrics().snapshot()["counters"]
+        assert "inside" not in metrics().snapshot()["counters"]
+
+    def test_install_metrics_none_gives_fresh_registry(self):
+        previous = install_metrics(None)
+        try:
+            assert metrics().snapshot() == {"counters": {}, "gauges": {}}
+        finally:
+            install_metrics(previous)

@@ -1,0 +1,168 @@
+"""Tests for JSONL trace sinks, aggregation, and the schema validator."""
+
+import json
+
+from repro.obs.sinks import (
+    JsonlTraceWriter,
+    merge_phase_seconds,
+    phase_totals,
+    read_trace,
+    trace_header,
+    write_trace,
+)
+from repro.obs.trace import Tracer
+from repro.obs.validate import (
+    main as validate_main,
+    validate_trace_docs,
+    validate_trace_file,
+)
+
+
+def _spans(*triples):
+    """Helper: (name, id, parent) or (name, id, parent, seconds)."""
+    out = []
+    for triple in triples:
+        name, sid, parent = triple[:3]
+        seconds = triple[3] if len(triple) > 3 else 0.0
+        out.append({"type": "span", "name": name, "id": sid,
+                    "parent": parent, "start_unix": 0.0,
+                    "duration_seconds": seconds, "attrs": {}})
+    return out
+
+
+class TestJsonlRoundTrip:
+    def test_writer_streams_header_spans_metrics(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        writer = JsonlTraceWriter(path, name="unit")
+        tracer = Tracer(sink=writer.write)
+        with tracer.span("a"):
+            pass
+        writer.close({"counters": {"n": 1.0}, "gauges": {}})
+        docs = read_trace(path)
+        assert docs[0]["type"] == "trace_header"
+        assert docs[0]["name"] == "unit"
+        assert docs[1]["name"] == "a"
+        assert docs[-1] == {"type": "metrics", "counters": {"n": 1.0},
+                            "gauges": {}}
+
+    def test_write_trace_one_shot(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        write_trace(path, tracer.export(), name="oneshot")
+        assert validate_trace_file(str(path)) == []
+
+    def test_every_line_is_json(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, _spans(("a", "s1", None)))
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestAggregation:
+    def test_phase_totals_rolls_up_by_name(self):
+        spans = _spans(("solve", "s1", None, 1.0), ("solve", "s2", None, 2.0),
+                       ("compile", "s3", None, 0.5))
+        totals = phase_totals(spans)
+        assert totals["solve"] == {"seconds": 3.0, "count": 2}
+        assert totals["compile"] == {"seconds": 0.5, "count": 1}
+
+    def test_phase_totals_skips_non_span_docs(self):
+        docs = [trace_header()] + _spans(("a", "s1", None, 1.0)) \
+            + [{"type": "metrics", "counters": {}, "gauges": {}}]
+        assert list(phase_totals(docs)) == ["a"]
+
+    def test_merge_phase_seconds_accumulates(self):
+        into = {"solve": 1.0}
+        merge_phase_seconds(into, _spans(("solve", "s1", None, 0.5)))
+        assert into == {"solve": 1.5}
+
+
+class TestValidator:
+    def _valid_docs(self):
+        return [trace_header()] + _spans(
+            ("root", "s1", None, 1.0), ("child", "s2", "s1", 0.4),
+        )
+
+    def test_valid_trace_passes(self):
+        assert validate_trace_docs(self._valid_docs()) == []
+
+    def test_missing_header_flagged(self):
+        docs = _spans(("a", "s1", None))
+        assert any("trace_header" in p for p in validate_trace_docs(docs))
+
+    def test_duplicate_ids_flagged(self):
+        docs = [trace_header()] + _spans(("a", "s1", None), ("b", "s1", None))
+        assert any("duplicate" in p for p in validate_trace_docs(docs))
+
+    def test_unknown_parent_flagged(self):
+        docs = [trace_header()] + _spans(("a", "s1", "nope"))
+        assert any("unknown parent" in p for p in validate_trace_docs(docs))
+
+    def test_parent_cycle_flagged(self):
+        docs = [trace_header()] + _spans(("a", "s1", "s2"), ("b", "s2", "s1"))
+        assert any("cycle" in p for p in validate_trace_docs(docs))
+
+    def test_children_exceeding_parent_flagged(self):
+        docs = [trace_header()] + _spans(
+            ("root", "s1", None, 1.0),
+            ("c1", "s2", "s1", 0.8), ("c2", "s3", "s1", 0.8),
+        )
+        assert any("sum to" in p for p in validate_trace_docs(docs))
+
+    def test_concurrent_parent_exempt_from_sum_check(self):
+        docs = [trace_header()] + _spans(
+            ("sweep", "s1", None, 1.0),
+            ("j1", "s2", "s1", 0.8), ("j2", "s3", "s1", 0.8),
+        )
+        docs[1]["attrs"] = {"concurrent": True}
+        assert validate_trace_docs(docs) == []
+
+    def test_negative_duration_flagged(self):
+        docs = [trace_header()] + _spans(("a", "s1", None, -0.1))
+        assert any("negative" in p for p in validate_trace_docs(docs))
+
+    def test_cli_main_ok_and_invalid(self, tmp_path, capsys):
+        good = tmp_path / "good.jsonl"
+        write_trace(good, _spans(("a", "s1", None)))
+        assert validate_main([str(good)]) == 0
+        assert "ok (1 spans)" in capsys.readouterr().out
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert validate_main([str(bad)]) == 1
+        assert validate_main([]) == 2
+
+    def test_unparsable_line_reported(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(trace_header()) + "\n{oops\n")
+        problems = validate_trace_file(str(path))
+        assert any("not valid JSON" in p for p in problems)
+
+
+class TestRealTracerProducesValidTraces:
+    def test_nested_real_spans_validate(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("analyze"):
+            with tracer.span("compile"):
+                pass
+            with tracer.span("milp_solve"):
+                pass
+        path = tmp_path / "t.jsonl"
+        write_trace(path, tracer.export())
+        assert validate_trace_file(str(path)) == []
+
+    def test_merged_worker_spans_validate(self, tmp_path):
+        worker = Tracer()
+        with worker.span("analyze"):
+            with worker.span("milp_solve"):
+                pass
+        parent = Tracer()
+        with parent.span("sweep", concurrent=True):
+            pid = parent.record("job", 10.0)
+            parent.merge(worker.export(), parent_id=pid, prefix="k:")
+        path = tmp_path / "t.jsonl"
+        write_trace(path, parent.export())
+        assert validate_trace_file(str(path)) == []

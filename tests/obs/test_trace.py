@@ -1,0 +1,167 @@
+"""Unit tests for repro.obs.trace: spans, nesting, ids, merging."""
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    span,
+    tracing,
+)
+
+
+class TestSpanBasics:
+    def test_span_records_duration_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("work", kind="test") as sp:
+            sp.set(items=3)
+        docs = tracer.export()
+        assert len(docs) == 1
+        doc = docs[0]
+        assert doc["name"] == "work"
+        assert doc["parent"] is None
+        assert doc["duration_seconds"] >= 0.0
+        assert doc["attrs"] == {"kind": "test", "items": 3}
+
+    def test_nesting_assigns_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        by_name = {d["name"]: d for d in tracer.export()}
+        assert by_name["outer"]["parent"] is None
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+        assert by_name["leaf"]["parent"] == by_name["inner"]["id"]
+        assert by_name["sibling"]["parent"] == by_name["outer"]["id"]
+
+    def test_span_ids_unique(self):
+        tracer = Tracer()
+        for _ in range(10):
+            with tracer.span("x"):
+                pass
+        ids = [d["id"] for d in tracer.export()]
+        assert len(set(ids)) == 10
+
+    def test_exception_finishes_span_with_error_attr(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("bad")
+        (doc,) = tracer.export()
+        assert doc["attrs"]["error"] == "ValueError: bad"
+
+    def test_exception_pops_stack(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                raise RuntimeError()
+        with tracer.span("after"):
+            pass
+        by_name = {d["name"]: d for d in tracer.export()}
+        assert by_name["after"]["parent"] is None
+
+    def test_export_sorted_by_start_time(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            with tracer.span("second"):
+                pass
+        # completion order is second-then-first; export restores start order
+        assert [d["name"] for d in tracer.export()] == ["first", "second"]
+
+    def test_sink_receives_docs_on_completion(self):
+        seen = []
+        tracer = Tracer(sink=seen.append)
+        with tracer.span("a"):
+            pass
+        assert [d["name"] for d in seen] == ["a"]
+
+
+class TestRecordAndMerge:
+    def test_record_appends_premeasured_span(self):
+        tracer = Tracer()
+        sid = tracer.record("job", 1.5, label="cell-0")
+        (doc,) = tracer.export()
+        assert doc["id"] == sid
+        assert doc["duration_seconds"] == 1.5
+        assert doc["attrs"] == {"label": "cell-0"}
+
+    def test_record_parents_under_open_span(self):
+        tracer = Tracer()
+        with tracer.span("sweep") as sweep:
+            tracer.record("job", 0.1)
+        by_name = {d["name"]: d for d in tracer.export()}
+        assert by_name["job"]["parent"] == sweep.span_id
+
+    def test_merge_reids_and_reparents(self):
+        worker = Tracer()
+        with worker.span("analyze"):
+            with worker.span("milp_solve"):
+                pass
+        parent_tracer = Tracer()
+        pid = parent_tracer.record("job", 2.0)
+        parent_tracer.merge(worker.export(), parent_id=pid, prefix="k1:")
+        by_name = {d["name"]: d for d in parent_tracer.export()}
+        assert by_name["analyze"]["parent"] == pid
+        assert by_name["analyze"]["id"].startswith("k1:")
+        assert by_name["milp_solve"]["parent"] == by_name["analyze"]["id"]
+
+    def test_merge_two_workers_no_id_collision(self):
+        docs = []
+        for prefix in ("a:", "b:"):
+            worker = Tracer()
+            with worker.span("analyze"):
+                pass
+            parent = Tracer()
+            parent.merge(worker.export(), prefix=prefix)
+            docs.extend(parent.export())
+        assert len({d["id"] for d in docs}) == 2
+
+
+class TestAmbientInstallation:
+    def test_default_is_null_tracer(self):
+        assert current_tracer() is NULL_TRACER
+        assert not current_tracer().enabled
+
+    def test_install_and_restore(self):
+        tracer = Tracer()
+        previous = install_tracer(tracer)
+        try:
+            assert current_tracer() is tracer
+        finally:
+            install_tracer(previous)
+        assert current_tracer() is NULL_TRACER
+
+    def test_tracing_scope_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with tracing(Tracer()):
+                raise ValueError()
+        assert current_tracer() is NULL_TRACER
+
+    def test_module_level_span_uses_ambient(self):
+        with tracing(Tracer()) as tracer:
+            with span("ambient"):
+                pass
+        assert [d["name"] for d in tracer.export()] == ["ambient"]
+
+
+class TestNullTracer:
+    def test_span_returns_shared_noop_handle(self):
+        tracer = NullTracer()
+        sp = tracer.span("anything", big=1)
+        assert sp is NULL_SPAN
+        with sp as inner:
+            inner.set(x=2)
+        assert tracer.export() == []
+
+    def test_record_and_merge_are_noops(self):
+        tracer = NullTracer()
+        tracer.record("job", 1.0)
+        tracer.merge([{"id": "s1", "name": "x"}])
+        assert tracer.export() == []

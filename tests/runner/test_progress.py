@@ -1,0 +1,202 @@
+"""Progress/ETA regression tests and the no-op-tracer overhead contract.
+
+Covers the two progress bugs this repo shipped with: ``render()``
+dropping a legitimate ``eta_seconds == 0.0`` through a truthiness
+check, and the ETA blending cache-answered jobs into the throughput
+estimate (a campaign resuming 900/1000 jobs forecast the remaining
+fresh solves at cache speed).
+"""
+
+import time
+
+from repro.core.config import RunnerConfig
+from repro.obs.trace import Tracer
+from repro.runner.executor import run_sweep
+from repro.runner.jobs import Job
+from repro.runner.progress import ProgressEvent, ProgressTracker
+
+WORKERS = "tests.runner._workers"
+
+
+def _job(task: str, **params) -> Job:
+    return Job({"task": f"{WORKERS}:{task}", "instance": {},
+                "params": params})
+
+
+def _event(**overrides) -> ProgressEvent:
+    base = dict(completed=1, total=2, status="done", label="cell",
+                cache_hits=0, errors=0, elapsed_seconds=1.0,
+                solver_seconds=0.5, rate=1.0, eta_seconds=None)
+    base.update(overrides)
+    return ProgressEvent(**base)
+
+
+def _backdate(tracker: ProgressTracker, seconds: float) -> None:
+    """Pretend the campaign started ``seconds`` ago."""
+    tracker._started = time.monotonic() - seconds
+
+
+class TestRenderBoundaries:
+    def test_zero_eta_is_rendered(self):
+        """Regression: ``eta_seconds == 0.0`` is a real estimate (the
+        final heartbeat), not an absent one, and must be shown."""
+        assert "eta 0s" in _event(eta_seconds=0.0).render()
+
+    def test_none_eta_is_omitted(self):
+        assert "eta" not in _event(eta_seconds=None).render()
+
+    def test_positive_eta_is_rendered(self):
+        assert "eta 42s" in _event(eta_seconds=42.4).render()
+
+    def test_render_core_fields(self):
+        line = _event(completed=3, total=9, status="cached",
+                      label="cell-3", cache_hits=2, errors=1,
+                      rate=1.5).render()
+        assert "[3/9]" in line
+        assert "cached" in line
+        assert "cell-3" in line
+        assert "2 cached, 1 errors" in line
+        assert "1.50 jobs/s" in line
+
+
+class TestEtaSemantics:
+    def test_eta_uses_fresh_rate_not_blended(self):
+        """Regression: resuming 8 of 10 jobs must not forecast the
+        remaining fresh solves at cache speed."""
+        tracker = ProgressTracker(total=10)
+        for i in range(8):
+            tracker.note("resumed", f"cell-{i}")
+        _backdate(tracker, 10.0)
+        event = tracker.note("done", "cell-8")
+        # 1 fresh solve in ~10s with 1 job remaining: the fresh rate
+        # says ~10s out; the blended rate (9 jobs / 10s) would say ~1s.
+        assert event.fresh_completed == 1
+        assert 8.0 < event.eta_seconds < 20.0
+
+    def test_resume_heavy_eta_magnitude(self):
+        """With 90 cached settles and 1 fresh solve in ~10s, the 9
+        remaining fresh jobs are ~90s out -- not the ~1s a blended
+        rate would claim."""
+        tracker = ProgressTracker(total=100)
+        for i in range(90):
+            tracker.note("cached", f"cell-{i}")
+        _backdate(tracker, 10.0)
+        event = tracker.note("done", "cell-90")
+        blended_eta = (100 - 91) / event.rate
+        assert event.fresh_completed == 1
+        assert event.eta_seconds > 5 * blended_eta
+        assert 45.0 < event.eta_seconds < 180.0
+
+    def test_blended_fallback_before_first_fresh_solve(self):
+        """Until a fresh job settles there is no fresh rate; the
+        blended rate is the only signal and must be used."""
+        tracker = ProgressTracker(total=4)
+        _backdate(tracker, 2.0)
+        event = tracker.note("cached", "cell-0")
+        assert event.fresh_completed == 0
+        assert event.eta_seconds is not None
+        assert event.eta_seconds > 0.0
+
+    def test_final_heartbeat_eta_is_zero(self):
+        tracker = ProgressTracker(total=2)
+        tracker.note("done", "a")
+        event = tracker.note("done", "b")
+        assert event.eta_seconds == 0.0
+        assert "eta 0s" in event.render()
+
+    def test_rate_stays_blended(self):
+        """``rate`` answers "how fast is the campaign moving" -- cached
+        settles still count there."""
+        tracker = ProgressTracker(total=10)
+        for i in range(4):
+            tracker.note("cached", f"cell-{i}")
+        _backdate(tracker, 2.0)
+        event = tracker.note("done", "cell-4")
+        assert event.rate > event.fresh_completed / event.elapsed_seconds
+
+
+class TestTrackerTallies:
+    def test_counts_and_seconds(self):
+        tracker = ProgressTracker(total=5)
+        tracker.note("done", "a", solver_seconds=1.0,
+                     stats={"build_seconds": 0.25, "compile_seconds": 0.5})
+        tracker.note("cached", "b")
+        tracker.note("resumed", "c")
+        tracker.note("error", "d")
+        event = tracker.note("timeout", "e", solver_seconds=2.0)
+        assert event.completed == 5
+        assert event.cache_hits == 2
+        assert event.errors == 2
+        assert event.fresh_completed == 3  # done + error + timeout
+        assert event.solver_seconds == 3.0
+        assert event.build_seconds == 0.25
+        assert event.compile_seconds == 0.5
+
+    def test_phase_seconds_accumulate_from_spans(self):
+        tracker = ProgressTracker(total=2)
+        spans = [
+            {"type": "span", "name": "milp_solve", "id": "s1",
+             "parent": None, "duration_seconds": 1.5, "attrs": {}},
+            {"type": "span", "name": "compile", "id": "s2",
+             "parent": None, "duration_seconds": 0.5, "attrs": {}},
+            {"type": "metrics", "counters": {}},  # skipped: not a span
+        ]
+        tracker.note("done", "a", spans=spans)
+        event = tracker.note("done", "b", spans=[
+            {"name": "milp_solve", "id": "s3", "parent": None,
+             "duration_seconds": 0.5, "attrs": {}},
+        ])
+        assert event.phase_seconds == {"milp_solve": 2.0, "compile": 0.5}
+
+    def test_phase_seconds_empty_without_spans(self):
+        tracker = ProgressTracker(total=1)
+        event = tracker.note("done", "a")
+        assert event.phase_seconds == {}
+
+
+class TestSweepTracingContract:
+    def test_untraced_sweep_carries_no_spans(self):
+        """The no-op default: without a tracer, outcomes carry no span
+        payloads, phase totals are empty, and events are span-free."""
+        events = []
+        outcome = run_sweep(
+            [_job("echo_task", value=i) for i in range(3)],
+            num_workers=1, progress=events.append,
+            config=RunnerConfig(retries=0),
+        )
+        assert all(o.status == "done" for o in outcome.outcomes)
+        assert all(o.spans is None for o in outcome.outcomes)
+        assert outcome.phase_totals() == {}
+        assert all(e.phase_seconds == {} for e in events)
+
+    def test_traced_sweep_records_job_spans(self):
+        tracer = Tracer()
+        outcome = run_sweep(
+            [_job("echo_task", value=i) for i in range(2)],
+            num_workers=1, tracer=tracer,
+            config=RunnerConfig(retries=0),
+        )
+        assert all(o.status == "done" for o in outcome.outcomes)
+        # echo_task opens no spans itself, but the campaign tracer
+        # records the sweep root and one retroactive span per job.
+        docs = tracer.export()
+        names = [d["name"] for d in docs]
+        assert names.count("sweep") == 1
+        assert names.count("job") == 2
+        (sweep,) = (d for d in docs if d["name"] == "sweep")
+        assert sweep["attrs"]["total"] == 2
+        for doc in docs:
+            if doc["name"] == "job":
+                assert doc["parent"] == sweep["id"]
+                assert doc["attrs"]["status"] == "done"
+
+    def test_traced_and_untraced_results_identical(self):
+        jobs = [_job("echo_task", value=i) for i in range(3)]
+        plain = run_sweep(jobs, num_workers=1,
+                          config=RunnerConfig(retries=0))
+        traced = run_sweep(jobs, num_workers=1, tracer=Tracer(),
+                           config=RunnerConfig(retries=0))
+        assert [o.result for o in plain.outcomes] \
+            == [o.result for o in traced.outcomes]
+        assert [o.status for o in plain.outcomes] \
+            == [o.status for o in traced.outcomes]

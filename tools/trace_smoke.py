@@ -1,0 +1,117 @@
+"""CI trace-smoke: run a tiny traced sweep and validate the trace file.
+
+Builds a two-job campaign on the motivating example, runs it through
+the real CLI (``sweep --trace``), and then checks the emitted JSONL:
+
+* every line parses and the schema validates (unique span ids, known
+  parents, no cycles, children's summed durations bounded by their
+  parent's -- see :mod:`repro.obs.validate`);
+* the span taxonomy is present end-to-end: the ``sweep`` root, a
+  ``job`` span per job, and each worker's ``analyze`` ->
+  ``compile`` / ``milp_solve`` spans merged beneath it;
+* the per-job ``milp_solve`` span attributes reconcile with the
+  :class:`~repro.solver.result.SolveStats` totals the results document
+  reports.
+
+Exit code 0 on success, 1 with a diagnostic on any failure.
+
+Run locally::
+
+    PYTHONPATH=src python tools/trace_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import cli
+from repro.network import serialization as ser
+from repro.network.builder import motivating_example
+from repro.obs.validate import validate_trace_file
+from repro.paths.pathset import PathSet
+
+#: Span names the campaign trace must contain at least once.
+REQUIRED_SPANS = ("sweep", "job", "analyze", "compile", "milp_solve")
+
+
+def _fail(message: str) -> int:
+    print(f"trace smoke FAILED: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    topology = motivating_example()
+    pairs = [("B", "D"), ("C", "D")]
+    paths = PathSet.k_shortest(topology, pairs, num_primary=1, num_backup=1)
+    demands = {("B", "D"): 18.0, ("C", "D"): 15.0}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+        spec_path = workdir / "spec.json"
+        trace_path = workdir / "trace.jsonl"
+        spec_path.write_text(json.dumps({
+            "kind": "sweep_spec",
+            "name": "trace-smoke",
+            "instance": {
+                "topology": ser.topology_to_dict(topology),
+                "demands": ser.demands_to_dict(demands),
+                "paths": ser.paths_to_dict(paths),
+            },
+            "base": {"demand_mode": "fixed", "max_failures": 1,
+                     "time_limit": 60.0},
+            "cells": [{"threshold": None}, {"max_failures": 2}],
+        }))
+
+        code = cli.main([
+            "sweep", "--spec", str(spec_path),
+            "--workdir", str(workdir / "state"),
+            "--jobs", "2", "--quiet",
+            "--trace", str(trace_path),
+        ])
+        if code != 0:
+            return _fail(f"sweep exited {code}")
+
+        problems = validate_trace_file(str(trace_path))
+        if problems:
+            return _fail("; ".join(problems))
+
+        docs = [json.loads(line)
+                for line in trace_path.read_text().splitlines() if line]
+        spans = [d for d in docs if d.get("type") == "span"]
+        names = {s["name"] for s in spans}
+        missing = [n for n in REQUIRED_SPANS if n not in names]
+        if missing:
+            return _fail(f"span taxonomy incomplete: missing {missing} "
+                         f"(saw {sorted(names)})")
+        if not any(d.get("type") == "metrics" for d in docs):
+            return _fail("no metrics snapshot line in the trace")
+
+        # Reconcile the trace against the results document's SolveStats:
+        # the sum of milp_solve span solve_seconds attrs must match the
+        # summed per-job stats within float-rounding slack.
+        results = json.loads(
+            (workdir / "state" / "results.json").read_text())
+        stats_solve = sum(
+            (job["result"] or {}).get("stats", {}).get("solve_seconds", 0.0)
+            for job in results["jobs"]
+        )
+        span_solve = sum(
+            s["attrs"].get("solve_seconds", 0.0)
+            for s in spans if s["name"] == "milp_solve"
+        )
+        if abs(span_solve - stats_solve) > 1e-6 + 0.01 * stats_solve:
+            return _fail(
+                f"milp_solve spans sum to {span_solve:.6f}s but SolveStats "
+                f"report {stats_solve:.6f}s")
+
+    print(f"trace smoke ok: {len(spans)} spans, "
+          f"taxonomy {sorted(names)}, "
+          f"solve reconciles ({span_solve:.3f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
