@@ -13,6 +13,10 @@ Commands mirror Raha's two operational modes plus utilities:
   degradations.
 * ``paths`` -- compute and save a k-shortest-path configuration.
 * ``fig2``   -- the max-simultaneous-failures envelope of a topology.
+* ``serve`` / ``client`` -- the persistent queue-backed analysis
+  service and its HTTP client (see :mod:`repro.service`).
+* ``cache``  -- inspect (``stats``) or evict (``prune``) a result
+  cache; live service jobs' entries are never pruned.
 
 Topologies are JSON (see :mod:`repro.network.serialization`) or GraphML;
 demands and paths are JSON.  Example round trip::
@@ -47,6 +51,11 @@ EXIT_SWEEP_ERRORS = 4
 #: LP-relaxation bound (no incumbent within the time limits) -- usable,
 #: but distinguishable from a full result in scripts.
 EXIT_PARTIAL = 5
+
+#: Exit code when a sweep was interrupted by SIGINT/SIGTERM and drained
+#: gracefully (the conventional 128 + SIGINT).  Settled results are
+#: written; rerun with ``--resume`` to finish the rest.
+EXIT_INTERRUPTED = 130
 
 
 def _load_topology(path: str) -> Topology:
@@ -234,6 +243,10 @@ def _cmd_sweep(args) -> int:
     if args.out:
         _write_sweep_results(outcome, spec, Path(args.out))
     print(f"results: {results_path}")
+    if outcome.interrupted:
+        print(f"interrupted: {len(outcome.outcomes)} job(s) settled; "
+              f"rerun with --resume to finish the rest", file=sys.stderr)
+        return EXIT_INTERRUPTED
     return EXIT_SWEEP_ERRORS if outcome.num_errors else 0
 
 
@@ -268,6 +281,10 @@ def _analyze_sweep(args, thresholds: list[float | None]) -> int:
     _print_sweep_summary(outcome)
     if args.out:
         _write_sweep_results(outcome, spec, Path(args.out))
+    if outcome.interrupted:
+        print(f"interrupted: {len(outcome.outcomes)} job(s) settled; "
+              f"rerun with --resume to finish the rest", file=sys.stderr)
+        return EXIT_INTERRUPTED
     if outcome.num_errors:
         return EXIT_SWEEP_ERRORS
     if args.tolerance is not None:
@@ -495,6 +512,173 @@ def _cmd_fig2(args) -> int:
     return 0
 
 
+def _service_config_from_args(args):
+    from repro.core.config import ServiceConfig
+
+    return ServiceConfig(
+        host=args.host,
+        port=args.port,
+        num_workers=args.workers,
+        max_queue_depth=args.max_queue_depth,
+        max_inflight_per_client=args.max_inflight,
+        result_ttl_seconds=args.result_ttl,
+        result_max_bytes=args.result_max_bytes,
+        drain_timeout_seconds=args.drain_timeout,
+        isolate_jobs=not args.no_isolate,
+    )
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import api
+    from repro.service import store as store_module
+
+    # In a real server process, injected service crashes must behave
+    # like kill -9 (hard exit), not like catchable exceptions -- that
+    # is the whole point of the crash-recovery tests.
+    store_module.HARD_FAULTS = True
+    if args.chaos:
+        from repro.resilience import FaultPlan
+        from repro.resilience.faults import install_plan
+
+        plan = FaultPlan.from_arg(args.chaos)
+        install_plan(plan)
+        print(f"chaos: injecting {len(plan.points)} fault point(s) "
+              f"(seed {plan.seed}) -- crash faults HARD-EXIT the server",
+              file=sys.stderr)
+    service = api.AnalysisService(args.workdir,
+                                  config=_service_config_from_args(args))
+    server = api.make_server(service)
+    state_path = api.write_state_file(service, server)
+    host, port = server.server_address[0], server.server_address[1]
+    print(f"serving on http://{host}:{port} "
+          f"(workdir {args.workdir}, {service.config.num_workers} workers); "
+          f"state: {state_path}", file=sys.stderr)
+    if not args.trace:
+        api.serve_forever(service, server)
+        return 0
+    from repro.obs import JsonlTraceWriter, Tracer, metrics, tracing
+
+    writer = JsonlTraceWriter(args.trace, name="service")
+    try:
+        with tracing(Tracer(sink=writer.write)):
+            api.serve_forever(service, server)
+    finally:
+        writer.close(metrics().snapshot())
+    print(f"trace: {args.trace}", file=sys.stderr)
+    return 0
+
+
+def _service_client(args):
+    from repro.service.client import ServiceClient
+
+    url = args.url
+    if not url:
+        state_path = Path(args.workdir or ".") / "service.json"
+        if not state_path.exists():
+            raise SystemExit(
+                f"no --url given and no service state at {state_path}; "
+                f"start a server with 'repro serve' or pass --url")
+        state = json.loads(state_path.read_text())
+        url = state["url"]
+    return ServiceClient(url, client_id=args.client,
+                         timeout=args.timeout)
+
+
+def _print_doc(doc: dict, out: str | None) -> None:
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if out:
+        Path(out).write_text(text + "\n")
+        print(f"wrote {out}")
+    else:
+        print(text)
+
+
+def _cmd_client(args) -> int:
+    from repro.exceptions import AdmissionError, ServiceError
+
+    if args.action == "submit" and not args.spec:
+        raise SystemExit("client submit requires --spec")
+    if args.action in ("status", "result", "cancel") and not args.id:
+        raise SystemExit(f"client {args.action} requires --id")
+    client = _service_client(args)
+    try:
+        if args.action == "submit":
+            from repro.runner.jobs import SweepSpec
+
+            # from_file embeds any instance file references client-side,
+            # so the document crossing the wire is self-contained (the
+            # server rejects path strings).
+            spec = SweepSpec.from_file(args.spec)
+            doc = client.submit(spec.to_dict(), priority=args.priority)
+            print(f"analysis {doc['id']}: "
+                  f"{'deduped' if doc.get('deduped') else 'accepted'} "
+                  f"({doc['total_jobs']} jobs)")
+            if args.wait:
+                _print_doc(client.wait(doc["id"], timeout=args.timeout_wait),
+                           args.out)
+            return 0
+        if args.action == "status":
+            _print_doc(client.status(args.id), args.out)
+            return 0
+        if args.action == "result":
+            doc = client.result(args.id)
+            if doc is None:
+                status = client.status(args.id)
+                print(f"analysis {args.id} is {status['state']} "
+                      f"({status['counts']})", file=sys.stderr)
+                return 6
+            _print_doc(doc, args.out)
+            return 0
+        if args.action == "cancel":
+            doc = client.cancel(args.id)
+            print(f"cancelled {doc['cancelled']} queued job(s); "
+                  f"{doc['note']}")
+            return 0
+        if args.action == "health":
+            _print_doc(client.health(), args.out)
+            return 0
+    except AdmissionError as exc:
+        print(f"shed: {exc} (retry after "
+              f"{exc.retry_after or '?'}s)", file=sys.stderr)
+        return 7
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise SystemExit(f"unknown client action {args.action!r}")
+
+
+def _cmd_cache(args) -> int:
+    from repro.runner.cache import ResultCache
+
+    workdir = Path(args.workdir)
+    cache_dir = workdir / "cache" if (workdir / "cache").is_dir() \
+        else workdir
+    cache = ResultCache(cache_dir)
+    if args.action == "stats":
+        _print_doc(cache.stats(), None)
+        return 0
+    # prune: never evict entries referenced by live jobs of a service
+    # sharing this workdir.
+    protected: set[str] = set()
+    db_path = workdir / "service.db"
+    if db_path.exists():
+        from repro.service.store import JobStore
+
+        store = JobStore(db_path)
+        try:
+            protected = store.live_keys()
+        finally:
+            store.close()
+    report = cache.prune(max_bytes=args.max_bytes,
+                         ttl_seconds=args.ttl,
+                         protected=protected)
+    print(f"pruned {report['removed']} entries "
+          f"({report['removed_bytes']} bytes); kept {report['kept']} "
+          f"({report['kept_bytes']} bytes, "
+          f"{report['protected_kept']} protected)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -635,6 +819,84 @@ def build_parser() -> argparse.ArgumentParser:
     p_f2.add_argument("--thresholds", default="1e-5,1e-4,1e-3,1e-2,1e-1")
     p_f2.add_argument("--out", default=None)
     p_f2.set_defaults(func=_cmd_fig2)
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="run the queue-backed analysis service (HTTP API)")
+    p_sv.add_argument("--workdir", required=True,
+                      help="service state directory (service.db, cache/, "
+                           "service.json)")
+    p_sv.add_argument("--host", default="127.0.0.1")
+    p_sv.add_argument("--port", type=int, default=8080,
+                      help="0 = ephemeral (the bound port lands in "
+                           "<workdir>/service.json)")
+    p_sv.add_argument("--workers", type=int, default=2,
+                      help="scheduler worker threads")
+    p_sv.add_argument("--max-queue-depth", type=int, default=1024,
+                      help="global live-job cap; beyond it submissions "
+                           "are shed with 429 + Retry-After")
+    p_sv.add_argument("--max-inflight", type=int, default=64,
+                      help="per-client live-job cap")
+    p_sv.add_argument("--result-ttl", type=float, default=None,
+                      metavar="SECONDS",
+                      help="evict results older than this")
+    p_sv.add_argument("--result-max-bytes", type=int, default=None,
+                      metavar="N",
+                      help="result store size cap (oldest evicted first)")
+    p_sv.add_argument("--drain-timeout", type=float, default=30.0,
+                      help="seconds to let in-flight jobs settle on "
+                           "shutdown before leaving them for recovery")
+    p_sv.add_argument("--no-isolate", action="store_true",
+                      help="run jobs on scheduler threads instead of "
+                           "worker processes (faster, less robust)")
+    p_sv.add_argument("--chaos", default=None, metavar="PLAN",
+                      help="fault-injection self-test: service crash "
+                           "sites hard-exit the server (see docs/"
+                           "operations.md 'Running the analysis service')")
+    p_sv.add_argument("--trace", default=None, metavar="FILE",
+                      help="write a JSONL trace of http_request spans "
+                           "and job execution")
+    p_sv.set_defaults(func=_cmd_serve)
+
+    p_cl = sub.add_parser("client",
+                          help="talk to a running analysis service")
+    p_cl.add_argument("action",
+                      choices=["submit", "status", "result", "cancel",
+                               "health"])
+    p_cl.add_argument("--url", default=None,
+                      help="service base URL (default: read "
+                           "<workdir>/service.json)")
+    p_cl.add_argument("--workdir", default=None,
+                      help="locate the service via its state file")
+    p_cl.add_argument("--client", default="cli", metavar="ID",
+                      help="client identity for per-client admission caps")
+    p_cl.add_argument("--spec", default=None,
+                      help="sweep spec JSON to submit (file references "
+                           "are embedded client-side)")
+    p_cl.add_argument("--id", default=None, help="analysis id")
+    p_cl.add_argument("--priority", type=int, default=0)
+    p_cl.add_argument("--wait", action="store_true",
+                      help="after submit, poll until finished and print "
+                           "the results document")
+    p_cl.add_argument("--timeout", type=float, default=30.0,
+                      help="per-request HTTP timeout")
+    p_cl.add_argument("--timeout-wait", type=float, default=600.0,
+                      help="total --wait polling budget")
+    p_cl.add_argument("--out", default=None,
+                      help="write the fetched document here")
+    p_cl.set_defaults(func=_cmd_client)
+
+    p_ca = sub.add_parser("cache",
+                          help="inspect or prune a result cache")
+    p_ca.add_argument("action", choices=["stats", "prune"])
+    p_ca.add_argument("--workdir", required=True,
+                      help="a campaign/service workdir (containing "
+                           "cache/) or a cache directory itself")
+    p_ca.add_argument("--max-bytes", type=int, default=None,
+                      help="prune oldest-first down to this many bytes")
+    p_ca.add_argument("--ttl", type=float, default=None, metavar="SECONDS",
+                      help="prune entries older than this")
+    p_ca.set_defaults(func=_cmd_cache)
     return parser
 
 

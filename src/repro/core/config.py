@@ -145,6 +145,104 @@ class RunnerConfig:
 
 
 @dataclass
+class ServiceConfig:
+    """Knobs for the persistent analysis service (:mod:`repro.service`).
+
+    Attributes:
+        host / port: HTTP bind address.  ``port=0`` binds an ephemeral
+            port (the chosen one lands in the workdir's ``service.json``
+            state file), which is what tests and the smoke CI use.
+        num_workers: Scheduler worker threads draining the job queue.
+        poll_interval_seconds: How long an idle worker waits before
+            re-polling the queue for work.
+        max_queue_depth: Admission control: submissions that would push
+            the number of queued+running jobs past this are shed with
+            HTTP 429 + ``Retry-After`` instead of being accepted and
+            dropped later.
+        max_inflight_per_client: Admission control: cap on one client's
+            queued+running jobs (clients identify via the ``X-Client``
+            header; unidentified traffic shares one bucket).
+        retry_after_seconds: Floor for the ``Retry-After`` hint on shed
+            responses; the actual hint scales with queue depth and the
+            observed per-job service time when history exists.
+        result_ttl_seconds: Evict cached results older than this
+            (``None`` = keep forever).
+        result_max_bytes: Cap the result store's on-disk size; the
+            oldest-mtime entries are evicted first (``None`` = no cap).
+            Entries referenced by live (queued/running) jobs are never
+            evicted by either rule.
+        eviction_interval_seconds: How often the background eviction
+            pass runs (only when a TTL or size cap is configured).
+        drain_timeout_seconds: How long ``stop(drain=True)`` waits for
+            in-flight jobs before giving up the join (the jobs stay
+            ``running`` and are recovered to ``queued`` on restart).
+        isolate_jobs: Run each claimed job in a worker *process* (the
+            executor's pooled path), so a crashing or wedged solve
+            cannot take the service down and per-job wall timeouts
+            apply.  ``False`` runs jobs in the scheduler thread --
+            faster to start, used by tests.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    num_workers: int = 2
+    poll_interval_seconds: float = 0.2
+    max_queue_depth: int = 1024
+    max_inflight_per_client: int = 64
+    retry_after_seconds: float = 5.0
+    result_ttl_seconds: float | None = None
+    result_max_bytes: int | None = None
+    eviction_interval_seconds: float = 60.0
+    drain_timeout_seconds: float = 30.0
+    isolate_jobs: bool = True
+
+    def __post_init__(self):
+        if self.num_workers < 1:
+            raise ModelingError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.poll_interval_seconds <= 0:
+            raise ModelingError(
+                f"poll_interval_seconds must be > 0, got "
+                f"{self.poll_interval_seconds}"
+            )
+        if self.max_queue_depth < 0:
+            raise ModelingError(
+                f"max_queue_depth must be >= 0, got {self.max_queue_depth}"
+            )
+        if self.max_inflight_per_client < 1:
+            raise ModelingError(
+                f"max_inflight_per_client must be >= 1, got "
+                f"{self.max_inflight_per_client}"
+            )
+        if self.retry_after_seconds < 0:
+            raise ModelingError(
+                f"retry_after_seconds must be >= 0, got "
+                f"{self.retry_after_seconds}"
+            )
+        if self.result_ttl_seconds is not None \
+                and self.result_ttl_seconds <= 0:
+            raise ModelingError(
+                f"result_ttl_seconds must be > 0, got "
+                f"{self.result_ttl_seconds}"
+            )
+        if self.result_max_bytes is not None and self.result_max_bytes < 0:
+            raise ModelingError(
+                f"result_max_bytes must be >= 0, got {self.result_max_bytes}"
+            )
+        if self.eviction_interval_seconds <= 0:
+            raise ModelingError(
+                f"eviction_interval_seconds must be > 0, got "
+                f"{self.eviction_interval_seconds}"
+            )
+        if self.drain_timeout_seconds < 0:
+            raise ModelingError(
+                f"drain_timeout_seconds must be >= 0, got "
+                f"{self.drain_timeout_seconds}"
+            )
+
+
+@dataclass
 class ResilienceConfig:
     """Graceful-degradation policy for a single analysis.
 

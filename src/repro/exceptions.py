@@ -32,6 +32,43 @@ class PathError(ReproError):
     """Path computation or validation failed (no route, bad path, ...)."""
 
 
+class CacheKeyError(ReproError):
+    """A job payload cannot be content-addressed.
+
+    Raised by :func:`repro.runner.cache.canonical_json` when a payload
+    contains a value that does not round-trip through canonical JSON
+    deterministically (NaN/Inf floats, or a non-JSON type).  The message
+    names the offending payload field so the error surfacing from deep
+    inside a worker pool points at the bad input, not at ``json.dumps``.
+    """
+
+
+class ServiceError(ReproError):
+    """The analysis service failed an operation or returned an error.
+
+    Raised by the service client on non-2xx HTTP responses and by the
+    service stack for invalid submissions, unknown analyses, and store
+    failures.  Carries ``status`` (the HTTP status code, when one
+    applies) so callers can branch without parsing messages.
+    """
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class AdmissionError(ServiceError):
+    """A submission was load-shed by the service's admission control.
+
+    Maps to HTTP 429; ``retry_after`` carries the server's suggested
+    back-off in seconds (the ``Retry-After`` header).
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message, status=429)
+        self.retry_after = retry_after
+
+
 class ModelingError(ReproError):
     """A formulation was assembled inconsistently.
 

@@ -42,7 +42,20 @@ site tag                   effect at the hook
 ``solver.time_limit``      ``Model.solve`` returns ``TIME_LIMIT`` with no
                            incumbent
 ``resolver.resolve``       ``ScenarioResolver``'s incremental re-solve fails
+``store.crash_commit``     the service process dies right after a job-store
+                           state transition commits (queue persistence)
+``service.crash_claimed``  the service process dies after a worker claimed a
+                           job but before running it (worker handoff)
+``service.crash_settling`` the service process dies after a job's result is
+                           computed (and cached) but before the store records
+                           it as terminal
 =========================  ====================================================
+
+The three ``store.*``/``service.*`` sites exercise the analysis
+service's crash recovery (:mod:`repro.service`): inside a real server
+process they hard-exit (``kill -9`` semantics); in-process they raise
+:class:`repro.service.store.InjectedServiceCrash` so tests can simulate
+the death of a single worker thread without killing the test runner.
 
 Zero faults means zero behavior change: every hook is a single
 module-global ``None`` check when no plan is installed.
@@ -68,6 +81,9 @@ KNOWN_SITES = (
     "journal.torn_append",
     "solver.time_limit",
     "resolver.resolve",
+    "store.crash_commit",
+    "service.crash_claimed",
+    "service.crash_settling",
 )
 
 

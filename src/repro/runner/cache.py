@@ -38,10 +38,14 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
+import math
 import os
 import tempfile
+import time
+from dataclasses import dataclass
 from pathlib import Path
 
+from repro.exceptions import CacheKeyError
 from repro.resilience.faults import maybe_fire
 
 logger = logging.getLogger(__name__)
@@ -55,15 +59,58 @@ CODE_SALT = "raha-runner-v1"
 FOOTER_PREFIX = "sha256:"
 
 
+def _offending_field(payload, path: str = "$") -> str | None:
+    """The path of the first value that breaks canonical JSON, if any.
+
+    Walks the payload in deterministic (sorted-key) order looking for
+    non-finite floats and non-JSON types, returning a dotted path like
+    ``$.params.threshold`` or ``$.instance.demands[3]``.
+    """
+    if isinstance(payload, float):
+        if math.isnan(payload) or math.isinf(payload):
+            return path
+        return None
+    if isinstance(payload, dict):
+        for key in sorted(payload, key=str):
+            if not isinstance(key, (str, int, float, bool, type(None))):
+                return f"{path}.{key!r}"
+            found = _offending_field(payload[key], f"{path}.{key}")
+            if found is not None:
+                return found
+        return None
+    if isinstance(payload, (list, tuple)):
+        for index, item in enumerate(payload):
+            found = _offending_field(item, f"{path}[{index}]")
+            if found is not None:
+                return found
+        return None
+    if isinstance(payload, (str, int, bool, type(None))):
+        return None
+    return path
+
+
 def canonical_json(payload) -> str:
     """Serialize a payload to its canonical (hashable) JSON form.
 
     Sorted keys and fixed separators make the encoding independent of
     insertion order; ``allow_nan=False`` rejects values that do not
     round-trip through JSON deterministically.
+
+    Raises:
+        CacheKeyError: The payload contains a NaN/Inf float or a
+            non-JSON value; the message names the offending field path
+            (instead of the bare ``ValueError`` ``json.dumps`` raises,
+            which is useless surfacing from deep inside a worker pool).
     """
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
-                      allow_nan=False)
+    try:
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                          allow_nan=False)
+    except (ValueError, TypeError) as exc:
+        field = _offending_field(payload)
+        raise CacheKeyError(
+            f"payload cannot be content-addressed: non-canonical value "
+            f"at {field or '$'} ({exc})"
+        ) from exc
 
 
 def job_key(payload, salt: str = CODE_SALT) -> str:
@@ -80,6 +127,16 @@ def _footer_for(document_line: str) -> str:
     return FOOTER_PREFIX + hashlib.sha256(
         document_line.encode("utf-8")
     ).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One on-disk cache entry, as the lifecycle tooling sees it."""
+
+    key: str
+    path: Path
+    bytes: int
+    mtime: float
 
 
 class ResultCache:
@@ -167,6 +224,107 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def entries(self) -> list[CacheEntry]:
+        """Every entry, oldest mtime first (the eviction order).
+
+        Ties on mtime break by key so the order is deterministic;
+        entries that vanish mid-scan (concurrent prune) are skipped.
+        """
+        out = []
+        for path in self.root.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            out.append(CacheEntry(key=path.stem, path=path,
+                                  bytes=stat.st_size, mtime=stat.st_mtime))
+        return sorted(out, key=lambda e: (e.mtime, e.key))
+
+    def total_bytes(self) -> int:
+        """Sum of entry sizes (quarantined files not counted)."""
+        return sum(entry.bytes for entry in self.entries())
+
+    def stats(self) -> dict:
+        """Operator-facing summary for ``repro cache stats``."""
+        entries = self.entries()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "total_bytes": sum(e.bytes for e in entries),
+            "quarantined": len(self.quarantined()),
+            "oldest_mtime": entries[0].mtime if entries else None,
+            "newest_mtime": entries[-1].mtime if entries else None,
+        }
+
+    def prune(self, max_bytes: int | None = None,
+              ttl_seconds: float | None = None,
+              protected=(), now: float | None = None) -> dict:
+        """Evict entries by age then size; never touch protected keys.
+
+        Policy (``repro cache prune`` and the service's result store):
+
+        1. *TTL*: entries whose mtime is older than ``now -
+           ttl_seconds`` are removed (``None`` disables).
+        2. *Size cap*: while the remaining total exceeds ``max_bytes``,
+           the oldest-mtime entry is removed (``None`` disables).
+
+        Keys in ``protected`` (e.g. jobs currently queued or running in
+        a live analysis service) are never evicted by either rule, even
+        if the size cap cannot be met without them.
+
+        Returns:
+            ``{"removed", "removed_bytes", "kept", "kept_bytes",
+            "protected_kept"}``.
+        """
+        now = time.time() if now is None else now
+        protected = set(protected)
+        removed = removed_bytes = 0
+        spared: set[str] = set()  # protected keys a rule would have hit
+        survivors = []
+        for entry in self.entries():
+            expired = (ttl_seconds is not None
+                       and entry.mtime < now - ttl_seconds)
+            if expired and entry.key not in protected:
+                if self._remove(entry):
+                    removed += 1
+                    removed_bytes += entry.bytes
+                continue
+            if expired:
+                spared.add(entry.key)
+            survivors.append(entry)
+        if max_bytes is not None:
+            kept_bytes = sum(e.bytes for e in survivors)
+            remaining = []
+            for index, entry in enumerate(survivors):
+                if kept_bytes <= max_bytes:
+                    remaining.extend(survivors[index:])
+                    break
+                if entry.key in protected:
+                    spared.add(entry.key)
+                    remaining.append(entry)
+                    continue
+                if self._remove(entry):
+                    removed += 1
+                    removed_bytes += entry.bytes
+                    kept_bytes -= entry.bytes
+                else:
+                    remaining.append(entry)
+            survivors = remaining
+        return {
+            "removed": removed,
+            "removed_bytes": removed_bytes,
+            "kept": len(survivors),
+            "kept_bytes": sum(e.bytes for e in survivors),
+            "protected_kept": len(spared),
+        }
+
+    def _remove(self, entry: CacheEntry) -> bool:
+        try:
+            os.unlink(entry.path)
+            return True
+        except OSError:
+            return False
 
     def _quarantine(self, key: str, path: Path, reason: str) -> None:
         """Move a corrupt entry aside so it cannot poison the key again."""

@@ -21,6 +21,12 @@ explicit job list) into settled :class:`JobOutcome` records:
 * **Caching / resumability** -- before running, each job key is checked
   against the result cache and (under ``resume=True``) the journal;
   hits settle instantly as ``cached`` / ``resumed``.
+* **Graceful shutdown** -- ``SIGINT``/``SIGTERM`` (or a caller-provided
+  ``stop_event``) drains instead of dying: no new jobs start, in-flight
+  attempts settle and journal normally, a final ``interrupted`` journal
+  record and progress heartbeat are flushed, and the outcome reports
+  ``interrupted=True``.  A second signal aborts hard.  The analysis
+  service (:mod:`repro.service`) reuses this for clean drain-on-stop.
 * **Chaos self-test** -- ``run_sweep(..., chaos=FaultPlan(...))``
   (or an ambient :func:`repro.resilience.install_plan`) ships a
   deterministic fault plan into every worker; the ``worker.*``
@@ -94,10 +100,17 @@ class JobOutcome:
 
 @dataclass
 class SweepOutcome:
-    """A settled campaign: one outcome per unique job, in job order."""
+    """A settled campaign: one outcome per unique job, in job order.
+
+    Under a graceful shutdown (SIGINT/SIGTERM, or a caller-provided
+    ``stop_event``), ``interrupted`` is True and ``outcomes`` holds only
+    the jobs that settled before the drain finished -- the rest simply
+    re-run under ``--resume``.
+    """
 
     outcomes: list[JobOutcome]
     wall_seconds: float = 0.0
+    interrupted: bool = False
 
     def counts(self) -> dict[str, int]:
         """Status -> how many jobs settled that way."""
@@ -193,6 +206,66 @@ class _WallTimeout(Exception):
 
 def _on_alarm(signum, frame):
     raise _WallTimeout()
+
+
+class _StopController:
+    """Cooperative-stop plumbing for a campaign.
+
+    Wraps a :class:`threading.Event` and, when asked (and running on the
+    main thread, where signal handlers are legal), wires ``SIGINT`` and
+    ``SIGTERM`` to it for the duration of a ``with`` block:
+
+    * the **first** signal requests a graceful drain -- no new jobs
+      start, in-flight attempts finish, the journal gets a final
+      ``interrupted`` record, and a closing progress heartbeat fires;
+    * a **second** signal aborts hard (``KeyboardInterrupt``), for the
+      operator who meant it.
+
+    Callers that already own a stop signal (the analysis service's
+    drain-on-stop) pass their event and opt out of signal handling.
+    """
+
+    def __init__(self, stop_event: threading.Event | None,
+                 handle_signals: bool):
+        self.event = stop_event if stop_event is not None \
+            else threading.Event()
+        self._handle = (
+            handle_signals
+            and threading.current_thread() is threading.main_thread()
+        )
+        self._previous: dict[int, object] = {}
+
+    def __enter__(self) -> "_StopController":
+        if self._handle:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    self._previous[signum] = signal.signal(
+                        signum, self._on_signal)
+                except (ValueError, OSError, AttributeError):
+                    pass
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):
+                pass
+        self._previous.clear()
+
+    def _on_signal(self, signum, frame) -> None:
+        if self.event.is_set():
+            raise KeyboardInterrupt
+        self.event.set()
+
+    @property
+    def stopped(self) -> bool:
+        """Whether a drain has been requested."""
+        return self.event.is_set()
+
+    def wait(self, seconds: float) -> bool:
+        """Sleep up to ``seconds``; True if a stop arrived meanwhile."""
+        return self.event.wait(seconds)
 
 
 def resolve_task(ref: str):
@@ -469,6 +542,9 @@ class _Campaign:
     chaos_doc: dict | None = None
     #: The campaign tracer (the ambient NULL_TRACER when tracing is off).
     tracer: object = None
+    #: Cooperative-stop controller (graceful shutdown / service drain).
+    stop: _StopController = field(
+        default_factory=lambda: _StopController(None, False))
 
     @property
     def trace_jobs(self) -> bool:
@@ -530,6 +606,8 @@ def run_sweep(
     config: RunnerConfig | None = None,
     chaos: FaultPlan | dict | None = None,
     tracer=None,
+    stop_event: threading.Event | None = None,
+    handle_signals: bool = True,
 ) -> SweepOutcome:
     """Run a campaign to completion and return every job's outcome.
 
@@ -565,6 +643,18 @@ def run_sweep(
             ``invoke_job(..., trace=True)``: the worker collects spans
             and ships them back in its envelope, and the parent merges
             them under per-job spans inside one ``sweep`` root span.
+        stop_event: A :class:`threading.Event` requesting a graceful
+            drain: once set, no new jobs start, in-flight attempts
+            finish and settle (journaled as usual), the journal gets a
+            final ``interrupted`` record, and the outcome comes back
+            with ``interrupted=True``.  The analysis service passes its
+            own event here for drain-on-stop.
+        handle_signals: Wire ``SIGINT``/``SIGTERM`` to the stop event
+            for the duration of the sweep (main thread only; the
+            previous dispositions are restored on exit).  The first
+            signal drains gracefully -- so an interrupt can no longer
+            lose the tail of the resume journal -- and a second one
+            aborts hard with :class:`KeyboardInterrupt`.
 
     Returns:
         A :class:`SweepOutcome`; inspect ``.errors()`` or call
@@ -601,17 +691,19 @@ def run_sweep(
         plan_installed = False
 
     started = time.monotonic()
+    stopper = _StopController(stop_event, handle_signals)
     campaign = _Campaign(
         config=config, cache=cache, journal=journal,
         tracker=ProgressTracker(total=len(jobs)), progress=progress,
         chaos_doc=plan.to_dict() if plan is not None else None,
         tracer=tracer if tracer is not None else current_tracer(),
+        stop=stopper,
     )
     try:
         # ``concurrent`` tells the trace validator that this span's
         # children (the per-job spans) may overlap in wall time, so
         # their durations legitimately sum past the parent's.
-        with campaign.tracer.span(
+        with stopper, campaign.tracer.span(
             "sweep", total=len(jobs), workers=workers,
             concurrent=workers > 1,
         ):
@@ -641,18 +733,37 @@ def run_sweep(
                     continue
                 pending.append(job)
 
-            if pending:
+            if pending and not stopper.stopped:
                 if workers == 1:
                     _run_serial(pending, campaign, wall_timeout)
                 else:
                     _run_pool(pending, campaign, wall_timeout, workers)
+
+            if stopper.stopped:
+                # Drain epilogue: flush a terminal journal record (so
+                # the on-disk tail marks a clean interruption, not a
+                # crash) and emit one closing heartbeat.
+                if journal is not None:
+                    journal.append({
+                        "event": "interrupted",
+                        "settled": len(campaign.outcomes),
+                        "total": len(jobs),
+                    })
+                if progress is not None:
+                    progress(campaign.tracker.snapshot(
+                        "interrupted",
+                        f"drained: {len(campaign.outcomes)}/{len(jobs)} "
+                        f"settled, journal flushed",
+                    ))
     finally:
         if plan_installed:
             install_plan(previous_plan)
 
     return SweepOutcome(
-        outcomes=[campaign.outcomes[job.key] for job in jobs],
+        outcomes=[campaign.outcomes[job.key] for job in jobs
+                  if job.key in campaign.outcomes],
         wall_seconds=time.monotonic() - started,
+        interrupted=stopper.stopped,
     )
 
 
@@ -698,6 +809,8 @@ def _run_serial(pending: list[Job], campaign: _Campaign,
     """In-process execution with the same retry/timeout semantics."""
     config = campaign.config
     for job in pending:
+        if campaign.stop.stopped:
+            return
         attempt = 0
         failed_seconds = 0.0
         while True:
@@ -714,7 +827,11 @@ def _run_serial(pending: list[Job], campaign: _Campaign,
             if settled is not None:
                 campaign.settle(job, settled)
                 break
-            time.sleep(config.backoff_delay(attempt, key=job.key))
+            # A drain request also abandons this job's remaining
+            # retries -- it stays unsettled and re-runs on resume.
+            if campaign.stop.wait(config.backoff_delay(attempt,
+                                                       key=job.key)):
+                return
 
 
 def _run_pool(pending: list[Job], campaign: _Campaign,
@@ -743,7 +860,7 @@ def _run_pool(pending: list[Job], campaign: _Campaign,
     queue = list(pending)
     isolate = False
     round_number = 0
-    while queue:
+    while queue and not campaign.stop.stopped:
         if isolate:
             queue = _isolation_round(queue, attempts, failed_seconds,
                                      campaign, wall_timeout)
@@ -753,7 +870,9 @@ def _run_pool(pending: list[Job], campaign: _Campaign,
             isolate = broke
         if queue:
             round_number += 1
-            time.sleep(config.backoff_delay(round_number, key="pool-round"))
+            if campaign.stop.wait(config.backoff_delay(round_number,
+                                                       key="pool-round")):
+                return
 
 
 def _settle_or_requeue(job, res, attempts, failed_seconds, campaign,
@@ -786,8 +905,18 @@ def _parallel_round(queue, attempts, failed_seconds, campaign,
                         True, campaign.trace_jobs): job
             for job in queue
         }
+        drained = False
         for future in as_completed(futures):
+            if campaign.stop.stopped and not drained:
+                # Graceful drain: unstarted jobs are cancelled (they
+                # stay unsettled and re-run on resume); in-flight
+                # attempts run to completion and settle normally.
+                drained = True
+                for pending_future in futures:
+                    pending_future.cancel()
             job = futures[future]
+            if future.cancelled():
+                continue
             try:
                 res = future.result()
             except BrokenProcessPool:
@@ -811,6 +940,8 @@ def _isolation_round(queue, attempts, failed_seconds, campaign,
     config = campaign.config
     requeue: list[Job] = []
     for job in queue:
+        if campaign.stop.stopped:
+            return requeue
         with ProcessPoolExecutor(max_workers=1) as pool:
             future = pool.submit(
                 invoke_job, job.payload,

@@ -138,6 +138,18 @@ class ProgressTracker:
                     self.phase_seconds.get(name, 0.0)
                     + float(doc.get("duration_seconds", 0.0))
                 )
+        return self._event(status, label)
+
+    def snapshot(self, status: str, label: str) -> ProgressEvent:
+        """A heartbeat of the campaign *as it stands*, settling nothing.
+
+        Used for out-of-band events -- e.g. the final ``interrupted``
+        heartbeat a draining campaign emits after SIGINT/SIGTERM -- so
+        observers see the closing counters without a job being charged.
+        """
+        return self._event(status, label)
+
+    def _event(self, status: str, label: str) -> ProgressEvent:
         elapsed = max(time.monotonic() - self._started, 1e-9)
         rate = self.completed / elapsed
         remaining = self.total - self.completed

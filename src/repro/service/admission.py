@@ -1,0 +1,99 @@
+"""Admission control and backpressure for the analysis service.
+
+Analysis capacity is a shared resource: a MILP campaign can hold worker
+threads for minutes, so accepting every submission would just move the
+failure from "rejected at the door" (cheap, explicit, retryable) to
+"accepted and starved" (invisible until a client times out).  The
+controller therefore sheds load *at submission time*:
+
+* **Global queue depth** -- a submission whose jobs would push the
+  number of live (queued + running) jobs past ``max_queue_depth`` is
+  shed with HTTP 429.
+* **Per-client in-flight cap** -- one client cannot occupy more than
+  ``max_inflight_per_client`` live jobs, so a single batch submitter
+  cannot starve interactive users.
+
+Shed responses carry a ``Retry-After`` hint: the configured floor,
+scaled up by how much work is already queued per worker when the store
+has service-time history (a saturated queue of ten-minute solves should
+not invite retries every five seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ServiceConfig
+from repro.obs.metrics import metrics
+from repro.service.store import JobStore
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one admission check.
+
+    Attributes:
+        admitted: Whether the submission may enter the queue.
+        reason: Human-readable shed reason (``None`` when admitted).
+        retry_after: Suggested client back-off in seconds (the HTTP
+            ``Retry-After`` header); ``None`` when admitted.
+    """
+
+    admitted: bool
+    reason: str | None = None
+    retry_after: float | None = None
+
+
+class AdmissionController:
+    """Decides, per submission, whether the service takes the work."""
+
+    def __init__(self, store: JobStore, config: ServiceConfig):
+        self.store = store
+        self.config = config
+
+    def admit(self, client: str, num_jobs: int) -> AdmissionDecision:
+        """Check one submission of ``num_jobs`` jobs from ``client``.
+
+        Deduped resubmissions never reach this check (they add no jobs);
+        callers consult the store first.
+        """
+        depth = self.store.depth()
+        if depth + num_jobs > self.config.max_queue_depth:
+            metrics().counter("service.shed_queue_depth").inc()
+            return AdmissionDecision(
+                admitted=False,
+                reason=(
+                    f"queue is saturated: {depth} live jobs + {num_jobs} "
+                    f"submitted would exceed the depth cap "
+                    f"{self.config.max_queue_depth}"
+                ),
+                retry_after=self.retry_after(depth),
+            )
+        inflight = self.store.inflight_for(client)
+        if inflight + num_jobs > self.config.max_inflight_per_client:
+            metrics().counter("service.shed_client_cap").inc()
+            return AdmissionDecision(
+                admitted=False,
+                reason=(
+                    f"client {client!r} has {inflight} jobs in flight; "
+                    f"{num_jobs} more would exceed the per-client cap "
+                    f"{self.config.max_inflight_per_client}"
+                ),
+                retry_after=self.retry_after(inflight),
+            )
+        return AdmissionDecision(admitted=True)
+
+    def retry_after(self, backlog: int) -> float:
+        """The ``Retry-After`` hint for a shed with ``backlog`` jobs.
+
+        With service-time history, estimates how long the backlog takes
+        to clear across the worker pool; always at least the configured
+        floor, and capped at an hour so a misbehaving estimate cannot
+        tell clients to go away for a week.
+        """
+        floor = self.config.retry_after_seconds
+        per_job = self.store.recent_job_seconds()
+        if per_job is None:
+            return floor
+        estimate = backlog * per_job / max(1, self.config.num_workers)
+        return min(max(floor, estimate), 3600.0)

@@ -1,0 +1,421 @@
+"""The analysis service: REST API over the queue, scheduler, and store.
+
+A zero-dependency serving layer (stdlib ``http.server``) that turns the
+batch sweep runner into a queryable system:
+
+====== ============================== ==================================
+verb   path                           semantics
+====== ============================== ==================================
+POST   ``/v1/analyses``               submit a sweep spec; 201 accepted,
+                                      200 deduped, 429 shed (+
+                                      ``Retry-After``), 400 invalid
+GET    ``/v1/analyses/<id>``          state + per-state job counts
+GET    ``/v1/analyses/<id>/result``   the results document; 202 while
+                                      unfinished, 410 for evicted rows
+DELETE ``/v1/analyses/<id>``          cancel the queued jobs
+GET    ``/healthz``                   liveness + queue counts
+GET    ``/metricz``                   the ``repro.obs`` metric registry
+====== ============================== ==================================
+
+Submissions are the same ``sweep_spec`` JSON documents ``repro sweep``
+takes, with one serving-layer restriction: instance documents must be
+*embedded*, not file references -- the server never reads paths off its
+own filesystem on a client's behalf.
+
+Request handling is deliberately boring: every request runs on its own
+thread (``ThreadingHTTPServer``), admission control happens before any
+row is written, and each request is recorded as an ``http_request``
+span on the ambient tracer plus ``service.http_*`` counters, so
+``/metricz`` and a ``serve --trace`` file tell the same story.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.core.config import RunnerConfig, ServiceConfig
+from repro.exceptions import ModelingError, ServiceError
+from repro.obs.metrics import metrics
+from repro.obs.trace import current_tracer
+from repro.runner.cache import ResultCache
+from repro.runner.jobs import _FILE_KEYS, SweepSpec
+from repro.service.admission import AdmissionController
+from repro.service.results import ResultStore
+from repro.service.scheduler import Scheduler
+from repro.service.store import JobStore
+
+logger = logging.getLogger(__name__)
+
+#: Maximum accepted request body (a spec with embedded documents for a
+#: continental-scale topology fits comfortably; a runaway upload does
+#: not get to exhaust server memory).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def expand_submission(doc: dict) -> tuple[str, str, int, list]:
+    """Validate a submitted document and expand it to queue rows.
+
+    Returns:
+        ``(analysis_id, name, priority, jobs)`` with ``jobs`` a list of
+        ``(key, label, payload)`` triples in sweep order.
+
+    Raises:
+        ServiceError: The document is not a valid self-contained sweep
+            spec (message says why; maps to HTTP 400).
+    """
+    if not isinstance(doc, dict):
+        raise ServiceError("the request body must be a JSON object",
+                           status=400)
+    doc = dict(doc)
+    priority = doc.pop("priority", 0)
+    if not isinstance(priority, int):
+        raise ServiceError("priority must be an integer", status=400)
+    instance = doc.get("instance")
+    if isinstance(instance, dict):
+        refs = [key for key in _FILE_KEYS
+                if isinstance(instance.get(key), str)]
+        if refs:
+            raise ServiceError(
+                f"instance documents must be embedded, not file "
+                f"references (found path strings for: {', '.join(refs)}); "
+                f"the server does not read files on a client's behalf",
+                status=400,
+            )
+    try:
+        spec = SweepSpec.from_dict(doc)
+        jobs = spec.expand()
+    except ModelingError as exc:
+        raise ServiceError(f"invalid sweep spec: {exc}", status=400) \
+            from exc
+    return (
+        spec.spec_hash,
+        spec.name,
+        priority,
+        [(job.key, job.label, job.payload) for job in jobs],
+    )
+
+
+class AnalysisService:
+    """Everything behind the HTTP surface, wired together.
+
+    Owns the durable store, the scheduler pool, the admission
+    controller, and the result store with its eviction loop.  The HTTP
+    handler calls into this object only -- it holds no state of its own
+    -- so tests can drive the service directly, without sockets.
+    """
+
+    def __init__(self, workdir: str, config: ServiceConfig | None = None,
+                 runner_config: RunnerConfig | None = None):
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.config = config or ServiceConfig()
+        self.store = JobStore(self.workdir / "service.db")
+        self.cache = ResultCache(self.workdir / "cache")
+        self.scheduler = Scheduler(self.store, self.cache, self.config,
+                                   runner_config=runner_config)
+        self.admission = AdmissionController(self.store, self.config)
+        self.results = ResultStore(self.cache, self.store, self.config)
+        self.started_at = time.time()
+
+    def start(self) -> None:
+        """Recover, then start the worker pool and the eviction loop."""
+        self.scheduler.start()
+        self.results.start()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop workers (draining by default) and the eviction loop."""
+        self.scheduler.stop(drain=drain)
+        self.results.stop()
+        self.store.close()
+
+    # -- operations the HTTP handler maps onto -------------------------
+
+    def submit(self, doc: dict, client: str) -> tuple[int, dict, dict]:
+        """Handle one submission; returns (status, body, headers)."""
+        analysis_id, name, priority, jobs = expand_submission(doc)
+        existing = self.store.analysis_status(analysis_id)
+        if existing is not None:
+            metrics().counter("service.deduped").inc()
+            return 200, {
+                "id": analysis_id, "deduped": True,
+                "total_jobs": existing["total_jobs"],
+                "state": existing["state"],
+                "location": f"/v1/analyses/{analysis_id}",
+            }, {}
+        decision = self.admission.admit(client, len(jobs))
+        if not decision.admitted:
+            metrics().counter("service.shed").inc()
+            return 429, {
+                "error": decision.reason,
+                "retry_after_seconds": decision.retry_after,
+            }, {"Retry-After": str(max(1, round(decision.retry_after)))}
+        accepted = self.store.submit(analysis_id, name, client, jobs,
+                                     priority=priority)
+        metrics().counter("service.submitted").inc()
+        metrics().counter("service.jobs_accepted").inc(len(jobs))
+        metrics().gauge("service.queue_depth").set(self.store.depth())
+        return 201, {
+            "id": accepted["id"], "deduped": accepted["deduped"],
+            "total_jobs": accepted["total_jobs"],
+            "state": "queued",
+            "location": f"/v1/analyses/{analysis_id}",
+        }, {}
+
+    def status(self, analysis_id: str) -> tuple[int, dict, dict]:
+        doc = self.store.analysis_status(analysis_id)
+        if doc is None:
+            return 404, {"error": f"unknown analysis {analysis_id!r}"}, {}
+        return 200, doc, {}
+
+    def result(self, analysis_id: str) -> tuple[int, dict, dict]:
+        """The assembled results document of a finished analysis.
+
+        Shaped like ``repro sweep``'s ``results.json`` jobs array, so a
+        client can diff the two directly (the bit-identical acceptance
+        check does exactly that).
+        """
+        status = self.store.analysis_status(analysis_id)
+        if status is None:
+            return 404, {"error": f"unknown analysis {analysis_id!r}"}, {}
+        if not status["finished"]:
+            retry = self.admission.retry_after(
+                status["counts"]["queued"] + status["counts"]["running"])
+            return 202, {
+                "id": analysis_id, "state": status["state"],
+                "counts": status["counts"],
+                "retry_after_seconds": retry,
+            }, {"Retry-After": str(max(1, round(retry)))}
+        jobs = []
+        evicted = 0
+        for row in self.store.analysis_jobs(analysis_id):
+            result = self.results.get(row["key"]) \
+                if row["state"] == "done" else None
+            if row["state"] == "done" and result is None:
+                evicted += 1
+            jobs.append({
+                "key": row["key"],
+                "label": row["label"],
+                "params": row["payload"].get("params", {}),
+                "state": row["state"],
+                "status": row["status"],
+                "attempts": row["attempts"],
+                "result": result,
+                "error": row["error"],
+                "evicted": bool(row["state"] == "done" and result is None),
+            })
+        body = {
+            "kind": "service_results",
+            "id": analysis_id,
+            "name": status["name"],
+            "state": status["state"],
+            "counts": status["counts"],
+            "evicted": evicted,
+            "jobs": jobs,
+        }
+        # Every computed result gone from the store: the document is a
+        # tombstone, which HTTP spells 410 Gone.
+        done = status["counts"]["done"]
+        if done and evicted == done:
+            return 410, body, {}
+        return 200, body, {}
+
+    def cancel(self, analysis_id: str) -> tuple[int, dict, dict]:
+        status = self.store.analysis_status(analysis_id)
+        if status is None:
+            return 404, {"error": f"unknown analysis {analysis_id!r}"}, {}
+        cancelled = self.store.cancel_analysis(analysis_id)
+        metrics().counter("service.jobs_cancelled").inc(cancelled)
+        metrics().gauge("service.queue_depth").set(self.store.depth())
+        return 200, {
+            "id": analysis_id,
+            "cancelled": cancelled,
+            "note": ("running jobs finish; only queued jobs are "
+                     "cancelled"),
+        }, {}
+
+    def health(self) -> tuple[int, dict, dict]:
+        counts = self.store.counts()
+        depth = counts["queued"] + counts["running"]
+        metrics().gauge("service.queue_depth").set(depth)
+        return 200, {
+            "ok": True,
+            "uptime_seconds": time.time() - self.started_at,
+            "queue_depth": depth,
+            "counts": counts,
+            "workers": self.config.num_workers,
+            "max_queue_depth": self.config.max_queue_depth,
+        }, {}
+
+    def metricz(self) -> tuple[int, dict, dict]:
+        metrics().gauge("service.queue_depth").set(self.store.depth())
+        return 200, metrics().snapshot(), {}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs/paths onto the :class:`AnalysisService`."""
+
+    #: Set by make_server(); shared across handler instances.
+    service: AnalysisService = None
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    def _reply(self, status: int, body: dict, headers: dict) -> None:
+        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _client(self) -> str:
+        return self.headers.get("X-Client", "anonymous")
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit", status=413)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServiceError("a JSON request body is required",
+                               status=400)
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}",
+                               status=400) from exc
+
+    def _handle(self, method: str) -> None:
+        started = time.monotonic()
+        status = 500
+        try:
+            status, body, headers = self._route(method)
+            self._reply(status, body, headers)
+        except ServiceError as exc:
+            status = exc.status or 400
+            self._reply(status, {"error": str(exc)}, {})
+        except BrokenPipeError:
+            pass
+        except Exception as exc:
+            logger.exception("unhandled error serving %s %s", method,
+                             self.path)
+            try:
+                self._reply(500, {"error": f"internal error: {exc}"}, {})
+            except OSError:
+                pass
+        finally:
+            seconds = time.monotonic() - started
+            metrics().counter("service.http_requests").inc()
+            metrics().counter(f"service.http_{status}").inc()
+            current_tracer().record(
+                "http_request", seconds, method=method, path=self.path,
+                status=status)
+
+    def _route(self, method: str) -> tuple[int, dict, dict]:
+        service = self.service
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if method == "GET" and path == "/healthz":
+            return service.health()
+        if method == "GET" and path == "/metricz":
+            return service.metricz()
+        if path == "/v1/analyses":
+            if method == "POST":
+                return service.submit(self._body(), self._client())
+            raise ServiceError("method not allowed", status=405)
+        if path.startswith("/v1/analyses/"):
+            rest = path[len("/v1/analyses/"):]
+            parts = rest.split("/")
+            if len(parts) == 1 and parts[0]:
+                if method == "GET":
+                    return service.status(parts[0])
+                if method == "DELETE":
+                    return service.cancel(parts[0])
+                raise ServiceError("method not allowed", status=405)
+            if len(parts) == 2 and parts[0] and parts[1] == "result" \
+                    and method == "GET":
+                return service.result(parts[0])
+        raise ServiceError(f"no route for {method} {self.path}",
+                           status=404)
+
+    # -- verbs ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._handle("DELETE")
+
+
+def make_server(service: AnalysisService) -> ThreadingHTTPServer:
+    """Bind the HTTP server for a service (``port=0`` = ephemeral)."""
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    server = ThreadingHTTPServer(
+        (service.config.host, service.config.port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def write_state_file(service: AnalysisService,
+                     server: ThreadingHTTPServer) -> Path:
+    """Record the bound address (and pid) in ``<workdir>/service.json``.
+
+    Written *after* the bind so ``port=0`` users (tests, smoke CI) can
+    discover the ephemeral port by polling for this file.
+    """
+    import os
+
+    host, port = server.server_address[0], server.server_address[1]
+    state = {"host": host, "port": int(port), "pid": os.getpid(),
+             "url": f"http://{host}:{port}"}
+    path = Path(service.workdir) / "service.json"
+    path.write_text(json.dumps(state, sort_keys=True))
+    return path
+
+
+def serve_forever(service: AnalysisService,
+                  server: ThreadingHTTPServer) -> None:
+    """Run the server until SIGINT/SIGTERM, then drain and stop.
+
+    The signal handler only sets an event; the actual teardown --
+    ``server.shutdown()`` then a draining ``service.stop()`` -- runs on
+    the main thread, mirroring the executor's graceful-shutdown
+    semantics (satellite: drain-on-stop).
+    """
+    import signal
+
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous[signum] = signal.signal(signum, _on_signal)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-service-http", daemon=True)
+    service.start()
+    thread.start()
+    try:
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.shutdown()
+        thread.join(timeout=5.0)
+        service.stop(drain=True)

@@ -1,0 +1,128 @@
+"""A small stdlib client for the analysis service.
+
+Wraps ``urllib`` so CLI subcommands, tests, and the CI smoke script all
+talk to the service the same way -- including the unhappy paths: 429
+sheds surface as :class:`~repro.exceptions.AdmissionError` carrying the
+server's ``Retry-After``, other HTTP errors as
+:class:`~repro.exceptions.ServiceError` with the server's JSON error
+message and status attached.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.exceptions import AdmissionError, ServiceError
+
+
+class ServiceClient:
+    """Talks to one analysis service at ``base_url``."""
+
+    def __init__(self, base_url: str, client_id: str = "anonymous",
+                 timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.client_id = client_id
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> tuple[int, dict, dict]:
+        data = None
+        headers = {"X-Client": self.client_id}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers,
+            method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return (response.status,
+                        json.loads(response.read() or b"{}"),
+                        dict(response.headers))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                doc = json.loads(raw or b"{}")
+            except ValueError:
+                doc = {"error": raw.decode("utf-8", "replace")}
+            return exc.code, doc, dict(exc.headers or {})
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: "
+                f"{exc.reason}") from exc
+
+    def _raise_for(self, status: int, doc: dict, headers: dict) -> None:
+        if status == 429:
+            retry = doc.get("retry_after_seconds")
+            if retry is None:
+                try:
+                    retry = float(headers.get("Retry-After", "") or 0) or None
+                except ValueError:
+                    retry = None
+            raise AdmissionError(doc.get("error", "load shed"),
+                                 retry_after=retry)
+        if status >= 400:
+            raise ServiceError(doc.get("error", f"HTTP {status}"),
+                               status=status)
+
+    def submit(self, spec_doc: dict, priority: int = 0) -> dict:
+        """Submit a sweep spec; returns the accepted/deduped summary."""
+        body = dict(spec_doc)
+        if priority:
+            body["priority"] = priority
+        status, doc, headers = self._request("POST", "/v1/analyses", body)
+        self._raise_for(status, doc, headers)
+        return doc
+
+    def status(self, analysis_id: str) -> dict:
+        status, doc, headers = self._request(
+            "GET", f"/v1/analyses/{analysis_id}")
+        self._raise_for(status, doc, headers)
+        return doc
+
+    def result(self, analysis_id: str) -> dict | None:
+        """The results document, or ``None`` while still in progress."""
+        status, doc, headers = self._request(
+            "GET", f"/v1/analyses/{analysis_id}/result")
+        if status == 202:
+            return None
+        if status == 410:
+            # Gone: every computed result was evicted.  The tombstone
+            # document still describes the analysis.
+            return doc
+        self._raise_for(status, doc, headers)
+        return doc
+
+    def wait(self, analysis_id: str, timeout: float = 300.0,
+             poll_interval: float = 0.25) -> dict:
+        """Poll until the analysis finishes; returns its results doc."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.result(analysis_id)
+            if doc is not None:
+                return doc
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"analysis {analysis_id} did not finish within "
+                    f"{timeout:g}s")
+            time.sleep(poll_interval)
+
+    def cancel(self, analysis_id: str) -> dict:
+        status, doc, headers = self._request(
+            "DELETE", f"/v1/analyses/{analysis_id}")
+        self._raise_for(status, doc, headers)
+        return doc
+
+    def health(self) -> dict:
+        status, doc, headers = self._request("GET", "/healthz")
+        self._raise_for(status, doc, headers)
+        return doc
+
+    def metrics(self) -> dict:
+        status, doc, headers = self._request("GET", "/metricz")
+        self._raise_for(status, doc, headers)
+        return doc

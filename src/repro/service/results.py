@@ -1,0 +1,89 @@
+"""Durable result store with TTL/size-capped eviction.
+
+Results live in the runner's content-addressed
+:class:`~repro.runner.cache.ResultCache` -- the same store sweep
+campaigns write through, which is exactly what makes a service-computed
+answer bit-identical to (and shareable with) a direct ``repro sweep`` of
+the same spec.  This module layers the *lifecycle* on top: the cache
+otherwise grows without bound, so the service runs a periodic eviction
+pass with two knobs (:class:`~repro.core.config.ServiceConfig`):
+
+* ``result_ttl_seconds`` -- entries older than the TTL are dropped;
+* ``result_max_bytes`` -- beyond the size cap, oldest-mtime entries go
+  first.
+
+Entries referenced by a *live* (queued or running) service job are
+never evicted by either rule: the job about to hit the cache must not
+have its answer pulled out from under it.  Evicting a *finished* job's
+entry is allowed and documented -- its ``GET .../result`` then reports
+the result as evicted (HTTP 410 semantics) and resubmitting the same
+spec recomputes it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.config import ServiceConfig
+from repro.obs.metrics import metrics
+from repro.runner.cache import ResultCache
+from repro.service.store import JobStore
+
+
+class ResultStore:
+    """The service's view of the result cache, plus its eviction loop."""
+
+    def __init__(self, cache: ResultCache, store: JobStore,
+                 config: ServiceConfig):
+        self.cache = cache
+        self.store = store
+        self.config = config
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def eviction_enabled(self) -> bool:
+        """Whether any eviction rule is configured."""
+        return (self.config.result_ttl_seconds is not None
+                or self.config.result_max_bytes is not None)
+
+    def get(self, key: str):
+        """The stored result for a job key, or ``None`` (miss/evicted)."""
+        return self.cache.get(key)
+
+    def evict_once(self) -> dict:
+        """One eviction pass; returns the prune report."""
+        report = self.cache.prune(
+            max_bytes=self.config.result_max_bytes,
+            ttl_seconds=self.config.result_ttl_seconds,
+            protected=self.store.live_keys(),
+        )
+        if report["removed"]:
+            metrics().counter("service.results_evicted").inc(
+                report["removed"])
+            metrics().counter("service.result_bytes_evicted").inc(
+                report["removed_bytes"])
+        metrics().gauge("service.result_store_bytes").set(
+            report["kept_bytes"])
+        metrics().gauge("service.result_store_entries").set(report["kept"])
+        return report
+
+    def start(self) -> None:
+        """Start the background eviction thread (no-op without rules)."""
+        if not self.eviction_enabled or self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service-eviction", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the eviction thread (idempotent)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.config.eviction_interval_seconds):
+            self.evict_once()

@@ -1,0 +1,179 @@
+"""Scheduler: worker threads draining the durable queue.
+
+Each worker thread loops ``claim -> run -> settle``: it atomically
+claims the best queued job from the :class:`~repro.service.store`,
+runs it through the *existing* sweep executor
+(:func:`repro.runner.executor.run_sweep` on a single-job campaign --
+inheriting its wall timeouts, bounded retries with backoff, chaos
+hooks, process isolation, and the content-addressed result cache), and
+commits the terminal state back to the store.  The service adds no
+second execution engine: a job computed here is byte-for-byte the job
+``repro sweep`` would have computed, which is what the bit-identical
+acceptance test pins down.
+
+Isolation: with ``ServiceConfig.isolate_jobs`` (the default) each job
+runs in a worker *process* via the executor's pooled path, so a
+segfaulting or wedged solve costs one job, not the service; ``False``
+runs jobs on the scheduler thread (faster startup, used by tests).
+
+Crash semantics: between ``claim`` and ``settle`` the job is
+``running`` in the store.  If the process dies anywhere in that window
+-- the chaos sites ``service.crash_claimed`` and
+``service.crash_settling`` inject exactly that -- restart recovery
+(:meth:`~repro.service.store.JobStore.recover`) requeues it, and the
+re-run either recomputes (crash before the result was cached) or hits
+the cache (crash after), so the job reaches a terminal state exactly
+once with an unchanged answer.
+
+Drain-on-stop reuses the executor's graceful-shutdown machinery: the
+scheduler's stop event is passed to ``run_sweep`` as its ``stop_event``,
+so a stop request lets the in-flight attempt finish, skips further
+retries, and leaves anything unsettled for restart recovery.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+
+from repro.core.config import RunnerConfig, ServiceConfig
+from repro.obs.metrics import metrics
+from repro.runner.cache import ResultCache
+from repro.runner.executor import run_sweep
+from repro.runner.jobs import Job
+from repro.service.store import (
+    InjectedServiceCrash,
+    JobStore,
+    service_crash,
+)
+
+logger = logging.getLogger(__name__)
+
+
+class Scheduler:
+    """Worker threads turning queued jobs into settled results."""
+
+    def __init__(self, store: JobStore, cache: ResultCache | None,
+                 config: ServiceConfig,
+                 runner_config: RunnerConfig | None = None):
+        self.store = store
+        self.cache = cache
+        self.config = config
+        self.runner_config = runner_config or RunnerConfig(
+            num_workers=2 if config.isolate_jobs else 1)
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+
+    @property
+    def stop_event(self) -> threading.Event:
+        """The drain signal (shared with in-flight ``run_sweep`` calls)."""
+        return self._stop
+
+    def start(self) -> None:
+        """Recover orphaned jobs, then start the worker pool."""
+        recovered = self.store.recover()
+        if recovered:
+            logger.warning(
+                "recovered %d job(s) left running by a previous process",
+                recovered)
+            metrics().counter("service.jobs_recovered").inc(recovered)
+        self._stop.clear()
+        for index in range(self.config.num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop, args=(index,),
+                name=f"repro-service-worker-{index}", daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    def stop(self, drain: bool = True) -> None:
+        """Request a stop and join the workers.
+
+        With ``drain`` (the default) in-flight jobs get
+        ``drain_timeout_seconds`` to settle; without it the join is
+        immediate.  Either way anything still ``running`` afterwards is
+        requeued by the next start's recovery, never lost.
+        """
+        self._stop.set()
+        timeout = self.config.drain_timeout_seconds if drain else 0.0
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = [t for t in self._threads if t.is_alive()]
+        if self._threads:
+            logger.warning(
+                "%d worker(s) still busy after drain timeout; their jobs "
+                "will be recovered on restart", len(self._threads))
+
+    def run_until_idle(self) -> int:
+        """Drain the queue on the calling thread (tests, one-shot mode).
+
+        Returns:
+            How many jobs were settled.
+        """
+        settled = 0
+        while not self._stop.is_set():
+            if not self._run_one():
+                break
+            settled += 1
+        return settled
+
+    def _worker_loop(self, index: int) -> None:
+        while not self._stop.is_set():
+            try:
+                ran = self._run_one()
+            except InjectedServiceCrash:
+                # In-process chaos: this worker thread "dies".  The
+                # claimed job stays running in the store, exactly as
+                # after a real crash, and restart recovery requeues it.
+                logger.warning("worker %d killed by injected crash", index)
+                return
+            if not ran:
+                self._stop.wait(self.config.poll_interval_seconds)
+
+    def _run_one(self) -> bool:
+        """Claim and settle one job; False when the queue is empty."""
+        claimed = self.store.claim()
+        if claimed is None:
+            return False
+        service_crash("service.crash_claimed", key=claimed["key"])
+        job = Job(payload=claimed["payload"])
+        metrics().gauge("service.queue_depth").set(self.store.depth())
+        try:
+            outcome = run_sweep(
+                [job],
+                num_workers=2 if self.config.isolate_jobs else 1,
+                cache=self.cache,
+                config=self.runner_config,
+                handle_signals=False,
+                stop_event=self._stop,
+            )
+        except InjectedServiceCrash:
+            raise
+        except Exception as exc:
+            # The executor settles task failures internally, so an
+            # exception here is a harness bug or a poisoned payload;
+            # fail the job rather than wedge it in 'running'.
+            logger.exception("job %s failed outside the executor",
+                             claimed["key"][:12])
+            self.store.settle(claimed["analysis_id"], claimed["key"],
+                              "failed", status="error",
+                              error=f"{type(exc).__name__}: {exc}")
+            metrics().counter("service.jobs_failed").inc()
+            return True
+        if outcome.interrupted and not outcome.outcomes:
+            # Drain request landed before the attempt even started:
+            # hand the claim back so a graceful stop leaves nothing in
+            # 'running'.
+            self.store.release(claimed["analysis_id"], claimed["key"])
+            return True
+        settled = outcome.outcomes[0]
+        service_crash("service.crash_settling", key=claimed["key"])
+        if settled.ok:
+            self.store.settle(claimed["analysis_id"], claimed["key"],
+                              "done", status=settled.status)
+            metrics().counter("service.jobs_done").inc()
+        else:
+            self.store.settle(claimed["analysis_id"], claimed["key"],
+                              "failed", status=settled.status,
+                              error=settled.error)
+            metrics().counter("service.jobs_failed").inc()
+        return True

@@ -1,0 +1,484 @@
+"""Durable SQLite-backed job queue for the analysis service.
+
+The store is the service's source of truth: every accepted job is a row
+whose lifecycle walks a crash-safe state machine
+
+    queued -> running -> done | failed
+    queued -> cancelled
+
+with each transition a single committed SQLite transaction (WAL mode),
+so a ``kill -9`` at any instant leaves a consistent database.  On
+restart, :meth:`JobStore.recover` requeues anything left ``running`` --
+an accepted job is never lost, and because the executor's
+content-addressed result cache answers re-runs of already-solved work,
+recovery never recomputes (or double-reports) a finished result.
+
+Identity and idempotence:
+
+* A *job* is keyed by the runner's content address
+  (:func:`repro.runner.cache.job_key` over the payload), so submitting
+  the same work twice -- same topology, demands, paths, parameters --
+  dedupes to the same row.
+* An *analysis* (the HTTP resource) groups the jobs of one submitted
+  sweep spec, keyed by the spec's content hash.  Resubmitting a spec
+  returns the existing analysis unchanged.
+
+Every state change is also appended to a ``transitions`` audit table,
+which is what lets the crash-recovery tests assert "every job reached a
+terminal state *exactly once*" rather than trusting the final snapshot.
+
+Chaos: the ``store.crash_commit`` fault site fires immediately *after*
+a claim commits -- inside a real server process it hard-exits
+(``kill -9`` semantics, enabled by :data:`HARD_FAULTS`); in-process it
+raises :class:`InjectedServiceCrash` so a test can kill one scheduler
+worker without killing the test runner.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+
+from repro.exceptions import ServiceError
+from repro.resilience.faults import maybe_fire
+
+#: Job states.  ``queued`` and ``running`` are the *live* states (their
+#: cache entries are protected from eviction); the rest are terminal.
+LIVE_STATES = ("queued", "running")
+TERMINAL_STATES = ("done", "failed", "cancelled")
+STATES = LIVE_STATES + TERMINAL_STATES
+
+#: When True (set by the ``repro serve`` entry point), injected
+#: ``store.*``/``service.*`` crash faults hard-exit the process --
+#: genuine ``kill -9`` semantics for crash-recovery tests.  In-process
+#: (the default) they raise :class:`InjectedServiceCrash` instead.
+HARD_FAULTS = False
+
+#: Exit code of a hard-fault crash, distinguishable from clean exits.
+CRASH_EXIT_CODE = 23
+
+
+class InjectedServiceCrash(Exception):
+    """An injected service crash, degraded to an exception in-process."""
+
+
+def service_crash(site: str, key: str = "") -> None:
+    """Chaos hook for the service's crash sites (free with no plan)."""
+    if maybe_fire(site, key=key):
+        if HARD_FAULTS:
+            os._exit(CRASH_EXIT_CODE)
+        raise InjectedServiceCrash(f"chaos: injected service crash at {site}")
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS analyses (
+    id           TEXT PRIMARY KEY,
+    name         TEXT NOT NULL,
+    client       TEXT NOT NULL,
+    priority     INTEGER NOT NULL DEFAULT 0,
+    total_jobs   INTEGER NOT NULL,
+    submitted_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    analysis_id  TEXT NOT NULL,
+    key          TEXT NOT NULL,
+    label        TEXT NOT NULL,
+    payload      TEXT NOT NULL,
+    client       TEXT NOT NULL,
+    priority     INTEGER NOT NULL DEFAULT 0,
+    state        TEXT NOT NULL DEFAULT 'queued',
+    status       TEXT,
+    error        TEXT,
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    submitted_at REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL,
+    PRIMARY KEY (analysis_id, key)
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state
+    ON jobs (state, priority DESC, submitted_at ASC);
+CREATE TABLE IF NOT EXISTS transitions (
+    analysis_id  TEXT NOT NULL,
+    key          TEXT NOT NULL,
+    from_state   TEXT NOT NULL,
+    to_state     TEXT NOT NULL,
+    at           REAL NOT NULL
+);
+"""
+
+
+class JobStore:
+    """The service's durable queue + bookkeeping, one SQLite file.
+
+    Thread-safe: HTTP handler threads and scheduler workers share one
+    instance (a single connection guarded by a lock; WAL journal mode
+    keeps readers and the writer from blocking each other on disk).
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = str(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            self.path, check_same_thread=False, timeout=30.0)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=FULL")
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        with self._lock:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, analysis_id: str, name: str, client: str,
+               jobs: list[tuple[str, str, dict]],
+               priority: int = 0) -> dict:
+        """Accept an analysis and its jobs; idempotent by content.
+
+        Args:
+            analysis_id: Content hash of the submitted spec.
+            name: Human-readable campaign name.
+            client: Submitting client identity (admission bookkeeping).
+            jobs: ``(job_key, label, payload)`` triples, in sweep order.
+            priority: Larger numbers are claimed first.
+
+        Returns:
+            ``{"id", "deduped", "total_jobs"}`` -- ``deduped`` is True
+            when the analysis already existed (the resubmission changed
+            nothing; the caller gets the original resource).
+        """
+        if not jobs:
+            raise ServiceError("an analysis needs at least one job",
+                               status=400)
+        now = time.time()
+        with self._lock:
+            existing = self._conn.execute(
+                "SELECT id FROM analyses WHERE id = ?", (analysis_id,)
+            ).fetchone()
+            if existing is not None:
+                return {"id": analysis_id, "deduped": True,
+                        "total_jobs": self._total_jobs(analysis_id)}
+            self._conn.execute(
+                "INSERT INTO analyses (id, name, client, priority, "
+                "total_jobs, submitted_at) VALUES (?, ?, ?, ?, ?, ?)",
+                (analysis_id, name, client, priority, len(jobs), now),
+            )
+            for key, label, payload in jobs:
+                self._conn.execute(
+                    "INSERT INTO jobs (analysis_id, key, label, payload, "
+                    "client, priority, state, submitted_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?, 'queued', ?)",
+                    (analysis_id, key, label,
+                     json.dumps(payload, sort_keys=True), client, priority,
+                     now),
+                )
+            self._conn.commit()
+        service_crash("store.crash_commit", key=analysis_id)
+        return {"id": analysis_id, "deduped": False,
+                "total_jobs": len(jobs)}
+
+    def _total_jobs(self, analysis_id: str) -> int:
+        row = self._conn.execute(
+            "SELECT total_jobs FROM analyses WHERE id = ?", (analysis_id,)
+        ).fetchone()
+        return int(row["total_jobs"]) if row is not None else 0
+
+    # -- the queue -----------------------------------------------------
+
+    def claim(self) -> dict | None:
+        """Atomically move the best queued job to ``running``.
+
+        Claim order: priority (descending), then submission time, then
+        key -- deterministic, so two stores replaying the same
+        submissions drain identically.
+
+        Returns:
+            The claimed job row as a dict (``payload`` parsed), or
+            ``None`` when the queue is empty.
+        """
+        now = time.time()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT analysis_id, key, label, payload, attempts "
+                "FROM jobs WHERE state = 'queued' "
+                "ORDER BY priority DESC, submitted_at ASC, key ASC LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            self._conn.execute(
+                "UPDATE jobs SET state = 'running', started_at = ?, "
+                "attempts = attempts + 1 "
+                "WHERE analysis_id = ? AND key = ?",
+                (now, row["analysis_id"], row["key"]),
+            )
+            self._record_transition(row["analysis_id"], row["key"],
+                                    "queued", "running", now)
+            self._conn.commit()
+        service_crash("store.crash_commit", key=row["key"])
+        return {
+            "analysis_id": row["analysis_id"],
+            "key": row["key"],
+            "label": row["label"],
+            "payload": json.loads(row["payload"]),
+            "attempts": int(row["attempts"]) + 1,
+        }
+
+    def settle(self, analysis_id: str, key: str, state: str,
+               status: str | None = None, error: str | None = None) -> None:
+        """Move a ``running`` job to a terminal state (one transaction).
+
+        Args:
+            state: ``done`` or ``failed``.
+            status: The runner's settle status (``done``/``cached``/
+                ``resumed``/``error``/``timeout``) for observability.
+            error: Structured error text for failed jobs.
+        """
+        if state not in ("done", "failed"):
+            raise ServiceError(f"cannot settle a job to {state!r}")
+        now = time.time()
+        with self._lock:
+            updated = self._conn.execute(
+                "UPDATE jobs SET state = ?, status = ?, error = ?, "
+                "finished_at = ? "
+                "WHERE analysis_id = ? AND key = ? AND state = 'running'",
+                (state, status, error, now, analysis_id, key),
+            ).rowcount
+            if updated:
+                self._record_transition(analysis_id, key, "running", state,
+                                        now)
+            self._conn.commit()
+        if not updated:
+            raise ServiceError(
+                f"job {key[:12]} of analysis {analysis_id[:12]} is not "
+                "running; refusing to settle it twice"
+            )
+
+    def cancel_analysis(self, analysis_id: str) -> int:
+        """Cancel every *queued* job of an analysis; running jobs finish.
+
+        Returns:
+            How many jobs were cancelled (0 when none were queued --
+            including when the analysis does not exist; callers check
+            existence via :meth:`analysis_status`).
+        """
+        now = time.time()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key FROM jobs WHERE analysis_id = ? "
+                "AND state = 'queued'", (analysis_id,)
+            ).fetchall()
+            for row in rows:
+                self._conn.execute(
+                    "UPDATE jobs SET state = 'cancelled', finished_at = ? "
+                    "WHERE analysis_id = ? AND key = ? AND state = 'queued'",
+                    (now, analysis_id, row["key"]),
+                )
+                self._record_transition(analysis_id, row["key"], "queued",
+                                        "cancelled", now)
+            self._conn.commit()
+        return len(rows)
+
+    def release(self, analysis_id: str, key: str) -> bool:
+        """Return a claimed-but-never-started job to the queue.
+
+        The drain path: a worker that claimed a job and was stopped
+        before the attempt began hands it back, so a graceful shutdown
+        leaves nothing in ``running``.  The claim's attempt is refunded
+        -- it never executed.
+
+        Returns:
+            Whether the job was released (False if it was not running).
+        """
+        now = time.time()
+        with self._lock:
+            updated = self._conn.execute(
+                "UPDATE jobs SET state = 'queued', started_at = NULL, "
+                "attempts = MAX(0, attempts - 1) "
+                "WHERE analysis_id = ? AND key = ? AND state = 'running'",
+                (analysis_id, key),
+            ).rowcount
+            if updated:
+                self._record_transition(analysis_id, key, "running",
+                                        "queued", now)
+            self._conn.commit()
+        return bool(updated)
+
+    def recover(self) -> int:
+        """Requeue jobs left ``running`` by a dead process (startup).
+
+        Returns:
+            How many jobs were recovered.  Their ``attempts`` counter
+            keeps the crashed attempt, so a poisonous job that kills
+            the service repeatedly still converges to ``failed`` once
+            the scheduler's retry policy gives up.
+        """
+        now = time.time()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT analysis_id, key FROM jobs WHERE state = 'running'"
+            ).fetchall()
+            for row in rows:
+                self._conn.execute(
+                    "UPDATE jobs SET state = 'queued', started_at = NULL "
+                    "WHERE analysis_id = ? AND key = ?",
+                    (row["analysis_id"], row["key"]),
+                )
+                self._record_transition(row["analysis_id"], row["key"],
+                                        "running", "queued", now)
+            self._conn.commit()
+        return len(rows)
+
+    def _record_transition(self, analysis_id: str, key: str,
+                           from_state: str, to_state: str,
+                           at: float) -> None:
+        self._conn.execute(
+            "INSERT INTO transitions (analysis_id, key, from_state, "
+            "to_state, at) VALUES (?, ?, ?, ?, ?)",
+            (analysis_id, key, from_state, to_state, at),
+        )
+
+    # -- introspection -------------------------------------------------
+
+    def depth(self) -> int:
+        """Live (queued + running) jobs -- the admission-control load."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM jobs WHERE state IN "
+                "('queued', 'running')"
+            ).fetchone()
+        return int(row["n"])
+
+    def inflight_for(self, client: str) -> int:
+        """One client's live jobs (per-client admission cap)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM jobs WHERE client = ? "
+                "AND state IN ('queued', 'running')", (client,)
+            ).fetchone()
+        return int(row["n"])
+
+    def live_keys(self) -> set[str]:
+        """Keys of live jobs -- the eviction-protected set."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT DISTINCT key FROM jobs WHERE state IN "
+                "('queued', 'running')"
+            ).fetchall()
+        return {row["key"] for row in rows}
+
+    def recent_job_seconds(self, window: int = 20) -> float | None:
+        """Mean service time of the last ``window`` finished jobs.
+
+        Feeds the ``Retry-After`` hint; ``None`` with no history.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT finished_at - started_at AS seconds FROM jobs "
+                "WHERE state IN ('done', 'failed') "
+                "AND started_at IS NOT NULL AND finished_at IS NOT NULL "
+                "ORDER BY finished_at DESC LIMIT ?", (window,)
+            ).fetchall()
+        seconds = [max(0.0, float(row["seconds"])) for row in rows]
+        if not seconds:
+            return None
+        return sum(seconds) / len(seconds)
+
+    def analysis_status(self, analysis_id: str) -> dict | None:
+        """The HTTP status document of one analysis, or ``None``.
+
+        The analysis-level ``state`` derives from its jobs: ``failed``
+        if any failed, else ``cancelled`` if any were cancelled (and the
+        rest are terminal), else ``done`` when all jobs are done,
+        ``running`` when any is, else ``queued``.
+        """
+        with self._lock:
+            analysis = self._conn.execute(
+                "SELECT * FROM analyses WHERE id = ?", (analysis_id,)
+            ).fetchone()
+            if analysis is None:
+                return None
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs "
+                "WHERE analysis_id = ? GROUP BY state", (analysis_id,)
+            ).fetchall()
+        counts = {state: 0 for state in STATES}
+        counts.update({row["state"]: int(row["n"]) for row in rows})
+        total = sum(counts.values())
+        terminal = sum(counts[state] for state in TERMINAL_STATES)
+        if counts["running"]:
+            state = "running"
+        elif counts["queued"]:
+            state = "queued"
+        elif counts["failed"]:
+            state = "failed"
+        elif counts["cancelled"]:
+            state = "cancelled"
+        else:
+            state = "done"
+        return {
+            "id": analysis_id,
+            "name": analysis["name"],
+            "client": analysis["client"],
+            "priority": int(analysis["priority"]),
+            "submitted_at": float(analysis["submitted_at"]),
+            "state": state,
+            "total_jobs": total,
+            "counts": counts,
+            "finished": terminal == total,
+        }
+
+    def analysis_jobs(self, analysis_id: str) -> list[dict]:
+        """Job rows of one analysis, in submission (sweep) order."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs WHERE analysis_id = ? ORDER BY rowid",
+                (analysis_id,)
+            ).fetchall()
+        return [
+            {
+                "key": row["key"],
+                "label": row["label"],
+                "payload": json.loads(row["payload"]),
+                "state": row["state"],
+                "status": row["status"],
+                "error": row["error"],
+                "attempts": int(row["attempts"]),
+            }
+            for row in rows
+        ]
+
+    def transitions(self, analysis_id: str | None = None) -> list[dict]:
+        """The audit log (optionally one analysis), oldest first."""
+        query = ("SELECT analysis_id, key, from_state, to_state, at "
+                 "FROM transitions")
+        params: tuple = ()
+        if analysis_id is not None:
+            query += " WHERE analysis_id = ?"
+            params = (analysis_id,)
+        query += " ORDER BY rowid"
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [dict(row) for row in rows]
+
+    def counts(self) -> dict[str, int]:
+        """Global job counts by state (for ``/healthz``)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        out = {state: 0 for state in STATES}
+        out.update({row["state"]: int(row["n"]) for row in rows})
+        return out

@@ -156,9 +156,12 @@ class TestBackoff:
             RunnerConfig(backoff_factor=1.5, backoff_jitter=0.9)
 
     def test_serial_retries_sleep_the_configured_backoff(self, monkeypatch):
+        # Backoff waits run through the stop controller (so a drain
+        # request can cut them short), not a bare time.sleep.
         slept = []
-        monkeypatch.setattr(executor.time, "sleep",
-                            lambda s: slept.append(s))
+        monkeypatch.setattr(
+            executor._StopController, "wait",
+            lambda self, seconds: (slept.append(seconds), False)[1])
         config = RunnerConfig(retries=2, backoff_seconds=0.125,
                               backoff_factor=2.0, backoff_jitter=0.0)
         plan = FaultPlan(seed=0, points=[

@@ -31,6 +31,16 @@ def crash_task(payload: dict) -> dict:
     os._exit(13)
 
 
+def stopper_task(payload: dict) -> dict:
+    """Drops a sentinel file, then lingers so a watcher thread can set a
+    stop event while this job is still the one in flight."""
+    params = payload["params"]
+    with open(params["stop_file"], "w") as handle:
+        handle.write("stop\n")
+    time.sleep(params.get("linger_seconds", 0.3))
+    return {"echo": params.get("value")}
+
+
 def sleep_task(payload: dict) -> dict:
     """A job that wedges far past any reasonable wall timeout."""
     time.sleep(payload["params"].get("sleep_seconds", 600))

@@ -1,0 +1,127 @@
+"""Cache lifecycle: typed key errors, stats, pruning, and the CLI."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import CacheKeyError
+from repro.runner.cache import ResultCache, canonical_json, job_key
+
+
+class TestCacheKeyError:
+    def test_nan_names_the_offending_field(self):
+        with pytest.raises(CacheKeyError) as err:
+            canonical_json({"task": "t", "params": {"threshold": float("nan")}})
+        assert "$.params.threshold" in str(err.value)
+
+    def test_inf_in_list_names_the_index(self):
+        with pytest.raises(CacheKeyError) as err:
+            canonical_json({"instance": {"demands": [1.0, float("inf")]}})
+        assert "$.instance.demands[1]" in str(err.value)
+
+    def test_non_json_type_names_the_field(self):
+        with pytest.raises(CacheKeyError) as err:
+            job_key({"params": {"topology": object()}})
+        assert "$.params.topology" in str(err.value)
+
+    def test_is_a_repro_error(self):
+        from repro.exceptions import ReproError
+
+        assert issubclass(CacheKeyError, ReproError)
+
+    def test_clean_payloads_unaffected(self):
+        assert json.loads(canonical_json({"a": 1.5})) == {"a": 1.5}
+
+
+def filled_cache(root, n=4) -> ResultCache:
+    cache = ResultCache(root)
+    for i in range(n):
+        cache.put(f"{i:02d}" + "ab" * 31, {"value": i, "pad": "x" * 100})
+    # Deterministic ages: entry 0 oldest (age n*100s), entry n-1 newest.
+    now = time.time()
+    for i, entry in enumerate(sorted(cache.entries(),
+                                     key=lambda e: e.key)):
+        age = (n - i) * 100
+        os.utime(entry.path, (now - age, now - age))
+    return cache
+
+
+class TestStatsAndPrune:
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        cache = filled_cache(tmp_path / "cache")
+        stats = cache.stats()
+        assert stats["entries"] == 4
+        assert stats["total_bytes"] > 0
+        assert stats["oldest_mtime"] <= stats["newest_mtime"]
+
+    def test_prune_size_cap_evicts_oldest_first(self, tmp_path):
+        cache = filled_cache(tmp_path / "cache")
+        total = cache.total_bytes()
+        per_entry = total // 4
+        report = cache.prune(max_bytes=total - per_entry)
+        assert report["removed"] == 1
+        # Entry 0 was the oldest; 1..3 survive.
+        assert cache.get("00" + "ab" * 31) is None
+        assert cache.get("03" + "ab" * 31) is not None
+
+    def test_prune_ttl(self, tmp_path):
+        cache = filled_cache(tmp_path / "cache")
+        report = cache.prune(ttl_seconds=250)
+        assert report["removed"] == 2  # ages 400 and 300
+        assert report["kept"] == 2
+
+    def test_protected_keys_survive_any_pressure(self, tmp_path):
+        cache = filled_cache(tmp_path / "cache")
+        protected = {"00" + "ab" * 31}
+        report = cache.prune(max_bytes=0, ttl_seconds=0,
+                             protected=protected)
+        assert report["kept"] == 1
+        assert report["protected_kept"] == 1
+        assert cache.get("00" + "ab" * 31) is not None
+
+    def test_noop_without_rules(self, tmp_path):
+        cache = filled_cache(tmp_path / "cache")
+        report = cache.prune()
+        assert report["removed"] == 0 and report["kept"] == 4
+
+
+class TestCacheCli:
+    def test_stats_prints_json(self, tmp_path, capsys):
+        filled_cache(tmp_path / "cache")
+        assert main(["cache", "stats", "--workdir", str(tmp_path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["entries"] == 4
+
+    def test_prune_max_bytes(self, tmp_path, capsys):
+        cache = filled_cache(tmp_path / "cache")
+        total = cache.total_bytes()
+        assert main(["cache", "prune", "--workdir", str(tmp_path),
+                     "--max-bytes", str(total // 2)]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 2 entries" in out
+        assert cache.stats()["entries"] == 2
+
+    def test_prune_protects_live_service_jobs(self, tmp_path, capsys):
+        from repro.service.store import JobStore
+
+        cache = filled_cache(tmp_path / "cache")
+        live_key = "00" + "ab" * 31
+        store = JobStore(tmp_path / "service.db")
+        store.submit("a1", "camp", "cli",
+                     [(live_key, "x", {"task": "t", "params": {}})])
+        store.close()
+        assert main(["cache", "prune", "--workdir", str(tmp_path),
+                     "--max-bytes", "0"]) == 0
+        assert "1 protected" in capsys.readouterr().out
+        assert cache.get(live_key) is not None
+        assert cache.stats()["entries"] == 1
+
+    def test_accepts_bare_cache_directory(self, tmp_path):
+        filled_cache(tmp_path / "standalone")
+        assert main(["cache", "prune",
+                     "--workdir", str(tmp_path / "standalone"),
+                     "--ttl", "0"]) == 0
+        assert ResultCache(tmp_path / "standalone").stats()["entries"] == 0

@@ -1,0 +1,176 @@
+"""Graceful shutdown: stop events, drained journals, interrupted exits.
+
+The executor's contract under SIGINT/SIGTERM (or a caller-provided
+``stop_event``): settle the in-flight work, flush the journal with an
+``interrupted`` record, emit a final progress heartbeat, and return only
+what settled with ``SweepOutcome.interrupted`` set -- so ``--resume``
+finishes the rest and the CLI exits 130.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.core.config import RunnerConfig
+from repro.runner.executor import run_sweep
+from repro.runner.jobs import Job, SweepSpec
+from repro.runner.journal import Journal
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def echo_jobs(values):
+    return [Job({"task": "tests.runner._workers:echo_task",
+                 "instance": {}, "params": {"value": v}})
+            for v in values]
+
+
+class TestStopEvent:
+    def test_preset_stop_event_runs_nothing(self, tmp_path):
+        stop = threading.Event()
+        stop.set()
+        outcome = run_sweep(echo_jobs([1, 2]), num_workers=1,
+                            journal=tmp_path / "journal.jsonl",
+                            stop_event=stop, handle_signals=False)
+        assert outcome.interrupted is True
+        assert outcome.outcomes == []
+
+    def test_serial_stops_between_jobs(self, tmp_path):
+        stop = threading.Event()
+        jobs = [Job({"task": "tests.runner._workers:stopper_task",
+                     "instance": {},
+                     "params": {"value": v,
+                                "stop_file": str(tmp_path / "stop")}})
+                for v in range(5)]
+
+        def watch():
+            while not (tmp_path / "stop").exists():
+                time.sleep(0.005)
+            stop.set()
+
+        thread = threading.Thread(target=watch, daemon=True)
+        thread.start()
+        outcome = run_sweep(jobs, num_workers=1, stop_event=stop,
+                            handle_signals=False)
+        thread.join(timeout=5)
+        # The first job (which dropped the stop file) settled; the
+        # campaign then drained without starting the remaining four.
+        assert outcome.interrupted
+        assert 1 <= len(outcome.outcomes) < 5
+
+    def test_journal_records_interrupted_event(self, tmp_path):
+        stop = threading.Event()
+        stop.set()
+        journal_path = tmp_path / "journal.jsonl"
+        run_sweep(echo_jobs([1]), num_workers=1, journal=journal_path,
+                  stop_event=stop, handle_signals=False)
+        events = [json.loads(line)
+                  for line in journal_path.read_text().splitlines()]
+        kinds = [e.get("event") for e in events]
+        assert "interrupted" in kinds
+        record = next(e for e in events if e.get("event") == "interrupted")
+        assert record["settled"] == 0 and record["total"] == 1
+
+    def test_final_heartbeat_reports_interrupted(self, tmp_path):
+        stop = threading.Event()
+        stop.set()
+        events = []
+        run_sweep(echo_jobs([1, 2]), num_workers=1, progress=events.append,
+                  stop_event=stop, handle_signals=False)
+        assert events and events[-1].status == "interrupted"
+
+    def test_resume_finishes_after_drain(self, tmp_path):
+        journal = Journal(tmp_path / "journal.jsonl")
+        jobs = echo_jobs([1, 2, 3])
+        stop = threading.Event()
+        stop.set()
+        run_sweep(jobs, num_workers=1, journal=journal, stop_event=stop,
+                  handle_signals=False)
+        finished = run_sweep(jobs, num_workers=1, journal=journal,
+                             resume=True, handle_signals=False)
+        assert not finished.interrupted
+        assert len(finished.outcomes) == 3
+
+    def test_pool_drain_cancels_unstarted_jobs(self, tmp_path):
+        stop = threading.Event()
+        jobs = [Job({"task": "tests.runner._workers:sleep_task",
+                     "instance": {},
+                     "params": {"value": v, "sleep_seconds": 0.3}})
+                for v in range(8)]
+
+        def trip():
+            time.sleep(0.05)  # well before the first future completes
+            stop.set()
+
+        thread = threading.Thread(target=trip, daemon=True)
+        thread.start()
+        config = RunnerConfig(num_workers=2)
+        outcome = run_sweep(jobs, config=config, stop_event=stop,
+                            handle_signals=False)
+        thread.join(timeout=5)
+        # The first completed future observes the stop and cancels the
+        # not-yet-dispatched rest; only in-flight attempts settle.
+        assert outcome.interrupted
+        assert len(outcome.outcomes) < 8
+
+
+class TestSigintSubprocess:
+    """The real signal path: `repro sweep` under SIGINT exits 130."""
+
+    def test_sigint_drains_and_exits_130(self, tmp_path):
+        spec = {
+            "kind": "sweep_spec",
+            "name": "interruptible",
+            "task": "tests.runner._workers:sleep_task",
+            "instance": {"topology": {"nodes": [], "links": []}},
+            "base": {"sleep_seconds": 0.3},
+            "grid": {"value": list(range(20))},
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "sweep",
+             "--spec", str(spec_path),
+             "--workdir", str(tmp_path / "wd"), "--jobs", "1", "--quiet"],
+            cwd=REPO_ROOT, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        time.sleep(2.0)  # let it start and settle at least one job
+        proc.send_signal(signal.SIGINT)
+        stdout, stderr = proc.communicate(timeout=60)
+        assert proc.returncode == 130, stderr.decode()
+        assert b"interrupted" in stderr
+        journal = (tmp_path / "wd" / "journal.jsonl").read_text()
+        assert '"interrupted"' in journal
+        # The drained campaign resumes cleanly.
+        done = subprocess.run(
+            [sys.executable, "-m", "repro", "sweep",
+             "--spec", str(spec_path), "--workdir", str(tmp_path / "wd"),
+             "--jobs", "4", "--resume", "--quiet"],
+            cwd=REPO_ROOT, env=env, capture_output=True, timeout=120,
+        )
+        assert done.returncode == 0, done.stderr.decode()
+        results = json.loads(
+            (tmp_path / "wd" / "results.json").read_text())
+        assert results["summary"]["total"] == 20
+
+
+class TestSpecPath:
+    def test_spec_campaigns_accept_stop_event(self, tmp_path):
+        spec = SweepSpec(
+            instance={"topology": {"nodes": [], "links": []}},
+            grid={"value": [1, 2]},
+            task="tests.runner._workers:echo_task",
+        )
+        stop = threading.Event()
+        outcome = run_sweep(spec, num_workers=1, stop_event=stop,
+                            handle_signals=False)
+        assert not outcome.interrupted
+        assert len(outcome.outcomes) == 2

@@ -1,0 +1,26 @@
+"""Shared sweep-spec documents for service tests."""
+
+from __future__ import annotations
+
+
+def echo_spec(values, name: str = "echo") -> dict:
+    """A self-contained spec of fast echo jobs, one per value."""
+    return {
+        "kind": "sweep_spec",
+        "name": name,
+        "task": "tests.runner._workers:echo_task",
+        "instance": {"topology": {"nodes": [], "links": []}},
+        "grid": {"value": list(values)},
+    }
+
+
+def sleep_spec(seconds: float, values, name: str = "sleepy") -> dict:
+    """Jobs that sleep -- for drain/backpressure timing tests."""
+    return {
+        "kind": "sweep_spec",
+        "name": name,
+        "task": "tests.runner._workers:sleep_task",
+        "instance": {"topology": {"nodes": [], "links": []}},
+        "base": {"sleep_seconds": seconds},
+        "grid": {"value": list(values)},
+    }

@@ -1,0 +1,71 @@
+"""Admission control: depth cap, per-client cap, Retry-After hints."""
+
+import pytest
+
+from repro.core.config import ServiceConfig
+from repro.service.admission import AdmissionController
+from repro.service.store import JobStore
+
+
+def jobs(prefix: str, n: int):
+    return [(f"{prefix}{i}", f"{prefix}{i}", {"task": "t", "params": {}})
+            for i in range(n)]
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = JobStore(tmp_path / "service.db")
+    yield store
+    store.close()
+
+
+def controller(store, **overrides) -> AdmissionController:
+    defaults = dict(max_queue_depth=5, max_inflight_per_client=3,
+                    retry_after_seconds=2.0, num_workers=2)
+    defaults.update(overrides)
+    return AdmissionController(store, ServiceConfig(**defaults))
+
+
+class TestAdmission:
+    def test_admits_within_caps(self, store):
+        assert controller(store).admit("alice", 3).admitted
+
+    def test_sheds_on_queue_depth(self, store):
+        store.submit("a1", "camp", "alice", jobs("a", 3))
+        decision = controller(store).admit("bob", 3)
+        assert not decision.admitted
+        assert "depth cap" in decision.reason
+        assert decision.retry_after >= 2.0
+
+    def test_sheds_on_client_cap_but_admits_others(self, store):
+        admission = controller(store, max_queue_depth=100)
+        store.submit("a1", "camp", "alice", jobs("a", 3))
+        hogged = admission.admit("alice", 1)
+        assert not hogged.admitted
+        assert "per-client cap" in hogged.reason
+        assert admission.admit("bob", 1).admitted
+
+    def test_settled_jobs_free_capacity(self, store):
+        admission = controller(store)
+        store.submit("a1", "camp", "alice", jobs("a", 5))
+        assert not admission.admit("alice", 1).admitted
+        for _ in range(5):
+            claimed = store.claim()
+            store.settle("a1", claimed["key"], "done", status="done")
+        assert admission.admit("alice", 1).admitted
+
+
+class TestRetryAfter:
+    def test_floor_without_history(self, store):
+        assert controller(store).retry_after(backlog=100) == 2.0
+
+    def test_scales_with_backlog_and_history(self, store):
+        admission = controller(store)
+        store.submit("a1", "camp", "alice", jobs("a", 1))
+        claimed = store.claim()
+        store.settle("a1", claimed["key"], "done", status="done")
+        per_job = store.recent_job_seconds()
+        assert per_job is not None
+        # Large backlogs scale the hint up from the floor, capped at 1h.
+        assert admission.retry_after(0) == 2.0
+        assert admission.retry_after(10 ** 9) == 3600.0

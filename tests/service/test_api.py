@@ -1,0 +1,222 @@
+"""The HTTP surface: routes, admission, dedup, eviction, client lib."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.config import ServiceConfig
+from repro.exceptions import AdmissionError, ServiceError
+from repro.service.api import AnalysisService, make_server
+from repro.service.client import ServiceClient
+from tests.service._specs import echo_spec, sleep_spec
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A full service on an ephemeral port, workers NOT started.
+
+    Tests that need jobs to actually run call ``run_until_idle`` --
+    deterministic, no polling races.
+    """
+    config = ServiceConfig(port=0, num_workers=1, isolate_jobs=False,
+                           max_queue_depth=10, max_inflight_per_client=8,
+                           retry_after_seconds=3.0,
+                           poll_interval_seconds=0.02)
+    service = AnalysisService(tmp_path / "svc", config=config)
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[0], server.server_address[1]
+    service.base_url = f"http://{host}:{port}"
+    yield service
+    server.shutdown()
+    thread.join(timeout=5)
+    service.stop(drain=False)
+
+
+def raw(service, method, path, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(service.base_url + path, data=data,
+                                     method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return (response.status, json.loads(response.read() or b"{}"),
+                    dict(response.headers))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read() or b"{}"), dict(exc.headers)
+
+
+class TestSubmission:
+    def test_submit_then_dedup(self, service):
+        doc = echo_spec([1, 2])
+        status, body, _ = raw(service, "POST", "/v1/analyses", doc)
+        assert status == 201 and body["total_jobs"] == 2
+        status, body, _ = raw(service, "POST", "/v1/analyses", doc)
+        assert status == 200 and body["deduped"] is True
+
+    def test_rejects_file_references(self, service):
+        doc = echo_spec([1])
+        doc["instance"] = {"topology": "/etc/hostname"}
+        status, body, _ = raw(service, "POST", "/v1/analyses", doc)
+        assert status == 400
+        assert "embedded" in body["error"]
+
+    def test_rejects_invalid_spec_and_bad_json(self, service):
+        status, body, _ = raw(service, "POST", "/v1/analyses",
+                              {"kind": "sweep_spec", "instance": {}})
+        assert status == 400 and "invalid sweep spec" in body["error"]
+        request = urllib.request.Request(
+            service.base_url + "/v1/analyses", data=b"not json",
+            method="POST")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+
+    def test_unknown_route_404(self, service):
+        status, _, _ = raw(service, "GET", "/v1/nope")
+        assert status == 404
+
+
+class TestAdmission:
+    def test_queue_depth_shed_with_retry_after(self, service):
+        status, _, _ = raw(service, "POST", "/v1/analyses",
+                           echo_spec(range(8), name="filler"))
+        assert status == 201
+        status, body, headers = raw(service, "POST", "/v1/analyses",
+                                    echo_spec(range(100, 108), name="over"))
+        assert status == 429
+        assert "Retry-After" in headers
+        assert int(headers["Retry-After"]) >= 1
+        assert body["retry_after_seconds"] >= 3.0
+
+    def test_per_client_cap(self, service):
+        client = ServiceClient(service.base_url, client_id="greedy")
+        client.submit(echo_spec(range(8), name="first"))
+        with pytest.raises(AdmissionError) as err:
+            client.submit(echo_spec(range(2), name="second"))
+        assert err.value.retry_after is not None
+        assert "per-client cap" in str(err.value)
+        # Another client still fits under the global depth cap.
+        other = ServiceClient(service.base_url, client_id="patient")
+        assert other.submit(echo_spec(range(2), name="second"))["id"]
+
+    def test_dedup_bypasses_admission(self, service):
+        doc = echo_spec(range(8), name="filler")
+        assert raw(service, "POST", "/v1/analyses", doc)[0] == 201
+        # Queue is now nearly full; resubmitting the same spec is not
+        # new load and must not be shed.
+        status, body, _ = raw(service, "POST", "/v1/analyses", doc)
+        assert status == 200 and body["deduped"]
+
+
+class TestLifecycle:
+    def test_status_result_and_cancel(self, service):
+        client = ServiceClient(service.base_url)
+        accepted = client.submit(echo_spec([1, 2, 3]))
+        analysis_id = accepted["id"]
+        assert client.status(analysis_id)["state"] == "queued"
+        assert client.result(analysis_id) is None  # 202 while queued
+        service.scheduler.run_until_idle()
+        results = client.result(analysis_id)
+        assert results["counts"]["done"] == 3
+        assert sorted(j["result"]["echo"] for j in results["jobs"]) \
+            == [1, 2, 3]
+
+    def test_result_of_unfinished_carries_retry_after(self, service):
+        analysis_id = raw(service, "POST", "/v1/analyses",
+                          echo_spec([1]))[1]["id"]
+        status, _, headers = raw(
+            service, "GET", f"/v1/analyses/{analysis_id}/result")
+        assert status == 202
+        assert "Retry-After" in headers
+
+    def test_cancel_queued_jobs(self, service):
+        client = ServiceClient(service.base_url)
+        analysis_id = client.submit(echo_spec([1, 2, 3]))["id"]
+        assert client.cancel(analysis_id)["cancelled"] == 3
+        assert client.status(analysis_id)["state"] == "cancelled"
+
+    def test_unknown_analysis_is_404(self, service):
+        client = ServiceClient(service.base_url)
+        with pytest.raises(ServiceError) as err:
+            client.status("feedfacedeadbeef")
+        assert err.value.status == 404
+
+    def test_evicted_results_reported_gone(self, service):
+        client = ServiceClient(service.base_url)
+        analysis_id = client.submit(echo_spec([1]))["id"]
+        service.scheduler.run_until_idle()
+        # Evict everything behind the service's back.
+        service.cache.prune(max_bytes=0)
+        status, body, _ = raw(
+            service, "GET", f"/v1/analyses/{analysis_id}/result")
+        assert status == 410
+        assert body["evicted"] == 1
+        assert body["jobs"][0]["evicted"] is True
+
+    def test_wait_polls_to_completion(self, service):
+        client = ServiceClient(service.base_url)
+        analysis_id = client.submit(echo_spec([9]))["id"]
+        done = threading.Event()
+
+        def drain():
+            time.sleep(0.1)
+            service.scheduler.run_until_idle()
+            done.set()
+
+        threading.Thread(target=drain, daemon=True).start()
+        results = client.wait(analysis_id, timeout=20, poll_interval=0.05)
+        assert done.is_set()
+        assert results["jobs"][0]["result"] == {"echo": 9}
+
+
+class TestOps:
+    def test_healthz(self, service):
+        client = ServiceClient(service.base_url)
+        health = client.health()
+        assert health["ok"] is True
+        assert health["workers"] == 1
+        assert set(health["counts"]) == {"queued", "running", "done",
+                                         "failed", "cancelled"}
+
+    def test_metricz_exports_service_counters(self, service):
+        client = ServiceClient(service.base_url)
+        client.submit(echo_spec([4, 5]))
+        service.scheduler.run_until_idle()
+        snapshot = client.metrics()
+        counters = snapshot.get("counters", {})
+        assert counters.get("service.submitted", 0) >= 1
+        assert counters.get("service.jobs_done", 0) >= 2
+        assert counters.get("service.http_requests", 0) >= 1
+
+    def test_method_not_allowed(self, service):
+        status, _, _ = raw(service, "DELETE", "/v1/analyses")
+        assert status == 405
+
+
+class TestEviction:
+    def test_live_job_results_never_evicted(self, tmp_path):
+        config = ServiceConfig(port=0, num_workers=1, isolate_jobs=False,
+                               result_max_bytes=0)
+        service = AnalysisService(tmp_path / "svc", config=config)
+        try:
+            # Seed the cache with a result whose key matches a queued
+            # job, then evict with max_bytes=0: only the live key stays.
+            from repro.runner.jobs import SweepSpec
+
+            spec = SweepSpec.from_dict(sleep_spec(30, [1]))
+            job = spec.expand()[0]
+            service.cache.put(job.key, {"kept": True})
+            service.cache.put("deadbeef" * 8, {"doomed": True})
+            service.store.submit(spec.spec_hash, spec.name, "t",
+                                 [(job.key, job.label, job.payload)])
+            report = service.results.evict_once()
+            assert report["removed"] == 1
+            assert report["protected_kept"] == 1
+            assert service.cache.get(job.key) == {"kept": True}
+        finally:
+            service.stop(drain=False)

@@ -1,0 +1,145 @@
+"""The durable job store: state machine, idempotence, recovery, audit."""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.store import JobStore
+
+JOBS = [("k1", "a", {"task": "t", "params": {"x": 1}}),
+        ("k2", "b", {"task": "t", "params": {"x": 2}}),
+        ("k3", "c", {"task": "t", "params": {"x": 3}})]
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = JobStore(tmp_path / "service.db")
+    yield store
+    store.close()
+
+
+class TestSubmission:
+    def test_submit_accepts_and_counts(self, store):
+        out = store.submit("a1", "camp", "alice", JOBS)
+        assert out == {"id": "a1", "deduped": False, "total_jobs": 3}
+        assert store.depth() == 3
+        assert store.counts()["queued"] == 3
+
+    def test_resubmission_dedupes_without_new_rows(self, store):
+        store.submit("a1", "camp", "alice", JOBS)
+        again = store.submit("a1", "camp", "bob", JOBS)
+        assert again["deduped"] is True
+        assert again["total_jobs"] == 3
+        assert store.depth() == 3
+
+    def test_empty_submission_rejected(self, store):
+        with pytest.raises(ServiceError):
+            store.submit("a1", "camp", "alice", [])
+
+
+class TestQueue:
+    def test_claim_order_is_priority_then_fifo(self, store):
+        store.submit("low", "camp", "alice", JOBS[:2], priority=0)
+        store.submit("high", "camp", "alice", [JOBS[2]], priority=5)
+        first = store.claim()
+        assert first["analysis_id"] == "high"
+        assert store.claim()["key"] == "k1"
+        assert store.claim()["key"] == "k2"
+        assert store.claim() is None
+
+    def test_settle_done_and_failed(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:2])
+        one = store.claim()
+        store.settle("a1", one["key"], "done", status="done")
+        two = store.claim()
+        store.settle("a1", two["key"], "failed", status="error",
+                     error="boom")
+        counts = store.counts()
+        assert counts["done"] == 1 and counts["failed"] == 1
+        assert store.depth() == 0
+
+    def test_double_settle_refused(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        one = store.claim()
+        store.settle("a1", one["key"], "done", status="done")
+        with pytest.raises(ServiceError, match="refusing to settle"):
+            store.settle("a1", one["key"], "done", status="done")
+
+    def test_settle_requires_running(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        with pytest.raises(ServiceError):
+            store.settle("a1", "k1", "done", status="done")
+
+    def test_cancel_only_touches_queued(self, store):
+        store.submit("a1", "camp", "alice", JOBS)
+        running = store.claim()
+        assert store.cancel_analysis("a1") == 2
+        counts = store.counts()
+        assert counts["cancelled"] == 2 and counts["running"] == 1
+        # the running job still settles normally
+        store.settle("a1", running["key"], "done", status="done")
+        assert store.analysis_status("a1")["finished"] is True
+
+
+class TestRecovery:
+    def test_recover_requeues_running_and_keeps_attempts(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        claimed = store.claim()
+        assert claimed["attempts"] == 1
+        assert store.recover() == 1
+        reclaimed = store.claim()
+        assert reclaimed["key"] == claimed["key"]
+        assert reclaimed["attempts"] == 2
+
+    def test_recover_survives_reopen(self, tmp_path):
+        first = JobStore(tmp_path / "service.db")
+        first.submit("a1", "camp", "alice", JOBS)
+        first.claim()
+        first.close()  # simulated crash: job left running on disk
+        second = JobStore(tmp_path / "service.db")
+        assert second.recover() == 1
+        assert second.counts()["queued"] == 3
+        second.close()
+
+    def test_transitions_audit_exactly_once(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        store.claim()
+        store.recover()
+        store.claim()
+        store.settle("a1", "k1", "done", status="done")
+        terminal = [t for t in store.transitions("a1")
+                    if t["to_state"] in ("done", "failed", "cancelled")]
+        assert len(terminal) == 1
+
+
+class TestIntrospection:
+    def test_status_document_derives_state(self, store):
+        store.submit("a1", "camp", "alice", JOBS)
+        doc = store.analysis_status("a1")
+        assert doc["state"] == "queued" and not doc["finished"]
+        store.claim()
+        assert store.analysis_status("a1")["state"] == "running"
+        assert store.analysis_status("missing") is None
+
+    def test_live_keys_and_inflight(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:2])
+        store.submit("a2", "camp", "bob", [JOBS[2]])
+        assert store.live_keys() == {"k1", "k2", "k3"}
+        assert store.inflight_for("alice") == 2
+        assert store.inflight_for("bob") == 1
+        store.claim()  # k1 (alice) -> running: still live
+        assert store.inflight_for("alice") == 2
+        store.settle("a1", "k1", "done", status="done")
+        assert store.live_keys() == {"k2", "k3"}
+
+    def test_recent_job_seconds_averages_history(self, store):
+        assert store.recent_job_seconds() is None
+        store.submit("a1", "camp", "alice", JOBS[:2])
+        for _ in range(2):
+            claimed = store.claim()
+            store.settle("a1", claimed["key"], "done", status="done")
+        assert store.recent_job_seconds() >= 0.0
+
+    def test_analysis_jobs_in_submission_order(self, store):
+        store.submit("a1", "camp", "alice", JOBS)
+        keys = [j["key"] for j in store.analysis_jobs("a1")]
+        assert keys == ["k1", "k2", "k3"]

@@ -1,0 +1,183 @@
+"""CI service-smoke: the HTTP path must match the direct CLI path.
+
+Builds a small B4 analysis campaign (real MILP jobs on the paper's B4
+topology), runs it twice:
+
+1. directly, through ``python -m repro sweep`` in this process;
+2. through a real ``repro serve`` subprocess -- submit over HTTP, poll
+   to completion, fetch the results document;
+
+and asserts the two are bit-identical per job key.  Along the way it
+exercises the operational surface: ``/healthz``, ``/metricz`` (the
+service counters must account for the submitted jobs), idempotent
+resubmission, and a graceful SIGTERM shutdown (exit 0, nothing left
+running in the store).
+
+Exit code 0 on success, 1 with a diagnostic on any failure.
+
+Run locally::
+
+    PYTHONPATH=src python tools/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import cli
+from repro.network import serialization as ser
+from repro.network.demand import gravity_demands
+from repro.network.zoo import b4
+from repro.paths.pathset import PathSet
+from repro.service.client import ServiceClient
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _fail(message: str) -> int:
+    print(f"service smoke FAILED: {message}", file=sys.stderr)
+    return 1
+
+
+def scrub(doc):
+    """Drop wall-clock telemetry (``*_seconds``) from a result document.
+
+    Everything else -- degradations, witness scenarios, matrix shapes,
+    solver status -- is deterministic and must match bit for bit.
+    """
+    if isinstance(doc, dict):
+        return {key: scrub(value) for key, value in doc.items()
+                if not key.endswith("_seconds")}
+    if isinstance(doc, list):
+        return [scrub(item) for item in doc]
+    return doc
+
+
+def build_spec() -> dict:
+    """A 2-job degradation sweep on B4 -- small but a real analysis."""
+    topology = b4()
+    nodes = sorted(topology.nodes)
+    pairs = [(nodes[0], nodes[5]), (nodes[2], nodes[9]),
+             (nodes[4], nodes[11])]
+    demands = gravity_demands(topology, scale=5e5, pairs=pairs, seed=1)
+    paths = PathSet.k_shortest(topology, pairs, num_primary=2,
+                               num_backup=1)
+    return {
+        "kind": "sweep_spec",
+        "name": "service-smoke",
+        "instance": {
+            "topology": ser.topology_to_dict(topology),
+            "demands": ser.demands_to_dict(demands),
+            "paths": ser.paths_to_dict(paths),
+        },
+        "base": {"demand_mode": "fixed", "max_failures": 2,
+                 "time_limit": 60.0, "mip_rel_gap": 0.0},
+        "grid": {"threshold": [1e-4, 1e-2]},
+    }
+
+
+def start_server(workdir: Path):
+    cmd = [sys.executable, "-m", "repro", "serve",
+           "--workdir", str(workdir), "--port", "0", "--workers", "2"]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(cmd, cwd=REPO_ROOT, env=env,
+                            stderr=subprocess.PIPE)
+    state = workdir / "service.json"
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"server exited {proc.returncode}: "
+                f"{proc.stderr.read().decode()}")
+        if state.exists():
+            try:
+                return proc, json.loads(state.read_text())["url"]
+            except (ValueError, KeyError):
+                pass
+        time.sleep(0.1)
+    proc.kill()
+    raise RuntimeError("server never wrote its state file")
+
+
+def main() -> int:
+    spec_doc = build_spec()
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+
+        # 1. The direct CLI path.
+        spec_path = root / "spec.json"
+        spec_path.write_text(json.dumps(spec_doc))
+        code = cli.main(["sweep", "--spec", str(spec_path),
+                         "--workdir", str(root / "direct"),
+                         "--jobs", "2", "--quiet"])
+        if code != 0:
+            return _fail(f"direct sweep exited {code}")
+        direct = json.loads((root / "direct" / "results.json").read_text())
+        direct_by_key = {job["key"]: job["result"]
+                        for job in direct["jobs"]}
+
+        # 2. The same spec over HTTP against a real server process.
+        proc, url = start_server(root / "svc")
+        try:
+            client = ServiceClient(url, client_id="smoke")
+            health = client.health()
+            if not health.get("ok"):
+                return _fail(f"unhealthy at startup: {health}")
+            accepted = client.submit(spec_doc)
+            if accepted["total_jobs"] != len(direct["jobs"]):
+                return _fail(
+                    f"service expanded {accepted['total_jobs']} jobs, "
+                    f"direct ran {len(direct['jobs'])}")
+            resubmitted = client.submit(spec_doc)
+            if not resubmitted.get("deduped"):
+                return _fail("duplicate submission was not deduped")
+            results = client.wait(accepted["id"], timeout=600,
+                                  poll_interval=0.5)
+            if results["counts"]["done"] != accepted["total_jobs"]:
+                return _fail(f"jobs did not all finish: "
+                             f"{results['counts']}")
+
+            # 3. Bit-identical to the direct path, key by key.
+            service_by_key = {job["key"]: job["result"]
+                              for job in results["jobs"]}
+            if set(service_by_key) != set(direct_by_key):
+                return _fail(
+                    f"job keys differ: service {sorted(service_by_key)} "
+                    f"vs direct {sorted(direct_by_key)}")
+            for key, result in service_by_key.items():
+                ours, theirs = scrub(result), scrub(direct_by_key[key])
+                if ours != theirs:
+                    return _fail(
+                        f"result for {key[:12]} differs:\n"
+                        f"  service: {json.dumps(ours, sort_keys=True)}\n"
+                        f"  direct:  "
+                        f"{json.dumps(theirs, sort_keys=True)}")
+
+            # 4. The ops surface accounts for the work.
+            snapshot = client.metrics()
+            counters = snapshot.get("counters", {})
+            if counters.get("service.jobs_done", 0) < accepted["total_jobs"]:
+                return _fail(f"metricz undercounts done jobs: {counters}")
+            if counters.get("service.http_requests", 0) < 4:
+                return _fail(f"metricz undercounts requests: {counters}")
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=60)
+        if code != 0:
+            return _fail(f"server exited {code} on SIGTERM")
+
+    print(f"service smoke ok: {len(direct_by_key)} jobs bit-identical "
+          f"over HTTP, healthz/metricz consistent, clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
