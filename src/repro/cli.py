@@ -433,18 +433,61 @@ def _cmd_augment(args) -> int:
 
 
 def _cmd_availability(args) -> int:
-    from repro.failures.montecarlo import estimate_availability
+    from repro.core.config import MonteCarloConfig
+    from repro.failures.availability import estimate_availability_parallel
 
     topology = _load_topology(args.topology)
     paths = _load_paths(args.paths)
     demands = _load_demands(args.demands)
-    estimate = estimate_availability(
-        topology, dict(demands), paths,
+    config = MonteCarloConfig(
         samples=args.samples,
-        degradation_threshold=args.threshold_traffic,
         seed=args.seed,
+        degradation_threshold=args.threshold_traffic,
+        num_workers=args.jobs,
+        chunk_size=args.chunk_size,
+        ci_width=args.ci_width,
+        max_samples=args.max_samples,
     )
+    chaos = None
+    if args.chaos:
+        from repro.resilience import FaultPlan
+
+        chaos = FaultPlan.from_arg(args.chaos)
+    cache = None
+    if not args.no_cache:
+        if args.workdir:
+            cache = Path(args.workdir) / "cache"
+        else:
+            cache = Path(args.topology).with_suffix("").with_name(
+                Path(args.topology).stem + ".avail") / "cache"
+        cache.parent.mkdir(parents=True, exist_ok=True)
+
+    def run():
+        return estimate_availability_parallel(
+            topology, dict(demands), paths, config,
+            cache=cache, chaos=chaos,
+        )
+
+    if args.trace:
+        from repro.obs import JsonlTraceWriter, Tracer, metrics, tracing
+
+        writer = JsonlTraceWriter(args.trace, name="availability")
+        try:
+            with tracing(Tracer(sink=writer.write)):
+                estimate = run()
+        finally:
+            writer.close(metrics().snapshot())
+        print(f"trace: {args.trace}", file=sys.stderr)
+    else:
+        estimate = run()
     print(f"samples: {estimate.samples}")
+    print(f"distinct scenarios: {estimate.distinct_scenarios} "
+          f"(cache hits {estimate.cache_hits}, "
+          f"fresh solves {estimate.fresh_solves})")
+    if estimate.chunk_fallbacks:
+        print(f"chunk fallbacks: {estimate.chunk_fallbacks}")
+    if estimate.ci_width is not None:
+        print(f"rounds: {estimate.rounds}  ci width: {estimate.ci_width:g}")
     print(f"healthy flow: {estimate.healthy_flow:g}")
     print(f"expected degradation: {estimate.expected_degradation:g}")
     print(f"availability: {estimate.availability:.6f}")
@@ -461,6 +504,12 @@ def _cmd_availability(args) -> int:
             "availability": estimate.availability,
             "exceedance_probability": estimate.exceedance_probability,
             "worst_sampled": estimate.worst_sampled,
+            "distinct_scenarios": estimate.distinct_scenarios,
+            "cache_hits": estimate.cache_hits,
+            "fresh_solves": estimate.fresh_solves,
+            "chunk_fallbacks": estimate.chunk_fallbacks,
+            "rounds": estimate.rounds,
+            "ci_width": estimate.ci_width,
         }
         with open(args.out, "w") as handle:
             json.dump(payload, handle, indent=2)
@@ -811,6 +860,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_av.add_argument("--threshold-traffic", type=float, default=0.0,
                       help="exceedance statistic threshold (traffic units)")
     p_av.add_argument("--seed", type=int, default=0)
+    p_av.add_argument("--jobs", type=int, default=None,
+                      help="worker processes (default: cpu count - 1, "
+                           "capped at 8)")
+    p_av.add_argument("--chunk-size", type=int, default=32,
+                      help="distinct scenarios per worker chunk; fixed "
+                           "chunking keeps estimates identical across "
+                           "--jobs settings")
+    p_av.add_argument("--ci-width", type=float, default=None,
+                      help="keep sampling in rounds of --samples until the "
+                           "availability CI is this wide (adaptive "
+                           "stopping)")
+    p_av.add_argument("--max-samples", type=int, default=None,
+                      help="adaptive-stopping sample cap "
+                           "(default: 20x --samples)")
+    p_av.add_argument("--workdir", default=None,
+                      help="directory for the delivered-flow cache "
+                           "(default: <topology>.avail/)")
+    p_av.add_argument("--no-cache", action="store_true",
+                      help="skip the persistent delivered-flow cache")
+    p_av.add_argument("--chaos", default=None,
+                      help="fault plan (inline JSON or file) for "
+                           "self-testing graceful degradation")
+    p_av.add_argument("--trace", default=None,
+                      help="write a JSONL trace of the estimation run")
     p_av.add_argument("--out", default=None)
     p_av.set_defaults(func=_cmd_availability)
 

@@ -145,6 +145,82 @@ class RunnerConfig:
 
 
 @dataclass
+class MonteCarloConfig:
+    """Knobs for the Monte Carlo availability engine
+    (:mod:`repro.failures.availability`).
+
+    Attributes:
+        samples: Scenario draws per sampling round (and the total when
+            adaptive stopping is off).
+        seed: RNG seed; the vectorized sampler consumes the exact same
+            stream as the serial ``sample_scenario`` loop, so serial and
+            parallel runs see identical scenario sequences.
+        degradation_threshold: Threshold of the exceedance statistic
+            (same units as demands).
+        num_workers: Worker processes for chunk evaluation; ``None``
+            means :func:`default_num_workers`, ``1`` evaluates
+            in-process (no pool).
+        chunk_size: Distinct scenarios per worker chunk.  Fixed --
+            deliberately *not* derived from the worker count -- so the
+            chunk partition (and with it every retry/chaos/cache
+            decision) is identical at any ``--jobs``.
+        ci_width: Optional adaptive-stopping target: keep sampling in
+            rounds of ``samples`` until the normal-approximation
+            confidence interval on availability is at most this wide
+            (``None`` = fixed sample count).
+        ci_confidence: Confidence level of that interval.
+        max_samples: Hard cap on total draws under adaptive stopping;
+            ``None`` defaults to ``20 * samples``.
+    """
+
+    samples: int = 200
+    seed: int = 0
+    degradation_threshold: float = 0.0
+    num_workers: int | None = None
+    chunk_size: int = 32
+    ci_width: float | None = None
+    ci_confidence: float = 0.95
+    max_samples: int | None = None
+
+    def __post_init__(self):
+        if self.samples < 1:
+            raise ModelingError(
+                f"need at least one sample, got {self.samples}"
+            )
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ModelingError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.chunk_size < 1:
+            raise ModelingError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.ci_width is not None and self.ci_width <= 0:
+            raise ModelingError(
+                f"ci_width must be > 0, got {self.ci_width}"
+            )
+        if not (0.0 < self.ci_confidence < 1.0):
+            raise ModelingError(
+                f"ci_confidence must be in (0, 1), got {self.ci_confidence}"
+            )
+        if self.max_samples is not None and self.max_samples < self.samples:
+            raise ModelingError(
+                f"max_samples ({self.max_samples}) must be >= samples "
+                f"({self.samples})"
+            )
+
+    def resolved_workers(self) -> int:
+        """The effective worker count."""
+        return self.num_workers if self.num_workers is not None \
+            else default_num_workers()
+
+    def resolved_max_samples(self) -> int:
+        """The adaptive-stopping draw cap."""
+        return self.max_samples if self.max_samples is not None \
+            else 20 * self.samples
+
+
+@dataclass
 class ServiceConfig:
     """Knobs for the persistent analysis service (:mod:`repro.service`).
 

@@ -11,10 +11,19 @@
   analysis, the baseline every evaluation figure compares against.
 * :mod:`repro.failures.montecarlo` -- sampled availability estimation,
   the expected-case complement to Raha's worst case.
+* :mod:`repro.failures.availability` -- the parallel, vectorized
+  Monte Carlo availability engine (same statistics, production scale:
+  batched sampling, up-front dedup, chunked worker evaluation, and a
+  persistent delivered-flow cache).
 * :mod:`repro.failures.tracegen` -- synthetic link up/down event traces
   with known ground-truth probabilities (stand-in for production data).
 """
 
+from repro.failures.availability import (
+    ScenarioSampler,
+    availability_task,
+    estimate_availability_parallel,
+)
 from repro.failures.enumeration import enumerate_scenarios, worst_case_k_failures
 from repro.failures.montecarlo import (
     ScenarioResolver,
@@ -33,8 +42,11 @@ __all__ = [
     "FailureScenario",
     "RenewalRewardEstimator",
     "ScenarioResolver",
+    "ScenarioSampler",
+    "availability_task",
     "enumerate_scenarios",
     "estimate_availability",
+    "estimate_availability_parallel",
     "max_simultaneous_failures",
     "scenario_log_probability",
     "sample_scenario",

@@ -1,0 +1,594 @@
+"""Parallel, vectorized Monte Carlo availability estimation.
+
+:func:`repro.failures.montecarlo.estimate_availability` is a serial
+loop: per-link Python RNG draws, an in-loop dedup dict, one process.
+This module is the production-scale engine behind the same statistics:
+
+* **Vectorized sampling** -- all ``samples x links`` Bernoulli states
+  come from *one* RNG matrix call (SRLG group draws included), then
+  rows are canonicalized and deduplicated up front so each distinct
+  scenario is solved exactly once.  The sampler consumes the exact
+  same RNG stream as the serial ``sample_scenario`` loop (NumPy's
+  ``Generator.random(shape)`` fills rows with the doubles successive
+  scalar ``uniform()`` calls would return), so serial and vectorized
+  runs see bit-identical scenario sequences for a given seed.
+* **Parallel evaluation** -- distinct scenarios are partitioned into
+  fixed-size chunks dispatched through the sweep runner
+  (:func:`repro.runner.executor.run_sweep`): per-chunk wall timeouts,
+  bounded retries, and chaos sites all apply.  Each worker compiles
+  one :class:`~repro.failures.montecarlo.ScenarioResolver` per chunk
+  and streams delivered flows back.  The chunk partition depends only
+  on the sample stream and ``chunk_size`` -- never on the worker
+  count -- and results merge by scenario identity, so the estimate is
+  **bit-identical regardless of ``--jobs``**.
+* **Persistent memoization** -- delivered flow is content-addressed by
+  ``(topology, demands, paths, scenario)`` through
+  :mod:`repro.runner.cache`, so repeated campaigns (threshold sweeps,
+  service resubmissions) skip already-solved scenarios entirely.
+* **Adaptive stopping** -- an optional ``ci_width`` target keeps
+  drawing rounds of samples until the normal-approximation confidence
+  interval on availability is narrow enough.
+
+Graceful degradation: a chunk that fails permanently (a chaos-injected
+``availability.chunk`` fault, a crashing worker past its retry budget)
+is re-evaluated in the parent process, so the estimate always
+completes -- with values identical to a fault-free run, because
+:meth:`ScenarioResolver.delivered` is deterministic per scenario.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import os
+from statistics import NormalDist
+
+import numpy as np
+
+from repro.core.config import MonteCarloConfig, RunnerConfig
+from repro.exceptions import TopologyError
+from repro.failures.montecarlo import AvailabilityEstimate, ScenarioResolver
+from repro.failures.scenario import FailureScenario
+from repro.network.demand import Pair
+from repro.network.topology import Topology, lag_key
+from repro.obs.metrics import metrics
+from repro.obs.trace import current_tracer
+from repro.paths.pathset import PathSet
+from repro.resilience.faults import FaultPlan, install_plan, maybe_fire
+from repro.runner.cache import ResultCache, job_key
+from repro.runner.executor import run_sweep
+from repro.runner.jobs import Job
+from repro.te.total_flow import TotalFlowTE
+
+logger = logging.getLogger(__name__)
+
+#: The worker entry point for scenario chunks, as an importable
+#: ``module:function`` reference (resolved inside worker processes).
+CHUNK_TASK = "repro.failures.availability:availability_chunk_task"
+
+
+def _ser():
+    """The serialization module, imported lazily.
+
+    ``repro.network.serialization`` imports ``repro.core.degradation``,
+    which imports this package -- a module-level import here would be a
+    circular import at package init time.
+    """
+    from repro.network import serialization
+    return serialization
+
+
+def _instance_from_docs(instance: dict):
+    """(topology, demands, paths) rebuilt from serialized documents."""
+    ser = _ser()
+    topology = ser.topology_from_dict(instance["topology"])
+    demands = dict(ser.demands_from_dict(instance["demands"]))
+    paths = ser.paths_from_dict(instance["paths"])
+    return topology, demands, paths
+
+
+class ScenarioSampler:
+    """Vectorized scenario sampling, stream-compatible with the serial loop.
+
+    The serial :func:`~repro.failures.montecarlo.sample_scenario`
+    consumes, per sample, one uniform per SRLG carrying a group
+    probability (in ``topology.srlgs`` order) followed by one uniform
+    per independent *failable* link (in LAG/link order; links with
+    ``can_fail=False`` short-circuit and consume nothing).  This class
+    precomputes that column layout once, so ``sample(rng, n)`` is a
+    single ``rng.random((n, columns))`` call whose rows reproduce the
+    serial draw stream bit for bit.
+    """
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        grouped: dict[tuple, int] = {}
+        group_ps: list[float] = []
+        gid_to_col: dict[int, int] = {}
+        for gid, srlg in enumerate(topology.srlgs):
+            if srlg.failure_probability is None:
+                continue
+            gid_to_col[gid] = len(group_ps)
+            group_ps.append(float(srlg.failure_probability))
+            for member in srlg.members:
+                grouped[(lag_key(*member[0]), member[1])] = gid
+
+        #: ``(lag_key, link_index)`` per column of the failure matrix,
+        #: in LAG/link order -- the canonical link enumeration.
+        self.links: list[tuple] = []
+        link_group_col: list[int] = []
+        link_can_fail: list[bool] = []
+        indep_col: list[int] = []
+        indep_ps: list[float] = []
+        for lag in topology.lags:
+            for i, link in enumerate(lag.links):
+                self.links.append((lag.key, i))
+                can_fail = bool(link.can_fail)
+                link_can_fail.append(can_fail)
+                gid = grouped.get((lag.key, i))
+                if gid is not None:
+                    link_group_col.append(gid_to_col[gid])
+                    indep_col.append(-1)
+                    continue
+                link_group_col.append(-1)
+                p = link.failure_probability
+                if p is None:
+                    if can_fail:
+                        raise TopologyError(
+                            f"link {i} of LAG {lag.key} has no failure "
+                            f"probability"
+                        )
+                    indep_col.append(-1)
+                    continue
+                if not can_fail:
+                    # The serial loop short-circuits before drawing for
+                    # a protected link, so no column here either.
+                    indep_col.append(-1)
+                    continue
+                indep_col.append(len(indep_ps))
+                indep_ps.append(float(p))
+
+        self._group_ps = np.asarray(group_ps, dtype=float)
+        self._indep_ps = np.asarray(indep_ps, dtype=float)
+        self._num_groups = len(group_ps)
+        self._num_indep = len(indep_ps)
+        self._link_group_col = np.asarray(link_group_col, dtype=np.intp)
+        self._link_can_fail = np.asarray(link_can_fail, dtype=bool)
+        self._indep_col = np.asarray(indep_col, dtype=np.intp)
+        #: Matrix columns a group draw can fail (grouped AND failable).
+        self._grouped_cols = np.nonzero(
+            (self._link_group_col >= 0) & self._link_can_fail
+        )[0]
+        self._indep_cols = np.nonzero(self._indep_col >= 0)[0]
+
+    @property
+    def num_links(self) -> int:
+        """Columns of the failure matrix (every link of every LAG)."""
+        return len(self.links)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """An ``(n, num_links)`` boolean failure matrix for ``n`` draws."""
+        draws = rng.random((n, self._num_groups + self._num_indep))
+        fail = np.zeros((n, self.num_links), dtype=bool)
+        if self._num_groups and self._grouped_cols.size:
+            group_fail = draws[:, : self._num_groups] < self._group_ps
+            fail[:, self._grouped_cols] = group_fail[
+                :, self._link_group_col[self._grouped_cols]
+            ]
+        if self._num_indep:
+            indep_fail = draws[:, self._num_groups:] < self._indep_ps
+            fail[:, self._indep_cols] = indep_fail[
+                :, self._indep_col[self._indep_cols]
+            ]
+        return fail
+
+    def scenario_for(self, row: np.ndarray) -> FailureScenario:
+        """The :class:`FailureScenario` a failure-matrix row encodes."""
+        return FailureScenario(self.links[j] for j in np.nonzero(row)[0])
+
+
+def scenario_doc(scenario: FailureScenario) -> list:
+    """A scenario as canonical JSON: sorted ``[u, v, link]`` triples."""
+    return sorted([key[0], key[1], idx]
+                  for key, idx in scenario.failed_links)
+
+
+def scenario_from_doc(doc) -> FailureScenario:
+    """Rebuild a scenario from its ``[u, v, link]`` triples."""
+    return FailureScenario(((u, v), idx) for u, v, idx in doc)
+
+
+def scenario_cache_key(instance_key: str, doc: list) -> str:
+    """Content address of one scenario's delivered flow.
+
+    ``instance_key`` is the job-key hash of the serialized
+    ``(topology, demands, paths)`` documents, so any change to the
+    network, the traffic, or the path set invalidates every scenario.
+    """
+    return job_key({
+        "task": "availability.delivered",
+        "instance": instance_key,
+        "scenario": doc,
+    })
+
+
+def availability_chunk_task(payload: dict) -> dict:
+    """Worker task: delivered flow for one chunk of distinct scenarios.
+
+    Rebuilds the instance from its serialized documents, compiles one
+    :class:`ScenarioResolver`, and resolves every scenario in the
+    chunk.  The ``availability.chunk`` chaos site fails the whole
+    chunk; it is keyed by chunk index only (no attempt), so a plan
+    targeting it fails *every* retry and the parent's in-process
+    fallback takes over -- exercising graceful degradation end to end.
+    """
+    params = payload["params"]
+    if maybe_fire("availability.chunk",
+                  key=f"chunk:{params['chunk_index']}"):
+        raise RuntimeError(
+            "chaos: injected availability chunk failure")
+    topology, demands, paths = _instance_from_docs(payload["instance"])
+    resolver = ScenarioResolver(topology, demands, paths)
+    delivered = [
+        float(resolver.delivered(scenario_from_doc(doc)))
+        for doc in params["scenarios"]
+    ]
+    return {"chunk_index": params["chunk_index"], "delivered": delivered}
+
+
+def availability_task(payload: dict) -> dict:
+    """Sweep/service task: one full availability estimate per job.
+
+    Makes Monte Carlo availability a first-class, service-submittable
+    analysis: a :class:`~repro.runner.jobs.SweepSpec` with
+    ``task="repro.failures.availability:availability_task"`` runs
+    through the same queue/cache/HTTP machinery as degradation sweeps.
+    The engine runs with ``num_workers=1`` inside the job -- service
+    jobs are already parallelized at the job level, and nesting a
+    process pool inside a pooled worker would oversubscribe the box.
+    """
+    params = payload.get("params", {})
+    topology, demands, paths = _instance_from_docs(payload["instance"])
+    config = MonteCarloConfig(
+        samples=int(params.get("samples", 200)),
+        seed=int(params.get("seed", 0)),
+        degradation_threshold=float(
+            params.get("degradation_threshold", 0.0)),
+        num_workers=1,
+        chunk_size=int(params.get("chunk_size", 32)),
+        ci_width=params.get("ci_width"),
+        ci_confidence=float(params.get("ci_confidence", 0.95)),
+        max_samples=params.get("max_samples"),
+    )
+    estimate = estimate_availability_parallel(
+        topology, demands, paths, config)
+    return {
+        "samples": estimate.samples,
+        "healthy_flow": estimate.healthy_flow,
+        "expected_degradation": estimate.expected_degradation,
+        "availability": estimate.availability,
+        "exceedance_probability": estimate.exceedance_probability,
+        "worst_sampled": estimate.worst_sampled,
+        "worst_scenario": scenario_doc(estimate.worst_scenario),
+        "distinct_scenarios": estimate.distinct_scenarios,
+        "rounds": estimate.rounds,
+        "ci_width": estimate.ci_width,
+    }
+
+
+def _ci_width(degradations: list[float], healthy_flow: float,
+              z: float) -> float | None:
+    """Width of the normal-approximation CI on mean availability."""
+    n = len(degradations)
+    if n < 2:
+        return None
+    if healthy_flow <= 0:
+        return 0.0
+    avail = (healthy_flow - np.asarray(degradations)) / healthy_flow
+    std = float(avail.std(ddof=1))
+    return 2.0 * z * std / math.sqrt(n)
+
+
+class _ChunkEvaluator:
+    """Delivered flow for chunks of scenarios, pooled or in-process.
+
+    Both paths produce values from a :class:`ScenarioResolver` compiled
+    from the *serialized* instance documents -- the same LP, in the
+    same variable order, whether it is built in a worker process or in
+    the parent for the fallback path -- which is what makes the merge
+    independent of where each chunk happened to run.
+    """
+
+    def __init__(self, instance: dict, workers: int,
+                 runner_config: RunnerConfig | None, tracer):
+        self.instance = instance
+        self.workers = workers
+        self.runner_config = runner_config or RunnerConfig()
+        self.tracer = tracer
+        self.chunk_fallbacks = 0
+        self._resolver: ScenarioResolver | None = None
+
+    def _parent_resolver(self) -> ScenarioResolver:
+        if self._resolver is None:
+            self._resolver = ScenarioResolver(
+                *_instance_from_docs(self.instance))
+        return self._resolver
+
+    def _fallback(self, docs: list) -> list[float]:
+        self.chunk_fallbacks += 1
+        metrics().counter("availability.chunk_fallbacks").inc()
+        resolver = self._parent_resolver()
+        return [float(resolver.delivered(scenario_from_doc(doc)))
+                for doc in docs]
+
+    def evaluate(self, chunks: list[list], start_index: int
+                 ) -> list[list[float]]:
+        """Delivered flows per chunk, in chunk order."""
+        if not chunks:
+            return []
+        if self.workers == 1:
+            return self._evaluate_local(chunks, start_index)
+        return self._evaluate_pool(chunks, start_index)
+
+    def _evaluate_local(self, chunks, start_index):
+        out = []
+        resolver = self._parent_resolver()
+        for offset, docs in enumerate(chunks):
+            index = start_index + offset
+            if maybe_fire("availability.chunk", key=f"chunk:{index}"):
+                # In-process there is no worker to lose: the fault
+                # degrades straight to the fallback path (counted, so
+                # chaos tests can assert it fired) with identical
+                # values, because the resolver is deterministic.
+                out.append(self._fallback(docs))
+                continue
+            out.append([float(resolver.delivered(scenario_from_doc(doc)))
+                        for doc in docs])
+        return out
+
+    def _evaluate_pool(self, chunks, start_index):
+        jobs = [
+            Job(payload={
+                "task": CHUNK_TASK,
+                "instance": self.instance,
+                "params": {
+                    "chunk_index": start_index + offset,
+                    "scenarios": docs,
+                },
+            })
+            for offset, docs in enumerate(chunks)
+        ]
+        # No chaos argument: the engine installed any explicit plan as
+        # the ambient one, and run_sweep ships the ambient plan into
+        # every worker on its own.
+        outcome = run_sweep(
+            jobs,
+            num_workers=self.workers,
+            cache=None,  # scenario-level caching happens in the parent
+            config=self.runner_config,
+            tracer=self.tracer,
+            handle_signals=False,
+        )
+        by_key = {o.job.key: o for o in outcome.outcomes}
+        out = []
+        for offset, (job, docs) in enumerate(zip(jobs, chunks)):
+            settled = by_key.get(job.key)
+            if settled is not None and settled.ok:
+                delivered = settled.result["delivered"]
+                if len(delivered) != len(docs):
+                    raise TopologyError(
+                        f"chunk {start_index + offset} returned "
+                        f"{len(delivered)} values for {len(docs)} "
+                        f"scenarios"
+                    )
+                out.append([float(d) for d in delivered])
+                continue
+            error = settled.error if settled is not None \
+                else "chunk did not settle (drained)"
+            logger.warning(
+                "availability chunk %d failed permanently (%s); "
+                "re-evaluating its %d scenario(s) in the parent",
+                start_index + offset, error, len(docs),
+            )
+            out.append(self._fallback(docs))
+        return out
+
+
+def estimate_availability_parallel(
+    topology: Topology,
+    demands: dict[Pair, float],
+    paths: PathSet,
+    config: MonteCarloConfig | None = None,
+    *,
+    cache: ResultCache | str | os.PathLike | None = None,
+    chaos: FaultPlan | dict | None = None,
+    runner_config: RunnerConfig | None = None,
+) -> AvailabilityEstimate:
+    """Monte Carlo availability, vectorized and parallel.
+
+    Statistically identical -- bit for bit, per seed -- to the serial
+    :func:`~repro.failures.montecarlo.estimate_availability`: the same
+    scenario sequence, the same per-scenario delivered flows, the same
+    reduction formulas.  What changes is the cost model: sampling is
+    one matrix call per round, each distinct scenario is solved exactly
+    once, solves fan out across worker processes, and a persistent
+    cache carries delivered flows between runs.
+
+    Args:
+        topology: The WAN (all failable links need probabilities).
+        demands: Offered traffic.
+        paths: Configured primary/backup paths.
+        config: Engine knobs (:class:`MonteCarloConfig`); defaults
+            match the serial estimator.
+        cache: Persistent delivered-flow cache (or a directory path
+            for one); ``None`` disables memoization across runs.
+        chaos: A fault plan for self-testing the degradation paths
+            (shipped into workers like the sweep runner does).
+        runner_config: Retry/backoff/timeout knobs for chunk dispatch.
+
+    Returns:
+        An :class:`AvailabilityEstimate` with the dedup/cache/fallback
+        counters filled in.
+    """
+    config = config or MonteCarloConfig()
+    demands = dict(demands)
+    workers = config.resolved_workers()
+    if isinstance(cache, (str, os.PathLike)):
+        cache = ResultCache(cache)
+    tracer = current_tracer()
+
+    # Install an explicit chaos plan as the ambient one for the run so
+    # both the in-process sites here and run_sweep's worker shipping
+    # see it; a plan already installed via injected() works unchanged.
+    if chaos is not None:
+        plan = chaos if isinstance(chaos, FaultPlan) \
+            else FaultPlan.from_dict(chaos)
+        previous_plan = install_plan(plan)
+        plan_installed = True
+    else:
+        plan_installed = False
+    try:
+        return _estimate(topology, demands, paths, config, cache,
+                         runner_config, workers, tracer)
+    finally:
+        if plan_installed:
+            install_plan(previous_plan)
+
+
+def _estimate(topology, demands, paths, config, cache, runner_config,
+              workers, tracer) -> AvailabilityEstimate:
+    ser = _ser()
+    instance = {
+        "topology": ser.topology_to_dict(topology),
+        "demands": ser.demands_to_dict(demands),
+        "paths": ser.paths_to_dict(paths),
+    }
+    instance_key = job_key(instance)
+    evaluator = _ChunkEvaluator(instance, workers, runner_config, tracer)
+    z = NormalDist().inv_cdf(0.5 + config.ci_confidence / 2.0)
+    adaptive = config.ci_width is not None
+    max_samples = config.resolved_max_samples() if adaptive \
+        else config.samples
+
+    with tracer.span(
+        "availability", samples=config.samples, workers=workers,
+        adaptive=adaptive,
+    ) as span:
+        healthy = TotalFlowTE(primary_only=True).solve(
+            topology, demands, paths
+        )
+        healthy_flow = healthy.total_flow
+        sampler = ScenarioSampler(topology)
+        rng = np.random.default_rng(config.seed)
+
+        sample_rows: list[bytes] = []      # per sample, in draw order
+        scenario_by_row: dict[bytes, FailureScenario] = {}
+        doc_by_row: dict[bytes, list] = {}
+        delivered_by_row: dict[bytes, float] = {}
+        cache_hits = 0
+        fresh_rows: list[bytes] = []
+        chunks_dispatched = 0
+        rounds = 0
+        width: float | None = None
+
+        while len(sample_rows) < max_samples:
+            batch = min(config.samples, max_samples - len(sample_rows))
+            rounds += 1
+            with tracer.span("availability.sample", batch=batch):
+                matrix = sampler.sample(rng, batch)
+                pending: list[bytes] = []
+                for row in matrix:
+                    key = row.tobytes()
+                    sample_rows.append(key)
+                    if key not in scenario_by_row:
+                        scenario_by_row[key] = sampler.scenario_for(row)
+                        doc_by_row[key] = scenario_doc(
+                            scenario_by_row[key])
+                        pending.append(key)
+
+            # Persistent memoization: answer what we can from the
+            # delivered-flow cache, chunk only the misses.
+            misses: list[bytes] = []
+            for key in pending:
+                if cache is not None:
+                    hit = cache.get(
+                        scenario_cache_key(instance_key, doc_by_row[key]))
+                    if hit is not None:
+                        delivered_by_row[key] = float(hit["delivered"])
+                        cache_hits += 1
+                        continue
+                misses.append(key)
+
+            if misses:
+                chunks = [
+                    misses[i:i + config.chunk_size]
+                    for i in range(0, len(misses), config.chunk_size)
+                ]
+                with tracer.span("availability.evaluate",
+                                 scenarios=len(misses),
+                                 chunks=len(chunks)):
+                    per_chunk = evaluator.evaluate(
+                        [[doc_by_row[key] for key in chunk]
+                         for chunk in chunks],
+                        start_index=chunks_dispatched,
+                    )
+                chunks_dispatched += len(chunks)
+                for chunk, values in zip(chunks, per_chunk):
+                    for key, value in zip(chunk, values):
+                        delivered_by_row[key] = value
+                        fresh_rows.append(key)
+                        if cache is not None:
+                            cache.put(
+                                scenario_cache_key(
+                                    instance_key, doc_by_row[key]),
+                                {"delivered": value},
+                            )
+
+            degradations = [
+                healthy_flow - delivered_by_row[key]
+                for key in sample_rows
+            ]
+            width = _ci_width(degradations, healthy_flow, z)
+            if not adaptive:
+                break
+            if width is not None and width <= config.ci_width:
+                break
+
+        span.set(
+            total_samples=len(sample_rows),
+            distinct_scenarios=len(scenario_by_row),
+            cache_hits=cache_hits,
+            fresh_solves=len(fresh_rows),
+            chunk_fallbacks=evaluator.chunk_fallbacks,
+            rounds=rounds,
+        )
+
+    metrics().counter("availability.samples").inc(len(sample_rows))
+    metrics().counter("availability.distinct").inc(len(scenario_by_row))
+    metrics().counter("availability.cache_hits").inc(cache_hits)
+    metrics().counter("availability.fresh_solves").inc(len(fresh_rows))
+
+    array = np.asarray(degradations)
+    availability = (
+        float(np.mean((healthy_flow - array) / healthy_flow))
+        if healthy_flow > 0 else 1.0
+    )
+    worst_index = int(np.argmax(array))
+    return AvailabilityEstimate(
+        expected_degradation=float(array.mean()),
+        availability=availability,
+        exceedance_probability=float(
+            np.mean(array > config.degradation_threshold)
+        ),
+        worst_sampled=float(array.max()),
+        worst_scenario=scenario_by_row[sample_rows[worst_index]],
+        samples=len(sample_rows),
+        healthy_flow=healthy_flow,
+        degradations=[float(d) for d in degradations],
+        distinct_scenarios=len(scenario_by_row),
+        cache_hits=cache_hits,
+        fresh_solves=len(fresh_rows),
+        chunk_fallbacks=evaluator.chunk_fallbacks,
+        rounds=rounds,
+        ci_width=width,
+    )

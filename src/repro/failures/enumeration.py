@@ -142,18 +142,21 @@ def worst_case_k_failures(
             continue
         checked += 1
         failed = simulate_failed_network(topology, demands, paths, scenario)
-        if not failed.feasible:
-            continue
-        gap = healthy.total_flow - failed.total_flow
+        # An infeasible failed network delivers nothing -- maximal
+        # degradation, the same semantics ScenarioResolver.delivered
+        # uses.  Skipping it here would hide the true worst case while
+        # still counting the scenario as "checked".
+        failed_flow = float(failed.total_flow) if failed.feasible else 0.0
+        gap = healthy.total_flow - failed_flow
         if minimize_performance:
-            better = failed.total_flow < best_perf - 1e-9
+            better = failed_flow < best_perf - 1e-9
         else:
             better = gap > best_gap + 1e-9
         if better:
             best_gap = gap
-            best_perf = failed.total_flow
+            best_perf = failed_flow
             best_scenario = scenario
-            best_failed = failed.total_flow
+            best_failed = failed_flow
     return KFailureResult(
         degradation=best_gap,
         scenario=best_scenario,

@@ -51,6 +51,17 @@ class AvailabilityEstimate:
         worst_scenario: A scenario achieving ``worst_sampled``.
         samples: Number of scenarios simulated.
         healthy_flow: The design point's delivered traffic.
+        distinct_scenarios: Distinct canonical scenarios among the
+            samples (each solved exactly once).
+        cache_hits: Scenarios answered from a persistent delivered-flow
+            cache (parallel engine only; 0 for the serial estimator).
+        fresh_solves: Scenarios that required an LP solve this run.
+        chunk_fallbacks: Worker chunks that failed (chaos, crash, ...)
+            and were re-evaluated in the parent process.
+        rounds: Sampling rounds taken (> 1 only under adaptive
+            ``ci_width`` stopping).
+        ci_width: Achieved width of the normal-approximation confidence
+            interval on availability (``None`` when not computed).
     """
 
     expected_degradation: float
@@ -61,6 +72,12 @@ class AvailabilityEstimate:
     samples: int
     healthy_flow: float
     degradations: list[float] = field(default_factory=list, repr=False)
+    distinct_scenarios: int = 0
+    cache_hits: int = 0
+    fresh_solves: int = 0
+    chunk_fallbacks: int = 0
+    rounds: int = 1
+    ci_width: float | None = None
 
     def quantile(self, q: float) -> float:
         """The q-quantile of the sampled degradation distribution."""
@@ -92,7 +109,10 @@ def sample_scenario(topology: Topology, rng: np.random.Generator
         for i, link in enumerate(lag.links):
             gid = grouped.get((lag.key, i))
             if gid is not None:
-                if group_state[gid]:
+                # A fate-sharing group draw still cannot take down a
+                # link marked can_fail=False (planned-immune capacity
+                # stays up even when its conduit is cut).
+                if group_state[gid] and link.can_fail:
                     failed.append((lag.key, i))
                 continue
             p = link.failure_probability
@@ -311,4 +331,6 @@ def estimate_availability(
         samples=samples,
         healthy_flow=healthy_flow,
         degradations=[float(d) for d in degradations],
+        distinct_scenarios=len(cache),
+        fresh_solves=len(cache),
     )

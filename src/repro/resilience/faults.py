@@ -42,6 +42,9 @@ site tag                   effect at the hook
 ``solver.time_limit``      ``Model.solve`` returns ``TIME_LIMIT`` with no
                            incumbent
 ``resolver.resolve``       ``ScenarioResolver``'s incremental re-solve fails
+``availability.chunk``     a Monte Carlo availability worker chunk fails
+                           wholesale; the engine re-evaluates the chunk's
+                           scenarios in the parent process
 ``store.crash_commit``     the service process dies right after a job-store
                            state transition commits (queue persistence)
 ``service.crash_claimed``  the service process dies after a worker claimed a
@@ -81,6 +84,7 @@ KNOWN_SITES = (
     "journal.torn_append",
     "solver.time_limit",
     "resolver.resolve",
+    "availability.chunk",
     "store.crash_commit",
     "service.crash_claimed",
     "service.crash_settling",

@@ -13,10 +13,18 @@ controller therefore sheds load *at submission time*:
   ``max_inflight_per_client`` live jobs, so a single batch submitter
   cannot starve interactive users.
 
-Shed responses carry a ``Retry-After`` hint: the configured floor,
-scaled up by how much work is already queued per worker when the store
-has service-time history (a saturated queue of ten-minute solves should
-not invite retries every five seconds).
+A submission that can *never* be admitted -- more jobs in one batch
+than the queue can hold even when empty -- is a **permanent**
+rejection: HTTP 400 with no ``Retry-After``, so clients split the
+batch instead of retrying forever.
+
+Retryable shed responses carry a ``Retry-After`` hint: the configured
+floor, scaled up by how long the blocking backlog takes to clear when
+the store has service-time history (a saturated queue of ten-minute
+solves should not invite retries every five seconds).  Global sheds
+divide the backlog across the whole worker pool; per-client sheds
+divide the *client's* backlog by that client's effective share of the
+workers (the pool split across the clients currently holding work).
 """
 
 from __future__ import annotations
@@ -36,12 +44,17 @@ class AdmissionDecision:
         admitted: Whether the submission may enter the queue.
         reason: Human-readable shed reason (``None`` when admitted).
         retry_after: Suggested client back-off in seconds (the HTTP
-            ``Retry-After`` header); ``None`` when admitted.
+            ``Retry-After`` header); ``None`` when admitted or when the
+            rejection is permanent.
+        permanent: The submission can never be admitted as shaped
+            (e.g. more jobs than the queue can hold even when empty);
+            retrying is pointless, the API maps this to HTTP 400.
     """
 
     admitted: bool
     reason: str | None = None
     retry_after: float | None = None
+    permanent: bool = False
 
 
 class AdmissionController:
@@ -57,6 +70,20 @@ class AdmissionController:
         Deduped resubmissions never reach this check (they add no jobs);
         callers consult the store first.
         """
+        if num_jobs > self.config.max_queue_depth:
+            # Even an empty queue could not hold this batch: retrying
+            # can never succeed, so reject permanently (HTTP 400, no
+            # Retry-After) instead of inviting an infinite retry loop.
+            metrics().counter("service.shed_permanent").inc()
+            return AdmissionDecision(
+                admitted=False,
+                reason=(
+                    f"submission of {num_jobs} jobs exceeds the queue "
+                    f"depth cap {self.config.max_queue_depth} outright "
+                    f"and can never be admitted; split the batch"
+                ),
+                permanent=True,
+            )
         depth = self.store.depth()
         if depth + num_jobs > self.config.max_queue_depth:
             metrics().counter("service.shed_queue_depth").inc()
@@ -79,7 +106,7 @@ class AdmissionController:
                     f"{num_jobs} more would exceed the per-client cap "
                     f"{self.config.max_inflight_per_client}"
                 ),
-                retry_after=self.retry_after(inflight),
+                retry_after=self.retry_after_for_client(inflight),
             )
         return AdmissionDecision(admitted=True)
 
@@ -96,4 +123,23 @@ class AdmissionController:
         if per_job is None:
             return floor
         estimate = backlog * per_job / max(1, self.config.num_workers)
+        return min(max(floor, estimate), 3600.0)
+
+    def retry_after_for_client(self, backlog: int) -> float:
+        """``Retry-After`` for a per-client shed with ``backlog`` jobs.
+
+        The client's backlog does not drain across the whole pool -- it
+        drains at that client's effective share of the workers (the pool
+        split across every client currently holding live work).  Scaling
+        by the whole pool underestimates the wait whenever other clients
+        have jobs queued, inviting doomed early retries.  Same floor and
+        one-hour cap as the global hint.
+        """
+        floor = self.config.retry_after_seconds
+        per_job = self.store.recent_job_seconds()
+        if per_job is None:
+            return floor
+        active = max(1, self.store.active_clients())
+        share = self.config.num_workers / active
+        estimate = backlog * per_job / max(share, 1e-9)
         return min(max(floor, estimate), 3600.0)

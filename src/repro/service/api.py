@@ -150,6 +150,10 @@ class AnalysisService:
         decision = self.admission.admit(client, len(jobs))
         if not decision.admitted:
             metrics().counter("service.shed").inc()
+            if decision.permanent:
+                # Never admittable as shaped: 400, and deliberately no
+                # Retry-After -- retrying the same batch cannot succeed.
+                return 400, {"error": decision.reason}, {}
             return 429, {
                 "error": decision.reason,
                 "retry_after_seconds": decision.retry_after,

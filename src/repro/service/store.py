@@ -370,6 +370,16 @@ class JobStore:
             ).fetchone()
         return int(row["n"])
 
+    def active_clients(self) -> int:
+        """Distinct clients with live jobs -- sizes each client's fair
+        share of the worker pool for ``Retry-After`` estimates."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(DISTINCT client) AS n FROM jobs "
+                "WHERE state IN ('queued', 'running')"
+            ).fetchone()
+        return int(row["n"])
+
     def live_keys(self) -> set[str]:
         """Keys of live jobs -- the eviction-protected set."""
         with self._lock:

@@ -134,6 +134,36 @@ class TestWorstCase:
         ]
         assert degradations[0] <= degradations[1] + 1e-9
 
+    def test_infeasible_scenario_counts_as_zero_flow(self, diamond,
+                                                     monkeypatch):
+        """Regression: infeasible failed networks were silently skipped,
+        hiding the true worst case.  They deliver nothing, so they must
+        compete with failed_flow 0.0 -- the same semantics as
+        ``ScenarioResolver.delivered``."""
+        from types import SimpleNamespace
+
+        from repro.failures import enumeration
+
+        real = enumeration.simulate_failed_network
+
+        def flaky(topology, demands, paths, scenario, te_factory=None):
+            if scenario.is_failed(("a", "b"), 0):
+                return SimpleNamespace(feasible=False, total_flow=16.0)
+            return real(topology, demands, paths, scenario, te_factory)
+
+        monkeypatch.setattr(enumeration, "simulate_failed_network", flaky)
+        paths = PathSet.k_shortest(diamond, [("a", "d")], 2, 0)
+        result = worst_case_k_failures(
+            diamond, {("a", "d"): 100.0}, paths, max_failures=1
+        )
+        # The infeasible scenario must win outright: the whole 16 units
+        # are lost, worse than any feasible single failure (10).
+        assert result.failed_flow == pytest.approx(0.0)
+        assert result.degradation == pytest.approx(16.0)
+        assert result.scenario is not None
+        assert result.scenario.is_failed(("a", "b"), 0)
+        assert result.scenarios_checked == 4
+
     def test_no_qualifying_scenarios(self, diamond):
         topo = with_link_probabilities(diamond, {
             ("a", "b"): 1e-9, ("b", "d"): 1e-9,

@@ -45,6 +45,28 @@ class TestSampleScenario:
                 ("a", "c"), 0
             )
 
+    def test_srlg_draw_cannot_fail_protected_member(self):
+        # Regression: a fate-sharing group draw used to bypass the
+        # per-link can_fail guard and take down protected links.
+        from repro.network.topology import Link
+
+        topo = from_edges([("a", "b", 1), ("a", "c", 1), ("b", "c", 1)],
+                          failure_probability=0.001)
+        topo.require_lag("a", "b").links = [
+            Link(capacity=1, failure_probability=0.001, can_fail=False)
+        ]
+        srlg = Srlg(name="conduit", failure_probability=0.999)
+        srlg.add("a", "b", 0)
+        srlg.add("a", "c", 0)
+        attach_srlg(topo, srlg)
+        rng = np.random.default_rng(5)
+        group_fired = 0
+        for _ in range(50):
+            scenario = sample_scenario(topo, rng)
+            group_fired += scenario.is_failed(("a", "c"), 0)
+            assert not scenario.is_failed(("a", "b"), 0)
+        assert group_fired > 0
+
     def test_non_failable_links_never_sampled(self):
         from repro.network.topology import Link
 

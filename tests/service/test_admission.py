@@ -54,6 +54,27 @@ class TestAdmission:
             store.settle("a1", claimed["key"], "done", status="done")
         assert admission.admit("alice", 1).admitted
 
+    def test_oversize_submission_is_permanently_rejected(self, store):
+        """Regression: a batch bigger than the whole queue can *never*
+        be admitted -- retrying it forever against an empty queue is
+        pointless.  It must come back permanent (HTTP 400), not 429."""
+        decision = controller(store).admit("alice", 6)
+        assert not decision.admitted
+        assert decision.permanent
+        assert decision.retry_after is None
+        assert "split the batch" in decision.reason
+
+    def test_exact_capacity_submission_stays_retryable(self, store):
+        # num_jobs == max_queue_depth fits an empty queue: admitted now,
+        # and still only a transient 429 when the queue is busy.
+        admission = controller(store, max_inflight_per_client=5)
+        assert admission.admit("alice", 5).admitted
+        store.submit("a1", "camp", "alice", jobs("a", 5))
+        busy = admission.admit("bob", 5)
+        assert not busy.admitted
+        assert not busy.permanent
+        assert busy.retry_after is not None
+
 
 class TestRetryAfter:
     def test_floor_without_history(self, store):
@@ -69,3 +90,32 @@ class TestRetryAfter:
         # Large backlogs scale the hint up from the floor, capped at 1h.
         assert admission.retry_after(0) == 2.0
         assert admission.retry_after(10 ** 9) == 3600.0
+
+    def test_client_hint_uses_client_share_of_workers(self, store):
+        """Regression: per-client sheds scaled the client's backlog by
+        the *whole* worker pool, underestimating the wait whenever other
+        clients held work and inviting doomed early retries."""
+        admission = controller(store, num_workers=4)
+        store.submit("a1", "camp", "alice", jobs("a", 1))
+        claimed = store.claim()
+        store.settle("a1", claimed["key"], "done", status="done")
+        per_job = store.recent_job_seconds()
+        assert per_job is not None
+
+        # One active client: their share is the whole pool.
+        store.submit("a2", "camp", "alice", jobs("x", 2))
+        solo = admission.retry_after_for_client(100)
+        assert solo == pytest.approx(
+            min(max(2.0, 100 * per_job / 4), 3600.0))
+
+        # A second active client halves alice's share -> doubled hint
+        # (modulo the floor and cap).
+        store.submit("b1", "camp", "bob", jobs("b", 2))
+        assert store.active_clients() == 2
+        shared = admission.retry_after_for_client(100)
+        assert shared == pytest.approx(
+            min(max(2.0, 100 * per_job / 2), 3600.0))
+        assert shared >= solo
+
+    def test_client_hint_floor_without_history(self, store):
+        assert controller(store).retry_after_for_client(100) == 2.0

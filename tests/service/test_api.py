@@ -104,6 +104,17 @@ class TestAdmission:
         other = ServiceClient(service.base_url, client_id="patient")
         assert other.submit(echo_spec(range(2), name="second"))["id"]
 
+    def test_oversize_batch_is_permanent_400(self, service):
+        """Regression: a batch bigger than the queue cap used to come
+        back 429 + Retry-After, sending clients into an infinite retry
+        loop for a submission that can never fit."""
+        status, body, headers = raw(service, "POST", "/v1/analyses",
+                                    echo_spec(range(12), name="huge"))
+        assert status == 400
+        assert "Retry-After" not in headers
+        assert "retry_after_seconds" not in body
+        assert "split the batch" in body["error"]
+
     def test_dedup_bypasses_admission(self, service):
         doc = echo_spec(range(8), name="filler")
         assert raw(service, "POST", "/v1/analyses", doc)[0] == 201
@@ -196,6 +207,50 @@ class TestOps:
     def test_method_not_allowed(self, service):
         status, _, _ = raw(service, "DELETE", "/v1/analyses")
         assert status == 405
+
+
+class TestAvailabilityJobs:
+    def test_availability_spec_runs_through_the_service(self, service):
+        from repro.core.config import MonteCarloConfig
+        from repro.failures.availability import (
+            estimate_availability_parallel,
+        )
+        from repro.network import serialization as ser
+        from repro.network.builder import from_edges
+        from repro.paths.pathset import PathSet
+
+        topology = from_edges([
+            ("a", "b", 10), ("b", "d", 10), ("a", "c", 6), ("c", "d", 6),
+        ], failure_probability=0.2)
+        demands = {("a", "d"): 12.0}
+        paths = PathSet.k_shortest(topology, [("a", "d")],
+                                   num_primary=2, num_backup=0)
+        spec = {
+            "kind": "sweep_spec",
+            "name": "avail",
+            "task": "repro.failures.availability:availability_task",
+            "instance": {
+                "topology": ser.topology_to_dict(topology),
+                "demands": ser.demands_to_dict(demands),
+                "paths": ser.paths_to_dict(paths),
+            },
+            "base": {"samples": 40, "degradation_threshold": 1.0},
+            "grid": {"seed": [11]},
+        }
+        client = ServiceClient(service.base_url)
+        analysis_id = client.submit(spec)["id"]
+        service.scheduler.run_until_idle()
+        results = client.result(analysis_id)
+        assert results["counts"]["done"] == 1
+        payload = results["jobs"][0]["result"]
+        direct = estimate_availability_parallel(
+            topology, demands, paths,
+            MonteCarloConfig(samples=40, seed=11,
+                             degradation_threshold=1.0, num_workers=1))
+        assert payload["availability"] == direct.availability
+        assert payload["expected_degradation"] == \
+            direct.expected_degradation
+        assert payload["samples"] == 40
 
 
 class TestEviction:

@@ -1,0 +1,199 @@
+"""CI chaos-smoke for the Monte Carlo availability engine.
+
+Runs the same availability campaign on the paper's B4 topology three
+times:
+
+1. clean, through the parallel engine (worker pool, vectorized
+   sampling, up-front dedup);
+2. under a hostile fault plan -- worker chunks fail wholesale
+   (``availability.chunk``) and first-attempt workers crash
+   (``worker.crash``) -- asserting the estimate stays *bit-identical*:
+   chunk fallbacks and retries re-run the same resolver on the same
+   scenarios, so they may change wall-clock but never a float;
+3. with ``resolver.resolve`` faults on top, asserting the estimate
+   stays *value-equal* (the resolver's fresh-solve fallback reaches the
+   same optimum along a different arithmetic path, so only approximate
+   equality is the contract -- same as the resilience suite);
+4. through the ``python -m repro availability`` CLI verb with the
+   bit-identity chaos plan, a JSONL trace, and a cold persistent cache,
+   then once more warm, asserting the warm run does zero fresh solves.
+
+Exit code 0 on success, 1 with a diagnostic on any failure.
+
+Run locally::
+
+    PYTHONPATH=src python tools/availability_smoke.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import cli
+from repro.core.config import MonteCarloConfig
+from repro.failures.availability import estimate_availability_parallel
+from repro.network import serialization as ser
+from repro.network.demand import gravity_demands
+from repro.network.zoo import b4
+from repro.paths.pathset import PathSet
+from repro.resilience.faults import FaultPlan, FaultPoint
+
+SAMPLES = 120
+SEED = 7
+THRESHOLD = 1.0
+
+
+def _fail(message: str) -> int:
+    print(f"availability smoke FAILED: {message}", file=sys.stderr)
+    return 1
+
+
+def _campaign():
+    topology = b4()
+    # Boost the zoo's tiny production probabilities so the campaign has
+    # a rich scenario mix (and therefore several worker chunks).
+    for lag in topology.lags:
+        lag.links[:] = [
+            dataclasses.replace(
+                link,
+                failure_probability=min(
+                    0.25, (link.failure_probability or 0.0) * 200.0),
+            )
+            if link.can_fail and link.failure_probability is not None
+            else link
+            for link in lag.links
+        ]
+    nodes = sorted(topology.nodes)
+    pairs = [(nodes[0], nodes[5]), (nodes[2], nodes[9]),
+             (nodes[4], nodes[11]), (nodes[1], nodes[7])]
+    demands = gravity_demands(topology, scale=5e5, pairs=pairs, seed=1)
+    paths = PathSet.k_shortest(topology, pairs, num_primary=2,
+                               num_backup=1)
+    return topology, dict(demands), paths
+
+
+#: Chunk deaths and worker crashes: re-runs of the same resolver, so the
+#: estimate must not move by a single bit.
+CHAOS = FaultPlan(seed=3, points=[
+    FaultPoint("availability.chunk", rate=0.5, attempts=()),
+    FaultPoint("worker.crash", rate=0.3),
+])
+
+#: Adds incremental re-solve failures: the fresh-solve fallback reaches
+#: the same optimum along a different arithmetic path (value-equal, not
+#: bit-equal).
+CHAOS_RESOLVER = FaultPlan(seed=3, points=[
+    FaultPoint("availability.chunk", rate=0.5, attempts=()),
+    FaultPoint("resolver.resolve", rate=0.5, attempts=()),
+])
+
+
+def _same_estimate(a, b) -> bool:
+    return (a.degradations == b.degradations
+            and a.expected_degradation == b.expected_degradation
+            and a.availability == b.availability
+            and a.exceedance_probability == b.exceedance_probability
+            and a.worst_sampled == b.worst_sampled
+            and a.worst_scenario == b.worst_scenario)
+
+
+def _close_estimate(a, b, rel=1e-6) -> bool:
+    if len(a.degradations) != len(b.degradations):
+        return False
+    scale = max(abs(a.healthy_flow), 1.0)
+    return (all(abs(x - y) <= rel * scale
+                for x, y in zip(a.degradations, b.degradations))
+            and abs(a.availability - b.availability) <= rel)
+
+
+def main() -> int:
+    topology, demands, paths = _campaign()
+    config = MonteCarloConfig(samples=SAMPLES, seed=SEED,
+                              degradation_threshold=THRESHOLD,
+                              num_workers=2, chunk_size=8)
+
+    clean = estimate_availability_parallel(topology, demands, paths,
+                                           config)
+    print(f"clean: availability {clean.availability:.6f}, "
+          f"{clean.distinct_scenarios} distinct scenarios")
+
+    chaotic = estimate_availability_parallel(topology, demands, paths,
+                                             config, chaos=CHAOS)
+    if chaotic.chunk_fallbacks == 0:
+        return _fail("chaos run fired no chunk fallbacks; the "
+                     "availability.chunk site is dead")
+    if not _same_estimate(clean, chaotic):
+        return _fail("chaotic estimate diverged from the clean run")
+    print(f"chaos: {chaotic.chunk_fallbacks} chunk fallbacks, "
+          "estimate bit-identical")
+
+    resolver_chaos = estimate_availability_parallel(
+        topology, demands, paths, config, chaos=CHAOS_RESOLVER)
+    if not _close_estimate(clean, resolver_chaos):
+        return _fail("resolver-fault run drifted beyond fresh-solve "
+                     "tolerance")
+    print("resolver chaos: estimate value-equal through fresh-solve "
+          "fallbacks")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        topo_path = root / "b4.json"
+        demands_path = root / "demands.json"
+        paths_path = root / "paths.json"
+        ser.save_json(ser.topology_to_dict(topology), str(topo_path))
+        ser.save_json(ser.demands_to_dict(demands), str(demands_path))
+        ser.save_json(ser.paths_to_dict(paths), str(paths_path))
+        plan_path = root / "chaos.json"
+        plan_path.write_text(json.dumps(CHAOS.to_dict()))
+
+        def run_cli(out_name: str) -> dict:
+            out = root / out_name
+            code = cli.main([
+                "availability",
+                "--topology", str(topo_path),
+                "--paths", str(paths_path),
+                "--demands", str(demands_path),
+                "--samples", str(SAMPLES), "--seed", str(SEED),
+                "--threshold-traffic", str(THRESHOLD),
+                "--jobs", "2", "--chunk-size", "8",
+                "--workdir", str(root / "avail"),
+                "--chaos", str(plan_path),
+                "--trace", str(root / f"{out_name}.trace.jsonl"),
+                "--out", str(out),
+            ])
+            if code != 0:
+                raise RuntimeError(f"CLI exited {code}")
+            return json.loads(out.read_text())
+
+        cold = run_cli("cold.json")
+        if cold["availability"] != clean.availability:
+            return _fail("CLI chaos run disagrees with the direct engine")
+        if cold["chunk_fallbacks"] == 0:
+            return _fail("CLI chaos run fired no chunk fallbacks")
+        if cold["fresh_solves"] != cold["distinct_scenarios"]:
+            return _fail("cold CLI run should have solved every "
+                         "distinct scenario fresh")
+
+        warm = run_cli("warm.json")
+        if warm["fresh_solves"] != 0:
+            return _fail(f"warm CLI run did {warm['fresh_solves']} "
+                         "fresh solves; the persistent cache is dead")
+        if warm["cache_hits"] != warm["distinct_scenarios"]:
+            return _fail("warm CLI run missed the cache")
+        if warm["availability"] != cold["availability"]:
+            return _fail("warm CLI run diverged from the cold run")
+        trace = root / "warm.json.trace.jsonl"
+        if not trace.exists() or not trace.read_text().strip():
+            return _fail("CLI --trace wrote no JSONL trace")
+
+    print("warm CLI run: zero fresh solves, estimate unchanged")
+    print("availability smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
