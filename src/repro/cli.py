@@ -562,7 +562,7 @@ def _cmd_fig2(args) -> int:
 
 
 def _service_config_from_args(args):
-    from repro.core.config import ServiceConfig
+    from repro.core.config import ServiceConfig, SupervisionConfig
 
     return ServiceConfig(
         host=args.host,
@@ -574,6 +574,11 @@ def _service_config_from_args(args):
         result_max_bytes=args.result_max_bytes,
         drain_timeout_seconds=args.drain_timeout,
         isolate_jobs=not args.no_isolate,
+        supervision=SupervisionConfig(
+            lease_seconds=args.lease_seconds,
+            reap_interval_seconds=args.reap_interval,
+            max_job_attempts=args.max_attempts,
+        ),
     )
 
 
@@ -647,7 +652,8 @@ def _cmd_client(args) -> int:
 
     if args.action == "submit" and not args.spec:
         raise SystemExit("client submit requires --spec")
-    if args.action in ("status", "result", "cancel") and not args.id:
+    if args.action in ("status", "result", "cancel", "retry") \
+            and not args.id:
         raise SystemExit(f"client {args.action} requires --id")
     client = _service_client(args)
     try:
@@ -658,7 +664,8 @@ def _cmd_client(args) -> int:
             # so the document crossing the wire is self-contained (the
             # server rejects path strings).
             spec = SweepSpec.from_file(args.spec)
-            doc = client.submit(spec.to_dict(), priority=args.priority)
+            doc = client.submit(spec.to_dict(), priority=args.priority,
+                                deadline_seconds=args.deadline)
             print(f"analysis {doc['id']}: "
                   f"{'deduped' if doc.get('deduped') else 'accepted'} "
                   f"({doc['total_jobs']} jobs)")
@@ -680,8 +687,17 @@ def _cmd_client(args) -> int:
             return 0
         if args.action == "cancel":
             doc = client.cancel(args.id)
-            print(f"cancelled {doc['cancelled']} queued job(s); "
-                  f"{doc['note']}")
+            print(f"cancelled {doc['cancelled']} queued job(s), "
+                  f"{doc.get('cancelling', 0)} running job(s) asked to "
+                  f"stop; {doc['note']}")
+            return 0
+        if args.action == "quarantine":
+            _print_doc(client.quarantine(args.id), args.out)
+            return 0
+        if args.action == "retry":
+            doc = client.retry(args.id)
+            print(f"requeued {doc['retried']} quarantined job(s) of "
+                  f"analysis {doc['id']}")
             return 0
         if args.action == "health":
             _print_doc(client.health(), args.out)
@@ -919,6 +935,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_sv.add_argument("--drain-timeout", type=float, default=30.0,
                       help="seconds to let in-flight jobs settle on "
                            "shutdown before leaving them for recovery")
+    p_sv.add_argument("--lease-seconds", type=float, default=60.0,
+                      help="job lease duration; a worker that stops "
+                           "heartbeating loses its job to the reaper "
+                           "after this long")
+    p_sv.add_argument("--reap-interval", type=float, default=None,
+                      metavar="SECONDS",
+                      help="reaper pass cadence (default: half the "
+                           "lease)")
+    p_sv.add_argument("--max-attempts", type=int, default=5,
+                      help="store-level claim budget per job; beyond it "
+                           "the job is quarantined instead of requeued")
     p_sv.add_argument("--no-isolate", action="store_true",
                       help="run jobs on scheduler threads instead of "
                            "worker processes (faster, less robust)")
@@ -935,7 +962,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="talk to a running analysis service")
     p_cl.add_argument("action",
                       choices=["submit", "status", "result", "cancel",
-                               "health"])
+                               "quarantine", "retry", "health"])
     p_cl.add_argument("--url", default=None,
                       help="service base URL (default: read "
                            "<workdir>/service.json)")
@@ -948,6 +975,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "are embedded client-side)")
     p_cl.add_argument("--id", default=None, help="analysis id")
     p_cl.add_argument("--priority", type=int, default=0)
+    p_cl.add_argument("--deadline", type=float, default=None,
+                      metavar="SECONDS",
+                      help="end-to-end deadline for the submission; "
+                           "jobs still queued past it fail fast, "
+                           "running jobs get their wall timeout clamped")
     p_cl.add_argument("--wait", action="store_true",
                       help="after submit, poll until finished and print "
                            "the results document")

@@ -221,6 +221,77 @@ class MonteCarloConfig:
 
 
 @dataclass
+class SupervisionConfig:
+    """Self-healing supervision policy for the analysis service.
+
+    Governs the lease/heartbeat/reaper machinery that recovers hung
+    workers *while the service runs* (not just at restart), and the
+    poison-job quarantine that stops crash-looping jobs from eating the
+    worker pool forever (:mod:`repro.service.scheduler`).
+
+    Attributes:
+        lease_seconds: How long one claim owns a job.  A worker renews
+            its lease via heartbeats while the job runs; a lease that
+            expires un-renewed means the worker is hung or dead, and
+            the reaper requeues the job (same exactly-once audit
+            transitions as startup recovery).
+        heartbeat_interval_seconds: How often a busy worker renews its
+            lease; ``None`` derives ``lease_seconds / 3`` so two missed
+            beats still leave slack before expiry.
+        reap_interval_seconds: How often the reaper scans for expired
+            leases, exhausted poison jobs, and missed deadlines;
+            ``None`` derives ``lease_seconds / 2`` (a hung job is
+            recovered within one lease period).
+        max_job_attempts: Store-level claim budget per job.  A job
+            whose claims (counted across crashes, restarts, and reaps)
+            reach this is **quarantined** -- a terminal state with the
+            last error preserved -- instead of crash-looping; operators
+            inspect and requeue via ``POST /v1/analyses/<id>/retry``.
+    """
+
+    lease_seconds: float = 60.0
+    heartbeat_interval_seconds: float | None = None
+    reap_interval_seconds: float | None = None
+    max_job_attempts: int = 5
+
+    def __post_init__(self):
+        if self.lease_seconds <= 0:
+            raise ModelingError(
+                f"lease_seconds must be > 0, got {self.lease_seconds}"
+            )
+        if self.heartbeat_interval_seconds is not None \
+                and self.heartbeat_interval_seconds <= 0:
+            raise ModelingError(
+                f"heartbeat_interval_seconds must be > 0, got "
+                f"{self.heartbeat_interval_seconds}"
+            )
+        if self.reap_interval_seconds is not None \
+                and self.reap_interval_seconds <= 0:
+            raise ModelingError(
+                f"reap_interval_seconds must be > 0, got "
+                f"{self.reap_interval_seconds}"
+            )
+        if self.max_job_attempts < 1:
+            raise ModelingError(
+                f"max_job_attempts must be >= 1, got "
+                f"{self.max_job_attempts}"
+            )
+
+    def resolved_heartbeat_interval(self) -> float:
+        """The effective heartbeat period (defaults to a third of the
+        lease, so a lease survives two missed beats)."""
+        if self.heartbeat_interval_seconds is not None:
+            return self.heartbeat_interval_seconds
+        return self.lease_seconds / 3.0
+
+    def resolved_reap_interval(self) -> float:
+        """The effective reaper period (defaults to half the lease)."""
+        if self.reap_interval_seconds is not None:
+            return self.reap_interval_seconds
+        return self.lease_seconds / 2.0
+
+
+@dataclass
 class ServiceConfig:
     """Knobs for the persistent analysis service (:mod:`repro.service`).
 
@@ -257,6 +328,9 @@ class ServiceConfig:
             cannot take the service down and per-job wall timeouts
             apply.  ``False`` runs jobs in the scheduler thread --
             faster to start, used by tests.
+        supervision: The self-healing policy: job leases + heartbeats,
+            the reaper that requeues expired leases, and poison-job
+            quarantine (:class:`SupervisionConfig`).
     """
 
     host: str = "127.0.0.1"
@@ -271,6 +345,8 @@ class ServiceConfig:
     eviction_interval_seconds: float = 60.0
     drain_timeout_seconds: float = 30.0
     isolate_jobs: bool = True
+    supervision: SupervisionConfig = field(
+        default_factory=SupervisionConfig)
 
     def __post_init__(self):
         if self.num_workers < 1:

@@ -10,6 +10,15 @@ Like tracing (:mod:`repro.obs.trace`), the registry is ambient: call
 :func:`metrics` anywhere for the process's active registry.  Unlike
 tracing there is no null variant -- increments are two dict operations,
 cheap enough to leave on unconditionally.
+
+Service supervision counters (``/metricz``): the scheduler's
+self-healing machinery reports ``service.jobs.recovered`` (startup
+recovery of orphaned running jobs), ``service.jobs.reaped`` (expired
+leases requeued by the reaper), ``service.jobs.quarantined`` (claim
+budget exhausted), ``service.jobs.deadline_exceeded`` (end-to-end
+deadline passed while queued or at claim), ``service.jobs.retried``
+(quarantined jobs requeued by the API), and ``service.stale_settles``
+(results from reaped-out workers discarded by the settle guard).
 """
 
 from __future__ import annotations

@@ -36,6 +36,14 @@ site tag                   effect at the hook
 ``worker.timeout``         the job overruns its wall budget (settles
                            ``timeout``)
 ``worker.error``           the task raises a plain exception
+``worker.hang``            the worker wedges (sleeps far past its heartbeat
+                           cadence, then fails); the job's lease expires and
+                           the scheduler's reaper requeues it
+``lease.heartbeat``        a busy worker's lease renewal is silently dropped
+                           (stalled heartbeat); enough drops and the reaper
+                           requeues a job that is still being computed
+``reaper.tick``            one reaper pass is skipped outright -- recovery of
+                           hung jobs is delayed by one reap interval
 ``cache.torn_write``       ``ResultCache.put`` leaves a truncated entry
 ``journal.torn_append``    ``Journal.append`` writes a partial line with no
                            trailing newline (kill mid-write)
@@ -80,6 +88,9 @@ KNOWN_SITES = (
     "worker.crash",
     "worker.timeout",
     "worker.error",
+    "worker.hang",
+    "lease.heartbeat",
+    "reaper.tick",
     "cache.torn_write",
     "journal.torn_append",
     "solver.time_limit",

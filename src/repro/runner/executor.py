@@ -50,7 +50,11 @@ import signal
 import threading
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait as futures_wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
@@ -72,7 +76,9 @@ class JobOutcome:
         job: The descriptor (payload + key + label).
         status: ``done`` (solved now), ``cached`` (result cache hit),
             ``resumed`` (journal hit under ``--resume``), ``error`` or
-            ``timeout`` (structured failure after retries).
+            ``timeout`` (structured failure after retries), or
+            ``cancelled`` (a cooperative ``cancel_check`` fired before
+            the job settled).
         result: The task's result dict (``None`` on failure).
         error: Human-readable failure description (``None`` on success).
         attempts: Execution attempts consumed (0 for cache/journal hits).
@@ -298,6 +304,16 @@ def _fire_worker_faults(plan: FaultPlan, key: str, attempt: int,
         raise _WallTimeout()
     if plan.fires("worker.error", key=key, attempt=attempt):
         raise RuntimeError("chaos: injected worker error")
+    if plan.fires("worker.hang", key=key, attempt=attempt):
+        # A wedged worker: sleeps far past any heartbeat cadence while
+        # holding its claim, so the job's lease expires and the service
+        # reaper requeues it.  Bounded (overridable via the environment)
+        # so chaos tests and CI drains terminate; the eventual wake
+        # fails the attempt, and the stale settle is refused upstream.
+        hang = float(os.environ.get("REPRO_CHAOS_HANG_SECONDS", "5.0"))
+        time.sleep(hang)
+        raise RuntimeError(
+            f"chaos: injected worker hang (woke after {hang:g}s)")
 
 
 def invoke_job(payload: dict, wall_timeout: float | None,
@@ -528,6 +544,12 @@ def _resolve_paths(topology, instance: dict, params: dict):
         topology, pairs, num_primary=num_primary, num_backup=num_backup)
 
 
+#: How often the pooled wait loop re-polls a caller's ``cancel_check``
+#: while futures are in flight (only when one is installed; without it
+#: the loop blocks until a future completes, exactly as before).
+_CANCEL_POLL_SECONDS = 0.1
+
+
 @dataclass
 class _Campaign:
     """Mutable bookkeeping shared by the serial and pooled loops."""
@@ -545,11 +567,18 @@ class _Campaign:
     #: Cooperative-stop controller (graceful shutdown / service drain).
     stop: _StopController = field(
         default_factory=lambda: _StopController(None, False))
+    #: Cooperative-cancel callable polled between job dispatches (the
+    #: analysis service's DELETE-a-running-analysis path); None = never.
+    cancel_check: object = None
 
     @property
     def trace_jobs(self) -> bool:
         """Whether workers should collect and ship spans."""
         return self.tracer is not None and self.tracer.enabled
+
+    def cancel_requested(self) -> bool:
+        """Whether the caller's cancel flag has been raised."""
+        return bool(self.cancel_check is not None and self.cancel_check())
 
     def settle(self, job: Job, outcome: JobOutcome) -> None:
         self.outcomes[job.key] = outcome
@@ -608,6 +637,8 @@ def run_sweep(
     tracer=None,
     stop_event: threading.Event | None = None,
     handle_signals: bool = True,
+    cancel_check=None,
+    attempt_base: int = 0,
 ) -> SweepOutcome:
     """Run a campaign to completion and return every job's outcome.
 
@@ -655,6 +686,24 @@ def run_sweep(
             signal drains gracefully -- so an interrupt can no longer
             lose the tail of the resume journal -- and a second one
             aborts hard with :class:`KeyboardInterrupt`.
+        cancel_check: Optional zero-argument callable polled between
+            job dispatches (every :data:`_CANCEL_POLL_SECONDS` while
+            pool futures are in flight).  Once it returns True, every
+            unsettled job settles with status ``cancelled`` and
+            in-flight worker attempts are abandoned (their processes
+            finish their current task and exit; no result is recorded).
+            Unlike ``stop_event`` -- which *drains* (in-flight attempts
+            settle normally, unstarted jobs stay unsettled for resume)
+            -- a cancel is an answer: the jobs settle, as cancelled.
+            The analysis service polls its store's per-job
+            ``cancel_requested`` flag through this.
+        attempt_base: Start every job's attempt numbering here instead
+            of at zero.  The analysis service passes its store-level
+            claim count, so attempt numbers -- which key both the retry
+            budget and the chaos plan's ``attempts`` matching -- stay
+            continuous across crashes, restarts, and lease reaps: a
+            fault scoped to ``attempts: [1]`` fires once per *job*,
+            not once per claim of it.
 
     Returns:
         A :class:`SweepOutcome`; inspect ``.errors()`` or call
@@ -698,6 +747,7 @@ def run_sweep(
         chaos_doc=plan.to_dict() if plan is not None else None,
         tracer=tracer if tracer is not None else current_tracer(),
         stop=stopper,
+        cancel_check=cancel_check,
     )
     try:
         # ``concurrent`` tells the trace validator that this span's
@@ -735,9 +785,11 @@ def run_sweep(
 
             if pending and not stopper.stopped:
                 if workers == 1:
-                    _run_serial(pending, campaign, wall_timeout)
+                    _run_serial(pending, campaign, wall_timeout,
+                                attempt_base)
                 else:
-                    _run_pool(pending, campaign, wall_timeout, workers)
+                    _run_pool(pending, campaign, wall_timeout, workers,
+                              attempt_base)
 
             if stopper.stopped:
                 # Drain epilogue: flush a terminal journal record (so
@@ -765,6 +817,11 @@ def run_sweep(
         wall_seconds=time.monotonic() - started,
         interrupted=stopper.stopped,
     )
+
+
+def _cancelled_outcome(job: Job) -> JobOutcome:
+    return JobOutcome(job=job, status="cancelled",
+                      error="cancelled by client (cooperative cancel)")
 
 
 def _outcome_from(job: Job, res: dict, attempts: int) -> JobOutcome:
@@ -805,13 +862,17 @@ def _charge_failure(job: Job, res: dict, attempt: int,
 
 
 def _run_serial(pending: list[Job], campaign: _Campaign,
-                wall_timeout: float | None) -> None:
+                wall_timeout: float | None,
+                attempt_base: int = 0) -> None:
     """In-process execution with the same retry/timeout semantics."""
     config = campaign.config
     for job in pending:
         if campaign.stop.stopped:
             return
-        attempt = 0
+        if campaign.cancel_requested():
+            campaign.settle(job, _cancelled_outcome(job))
+            continue
+        attempt = attempt_base
         failed_seconds = 0.0
         while True:
             attempt += 1
@@ -827,6 +888,11 @@ def _run_serial(pending: list[Job], campaign: _Campaign,
             if settled is not None:
                 campaign.settle(job, settled)
                 break
+            # A cancel between attempts settles the job as cancelled
+            # instead of spending its remaining retries.
+            if campaign.cancel_requested():
+                campaign.settle(job, _cancelled_outcome(job))
+                break
             # A drain request also abandons this job's remaining
             # retries -- it stays unsettled and re-runs on resume.
             if campaign.stop.wait(config.backoff_delay(attempt,
@@ -835,7 +901,8 @@ def _run_serial(pending: list[Job], campaign: _Campaign,
 
 
 def _run_pool(pending: list[Job], campaign: _Campaign,
-              wall_timeout: float | None, workers: int) -> None:
+              wall_timeout: float | None, workers: int,
+              attempt_base: int = 0) -> None:
     """Pooled execution in rounds; survives hard worker crashes.
 
     A worker crash (segfault, OOM kill, ``os._exit``) breaks the whole
@@ -855,12 +922,16 @@ def _run_pool(pending: list[Job], campaign: _Campaign,
        else completes normally.
     """
     config = campaign.config
-    attempts = {job.key: 0 for job in pending}
+    attempts = {job.key: attempt_base for job in pending}
     failed_seconds = {job.key: 0.0 for job in pending}
     queue = list(pending)
     isolate = False
     round_number = 0
     while queue and not campaign.stop.stopped:
+        if campaign.cancel_requested():
+            for job in queue:
+                campaign.settle(job, _cancelled_outcome(job))
+            return
         if isolate:
             queue = _isolation_round(queue, attempts, failed_seconds,
                                      campaign, wall_timeout)
@@ -893,11 +964,21 @@ def _settle_or_requeue(job, res, attempts, failed_seconds, campaign,
 
 def _parallel_round(queue, attempts, failed_seconds, campaign,
                     wall_timeout, workers):
-    """One shared-pool pass.  Returns (requeue, pool_broke)."""
+    """One shared-pool pass.  Returns (requeue, pool_broke).
+
+    Without a ``cancel_check`` the wait loop blocks until a future
+    completes -- byte-for-byte the historical behavior.  With one, it
+    wakes every :data:`_CANCEL_POLL_SECONDS` to poll the flag; a cancel
+    settles every unfinished job as ``cancelled`` and abandons the pool
+    without waiting for in-flight attempts (their worker processes
+    finish the current task and exit; no result is recorded).
+    """
     config = campaign.config
     requeue: list[Job] = []
     broke = False
-    with ProcessPoolExecutor(max_workers=min(workers, len(queue))) as pool:
+    abandoned = False
+    pool = ProcessPoolExecutor(max_workers=min(workers, len(queue)))
+    try:
         futures = {
             pool.submit(invoke_job, job.payload,
                         _wall_timeout_for(job, wall_timeout, config),
@@ -905,32 +986,48 @@ def _parallel_round(queue, attempts, failed_seconds, campaign,
                         True, campaign.trace_jobs): job
             for job in queue
         }
+        poll = _CANCEL_POLL_SECONDS if campaign.cancel_check is not None \
+            else None
+        not_done = set(futures)
         drained = False
-        for future in as_completed(futures):
+        while not_done:
+            done_now, not_done = futures_wait(
+                not_done, timeout=poll, return_when=FIRST_COMPLETED)
             if campaign.stop.stopped and not drained:
                 # Graceful drain: unstarted jobs are cancelled (they
                 # stay unsettled and re-run on resume); in-flight
                 # attempts run to completion and settle normally.
                 drained = True
-                for pending_future in futures:
+                for pending_future in not_done:
                     pending_future.cancel()
-            job = futures[future]
-            if future.cancelled():
-                continue
-            try:
-                res = future.result()
-            except BrokenProcessPool:
-                # Collateral or culprit -- unknowable here.  Requeue for
-                # an isolation round, free of charge.
-                broke = True
-                requeue.append(job)
-                continue
-            except Exception as exc:  # pickling errors etc.
-                res = {"ok": False, "status": "error",
-                       "error": f"{type(exc).__name__}: {exc}",
-                       "seconds": 0.0}
-            _settle_or_requeue(job, res, attempts, failed_seconds,
-                               campaign, requeue)
+            if not done_now and campaign.cancel_requested():
+                for pending_future in not_done:
+                    pending_future.cancel()
+                for future, job in futures.items():
+                    if not future.done() or future.cancelled():
+                        campaign.settle(job, _cancelled_outcome(job))
+                abandoned = True
+                return requeue, broke
+            for future in done_now:
+                job = futures[future]
+                if future.cancelled():
+                    continue
+                try:
+                    res = future.result()
+                except BrokenProcessPool:
+                    # Collateral or culprit -- unknowable here.  Requeue
+                    # for an isolation round, free of charge.
+                    broke = True
+                    requeue.append(job)
+                    continue
+                except Exception as exc:  # pickling errors etc.
+                    res = {"ok": False, "status": "error",
+                           "error": f"{type(exc).__name__}: {exc}",
+                           "seconds": 0.0}
+                _settle_or_requeue(job, res, attempts, failed_seconds,
+                                   campaign, requeue)
+    finally:
+        pool.shutdown(wait=not abandoned, cancel_futures=abandoned)
     return requeue, broke
 
 
@@ -942,6 +1039,9 @@ def _isolation_round(queue, attempts, failed_seconds, campaign,
     for job in queue:
         if campaign.stop.stopped:
             return requeue
+        if campaign.cancel_requested():
+            campaign.settle(job, _cancelled_outcome(job))
+            continue
         with ProcessPoolExecutor(max_workers=1) as pool:
             future = pool.submit(
                 invoke_job, job.payload,

@@ -9,9 +9,16 @@ sweep executor, admission control with load shedding
 (:mod:`~repro.service.api`) with a matching client
 (:mod:`~repro.service.client`).
 
+The scheduler is self-healing (``ServiceConfig.supervision``): claims
+are time-bounded leases renewed by worker heartbeats, a reaper requeues
+jobs whose lease lapsed (hung worker), jobs that exhaust their claim
+budget are quarantined instead of crash-looping the pool, submissions
+can carry an end-to-end ``deadline_seconds``, and a ``DELETE`` on a
+running analysis cancels it cooperatively mid-flight.
+
 Start one with ``python -m repro serve --workdir runs/service``; talk to
-it with ``python -m repro client submit|status|result|cancel`` or any
-HTTP client.
+it with ``python -m repro client
+submit|status|result|cancel|quarantine|retry`` or any HTTP client.
 """
 
 from repro.service.admission import AdmissionController, AdmissionDecision

@@ -3,24 +3,36 @@
 A zero-dependency serving layer (stdlib ``http.server``) that turns the
 batch sweep runner into a queryable system:
 
-====== ============================== ==================================
-verb   path                           semantics
-====== ============================== ==================================
-POST   ``/v1/analyses``               submit a sweep spec; 201 accepted,
-                                      200 deduped, 429 shed (+
-                                      ``Retry-After``), 400 invalid
-GET    ``/v1/analyses/<id>``          state + per-state job counts
-GET    ``/v1/analyses/<id>/result``   the results document; 202 while
-                                      unfinished, 410 for evicted rows
-DELETE ``/v1/analyses/<id>``          cancel the queued jobs
-GET    ``/healthz``                   liveness + queue counts
-GET    ``/metricz``                   the ``repro.obs`` metric registry
-====== ============================== ==================================
+====== ================================= ===============================
+verb   path                              semantics
+====== ================================= ===============================
+POST   ``/v1/analyses``                  submit a sweep spec; 201
+                                         accepted, 200 deduped, 429
+                                         shed (+ ``Retry-After``), 400
+                                         invalid
+GET    ``/v1/analyses/<id>``             state + per-state job counts
+GET    ``/v1/analyses/<id>/result``      the results document; 202
+                                         while unfinished, 410 for
+                                         evicted rows
+DELETE ``/v1/analyses/<id>``             cancel: queued jobs now,
+                                         running jobs cooperatively;
+                                         404 unknown, 409 all-terminal
+GET    ``/v1/quarantine``                quarantined jobs, all analyses
+GET    ``/v1/analyses/<id>/quarantine``  quarantined jobs of one
+                                         analysis
+POST   ``/v1/analyses/<id>/retry``       requeue quarantined jobs with
+                                         a fresh attempt budget
+GET    ``/healthz``                      liveness + queue counts
+GET    ``/metricz``                      the ``repro.obs`` registry
+====== ================================= ===============================
 
 Submissions are the same ``sweep_spec`` JSON documents ``repro sweep``
-takes, with one serving-layer restriction: instance documents must be
-*embedded*, not file references -- the server never reads paths off its
-own filesystem on a client's behalf.
+takes, with two serving-layer extensions (``priority``, an integer, and
+``deadline_seconds``, an end-to-end budget after which queued jobs fail
+fast and running jobs have their wall timeout clamped) and one
+restriction: instance documents must be *embedded*, not file references
+-- the server never reads paths off its own filesystem on a client's
+behalf.
 
 Request handling is deliberately boring: every request runs on its own
 thread (``ThreadingHTTPServer``), admission control happens before any
@@ -57,12 +69,14 @@ logger = logging.getLogger(__name__)
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
 
-def expand_submission(doc: dict) -> tuple[str, str, int, list]:
+def expand_submission(doc: dict) -> tuple[str, str, int, float | None, list]:
     """Validate a submitted document and expand it to queue rows.
 
     Returns:
-        ``(analysis_id, name, priority, jobs)`` with ``jobs`` a list of
-        ``(key, label, payload)`` triples in sweep order.
+        ``(analysis_id, name, priority, deadline_seconds, jobs)`` with
+        ``jobs`` a list of ``(key, label, payload)`` triples in sweep
+        order and ``deadline_seconds`` the client's optional end-to-end
+        budget (``None`` when absent).
 
     Raises:
         ServiceError: The document is not a valid self-contained sweep
@@ -75,6 +89,14 @@ def expand_submission(doc: dict) -> tuple[str, str, int, list]:
     priority = doc.pop("priority", 0)
     if not isinstance(priority, int):
         raise ServiceError("priority must be an integer", status=400)
+    deadline_seconds = doc.pop("deadline_seconds", None)
+    if deadline_seconds is not None:
+        if not isinstance(deadline_seconds, (int, float)) \
+                or isinstance(deadline_seconds, bool) \
+                or deadline_seconds <= 0:
+            raise ServiceError(
+                "deadline_seconds must be a positive number", status=400)
+        deadline_seconds = float(deadline_seconds)
     instance = doc.get("instance")
     if isinstance(instance, dict):
         refs = [key for key in _FILE_KEYS
@@ -96,6 +118,7 @@ def expand_submission(doc: dict) -> tuple[str, str, int, list]:
         spec.spec_hash,
         spec.name,
         priority,
+        deadline_seconds,
         [(job.key, job.label, job.payload) for job in jobs],
     )
 
@@ -137,7 +160,8 @@ class AnalysisService:
 
     def submit(self, doc: dict, client: str) -> tuple[int, dict, dict]:
         """Handle one submission; returns (status, body, headers)."""
-        analysis_id, name, priority, jobs = expand_submission(doc)
+        analysis_id, name, priority, deadline_seconds, jobs = \
+            expand_submission(doc)
         existing = self.store.analysis_status(analysis_id)
         if existing is not None:
             metrics().counter("service.deduped").inc()
@@ -159,7 +183,8 @@ class AnalysisService:
                 "retry_after_seconds": decision.retry_after,
             }, {"Retry-After": str(max(1, round(decision.retry_after)))}
         accepted = self.store.submit(analysis_id, name, client, jobs,
-                                     priority=priority)
+                                     priority=priority,
+                                     deadline_seconds=deadline_seconds)
         metrics().counter("service.submitted").inc()
         metrics().counter("service.jobs_accepted").inc(len(jobs))
         metrics().gauge("service.queue_depth").set(self.store.depth())
@@ -229,17 +254,52 @@ class AnalysisService:
         return 200, body, {}
 
     def cancel(self, analysis_id: str) -> tuple[int, dict, dict]:
-        status = self.store.analysis_status(analysis_id)
-        if status is None:
+        """Cancel: queued jobs now, running jobs cooperatively.
+
+        404 for an unknown analysis, 409 when every job is already
+        terminal (nothing to cancel -- distinguishable from "no such
+        analysis" so clients can tell a typo from a no-op).
+        """
+        outcome = self.store.cancel_analysis(analysis_id)
+        if outcome is None:
             return 404, {"error": f"unknown analysis {analysis_id!r}"}, {}
-        cancelled = self.store.cancel_analysis(analysis_id)
-        metrics().counter("service.jobs_cancelled").inc(cancelled)
+        if outcome["already_terminal"]:
+            return 409, {
+                "error": f"analysis {analysis_id!r} has no live jobs; "
+                         "every job is already in a terminal state",
+                "id": analysis_id,
+            }, {}
+        metrics().counter("service.jobs_cancelled").inc(
+            outcome["cancelled"])
         metrics().gauge("service.queue_depth").set(self.store.depth())
         return 200, {
             "id": analysis_id,
-            "cancelled": cancelled,
-            "note": ("running jobs finish; only queued jobs are "
-                     "cancelled"),
+            "cancelled": outcome["cancelled"],
+            "cancelling": outcome["cancelling"],
+            "note": ("queued jobs are cancelled immediately; running "
+                     "jobs are cancelled cooperatively at the "
+                     "executor's next poll"),
+        }, {}
+
+    def quarantine(self, analysis_id: str | None = None
+                   ) -> tuple[int, dict, dict]:
+        """List quarantined jobs (optionally scoped to one analysis)."""
+        jobs = self.store.quarantined_jobs(analysis_id)
+        return 200, {"jobs": jobs, "total": len(jobs)}, {}
+
+    def retry(self, analysis_id: str) -> tuple[int, dict, dict]:
+        """Requeue an analysis's quarantined jobs with a fresh budget."""
+        status = self.store.analysis_status(analysis_id)
+        if status is None:
+            return 404, {"error": f"unknown analysis {analysis_id!r}"}, {}
+        retried = self.store.retry_quarantined(analysis_id)
+        if retried:
+            metrics().counter("service.jobs.retried").inc(retried)
+            metrics().gauge("service.queue_depth").set(self.store.depth())
+        return 200, {
+            "id": analysis_id,
+            "retried": retried,
+            "location": f"/v1/analyses/{analysis_id}",
         }, {}
 
     def health(self) -> tuple[int, dict, dict]:
@@ -339,6 +399,10 @@ class _Handler(BaseHTTPRequestHandler):
             if method == "POST":
                 return service.submit(self._body(), self._client())
             raise ServiceError("method not allowed", status=405)
+        if path == "/v1/quarantine":
+            if method == "GET":
+                return service.quarantine()
+            raise ServiceError("method not allowed", status=405)
         if path.startswith("/v1/analyses/"):
             rest = path[len("/v1/analyses/"):]
             parts = rest.split("/")
@@ -351,6 +415,12 @@ class _Handler(BaseHTTPRequestHandler):
             if len(parts) == 2 and parts[0] and parts[1] == "result" \
                     and method == "GET":
                 return service.result(parts[0])
+            if len(parts) == 2 and parts[0] and parts[1] == "quarantine" \
+                    and method == "GET":
+                return service.quarantine(parts[0])
+            if len(parts) == 2 and parts[0] and parts[1] == "retry" \
+                    and method == "POST":
+                return service.retry(parts[0])
         raise ServiceError(f"no route for {method} {self.path}",
                            status=404)
 

@@ -69,11 +69,23 @@ class ServiceClient:
             raise ServiceError(doc.get("error", f"HTTP {status}"),
                                status=status)
 
-    def submit(self, spec_doc: dict, priority: int = 0) -> dict:
-        """Submit a sweep spec; returns the accepted/deduped summary."""
+    def submit(self, spec_doc: dict, priority: int = 0,
+               deadline_seconds: float | None = None) -> dict:
+        """Submit a sweep spec; returns the accepted/deduped summary.
+
+        Args:
+            spec_doc: The ``sweep_spec`` document (embedded instances).
+            priority: Larger numbers are claimed first.
+            deadline_seconds: Optional end-to-end budget; jobs still
+                queued past it fail fast with ``deadline_exceeded``,
+                and running jobs get their wall timeout clamped to the
+                remainder.
+        """
         body = dict(spec_doc)
         if priority:
             body["priority"] = priority
+        if deadline_seconds is not None:
+            body["deadline_seconds"] = deadline_seconds
         status, doc, headers = self._request("POST", "/v1/analyses", body)
         self._raise_for(status, doc, headers)
         return doc
@@ -112,8 +124,29 @@ class ServiceClient:
             time.sleep(poll_interval)
 
     def cancel(self, analysis_id: str) -> dict:
+        """Cancel an analysis (queued jobs now, running cooperatively).
+
+        Raises:
+            ServiceError: With ``status`` 404 for an unknown analysis,
+                409 when every job is already terminal.
+        """
         status, doc, headers = self._request(
             "DELETE", f"/v1/analyses/{analysis_id}")
+        self._raise_for(status, doc, headers)
+        return doc
+
+    def quarantine(self, analysis_id: str | None = None) -> dict:
+        """Quarantined jobs -- all of them, or one analysis's."""
+        path = "/v1/quarantine" if analysis_id is None \
+            else f"/v1/analyses/{analysis_id}/quarantine"
+        status, doc, headers = self._request("GET", path)
+        self._raise_for(status, doc, headers)
+        return doc
+
+    def retry(self, analysis_id: str) -> dict:
+        """Requeue an analysis's quarantined jobs (fresh attempts)."""
+        status, doc, headers = self._request(
+            "POST", f"/v1/analyses/{analysis_id}/retry")
         self._raise_for(status, doc, headers)
         return doc
 

@@ -1,4 +1,4 @@
-"""Scheduler: worker threads draining the durable queue.
+"""Scheduler: worker threads draining the durable queue, supervised.
 
 Each worker thread loops ``claim -> run -> settle``: it atomically
 claims the best queued job from the :class:`~repro.service.store`,
@@ -15,6 +15,28 @@ Isolation: with ``ServiceConfig.isolate_jobs`` (the default) each job
 runs in a worker *process* via the executor's pooled path, so a
 segfaulting or wedged solve costs one job, not the service; ``False``
 runs jobs on the scheduler thread (faster startup, used by tests).
+
+Self-healing (``ServiceConfig.supervision``):
+
+* **Leases + heartbeats.**  Every claim is time-bounded
+  (``lease_seconds``); a heartbeat thread renews the lease while the
+  sweep executes.  A **reaper** thread requeues jobs whose lease
+  lapsed -- a worker hung inside a solve (the ``worker.hang`` chaos
+  site) loses the job within one lease period, with the same
+  exactly-once audit transitions as startup recovery.  If the hung
+  worker eventually wakes and tries to settle, the store's
+  state-machine guard refuses the second transition and the scheduler
+  discards the stale result (counted as ``service.stale_settles``).
+* **Poison-job quarantine.**  ``attempts`` counts store-level claims
+  and survives crashes and reaps, so a job that keeps killing its
+  worker converges to the terminal ``quarantined`` state once
+  ``max_job_attempts`` is spent, instead of crash-looping the pool.
+* **Deadlines + cooperative cancel.**  A job's end-to-end deadline
+  clamps the wall timeout handed to the executor; queued jobs past
+  their deadline fail fast with ``deadline_exceeded``.  A ``DELETE``
+  on a running analysis raises the store's ``cancel_requested`` flag,
+  which the executor polls between dispatches via ``cancel_check`` --
+  the job settles ``cancelled`` within one poll interval.
 
 Crash semantics: between ``claim`` and ``settle`` the job is
 ``running`` in the store.  If the process dies anywhere in that window
@@ -35,9 +57,12 @@ from __future__ import annotations
 
 import logging
 import threading
+import time
 
 from repro.core.config import RunnerConfig, ServiceConfig
+from repro.exceptions import ServiceError
 from repro.obs.metrics import metrics
+from repro.resilience.faults import maybe_fire
 from repro.runner.cache import ResultCache
 from repro.runner.executor import run_sweep
 from repro.runner.jobs import Job
@@ -63,6 +88,7 @@ class Scheduler:
             num_workers=2 if config.isolate_jobs else 1)
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
+        self._reaper: threading.Thread | None = None
 
     @property
     def stop_event(self) -> threading.Event:
@@ -70,13 +96,14 @@ class Scheduler:
         return self._stop
 
     def start(self) -> None:
-        """Recover orphaned jobs, then start the worker pool."""
+        """Recover orphaned jobs, then start the workers and reaper."""
         recovered = self.store.recover()
         if recovered:
             logger.warning(
                 "recovered %d job(s) left running by a previous process",
                 recovered)
-            metrics().counter("service.jobs_recovered").inc(recovered)
+            metrics().counter("service.jobs.recovered").inc(recovered)
+        self._supervise_queue()
         self._stop.clear()
         for index in range(self.config.num_workers):
             thread = threading.Thread(
@@ -84,6 +111,10 @@ class Scheduler:
                 name=f"repro-service-worker-{index}", daemon=True)
             self._threads.append(thread)
             thread.start()
+        self._reaper = threading.Thread(
+            target=self._reaper_loop, name="repro-service-reaper",
+            daemon=True)
+        self._reaper.start()
 
     def stop(self, drain: bool = True) -> None:
         """Request a stop and join the workers.
@@ -102,6 +133,9 @@ class Scheduler:
             logger.warning(
                 "%d worker(s) still busy after drain timeout; their jobs "
                 "will be recovered on restart", len(self._threads))
+        if self._reaper is not None:
+            self._reaper.join(timeout=1.0)
+            self._reaper = None
 
     def run_until_idle(self) -> int:
         """Drain the queue on the calling thread (tests, one-shot mode).
@@ -116,6 +150,56 @@ class Scheduler:
             settled += 1
         return settled
 
+    def reap_once(self) -> int:
+        """One reaper pass: requeue expired leases, then re-supervise.
+
+        Public so tests (and one-shot tools) can drive the reaper
+        deterministically instead of waiting out the interval.  The
+        ``reaper.tick`` chaos site skips the whole pass, delaying
+        recovery by one interval.
+
+        Returns:
+            How many jobs the pass touched (requeued or cancelled).
+        """
+        if maybe_fire("reaper.tick"):
+            logger.warning("reaper pass skipped by injected fault")
+            return 0
+        reaped = self.store.reap_expired()
+        if reaped:
+            requeued = sum(1 for job in reaped if job["requeued"])
+            logger.warning(
+                "reaped %d expired lease(s): %d requeued, %d cancelled",
+                len(reaped), requeued, len(reaped) - requeued)
+            metrics().counter("service.jobs.reaped").inc(len(reaped))
+        self._supervise_queue()
+        return len(reaped)
+
+    def _reaper_loop(self) -> None:
+        interval = self.config.supervision.resolved_reap_interval()
+        while not self._stop.wait(interval):
+            try:
+                self.reap_once()
+            except Exception:
+                logger.exception("reaper pass failed; will retry")
+
+    def _supervise_queue(self) -> None:
+        """Deadline + quarantine sweep over the queued set."""
+        expired = self.store.expire_deadlines()
+        if expired:
+            logger.warning("failed %d queued job(s) past their deadline",
+                           len(expired))
+            metrics().counter(
+                "service.jobs.deadline_exceeded").inc(len(expired))
+        quarantined = self.store.quarantine_exhausted(
+            self.config.supervision.max_job_attempts)
+        if quarantined:
+            for job in quarantined:
+                logger.error(
+                    "quarantined job %s after %d attempt(s)",
+                    job["key"][:12], job["attempts"])
+            metrics().counter(
+                "service.jobs.quarantined").inc(len(quarantined))
+
     def _worker_loop(self, index: int) -> None:
         while not self._stop.is_set():
             try:
@@ -123,7 +207,8 @@ class Scheduler:
             except InjectedServiceCrash:
                 # In-process chaos: this worker thread "dies".  The
                 # claimed job stays running in the store, exactly as
-                # after a real crash, and restart recovery requeues it.
+                # after a real crash, and restart recovery (or the
+                # reaper, once its lease lapses) requeues it.
                 logger.warning("worker %d killed by injected crash", index)
                 return
             if not ran:
@@ -131,20 +216,57 @@ class Scheduler:
 
     def _run_one(self) -> bool:
         """Claim and settle one job; False when the queue is empty."""
-        claimed = self.store.claim()
+        self._supervise_queue()
+        supervision = self.config.supervision
+        claimed = self.store.claim(lease_seconds=supervision.lease_seconds)
         if claimed is None:
             return False
         service_crash("service.crash_claimed", key=claimed["key"])
+        analysis_id, key = claimed["analysis_id"], claimed["key"]
         job = Job(payload=claimed["payload"])
         metrics().gauge("service.queue_depth").set(self.store.depth())
+
+        wall_timeout = None
+        if claimed["deadline_at"] is not None:
+            remaining = claimed["deadline_at"] - time.time()
+            if remaining <= 0:
+                # Claimed at the buzzer: fail fast rather than compute
+                # an answer nobody is waiting for.
+                self._settle_guarded(
+                    analysis_id, key, "failed", status="deadline_exceeded",
+                    error="deadline_exceeded: end-to-end deadline passed "
+                          "before the job could start")
+                metrics().counter("service.jobs.deadline_exceeded").inc()
+                return True
+            default_wall = self.runner_config.wall_timeout_for(
+                job.params.get("time_limit"))
+            wall_timeout = remaining if default_wall is None \
+                else min(default_wall, remaining)
+
+        heartbeat_stop = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(analysis_id, key, heartbeat_stop),
+            name="repro-service-heartbeat", daemon=True)
+        heartbeat.start()
+
+        def cancel_check() -> bool:
+            return self.store.cancel_requested(analysis_id, key)
+
         try:
             outcome = run_sweep(
                 [job],
                 num_workers=2 if self.config.isolate_jobs else 1,
                 cache=self.cache,
                 config=self.runner_config,
+                wall_timeout=wall_timeout,
                 handle_signals=False,
                 stop_event=self._stop,
+                cancel_check=cancel_check,
+                # Store-level claims carried over: attempt numbers (and
+                # the chaos plan's `attempts` matching) stay continuous
+                # across crashes, restarts, and lease reaps.
+                attempt_base=claimed["attempts"] - 1,
             )
         except InjectedServiceCrash:
             raise
@@ -153,27 +275,74 @@ class Scheduler:
             # exception here is a harness bug or a poisoned payload;
             # fail the job rather than wedge it in 'running'.
             logger.exception("job %s failed outside the executor",
-                             claimed["key"][:12])
-            self.store.settle(claimed["analysis_id"], claimed["key"],
-                              "failed", status="error",
-                              error=f"{type(exc).__name__}: {exc}")
+                             key[:12])
+            self._settle_guarded(analysis_id, key, "failed", status="error",
+                                 error=f"{type(exc).__name__}: {exc}")
             metrics().counter("service.jobs_failed").inc()
             return True
+        finally:
+            # A real process death takes the heartbeat thread with it;
+            # the in-process InjectedServiceCrash must behave the same,
+            # so the lease stops being renewed on every exit path.
+            heartbeat_stop.set()
+            heartbeat.join(timeout=1.0)
         if outcome.interrupted and not outcome.outcomes:
             # Drain request landed before the attempt even started:
             # hand the claim back so a graceful stop leaves nothing in
             # 'running'.
-            self.store.release(claimed["analysis_id"], claimed["key"])
+            self.store.release(analysis_id, key)
             return True
         settled = outcome.outcomes[0]
-        service_crash("service.crash_settling", key=claimed["key"])
-        if settled.ok:
-            self.store.settle(claimed["analysis_id"], claimed["key"],
-                              "done", status=settled.status)
+        service_crash("service.crash_settling", key=key)
+        if settled.status == "cancelled":
+            self._settle_guarded(analysis_id, key, "cancelled",
+                                 status="cancelled", error=settled.error)
+            metrics().counter("service.jobs_cancelled").inc()
+        elif settled.ok:
+            self._settle_guarded(analysis_id, key, "done",
+                                 status=settled.status)
             metrics().counter("service.jobs_done").inc()
         else:
-            self.store.settle(claimed["analysis_id"], claimed["key"],
-                              "failed", status=settled.status,
-                              error=settled.error)
+            self._settle_guarded(analysis_id, key, "failed",
+                                 status=settled.status, error=settled.error)
             metrics().counter("service.jobs_failed").inc()
         return True
+
+    def _heartbeat_loop(self, analysis_id: str, key: str,
+                        stop: threading.Event) -> None:
+        supervision = self.config.supervision
+        interval = supervision.resolved_heartbeat_interval()
+        while not stop.wait(interval):
+            try:
+                renewed = self.store.heartbeat(
+                    analysis_id, key, supervision.lease_seconds)
+            except Exception:
+                logger.exception("heartbeat for job %s failed", key[:12])
+                continue
+            if not renewed:
+                # Either the chaos site dropped this beat, or the job
+                # is no longer running (reaped/cancelled).  Keep
+                # beating: renewals are idempotent and a reaped job's
+                # settle is rejected by the store guard anyway.
+                logger.debug("heartbeat for job %s not applied", key[:12])
+
+    def _settle_guarded(self, analysis_id: str, key: str, state: str,
+                        status: str | None = None,
+                        error: str | None = None) -> None:
+        """Settle, discarding the stale-worker race.
+
+        A job reaped (or recovered) out from under a still-running
+        worker is requeued -- when that worker finally produces a
+        result, the store's state-machine guard refuses the second
+        transition.  That is the *correct* outcome: the re-run hits the
+        content-addressed cache and settles bit-identically, so the
+        stale result is redundant, not lost.
+        """
+        try:
+            self.store.settle(analysis_id, key, state, status=status,
+                              error=error)
+        except ServiceError:
+            logger.warning(
+                "job %s was requeued while this worker ran it; "
+                "discarding the stale settle", key[:12])
+            metrics().counter("service.stale_settles").inc()

@@ -3,8 +3,11 @@
 The store is the service's source of truth: every accepted job is a row
 whose lifecycle walks a crash-safe state machine
 
-    queued -> running -> done | failed
-    queued -> cancelled
+    queued -> running -> done | failed | cancelled
+    queued -> cancelled | quarantined
+    queued -> failed             (missed end-to-end deadline)
+    running -> queued            (recovery, lease reap, release)
+    quarantined -> queued        (operator retry via the API)
 
 with each transition a single committed SQLite transaction (WAL mode),
 so a ``kill -9`` at any instant leaves a consistent database.  On
@@ -12,6 +15,27 @@ restart, :meth:`JobStore.recover` requeues anything left ``running`` --
 an accepted job is never lost, and because the executor's
 content-addressed result cache answers re-runs of already-solved work,
 recovery never recomputes (or double-reports) a finished result.
+
+Supervision (the self-healing layer on top of the state machine):
+
+* **Leases** -- :meth:`JobStore.claim` stamps ``lease_expires_at``;
+  busy workers renew it via :meth:`heartbeat`.  A lease that expires
+  un-renewed means the worker is hung or dead, and
+  :meth:`reap_expired` requeues the job with the same exactly-once
+  audit transitions as startup recovery.
+* **Quarantine** -- a job whose store-level claims (attempts carried
+  across crashes, restarts, and reaps) exhaust the supervision budget
+  is moved by :meth:`quarantine_exhausted` to the terminal
+  ``quarantined`` state with its last recorded error preserved,
+  instead of crash-looping the pool.  :meth:`retry_quarantined`
+  requeues it with a fresh attempt budget.
+* **Deadlines** -- jobs may carry an absolute ``deadline_at``; queued
+  jobs past it fail fast via :meth:`expire_deadlines` with a
+  ``deadline_exceeded`` error, and the scheduler clamps the running
+  wall timeout to the time remaining.
+* **Cancellation** -- ``DELETE`` on an analysis cancels queued jobs
+  outright and raises ``cancel_requested`` on running ones; the
+  executor polls that flag cooperatively between dispatches.
 
 Identity and idempotence:
 
@@ -47,8 +71,10 @@ from repro.resilience.faults import maybe_fire
 
 #: Job states.  ``queued`` and ``running`` are the *live* states (their
 #: cache entries are protected from eviction); the rest are terminal.
+#: ``quarantined`` is terminal for the scheduler (never claimed) but
+#: retriable by an operator via :meth:`JobStore.retry_quarantined`.
 LIVE_STATES = ("queued", "running")
-TERMINAL_STATES = ("done", "failed", "cancelled")
+TERMINAL_STATES = ("done", "failed", "cancelled", "quarantined")
 STATES = LIVE_STATES + TERMINAL_STATES
 
 #: When True (set by the ``repro serve`` entry point), injected
@@ -96,6 +122,10 @@ CREATE TABLE IF NOT EXISTS jobs (
     submitted_at REAL NOT NULL,
     started_at   REAL,
     finished_at  REAL,
+    lease_expires_at REAL,
+    heartbeat_at REAL,
+    deadline_at  REAL,
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (analysis_id, key)
 );
 CREATE INDEX IF NOT EXISTS jobs_by_state
@@ -131,7 +161,28 @@ class JobStore:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=FULL")
             self._conn.executescript(_SCHEMA)
+            self._migrate()
             self._conn.commit()
+
+    def _migrate(self) -> None:
+        """Bring a pre-supervision database up to the current schema.
+
+        ``CREATE TABLE IF NOT EXISTS`` leaves an existing ``jobs`` table
+        untouched, so the lease/deadline/cancellation columns are added
+        here with ``ALTER TABLE`` when missing (idempotent; NULL/0
+        defaults mean old rows behave exactly as before).
+        """
+        have = {row["name"] for row in self._conn.execute(
+            "PRAGMA table_info(jobs)")}
+        for column, decl in (
+            ("lease_expires_at", "REAL"),
+            ("heartbeat_at", "REAL"),
+            ("deadline_at", "REAL"),
+            ("cancel_requested", "INTEGER NOT NULL DEFAULT 0"),
+        ):
+            if column not in have:
+                self._conn.execute(
+                    f"ALTER TABLE jobs ADD COLUMN {column} {decl}")
 
     def close(self) -> None:
         """Close the underlying connection (idempotent)."""
@@ -145,7 +196,8 @@ class JobStore:
 
     def submit(self, analysis_id: str, name: str, client: str,
                jobs: list[tuple[str, str, dict]],
-               priority: int = 0) -> dict:
+               priority: int = 0,
+               deadline_seconds: float | None = None) -> dict:
         """Accept an analysis and its jobs; idempotent by content.
 
         Args:
@@ -154,6 +206,10 @@ class JobStore:
             client: Submitting client identity (admission bookkeeping).
             jobs: ``(job_key, label, payload)`` triples, in sweep order.
             priority: Larger numbers are claimed first.
+            deadline_seconds: Optional end-to-end budget; each job gets
+                an absolute ``deadline_at`` of now + this.  Queued jobs
+                past it fail fast (:meth:`expire_deadlines`); running
+                jobs get their wall timeout clamped to the remainder.
 
         Returns:
             ``{"id", "deduped", "total_jobs"}`` -- ``deduped`` is True
@@ -164,6 +220,13 @@ class JobStore:
             raise ServiceError("an analysis needs at least one job",
                                status=400)
         now = time.time()
+        deadline_at = None
+        if deadline_seconds is not None:
+            if deadline_seconds <= 0:
+                raise ServiceError(
+                    f"deadline_seconds must be > 0, got "
+                    f"{deadline_seconds}", status=400)
+            deadline_at = now + float(deadline_seconds)
         with self._lock:
             existing = self._conn.execute(
                 "SELECT id FROM analyses WHERE id = ?", (analysis_id,)
@@ -179,11 +242,11 @@ class JobStore:
             for key, label, payload in jobs:
                 self._conn.execute(
                     "INSERT INTO jobs (analysis_id, key, label, payload, "
-                    "client, priority, state, submitted_at) "
-                    "VALUES (?, ?, ?, ?, ?, ?, 'queued', ?)",
+                    "client, priority, state, submitted_at, deadline_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?, 'queued', ?, ?)",
                     (analysis_id, key, label,
                      json.dumps(payload, sort_keys=True), client, priority,
-                     now),
+                     now, deadline_at),
                 )
             self._conn.commit()
         service_crash("store.crash_commit", key=analysis_id)
@@ -198,21 +261,31 @@ class JobStore:
 
     # -- the queue -----------------------------------------------------
 
-    def claim(self) -> dict | None:
+    def claim(self, lease_seconds: float | None = None) -> dict | None:
         """Atomically move the best queued job to ``running``.
 
         Claim order: priority (descending), then submission time, then
         key -- deterministic, so two stores replaying the same
         submissions drain identically.
 
+        Args:
+            lease_seconds: Time-bound the claim: the job's
+                ``lease_expires_at`` is stamped now + this, and unless
+                the worker renews it via :meth:`heartbeat` the reaper
+                (:meth:`reap_expired`) requeues the job once it lapses.
+                ``None`` grants an unbounded claim (legacy behavior).
+
         Returns:
             The claimed job row as a dict (``payload`` parsed), or
             ``None`` when the queue is empty.
         """
         now = time.time()
+        lease_expires_at = None if lease_seconds is None \
+            else now + float(lease_seconds)
         with self._lock:
             row = self._conn.execute(
-                "SELECT analysis_id, key, label, payload, attempts "
+                "SELECT analysis_id, key, label, payload, attempts, "
+                "deadline_at, cancel_requested "
                 "FROM jobs WHERE state = 'queued' "
                 "ORDER BY priority DESC, submitted_at ASC, key ASC LIMIT 1"
             ).fetchone()
@@ -220,9 +293,11 @@ class JobStore:
                 return None
             self._conn.execute(
                 "UPDATE jobs SET state = 'running', started_at = ?, "
-                "attempts = attempts + 1 "
+                "attempts = attempts + 1, lease_expires_at = ?, "
+                "heartbeat_at = ? "
                 "WHERE analysis_id = ? AND key = ?",
-                (now, row["analysis_id"], row["key"]),
+                (now, lease_expires_at, now, row["analysis_id"],
+                 row["key"]),
             )
             self._record_transition(row["analysis_id"], row["key"],
                                     "queued", "running", now)
@@ -234,25 +309,60 @@ class JobStore:
             "label": row["label"],
             "payload": json.loads(row["payload"]),
             "attempts": int(row["attempts"]) + 1,
+            "deadline_at": (None if row["deadline_at"] is None
+                            else float(row["deadline_at"])),
+            "cancel_requested": bool(row["cancel_requested"]),
+            "lease_expires_at": lease_expires_at,
         }
+
+    def heartbeat(self, analysis_id: str, key: str,
+                  lease_seconds: float) -> bool:
+        """Renew a running job's lease (called by the worker's
+        heartbeat thread while ``run_sweep`` executes).
+
+        The ``lease.heartbeat`` chaos site models a stalled heartbeat:
+        when it fires, the renewal is silently dropped -- the lease
+        keeps aging and, if enough beats are dropped, the reaper
+        requeues a job whose worker is in fact still computing.  (The
+        stale worker's eventual settle is then refused by the
+        state-machine guard and discarded by the scheduler.)
+
+        Returns:
+            Whether the lease was renewed (False when the job is no
+            longer ``running`` -- e.g. already reaped -- or the chaos
+            site dropped the beat).
+        """
+        if maybe_fire("lease.heartbeat", key=key):
+            return False
+        now = time.time()
+        with self._lock:
+            updated = self._conn.execute(
+                "UPDATE jobs SET lease_expires_at = ?, heartbeat_at = ? "
+                "WHERE analysis_id = ? AND key = ? AND state = 'running'",
+                (now + float(lease_seconds), now, analysis_id, key),
+            ).rowcount
+            self._conn.commit()
+        return bool(updated)
 
     def settle(self, analysis_id: str, key: str, state: str,
                status: str | None = None, error: str | None = None) -> None:
         """Move a ``running`` job to a terminal state (one transaction).
 
         Args:
-            state: ``done`` or ``failed``.
+            state: ``done``, ``failed``, or ``cancelled`` (the last for
+                a running job cooperatively cancelled by the executor).
             status: The runner's settle status (``done``/``cached``/
-                ``resumed``/``error``/``timeout``) for observability.
+                ``resumed``/``error``/``timeout``/``cancelled``) for
+                observability.
             error: Structured error text for failed jobs.
         """
-        if state not in ("done", "failed"):
+        if state not in ("done", "failed", "cancelled"):
             raise ServiceError(f"cannot settle a job to {state!r}")
         now = time.time()
         with self._lock:
             updated = self._conn.execute(
                 "UPDATE jobs SET state = ?, status = ?, error = ?, "
-                "finished_at = ? "
+                "finished_at = ?, lease_expires_at = NULL "
                 "WHERE analysis_id = ? AND key = ? AND state = 'running'",
                 (state, status, error, now, analysis_id, key),
             ).rowcount
@@ -266,30 +376,72 @@ class JobStore:
                 "running; refusing to settle it twice"
             )
 
-    def cancel_analysis(self, analysis_id: str) -> int:
-        """Cancel every *queued* job of an analysis; running jobs finish.
+    def cancel_analysis(self, analysis_id: str) -> dict | None:
+        """Cancel an analysis: queued jobs immediately, running jobs
+        cooperatively.
+
+        Queued jobs transition to ``cancelled`` outright; running jobs
+        get ``cancel_requested`` raised, which the executor polls
+        between dispatches (the scheduler then settles them
+        ``cancelled``).
 
         Returns:
-            How many jobs were cancelled (0 when none were queued --
-            including when the analysis does not exist; callers check
-            existence via :meth:`analysis_status`).
+            ``None`` when the analysis does not exist (the API maps
+            this to 404).  Otherwise ``{"cancelled", "cancelling",
+            "already_terminal"}`` -- ``already_terminal`` is True when
+            every job was already in a terminal state, so there was
+            nothing to cancel (the API maps this to 409, distinguishable
+            from the unknown-analysis case).
         """
         now = time.time()
         with self._lock:
+            exists = self._conn.execute(
+                "SELECT id FROM analyses WHERE id = ?", (analysis_id,)
+            ).fetchone()
+            if exists is None:
+                return None
             rows = self._conn.execute(
                 "SELECT key FROM jobs WHERE analysis_id = ? "
                 "AND state = 'queued'", (analysis_id,)
             ).fetchall()
             for row in rows:
                 self._conn.execute(
-                    "UPDATE jobs SET state = 'cancelled', finished_at = ? "
+                    "UPDATE jobs SET state = 'cancelled', finished_at = ?, "
+                    "lease_expires_at = NULL "
                     "WHERE analysis_id = ? AND key = ? AND state = 'queued'",
                     (now, analysis_id, row["key"]),
                 )
                 self._record_transition(analysis_id, row["key"], "queued",
                                         "cancelled", now)
+            cancelling = self._conn.execute(
+                "UPDATE jobs SET cancel_requested = 1 "
+                "WHERE analysis_id = ? AND state = 'running'",
+                (analysis_id,),
+            ).rowcount
+            live = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM jobs WHERE analysis_id = ? "
+                "AND state IN ('queued', 'running')", (analysis_id,)
+            ).fetchone()
             self._conn.commit()
-        return len(rows)
+        return {
+            "cancelled": len(rows),
+            "cancelling": int(cancelling),
+            "already_terminal": (not rows and not cancelling
+                                 and int(live["n"]) == 0),
+        }
+
+    def cancel_requested(self, analysis_id: str, key: str) -> bool:
+        """Whether a cooperative cancel has been requested for a job.
+
+        This is the flag the executor's ``cancel_check`` polls between
+        job dispatches while the job runs.
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT cancel_requested FROM jobs "
+                "WHERE analysis_id = ? AND key = ?", (analysis_id, key)
+            ).fetchone()
+        return bool(row and row["cancel_requested"])
 
     def release(self, analysis_id: str, key: str) -> bool:
         """Return a claimed-but-never-started job to the queue.
@@ -306,7 +458,8 @@ class JobStore:
         with self._lock:
             updated = self._conn.execute(
                 "UPDATE jobs SET state = 'queued', started_at = NULL, "
-                "attempts = MAX(0, attempts - 1) "
+                "attempts = MAX(0, attempts - 1), "
+                "lease_expires_at = NULL, heartbeat_at = NULL "
                 "WHERE analysis_id = ? AND key = ? AND state = 'running'",
                 (analysis_id, key),
             ).rowcount
@@ -316,28 +469,236 @@ class JobStore:
             self._conn.commit()
         return bool(updated)
 
+    def _requeue_running_locked(self, rows, now: float,
+                                reason: str) -> list[dict]:
+        """Requeue a batch of ``running`` rows (recovery/reap core).
+
+        Shared by :meth:`recover` and :meth:`reap_expired` so both use
+        identical exactly-once audit semantics: each job gets one
+        ``running -> queued`` transition, keeps its ``attempts`` (so a
+        poison job still converges to quarantine), has its lease and
+        heartbeat cleared, and records ``reason`` as its last error.
+        Rows with a pending cooperative cancel go straight to
+        ``cancelled`` instead -- requeueing work nobody wants is worse
+        than honoring the cancel late.
+        """
+        out = []
+        for row in rows:
+            if row["cancel_requested"]:
+                self._conn.execute(
+                    "UPDATE jobs SET state = 'cancelled', status = "
+                    "'cancelled', error = ?, finished_at = ?, "
+                    "started_at = NULL, lease_expires_at = NULL, "
+                    "heartbeat_at = NULL "
+                    "WHERE analysis_id = ? AND key = ? "
+                    "AND state = 'running'",
+                    (f"cancelled by client ({reason})", now,
+                     row["analysis_id"], row["key"]),
+                )
+                self._record_transition(row["analysis_id"], row["key"],
+                                        "running", "cancelled", now)
+                out.append({"analysis_id": row["analysis_id"],
+                            "key": row["key"],
+                            "attempts": int(row["attempts"]),
+                            "requeued": False})
+                continue
+            self._conn.execute(
+                "UPDATE jobs SET state = 'queued', started_at = NULL, "
+                "lease_expires_at = NULL, heartbeat_at = NULL, error = ? "
+                "WHERE analysis_id = ? AND key = ? AND state = 'running'",
+                (reason, row["analysis_id"], row["key"]),
+            )
+            self._record_transition(row["analysis_id"], row["key"],
+                                    "running", "queued", now)
+            out.append({"analysis_id": row["analysis_id"],
+                        "key": row["key"],
+                        "attempts": int(row["attempts"]),
+                        "requeued": True})
+        return out
+
     def recover(self) -> int:
         """Requeue jobs left ``running`` by a dead process (startup).
+
+        Clears the stale lease and heartbeat columns along the way --
+        a recovered job must look freshly queued, not mid-lease.
 
         Returns:
             How many jobs were recovered.  Their ``attempts`` counter
             keeps the crashed attempt, so a poisonous job that kills
-            the service repeatedly still converges to ``failed`` once
-            the scheduler's retry policy gives up.
+            the service repeatedly still converges to ``quarantined``
+            once the supervision budget is spent.
         """
         now = time.time()
         with self._lock:
             rows = self._conn.execute(
-                "SELECT analysis_id, key FROM jobs WHERE state = 'running'"
+                "SELECT analysis_id, key, attempts, cancel_requested "
+                "FROM jobs WHERE state = 'running'"
+            ).fetchall()
+            recovered = self._requeue_running_locked(
+                rows, now, "process died while this job was running")
+            self._conn.commit()
+        return len(recovered)
+
+    def reap_expired(self) -> list[dict]:
+        """Requeue running jobs whose lease lapsed (the reaper's core).
+
+        A lapsed lease means the worker holding the job is hung or its
+        process died without the store noticing.  Same exactly-once
+        audit transitions as :meth:`recover`: one ``running -> queued``
+        per reaped job, ``attempts`` preserved (poison jobs converge to
+        quarantine), lease/heartbeat cleared.  Jobs with a pending
+        cooperative cancel settle ``cancelled`` instead of requeueing.
+
+        Returns:
+            One dict per affected job: ``{"analysis_id", "key",
+            "attempts", "requeued"}`` (``requeued`` False for the
+            cancelled ones).
+        """
+        now = time.time()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT analysis_id, key, attempts, cancel_requested, "
+                "lease_expires_at FROM jobs WHERE state = 'running' "
+                "AND lease_expires_at IS NOT NULL "
+                "AND lease_expires_at < ?", (now,)
+            ).fetchall()
+            reaped = self._requeue_running_locked(
+                rows, now,
+                "lease expired: worker presumed hung or dead")
+            self._conn.commit()
+        return reaped
+
+    def expire_deadlines(self) -> list[dict]:
+        """Fail queued jobs whose end-to-end deadline has passed.
+
+        A job that cannot start before its client's deadline should
+        fail *now* with a structured ``deadline_exceeded`` error, not
+        burn a worker slot producing an answer nobody is waiting for.
+        (Running jobs are covered separately: the scheduler clamps
+        their wall timeout to the time remaining.)
+
+        Returns:
+            One ``{"analysis_id", "key"}`` dict per expired job.
+        """
+        now = time.time()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT analysis_id, key, deadline_at FROM jobs "
+                "WHERE state = 'queued' AND deadline_at IS NOT NULL "
+                "AND deadline_at < ?", (now,)
+            ).fetchall()
+            for row in rows:
+                overdue = now - float(row["deadline_at"])
+                self._conn.execute(
+                    "UPDATE jobs SET state = 'failed', "
+                    "status = 'deadline_exceeded', error = ?, "
+                    "finished_at = ?, lease_expires_at = NULL "
+                    "WHERE analysis_id = ? AND key = ? "
+                    "AND state = 'queued'",
+                    (f"deadline_exceeded: still queued {overdue:.3f}s "
+                     f"past the end-to-end deadline", now,
+                     row["analysis_id"], row["key"]),
+                )
+                self._record_transition(row["analysis_id"], row["key"],
+                                        "queued", "failed", now)
+            self._conn.commit()
+        return [{"analysis_id": row["analysis_id"], "key": row["key"]}
+                for row in rows]
+
+    def quarantine_exhausted(self, max_attempts: int) -> list[dict]:
+        """Quarantine queued jobs whose claim budget is spent.
+
+        ``attempts`` counts store-level claims and survives crashes,
+        restarts, and lease reaps -- so a job that repeatedly kills its
+        worker (or the whole service) accumulates attempts across
+        recoveries and lands here instead of crash-looping the pool.
+        The transition is terminal and exactly-once; the job's last
+        recorded error (what recovery/reap observed) is preserved in
+        the quarantine message.
+
+        Returns:
+            One ``{"analysis_id", "key", "attempts"}`` per job moved to
+            ``quarantined``.
+        """
+        now = time.time()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT analysis_id, key, attempts, error FROM jobs "
+                "WHERE state = 'queued' AND attempts >= ?",
+                (int(max_attempts),)
+            ).fetchall()
+            for row in rows:
+                last = row["error"] or "no error recorded"
+                self._conn.execute(
+                    "UPDATE jobs SET state = 'quarantined', "
+                    "status = 'quarantined', error = ?, finished_at = ?, "
+                    "lease_expires_at = NULL "
+                    "WHERE analysis_id = ? AND key = ? "
+                    "AND state = 'queued'",
+                    (f"quarantined after {int(row['attempts'])} "
+                     f"attempt(s); last error: {last}", now,
+                     row["analysis_id"], row["key"]),
+                )
+                self._record_transition(row["analysis_id"], row["key"],
+                                        "queued", "quarantined", now)
+            self._conn.commit()
+        return [{"analysis_id": row["analysis_id"], "key": row["key"],
+                 "attempts": int(row["attempts"])} for row in rows]
+
+    def quarantined_jobs(self, analysis_id: str | None = None
+                         ) -> list[dict]:
+        """Quarantined job rows (optionally of one analysis), oldest
+        first -- the API's quarantine listing."""
+        query = ("SELECT analysis_id, key, label, attempts, error, "
+                 "finished_at FROM jobs WHERE state = 'quarantined'")
+        params: tuple = ()
+        if analysis_id is not None:
+            query += " AND analysis_id = ?"
+            params = (analysis_id,)
+        query += " ORDER BY finished_at ASC, key ASC"
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [
+            {
+                "analysis_id": row["analysis_id"],
+                "key": row["key"],
+                "label": row["label"],
+                "attempts": int(row["attempts"]),
+                "error": row["error"],
+                "quarantined_at": (None if row["finished_at"] is None
+                                   else float(row["finished_at"])),
+            }
+            for row in rows
+        ]
+
+    def retry_quarantined(self, analysis_id: str) -> int:
+        """Requeue an analysis's quarantined jobs with a fresh budget.
+
+        The operator's second chance: attempts reset to zero, the
+        error/status scratch cleared, cancellation flag dropped.  Each
+        job gets one audited ``quarantined -> queued`` transition.
+
+        Returns:
+            How many jobs were requeued.
+        """
+        now = time.time()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key FROM jobs WHERE analysis_id = ? "
+                "AND state = 'quarantined'", (analysis_id,)
             ).fetchall()
             for row in rows:
                 self._conn.execute(
-                    "UPDATE jobs SET state = 'queued', started_at = NULL "
-                    "WHERE analysis_id = ? AND key = ?",
-                    (row["analysis_id"], row["key"]),
+                    "UPDATE jobs SET state = 'queued', attempts = 0, "
+                    "status = NULL, error = NULL, started_at = NULL, "
+                    "finished_at = NULL, lease_expires_at = NULL, "
+                    "heartbeat_at = NULL, cancel_requested = 0 "
+                    "WHERE analysis_id = ? AND key = ? "
+                    "AND state = 'quarantined'",
+                    (analysis_id, row["key"]),
                 )
-                self._record_transition(row["analysis_id"], row["key"],
-                                        "running", "queued", now)
+                self._record_transition(analysis_id, row["key"],
+                                        "quarantined", "queued", now)
             self._conn.commit()
         return len(rows)
 
@@ -410,9 +771,10 @@ class JobStore:
         """The HTTP status document of one analysis, or ``None``.
 
         The analysis-level ``state`` derives from its jobs: ``failed``
-        if any failed, else ``cancelled`` if any were cancelled (and the
-        rest are terminal), else ``done`` when all jobs are done,
-        ``running`` when any is, else ``queued``.
+        if any failed, else ``quarantined`` if any are quarantined,
+        else ``cancelled`` if any were cancelled (and the rest are
+        terminal), else ``done`` when all jobs are done, ``running``
+        when any is, else ``queued``.
         """
         with self._lock:
             analysis = self._conn.execute(
@@ -434,6 +796,8 @@ class JobStore:
             state = "queued"
         elif counts["failed"]:
             state = "failed"
+        elif counts["quarantined"]:
+            state = "quarantined"
         elif counts["cancelled"]:
             state = "cancelled"
         else:

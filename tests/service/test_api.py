@@ -157,6 +157,28 @@ class TestLifecycle:
             client.status("feedfacedeadbeef")
         assert err.value.status == 404
 
+    def test_cancel_unknown_analysis_is_404(self, service):
+        status, body, _ = raw(service, "DELETE",
+                              "/v1/analyses/feedfacedeadbeef")
+        assert status == 404
+        assert "unknown analysis" in body["error"]
+
+    def test_cancel_terminal_analysis_is_409(self, service):
+        """Regression: DELETE used to answer 200 for both "nothing to
+        cancel" and a genuine cancel -- a client could not tell a
+        finished analysis from a live one it just stopped."""
+        client = ServiceClient(service.base_url)
+        analysis_id = client.submit(echo_spec([1]))["id"]
+        service.scheduler.run_until_idle()
+        status, body, _ = raw(service, "DELETE",
+                              f"/v1/analyses/{analysis_id}")
+        assert status == 409
+        assert "terminal" in body["error"]
+        # The client lib surfaces it as a ServiceError with the status.
+        with pytest.raises(ServiceError) as err:
+            client.cancel(analysis_id)
+        assert err.value.status == 409
+
     def test_evicted_results_reported_gone(self, service):
         client = ServiceClient(service.base_url)
         analysis_id = client.submit(echo_spec([1]))["id"]
@@ -185,6 +207,67 @@ class TestLifecycle:
         assert results["jobs"][0]["result"] == {"echo": 9}
 
 
+class TestSupervisionSurface:
+    def test_deadline_seconds_validated(self, service):
+        doc = echo_spec([1])
+        doc["deadline_seconds"] = -1
+        status, body, _ = raw(service, "POST", "/v1/analyses", doc)
+        assert status == 400
+        assert "deadline_seconds" in body["error"]
+        doc["deadline_seconds"] = "soon"
+        assert raw(service, "POST", "/v1/analyses", doc)[0] == 400
+
+    def test_deadline_rides_submission_and_expires(self, service):
+        client = ServiceClient(service.base_url)
+        analysis_id = client.submit(echo_spec([1], name="rush"),
+                                    deadline_seconds=0.01)["id"]
+        time.sleep(0.05)
+        service.scheduler.run_until_idle()
+        status = client.status(analysis_id)
+        assert status["state"] == "failed"
+        result = client.result(analysis_id)
+        assert result["jobs"][0]["status"] == "deadline_exceeded"
+
+    def _quarantine_one(self, service, doc):
+        """Burn a job's whole claim budget via recovery, then let the
+        scheduler's supervision pass quarantine it."""
+        client = ServiceClient(service.base_url)
+        analysis_id = client.submit(doc)["id"]
+        budget = service.config.supervision.max_job_attempts
+        for _ in range(budget):
+            assert service.store.claim() is not None
+            service.store.recover()
+        service.scheduler.run_until_idle()
+        return client, analysis_id
+
+    def test_quarantine_listing_and_retry(self, service):
+        client, analysis_id = self._quarantine_one(
+            service, echo_spec([3], name="poisoned"))
+        assert client.status(analysis_id)["state"] == "quarantined"
+        listing = client.quarantine()
+        assert listing["total"] == 1
+        assert listing["jobs"][0]["analysis_id"] == analysis_id
+        scoped = client.quarantine(analysis_id)
+        assert scoped["total"] == 1
+        assert client.quarantine("feedfacedeadbeef")["total"] == 0
+        # Retry requeues with a fresh budget; the job then completes.
+        assert client.retry(analysis_id)["retried"] == 1
+        service.scheduler.run_until_idle()
+        assert client.status(analysis_id)["state"] == "done"
+        assert client.result(analysis_id)["jobs"][0]["result"] \
+            == {"echo": 3}
+
+    def test_retry_unknown_analysis_is_404(self, service):
+        status, body, _ = raw(service, "POST",
+                              "/v1/analyses/feedfacedeadbeef/retry")
+        assert status == 404
+
+    def test_retry_with_nothing_quarantined_is_zero(self, service):
+        client = ServiceClient(service.base_url)
+        analysis_id = client.submit(echo_spec([1]))["id"]
+        assert client.retry(analysis_id)["retried"] == 0
+
+
 class TestOps:
     def test_healthz(self, service):
         client = ServiceClient(service.base_url)
@@ -192,7 +275,8 @@ class TestOps:
         assert health["ok"] is True
         assert health["workers"] == 1
         assert set(health["counts"]) == {"queued", "running", "done",
-                                         "failed", "cancelled"}
+                                         "failed", "cancelled",
+                                         "quarantined"}
 
     def test_metricz_exports_service_counters(self, service):
         client = ServiceClient(service.base_url)

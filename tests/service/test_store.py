@@ -1,8 +1,12 @@
 """The durable job store: state machine, idempotence, recovery, audit."""
 
+import sqlite3
+import time
+
 import pytest
 
 from repro.exceptions import ServiceError
+from repro.resilience.faults import injected
 from repro.service.store import JobStore
 
 JOBS = [("k1", "a", {"task": "t", "params": {"x": 1}}),
@@ -72,12 +76,29 @@ class TestQueue:
     def test_cancel_only_touches_queued(self, store):
         store.submit("a1", "camp", "alice", JOBS)
         running = store.claim()
-        assert store.cancel_analysis("a1") == 2
+        outcome = store.cancel_analysis("a1")
+        assert outcome["cancelled"] == 2
+        assert outcome["cancelling"] == 1
+        assert outcome["already_terminal"] is False
         counts = store.counts()
         assert counts["cancelled"] == 2 and counts["running"] == 1
-        # the running job still settles normally
+        # the running job's cooperative-cancel flag is now raised...
+        assert store.cancel_requested("a1", running["key"]) is True
+        # ...but the store still lets it settle normally if the worker
+        # finishes before noticing.
         store.settle("a1", running["key"], "done", status="done")
         assert store.analysis_status("a1")["finished"] is True
+
+    def test_cancel_unknown_analysis_is_none(self, store):
+        assert store.cancel_analysis("nope") is None
+
+    def test_cancel_terminal_analysis_is_distinguishable(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        one = store.claim()
+        store.settle("a1", one["key"], "done", status="done")
+        outcome = store.cancel_analysis("a1")
+        assert outcome == {"cancelled": 0, "cancelling": 0,
+                           "already_terminal": True}
 
 
 class TestRecovery:
@@ -143,3 +164,247 @@ class TestIntrospection:
         store.submit("a1", "camp", "alice", JOBS)
         keys = [j["key"] for j in store.analysis_jobs("a1")]
         assert keys == ["k1", "k2", "k3"]
+
+
+class TestLeases:
+    def test_reap_requeues_expired_lease_exactly_once(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        claimed = store.claim(lease_seconds=0.01)
+        assert claimed["lease_expires_at"] is not None
+        time.sleep(0.05)
+        reaped = store.reap_expired()
+        assert [r["key"] for r in reaped] == ["k1"]
+        assert reaped[0]["requeued"] is True
+        assert reaped[0]["attempts"] == 1  # the hung claim is kept
+        # The reaped row looks freshly queued (lease cleared) and the
+        # reason is recorded as its last error.
+        assert store.counts()["queued"] == 1
+        job = store.analysis_jobs("a1")[0]
+        assert "lease expired" in job["error"]
+        # One audited running -> queued, nothing terminal.
+        requeues = [t for t in store.transitions("a1")
+                    if (t["from_state"], t["to_state"])
+                    == ("running", "queued")]
+        assert len(requeues) == 1
+        # Second pass is a no-op: the job is queued, not running.
+        assert store.reap_expired() == []
+
+    def test_reap_ignores_live_leases(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        store.claim(lease_seconds=60.0)
+        assert store.reap_expired() == []
+        assert store.counts()["running"] == 1
+
+    def test_reap_ignores_unbounded_claims(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        store.claim()  # legacy claim: no lease
+        assert store.reap_expired() == []
+
+    def test_heartbeat_renews_lease(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        store.claim(lease_seconds=0.05)
+        for _ in range(3):
+            time.sleep(0.02)
+            assert store.heartbeat("a1", "k1", 0.05) is True
+        # Renewed throughout: nothing to reap.
+        assert store.reap_expired() == []
+
+    def test_heartbeat_refused_when_not_running(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        assert store.heartbeat("a1", "k1", 1.0) is False
+        store.claim(lease_seconds=1.0)
+        store.settle("a1", "k1", "done", status="done")
+        assert store.heartbeat("a1", "k1", 1.0) is False
+
+    def test_heartbeat_fault_drops_the_beat(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        store.claim(lease_seconds=0.01)
+        plan = {"kind": "fault_plan", "seed": 3,
+                "points": [{"site": "lease.heartbeat", "attempts": []}]}
+        with injected(plan):
+            assert store.heartbeat("a1", "k1", 60.0) is False
+        time.sleep(0.05)
+        # The dropped renewal let the lease lapse.
+        assert [r["key"] for r in store.reap_expired()] == ["k1"]
+
+    def test_reap_honors_pending_cancel(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        store.claim(lease_seconds=0.01)
+        store.cancel_analysis("a1")
+        time.sleep(0.05)
+        reaped = store.reap_expired()
+        assert reaped[0]["requeued"] is False
+        assert store.counts()["cancelled"] == 1
+
+    def test_recover_clears_lease_columns(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        store.claim(lease_seconds=60.0)
+        assert store.recover() == 1
+        reclaimed = store.claim(lease_seconds=0.01)
+        assert reclaimed["attempts"] == 2
+        time.sleep(0.05)
+        # Reapable again: recovery did not leave a stale lease behind.
+        assert len(store.reap_expired()) == 1
+
+    def test_stale_settle_after_reap_is_refused(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        store.claim(lease_seconds=0.01)
+        time.sleep(0.05)
+        store.reap_expired()
+        # The original (hung) worker wakes up and tries to settle.
+        with pytest.raises(ServiceError, match="refusing to settle"):
+            store.settle("a1", "k1", "done", status="done")
+
+
+class TestQuarantine:
+    def test_exhausted_attempts_quarantine_with_last_error(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        for _ in range(3):
+            store.claim(lease_seconds=0.01)
+            time.sleep(0.03)
+            store.reap_expired()
+        moved = store.quarantine_exhausted(max_attempts=3)
+        assert [m["key"] for m in moved] == ["k1"]
+        assert moved[0]["attempts"] == 3
+        assert store.counts()["quarantined"] == 1
+        listed = store.quarantined_jobs()
+        assert len(listed) == 1
+        assert "quarantined after 3 attempt(s)" in listed[0]["error"]
+        assert "lease expired" in listed[0]["error"]  # last error kept
+        # Terminal exactly once.
+        terminal = [t for t in store.transitions("a1")
+                    if t["to_state"] in ("done", "failed", "cancelled",
+                                         "quarantined")]
+        assert len(terminal) == 1
+
+    def test_under_budget_jobs_stay_queued(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        store.claim()
+        store.recover()
+        assert store.quarantine_exhausted(max_attempts=3) == []
+        assert store.counts()["queued"] == 1
+
+    def test_retry_requeues_with_fresh_budget(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        store.claim()
+        store.recover()
+        assert store.quarantine_exhausted(max_attempts=1)
+        assert store.retry_quarantined("a1") == 1
+        reclaimed = store.claim(lease_seconds=1.0)
+        assert reclaimed["attempts"] == 1  # budget was reset
+        assert reclaimed["cancel_requested"] is False
+        store.settle("a1", "k1", "done", status="done")
+        assert store.analysis_status("a1")["state"] == "done"
+
+    def test_retry_without_quarantined_jobs_is_zero(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        assert store.retry_quarantined("a1") == 0
+
+    def test_quarantined_analysis_status(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        store.claim()
+        store.recover()
+        store.quarantine_exhausted(max_attempts=1)
+        status = store.analysis_status("a1")
+        assert status["state"] == "quarantined"
+        assert status["finished"] is True
+
+
+class TestDeadlines:
+    def test_submit_rejects_nonpositive_deadline(self, store):
+        with pytest.raises(ServiceError, match="deadline_seconds"):
+            store.submit("a1", "camp", "alice", JOBS[:1],
+                         deadline_seconds=0)
+
+    def test_expired_queued_jobs_fail_fast(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:2],
+                     deadline_seconds=0.01)
+        store.submit("a2", "camp", "bob", [JOBS[2]])  # no deadline
+        time.sleep(0.05)
+        expired = store.expire_deadlines()
+        assert {e["key"] for e in expired} == {"k1", "k2"}
+        assert store.counts() == {"queued": 1, "running": 0, "done": 0,
+                                  "failed": 2, "cancelled": 0,
+                                  "quarantined": 0}
+        job = store.analysis_jobs("a1")[0]
+        assert job["status"] == "deadline_exceeded"
+        assert "deadline_exceeded" in job["error"]
+        # Exactly one terminal transition each, queued -> failed.
+        terminal = [t for t in store.transitions("a1")
+                    if t["to_state"] == "failed"]
+        assert len(terminal) == 2
+
+    def test_deadline_rides_the_claim(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1],
+                     deadline_seconds=120.0)
+        claimed = store.claim()
+        assert claimed["deadline_at"] is not None
+        assert claimed["deadline_at"] > time.time()
+
+    def test_unexpired_deadlines_untouched(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1],
+                     deadline_seconds=120.0)
+        assert store.expire_deadlines() == []
+        assert store.counts()["queued"] == 1
+
+
+class TestMigration:
+    #: The jobs table exactly as PR 6 shipped it, before the
+    #: supervision columns existed.
+    OLD_SCHEMA = """
+    CREATE TABLE analyses (
+        id           TEXT PRIMARY KEY,
+        name         TEXT NOT NULL,
+        client       TEXT NOT NULL,
+        priority     INTEGER NOT NULL DEFAULT 0,
+        total_jobs   INTEGER NOT NULL,
+        submitted_at REAL NOT NULL
+    );
+    CREATE TABLE jobs (
+        analysis_id  TEXT NOT NULL,
+        key          TEXT NOT NULL,
+        label        TEXT NOT NULL,
+        payload      TEXT NOT NULL,
+        client       TEXT NOT NULL,
+        priority     INTEGER NOT NULL DEFAULT 0,
+        state        TEXT NOT NULL DEFAULT 'queued',
+        status       TEXT,
+        error        TEXT,
+        attempts     INTEGER NOT NULL DEFAULT 0,
+        submitted_at REAL NOT NULL,
+        started_at   REAL,
+        finished_at  REAL,
+        PRIMARY KEY (analysis_id, key)
+    );
+    CREATE TABLE transitions (
+        analysis_id  TEXT NOT NULL,
+        key          TEXT NOT NULL,
+        from_state   TEXT NOT NULL,
+        to_state     TEXT NOT NULL,
+        at           REAL NOT NULL
+    );
+    """
+
+    def test_pre_supervision_database_is_migrated(self, tmp_path):
+        path = tmp_path / "service.db"
+        conn = sqlite3.connect(path)
+        conn.executescript(self.OLD_SCHEMA)
+        conn.execute(
+            "INSERT INTO analyses VALUES ('a1', 'camp', 'alice', 0, 1, 1.0)")
+        conn.execute(
+            "INSERT INTO jobs (analysis_id, key, label, payload, client, "
+            "submitted_at) VALUES ('a1', 'k1', 'a', '{}', 'alice', 1.0)")
+        conn.commit()
+        conn.close()
+        store = JobStore(path)
+        try:
+            # Old rows behave exactly as before, and the whole
+            # supervision surface works on the migrated table.
+            claimed = store.claim(lease_seconds=0.01)
+            assert claimed["key"] == "k1"
+            assert claimed["deadline_at"] is None
+            assert claimed["cancel_requested"] is False
+            time.sleep(0.05)
+            assert len(store.reap_expired()) == 1
+        finally:
+            store.close()

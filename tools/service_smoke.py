@@ -11,7 +11,10 @@ and asserts the two are bit-identical per job key.  Along the way it
 exercises the operational surface: ``/healthz``, ``/metricz`` (the
 service counters must account for the submitted jobs), idempotent
 resubmission, and a graceful SIGTERM shutdown (exit 0, nothing left
-running in the store).
+running in the store).  A second server run then drives the
+supervision layer: a ``worker.hang`` fault wedges one job far past a
+short lease, the reaper must requeue it, and the recovered sweep must
+still match the direct run bit for bit.
 
 Exit code 0 on success, 1 with a diagnostic on any failure.
 
@@ -83,11 +86,14 @@ def build_spec() -> dict:
     }
 
 
-def start_server(workdir: Path):
+def start_server(workdir: Path, extra_args: list[str] | None = None,
+                 extra_env: dict[str, str] | None = None):
     cmd = [sys.executable, "-m", "repro", "serve",
            "--workdir", str(workdir), "--port", "0", "--workers", "2"]
+    cmd += extra_args or []
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.update(extra_env or {})
     proc = subprocess.Popen(cmd, cwd=REPO_ROOT, env=env,
                             stderr=subprocess.PIPE)
     state = workdir / "service.json"
@@ -105,6 +111,71 @@ def start_server(workdir: Path):
         time.sleep(0.1)
     proc.kill()
     raise RuntimeError("server never wrote its state file")
+
+
+def hung_worker_scenario(root: Path, spec_doc: dict,
+                         direct_by_key: dict) -> int | None:
+    """Supervision smoke: a hung worker's job is reaped and re-run.
+
+    Starts a fresh server with a short lease, a ``worker.hang`` fault
+    wedging the first job's first attempt for far longer than the
+    lease, and ``lease.heartbeat`` stalling that job's renewals while
+    it hangs.  The reaper must requeue the job, the re-run (attempt 2,
+    continuous across claims) must finish cleanly, and the results must
+    still be bit-identical to the direct CLI run.
+
+    Returns ``None`` on success, or an exit code from :func:`_fail`.
+    """
+    from repro.runner.jobs import SweepSpec
+
+    hung_key = SweepSpec.from_dict(spec_doc).expand()[0].key
+    plan = {
+        "kind": "fault_plan",
+        "seed": 9,
+        "points": [
+            # Attempt 1 of this job wedges for 12s -- four leases.
+            {"site": "worker.hang", "attempts": [1], "match": hung_key},
+            # ...and its heartbeats stall while it does (the first few
+            # beats drop; once the lease has lapsed and the job is
+            # reaped, renewals behave again for the re-run).
+            {"site": "lease.heartbeat", "match": hung_key,
+             "max_fires": 4},
+        ],
+    }
+    proc, url = start_server(
+        root / "svc-hang",
+        extra_args=["--chaos", json.dumps(plan),
+                    "--lease-seconds", "3.0", "--reap-interval", "0.5"],
+        extra_env={"REPRO_CHAOS_HANG_SECONDS": "12.0"},
+    )
+    try:
+        client = ServiceClient(url, client_id="smoke-hang")
+        accepted = client.submit(spec_doc)
+        results = client.wait(accepted["id"], timeout=600,
+                              poll_interval=0.5)
+        if results["counts"]["done"] != accepted["total_jobs"]:
+            return _fail(f"hung-worker scenario: jobs did not all "
+                         f"finish: {results['counts']}")
+        for job in results["jobs"]:
+            ours = scrub(job["result"])
+            theirs = scrub(direct_by_key[job["key"]])
+            if ours != theirs:
+                return _fail(
+                    f"hung-worker scenario: result for "
+                    f"{job['key'][:12]} differs after the reap:\n"
+                    f"  service: {json.dumps(ours, sort_keys=True)}\n"
+                    f"  direct:  {json.dumps(theirs, sort_keys=True)}")
+        counters = client.metrics().get("counters", {})
+        if counters.get("service.jobs.reaped", 0) < 1:
+            return _fail(f"hung-worker scenario: reaper never fired: "
+                         f"{counters}")
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=120)
+    if code != 0:
+        return _fail(f"hung-worker scenario: server exited {code} on "
+                     f"SIGTERM")
+    return None
 
 
 def main() -> int:
@@ -174,8 +245,15 @@ def main() -> int:
         if code != 0:
             return _fail(f"server exited {code} on SIGTERM")
 
+        # 5. Supervision: a hung worker loses its job to the reaper and
+        # the re-run is still bit-identical to the direct path.
+        failed = hung_worker_scenario(root, spec_doc, direct_by_key)
+        if failed is not None:
+            return failed
+
     print(f"service smoke ok: {len(direct_by_key)} jobs bit-identical "
-          f"over HTTP, healthz/metricz consistent, clean shutdown")
+          f"over HTTP (including after a hung-worker reap), "
+          f"healthz/metricz consistent, clean shutdown")
     return 0
 
 
