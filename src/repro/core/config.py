@@ -247,12 +247,23 @@ class SupervisionConfig:
             reach this is **quarantined** -- a terminal state with the
             last error preserved -- instead of crash-looping; operators
             inspect and requeue via ``POST /v1/analyses/<id>/retry``.
+        max_lease_renewal_seconds: Hard cap on how long one claim's
+            heartbeat may keep renewing its lease.  Heartbeats run on
+            the scheduler thread, so they outlive a solve wedged
+            inside the worker process; without a renewal bound such a
+            claim would hold its lease forever.  For jobs with a
+            derivable wall timeout the scheduler already stops
+            renewing past the worst-case retry budget -- this cap
+            additionally bounds jobs *without* one (``None``, the
+            default, leaves those unbounded: the reaper then only
+            covers dropped heartbeats and dead processes for them).
     """
 
     lease_seconds: float = 60.0
     heartbeat_interval_seconds: float | None = None
     reap_interval_seconds: float | None = None
     max_job_attempts: int = 5
+    max_lease_renewal_seconds: float | None = None
 
     def __post_init__(self):
         if self.lease_seconds <= 0:
@@ -275,6 +286,12 @@ class SupervisionConfig:
             raise ModelingError(
                 f"max_job_attempts must be >= 1, got "
                 f"{self.max_job_attempts}"
+            )
+        if self.max_lease_renewal_seconds is not None \
+                and self.max_lease_renewal_seconds <= 0:
+            raise ModelingError(
+                f"max_lease_renewal_seconds must be > 0, got "
+                f"{self.max_lease_renewal_seconds}"
             )
 
     def resolved_heartbeat_interval(self) -> float:

@@ -1003,8 +1003,18 @@ def _parallel_round(queue, attempts, failed_seconds, campaign,
             if not done_now and campaign.cancel_requested():
                 for pending_future in not_done:
                     pending_future.cancel()
-                for future, job in futures.items():
-                    if not future.done() or future.cancelled():
+                # Settle by bookkeeping, not by future state: a future
+                # can complete between the wait returning empty and
+                # this branch, and keying off ``future.done()`` would
+                # skip that job entirely -- neither processed nor
+                # cancelled, leaving the sweep with a missing outcome.
+                # Every job not already settled (or queued for a
+                # requeue round, which the outer loop cancels) settles
+                # as cancelled here.
+                requeued_keys = {job.key for job in requeue}
+                for job in futures.values():
+                    if job.key not in campaign.outcomes \
+                            and job.key not in requeued_keys:
                         campaign.settle(job, _cancelled_outcome(job))
                 abandoned = True
                 return requeue, broke

@@ -23,10 +23,22 @@ Self-healing (``ServiceConfig.supervision``):
   sweep executes.  A **reaper** thread requeues jobs whose lease
   lapsed -- a worker hung inside a solve (the ``worker.hang`` chaos
   site) loses the job within one lease period, with the same
-  exactly-once audit transitions as startup recovery.  If the hung
-  worker eventually wakes and tries to settle, the store's
-  state-machine guard refuses the second transition and the scheduler
-  discards the stale result (counted as ``service.stale_settles``).
+  exactly-once audit transitions as startup recovery.  Every claim
+  carries a **fencing token**; heartbeats and settles present it, so
+  if the hung worker eventually wakes its late settle is refused --
+  even when the job is already ``running`` again under a *new* claim
+  -- and the scheduler discards the stale result (counted as
+  ``service.stale_settles``).  The stale worker's heartbeat loop
+  likewise stops the moment a renewal reports the lease lost, so it
+  can never keep a re-claimed job's lease alive.  Because heartbeats
+  run on the scheduler thread (they outlive a wedged worker process),
+  renewal is additionally bounded by the job's worst-case wall budget
+  (attempts x wall timeout + backoff, when a wall timeout is
+  derivable) and by ``max_lease_renewal_seconds`` -- past that
+  horizon the lease is allowed to lapse and the reaper recovers the
+  job.  Jobs with no wall timeout and no configured cap renew
+  indefinitely; for those, the reaper covers dropped heartbeats and
+  dead processes, not in-process wedges.
 * **Poison-job quarantine.**  ``attempts`` counts store-level claims
   and survives crashes and reaps, so a job that keeps killing its
   worker converges to the terminal ``quarantined`` state once
@@ -223,6 +235,7 @@ class Scheduler:
             return False
         service_crash("service.crash_claimed", key=claimed["key"])
         analysis_id, key = claimed["analysis_id"], claimed["key"]
+        token = claimed["claim_token"]
         job = Job(payload=claimed["payload"])
         metrics().gauge("service.queue_depth").set(self.store.depth())
 
@@ -235,7 +248,7 @@ class Scheduler:
                 self._settle_guarded(
                     analysis_id, key, "failed", status="deadline_exceeded",
                     error="deadline_exceeded: end-to-end deadline passed "
-                          "before the job could start")
+                          "before the job could start", token=token)
                 metrics().counter("service.jobs.deadline_exceeded").inc()
                 return True
             default_wall = self.runner_config.wall_timeout_for(
@@ -246,7 +259,8 @@ class Scheduler:
         heartbeat_stop = threading.Event()
         heartbeat = threading.Thread(
             target=self._heartbeat_loop,
-            args=(analysis_id, key, heartbeat_stop),
+            args=(analysis_id, key, token, heartbeat_stop,
+                  self._renewal_horizon(job, wall_timeout)),
             name="repro-service-heartbeat", daemon=True)
         heartbeat.start()
 
@@ -277,7 +291,8 @@ class Scheduler:
             logger.exception("job %s failed outside the executor",
                              key[:12])
             self._settle_guarded(analysis_id, key, "failed", status="error",
-                                 error=f"{type(exc).__name__}: {exc}")
+                                 error=f"{type(exc).__name__}: {exc}",
+                                 token=token)
             metrics().counter("service.jobs_failed").inc()
             return True
         finally:
@@ -290,57 +305,104 @@ class Scheduler:
             # Drain request landed before the attempt even started:
             # hand the claim back so a graceful stop leaves nothing in
             # 'running'.
-            self.store.release(analysis_id, key)
+            self.store.release(analysis_id, key, token=token)
             return True
         settled = outcome.outcomes[0]
         service_crash("service.crash_settling", key=key)
         if settled.status == "cancelled":
             self._settle_guarded(analysis_id, key, "cancelled",
-                                 status="cancelled", error=settled.error)
+                                 status="cancelled", error=settled.error,
+                                 token=token)
             metrics().counter("service.jobs_cancelled").inc()
         elif settled.ok:
             self._settle_guarded(analysis_id, key, "done",
-                                 status=settled.status)
+                                 status=settled.status, token=token)
             metrics().counter("service.jobs_done").inc()
         else:
             self._settle_guarded(analysis_id, key, "failed",
-                                 status=settled.status, error=settled.error)
+                                 status=settled.status, error=settled.error,
+                                 token=token)
             metrics().counter("service.jobs_failed").inc()
         return True
 
-    def _heartbeat_loop(self, analysis_id: str, key: str,
-                        stop: threading.Event) -> None:
+    def _renewal_horizon(self, job: Job,
+                         wall_timeout: float | None) -> float | None:
+        """Latest time this claim's heartbeat may renew the lease.
+
+        The heartbeat thread lives on the scheduler, so it survives a
+        solve wedged inside the worker process -- renewing forever
+        would mean a wedged claim is never reaped.  When the job has a
+        derivable wall budget (an explicit deadline clamp or a
+        ``time_limit``-derived timeout), a healthy executor must have
+        returned within the worst case of every attempt plus backoff;
+        past that, the claim is presumed wedged and the lease is left
+        to lapse.  ``max_lease_renewal_seconds`` caps the horizon
+        regardless; with neither bound the horizon is ``None``
+        (renew indefinitely -- documented reaper-coverage gap).
+        """
+        supervision = self.config.supervision
+        wall = wall_timeout if wall_timeout is not None else \
+            self.runner_config.wall_timeout_for(job.params.get("time_limit"))
+        budget = supervision.max_lease_renewal_seconds
+        if wall is not None:
+            cfg = self.runner_config
+            worst = ((cfg.retries + 1) * wall
+                     + cfg.retries * cfg.backoff_max_seconds
+                     + supervision.lease_seconds)
+            budget = worst if budget is None else min(budget, worst)
+        return None if budget is None else time.time() + budget
+
+    def _heartbeat_loop(self, analysis_id: str, key: str, token: str,
+                        stop: threading.Event,
+                        renew_until: float | None) -> None:
         supervision = self.config.supervision
         interval = supervision.resolved_heartbeat_interval()
         while not stop.wait(interval):
+            if renew_until is not None and time.time() >= renew_until:
+                logger.warning(
+                    "job %s exceeded its worst-case wall budget; "
+                    "letting the lease lapse so the reaper recovers it",
+                    key[:12])
+                return
             try:
-                renewed = self.store.heartbeat(
-                    analysis_id, key, supervision.lease_seconds)
+                outcome = self.store.heartbeat(
+                    analysis_id, key, supervision.lease_seconds, token)
             except Exception:
                 logger.exception("heartbeat for job %s failed", key[:12])
                 continue
-            if not renewed:
-                # Either the chaos site dropped this beat, or the job
-                # is no longer running (reaped/cancelled).  Keep
-                # beating: renewals are idempotent and a reaped job's
-                # settle is rejected by the store guard anyway.
-                logger.debug("heartbeat for job %s not applied", key[:12])
+            if outcome == "lost":
+                # This claim no longer owns the job (reaped, settled,
+                # or re-claimed by another worker).  Stop beating: the
+                # fencing token already guarantees these renewals can
+                # never touch the new claim's lease, and continuing
+                # would only log noise until the sweep returns.
+                logger.warning(
+                    "lease for job %s lost (reaped or settled); "
+                    "stopping heartbeats", key[:12])
+                return
+            if outcome == "dropped":
+                # Chaos swallowed the beat; the lease keeps aging but
+                # the claim is still ours -- retry at the next tick.
+                logger.debug("heartbeat for job %s dropped", key[:12])
 
     def _settle_guarded(self, analysis_id: str, key: str, state: str,
                         status: str | None = None,
-                        error: str | None = None) -> None:
-        """Settle, discarding the stale-worker race.
+                        error: str | None = None,
+                        token: str | None = None) -> None:
+        """Settle with this claim's fencing token, discarding the
+        stale-worker race.
 
         A job reaped (or recovered) out from under a still-running
         worker is requeued -- when that worker finally produces a
-        result, the store's state-machine guard refuses the second
-        transition.  That is the *correct* outcome: the re-run hits the
-        content-addressed cache and settles bit-identically, so the
-        stale result is redundant, not lost.
+        result, the store refuses the fenced settle, *even if the job
+        has since been re-claimed and is running again* (the token no
+        longer matches).  That is the *correct* outcome: the re-run
+        hits the content-addressed cache and settles bit-identically,
+        so the stale result is redundant, not lost.
         """
         try:
             self.store.settle(analysis_id, key, state, status=status,
-                              error=error)
+                              error=error, token=token)
         except ServiceError:
             logger.warning(
                 "job %s was requeued while this worker ran it; "

@@ -23,6 +23,13 @@ Supervision (the self-healing layer on top of the state machine):
   un-renewed means the worker is hung or dead, and
   :meth:`reap_expired` requeues the job with the same exactly-once
   audit transitions as startup recovery.
+* **Fencing** -- every claim also stamps a fresh ``claim_token``, and
+  :meth:`settle`, :meth:`heartbeat`, and :meth:`release` only act when
+  presented with the token of the claim they belong to.  Without the
+  token, a presumed-dead worker that wakes *after* its job was reaped
+  and re-claimed could settle (or keep renewing) against the new
+  claim; with it, every late write from a superseded claim is refused
+  no matter what state the job has since reached.
 * **Quarantine** -- a job whose store-level claims (attempts carried
   across crashes, restarts, and reaps) exhaust the supervision budget
   is moved by :meth:`quarantine_exhausted` to the terminal
@@ -65,6 +72,7 @@ import os
 import sqlite3
 import threading
 import time
+import uuid
 
 from repro.exceptions import ServiceError
 from repro.resilience.faults import maybe_fire
@@ -124,6 +132,7 @@ CREATE TABLE IF NOT EXISTS jobs (
     finished_at  REAL,
     lease_expires_at REAL,
     heartbeat_at REAL,
+    claim_token  TEXT,
     deadline_at  REAL,
     cancel_requested INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (analysis_id, key)
@@ -177,6 +186,7 @@ class JobStore:
         for column, decl in (
             ("lease_expires_at", "REAL"),
             ("heartbeat_at", "REAL"),
+            ("claim_token", "TEXT"),
             ("deadline_at", "REAL"),
             ("cancel_requested", "INTEGER NOT NULL DEFAULT 0"),
         ):
@@ -275,13 +285,22 @@ class JobStore:
                 (:meth:`reap_expired`) requeues the job once it lapses.
                 ``None`` grants an unbounded claim (legacy behavior).
 
+        Every claim -- leased or not -- also mints a fresh
+        ``claim_token`` (the fencing token): subsequent
+        :meth:`heartbeat`, :meth:`settle`, and :meth:`release` calls
+        that present the token only act on *this* claim, so a
+        presumed-dead worker whose job was reaped and re-claimed can
+        neither settle over nor keep alive the new claim.
+
         Returns:
-            The claimed job row as a dict (``payload`` parsed), or
-            ``None`` when the queue is empty.
+            The claimed job row as a dict (``payload`` parsed,
+            ``claim_token`` included), or ``None`` when the queue is
+            empty.
         """
         now = time.time()
         lease_expires_at = None if lease_seconds is None \
             else now + float(lease_seconds)
+        claim_token = uuid.uuid4().hex
         with self._lock:
             row = self._conn.execute(
                 "SELECT analysis_id, key, label, payload, attempts, "
@@ -294,10 +313,10 @@ class JobStore:
             self._conn.execute(
                 "UPDATE jobs SET state = 'running', started_at = ?, "
                 "attempts = attempts + 1, lease_expires_at = ?, "
-                "heartbeat_at = ? "
+                "heartbeat_at = ?, claim_token = ? "
                 "WHERE analysis_id = ? AND key = ?",
-                (now, lease_expires_at, now, row["analysis_id"],
-                 row["key"]),
+                (now, lease_expires_at, now, claim_token,
+                 row["analysis_id"], row["key"]),
             )
             self._record_transition(row["analysis_id"], row["key"],
                                     "queued", "running", now)
@@ -313,39 +332,51 @@ class JobStore:
                             else float(row["deadline_at"])),
             "cancel_requested": bool(row["cancel_requested"]),
             "lease_expires_at": lease_expires_at,
+            "claim_token": claim_token,
         }
 
     def heartbeat(self, analysis_id: str, key: str,
-                  lease_seconds: float) -> bool:
+                  lease_seconds: float, token: str) -> str:
         """Renew a running job's lease (called by the worker's
         heartbeat thread while ``run_sweep`` executes).
+
+        The renewal is fenced on ``token`` (the ``claim_token`` handed
+        out by :meth:`claim`): a beat from a superseded claim -- the
+        job was reaped and re-claimed by another worker -- never
+        extends the new claim's lease, so a genuinely hung re-claim
+        still gets reaped even while the old worker's heartbeat thread
+        is alive.
 
         The ``lease.heartbeat`` chaos site models a stalled heartbeat:
         when it fires, the renewal is silently dropped -- the lease
         keeps aging and, if enough beats are dropped, the reaper
         requeues a job whose worker is in fact still computing.  (The
-        stale worker's eventual settle is then refused by the
-        state-machine guard and discarded by the scheduler.)
+        stale worker's eventual settle is then refused by the fencing
+        guard and discarded by the scheduler.)
 
         Returns:
-            Whether the lease was renewed (False when the job is no
-            longer ``running`` -- e.g. already reaped -- or the chaos
-            site dropped the beat).
+            ``"renewed"`` when the lease was extended, ``"dropped"``
+            when the chaos site swallowed the beat (worth retrying),
+            or ``"lost"`` when this claim no longer owns the job --
+            it was reaped, settled, or re-claimed -- and the caller
+            should stop beating.
         """
         if maybe_fire("lease.heartbeat", key=key):
-            return False
+            return "dropped"
         now = time.time()
         with self._lock:
             updated = self._conn.execute(
                 "UPDATE jobs SET lease_expires_at = ?, heartbeat_at = ? "
-                "WHERE analysis_id = ? AND key = ? AND state = 'running'",
-                (now + float(lease_seconds), now, analysis_id, key),
+                "WHERE analysis_id = ? AND key = ? AND state = 'running' "
+                "AND claim_token = ?",
+                (now + float(lease_seconds), now, analysis_id, key, token),
             ).rowcount
             self._conn.commit()
-        return bool(updated)
+        return "renewed" if updated else "lost"
 
     def settle(self, analysis_id: str, key: str, state: str,
-               status: str | None = None, error: str | None = None) -> None:
+               status: str | None = None, error: str | None = None,
+               token: str | None = None) -> None:
         """Move a ``running`` job to a terminal state (one transaction).
 
         Args:
@@ -355,17 +386,27 @@ class JobStore:
                 ``resumed``/``error``/``timeout``/``cancelled``) for
                 observability.
             error: Structured error text for failed jobs.
+            token: The claim's fencing token.  When given, the settle
+                only lands if this claim still owns the job -- a late
+                settle from a worker whose job was reaped and
+                re-claimed is refused *even though the job is
+                ``running`` again* (under somebody else's claim).
+                ``None`` skips the fence (direct store surgery only;
+                the scheduler always fences).
         """
         if state not in ("done", "failed", "cancelled"):
             raise ServiceError(f"cannot settle a job to {state!r}")
         now = time.time()
+        query = ("UPDATE jobs SET state = ?, status = ?, error = ?, "
+                 "finished_at = ?, lease_expires_at = NULL, "
+                 "claim_token = NULL "
+                 "WHERE analysis_id = ? AND key = ? AND state = 'running'")
+        params: tuple = (state, status, error, now, analysis_id, key)
+        if token is not None:
+            query += " AND claim_token = ?"
+            params += (token,)
         with self._lock:
-            updated = self._conn.execute(
-                "UPDATE jobs SET state = ?, status = ?, error = ?, "
-                "finished_at = ?, lease_expires_at = NULL "
-                "WHERE analysis_id = ? AND key = ? AND state = 'running'",
-                (state, status, error, now, analysis_id, key),
-            ).rowcount
+            updated = self._conn.execute(query, params).rowcount
             if updated:
                 self._record_transition(analysis_id, key, "running", state,
                                         now)
@@ -373,7 +414,7 @@ class JobStore:
         if not updated:
             raise ServiceError(
                 f"job {key[:12]} of analysis {analysis_id[:12]} is not "
-                "running; refusing to settle it twice"
+                "running under this claim; refusing to settle it"
             )
 
     def cancel_analysis(self, analysis_id: str) -> dict | None:
@@ -443,26 +484,33 @@ class JobStore:
             ).fetchone()
         return bool(row and row["cancel_requested"])
 
-    def release(self, analysis_id: str, key: str) -> bool:
+    def release(self, analysis_id: str, key: str,
+                token: str | None = None) -> bool:
         """Return a claimed-but-never-started job to the queue.
 
         The drain path: a worker that claimed a job and was stopped
         before the attempt began hands it back, so a graceful shutdown
         leaves nothing in ``running``.  The claim's attempt is refunded
-        -- it never executed.
+        -- it never executed.  With ``token``, the release is fenced
+        like :meth:`settle`: a stale worker cannot refund or requeue a
+        job somebody else has since claimed.
 
         Returns:
-            Whether the job was released (False if it was not running).
+            Whether the job was released (False if it was not running,
+            or no longer running under this claim).
         """
         now = time.time()
+        query = ("UPDATE jobs SET state = 'queued', started_at = NULL, "
+                 "attempts = MAX(0, attempts - 1), "
+                 "lease_expires_at = NULL, heartbeat_at = NULL, "
+                 "claim_token = NULL "
+                 "WHERE analysis_id = ? AND key = ? AND state = 'running'")
+        params: tuple = (analysis_id, key)
+        if token is not None:
+            query += " AND claim_token = ?"
+            params += (token,)
         with self._lock:
-            updated = self._conn.execute(
-                "UPDATE jobs SET state = 'queued', started_at = NULL, "
-                "attempts = MAX(0, attempts - 1), "
-                "lease_expires_at = NULL, heartbeat_at = NULL "
-                "WHERE analysis_id = ? AND key = ? AND state = 'running'",
-                (analysis_id, key),
-            ).rowcount
+            updated = self._conn.execute(query, params).rowcount
             if updated:
                 self._record_transition(analysis_id, key, "running",
                                         "queued", now)
@@ -489,7 +537,7 @@ class JobStore:
                     "UPDATE jobs SET state = 'cancelled', status = "
                     "'cancelled', error = ?, finished_at = ?, "
                     "started_at = NULL, lease_expires_at = NULL, "
-                    "heartbeat_at = NULL "
+                    "heartbeat_at = NULL, claim_token = NULL "
                     "WHERE analysis_id = ? AND key = ? "
                     "AND state = 'running'",
                     (f"cancelled by client ({reason})", now,
@@ -504,7 +552,8 @@ class JobStore:
                 continue
             self._conn.execute(
                 "UPDATE jobs SET state = 'queued', started_at = NULL, "
-                "lease_expires_at = NULL, heartbeat_at = NULL, error = ? "
+                "lease_expires_at = NULL, heartbeat_at = NULL, "
+                "claim_token = NULL, error = ? "
                 "WHERE analysis_id = ? AND key = ? AND state = 'running'",
                 (reason, row["analysis_id"], row["key"]),
             )
@@ -692,7 +741,8 @@ class JobStore:
                     "UPDATE jobs SET state = 'queued', attempts = 0, "
                     "status = NULL, error = NULL, started_at = NULL, "
                     "finished_at = NULL, lease_expires_at = NULL, "
-                    "heartbeat_at = NULL, cancel_requested = 0 "
+                    "heartbeat_at = NULL, claim_token = NULL, "
+                    "cancel_requested = 0 "
                     "WHERE analysis_id = ? AND key = ? "
                     "AND state = 'quarantined'",
                     (analysis_id, row["key"]),

@@ -207,3 +207,59 @@ class TestTelemetryAggregation:
         totals = outcome.stats_totals()
         assert totals["jobs_with_stats"] == 0
         assert totals["solve_seconds"] == 0.0
+
+
+class TestCooperativeCancel:
+    def test_cancel_settles_every_job_in_the_pool(self):
+        """A cancel raised mid-flight settles the wedged job as
+        cancelled instead of waiting out its wall timeout."""
+        polls = {"n": 0}
+
+        def cancel_after_two():
+            polls["n"] += 1
+            return polls["n"] > 2
+
+        outcome = run_sweep(
+            [_job("sleep_task", sleep_seconds=600)], num_workers=2,
+            wall_timeout=30.0, cancel_check=cancel_after_two,
+            config=RunnerConfig(retries=0, backoff_seconds=0.0),
+        )
+        assert len(outcome.outcomes) == 1
+        assert outcome.outcomes[0].status == "cancelled"
+        assert "cancelled by client" in outcome.outcomes[0].error
+
+    def test_cancel_race_settles_done_but_unretrieved_future(
+            self, monkeypatch):
+        """REVIEW regression: a future can complete between the wait
+        returning empty and the cancel branch running.  Keying the
+        cancel settle off ``future.done()`` skipped that job entirely
+        -- neither processed nor cancelled -- so the sweep returned no
+        outcome for it and the service scheduler crashed on
+        ``outcomes[0]``.  The cancel branch must settle by bookkeeping:
+        every job not already settled is cancelled."""
+        import repro.runner.executor as executor_mod
+
+        real_wait = executor_mod.futures_wait
+
+        def racy_wait(fs, timeout=None, return_when=None):
+            # Let the future genuinely complete, then report nothing
+            # done -- the exact window the cancel check races with.
+            real_wait(fs, timeout=10.0, return_when=return_when)
+            return set(), set(fs)
+
+        monkeypatch.setattr(executor_mod, "futures_wait", racy_wait)
+        polls = {"n": 0}
+
+        def cancel_on_second_poll():
+            polls["n"] += 1
+            return polls["n"] > 1
+
+        outcome = run_sweep(
+            [_job("echo_task", value=1)], num_workers=2,
+            cancel_check=cancel_on_second_poll,
+            config=RunnerConfig(retries=0, backoff_seconds=0.0),
+        )
+        # The job must come back settled -- cancelled is the correct
+        # answer here -- never silently missing from the outcome.
+        assert len(outcome.outcomes) == 1
+        assert outcome.outcomes[0].status == "cancelled"

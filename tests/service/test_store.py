@@ -202,30 +202,50 @@ class TestLeases:
 
     def test_heartbeat_renews_lease(self, store):
         store.submit("a1", "camp", "alice", JOBS[:1])
-        store.claim(lease_seconds=0.05)
+        claimed = store.claim(lease_seconds=0.05)
         for _ in range(3):
             time.sleep(0.02)
-            assert store.heartbeat("a1", "k1", 0.05) is True
+            assert store.heartbeat(
+                "a1", "k1", 0.05, claimed["claim_token"]) == "renewed"
         # Renewed throughout: nothing to reap.
         assert store.reap_expired() == []
 
     def test_heartbeat_refused_when_not_running(self, store):
         store.submit("a1", "camp", "alice", JOBS[:1])
-        assert store.heartbeat("a1", "k1", 1.0) is False
-        store.claim(lease_seconds=1.0)
+        assert store.heartbeat("a1", "k1", 1.0, "no-such-claim") == "lost"
+        claimed = store.claim(lease_seconds=1.0)
         store.settle("a1", "k1", "done", status="done")
-        assert store.heartbeat("a1", "k1", 1.0) is False
+        assert store.heartbeat(
+            "a1", "k1", 1.0, claimed["claim_token"]) == "lost"
 
     def test_heartbeat_fault_drops_the_beat(self, store):
         store.submit("a1", "camp", "alice", JOBS[:1])
-        store.claim(lease_seconds=0.01)
+        claimed = store.claim(lease_seconds=0.01)
         plan = {"kind": "fault_plan", "seed": 3,
                 "points": [{"site": "lease.heartbeat", "attempts": []}]}
         with injected(plan):
-            assert store.heartbeat("a1", "k1", 60.0) is False
+            assert store.heartbeat(
+                "a1", "k1", 60.0, claimed["claim_token"]) == "dropped"
         time.sleep(0.05)
         # The dropped renewal let the lease lapse.
         assert [r["key"] for r in store.reap_expired()] == ["k1"]
+
+    def test_heartbeat_fenced_against_reclaim(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        stale = store.claim(lease_seconds=0.01)
+        time.sleep(0.05)
+        store.reap_expired()
+        fresh = store.claim(lease_seconds=0.05)
+        # The presumed-dead worker's renewals must not keep the *new*
+        # claim alive -- the job is 'running' again, so only the
+        # fencing token tells the two claims apart.
+        assert store.heartbeat(
+            "a1", "k1", 60.0, stale["claim_token"]) == "lost"
+        time.sleep(0.1)
+        # The stale beat did not renew: the new claim's lease lapses
+        # on schedule and the reaper can take a genuinely hung reclaim.
+        assert [r["key"] for r in store.reap_expired()] == ["k1"]
+        assert fresh["claim_token"] != stale["claim_token"]
 
     def test_reap_honors_pending_cancel(self, store):
         store.submit("a1", "camp", "alice", JOBS[:1])
@@ -254,6 +274,39 @@ class TestLeases:
         # The original (hung) worker wakes up and tries to settle.
         with pytest.raises(ServiceError, match="refusing to settle"):
             store.settle("a1", "k1", "done", status="done")
+
+    def test_stale_settle_after_reclaim_is_refused(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        stale = store.claim(lease_seconds=0.01)
+        time.sleep(0.05)
+        store.reap_expired()
+        fresh = store.claim(lease_seconds=60.0)
+        # The job is 'running' again -- without fencing, the woken
+        # worker's settle would land on worker B's claim.  The token
+        # refuses it.
+        with pytest.raises(ServiceError, match="refusing to settle"):
+            store.settle("a1", "k1", "failed", status="timeout",
+                         error="stale", token=stale["claim_token"])
+        assert store.counts()["running"] == 1
+        # The live claim settles normally, exactly once.
+        store.settle("a1", "k1", "done", status="done",
+                     token=fresh["claim_token"])
+        assert store.analysis_jobs("a1")[0]["state"] == "done"
+        terminal = [t for t in store.transitions("a1")
+                    if t["to_state"] in ("done", "failed", "cancelled",
+                                         "quarantined")]
+        assert len(terminal) == 1
+
+    def test_release_fenced_against_reclaim(self, store):
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        stale = store.claim(lease_seconds=0.01)
+        time.sleep(0.05)
+        store.reap_expired()
+        store.claim(lease_seconds=60.0)
+        # A stale release must not refund or requeue the new claim.
+        assert store.release("a1", "k1", token=stale["claim_token"]) \
+            is False
+        assert store.counts()["running"] == 1
 
 
 class TestQuarantine:

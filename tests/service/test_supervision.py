@@ -15,6 +15,7 @@ deterministic chaos plans:
   ``cancel_requested`` flag within one executor poll interval.
 """
 
+import threading
 import time
 
 import pytest
@@ -130,6 +131,76 @@ class TestHungWorkerReaped:
             assert store.counts()["running"] == 1
             assert scheduler.reap_once() == 1  # next pass recovers
         assert store.counts()["queued"] == 1
+
+
+class TestHeartbeatFencing:
+    def test_stale_heartbeat_loop_stops_and_never_extends_new_claim(
+            self, store, cache):
+        """REVIEW regression: after a reap + re-claim, the presumed-dead
+        worker's heartbeat loop must exit on its own -- and its beats
+        must never renew the new claim's lease."""
+        submitted(store, echo_spec([3], name="fence"))
+        stale = store.claim(lease_seconds=0.01)
+        time.sleep(0.05)
+        store.reap_expired()
+        store.claim(lease_seconds=0.2)  # worker B's claim
+        # A stale heartbeat loop renewing with a 60s lease every 10ms:
+        # if fencing failed, worker B's lease would never lapse.
+        config = supervised_config(lease_seconds=60.0,
+                                   heartbeat_interval_seconds=0.01)
+        scheduler = Scheduler(store, cache, config)
+        stop = threading.Event()
+        thread = threading.Thread(
+            target=scheduler._heartbeat_loop,
+            args=(stale["analysis_id"], stale["key"],
+                  stale["claim_token"], stop, None), daemon=True)
+        thread.start()
+        thread.join(timeout=5.0)
+        alive = thread.is_alive()
+        stop.set()
+        assert not alive  # exited on its own: lease reported lost
+        # Worker B's 0.2s lease lapsed on schedule -- the stale beats
+        # did not mask a genuinely hung re-claim from the reaper.
+        time.sleep(0.25)
+        assert len(store.reap_expired()) == 1
+
+    def test_renewal_horizon_lets_wedged_claim_lapse(self, store, cache):
+        """A claim past its worst-case wall budget stops renewing, so a
+        solve wedged inside the worker process is reaped eventually."""
+        submitted(store, echo_spec([4], name="wedge"))
+        claimed = store.claim(lease_seconds=0.05)
+        config = supervised_config(lease_seconds=0.05,
+                                   heartbeat_interval_seconds=0.01)
+        scheduler = Scheduler(store, cache, config)
+        stop = threading.Event()
+        thread = threading.Thread(
+            target=scheduler._heartbeat_loop,
+            args=(claimed["analysis_id"], claimed["key"],
+                  claimed["claim_token"], stop,
+                  time.time()), daemon=True)  # horizon already passed
+        thread.start()
+        thread.join(timeout=5.0)
+        alive = thread.is_alive()
+        stop.set()
+        assert not alive  # stopped renewing at the horizon
+        time.sleep(0.1)
+        assert len(store.reap_expired()) == 1
+
+    def test_renewal_horizon_derivation(self, store, cache):
+        from repro.runner.jobs import Job
+
+        job = Job({"task": "t", "instance": {}, "params": {}})
+        scheduler = Scheduler(store, cache, supervised_config())
+        # No wall timeout derivable, no cap: renew indefinitely.
+        assert scheduler._renewal_horizon(job, None) is None
+        # An explicit wall budget bounds the horizon.
+        assert scheduler._renewal_horizon(job, 10.0) is not None
+        # The config cap bounds it even without a wall timeout.
+        capped = Scheduler(store, cache, supervised_config(
+            max_lease_renewal_seconds=5.0))
+        horizon = capped._renewal_horizon(job, None)
+        assert horizon is not None
+        assert horizon <= time.time() + 5.5
 
 
 class TestCrashLoopQuarantine:
