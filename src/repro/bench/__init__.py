@@ -1,0 +1,71 @@
+"""``repro.bench``: benchmark orchestration and regression detection.
+
+The perf observability layer the ROADMAP's "fast as the hardware
+allows" goal needs a feedback loop for: a registry of tagged
+:class:`BenchCase` scenarios (:mod:`repro.bench.registry`), a
+warmup-and-repetitions harness collecting wall time, solver telemetry,
+cache hits, and peak RSS (:mod:`repro.bench.harness`), robust
+median/MAD statistics (:mod:`repro.bench.stats`), schema-versioned
+``BENCH_*.json`` documents with environment fingerprints
+(:mod:`repro.bench.results`), and a noise-scaled comparison gate
+(:mod:`repro.bench.compare`) -- all driven by ``python -m repro bench
+run|compare|list`` (:mod:`repro.bench.cli`).
+
+The repo's cases live in ``benchmarks/bench_cases.py``; the committed
+``benchmarks/baseline.json`` plus the ``bench-smoke`` CI job close the
+regression loop.  See docs/operations.md "Tracking performance".
+"""
+
+from repro.bench.compare import (
+    CaseDelta,
+    Comparison,
+    allowed_ceiling,
+    compare_results,
+    render_table,
+)
+from repro.bench.harness import CaseResult, peak_rss_bytes, run_case, run_suite
+from repro.bench.registry import (
+    DEFAULT_CASES_MODULE,
+    BenchCase,
+    bench_case,
+    clear_registry,
+    load_cases,
+    registered_cases,
+    select_cases,
+)
+from repro.bench.results import (
+    SCHEMA_VERSION,
+    environment_fingerprint,
+    load_results,
+    results_document,
+    save_results,
+)
+from repro.bench.stats import SampleStats, mad, median, summarize
+
+__all__ = [
+    "BenchCase",
+    "CaseDelta",
+    "CaseResult",
+    "Comparison",
+    "DEFAULT_CASES_MODULE",
+    "SCHEMA_VERSION",
+    "SampleStats",
+    "allowed_ceiling",
+    "bench_case",
+    "clear_registry",
+    "compare_results",
+    "environment_fingerprint",
+    "load_cases",
+    "load_results",
+    "mad",
+    "median",
+    "peak_rss_bytes",
+    "registered_cases",
+    "render_table",
+    "results_document",
+    "run_case",
+    "run_suite",
+    "save_results",
+    "select_cases",
+    "summarize",
+]

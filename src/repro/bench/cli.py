@@ -1,0 +1,196 @@
+"""The ``python -m repro bench`` command: run, compare, list.
+
+* ``bench run``     -- execute registered cases (filtered by ``--tag``
+  or ``--case``) under the harness and write a schema-versioned
+  ``BENCH_<label>.json`` result document.
+* ``bench compare`` -- diff two result documents, print the human
+  table (and optionally a machine JSON verdict), and exit
+  :data:`EXIT_BENCH_REGRESSION` when any case's median exceeds its
+  noise-scaled threshold.  This is the CI gate.
+* ``bench list``    -- show the registered cases and their tags.
+
+Typical loop::
+
+    python -m repro bench run --tag smoke --out BENCH_ci.json
+    python -m repro bench compare benchmarks/baseline.json BENCH_ci.json
+
+Updating the committed baseline after an intentional perf change::
+
+    python -m repro bench run --tag smoke --label baseline \\
+        --out benchmarks/baseline.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.exceptions import BenchError
+
+#: Exit code when ``bench compare`` finds at least one regression.
+#: Distinct from 1 (operational error: unreadable file, bad schema) so
+#: CI can tell "the code got slower" from "the gate itself broke".
+EXIT_BENCH_REGRESSION = 8
+
+
+def _bench_config(args):
+    from repro.core.config import BenchConfig
+
+    kwargs = {}
+    for attr in ("warmup", "repetitions", "rel_tolerance",
+                 "mad_multiplier", "abs_floor_seconds"):
+        value = getattr(args, attr, None)
+        if value is not None:
+            kwargs[attr] = value
+    return BenchConfig(**kwargs)
+
+
+def _loaded_cases(args):
+    from repro.bench.registry import load_cases, select_cases
+
+    cases = load_cases(args.cases_module)
+    return select_cases(cases, tag=args.tag,
+                        names=getattr(args, "case", None))
+
+
+def _cmd_bench_run(args) -> int:
+    from repro.bench.harness import run_suite
+    from repro.bench.results import results_document, save_results
+
+    config = _bench_config(args)
+    cases = _loaded_cases(args)
+
+    def log(line: str) -> None:
+        if not args.quiet:
+            print(line, file=sys.stderr, flush=True)
+
+    tracer = None
+    writer = None
+    if args.trace:
+        from repro.obs import JsonlTraceWriter, Tracer
+
+        writer = JsonlTraceWriter(args.trace, name="bench")
+        tracer = Tracer(sink=writer.write)
+    try:
+        results = run_suite(cases, config=config, tracer=tracer, log=log)
+    finally:
+        if writer is not None:
+            from repro.obs import metrics
+
+            writer.close(metrics().snapshot())
+            print(f"trace: {args.trace}", file=sys.stderr)
+    document = results_document(results, label=args.label, config=config,
+                                tag=args.tag)
+    save_results(document, args.out)
+    print(f"wrote {len(results)} case(s) to {args.out}")
+    return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    from repro.bench.compare import compare_results, render_table
+    from repro.bench.results import load_results
+
+    config = _bench_config(args)
+    base_doc = load_results(args.base)
+    new_doc = load_results(args.new)
+    comparison = compare_results(base_doc, new_doc, config=config)
+    print(render_table(comparison))
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(comparison.to_dict(), indent=2, sort_keys=True)
+            + "\n")
+        print(f"wrote machine verdict to {args.json}")
+    if not comparison.deltas:
+        # Nothing overlapped: the gate cannot have checked anything.
+        print("warning: no case appears in both documents",
+              file=sys.stderr)
+    return 0 if comparison.ok else EXIT_BENCH_REGRESSION
+
+
+def _cmd_bench_list(args) -> int:
+    cases = _loaded_cases(args)
+    for case in cases:
+        tags = ",".join(sorted(case.tags))
+        line = f"{case.name}  [{tags}]"
+        if case.description:
+            line += f"  {case.description}"
+        print(line)
+    print(f"{len(cases)} case(s)")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    handler = {
+        "run": _cmd_bench_run,
+        "compare": _cmd_bench_compare,
+        "list": _cmd_bench_list,
+    }[args.bench_action]
+    try:
+        return handler(args)
+    except BenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def add_bench_parser(sub) -> None:
+    """Attach the ``bench`` subcommand to the CLI's subparsers."""
+    from repro.bench.registry import DEFAULT_CASES_MODULE
+
+    p_be = sub.add_parser(
+        "bench",
+        help="run/compare performance benchmarks (regression gate)")
+    actions = p_be.add_subparsers(dest="bench_action", required=True)
+
+    def common(p):
+        p.add_argument("--cases-module", default=DEFAULT_CASES_MODULE,
+                       help="importable module registering the bench "
+                            f"cases (default: {DEFAULT_CASES_MODULE})")
+        p.add_argument("--tag", default=None,
+                       help='only cases with this tag ("smoke" for the '
+                            'CI set, "full" for the local set)')
+
+    p_run = actions.add_parser(
+        "run", help="run cases and write a BENCH_*.json result document")
+    common(p_run)
+    p_run.add_argument("--case", action="append", default=None,
+                       metavar="NAME",
+                       help="run only this case (repeatable)")
+    p_run.add_argument("--out", default="BENCH_local.json",
+                       help="result document path (default: "
+                            "BENCH_local.json)")
+    p_run.add_argument("--label", default="local",
+                       help="label stamped into the document")
+    p_run.add_argument("--warmup", type=int, default=None,
+                       help="un-timed runs per case before sampling")
+    p_run.add_argument("--repetitions", type=int, default=None,
+                       help="timed runs per case (median/MAD basis)")
+    p_run.add_argument("--trace", default=None, metavar="FILE",
+                       help="write per-case JSONL spans (analyzer/solver "
+                            "phases under bench_case spans)")
+    p_run.add_argument("--quiet", action="store_true",
+                       help="suppress per-case progress on stderr")
+    p_run.set_defaults(func=_cmd_bench)
+
+    p_cmp = actions.add_parser(
+        "compare",
+        help="diff two result documents; exit "
+             f"{EXIT_BENCH_REGRESSION} on regression")
+    p_cmp.add_argument("base", help="baseline BENCH_*.json")
+    p_cmp.add_argument("new", help="candidate BENCH_*.json")
+    p_cmp.add_argument("--rel-tolerance", type=float, default=None,
+                       dest="rel_tolerance",
+                       help="fractional slowdown tolerated (0.25 = 25%%)")
+    p_cmp.add_argument("--mad-multiplier", type=float, default=None,
+                       dest="mad_multiplier",
+                       help="MADs of noise-scaled slack on the ceiling")
+    p_cmp.add_argument("--abs-floor", type=float, default=None,
+                       dest="abs_floor_seconds", metavar="SECONDS",
+                       help="absolute slack added to every ceiling")
+    p_cmp.add_argument("--json", default=None, metavar="FILE",
+                       help="also write the machine-readable verdict")
+    p_cmp.set_defaults(func=_cmd_bench)
+
+    p_ls = actions.add_parser("list", help="list registered cases")
+    common(p_ls)
+    p_ls.set_defaults(func=_cmd_bench)

@@ -1,0 +1,190 @@
+"""Regression detection between two benchmark result documents.
+
+``repro bench compare BASELINE NEW`` is the gate every perf PR runs
+through: for each case present in both documents it compares medians
+against a **noise-scaled ceiling**
+
+::
+
+    allowed = base_median * (1 + rel_tolerance)
+              + mad_multiplier * max(base_mad, new_mad)
+              + abs_floor_seconds
+
+and flags a regression when the new median exceeds it.  The MAD term
+makes the threshold self-calibrating: a case whose repetitions jitter
+by 30% run-to-run earns 30%-scale slack, while a rock-steady
+microbenchmark is held to its tight observed spread.  The relative
+term catches the genuine slow-creep the fixed terms would forgive on
+long cases, and the absolute floor keeps sub-millisecond cases from
+crying wolf over scheduler noise.
+
+Cases present in only one document are *reported* but never fail the
+comparison -- adding a benchmark must not break CI retroactively, and
+a case retired from the suite must not pin the baseline forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.stats import SampleStats
+from repro.core.config import BenchConfig
+
+
+@dataclass(frozen=True)
+class CaseDelta:
+    """One case's baseline-vs-new verdict."""
+
+    name: str
+    base: SampleStats
+    new: SampleStats
+    allowed: float
+    regressed: bool
+    improved: bool
+
+    @property
+    def ratio(self) -> float:
+        """New median over baseline median (1.0 = unchanged)."""
+        if self.base.median == 0.0:
+            return float("inf") if self.new.median > 0.0 else 1.0
+        return self.new.median / self.base.median
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "base_median": self.base.median,
+            "base_mad": self.base.mad,
+            "new_median": self.new.median,
+            "new_mad": self.new.mad,
+            "allowed": self.allowed,
+            "ratio": self.ratio,
+            "regressed": self.regressed,
+            "improved": self.improved,
+        }
+
+
+@dataclass
+class Comparison:
+    """The full verdict of one baseline-vs-new comparison."""
+
+    deltas: list[CaseDelta]
+    missing: list[str] = field(default_factory=list)  # baseline only
+    added: list[str] = field(default_factory=list)    # new only
+    base_label: str = ""
+    new_label: str = ""
+
+    @property
+    def regressions(self) -> list[CaseDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def improvements(self) -> list[CaseDelta]:
+        return [d for d in self.deltas if d.improved]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the gate passes (no regression)."""
+        return not self.regressions
+
+    def to_dict(self) -> dict:
+        """The machine-readable verdict (``compare --json``)."""
+        return {
+            "kind": "bench_comparison",
+            "base_label": self.base_label,
+            "new_label": self.new_label,
+            "ok": self.ok,
+            "num_regressions": len(self.regressions),
+            "num_improvements": len(self.improvements),
+            "cases": [d.to_dict() for d in self.deltas],
+            "missing_in_new": list(self.missing),
+            "added_in_new": list(self.added),
+        }
+
+
+def allowed_ceiling(base: SampleStats, new: SampleStats,
+                    config: BenchConfig) -> float:
+    """The noise-scaled median ceiling for one case (see module doc)."""
+    return (
+        base.median * (1.0 + config.rel_tolerance)
+        + config.mad_multiplier * max(base.mad, new.mad)
+        + config.abs_floor_seconds
+    )
+
+
+def compare_results(base_doc: dict, new_doc: dict,
+                    config: BenchConfig | None = None) -> Comparison:
+    """Compare two loaded result documents case by case."""
+    config = config or BenchConfig()
+    base_cases = base_doc["cases"]
+    new_cases = new_doc["cases"]
+    deltas = []
+    for name in sorted(set(base_cases) & set(new_cases)):
+        base = SampleStats.from_dict(base_cases[name]["wall_seconds"])
+        new = SampleStats.from_dict(new_cases[name]["wall_seconds"])
+        allowed = allowed_ceiling(base, new, config)
+        deltas.append(CaseDelta(
+            name=name, base=base, new=new, allowed=allowed,
+            regressed=new.median > allowed,
+            # Symmetric signal, informational only: the gate never
+            # fails on a speedup, but a compare that prints "improved"
+            # is how a perf PR proves its claim.
+            improved=new.median < base.median * (1.0 - config.rel_tolerance),
+        ))
+    return Comparison(
+        deltas=deltas,
+        missing=sorted(set(base_cases) - set(new_cases)),
+        added=sorted(set(new_cases) - set(base_cases)),
+        base_label=str(base_doc.get("label", "")),
+        new_label=str(new_doc.get("label", "")),
+    )
+
+
+def _verdict(delta: CaseDelta) -> str:
+    if delta.regressed:
+        return "REGRESSED"
+    if delta.improved:
+        return "improved"
+    return "ok"
+
+
+def render_table(comparison: Comparison) -> str:
+    """The human-readable comparison table ``bench compare`` prints."""
+    headers = ["case", "base median", "new median", "ratio", "allowed",
+               "verdict"]
+    rows = [
+        (
+            d.name,
+            f"{d.base.median:.4f}s",
+            f"{d.new.median:.4f}s",
+            f"{d.ratio:.2f}x",
+            f"{d.allowed:.4f}s",
+            _verdict(d),
+        )
+        for d in comparison.deltas
+    ]
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = [
+        f"bench compare: {comparison.base_label or 'baseline'} -> "
+        f"{comparison.new_label or 'new'}",
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths))
+              for row in rows]
+    if comparison.missing:
+        lines.append(f"missing in new run: {', '.join(comparison.missing)}")
+    if comparison.added:
+        lines.append(f"new cases (no baseline): "
+                     f"{', '.join(comparison.added)}")
+    if comparison.ok:
+        lines.append(
+            f"OK: {len(comparison.deltas)} case(s) within thresholds"
+            + (f", {len(comparison.improvements)} improved"
+               if comparison.improvements else ""))
+    else:
+        worst = max(comparison.regressions, key=lambda d: d.ratio)
+        lines.append(
+            f"REGRESSION: {len(comparison.regressions)} case(s) over "
+            f"threshold (worst: {worst.name} at {worst.ratio:.2f}x)")
+    return "\n".join(lines)

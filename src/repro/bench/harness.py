@@ -1,0 +1,150 @@
+"""The benchmark harness: warmup + repetitions, timed and summarized.
+
+One :func:`run_case` call executes a registered :class:`BenchCase`
+``warmup`` times un-timed, then ``repetitions`` times under a
+``perf_counter`` stopwatch, and folds the samples into robust
+statistics (:mod:`repro.bench.stats`).  Per-repetition extra metrics
+returned by the case (solver build/compile/solve seconds, cache hit
+counts...) are aggregated the same way, so a result document carries
+both "how long did the case take" and "where did the time go".
+
+Peak RSS is read from ``resource.getrusage`` after each case.  The
+counter is a process-wide high-water mark -- it only ever rises across
+a suite -- so per-case numbers are upper bounds ordered by execution;
+the *suite-level* peak (the last case's reading) is the number the
+capacity planner wants.
+
+With tracing requested, every repetition runs under a per-case
+:class:`~repro.obs.trace.Tracer` installed ambiently, so the
+instrumented hot paths (analyzer phases, solver compile/solve) emit
+spans exactly as they do under ``analyze --trace``.  The case's span
+phase totals land in the result document, and the raw spans merge into
+the caller's campaign tracer for the JSONL file.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.registry import BenchCase
+from repro.bench.stats import SampleStats, summarize
+from repro.core.config import BenchConfig
+from repro.obs.sinks import phase_totals
+from repro.obs.trace import Tracer, tracing
+
+
+def peak_rss_bytes() -> int | None:
+    """The process's peak resident set size, in bytes (``None`` when
+    the platform has no ``resource`` module, e.g. Windows)."""
+    try:
+        import resource
+    except ImportError:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """One case's measured run: samples, summaries, and telemetry."""
+
+    name: str
+    tags: tuple[str, ...]
+    warmup: int
+    repetitions: int
+    wall: SampleStats
+    metrics: dict[str, SampleStats] = field(default_factory=dict)
+    peak_rss_bytes: int | None = None
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """The JSON form stored under ``cases.<name>`` in a result doc."""
+        return {
+            "tags": sorted(self.tags),
+            "warmup": self.warmup,
+            "repetitions": self.repetitions,
+            "wall_seconds": self.wall.to_dict(),
+            "metrics": {name: stats.to_dict()
+                        for name, stats in sorted(self.metrics.items())},
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "phase_seconds": dict(sorted(self.phase_seconds.items())),
+        }
+
+
+def run_case(case: BenchCase, config: BenchConfig | None = None,
+             tracer=None) -> CaseResult:
+    """Run one case under the harness and summarize its samples.
+
+    Args:
+        case: The registered case.
+        config: Sampling knobs (warmup/repetitions); default
+            :class:`BenchConfig`.
+        tracer: An *enabled* campaign tracer to collect per-case spans
+            into (``None`` or a disabled tracer runs untraced -- the
+            instrumented paths then cost one no-op call per phase,
+            identical to production).
+    """
+    config = config or BenchConfig()
+    trace = tracer is not None and getattr(tracer, "enabled", False)
+    case_tracer = Tracer() if trace else None
+
+    for _ in range(config.warmup):
+        case.run()
+
+    wall_samples: list[float] = []
+    metric_samples: dict[str, list[float]] = {}
+    for repetition in range(config.repetitions):
+        if case_tracer is not None:
+            with tracing(case_tracer), case_tracer.span(
+                    "bench_case", case=case.name, repetition=repetition):
+                started = time.perf_counter()
+                metrics = case.run()
+                elapsed = time.perf_counter() - started
+        else:
+            started = time.perf_counter()
+            metrics = case.run()
+            elapsed = time.perf_counter() - started
+        wall_samples.append(elapsed)
+        for name, value in metrics.items():
+            metric_samples.setdefault(name, []).append(value)
+
+    phase_seconds: dict[str, float] = {}
+    if case_tracer is not None:
+        spans = case_tracer.export()
+        phase_seconds = {
+            name: entry["seconds"]
+            for name, entry in phase_totals(spans).items()
+            if name != "bench_case"
+        }
+        tracer.merge(spans, prefix=f"{case.name}:")
+
+    return CaseResult(
+        name=case.name,
+        tags=tuple(sorted(case.tags)),
+        warmup=config.warmup,
+        repetitions=config.repetitions,
+        wall=summarize(wall_samples),
+        metrics={name: summarize(samples)
+                 for name, samples in metric_samples.items()},
+        peak_rss_bytes=peak_rss_bytes(),
+        phase_seconds=phase_seconds,
+    )
+
+
+def run_suite(cases, config: BenchConfig | None = None, tracer=None,
+              log=None) -> list[CaseResult]:
+    """Run every case in order; ``log`` receives one progress line each."""
+    config = config or BenchConfig()
+    results = []
+    for index, case in enumerate(cases, 1):
+        result = run_case(case, config=config, tracer=tracer)
+        if log is not None:
+            log(f"[{index}/{len(cases)}] {case.name}: "
+                f"median {result.wall.median:.4f}s "
+                f"(mad {result.wall.mad:.4f}s, "
+                f"{result.repetitions} reps)")
+        results.append(result)
+    return results

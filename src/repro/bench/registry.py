@@ -1,0 +1,158 @@
+"""The :class:`BenchCase` registry.
+
+A bench case is a named, tagged, zero-argument callable wrapping one
+performance-relevant scenario -- a compile microbenchmark, a sweep
+cell, a cache replay.  Cases register themselves at import time via the
+:func:`bench_case` decorator; the CLI loads a *cases module* (by
+default ``benchmarks.bench_cases``, the repo's registration file) and
+then selects by tag or name.
+
+Tagging convention:
+
+* ``smoke`` -- seconds-scale cases safe to run on every CI push; the
+  ``bench-smoke`` job runs exactly this tag against the committed
+  baseline.
+* ``full``  -- the larger local set (everything, including the slow
+  cases), for before/after comparisons on a developer machine.
+
+A case function returns ``None`` or a flat ``{name: number}`` dict of
+extra metrics (solver build/compile/solve seconds, cache hit counts,
+matrix sizes...).  Wall time and peak RSS are measured by the harness;
+returned metrics are aggregated across repetitions alongside them.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from dataclasses import dataclass, field
+
+from repro.exceptions import BenchError
+
+#: The default registration module: the repo's ``benchmarks/`` package.
+DEFAULT_CASES_MODULE = "benchmarks.bench_cases"
+
+#: The two conventional tags (free-form tags are allowed on top).
+SMOKE, FULL = "smoke", "full"
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9._-]*$")
+
+#: name -> BenchCase, in registration order.
+_REGISTRY: dict[str, "BenchCase"] = {}
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One registered benchmark scenario."""
+
+    name: str
+    fn: object = field(repr=False)
+    tags: frozenset = frozenset()
+    description: str = ""
+
+    def run(self):
+        """Execute the case once; returns its extra-metrics dict."""
+        out = self.fn()
+        if out is None:
+            return {}
+        if not isinstance(out, dict):
+            raise BenchError(
+                f"case {self.name!r} returned {type(out).__name__}; "
+                f"cases must return None or a flat metrics dict"
+            )
+        metrics = {}
+        for key, value in out.items():
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                raise BenchError(
+                    f"case {self.name!r} metric {key!r} is not numeric "
+                    f"({type(value).__name__})"
+                )
+            metrics[str(key)] = float(value)
+        return metrics
+
+
+def bench_case(name: str, tags=(FULL,), description: str = ""):
+    """Decorator registering a zero-argument callable as a bench case.
+
+    ::
+
+        @bench_case("compile.edge_mcf_batch", tags=("smoke",),
+                    description="array fast-path build+compile")
+        def _batch_compile():
+            ...
+            return {"rows": rows, "nnz": nnz}
+    """
+    if not _NAME_RE.match(name):
+        raise BenchError(
+            f"bad case name {name!r} (lowercase letters, digits, dots, "
+            f"dashes, underscores; must start alphanumeric)"
+        )
+    tag_set = frozenset(str(t) for t in tags)
+    if not tag_set:
+        raise BenchError(f"case {name!r} needs at least one tag")
+
+    def decorate(fn):
+        if name in _REGISTRY:
+            raise BenchError(f"duplicate bench case {name!r}")
+        _REGISTRY[name] = BenchCase(name=name, fn=fn, tags=tag_set,
+                                    description=description)
+        return fn
+
+    return decorate
+
+
+def registered_cases() -> list[BenchCase]:
+    """Every registered case, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def clear_registry() -> None:
+    """Drop all registrations (test isolation)."""
+    _REGISTRY.clear()
+
+
+def load_cases(module: str = DEFAULT_CASES_MODULE) -> list[BenchCase]:
+    """Import a cases module and return the resulting registry.
+
+    Importing runs the module's ``@bench_case`` decorators; a module
+    already imported contributes its existing registrations (Python
+    caches imports, so double registration cannot occur).
+    """
+    try:
+        importlib.import_module(module)
+    except ImportError as exc:
+        raise BenchError(
+            f"cannot import bench cases module {module!r}: {exc} "
+            f"(run from the repository root, or pass --cases-module)"
+        ) from exc
+    cases = registered_cases()
+    if not cases:
+        raise BenchError(f"cases module {module!r} registered no cases")
+    return cases
+
+
+def select_cases(cases, tag: str | None = None,
+                 names=None) -> list[BenchCase]:
+    """Filter cases by tag and/or explicit names (both optional).
+
+    Unknown names are an error -- a typo'd ``--case`` must not silently
+    benchmark nothing.
+    """
+    selected = list(cases)
+    if tag is not None:
+        selected = [c for c in selected if tag in c.tags]
+        if not selected:
+            known = sorted({t for c in cases for t in c.tags})
+            raise BenchError(
+                f"no cases tagged {tag!r} (known tags: {', '.join(known)})"
+            )
+    if names:
+        by_name = {c.name: c for c in selected}
+        missing = [n for n in names if n not in by_name]
+        if missing:
+            raise BenchError(
+                f"unknown bench case(s): {', '.join(sorted(missing))}"
+            )
+        selected = [by_name[n] for n in names]
+    return selected

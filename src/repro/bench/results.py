@@ -1,0 +1,151 @@
+"""Schema-versioned benchmark result documents (``BENCH_*.json``).
+
+A result document is the durable artifact of one ``repro bench run``:
+every case's robust statistics plus an **environment fingerprint**
+(git sha, python version, platform, CPU count) so a comparison can
+tell "the code got slower" apart from "this ran on different iron".
+The schema is versioned; :func:`load_results` refuses documents from a
+*newer* schema (forward compatibility is a lie worth not telling) and
+validates the shape it accepts, so ``bench compare`` fails loudly on a
+truncated or hand-mangled file instead of comparing garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.harness import CaseResult
+from repro.bench.stats import SampleStats
+from repro.exceptions import BenchError
+
+#: Bumped whenever the document shape changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: The ``kind`` marker distinguishing bench results from the repo's
+#: other JSON artifacts (sweep results, topologies, ...).
+KIND = "bench_results"
+
+
+def git_sha(cwd: str | os.PathLike | None = None) -> str | None:
+    """The current git commit sha, or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def environment_fingerprint() -> dict:
+    """Where and on what this run happened."""
+    return {
+        "git_sha": git_sha(),
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def results_document(results, label: str, config, tag: str | None = None,
+                     created: float | None = None) -> dict:
+    """Assemble the full ``BENCH_<label>.json`` document.
+
+    Args:
+        results: :class:`~repro.bench.harness.CaseResult` list.
+        label: The run's human label (``ci``, ``baseline``, a branch
+            name...).
+        config: The :class:`~repro.core.config.BenchConfig` used.
+        tag: The tag filter the run used, if any (recorded so a
+            compare can warn when smoke numbers meet full numbers).
+        created: Unix timestamp override (default: now).
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": KIND,
+        "label": label,
+        "tag": tag,
+        "created_unix": time.time() if created is None else created,
+        "environment": environment_fingerprint(),
+        "config": {
+            "warmup": config.warmup,
+            "repetitions": config.repetitions,
+        },
+        "cases": {r.name: r.to_dict() for r in results},
+    }
+
+
+def save_results(document: dict, path: str | os.PathLike) -> None:
+    """Write a result document (pretty-printed, trailing newline)."""
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def load_results(path: str | os.PathLike) -> dict:
+    """Read and validate a result document.
+
+    Raises:
+        BenchError: The file is unreadable, is not a bench-results
+            document, comes from a newer schema, or has a malformed
+            ``cases`` section.
+    """
+    try:
+        document = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise BenchError(f"cannot read bench results {path}: {exc}") from exc
+    except ValueError as exc:
+        raise BenchError(
+            f"bench results {path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or document.get("kind") != KIND:
+        raise BenchError(
+            f"{path} is not a bench results document "
+            f"(kind={document.get('kind') if isinstance(document, dict) else None!r})"
+        )
+    schema = document.get("schema")
+    if not isinstance(schema, int) or schema < 1:
+        raise BenchError(f"{path} has a malformed schema marker {schema!r}")
+    if schema > SCHEMA_VERSION:
+        raise BenchError(
+            f"{path} uses bench schema {schema}, newer than this code's "
+            f"{SCHEMA_VERSION}; upgrade before comparing"
+        )
+    cases = document.get("cases")
+    if not isinstance(cases, dict):
+        raise BenchError(f"{path} has no cases section")
+    for name, doc in cases.items():
+        if not isinstance(doc, dict) or "wall_seconds" not in doc:
+            raise BenchError(
+                f"{path}: case {name!r} is malformed (no wall_seconds)")
+    return document
+
+
+def case_stats(document: dict, name: str) -> SampleStats:
+    """A case's wall-time summary out of a loaded document."""
+    try:
+        return SampleStats.from_dict(document["cases"][name]["wall_seconds"])
+    except KeyError as exc:
+        raise BenchError(
+            f"case {name!r} not present in results "
+            f"{document.get('label')!r}") from exc
+
+
+def results_from_document(document: dict) -> dict[str, SampleStats]:
+    """Every case's wall summary, keyed by name."""
+    return {name: case_stats(document, name) for name in document["cases"]}
+
+
+__all__ = [
+    "SCHEMA_VERSION", "KIND", "git_sha", "environment_fingerprint",
+    "results_document", "save_results", "load_results", "case_stats",
+    "results_from_document", "CaseResult",
+]

@@ -1,0 +1,107 @@
+"""Robust summary statistics for benchmark samples.
+
+Benchmark timings are small samples from a long-tailed distribution: a
+GC pause, a cold cache line, or a noisy CI neighbor can inflate one
+repetition by an order of magnitude.  The harness therefore summarizes
+with the **median** (headline number) and the **median absolute
+deviation** (noise estimate) -- both ignore a single wild outlier where
+mean and standard deviation would be dragged by it.  The mean, min, and
+max ride along for context, and the raw samples are preserved in the
+result document so thresholds can be re-derived later without re-running
+anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import BenchError
+
+
+def median(samples) -> float:
+    """The middle value (mean of the middle two for even counts)."""
+    ordered = sorted(samples)
+    if not ordered:
+        raise BenchError("median of an empty sample set")
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(samples, center: float | None = None) -> float:
+    """Median absolute deviation around ``center`` (default: the median).
+
+    Unscaled (no normal-consistency factor): the compare thresholds
+    consume it as raw observed spread, not as a sigma estimate.
+    """
+    center = median(samples) if center is None else center
+    return median([abs(x - center) for x in samples])
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """One metric's robust summary plus its raw samples."""
+
+    median: float
+    mad: float
+    mean: float
+    min: float
+    max: float
+    samples: tuple[float, ...]
+
+    @property
+    def count(self) -> int:
+        """How many samples the summary covers."""
+        return len(self.samples)
+
+    def to_dict(self) -> dict:
+        """The JSON form stored in a ``BENCH_*.json`` document."""
+        return {
+            "median": self.median,
+            "mad": self.mad,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "samples": list(self.samples),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SampleStats":
+        """Rebuild a summary from its JSON form.
+
+        Summaries are *recomputed* from the stored samples when they
+        are present -- the samples are the ground truth, and
+        recomputing makes a hand-edited or schema-drifted summary
+        self-heal -- falling back to the stored fields for documents
+        that dropped the raw samples to save space.
+        """
+        try:
+            samples = [float(x) for x in doc.get("samples", [])]
+            if samples:
+                return summarize(samples)
+            return cls(
+                median=float(doc["median"]), mad=float(doc["mad"]),
+                mean=float(doc["mean"]), min=float(doc["min"]),
+                max=float(doc["max"]), samples=(),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BenchError(
+                f"malformed sample-stats document: {exc}"
+            ) from exc
+
+
+def summarize(samples) -> SampleStats:
+    """Summarize raw samples into a :class:`SampleStats`."""
+    values = [float(x) for x in samples]
+    if not values:
+        raise BenchError("cannot summarize an empty sample set")
+    mid = median(values)
+    return SampleStats(
+        median=mid,
+        mad=mad(values, center=mid),
+        mean=sum(values) / len(values),
+        min=min(values),
+        max=max(values),
+        samples=tuple(values),
+    )

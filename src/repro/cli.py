@@ -17,6 +17,8 @@ Commands mirror Raha's two operational modes plus utilities:
   service and its HTTP client (see :mod:`repro.service`).
 * ``cache``  -- inspect (``stats``) or evict (``prune``) a result
   cache; live service jobs' entries are never pruned.
+* ``bench``  -- run the benchmark suite and gate on performance
+  regressions against a committed baseline (see :mod:`repro.bench`).
 
 Topologies are JSON (see :mod:`repro.network.serialization`) or GraphML;
 demands and paths are JSON.  Example round trip::
@@ -741,6 +743,10 @@ def _cmd_cache(args) -> int:
           f"({report['removed_bytes']} bytes); kept {report['kept']} "
           f"({report['kept_bytes']} bytes, "
           f"{report['protected_kept']} protected)")
+    if report["tmp_removed"]:
+        print(f"swept {report['tmp_removed']} stale temp file(s) "
+              f"({report['tmp_removed_bytes']} bytes) orphaned by "
+              f"crashed writes")
     return 0
 
 
@@ -1002,6 +1008,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_ca.add_argument("--ttl", type=float, default=None, metavar="SECONDS",
                       help="prune entries older than this")
     p_ca.set_defaults(func=_cmd_cache)
+
+    from repro.bench.cli import add_bench_parser
+
+    add_bench_parser(sub)
     return parser
 
 

@@ -69,6 +69,17 @@ class AdmissionError(ServiceError):
         self.retry_after = retry_after
 
 
+class BenchError(ReproError):
+    """A benchmark harness operation failed.
+
+    Raised by :mod:`repro.bench` for unloadable case modules, unknown
+    case names or tags, malformed or wrong-schema result documents, and
+    comparisons over incompatible result files.  Performance
+    *regressions* are not errors -- ``repro bench compare`` reports
+    them through its exit code so CI can gate on them.
+    """
+
+
 class ModelingError(ReproError):
     """A formulation was assembled inconsistently.
 

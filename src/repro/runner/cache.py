@@ -58,6 +58,15 @@ CODE_SALT = "raha-runner-v1"
 #: Prefix of the integrity footer line appended to every cache entry.
 FOOTER_PREFIX = "sha256:"
 
+#: How long an orphaned ``*.tmp`` write may sit before :meth:`prune`
+#: sweeps it.  ``put`` stages entries as ``mkstemp`` temp files and
+#: atomically renames them into place; a process killed between the two
+#: steps leaves a ``.tmp`` file that no glob of ``*.json`` ever sees, so
+#: without the sweep the debris is invisible to ``stats()`` and
+#: unreclaimable forever.  The grace period keeps a *live* concurrent
+#: ``put`` (created moments ago, rename imminent) safe from the sweep.
+TMP_SWEEP_GRACE_SECONDS = 3600.0
+
 
 def _offending_field(payload, path: str = "$") -> str | None:
     """The path of the first value that breaks canonical JSON, if any.
@@ -180,6 +189,13 @@ class ResultCache:
         ``<key>.corrupt`` and treated as a miss: the job re-runs and
         its fresh result overwrites the key.  Entries written before
         the footer existed (single-line valid JSON) are still served.
+
+        The served document must also *claim* the key it is being
+        served under (``document["key"] == key``): the checksum footer
+        only proves the bytes are intact, so a copied or renamed entry
+        -- an operator ``cp``, a botched sync, a filename collision --
+        would otherwise silently return the wrong job's result.  A
+        mismatch quarantines the entry like any other corruption.
         """
         path = self.path_for(key)
         try:
@@ -197,8 +213,15 @@ class ResultCache:
                 return None
         try:
             document = json.loads(document_line)
+            stored_key = document.get("key") \
+                if isinstance(document, dict) else None
+            if stored_key is not None and stored_key != key:
+                self._quarantine(
+                    key, path,
+                    f"key mismatch (entry claims {stored_key!r})")
+                return None
             return document["result"]
-        except (ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError, AttributeError):
             self._quarantine(key, path, "invalid document")
             return None
 
@@ -245,28 +268,52 @@ class ResultCache:
         """Sum of entry sizes (quarantined files not counted)."""
         return sum(entry.bytes for entry in self.entries())
 
+    def tmp_files(self) -> list[Path]:
+        """Staged ``*.tmp`` writes currently on disk.
+
+        Normally transient (a live ``put`` between ``mkstemp`` and the
+        atomic rename); anything old is debris from a crashed writer.
+        """
+        return sorted(self.root.glob("*.tmp"))
+
     def stats(self) -> dict:
         """Operator-facing summary for ``repro cache stats``."""
         entries = self.entries()
+        tmp_bytes = 0
+        tmp_count = 0
+        for path in self.tmp_files():
+            try:
+                tmp_bytes += path.stat().st_size
+            except OSError:
+                continue
+            tmp_count += 1
         return {
             "root": str(self.root),
             "entries": len(entries),
             "total_bytes": sum(e.bytes for e in entries),
             "quarantined": len(self.quarantined()),
+            "tmp_files": tmp_count,
+            "tmp_bytes": tmp_bytes,
             "oldest_mtime": entries[0].mtime if entries else None,
             "newest_mtime": entries[-1].mtime if entries else None,
         }
 
     def prune(self, max_bytes: int | None = None,
               ttl_seconds: float | None = None,
-              protected=(), now: float | None = None) -> dict:
+              protected=(), now: float | None = None,
+              tmp_grace_seconds: float = TMP_SWEEP_GRACE_SECONDS) -> dict:
         """Evict entries by age then size; never touch protected keys.
 
         Policy (``repro cache prune`` and the service's result store):
 
-        1. *TTL*: entries whose mtime is older than ``now -
+        1. *Stale-temp sweep*: orphaned ``*.tmp`` staging files older
+           than ``tmp_grace_seconds`` are deleted -- debris from a
+           writer killed between ``mkstemp`` and the atomic rename,
+           which no ``*.json`` glob would ever reclaim.  Younger temp
+           files are left alone (they may belong to a live ``put``).
+        2. *TTL*: entries whose mtime is older than ``now -
            ttl_seconds`` are removed (``None`` disables).
-        2. *Size cap*: while the remaining total exceeds ``max_bytes``,
+        3. *Size cap*: while the remaining total exceeds ``max_bytes``,
            the oldest-mtime entry is removed (``None`` disables).
 
         Keys in ``protected`` (e.g. jobs currently queued or running in
@@ -275,11 +322,25 @@ class ResultCache:
 
         Returns:
             ``{"removed", "removed_bytes", "kept", "kept_bytes",
-            "protected_kept"}``.
+            "protected_kept", "tmp_removed", "tmp_removed_bytes"}``.
         """
         now = time.time() if now is None else now
         protected = set(protected)
         removed = removed_bytes = 0
+        tmp_removed = tmp_removed_bytes = 0
+        for path in self.tmp_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            if stat.st_mtime >= now - tmp_grace_seconds:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            tmp_removed += 1
+            tmp_removed_bytes += stat.st_size
         spared: set[str] = set()  # protected keys a rule would have hit
         survivors = []
         for entry in self.entries():
@@ -317,6 +378,8 @@ class ResultCache:
             "kept": len(survivors),
             "kept_bytes": sum(e.bytes for e in survivors),
             "protected_kept": len(spared),
+            "tmp_removed": tmp_removed,
+            "tmp_removed_bytes": tmp_removed_bytes,
         }
 
     def _remove(self, entry: CacheEntry) -> bool:

@@ -11,11 +11,18 @@ ETA semantics: cached and journal-resumed jobs settle orders of
 magnitude faster than fresh solves, so a campaign resuming 900 of 1000
 jobs would, under a naive all-jobs rate, forecast the remaining 100
 fresh solves at cache speed.  The tracker therefore times *freshly
-solved* jobs separately and bases ``eta_seconds`` on that rate; until
-the first fresh job settles it falls back to the blended rate (the
-only signal available).  ``rate`` remains the blended jobs-per-second
-throughput -- it answers "how fast is the campaign moving", while the
-ETA answers "when will the remaining work finish".
+solved* jobs separately and bases ``eta_seconds`` on that rate.  The
+fresh rate is measured over the window since the **first fresh
+settle** -- not since the campaign started -- because the campaign
+clock includes the cache-replay phase: dividing fresh completions by
+total elapsed would dilute the fresh rate by however long the replay
+took and overestimate the ETA (the second half of the resume-heavy
+campaign bug).  Until enough fresh jobs have settled to define that
+window it falls back to coarser signals (whole-campaign fresh rate
+after one fresh settle, the blended rate before any).  ``rate``
+remains the blended jobs-per-second throughput -- it answers "how
+fast is the campaign moving", while the ETA answers "when will the
+remaining work finish".
 """
 
 from __future__ import annotations
@@ -87,9 +94,15 @@ class ProgressEvent:
 
 
 class ProgressTracker:
-    """Accumulates outcomes into :class:`ProgressEvent` heartbeats."""
+    """Accumulates outcomes into :class:`ProgressEvent` heartbeats.
 
-    def __init__(self, total: int):
+    Args:
+        total: Campaign size in jobs.
+        clock: Monotonic time source (injectable for deterministic
+            tests; defaults to :func:`time.monotonic`).
+    """
+
+    def __init__(self, total: int, clock=time.monotonic):
         self.total = total
         self.completed = 0
         self.cache_hits = 0
@@ -99,7 +112,11 @@ class ProgressTracker:
         self.compile_seconds = 0.0
         self.fresh_completed = 0
         self.phase_seconds: dict[str, float] = {}
-        self._started = time.monotonic()
+        self._clock = clock
+        self._started = clock()
+        #: When the first fresh job settled; anchors the fresh-rate
+        #: window so the cache-replay phase never dilutes the ETA.
+        self._fresh_anchor: float | None = None
 
     def note(self, status: str, label: str,
              solver_seconds: float = 0.0,
@@ -123,6 +140,8 @@ class ProgressTracker:
             self.cache_hits += 1
         else:
             self.fresh_completed += 1
+            if self._fresh_anchor is None:
+                self._fresh_anchor = self._clock()
         if status in ("error", "timeout"):
             self.errors += 1
         self.solver_seconds += solver_seconds
@@ -150,13 +169,27 @@ class ProgressTracker:
         return self._event(status, label)
 
     def _event(self, status: str, label: str) -> ProgressEvent:
-        elapsed = max(time.monotonic() - self._started, 1e-9)
+        now = self._clock()
+        elapsed = max(now - self._started, 1e-9)
         rate = self.completed / elapsed
         remaining = self.total - self.completed
         # ETA from the fresh-solve rate: cache-answered jobs settle so
         # much faster that counting them would forecast remaining fresh
-        # work at cache speed (the resume-heavy campaign bug).
-        fresh_rate = self.fresh_completed / elapsed
+        # work at cache speed (the resume-heavy campaign bug).  The
+        # rate is measured over the window since the first fresh
+        # settle: total elapsed includes the cache-replay phase, and
+        # dividing by it would understate the fresh rate (so overstate
+        # the ETA) on a resume-heavy campaign.  The anchor job itself
+        # is excluded from the numerator -- its solve time predates
+        # the window.
+        if self.fresh_completed >= 2 and self._fresh_anchor is not None:
+            window = max(now - self._fresh_anchor, 1e-9)
+            fresh_rate = (self.fresh_completed - 1) / window
+        else:
+            # One fresh sample: the whole-campaign average is the only
+            # per-solve signal (slightly pessimistic after a replay
+            # phase, corrected as soon as the second fresh job lands).
+            fresh_rate = self.fresh_completed / elapsed
         eta_rate = fresh_rate if self.fresh_completed > 0 else rate
         eta = remaining / eta_rate if eta_rate > 0 and remaining > 0 else None
         if remaining == 0:

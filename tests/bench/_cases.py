@@ -1,0 +1,15 @@
+"""A tiny bench-cases module for CLI tests (``--cases-module``)."""
+
+from repro.bench.registry import bench_case
+
+
+@bench_case("unit.fast", tags=("unitsmoke", "full"),
+            description="near-instant case with one metric")
+def _fast():
+    return {"value": 7.0}
+
+
+@bench_case("unit.busy", tags=("unitsmoke",))
+def _busy():
+    total = sum(i * i for i in range(20_000))
+    return {"total": float(total)}

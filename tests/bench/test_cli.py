@@ -1,0 +1,166 @@
+"""``python -m repro bench`` end to end through ``cli.main``."""
+
+import json
+import sys
+
+import pytest
+
+from repro.bench.cli import EXIT_BENCH_REGRESSION
+from repro.bench.registry import clear_registry
+from repro.bench.results import SCHEMA_VERSION, load_results
+from repro.cli import main
+from repro.exceptions import BenchError
+
+CASES = "tests.bench._cases"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    """Force the cases module's decorators to re-run per test: the
+    registry is process-global and Python caches imports."""
+    clear_registry()
+    sys.modules.pop(CASES, None)
+    yield
+    clear_registry()
+
+
+def _run(tmp_path, name="BENCH_a.json", label="a", extra=()):
+    out = tmp_path / name
+    code = main(["bench", "run", "--cases-module", CASES,
+                 "--tag", "unitsmoke", "--out", str(out),
+                 "--label", label, "--quiet", *extra])
+    assert code == 0
+    return out
+
+
+class TestRun:
+    def test_writes_valid_schema_document(self, tmp_path, capsys):
+        out = _run(tmp_path, extra=["--warmup", "0",
+                                    "--repetitions", "2"])
+        document = load_results(out)
+        assert document["schema"] == SCHEMA_VERSION
+        assert document["label"] == "a"
+        assert document["tag"] == "unitsmoke"
+        assert set(document["cases"]) == {"unit.fast", "unit.busy"}
+        case = document["cases"]["unit.fast"]
+        assert len(case["wall_seconds"]["samples"]) == 2
+        assert case["metrics"]["value"]["median"] == 7.0
+        assert "python" in document["environment"]
+        assert "wrote 2 case(s)" in capsys.readouterr().out
+
+    def test_case_selection(self, tmp_path):
+        out = tmp_path / "one.json"
+        assert main(["bench", "run", "--cases-module", CASES,
+                     "--case", "unit.fast", "--out", str(out),
+                     "--quiet"]) == 0
+        assert set(load_results(out)["cases"]) == {"unit.fast"}
+
+    def test_unknown_case_is_operational_error(self, tmp_path, capsys):
+        code = main(["bench", "run", "--cases-module", CASES,
+                     "--case", "unit.typo",
+                     "--out", str(tmp_path / "x.json"), "--quiet"])
+        assert code == 1
+        assert "unknown bench case" in capsys.readouterr().err
+
+    def test_unimportable_module_is_operational_error(self, tmp_path,
+                                                      capsys):
+        code = main(["bench", "run", "--cases-module", "no.such.module",
+                     "--out", str(tmp_path / "x.json"), "--quiet"])
+        assert code == 1
+        assert "cannot import" in capsys.readouterr().err
+
+    def test_trace_writes_jsonl(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        _run(tmp_path, extra=["--trace", str(trace),
+                              "--warmup", "0", "--repetitions", "1"])
+        lines = [json.loads(l) for l in trace.read_text().splitlines()]
+        assert lines[0]["type"] == "trace_header"
+        spans = [l for l in lines if l.get("type") == "span"]
+        assert {"unit.fast", "unit.busy"} == {
+            s["attrs"]["case"] for s in spans
+            if s["name"] == "bench_case"}
+
+
+class TestList:
+    def test_lists_cases_with_tags(self, capsys):
+        assert main(["bench", "list", "--cases-module", CASES]) == 0
+        out = capsys.readouterr().out
+        assert "unit.fast  [full,unitsmoke]" in out
+        assert "2 case(s)" in out
+
+
+class TestCompare:
+    def test_self_compare_passes(self, tmp_path, capsys):
+        out = _run(tmp_path)
+        code = main(["bench", "compare", str(out), str(out)])
+        assert code == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_synthetic_slowdown_exits_regression_code(self, tmp_path,
+                                                      capsys):
+        """The acceptance contract: a doctored 10x slowdown must exit
+        with the dedicated regression code, not a generic failure."""
+        base = _run(tmp_path)
+        slow_doc = json.loads(base.read_text())
+        slow_doc["label"] = "slow"
+        for case in slow_doc["cases"].values():
+            wall = case["wall_seconds"]
+            # Push every sample far past any noise-scaled ceiling.
+            wall["samples"] = [s * 10.0 + 1.0 for s in wall["samples"]]
+        slow = tmp_path / "BENCH_slow.json"
+        slow.write_text(json.dumps(slow_doc))
+        code = main(["bench", "compare", str(base), str(slow)])
+        assert code == EXIT_BENCH_REGRESSION
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_json_verdict_artifact(self, tmp_path, capsys):
+        base = _run(tmp_path)
+        verdict = tmp_path / "verdict.json"
+        assert main(["bench", "compare", str(base), str(base),
+                     "--json", str(verdict)]) == 0
+        doc = json.loads(verdict.read_text())
+        assert doc["kind"] == "bench_comparison"
+        assert doc["ok"] is True
+
+    def test_threshold_overrides_flow_through(self, tmp_path):
+        """--rel-tolerance 0 --mad-multiplier 0 --abs-floor 0 turns
+        the gate into an exact-median comparison."""
+        base = _run(tmp_path, name="a.json")
+        slow_doc = json.loads(base.read_text())
+        for case in slow_doc["cases"].values():
+            wall = case["wall_seconds"]
+            wall["samples"] = [s * 1.01 + 1e-6 for s in wall["samples"]]
+        slow = tmp_path / "b.json"
+        slow.write_text(json.dumps(slow_doc))
+        assert main(["bench", "compare", str(base), str(slow),
+                     "--rel-tolerance", "0", "--mad-multiplier", "0",
+                     "--abs-floor", "0"]) == EXIT_BENCH_REGRESSION
+        assert main(["bench", "compare", str(base), str(slow),
+                     "--abs-floor", "5.0"]) == 0
+
+    def test_garbage_file_is_operational_error(self, tmp_path, capsys):
+        base = _run(tmp_path)
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        assert main(["bench", "compare", str(base),
+                     str(garbage)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_newer_schema_is_refused(self, tmp_path):
+        base = _run(tmp_path)
+        doc = json.loads(base.read_text())
+        doc["schema"] = SCHEMA_VERSION + 1
+        newer = tmp_path / "newer.json"
+        newer.write_text(json.dumps(doc))
+        with pytest.raises(BenchError, match="newer than this code"):
+            load_results(newer)
+        assert main(["bench", "compare", str(base), str(newer)]) == 1
+
+    def test_disjoint_documents_warn(self, tmp_path, capsys):
+        base = _run(tmp_path, name="a.json")
+        doc = json.loads(base.read_text())
+        doc["cases"] = {"other.case": doc["cases"]["unit.fast"]}
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps(doc))
+        assert main(["bench", "compare", str(base), str(other)]) == 0
+        assert "no case appears in both" in capsys.readouterr().err

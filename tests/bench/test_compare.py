@@ -1,0 +1,146 @@
+"""The regression gate's threshold math and verdicts."""
+
+import pytest
+
+from repro.bench.compare import (
+    allowed_ceiling,
+    compare_results,
+    render_table,
+)
+from repro.bench.stats import summarize
+from repro.core.config import BenchConfig
+
+
+def _doc(label="run", **case_medians):
+    """A minimal result document: case -> wall samples."""
+    return {
+        "kind": "bench_results",
+        "schema": 1,
+        "label": label,
+        "cases": {
+            name: {"wall_seconds": summarize(samples).to_dict()}
+            for name, samples in case_medians.items()
+        },
+    }
+
+
+TIGHT = BenchConfig(rel_tolerance=0.10, mad_multiplier=3.0,
+                    abs_floor_seconds=0.0)
+
+
+class TestCeiling:
+    def test_all_three_terms(self):
+        base = summarize([1.0, 1.0, 1.2])   # median 1.0, mad 0.0
+        new = summarize([1.0, 1.1, 1.3])    # mad 0.1
+        config = BenchConfig(rel_tolerance=0.25, mad_multiplier=5.0,
+                             abs_floor_seconds=0.05)
+        # 1.0 * 1.25 + 5 * max(0.0, 0.1) + 0.05
+        assert allowed_ceiling(base, new, config) == pytest.approx(1.80)
+
+    def test_mad_term_uses_worst_of_both_runs(self):
+        """A newly-jittery case earns slack from its *own* spread --
+        the baseline cannot know the noise got worse."""
+        steady = summarize([1.0, 1.0, 1.0])
+        jittery = summarize([0.7, 1.0, 1.3])
+        config = BenchConfig(rel_tolerance=0.0, mad_multiplier=2.0,
+                             abs_floor_seconds=0.0)
+        assert allowed_ceiling(steady, jittery, config) == \
+            pytest.approx(1.0 + 2.0 * 0.3)
+        assert allowed_ceiling(jittery, steady, config) == \
+            pytest.approx(1.0 + 2.0 * 0.3)
+
+    def test_abs_floor_shields_microbenchmarks(self):
+        """A 3x slowdown on a 1ms case is scheduler noise, not a
+        regression, as long as it stays under the floor."""
+        base = _doc("base", fast=[0.001, 0.001, 0.001])
+        new = _doc("new", fast=[0.003, 0.003, 0.003])
+        config = BenchConfig(rel_tolerance=0.10, mad_multiplier=3.0,
+                             abs_floor_seconds=0.05)
+        assert compare_results(base, new, config).ok
+
+
+class TestVerdicts:
+    def test_steady_case_passes(self):
+        base = _doc("base", case=[1.0, 1.0, 1.0])
+        new = _doc("new", case=[1.05, 1.05, 1.05])
+        comparison = compare_results(base, new, TIGHT)
+        assert comparison.ok
+        assert not comparison.deltas[0].regressed
+
+    def test_real_slowdown_regresses(self):
+        base = _doc("base", case=[1.0, 1.0, 1.0])
+        new = _doc("new", case=[2.0, 2.0, 2.0])
+        comparison = compare_results(base, new, TIGHT)
+        assert not comparison.ok
+        delta = comparison.deltas[0]
+        assert delta.regressed
+        assert delta.ratio == pytest.approx(2.0)
+
+    def test_jitter_sized_slowdown_passes(self):
+        """A median inside the observed noise band must not fail."""
+        base = _doc("base", case=[1.0, 1.2, 0.8])  # mad 0.2
+        new = _doc("new", case=[1.3, 1.5, 1.1])    # median 1.3
+        # ceiling = 1.0*1.1 + 3*0.2 = 1.7 > 1.3
+        assert compare_results(base, new, TIGHT).ok
+
+    def test_improvement_is_flagged_but_passes(self):
+        base = _doc("base", case=[2.0, 2.0, 2.0])
+        new = _doc("new", case=[1.0, 1.0, 1.0])
+        comparison = compare_results(base, new, TIGHT)
+        assert comparison.ok
+        assert comparison.deltas[0].improved
+        assert len(comparison.improvements) == 1
+
+    def test_missing_and_added_reported_not_failed(self):
+        base = _doc("base", retired=[1.0], shared=[1.0])
+        new = _doc("new", shared=[1.0], brand_new=[9.9])
+        comparison = compare_results(base, new, TIGHT)
+        assert comparison.ok
+        assert comparison.missing == ["retired"]
+        assert comparison.added == ["brand_new"]
+        assert [d.name for d in comparison.deltas] == ["shared"]
+
+    def test_zero_base_median_ratio(self):
+        base = _doc("base", case=[0.0, 0.0, 0.0])
+        new = _doc("new", case=[1.0, 1.0, 1.0])
+        delta = compare_results(base, new, TIGHT).deltas[0]
+        assert delta.ratio == float("inf")
+
+
+class TestMachineVerdict:
+    def test_to_dict_shape(self):
+        base = _doc("base", slow=[1.0], gone=[1.0])
+        new = _doc("new", slow=[5.0], fresh=[1.0])
+        doc = compare_results(base, new, TIGHT).to_dict()
+        assert doc["kind"] == "bench_comparison"
+        assert doc["ok"] is False
+        assert doc["num_regressions"] == 1
+        assert doc["missing_in_new"] == ["gone"]
+        assert doc["added_in_new"] == ["fresh"]
+        case = doc["cases"][0]
+        assert case["name"] == "slow"
+        assert case["regressed"] is True
+        assert case["allowed"] < case["new_median"]
+
+
+class TestRenderTable:
+    def test_ok_run(self):
+        base = _doc("base", case=[1.0, 1.0, 1.0])
+        new = _doc("new", case=[1.0, 1.0, 1.0])
+        table = render_table(compare_results(base, new, TIGHT))
+        assert "base -> new" in table
+        assert "OK: 1 case(s) within thresholds" in table
+
+    def test_regression_names_the_worst_case(self):
+        base = _doc("base", mild=[1.0], awful=[1.0])
+        new = _doc("new", mild=[2.0], awful=[10.0])
+        table = render_table(compare_results(base, new, TIGHT))
+        assert "REGRESSED" in table
+        assert "worst: awful at 10.00x" in table
+
+    def test_empty_overlap_renders(self):
+        base = _doc("base", only_old=[1.0])
+        new = _doc("new", only_new=[1.0])
+        table = render_table(compare_results(base, new, TIGHT))
+        assert "missing in new run: only_old" in table
+        assert "new cases (no baseline): only_new" in table

@@ -1,0 +1,176 @@
+"""The case registry and the warmup/repetitions harness."""
+
+import pytest
+
+from repro.bench.harness import peak_rss_bytes, run_case, run_suite
+from repro.bench.registry import (
+    BenchCase,
+    bench_case,
+    clear_registry,
+    registered_cases,
+    select_cases,
+)
+from repro.core.config import BenchConfig
+from repro.exceptions import BenchError
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture(autouse=True)
+def _isolated_registry():
+    """Each test starts from an empty registry and leaves none behind
+    (the repo's real cases module may already be imported by other
+    tests in the session)."""
+    saved = {c.name: c for c in registered_cases()}
+    clear_registry()
+    yield
+    clear_registry()
+    for case in saved.values():
+        bench_case(case.name, tags=case.tags,
+                   description=case.description)(case.fn)
+
+
+def _case(name="t.case", tags=("smoke",), fn=None, description=""):
+    bench_case(name, tags=tags, description=description)(
+        fn if fn is not None else (lambda: None))
+    return registered_cases()[-1]
+
+
+class TestRegistry:
+    def test_decorator_registers_in_order(self):
+        _case("a.first")
+        _case("b.second")
+        assert [c.name for c in registered_cases()] == \
+            ["a.first", "b.second"]
+
+    def test_duplicate_name_is_an_error(self):
+        _case("t.case")
+        with pytest.raises(BenchError, match="duplicate"):
+            _case("t.case")
+
+    def test_bad_name_is_an_error(self):
+        with pytest.raises(BenchError, match="bad case name"):
+            _case("Has Uppercase")
+
+    def test_empty_tags_is_an_error(self):
+        with pytest.raises(BenchError, match="at least one tag"):
+            _case("t.case", tags=())
+
+    def test_select_by_tag(self):
+        _case("a.smoke", tags=("smoke", "full"))
+        _case("b.full", tags=("full",))
+        smoke = select_cases(registered_cases(), tag="smoke")
+        assert [c.name for c in smoke] == ["a.smoke"]
+
+    def test_select_unknown_tag_is_an_error(self):
+        _case("a.smoke", tags=("smoke",))
+        with pytest.raises(BenchError, match="known tags: smoke"):
+            select_cases(registered_cases(), tag="nightly")
+
+    def test_select_unknown_name_is_an_error(self):
+        """A typo'd --case must not silently benchmark nothing."""
+        _case("a.smoke")
+        with pytest.raises(BenchError, match="unknown bench case"):
+            select_cases(registered_cases(), names=["a.smoke", "a.typo"])
+
+    def test_case_rejects_non_dict_return(self):
+        case = _case(fn=lambda: 42)
+        with pytest.raises(BenchError, match="must return None or"):
+            case.run()
+
+    def test_case_rejects_non_numeric_metric(self):
+        case = _case(fn=lambda: {"status": "ok"})
+        with pytest.raises(BenchError, match="not numeric"):
+            case.run()
+
+    def test_case_rejects_bool_metric(self):
+        """``True`` is an ``int`` to Python but not a measurement."""
+        case = _case(fn=lambda: {"flag": True})
+        with pytest.raises(BenchError, match="not numeric"):
+            case.run()
+
+
+class TestHarness:
+    def test_warmup_plus_repetitions_call_count(self):
+        calls = []
+        case = _case(fn=lambda: calls.append(1))
+        result = run_case(case, BenchConfig(warmup=2, repetitions=3))
+        assert len(calls) == 5
+        assert result.warmup == 2
+        assert result.repetitions == 3
+        assert result.wall.count == 3
+
+    def test_warmup_samples_are_not_timed(self):
+        """Only repetition runs contribute wall samples."""
+        case = _case(fn=lambda: None)
+        result = run_case(case, BenchConfig(warmup=4, repetitions=2))
+        assert result.wall.count == 2
+
+    def test_metrics_aggregate_across_repetitions(self):
+        values = iter([1.0, 2.0, 3.0])
+        case = _case(fn=lambda: {"hits": next(values)})
+        result = run_case(case, BenchConfig(warmup=0, repetitions=3))
+        assert result.metrics["hits"].samples == (1.0, 2.0, 3.0)
+        assert result.metrics["hits"].median == 2.0
+
+    def test_peak_rss_recorded_on_posix(self):
+        case = _case(fn=lambda: None)
+        result = run_case(case, BenchConfig(warmup=0, repetitions=1))
+        rss = peak_rss_bytes()
+        if rss is not None:
+            assert result.peak_rss_bytes >= 10 * 1024 * 1024
+
+    def test_case_result_round_trips_to_document_form(self):
+        case = _case(fn=lambda: {"hits": 5})
+        result = run_case(case, BenchConfig(warmup=0, repetitions=2))
+        doc = result.to_dict()
+        assert doc["repetitions"] == 2
+        assert len(doc["wall_seconds"]["samples"]) == 2
+        assert doc["metrics"]["hits"]["median"] == 5.0
+        assert doc["tags"] == ["smoke"]
+
+    def test_traced_run_merges_spans_into_campaign_tracer(self):
+        case = _case(fn=_span_emitter)
+        campaign = Tracer()
+        result = run_case(case, BenchConfig(warmup=0, repetitions=2),
+                          tracer=campaign)
+        spans = campaign.export()
+        names = {s["name"] for s in spans}
+        assert "bench_case" in names
+        assert "inner_phase" in names
+        # Span ids are prefixed per case, so two cases cannot collide.
+        assert all(s["id"].startswith("t.case:") for s in spans)
+        assert result.phase_seconds.get("inner_phase", 0.0) > 0.0
+        assert "bench_case" not in result.phase_seconds
+
+    def test_untraced_run_collects_no_phases(self):
+        case = _case(fn=_span_emitter)
+        result = run_case(case, BenchConfig(warmup=0, repetitions=1))
+        assert result.phase_seconds == {}
+
+    def test_run_suite_logs_progress(self):
+        _case("a.one")
+        _case("b.two")
+        lines = []
+        results = run_suite(registered_cases(),
+                            BenchConfig(warmup=0, repetitions=1),
+                            log=lines.append)
+        assert len(results) == 2
+        assert lines[0].startswith("[1/2] a.one:")
+        assert lines[1].startswith("[2/2] b.two:")
+
+
+def _span_emitter():
+    """A case body that exercises an instrumented hot path: it emits a
+    span on the ambient tracer exactly as the analyzer/solver do."""
+    from repro.obs.trace import current_tracer
+
+    with current_tracer().span("inner_phase"):
+        sum(range(100))
+
+
+class TestBenchCaseDataclass:
+    def test_frozen(self):
+        case = BenchCase(name="x", fn=lambda: None,
+                        tags=frozenset({"smoke"}))
+        with pytest.raises(Exception):
+            case.name = "y"

@@ -1,0 +1,84 @@
+"""Robust statistics: the numbers the regression gate stands on."""
+
+import pytest
+
+from repro.bench.stats import SampleStats, mad, median, summarize
+from repro.exceptions import BenchError
+
+
+class TestMedian:
+    def test_odd_count(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even_count_averages_middle_two(self):
+        assert median([4.0, 1.0, 3.0, 2.0]) == 2.5
+
+    def test_single_sample(self):
+        assert median([7.5]) == 7.5
+
+    def test_outlier_resistant(self):
+        """One GC-pause-sized outlier must not move the headline."""
+        assert median([1.0, 1.0, 1.0, 1.0, 1000.0]) == 1.0
+
+    def test_empty_is_an_error(self):
+        with pytest.raises(BenchError):
+            median([])
+
+
+class TestMad:
+    def test_known_value(self):
+        # median=3, |x-3| = [2, 1, 0, 1, 2] -> median 1
+        assert mad([1.0, 2.0, 3.0, 4.0, 5.0]) == 1.0
+
+    def test_constant_samples_have_zero_mad(self):
+        assert mad([2.0, 2.0, 2.0]) == 0.0
+
+    def test_outlier_resistant(self):
+        """Unlike stddev, one wild sample barely moves the MAD."""
+        assert mad([1.0, 1.0, 1.0, 1.0, 1000.0]) == 0.0
+
+    def test_explicit_center(self):
+        assert mad([1.0, 3.0], center=0.0) == 2.0
+
+
+class TestSummarize:
+    def test_fields(self):
+        stats = summarize([2.0, 1.0, 3.0])
+        assert stats.median == 2.0
+        assert stats.mad == 1.0
+        assert stats.mean == 2.0
+        assert stats.min == 1.0
+        assert stats.max == 3.0
+        # Raw samples keep collection order -- they are data, not summary.
+        assert stats.samples == (2.0, 1.0, 3.0)
+        assert stats.count == 3
+
+    def test_empty_is_an_error(self):
+        with pytest.raises(BenchError):
+            summarize([])
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        stats = summarize([0.5, 0.7, 0.6])
+        assert SampleStats.from_dict(stats.to_dict()) == stats
+
+    def test_from_dict_recomputes_from_samples(self):
+        """The samples are ground truth: a hand-edited summary field
+        self-heals on load."""
+        doc = summarize([1.0, 2.0, 3.0]).to_dict()
+        doc["median"] = 999.0
+        assert SampleStats.from_dict(doc).median == 2.0
+
+    def test_from_dict_without_samples_uses_stored_fields(self):
+        doc = summarize([1.0, 2.0, 3.0]).to_dict()
+        doc["samples"] = []
+        stats = SampleStats.from_dict(doc)
+        assert stats.median == 2.0
+        assert stats.count == 0
+
+    def test_malformed_document_is_typed_error(self):
+        with pytest.raises(BenchError):
+            SampleStats.from_dict({"samples": [], "median": "not-a-number"})
+        with pytest.raises(BenchError):
+            SampleStats.from_dict({})

@@ -121,3 +121,32 @@ class TestResultCache:
         for i in range(3):
             cache.put(f"k{i}", {"v": i})
         assert not list((tmp_path / "cache").glob("*.tmp"))
+
+    def test_copied_entry_is_quarantined_not_served(self, tmp_path):
+        """Regression: an entry file copied under another key's name
+        (operator ``cp``, botched sync) passed the checksum -- the
+        bytes *are* intact -- and served the wrong job's result.  The
+        document's embedded key must match the key it is served
+        under."""
+        cache = ResultCache(tmp_path / "cache")
+        key_a = job_key(_payload())
+        payload_b = _payload()
+        payload_b["params"]["threshold"] = 1e-7
+        key_b = job_key(payload_b)
+        cache.put(key_a, {"normalized_degradation": 1.5})
+        # Simulate the operator accident.
+        cache.path_for(key_b).write_bytes(
+            cache.path_for(key_a).read_bytes())
+        assert cache.get(key_b) is None
+        assert cache.quarantine_path_for(key_b).exists()
+        # The legitimate entry is untouched.
+        assert cache.get(key_a) == {"normalized_degradation": 1.5}
+
+    def test_legacy_entry_without_key_field_still_served(self, tmp_path):
+        """Pre-key-stamp documents carry no ``key`` field; they must
+        keep hitting (the footer still guards their integrity)."""
+        cache = ResultCache(tmp_path / "cache")
+        key = job_key(_payload())
+        cache.path_for(key).write_text(
+            json.dumps({"result": {"value": 7}}) + "\n")
+        assert cache.get(key) == {"value": 7}

@@ -88,6 +88,55 @@ class TestStatsAndPrune:
         assert report["removed"] == 0 and report["kept"] == 4
 
 
+def _orphan_tmp(cache: ResultCache, name: str, age_seconds: float) -> None:
+    """Plant a crashed-write ``.tmp`` orphan ``age_seconds`` old."""
+    path = cache.root / name
+    path.write_text('{"torn": ')
+    stamp = time.time() - age_seconds
+    os.utime(path, (stamp, stamp))
+
+
+class TestTmpSweep:
+    """Regression: ``mkstemp`` orphans from crashed writes accumulated
+    forever -- invisible to reads, uncounted by stats, never pruned."""
+
+    def test_stats_counts_tmp_orphans(self, tmp_path):
+        cache = filled_cache(tmp_path / "cache")
+        _orphan_tmp(cache, "dead1.tmp", age_seconds=7200)
+        _orphan_tmp(cache, "dead2.tmp", age_seconds=10)
+        stats = cache.stats()
+        assert stats["tmp_files"] == 2
+        assert stats["tmp_bytes"] > 0
+        # Orphans are not entries.
+        assert stats["entries"] == 4
+
+    def test_prune_sweeps_only_stale_tmp(self, tmp_path):
+        cache = filled_cache(tmp_path / "cache")
+        _orphan_tmp(cache, "stale.tmp", age_seconds=7200)
+        _orphan_tmp(cache, "inflight.tmp", age_seconds=5)
+        report = cache.prune()
+        assert report["tmp_removed"] == 1
+        assert report["tmp_removed_bytes"] > 0
+        # The fresh one may be a live writer mid-replace: untouched.
+        assert [p.name for p in cache.tmp_files()] == ["inflight.tmp"]
+        # Entries themselves were not pruned (no rules given).
+        assert report["removed"] == 0 and report["kept"] == 4
+
+    def test_grace_period_override(self, tmp_path):
+        cache = filled_cache(tmp_path / "cache")
+        _orphan_tmp(cache, "young.tmp", age_seconds=30)
+        assert cache.prune()["tmp_removed"] == 0
+        assert cache.prune(tmp_grace_seconds=1.0)["tmp_removed"] == 1
+        assert cache.tmp_files() == []
+
+    def test_cli_prune_reports_sweep(self, tmp_path, capsys):
+        cache = filled_cache(tmp_path / "cache")
+        _orphan_tmp(cache, "stale.tmp", age_seconds=7200)
+        assert main(["cache", "prune", "--workdir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "swept 1 stale temp file(s)" in out
+
+
 class TestCacheCli:
     def test_stats_prints_json(self, tmp_path, capsys):
         filled_cache(tmp_path / "cache")

@@ -34,6 +34,21 @@ def _event(**overrides) -> ProgressEvent:
 def _backdate(tracker: ProgressTracker, seconds: float) -> None:
     """Pretend the campaign started ``seconds`` ago."""
     tracker._started = time.monotonic() - seconds
+    if tracker._fresh_anchor is not None:
+        tracker._fresh_anchor -= seconds
+
+
+class FakeClock:
+    """A deterministic monotonic clock injectable into the tracker."""
+
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
 
 
 class TestRenderBoundaries:
@@ -86,6 +101,44 @@ class TestEtaSemantics:
         assert event.fresh_completed == 1
         assert event.eta_seconds > 5 * blended_eta
         assert 45.0 < event.eta_seconds < 180.0
+
+    def test_fresh_rate_ignores_cache_replay_time(self):
+        """Regression: the fresh rate divided fresh settles by *total*
+        campaign elapsed, cache-replay minutes included.  A campaign
+        resuming 900 of 1000 jobs that spends 30s replaying the cache
+        and then solves at 1 job/s reported a fresh rate of
+        ``n_fresh / (30 + n_fresh)`` -- and an ETA up to 4x too high.
+        The rate must be measured from the first fresh settle."""
+        clock = FakeClock()
+        tracker = ProgressTracker(total=1000, clock=clock)
+        # 30 seconds of cache replay.
+        for i in range(900):
+            clock.advance(30.0 / 900.0)
+            tracker.note("cached", f"cell-{i}")
+        # Fresh solves at exactly 1 job/s.
+        event = None
+        for i in range(10):
+            clock.advance(1.0)
+            event = tracker.note("done", f"cell-{900 + i}")
+        assert event.fresh_completed == 10
+        # 90 fresh jobs remain at 1 job/s: the true ETA is 90s.  The
+        # pre-fix rate was 10/40 = 0.25 job/s -> eta 360s.
+        assert 80.0 < event.eta_seconds < 100.0
+
+    def test_anchor_window_self_calibrates_through_campaign(self):
+        """The window rate stays correct deep into the fresh phase,
+        not just immediately after the replay."""
+        clock = FakeClock()
+        tracker = ProgressTracker(total=1000, clock=clock)
+        for i in range(900):
+            tracker.note("cached", f"cell-{i}")
+        clock.advance(30.0)  # replay + idle gap, all before first fresh
+        event = None
+        for i in range(50):
+            clock.advance(2.0)  # 0.5 job/s
+            event = tracker.note("done", f"cell-{900 + i}")
+        # 50 remaining at 0.5 job/s -> 100s.
+        assert 90.0 < event.eta_seconds < 115.0
 
     def test_blended_fallback_before_first_fresh_solve(self):
         """Until a fresh job settles there is no fresh rate; the

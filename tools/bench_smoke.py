@@ -1,0 +1,111 @@
+"""CI bench-smoke: the regression gate must work, then must pass.
+
+Exercises the ``repro bench`` pipeline end to end in a temp directory:
+
+1. ``bench list`` and ``bench run --tag smoke`` through the real CLI,
+   asserting the result document round-trips (schema, fingerprint,
+   per-case wall stats with the configured repetition count);
+2. a **self-test of the gate itself**: doctor a copy of the fresh run
+   with a synthetic 4x slowdown and assert ``bench compare`` exits
+   :data:`~repro.bench.cli.EXIT_BENCH_REGRESSION` -- a gate that
+   cannot fail is worse than no gate;
+3. the real comparison against the committed
+   ``benchmarks/baseline.json`` with CI-grade slack (the baseline was
+   recorded on different hardware, so only order-of-magnitude drift
+   should trip it).
+
+Exit code 0 on success; 1 on a broken pipeline; the compare's own
+non-zero exit if step 3 finds a genuine regression.
+
+Run locally::
+
+    PYTHONPATH=src python tools/bench_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+# ``python tools/bench_smoke.py`` puts tools/ (not the repo root) on
+# sys.path; the cases module lives at <root>/benchmarks/bench_cases.py.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro import cli
+from repro.bench.cli import EXIT_BENCH_REGRESSION
+from repro.bench.results import SCHEMA_VERSION, load_results
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
+
+# The CI runner is not the machine the baseline was recorded on, so
+# the gate here only catches catastrophic drift (a 3x slowdown or a
+# multi-second stall), not the tight same-machine thresholds
+# developers use locally.
+CI_SLACK = ["--rel-tolerance", "2.0", "--abs-floor", "5.0"]
+
+
+def fail(message: str) -> None:
+    print(f"bench-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_cli(argv: list[str]) -> int:
+    print(f"bench-smoke: repro {' '.join(argv)}", flush=True)
+    return cli.main(argv)
+
+
+def main() -> int:
+    out = Path("BENCH_ci.json")
+
+    if run_cli(["bench", "list", "--tag", "smoke"]) != 0:
+        fail("bench list exited non-zero")
+
+    if run_cli(["bench", "run", "--tag", "smoke", "--label", "ci",
+                "--out", str(out)]) != 0:
+        fail("bench run exited non-zero")
+
+    document = load_results(out)
+    if document["schema"] != SCHEMA_VERSION:
+        fail(f"unexpected schema {document['schema']}")
+    if not document["environment"].get("python"):
+        fail("environment fingerprint missing python version")
+    if not document["cases"]:
+        fail("bench run produced no cases")
+    for name, case in document["cases"].items():
+        reps = len(case["wall_seconds"]["samples"])
+        if reps != case["repetitions"]:
+            fail(f"{name}: {reps} samples != {case['repetitions']} reps")
+
+    # Gate self-test: a doctored 4x slowdown must trip the compare.
+    slow = json.loads(out.read_text())
+    slow["label"] = "doctored-4x"
+    for case in slow["cases"].values():
+        wall = case["wall_seconds"]
+        wall["samples"] = [s * 4.0 for s in wall["samples"]]
+        for key in ("median", "mean", "min", "max"):
+            wall[key] *= 4.0
+    slow_path = Path("BENCH_doctored.json")
+    slow_path.write_text(json.dumps(slow))
+    code = run_cli(["bench", "compare", str(out), str(slow_path)])
+    slow_path.unlink()
+    if code != EXIT_BENCH_REGRESSION:
+        fail(f"doctored slowdown exited {code}, "
+             f"expected {EXIT_BENCH_REGRESSION}")
+    print("bench-smoke: gate self-test tripped as expected")
+
+    # The real gate against the committed baseline.
+    code = run_cli(["bench", "compare", str(BASELINE), str(out),
+                    *CI_SLACK, "--json", "BENCH_verdict.json"])
+    if code != 0:
+        print("bench-smoke: REGRESSION vs committed baseline",
+              file=sys.stderr)
+        return code
+
+    print("bench-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
