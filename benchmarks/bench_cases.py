@@ -152,3 +152,53 @@ def _case_availability():
         "distinct_scenarios": estimate.distinct_scenarios,
         "fresh_solves": estimate.fresh_solves,
     }
+
+
+@bench_case(
+    "store.claim_contention", tags=("smoke", "full"),
+    description="4 threads racing the fenced claim path of one "
+                "JobStore: 200 claim+settle round-trips (SQLite "
+                "transaction + fencing-token cost dominates)")
+def _case_claim_contention():
+    import threading
+
+    from repro.service.store import JobStore
+
+    num_threads, num_jobs = 4, 200
+    with tempfile.TemporaryDirectory() as tmp:
+        store = JobStore(Path(tmp) / "bench.db")
+        try:
+            store.submit(
+                "bench-claims", "claim-bench", "bench",
+                [(f"job-{i:04d}", f"job {i}", {"value": i})
+                 for i in range(num_jobs)])
+            settled = []
+            lock = threading.Lock()
+
+            def drain(worker_id):
+                while True:
+                    claim = store.claim(lease_seconds=60.0,
+                                        worker_id=worker_id)
+                    if claim is None:
+                        return
+                    store.settle(claim["analysis_id"], claim["key"],
+                                 "done", status="done",
+                                 token=claim["claim_token"])
+                    with lock:
+                        settled.append(claim["key"])
+
+            threads = [threading.Thread(target=drain, args=(f"t{i}",))
+                       for i in range(num_threads)]
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - started
+        finally:
+            store.close()
+    assert len(settled) == num_jobs, f"lost claims: {len(settled)}"
+    return {
+        "claims_settled": len(settled),
+        "claims_per_second": num_jobs / elapsed,
+    }

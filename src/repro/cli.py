@@ -15,6 +15,9 @@ Commands mirror Raha's two operational modes plus utilities:
 * ``fig2``   -- the max-simultaneous-failures envelope of a topology.
 * ``serve`` / ``client`` -- the persistent queue-backed analysis
   service and its HTTP client (see :mod:`repro.service`).
+* ``worker`` -- a remote worker agent pulling jobs from a running
+  service over its fenced claim protocol (see :mod:`repro.distrib`);
+  pair with ``serve --no-local-workers`` for a pure coordinator.
 * ``cache``  -- inspect (``stats``) or evict (``prune``) a result
   cache; live service jobs' entries are never pruned.
 * ``bench``  -- run the benchmark suite and gate on performance
@@ -564,7 +567,11 @@ def _cmd_fig2(args) -> int:
 
 
 def _service_config_from_args(args):
-    from repro.core.config import ServiceConfig, SupervisionConfig
+    from repro.core.config import (
+        DistribConfig,
+        ServiceConfig,
+        SupervisionConfig,
+    )
 
     return ServiceConfig(
         host=args.host,
@@ -576,10 +583,15 @@ def _service_config_from_args(args):
         result_max_bytes=args.result_max_bytes,
         drain_timeout_seconds=args.drain_timeout,
         isolate_jobs=not args.no_isolate,
+        local_workers=not args.no_local_workers,
+        max_body_bytes=args.max_body_bytes,
         supervision=SupervisionConfig(
             lease_seconds=args.lease_seconds,
             reap_interval_seconds=args.reap_interval,
             max_job_attempts=args.max_attempts,
+        ),
+        distrib=DistribConfig(
+            max_claims_per_second=args.max_claims_per_second,
         ),
     )
 
@@ -622,6 +634,34 @@ def _cmd_serve(args) -> int:
         writer.close(metrics().snapshot())
     print(f"trace: {args.trace}", file=sys.stderr)
     return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.core.config import DistribConfig
+    from repro.distrib.worker import run_worker
+
+    if args.chaos:
+        from repro.resilience import FaultPlan
+        from repro.resilience.faults import install_plan
+
+        plan = FaultPlan.from_arg(args.chaos)
+        install_plan(plan)
+        print(f"chaos: injecting {len(plan.points)} fault point(s) "
+              f"(seed {plan.seed})", file=sys.stderr)
+    config = DistribConfig(
+        num_workers=args.workers,
+        lease_seconds=args.lease_seconds,
+        heartbeat_interval_seconds=args.heartbeat_interval,
+        poll_interval_seconds=args.poll_interval,
+        drain_timeout_seconds=args.drain_timeout,
+        request_timeout_seconds=args.timeout,
+        retries=args.retries,
+    )
+    print(f"worker pulling from {args.connect} "
+          f"({config.num_workers} slot(s))", file=sys.stderr)
+    return run_worker(args.connect, config=config, worker_id=args.name,
+                      cache_dir=args.cache,
+                      isolate_jobs=not args.no_isolate)
 
 
 def _service_client(args):
@@ -955,6 +995,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sv.add_argument("--no-isolate", action="store_true",
                       help="run jobs on scheduler threads instead of "
                            "worker processes (faster, less robust)")
+    p_sv.add_argument("--no-local-workers", action="store_true",
+                      help="pure coordinator: no local worker threads; "
+                           "execution belongs to remote 'repro worker' "
+                           "agents claiming over HTTP")
+    p_sv.add_argument("--max-body-bytes", type=int,
+                      default=64 * 1024 * 1024, metavar="N",
+                      help="reject request bodies larger than this "
+                           "with HTTP 413 before reading them")
+    p_sv.add_argument("--max-claims-per-second", type=float, default=None,
+                      metavar="RATE",
+                      help="shed fleet claim requests beyond this rate "
+                           "with 429 + Retry-After (default: unlimited)")
     p_sv.add_argument("--chaos", default=None, metavar="PLAN",
                       help="fault-injection self-test: service crash "
                            "sites hard-exit the server (see docs/"
@@ -963,6 +1015,46 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write a JSONL trace of http_request spans "
                            "and job execution")
     p_sv.set_defaults(func=_cmd_serve)
+
+    p_wk = sub.add_parser(
+        "worker",
+        help="remote worker agent: pull jobs from a running service "
+             "over the fenced claim protocol")
+    p_wk.add_argument("--connect", required=True, metavar="URL",
+                      help="coordinator base URL (http://host:port)")
+    p_wk.add_argument("--workers", type=int, default=2,
+                      help="concurrent claim slots in this agent")
+    p_wk.add_argument("--name", default=None, metavar="ID",
+                      help="fleet identity (default: <hostname>-<pid>)")
+    p_wk.add_argument("--cache", default=None, metavar="DIR",
+                      help="local result-cache directory (results still "
+                           "ship to the coordinator's cache on settle)")
+    p_wk.add_argument("--lease-seconds", type=float, default=60.0,
+                      help="lease requested per claim; renewed by a "
+                           "heartbeat thread while the job runs")
+    p_wk.add_argument("--heartbeat-interval", type=float, default=None,
+                      metavar="SECONDS",
+                      help="lease renewal cadence (default: a third of "
+                           "the lease)")
+    p_wk.add_argument("--poll-interval", type=float, default=0.5,
+                      metavar="SECONDS",
+                      help="idle wait between empty claim polls")
+    p_wk.add_argument("--drain-timeout", type=float, default=30.0,
+                      help="seconds to let in-flight jobs settle on "
+                           "SIGINT/SIGTERM before abandoning their "
+                           "claims to the reaper")
+    p_wk.add_argument("--timeout", type=float, default=30.0,
+                      help="per-request HTTP timeout")
+    p_wk.add_argument("--retries", type=int, default=3,
+                      help="transient-failure retry budget per fleet "
+                           "request")
+    p_wk.add_argument("--no-isolate", action="store_true",
+                      help="run jobs on slot threads instead of worker "
+                           "processes")
+    p_wk.add_argument("--chaos", default=None, metavar="PLAN",
+                      help="fault-injection self-test (the distrib.* "
+                           "sites drop fleet requests on the wire)")
+    p_wk.set_defaults(func=_cmd_worker)
 
     p_cl = sub.add_parser("client",
                           help="talk to a running analysis service")

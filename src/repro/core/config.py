@@ -370,6 +370,117 @@ class SupervisionConfig:
 
 
 @dataclass
+class DistribConfig:
+    """Knobs for the distributed worker fleet (:mod:`repro.distrib`).
+
+    One config covers both sides of the claim protocol: the worker
+    agent (``python -m repro worker``) pulling jobs over HTTP, and the
+    coordinator's claim-rate shedding.
+
+    Attributes:
+        num_workers: Worker slots (concurrent claims) in one agent.
+        lease_seconds: Lease the agent requests per claim; renewed from
+            a heartbeat thread while the job runs.  Must comfortably
+            exceed the claim round-trip, or the reaper will requeue
+            jobs that are in fact healthy.
+        heartbeat_interval_seconds: How often a busy slot renews its
+            lease; ``None`` derives ``lease_seconds / 3`` (two missed
+            or dropped beats still leave slack before expiry).
+        poll_interval_seconds: How long an idle slot waits after an
+            empty claim before polling the coordinator again.
+        drain_timeout_seconds: On SIGINT/SIGTERM, how long the agent
+            waits for in-flight jobs before giving up the join
+            (abandoned claims are left to lapse and be reaped).
+        request_timeout_seconds: Per-HTTP-request timeout.
+        retries: Transient-failure retry budget per fleet request
+            (connection refused, resets, injected ``distrib.*`` drops).
+            Claim/heartbeat/release replays are safe by construction
+            (leases + fencing); a settle whose response was lost
+            surfaces as a refused (409) replay the agent treats as
+            already-settled.
+        retry_backoff_seconds: Base backoff between retries, scaled
+            ``2**attempt`` with deterministic per-key jitter and capped
+            at ``retry_backoff_max_seconds``.
+        retry_backoff_max_seconds: Backoff ceiling.
+        max_claims_per_second: Coordinator-side claim-rate shed: a
+            token bucket refilled at this rate (burst of one second's
+            worth) 429s claim requests beyond it, keeping an
+            over-scaled fleet from stampeding the store.  ``None``
+            disables shedding.
+    """
+
+    num_workers: int = 2
+    lease_seconds: float = 60.0
+    heartbeat_interval_seconds: float | None = None
+    poll_interval_seconds: float = 0.5
+    drain_timeout_seconds: float = 30.0
+    request_timeout_seconds: float = 30.0
+    retries: int = 3
+    retry_backoff_seconds: float = 0.25
+    retry_backoff_max_seconds: float = 5.0
+    max_claims_per_second: float | None = None
+
+    def __post_init__(self):
+        if self.num_workers < 1:
+            raise ModelingError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.lease_seconds <= 0:
+            raise ModelingError(
+                f"lease_seconds must be > 0, got {self.lease_seconds}"
+            )
+        if self.heartbeat_interval_seconds is not None \
+                and self.heartbeat_interval_seconds <= 0:
+            raise ModelingError(
+                f"heartbeat_interval_seconds must be > 0, got "
+                f"{self.heartbeat_interval_seconds}"
+            )
+        if self.poll_interval_seconds <= 0:
+            raise ModelingError(
+                f"poll_interval_seconds must be > 0, got "
+                f"{self.poll_interval_seconds}"
+            )
+        if self.drain_timeout_seconds < 0:
+            raise ModelingError(
+                f"drain_timeout_seconds must be >= 0, got "
+                f"{self.drain_timeout_seconds}"
+            )
+        if self.request_timeout_seconds <= 0:
+            raise ModelingError(
+                f"request_timeout_seconds must be > 0, got "
+                f"{self.request_timeout_seconds}"
+            )
+        if self.retries < 0:
+            raise ModelingError(
+                f"retries must be >= 0, got {self.retries}"
+            )
+        if self.retry_backoff_seconds < 0:
+            raise ModelingError(
+                f"retry_backoff_seconds must be >= 0, got "
+                f"{self.retry_backoff_seconds}"
+            )
+        if self.retry_backoff_max_seconds < self.retry_backoff_seconds:
+            raise ModelingError(
+                f"retry_backoff_max_seconds must be >= "
+                f"retry_backoff_seconds, got "
+                f"{self.retry_backoff_max_seconds}"
+            )
+        if self.max_claims_per_second is not None \
+                and self.max_claims_per_second <= 0:
+            raise ModelingError(
+                f"max_claims_per_second must be > 0, got "
+                f"{self.max_claims_per_second}"
+            )
+
+    def resolved_heartbeat_interval(self) -> float:
+        """The effective heartbeat period (defaults to a third of the
+        lease, so a lease survives two missed beats)."""
+        if self.heartbeat_interval_seconds is not None:
+            return self.heartbeat_interval_seconds
+        return self.lease_seconds / 3.0
+
+
+@dataclass
 class ServiceConfig:
     """Knobs for the persistent analysis service (:mod:`repro.service`).
 
@@ -378,6 +489,11 @@ class ServiceConfig:
             port (the chosen one lands in the workdir's ``service.json``
             state file), which is what tests and the smoke CI use.
         num_workers: Scheduler worker threads draining the job queue.
+        local_workers: Whether to run that local pool at all.  ``False``
+            (``serve --no-local-workers``) turns the service into a pure
+            coordinator: it accepts submissions, runs the reaper and
+            supervision loops, and leaves execution entirely to remote
+            ``repro worker`` agents claiming over HTTP.
         poll_interval_seconds: How long an idle worker waits before
             re-polling the queue for work.
         max_queue_depth: Admission control: submissions that would push
@@ -406,14 +522,21 @@ class ServiceConfig:
             cannot take the service down and per-job wall timeouts
             apply.  ``False`` runs jobs in the scheduler thread --
             faster to start, used by tests.
+        max_body_bytes: Reject request bodies larger than this with
+            HTTP 413 *before* reading them -- an advertised
+            ``Content-Length`` is not an invitation to buffer it.
         supervision: The self-healing policy: job leases + heartbeats,
             the reaper that requeues expired leases, and poison-job
             quarantine (:class:`SupervisionConfig`).
+        distrib: The distributed-fleet policy (remote claim protocol
+            knobs; the coordinator consults
+            ``distrib.max_claims_per_second`` for claim shedding).
     """
 
     host: str = "127.0.0.1"
     port: int = 8080
     num_workers: int = 2
+    local_workers: bool = True
     poll_interval_seconds: float = 0.2
     max_queue_depth: int = 1024
     max_inflight_per_client: int = 64
@@ -423,13 +546,19 @@ class ServiceConfig:
     eviction_interval_seconds: float = 60.0
     drain_timeout_seconds: float = 30.0
     isolate_jobs: bool = True
+    max_body_bytes: int = 64 * 1024 * 1024
     supervision: SupervisionConfig = field(
         default_factory=SupervisionConfig)
+    distrib: DistribConfig = field(default_factory=DistribConfig)
 
     def __post_init__(self):
         if self.num_workers < 1:
             raise ModelingError(
                 f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.max_body_bytes < 1:
+            raise ModelingError(
+                f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
             )
         if self.poll_interval_seconds <= 0:
             raise ModelingError(

@@ -1,0 +1,368 @@
+"""The remote worker agent behind ``python -m repro worker``.
+
+A :class:`WorkerAgent` is the pull half of the fleet: ``num_workers``
+slot threads loop ``claim -> run -> settle`` against a coordinator's
+HTTP claim protocol, executing every job through the *existing* sweep
+executor (:func:`repro.runner.executor.run_sweep` on a single-job
+campaign) -- the same wall timeouts, bounded retries, process
+isolation, content-addressed result cache, and chaos hooks as the
+coordinator's local pool.  A job computed here is byte-for-byte the
+job ``repro sweep`` would have computed; the distributed equivalence
+tests pin that down.
+
+Mirrors of the local pool's supervision contract:
+
+* **Leases + fencing.**  Every claim is renewed from a per-job
+  heartbeat thread; a renewal answered ``lost`` means the reaper took
+  the job (our fence is stale), so the slot stops computing and skips
+  the settle -- the re-run under the new claim hits the cache on the
+  coordinator and settles identically.
+* **Remote cancel.**  The heartbeat response carries the job's
+  ``cancel_requested`` flag; the slot hands the executor a
+  ``cancel_check`` wired to it, so a ``DELETE`` on the coordinator
+  cancels a remotely-running job within one heartbeat interval plus
+  one executor poll.
+* **Deadlines.**  The claim document carries ``deadline_at``; a job
+  claimed past it settles ``deadline_exceeded`` without computing, and
+  otherwise the remaining budget clamps the executor's wall timeout.
+* **Attempt continuity.**  ``attempt_base`` carries the store-level
+  attempt count into the executor, so chaos plans keyed on attempt
+  numbers behave identically whether the job runs locally, remotely,
+  or bounces between workers across a reap.
+* **Graceful drain.**  SIGINT/SIGTERM set the agent's stop event: the
+  executor finishes the in-flight attempt, unstarted claims are
+  *released* back to the queue (attempt refunded), slots join within
+  ``drain_timeout_seconds``, and the agent deregisters.  Anything
+  still running past the timeout is abandoned to its lease -- the
+  reaper requeues it, never loses it.
+
+The settle payload ships the result document (written to the
+coordinator's cache before the store transition) and the job's trace
+spans, so a traced coordinator sees remote work in the same timeline
+as local work.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import socket
+import threading
+import time
+
+from repro.core.config import DistribConfig, RunnerConfig
+from repro.exceptions import AdmissionError, ServiceError
+from repro.obs.trace import Tracer
+from repro.runner.cache import ResultCache
+from repro.runner.executor import run_sweep
+from repro.runner.jobs import Job
+
+from repro.distrib.client import FleetClient
+
+logger = logging.getLogger(__name__)
+
+
+class WorkerAgent:
+    """``num_workers`` slots pulling jobs from one coordinator.
+
+    Args:
+        connect_url: ``http://host:port`` of the coordinating service.
+        config: Fleet knobs (slots, lease/heartbeat cadence, retry
+            budget, drain timeout).
+        runner_config: Executor knobs for the jobs themselves; defaults
+            match the scheduler's (2 pooled workers when isolating).
+        worker_id: Fleet identity; defaults to ``<hostname>-<pid>``.
+        cache_dir: Local result-cache directory; ``None`` runs
+            cacheless (the coordinator's cache still dedups re-runs,
+            because results ship in the settle payload).
+        isolate_jobs: Run each job in a worker *process* (the
+            executor's pooled path) so a segfaulting solve costs one
+            job, not the agent.
+    """
+
+    def __init__(self, connect_url: str,
+                 config: DistribConfig | None = None,
+                 runner_config: RunnerConfig | None = None,
+                 worker_id: str | None = None,
+                 cache_dir: str | os.PathLike | None = None,
+                 isolate_jobs: bool = True):
+        self.config = config or DistribConfig()
+        self.worker_id = worker_id \
+            or f"{socket.gethostname()}-{os.getpid()}"
+        self.client = FleetClient(connect_url, self.worker_id,
+                                  config=self.config)
+        self.runner_config = runner_config or RunnerConfig(
+            num_workers=2 if isolate_jobs else 1)
+        self.isolate_jobs = isolate_jobs
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._counts_lock = threading.Lock()
+        #: Settled-job tally by terminal state (``done``/``failed``/
+        #: ``cancelled``/``stale``/``released``), for drain-time logs
+        #: and tests.
+        self.counts: dict[str, int] = {}
+
+    @property
+    def stop_event(self) -> threading.Event:
+        """The drain signal (shared with in-flight ``run_sweep`` calls)."""
+        return self._stop
+
+    def _count(self, outcome: str) -> None:
+        with self._counts_lock:
+            self.counts[outcome] = self.counts.get(outcome, 0) + 1
+
+    def start(self) -> None:
+        """Register with the coordinator and start the slot threads."""
+        self._stop.clear()
+        self.client.register(capacity=self.config.num_workers,
+                             host=socket.gethostname(), pid=os.getpid())
+        logger.info("worker %s registered (%d slot(s))", self.worker_id,
+                    self.config.num_workers)
+        for index in range(self.config.num_workers):
+            thread = threading.Thread(
+                target=self._slot_loop, args=(index,),
+                name=f"repro-fleet-slot-{index}", daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    def stop(self, drain: bool = True) -> None:
+        """Request a stop, join the slots, deregister.
+
+        With ``drain`` (the default) in-flight jobs get
+        ``drain_timeout_seconds`` to settle; without it the join is
+        immediate.  Abandoned claims are left to their leases -- the
+        coordinator's reaper requeues them.
+        """
+        self._stop.set()
+        timeout = self.config.drain_timeout_seconds if drain else 0.0
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        abandoned = [t for t in self._threads if t.is_alive()]
+        self._threads = abandoned
+        if abandoned:
+            logger.warning(
+                "%d slot(s) still busy after drain timeout; their "
+                "claims will lapse and be reaped", len(abandoned))
+        try:
+            self.client.deregister()
+        except ServiceError as exc:
+            # Deregistration is bookkeeping, not correctness -- a
+            # coordinator that died first must not turn a clean drain
+            # into a crash.
+            logger.warning("could not deregister %s: %s",
+                           self.worker_id, exc)
+
+    def run_until_idle(self) -> int:
+        """Drain the coordinator's queue on the calling thread (tests).
+
+        Returns:
+            How many claims this call processed (settled or released).
+        """
+        processed = 0
+        while not self._stop.is_set():
+            if not self._run_one():
+                break
+            processed += 1
+        return processed
+
+    def _slot_loop(self, index: int) -> None:
+        while not self._stop.is_set():
+            try:
+                ran = self._run_one()
+            except AdmissionError as exc:
+                # The coordinator shed our claim: honor its Retry-After
+                # instead of thundering back.
+                self._stop.wait(exc.retry_after
+                                or self.config.poll_interval_seconds)
+                continue
+            except ServiceError as exc:
+                # Transport retries are already spent inside the
+                # client; treat a still-unreachable coordinator as a
+                # long poll, not a crash -- it may be restarting.
+                logger.warning("slot %d: coordinator unreachable: %s",
+                               index, exc)
+                self._stop.wait(self.config.poll_interval_seconds)
+                continue
+            if not ran:
+                self._stop.wait(self.config.poll_interval_seconds)
+
+    def _run_one(self) -> bool:
+        """Claim and settle one job; False when the queue is empty."""
+        claimed, retry_after = self.client.claim(
+            lease_seconds=self.config.lease_seconds)
+        if claimed is None:
+            return False
+        analysis_id, key = claimed["analysis_id"], claimed["key"]
+        token = claimed["claim_token"]
+        if self._stop.is_set():
+            # Drain request raced the claim: hand it straight back so
+            # the attempt is refunded instead of burning a lease.
+            self.client.release(analysis_id, key, token)
+            self._count("released")
+            return True
+        job = Job(payload=claimed["payload"])
+
+        wall_timeout = None
+        if claimed["deadline_at"] is not None:
+            remaining = claimed["deadline_at"] - time.time()
+            if remaining <= 0:
+                self.client.settle(
+                    analysis_id, key, token, "failed",
+                    status="deadline_exceeded",
+                    error="deadline_exceeded: end-to-end deadline passed "
+                          "before the job could start")
+                self._count("failed")
+                return True
+            default_wall = self.runner_config.wall_timeout_for(
+                job.params.get("time_limit"))
+            wall_timeout = remaining if default_wall is None \
+                else min(default_wall, remaining)
+
+        cancel = threading.Event()
+        lost = threading.Event()
+        heartbeat_stop = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(analysis_id, key, token, heartbeat_stop, cancel, lost),
+            name="repro-fleet-heartbeat", daemon=True)
+        heartbeat.start()
+
+        tracer = Tracer()
+        try:
+            outcome = run_sweep(
+                [job],
+                num_workers=2 if self.isolate_jobs else 1,
+                cache=self.cache,
+                config=self.runner_config,
+                wall_timeout=wall_timeout,
+                tracer=tracer,
+                handle_signals=False,
+                stop_event=self._stop,
+                cancel_check=cancel.is_set,
+                # Store-level attempt numbers carried over, so chaos
+                # plans keyed on attempts behave identically to the
+                # local pool across reaps and worker hops.
+                attempt_base=claimed["attempts"] - 1,
+            )
+        except Exception as exc:
+            logger.exception("job %s failed outside the executor",
+                             key[:12])
+            settled = self.client.settle(
+                analysis_id, key, token, "failed", status="error",
+                error=f"{type(exc).__name__}: {exc}")
+            self._count("failed" if settled else "stale")
+            return True
+        finally:
+            heartbeat_stop.set()
+            heartbeat.join(timeout=1.0)
+
+        if lost.is_set():
+            # The reaper took this job mid-run; our fence is stale and
+            # a settle would only be refused.  The re-claim recomputes
+            # (or cache-hits) and settles the identical result.
+            logger.warning(
+                "claim for job %s was reaped while running; discarding "
+                "the stale outcome", key[:12])
+            self._count("stale")
+            return True
+        if outcome.interrupted and not outcome.outcomes:
+            # Drain landed before the attempt started: refund it.
+            released = self.client.release(analysis_id, key, token)
+            self._count("released" if released else "stale")
+            return True
+
+        settled_outcome = outcome.outcomes[0]
+        spans = tracer.export() or None
+        if settled_outcome.status == "cancelled":
+            landed = self.client.settle(
+                analysis_id, key, token, "cancelled", status="cancelled",
+                error=settled_outcome.error, spans=spans)
+            self._count("cancelled" if landed else "stale")
+        elif settled_outcome.ok:
+            landed = self.client.settle(
+                analysis_id, key, token, "done",
+                status=settled_outcome.status,
+                result=settled_outcome.result, spans=spans)
+            self._count("done" if landed else "stale")
+        else:
+            landed = self.client.settle(
+                analysis_id, key, token, "failed",
+                status=settled_outcome.status,
+                error=settled_outcome.error, spans=spans)
+            self._count("failed" if landed else "stale")
+        if not landed:
+            logger.warning(
+                "settle for job %s refused by the fence (reaped and "
+                "re-claimed); the re-run settles identically", key[:12])
+        return True
+
+    def _heartbeat_loop(self, analysis_id: str, key: str, token: str,
+                        stop: threading.Event, cancel: threading.Event,
+                        lost: threading.Event) -> None:
+        interval = self.config.resolved_heartbeat_interval()
+        while not stop.wait(interval):
+            try:
+                doc = self.client.heartbeat(
+                    analysis_id, key, token, self.config.lease_seconds)
+            except ServiceError:
+                # Retries already spent in the client; the lease keeps
+                # aging but the claim may still be ours -- try again at
+                # the next tick, and let the reaper arbitrate if the
+                # coordinator stays unreachable.
+                logger.warning("heartbeat for job %s failed", key[:12])
+                continue
+            if doc.get("outcome") == "lost":
+                # Reaped out from under us: stop renewing AND stop
+                # computing -- the answer now belongs to the new claim,
+                # and our settle would be refused anyway.
+                lost.set()
+                cancel.set()
+                return
+            if doc.get("cancel_requested"):
+                cancel.set()
+
+    def run_forever(self) -> None:
+        """Block until the stop event fires (signal handlers set it)."""
+        while not self._stop.wait(0.2):
+            pass
+
+
+def run_worker(connect_url: str, config: DistribConfig | None = None,
+               worker_id: str | None = None,
+               cache_dir: str | os.PathLike | None = None,
+               isolate_jobs: bool = True,
+               runner_config: RunnerConfig | None = None) -> int:
+    """The ``repro worker`` entry point: run an agent until signalled.
+
+    Installs SIGINT/SIGTERM handlers that trigger a graceful drain
+    (release unstarted claims, finish in-flight jobs within the drain
+    timeout, deregister), then exits 0.
+
+    Returns:
+        Process exit code.
+    """
+    agent = WorkerAgent(connect_url, config=config, worker_id=worker_id,
+                        cache_dir=cache_dir, isolate_jobs=isolate_jobs,
+                        runner_config=runner_config)
+
+    def _signalled(signum, frame):
+        logger.info("worker %s: received signal %d, draining",
+                    agent.worker_id, signum)
+        agent.stop_event.set()
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        previous[sig] = signal.signal(sig, _signalled)
+    try:
+        agent.start()
+        agent.run_forever()
+        agent.stop(drain=True)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    logger.info("worker %s drained: %s", agent.worker_id,
+                agent.counts or "no jobs")
+    return 0

@@ -43,8 +43,10 @@ from repro.obs.trace import (
     Tracer,
     current_tracer,
     install_tracer,
+    shadow_tracer,
     span,
     tracing,
+    unshadow_tracer,
 )
 from repro.obs.validate import (
     validate_trace_docs,
@@ -70,6 +72,8 @@ __all__ = [
     "Tracer",
     "current_tracer",
     "install_tracer",
+    "shadow_tracer",
+    "unshadow_tracer",
     "span",
     "tracing",
     "validate_trace_docs",

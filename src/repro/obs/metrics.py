@@ -19,6 +19,15 @@ budget exhausted), ``service.jobs.deadline_exceeded`` (end-to-end
 deadline passed while queued or at claim), ``service.jobs.retried``
 (quarantined jobs requeued by the API), and ``service.stale_settles``
 (results from reaped-out workers discarded by the settle guard).
+
+Distributed fleet metrics: the HTTP claim protocol reports
+``service.claims_granted`` / ``service.claims_empty`` (claim requests
+that found / missed queued work), ``service.claims_released``
+(unstarted claims handed back by draining workers),
+``service.remote_settles`` (results delivered over HTTP by remote
+workers), and ``service.shed_claims`` (claim storms shed by the rate
+limiter); the gauges ``service.fleet_size`` / ``service.fleet_capacity``
+/ ``service.fleet_inflight`` mirror the registered worker roster.
 """
 
 from __future__ import annotations

@@ -32,6 +32,7 @@ need plumbing through every signature::
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from contextlib import contextmanager
 
@@ -225,18 +226,25 @@ class Tracer:
 
 # -- ambient installation --------------------------------------------------
 _tracer: NullTracer | Tracer = NULL_TRACER
+_shadow = threading.local()
 
 
 def current_tracer():
-    """The process's active tracer (the :data:`NULL_TRACER` by default)."""
-    return _tracer
+    """The active tracer: this thread's shadow if one is set, else the
+    process-wide installation (the :data:`NULL_TRACER` by default)."""
+    shadowing = getattr(_shadow, "tracer", None)
+    return _tracer if shadowing is None else shadowing
 
 
 def install_tracer(tracer):
-    """Install ``tracer`` as the ambient tracer; returns the previous one.
+    """Install ``tracer`` as the process-wide ambient tracer; returns
+    the previous one.
 
     Pass ``None`` (or the previous return value) to restore the no-op
-    default.
+    default.  The installation is process-global -- every thread
+    without a shadow (:func:`shadow_tracer`) sees it, which is what
+    lets a server install one tracer and collect spans from all its
+    handler threads.
     """
     global _tracer
     previous = _tracer
@@ -244,9 +252,29 @@ def install_tracer(tracer):
     return previous
 
 
+def shadow_tracer(tracer):
+    """Shadow the ambient tracer *for this thread only*; returns the
+    previous shadow (to pass back to :func:`unshadow_tracer`).
+
+    This is the per-job isolation primitive: concurrent in-thread jobs
+    each shadow with their own tracer so a campaign tracer never sees
+    half-merged worker spans -- without racing each other on the
+    process-global slot the way paired :func:`install_tracer` calls
+    from sibling threads would.
+    """
+    previous = getattr(_shadow, "tracer", None)
+    _shadow.tracer = tracer
+    return previous
+
+
+def unshadow_tracer(previous) -> None:
+    """Restore this thread's shadow to ``previous`` (``None`` clears)."""
+    _shadow.tracer = previous
+
+
 def span(name: str, **attrs):
     """Open a span on the ambient tracer (no-op when tracing is off)."""
-    return _tracer.span(name, **attrs)
+    return current_tracer().span(name, **attrs)
 
 
 @contextmanager

@@ -60,6 +60,18 @@ site tag                   effect at the hook
 ``service.crash_settling`` the service process dies after a job's result is
                            computed (and cached) but before the store records
                            it as terminal
+``distrib.claim``          a remote worker's claim request is dropped on the
+                           wire before it is sent (the agent retries; a claim
+                           whose *response* was lost is covered by the lease:
+                           the orphaned claim lapses and is reaped)
+``distrib.heartbeat``      a remote lease renewal is dropped on the wire;
+                           enough drops and the reaper requeues the job while
+                           the agent is still computing (its late settle is
+                           then refused by the fence)
+``distrib.settle``         a remote settle request is dropped on the wire; the
+                           agent retries, and a replay of a settle that in
+                           fact landed is refused (409) and treated as
+                           already-settled
 =========================  ====================================================
 
 The three ``store.*``/``service.*`` sites exercise the analysis
@@ -99,6 +111,9 @@ KNOWN_SITES = (
     "store.crash_commit",
     "service.crash_claimed",
     "service.crash_settling",
+    "distrib.claim",
+    "distrib.heartbeat",
+    "distrib.settle",
 )
 
 

@@ -60,7 +60,8 @@ from dataclasses import dataclass, field
 
 from repro.core.config import RunnerConfig
 from repro.exceptions import ModelingError, SolverError
-from repro.obs.trace import Tracer, current_tracer, install_tracer
+from repro.obs.trace import (Tracer, current_tracer, shadow_tracer,
+                             unshadow_tracer)
 from repro.resilience.faults import FaultPlan, active_plan, install_plan
 from repro.runner.cache import ResultCache, job_key
 from repro.runner.jobs import Job, SweepSpec
@@ -346,16 +347,21 @@ def invoke_job(payload: dict, wall_timeout: float | None,
             enables genuinely destructive faults (``worker.crash``
             hard-exits the process).
         trace: Collect structured trace spans for this job.  A fresh
-            :class:`~repro.obs.trace.Tracer` is installed for the job's
-            duration (shadowing any ambient tracer, so a campaign
-            tracer in the parent never sees half-merged worker spans)
+            :class:`~repro.obs.trace.Tracer` shadows the ambient tracer
+            for the job's duration -- thread-locally, so a campaign
+            tracer in the parent never sees half-merged worker spans
+            and sibling threads running serial jobs never clobber each
+            other's shadow --
             and its export rides back in the envelope under ``"spans"``
             -- on failures and timeouts too, which is exactly when the
             partial trace is most useful.
     """
     started = time.monotonic()
     job_tracer = Tracer() if trace else None
-    previous_tracer = install_tracer(job_tracer) if trace else None
+    # Thread-local shadow, not a global install: sibling threads each
+    # running serial jobs must not clobber each other's (or the
+    # process's) ambient tracer.
+    previous_tracer = shadow_tracer(job_tracer) if trace else None
 
     def envelope(doc: dict) -> dict:
         if job_tracer is not None:
@@ -412,7 +418,7 @@ def invoke_job(payload: dict, wall_timeout: float | None,
         if plan_installed:
             install_plan(previous_plan)
         if trace:
-            install_tracer(previous_tracer)
+            unshadow_tracer(previous_tracer)
 
 
 def degradation_task(payload: dict) -> dict:

@@ -18,6 +18,14 @@ than the queue can hold even when empty -- is a **permanent**
 rejection: HTTP 400 with no ``Retry-After``, so clients split the
 batch instead of retrying forever.
 
+The distributed fleet adds a third pressure point on the *claim* side:
+an over-scaled worker fleet polling ``POST /v1/claims`` can stampede
+the store (every claim is a synchronous, fsync'd SQLite write).
+``admit_claim`` therefore runs a token bucket refilled at
+``DistribConfig.max_claims_per_second`` (burst of one second's worth);
+claims beyond it are shed with HTTP 429 + ``Retry-After`` sized to the
+bucket's refill time.  Unset (the default) admits every claim.
+
 Retryable shed responses carry a ``Retry-After`` hint: the configured
 floor, scaled up by how long the blocking backlog takes to clear when
 the store has service-time history (a saturated queue of ten-minute
@@ -29,6 +37,8 @@ workers (the pool split across the clients currently holding work).
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
 
 from repro.core.config import ServiceConfig
@@ -63,6 +73,11 @@ class AdmissionController:
     def __init__(self, store: JobStore, config: ServiceConfig):
         self.store = store
         self.config = config
+        rate = config.distrib.max_claims_per_second
+        self._claim_lock = threading.Lock()
+        self._claim_burst = max(1.0, rate) if rate is not None else 0.0
+        self._claim_tokens = self._claim_burst  # start full: no cold shed
+        self._claim_refilled_at = time.monotonic()
 
     def admit(self, client: str, num_jobs: int) -> AdmissionDecision:
         """Check one submission of ``num_jobs`` jobs from ``client``.
@@ -109,6 +124,39 @@ class AdmissionController:
                 retry_after=self.retry_after_for_client(inflight),
             )
         return AdmissionDecision(admitted=True)
+
+    def admit_claim(self, worker_id: str) -> AdmissionDecision:
+        """Check one ``POST /v1/claims`` against the claim-rate bucket.
+
+        Sheds (HTTP 429) when the fleet's aggregate claim rate exceeds
+        ``DistribConfig.max_claims_per_second``; the ``Retry-After``
+        hint is the time until one token refills, so a shed worker
+        backs off exactly long enough instead of thundering back.
+        """
+        rate = self.config.distrib.max_claims_per_second
+        if rate is None:
+            return AdmissionDecision(admitted=True)
+        with self._claim_lock:
+            now = time.monotonic()
+            self._claim_tokens = min(
+                self._claim_burst,
+                self._claim_tokens
+                + (now - self._claim_refilled_at) * rate)
+            self._claim_refilled_at = now
+            if self._claim_tokens >= 1.0:
+                self._claim_tokens -= 1.0
+                return AdmissionDecision(admitted=True)
+            wait = (1.0 - self._claim_tokens) / rate
+        metrics().counter("service.shed_claims").inc()
+        return AdmissionDecision(
+            admitted=False,
+            reason=(
+                f"claim rate exceeds {rate}/s (worker {worker_id!r}); "
+                f"the fleet is polling faster than the store should "
+                f"absorb"
+            ),
+            retry_after=max(wait, 0.05),
+        )
 
     def retry_after(self, backlog: int) -> float:
         """The ``Retry-After`` hint for a shed with ``backlog`` jobs.

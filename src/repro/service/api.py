@@ -22,7 +22,28 @@ GET    ``/v1/analyses/<id>/quarantine``  quarantined jobs of one
                                          analysis
 POST   ``/v1/analyses/<id>/retry``       requeue quarantined jobs with
                                          a fresh attempt budget
-GET    ``/healthz``                      liveness + queue counts
+POST   ``/v1/claims``                    claim the best queued job with
+                                         a lease + fencing token (the
+                                         remote worker protocol); 200
+                                         with ``claim: null`` when the
+                                         queue is empty, 429 when claim
+                                         rate is shed
+GET    ``/v1/claims``                    active claims: who runs what,
+                                         whose lease expires when
+POST   ``/v1/claims/<aid>/<key>/heartbeat``  renew the claim's lease
+                                         (fenced on the token); 409
+                                         once the claim is lost
+POST   ``/v1/claims/<aid>/<key>/settle``  commit the claim's terminal
+                                         state, result, and trace
+                                         spans (fenced); 409 stale
+POST   ``/v1/claims/<aid>/<key>/release``  hand an unstarted claim back
+                                         to the queue (fenced)
+POST   ``/v1/workers``                   register a worker identity
+GET    ``/v1/workers``                   the fleet + per-worker
+                                         in-flight counts
+DELETE ``/v1/workers/<id>``              deregister (worker drain)
+GET    ``/healthz``                      liveness + queue counts +
+                                         fleet size
 GET    ``/metricz``                      the ``repro.obs`` registry
 ====== ================================= ===============================
 
@@ -63,9 +84,11 @@ from repro.service.store import JobStore
 
 logger = logging.getLogger(__name__)
 
-#: Maximum accepted request body (a spec with embedded documents for a
-#: continental-scale topology fits comfortably; a runaway upload does
-#: not get to exhaust server memory).
+#: Default cap on accepted request bodies (a spec with embedded
+#: documents for a continental-scale topology fits comfortably; a
+#: runaway upload does not get to exhaust server memory).  The
+#: effective limit is ``ServiceConfig.max_body_bytes`` (``serve
+#: --max-body-bytes``); this constant is its default.
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
 
@@ -302,21 +325,218 @@ class AnalysisService:
             "location": f"/v1/analyses/{analysis_id}",
         }, {}
 
+    # -- the remote claim protocol (repro.distrib) ----------------------
+
+    def claim_next(self, body: dict, client: str) -> tuple[int, dict, dict]:
+        """Hand the best queued job to a remote worker (fenced + leased).
+
+        The body may carry ``worker`` (the claiming identity; defaults
+        to the ``X-Client`` header) and ``lease_seconds`` (defaults to
+        the service's supervision lease).  Runs the same deadline +
+        quarantine sweep as the local pool before claiming, so remote
+        workers never receive work the coordinator already knows is
+        dead.  An empty queue is a normal answer -- 200 with
+        ``claim: null`` and a poll hint -- not an error.
+        """
+        worker_id = body.get("worker") or client
+        if not isinstance(worker_id, str) or not worker_id:
+            raise ServiceError("worker must be a non-empty string",
+                               status=400)
+        decision = self.admission.admit_claim(worker_id)
+        if not decision.admitted:
+            return 429, {
+                "error": decision.reason,
+                "retry_after_seconds": decision.retry_after,
+            }, {"Retry-After": str(max(1, round(decision.retry_after)))}
+        lease = body.get("lease_seconds",
+                         self.config.supervision.lease_seconds)
+        if not isinstance(lease, (int, float)) \
+                or isinstance(lease, bool) or lease <= 0:
+            raise ServiceError("lease_seconds must be a positive number",
+                               status=400)
+        self.scheduler.supervise_queue()
+        claimed = self.store.claim(lease_seconds=float(lease),
+                                   worker_id=worker_id)
+        if claimed is None:
+            metrics().counter("service.claims_empty").inc()
+            return 200, {
+                "claim": None,
+                "retry_after_seconds": self.config.poll_interval_seconds,
+            }, {}
+        metrics().counter("service.claims_granted").inc()
+        metrics().gauge("service.queue_depth").set(self.store.depth())
+        claimed["lease_seconds"] = float(lease)
+        return 200, {"claim": claimed}, {}
+
+    def claim_list(self) -> tuple[int, dict, dict]:
+        """Active claims: holder, lease expiry, heartbeat freshness."""
+        claims = self.store.running_claims()
+        return 200, {"claims": claims, "total": len(claims)}, {}
+
+    def claim_heartbeat(self, analysis_id: str, key: str,
+                        body: dict) -> tuple[int, dict, dict]:
+        """Renew a remote claim's lease (fenced on the claim token).
+
+        The response doubles as the cancel channel: it carries the
+        job's ``cancel_requested`` flag, so a remote executor learns of
+        a cooperative cancel within one heartbeat interval without
+        polling a second endpoint.  409 means the claim is lost
+        (reaped, settled, or re-claimed) -- stop beating.
+        """
+        token = self._claim_token(body)
+        lease = body.get("lease_seconds",
+                         self.config.supervision.lease_seconds)
+        if not isinstance(lease, (int, float)) \
+                or isinstance(lease, bool) or lease <= 0:
+            raise ServiceError("lease_seconds must be a positive number",
+                               status=400)
+        outcome = self.store.heartbeat(analysis_id, key, float(lease),
+                                       token)
+        if outcome == "lost":
+            return 409, {"outcome": "lost"}, {}
+        return 200, {
+            "outcome": outcome,
+            "cancel_requested": self.store.cancel_requested(analysis_id,
+                                                            key),
+        }, {}
+
+    def claim_settle(self, analysis_id: str, key: str,
+                     body: dict) -> tuple[int, dict, dict]:
+        """Commit a remote claim's terminal state (fenced).
+
+        The body carries the executor's outcome: ``state``
+        (done/failed/cancelled), ``status``, ``error``, the ``result``
+        document for done jobs (written to the coordinator's
+        content-addressed cache *before* the store transition, matching
+        the local pool's crash ordering), and optional trace ``spans``
+        merged into the coordinator's ambient tracer.  A stale settle
+        -- the claim was reaped and re-claimed -- is refused with 409;
+        the agent treats that as already-handled, because the re-run
+        settles the same content-addressed result.
+        """
+        token = self._claim_token(body)
+        state = body.get("state")
+        if state not in ("done", "failed", "cancelled"):
+            raise ServiceError(
+                "state must be one of done/failed/cancelled", status=400)
+        status = body.get("status")
+        error = body.get("error")
+        result = body.get("result")
+        if state == "done" and result is not None:
+            self.cache.put(key, result)
+        spans = body.get("spans")
+        if spans and current_tracer().enabled:
+            # Prefixed by job key so two workers' span ids never collide.
+            current_tracer().merge(spans, prefix=f"{key[:12]}:")
+        try:
+            self.store.settle(analysis_id, key, state, status=status,
+                              error=error, token=token)
+        except ServiceError as exc:
+            metrics().counter("service.stale_settles").inc()
+            return 409, {"error": str(exc), "settled": False}, {}
+        metrics().counter("service.remote_settles").inc()
+        metrics().counter({
+            "done": "service.jobs_done",
+            "failed": "service.jobs_failed",
+            "cancelled": "service.jobs_cancelled",
+        }[state]).inc()
+        metrics().gauge("service.queue_depth").set(self.store.depth())
+        return 200, {"settled": True, "state": state}, {}
+
+    def claim_release(self, analysis_id: str, key: str,
+                      body: dict) -> tuple[int, dict, dict]:
+        """Hand an unstarted claim back to the queue (fenced).
+
+        The remote drain path: the claim's attempt is refunded and the
+        job requeues.  409 when the claim no longer owns the job.
+        """
+        token = self._claim_token(body)
+        released = self.store.release(analysis_id, key, token=token)
+        if not released:
+            return 409, {
+                "error": f"job {key[:12]} is not running under this "
+                         "claim; nothing to release",
+                "released": False,
+            }, {}
+        metrics().counter("service.claims_released").inc()
+        return 200, {"released": True}, {}
+
+    @staticmethod
+    def _claim_token(body: dict) -> str:
+        token = body.get("token")
+        if not isinstance(token, str) or not token:
+            raise ServiceError("the claim token is required", status=400)
+        return token
+
+    # -- worker registration --------------------------------------------
+
+    def worker_register(self, body: dict,
+                        client: str) -> tuple[int, dict, dict]:
+        """Register a worker identity (idempotent upsert)."""
+        worker_id = body.get("id") or client
+        if not isinstance(worker_id, str) or not worker_id:
+            raise ServiceError("worker id must be a non-empty string",
+                               status=400)
+        capacity = body.get("capacity", 1)
+        if not isinstance(capacity, int) or isinstance(capacity, bool) \
+                or capacity < 1:
+            raise ServiceError("capacity must be a positive integer",
+                               status=400)
+        row = self.store.register_worker(
+            worker_id, kind=str(body.get("kind", "remote")),
+            host=body.get("host"), pid=body.get("pid"),
+            capacity=capacity)
+        self._fleet_gauges()
+        return 201, row, {}
+
+    def worker_list(self) -> tuple[int, dict, dict]:
+        """The registered fleet with per-worker in-flight counts."""
+        fleet = self._fleet_gauges()
+        return 200, {"workers": fleet, "total": len(fleet)}, {}
+
+    def worker_deregister(self, worker_id: str) -> tuple[int, dict, dict]:
+        """Stamp a worker as drained; 404 for an unknown identity."""
+        known = self.store.deregister_worker(worker_id)
+        if not known:
+            return 404, {"error": f"unknown worker {worker_id!r}"}, {}
+        self._fleet_gauges()
+        return 200, {"id": worker_id, "deregistered": True}, {}
+
+    def _fleet_gauges(self) -> list[dict]:
+        """Refresh the fleet gauges from store state; returns the fleet."""
+        fleet = self.store.fleet()
+        metrics().gauge("service.fleet_size").set(len(fleet))
+        metrics().gauge("service.fleet_capacity").set(
+            sum(worker["capacity"] for worker in fleet))
+        metrics().gauge("service.fleet_inflight").set(
+            sum(worker["inflight"] for worker in fleet))
+        return fleet
+
+    # -- health + metrics ----------------------------------------------
+
     def health(self) -> tuple[int, dict, dict]:
         counts = self.store.counts()
         depth = counts["queued"] + counts["running"]
         metrics().gauge("service.queue_depth").set(depth)
+        fleet = self._fleet_gauges()
         return 200, {
             "ok": True,
             "uptime_seconds": time.time() - self.started_at,
             "queue_depth": depth,
             "counts": counts,
-            "workers": self.config.num_workers,
+            "workers": (self.config.num_workers
+                        if self.config.local_workers else 0),
             "max_queue_depth": self.config.max_queue_depth,
+            "fleet": {
+                "workers": len(fleet),
+                "capacity": sum(w["capacity"] for w in fleet),
+                "inflight": {w["id"]: w["inflight"] for w in fleet},
+            },
         }, {}
 
     def metricz(self) -> tuple[int, dict, dict]:
         metrics().gauge("service.queue_depth").set(self.store.depth())
+        self._fleet_gauges()
         return 200, metrics().snapshot(), {}
 
 
@@ -346,13 +566,22 @@ class _Handler(BaseHTTPRequestHandler):
     def _client(self) -> str:
         return self.headers.get("X-Client", "anonymous")
 
-    def _body(self) -> dict:
-        length = int(self.headers.get("Content-Length", 0))
-        if length > MAX_BODY_BYTES:
+    def _body(self, required: bool = True) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError as exc:
+            raise ServiceError("Content-Length is not an integer",
+                               status=400) from exc
+        limit = self.service.config.max_body_bytes
+        if length > limit:
+            # Rejected before a single body byte is read: an advertised
+            # Content-Length is not an invitation to buffer it.
             raise ServiceError(
                 f"request body of {length} bytes exceeds the "
-                f"{MAX_BODY_BYTES}-byte limit", status=413)
-        raw = self.rfile.read(length) if length else b""
+                f"{limit}-byte limit", status=413)
+        raw = self.rfile.read(length) if length > 0 else b""
+        if not raw and not required:
+            return {}
         if not raw:
             raise ServiceError("a JSON request body is required",
                                status=400)
@@ -403,6 +632,37 @@ class _Handler(BaseHTTPRequestHandler):
             if method == "GET":
                 return service.quarantine()
             raise ServiceError("method not allowed", status=405)
+        if path == "/v1/claims":
+            if method == "POST":
+                return service.claim_next(self._body(required=False),
+                                          self._client())
+            if method == "GET":
+                return service.claim_list()
+            raise ServiceError("method not allowed", status=405)
+        if path.startswith("/v1/claims/"):
+            parts = path[len("/v1/claims/"):].split("/")
+            if len(parts) == 3 and all(parts) and method == "POST":
+                analysis_id, key, action = parts
+                if action == "heartbeat":
+                    return service.claim_heartbeat(analysis_id, key,
+                                                   self._body())
+                if action == "settle":
+                    return service.claim_settle(analysis_id, key,
+                                                self._body())
+                if action == "release":
+                    return service.claim_release(analysis_id, key,
+                                                 self._body())
+        if path == "/v1/workers":
+            if method == "POST":
+                return service.worker_register(self._body(required=False),
+                                               self._client())
+            if method == "GET":
+                return service.worker_list()
+            raise ServiceError("method not allowed", status=405)
+        if path.startswith("/v1/workers/"):
+            worker_id = path[len("/v1/workers/"):]
+            if worker_id and "/" not in worker_id and method == "DELETE":
+                return service.worker_deregister(worker_id)
         if path.startswith("/v1/analyses/"):
             rest = path[len("/v1/analyses/"):]
             parts = rest.split("/")

@@ -6,10 +6,21 @@ sheds surface as :class:`~repro.exceptions.AdmissionError` carrying the
 server's ``Retry-After``, other HTTP errors as
 :class:`~repro.exceptions.ServiceError` with the server's JSON error
 message and status attached.
+
+Transient transport failures -- connection refused during a service
+restart, a reset mid-poll -- are retried with bounded, deterministic
+jittered backoff, but only where a replay is safe: idempotent GETs
+(status/result/health polling) always, and ``submit`` explicitly,
+because submissions are deduped by spec content hash (``spec_hash``)
+so replaying one is a no-op on the second delivery.  Other POSTs and
+DELETEs fail fast by default -- a replayed cancel or retry could act
+on state the first delivery already changed.  HTTP *error responses*
+are never retried here; they are answers, not failures.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 import urllib.error
@@ -19,16 +30,66 @@ from repro.exceptions import AdmissionError, ServiceError
 
 
 class ServiceClient:
-    """Talks to one analysis service at ``base_url``."""
+    """Talks to one analysis service at ``base_url``.
+
+    Args:
+        base_url: ``http://host:port`` of the service.
+        client_id: Sent as ``X-Client`` (admission bookkeeping).
+        timeout: Per-request timeout in seconds.
+        retries: Transient-failure retry budget for requests whose
+            replay is safe (idempotent GETs; ``submit`` via spec-hash
+            dedup).  ``0`` disables retrying entirely.
+        retry_backoff_seconds: Base backoff before the first retry;
+            doubles per attempt with deterministic per-path jitter.
+        retry_backoff_max_seconds: Backoff ceiling.
+    """
 
     def __init__(self, base_url: str, client_id: str = "anonymous",
-                 timeout: float = 30.0):
+                 timeout: float = 30.0, retries: int = 2,
+                 retry_backoff_seconds: float = 0.25,
+                 retry_backoff_max_seconds: float = 5.0):
         self.base_url = base_url.rstrip("/")
         self.client_id = client_id
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.retry_backoff_max_seconds = retry_backoff_max_seconds
+
+    def _backoff(self, attempt: int, key: str) -> float:
+        """Deterministic jittered backoff before retry ``attempt``."""
+        raw = self.retry_backoff_seconds * 2 ** (attempt - 1)
+        digest = hashlib.sha256(f"{key}\0{attempt}".encode()).digest()
+        raw *= 1.0 + 0.5 * (int.from_bytes(digest[:8], "big")
+                            / float(1 << 64))
+        return min(raw, self.retry_backoff_max_seconds)
 
     def _request(self, method: str, path: str,
-                 body: dict | None = None) -> tuple[int, dict, dict]:
+                 body: dict | None = None,
+                 idempotent: bool | None = None
+                 ) -> tuple[int, dict, dict]:
+        """One HTTP exchange, with transient retries when safe.
+
+        ``idempotent=None`` derives the default: GETs are, everything
+        else is not.  Callers whose replay is safe by construction
+        (``submit``: spec-hash dedup; the fleet protocol: fenced
+        claims) pass ``idempotent=True`` explicitly.
+        """
+        if idempotent is None:
+            idempotent = method == "GET"
+        budget = self.retries if idempotent else 0
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._request_once(method, path, body)
+            except ServiceError as exc:
+                transient = exc.status is None
+                if not transient or attempt > budget:
+                    raise
+            time.sleep(self._backoff(attempt, key=f"{method} {path}"))
+
+    def _request_once(self, method: str, path: str,
+                      body: dict | None = None) -> tuple[int, dict, dict]:
         data = None
         headers = {"X-Client": self.client_id}
         if body is not None:
@@ -51,6 +112,8 @@ class ServiceClient:
                 doc = {"error": raw.decode("utf-8", "replace")}
             return exc.code, doc, dict(exc.headers or {})
         except urllib.error.URLError as exc:
+            # No `status`: transport-level, the marker _request keys
+            # retry decisions on.
             raise ServiceError(
                 f"cannot reach service at {self.base_url}: "
                 f"{exc.reason}") from exc
@@ -86,7 +149,11 @@ class ServiceClient:
             body["priority"] = priority
         if deadline_seconds is not None:
             body["deadline_seconds"] = deadline_seconds
-        status, doc, headers = self._request("POST", "/v1/analyses", body)
+        # Replay-safe: a resubmission dedupes on the spec's content
+        # hash, so retrying a submit whose response was lost returns
+        # the already-accepted analysis.
+        status, doc, headers = self._request("POST", "/v1/analyses", body,
+                                             idempotent=True)
         self._raise_for(status, doc, headers)
         return doc
 

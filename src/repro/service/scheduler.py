@@ -63,11 +63,22 @@ Drain-on-stop reuses the executor's graceful-shutdown machinery: the
 scheduler's stop event is passed to ``run_sweep`` as its ``stop_event``,
 so a stop request lets the in-flight attempt finish, skips further
 retries, and leaves anything unsettled for restart recovery.
+
+Fleet position: this local pool is just *one consumer* of the store's
+claim path.  It registers in the worker table under the ``local``
+identity (capacity = ``num_workers``) and stamps its claims like any
+remote ``repro worker`` agent; with
+``ServiceConfig.local_workers=False`` (``serve --no-local-workers``)
+no worker threads start at all and the service runs as a pure
+coordinator -- submissions, supervision, and the reaper stay up, and
+execution belongs entirely to remote agents claiming over HTTP.
 """
 
 from __future__ import annotations
 
 import logging
+import os
+import socket
 import threading
 import time
 
@@ -101,6 +112,8 @@ class Scheduler:
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._reaper: threading.Thread | None = None
+        #: The local pool's identity in the store's worker table.
+        self.worker_id = "local"
 
     @property
     def stop_event(self) -> threading.Event:
@@ -108,7 +121,13 @@ class Scheduler:
         return self._stop
 
     def start(self) -> None:
-        """Recover orphaned jobs, then start the workers and reaper."""
+        """Recover orphaned jobs, then start the workers and reaper.
+
+        With ``local_workers=False`` the pool is skipped entirely
+        (coordinator mode): recovery, supervision, and the reaper still
+        run -- remote agents depend on them -- but no local thread ever
+        claims a job.
+        """
         recovered = self.store.recover()
         if recovered:
             logger.warning(
@@ -117,12 +136,16 @@ class Scheduler:
             metrics().counter("service.jobs.recovered").inc(recovered)
         self._supervise_queue()
         self._stop.clear()
-        for index in range(self.config.num_workers):
-            thread = threading.Thread(
-                target=self._worker_loop, args=(index,),
-                name=f"repro-service-worker-{index}", daemon=True)
-            self._threads.append(thread)
-            thread.start()
+        if self.config.local_workers:
+            self.store.register_worker(
+                self.worker_id, kind="local", host=socket.gethostname(),
+                pid=os.getpid(), capacity=self.config.num_workers)
+            for index in range(self.config.num_workers):
+                thread = threading.Thread(
+                    target=self._worker_loop, args=(index,),
+                    name=f"repro-service-worker-{index}", daemon=True)
+                self._threads.append(thread)
+                thread.start()
         self._reaper = threading.Thread(
             target=self._reaper_loop, name="repro-service-reaper",
             daemon=True)
@@ -148,6 +171,8 @@ class Scheduler:
         if self._reaper is not None:
             self._reaper.join(timeout=1.0)
             self._reaper = None
+        if self.config.local_workers:
+            self.store.deregister_worker(self.worker_id)
 
     def run_until_idle(self) -> int:
         """Drain the queue on the calling thread (tests, one-shot mode).
@@ -194,6 +219,15 @@ class Scheduler:
             except Exception:
                 logger.exception("reaper pass failed; will retry")
 
+    def supervise_queue(self) -> None:
+        """Deadline + quarantine sweep over the queued set.
+
+        Public because every consumer of the claim path runs it before
+        claiming -- the local pool in :meth:`_run_one`, and the HTTP
+        claim endpoint before handing work to a remote agent.
+        """
+        self._supervise_queue()
+
     def _supervise_queue(self) -> None:
         """Deadline + quarantine sweep over the queued set."""
         expired = self.store.expire_deadlines()
@@ -230,7 +264,8 @@ class Scheduler:
         """Claim and settle one job; False when the queue is empty."""
         self._supervise_queue()
         supervision = self.config.supervision
-        claimed = self.store.claim(lease_seconds=supervision.lease_seconds)
+        claimed = self.store.claim(lease_seconds=supervision.lease_seconds,
+                                   worker_id=self.worker_id)
         if claimed is None:
             return False
         service_crash("service.crash_claimed", key=claimed["key"])

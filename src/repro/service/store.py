@@ -43,6 +43,12 @@ Supervision (the self-healing layer on top of the state machine):
 * **Cancellation** -- ``DELETE`` on an analysis cancels queued jobs
   outright and raises ``cancel_requested`` on running ones; the
   executor polls that flag cooperatively between dispatches.
+* **Worker identity** -- consumers of the claim path (the local
+  scheduler pool and remote ``repro worker`` agents alike) register in
+  a ``workers`` table and stamp their id on each claim's
+  ``claimed_by`` column, so :meth:`fleet` and :meth:`running_claims`
+  can report fleet size and per-worker in-flight counts.  Identity is
+  bookkeeping only; *fencing* is always the per-claim token.
 
 Identity and idempotence:
 
@@ -135,10 +141,21 @@ CREATE TABLE IF NOT EXISTS jobs (
     claim_token  TEXT,
     deadline_at  REAL,
     cancel_requested INTEGER NOT NULL DEFAULT 0,
+    claimed_by   TEXT,
     PRIMARY KEY (analysis_id, key)
 );
 CREATE INDEX IF NOT EXISTS jobs_by_state
     ON jobs (state, priority DESC, submitted_at ASC);
+CREATE TABLE IF NOT EXISTS workers (
+    id              TEXT PRIMARY KEY,
+    kind            TEXT NOT NULL DEFAULT 'remote',
+    host            TEXT,
+    pid             INTEGER,
+    capacity        INTEGER NOT NULL DEFAULT 1,
+    registered_at   REAL NOT NULL,
+    last_seen_at    REAL NOT NULL,
+    deregistered_at REAL
+);
 CREATE TABLE IF NOT EXISTS transitions (
     analysis_id  TEXT NOT NULL,
     key          TEXT NOT NULL,
@@ -189,6 +206,7 @@ class JobStore:
             ("claim_token", "TEXT"),
             ("deadline_at", "REAL"),
             ("cancel_requested", "INTEGER NOT NULL DEFAULT 0"),
+            ("claimed_by", "TEXT"),
         ):
             if column not in have:
                 self._conn.execute(
@@ -271,7 +289,8 @@ class JobStore:
 
     # -- the queue -----------------------------------------------------
 
-    def claim(self, lease_seconds: float | None = None) -> dict | None:
+    def claim(self, lease_seconds: float | None = None,
+              worker_id: str | None = None) -> dict | None:
         """Atomically move the best queued job to ``running``.
 
         Claim order: priority (descending), then submission time, then
@@ -284,6 +303,11 @@ class JobStore:
                 the worker renews it via :meth:`heartbeat` the reaper
                 (:meth:`reap_expired`) requeues the job once it lapses.
                 ``None`` grants an unbounded claim (legacy behavior).
+            worker_id: Identity of the claiming worker (local pool or a
+                remote agent), stamped on the job's ``claimed_by``
+                column so :meth:`fleet` and :meth:`running_claims` can
+                attribute in-flight work.  Also refreshes the worker's
+                ``last_seen_at`` when it is registered.
 
         Every claim -- leased or not -- also mints a fresh
         ``claim_token`` (the fencing token): subsequent
@@ -313,13 +337,15 @@ class JobStore:
             self._conn.execute(
                 "UPDATE jobs SET state = 'running', started_at = ?, "
                 "attempts = attempts + 1, lease_expires_at = ?, "
-                "heartbeat_at = ?, claim_token = ? "
+                "heartbeat_at = ?, claim_token = ?, claimed_by = ? "
                 "WHERE analysis_id = ? AND key = ?",
-                (now, lease_expires_at, now, claim_token,
+                (now, lease_expires_at, now, claim_token, worker_id,
                  row["analysis_id"], row["key"]),
             )
             self._record_transition(row["analysis_id"], row["key"],
                                     "queued", "running", now)
+            if worker_id is not None:
+                self._touch_worker_locked(worker_id, now)
             self._conn.commit()
         service_crash("store.crash_commit", key=row["key"])
         return {
@@ -371,6 +397,13 @@ class JobStore:
                 "AND claim_token = ?",
                 (now + float(lease_seconds), now, analysis_id, key, token),
             ).rowcount
+            if updated:
+                row = self._conn.execute(
+                    "SELECT claimed_by FROM jobs "
+                    "WHERE analysis_id = ? AND key = ?", (analysis_id, key)
+                ).fetchone()
+                if row is not None and row["claimed_by"]:
+                    self._touch_worker_locked(row["claimed_by"], now)
             self._conn.commit()
         return "renewed" if updated else "lost"
 
@@ -399,7 +432,7 @@ class JobStore:
         now = time.time()
         query = ("UPDATE jobs SET state = ?, status = ?, error = ?, "
                  "finished_at = ?, lease_expires_at = NULL, "
-                 "claim_token = NULL "
+                 "claim_token = NULL, claimed_by = NULL "
                  "WHERE analysis_id = ? AND key = ? AND state = 'running'")
         params: tuple = (state, status, error, now, analysis_id, key)
         if token is not None:
@@ -503,7 +536,7 @@ class JobStore:
         query = ("UPDATE jobs SET state = 'queued', started_at = NULL, "
                  "attempts = MAX(0, attempts - 1), "
                  "lease_expires_at = NULL, heartbeat_at = NULL, "
-                 "claim_token = NULL "
+                 "claim_token = NULL, claimed_by = NULL "
                  "WHERE analysis_id = ? AND key = ? AND state = 'running'")
         params: tuple = (analysis_id, key)
         if token is not None:
@@ -537,7 +570,8 @@ class JobStore:
                     "UPDATE jobs SET state = 'cancelled', status = "
                     "'cancelled', error = ?, finished_at = ?, "
                     "started_at = NULL, lease_expires_at = NULL, "
-                    "heartbeat_at = NULL, claim_token = NULL "
+                    "heartbeat_at = NULL, claim_token = NULL, "
+                    "claimed_by = NULL "
                     "WHERE analysis_id = ? AND key = ? "
                     "AND state = 'running'",
                     (f"cancelled by client ({reason})", now,
@@ -553,7 +587,7 @@ class JobStore:
             self._conn.execute(
                 "UPDATE jobs SET state = 'queued', started_at = NULL, "
                 "lease_expires_at = NULL, heartbeat_at = NULL, "
-                "claim_token = NULL, error = ? "
+                "claim_token = NULL, claimed_by = NULL, error = ? "
                 "WHERE analysis_id = ? AND key = ? AND state = 'running'",
                 (reason, row["analysis_id"], row["key"]),
             )
@@ -742,7 +776,7 @@ class JobStore:
                     "status = NULL, error = NULL, started_at = NULL, "
                     "finished_at = NULL, lease_expires_at = NULL, "
                     "heartbeat_at = NULL, claim_token = NULL, "
-                    "cancel_requested = 0 "
+                    "claimed_by = NULL, cancel_requested = 0 "
                     "WHERE analysis_id = ? AND key = ? "
                     "AND state = 'quarantined'",
                     (analysis_id, row["key"]),
@@ -751,6 +785,129 @@ class JobStore:
                                         "quarantined", "queued", now)
             self._conn.commit()
         return len(rows)
+
+    # -- the worker fleet ----------------------------------------------
+
+    def register_worker(self, worker_id: str, kind: str = "remote",
+                        host: str | None = None, pid: int | None = None,
+                        capacity: int = 1) -> dict:
+        """Register (or re-register) a worker identity.
+
+        Workers announce themselves before claiming: the local
+        scheduler pool registers once as ``kind='local'``, each remote
+        agent as ``kind='remote'`` with its host/pid.  Registration is
+        an upsert -- an agent that restarts under the same identity
+        simply refreshes its row and clears any ``deregistered_at``
+        stamp from a previous drain.
+
+        Returns:
+            The worker's row as a dict (see :meth:`fleet`).
+        """
+        now = time.time()
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO workers (id, kind, host, pid, capacity, "
+                "registered_at, last_seen_at, deregistered_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, NULL) "
+                "ON CONFLICT(id) DO UPDATE SET kind = excluded.kind, "
+                "host = excluded.host, pid = excluded.pid, "
+                "capacity = excluded.capacity, "
+                "last_seen_at = excluded.last_seen_at, "
+                "deregistered_at = NULL",
+                (worker_id, kind, host, pid, int(capacity), now, now),
+            )
+            self._conn.commit()
+        return {"id": worker_id, "kind": kind, "host": host, "pid": pid,
+                "capacity": int(capacity), "registered_at": now,
+                "last_seen_at": now, "deregistered_at": None,
+                "inflight": 0}
+
+    def deregister_worker(self, worker_id: str) -> bool:
+        """Stamp a worker as drained (it stops counting toward the
+        fleet).  Its in-flight claims, if any, are left to lapse and be
+        reaped -- deregistration is bookkeeping, not revocation.
+
+        Returns:
+            Whether the worker was known.
+        """
+        now = time.time()
+        with self._lock:
+            updated = self._conn.execute(
+                "UPDATE workers SET deregistered_at = ?, last_seen_at = ? "
+                "WHERE id = ?", (now, now, worker_id),
+            ).rowcount
+            self._conn.commit()
+        return bool(updated)
+
+    def _touch_worker_locked(self, worker_id: str, now: float) -> None:
+        """Refresh a worker's liveness stamp (claim/heartbeat path)."""
+        self._conn.execute(
+            "UPDATE workers SET last_seen_at = ? WHERE id = ?",
+            (now, worker_id),
+        )
+
+    def fleet(self, include_deregistered: bool = False) -> list[dict]:
+        """The registered worker fleet with per-worker in-flight counts.
+
+        Feeds the ``/healthz``/``/metricz`` fleet gauges: one row per
+        worker, ``inflight`` counting the ``running`` jobs currently
+        stamped ``claimed_by`` that worker.  Drained workers are
+        excluded unless ``include_deregistered``.
+        """
+        query = ("SELECT w.*, (SELECT COUNT(*) FROM jobs j "
+                 "WHERE j.claimed_by = w.id AND j.state = 'running') "
+                 "AS inflight FROM workers w")
+        if not include_deregistered:
+            query += " WHERE w.deregistered_at IS NULL"
+        query += " ORDER BY w.registered_at ASC, w.id ASC"
+        with self._lock:
+            rows = self._conn.execute(query).fetchall()
+        return [
+            {
+                "id": row["id"],
+                "kind": row["kind"],
+                "host": row["host"],
+                "pid": (None if row["pid"] is None else int(row["pid"])),
+                "capacity": int(row["capacity"]),
+                "registered_at": float(row["registered_at"]),
+                "last_seen_at": float(row["last_seen_at"]),
+                "deregistered_at": (
+                    None if row["deregistered_at"] is None
+                    else float(row["deregistered_at"])),
+                "inflight": int(row["inflight"]),
+            }
+            for row in rows
+        ]
+
+    def running_claims(self) -> list[dict]:
+        """Active claims: every ``running`` job with its holder and
+        lease -- the ``GET /v1/claims`` listing an operator reads to see
+        who is working on what (and whose lease is about to lapse)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT analysis_id, key, label, attempts, claimed_by, "
+                "started_at, heartbeat_at, lease_expires_at, "
+                "cancel_requested FROM jobs WHERE state = 'running' "
+                "ORDER BY started_at ASC, key ASC"
+            ).fetchall()
+        return [
+            {
+                "analysis_id": row["analysis_id"],
+                "key": row["key"],
+                "label": row["label"],
+                "attempts": int(row["attempts"]),
+                "worker": row["claimed_by"],
+                "started_at": (None if row["started_at"] is None
+                               else float(row["started_at"])),
+                "heartbeat_at": (None if row["heartbeat_at"] is None
+                                 else float(row["heartbeat_at"])),
+                "lease_expires_at": (
+                    None if row["lease_expires_at"] is None
+                    else float(row["lease_expires_at"])),
+                "cancel_requested": bool(row["cancel_requested"]),
+            }
+            for row in rows
+        ]
 
     def _record_transition(self, analysis_id: str, key: str,
                            from_state: str, to_state: str,

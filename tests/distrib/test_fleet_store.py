@@ -1,0 +1,94 @@
+"""Store-level worker identity: registration, attribution, claims."""
+
+import pytest
+
+from repro.service.store import JobStore
+
+JOBS = [("k1", "a", {"task": "t", "params": {"x": 1}}),
+        ("k2", "b", {"task": "t", "params": {"x": 2}}),
+        ("k3", "c", {"task": "t", "params": {"x": 3}})]
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = JobStore(tmp_path / "service.db")
+    yield store
+    store.close()
+
+
+class TestRegistration:
+    def test_register_returns_row_with_inflight(self, store):
+        row = store.register_worker("w1", kind="remote", host="h",
+                                    pid=42, capacity=4)
+        assert row["id"] == "w1" and row["capacity"] == 4
+        assert row["inflight"] == 0 and row["deregistered_at"] is None
+
+    def test_reregister_is_an_upsert(self, store):
+        store.register_worker("w1", capacity=1)
+        store.deregister_worker("w1")
+        row = store.register_worker("w1", capacity=8)
+        assert row["capacity"] == 8
+        assert row["deregistered_at"] is None
+        assert [w["id"] for w in store.fleet()] == ["w1"]
+
+    def test_deregistered_workers_leave_the_fleet(self, store):
+        store.register_worker("w1")
+        store.register_worker("w2")
+        assert store.deregister_worker("w1") is True
+        assert [w["id"] for w in store.fleet()] == ["w2"]
+        assert {w["id"] for w in store.fleet(include_deregistered=True)} \
+            == {"w1", "w2"}
+
+    def test_deregister_unknown_worker_is_false(self, store):
+        assert store.deregister_worker("ghost") is False
+
+
+class TestAttribution:
+    def test_claims_are_stamped_and_counted(self, store):
+        store.register_worker("w1", capacity=2)
+        store.submit("a1", "camp", "alice", JOBS)
+        store.claim(lease_seconds=30.0, worker_id="w1")
+        store.claim(lease_seconds=30.0, worker_id="w1")
+        (worker,) = store.fleet()
+        assert worker["inflight"] == 2
+        claims = store.running_claims()
+        assert len(claims) == 2
+        assert all(c["worker"] == "w1" for c in claims)
+
+    def test_settle_and_release_clear_the_stamp(self, store):
+        store.register_worker("w1")
+        store.submit("a1", "camp", "alice", JOBS[:2])
+        first = store.claim(worker_id="w1")
+        second = store.claim(worker_id="w1")
+        store.settle("a1", first["key"], "done", status="done",
+                     token=first["claim_token"])
+        store.release("a1", second["key"], token=second["claim_token"])
+        assert store.fleet()[0]["inflight"] == 0
+        assert store.running_claims() == []
+
+    def test_reap_clears_the_stamp(self, store):
+        store.register_worker("w1")
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        store.claim(lease_seconds=0.0, worker_id="w1")
+        reaped = store.reap_expired()
+        assert len(reaped) == 1 and reaped[0]["requeued"]
+        assert store.fleet()[0]["inflight"] == 0
+        # The requeued job is claimable by a different worker.
+        store.register_worker("w2")
+        again = store.claim(worker_id="w2")
+        assert again["attempts"] == 2
+        assert store.running_claims()[0]["worker"] == "w2"
+
+    def test_claim_refreshes_last_seen(self, store):
+        row = store.register_worker("w1")
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        store.claim(worker_id="w1")
+        assert store.fleet()[0]["last_seen_at"] >= row["last_seen_at"]
+
+    def test_unregistered_claimer_is_still_attributed(self, store):
+        # Identity is bookkeeping, not authentication: a claim from a
+        # worker that never registered still stamps claimed_by.
+        store.submit("a1", "camp", "alice", JOBS[:1])
+        store.claim(worker_id="anon")
+        assert store.running_claims()[0]["worker"] == "anon"
+        assert store.fleet() == []

@@ -150,6 +150,39 @@ class TestAmbientInstallation:
                 pass
         assert [d["name"] for d in tracer.export()] == ["ambient"]
 
+    def test_shadow_is_thread_local(self):
+        # Sibling threads shadowing concurrently (serial in-thread jobs
+        # under a worker agent) must not see each other's shadow or
+        # disturb the process-wide installation.
+        import threading
+
+        from repro.obs.trace import shadow_tracer, unshadow_tracer
+
+        installed = Tracer()
+        seen = {}
+        barrier = threading.Barrier(2)
+
+        def job(name):
+            mine = Tracer()
+            previous = shadow_tracer(mine)
+            try:
+                barrier.wait(timeout=5)  # both shadows live at once
+                seen[name] = current_tracer() is mine
+            finally:
+                unshadow_tracer(previous)
+
+        with tracing(installed):
+            threads = [threading.Thread(target=job, args=(n,))
+                       for n in ("a", "b")]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # This thread never shadowed: the installation shows through.
+            assert current_tracer() is installed
+        assert seen == {"a": True, "b": True}
+        assert current_tracer() is NULL_TRACER
+
 
 class TestNullTracer:
     def test_span_returns_shared_noop_handle(self):

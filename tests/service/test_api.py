@@ -359,3 +359,30 @@ class TestEviction:
             assert service.cache.get(job.key) == {"kept": True}
         finally:
             service.stop(drain=False)
+
+
+class TestBodyCap:
+    def test_oversized_batch_is_413_before_reading(self, tmp_path):
+        config = ServiceConfig(port=0, num_workers=1, isolate_jobs=False,
+                               max_body_bytes=2048)
+        service = AnalysisService(tmp_path / "svc", config=config)
+        server = make_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[0], server.server_address[1]
+        service.base_url = f"http://{host}:{port}"
+        try:
+            # A batch big enough to blow the cap -- the server must
+            # refuse on Content-Length, before parsing a byte.
+            doc = echo_spec(list(range(2000)), name="oversized")
+            status, body, _ = raw(service, "POST", "/v1/analyses", doc)
+            assert status == 413
+            assert "2048-byte limit" in body["error"]
+            # Within the cap everything still works.
+            status, body, _ = raw(service, "POST", "/v1/analyses",
+                                  echo_spec([1], name="small"))
+            assert status == 201
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+            service.stop(drain=False)
